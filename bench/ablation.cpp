@@ -1,0 +1,103 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//   1. Rmjoin — materializing the constant part of the iterative join
+//      (paper §V-B: "This optimization greatly improves the performance").
+//   2. Partition count — the paper defaults to 256 "to take advantage of
+//      the asynchronous techniques"; sweep shows the trade-off.
+//   3. Statement batching — JDBC batch loading vs one round trip per row.
+#include <iomanip>
+
+#include "bench/bench_util.h"
+#include "graph/generators.h"
+
+using namespace sqloop;
+using namespace sqloop::bench;
+
+namespace {
+
+void AblateRmjoin() {
+  const graph::Graph g =
+      graph::MakeWebGraph(Knob("PR_NODES", 4000), 4, 31);
+  EngineFleet fleet("abl_rmjoin", g);
+  const std::string query =
+      core::workloads::PageRankQuery(Knob("PR_ITERS", 6));
+
+  std::cout << "--- Ablation 1: Rmjoin materialization (PR, "
+            << g.edge_count() << " edges, async, 8 threads)\n";
+  std::cout << "engine      with_rmjoin  without   penalty\n";
+  for (const auto& engine : Engines()) {
+    auto options = ModeOptions(core::ExecutionMode::kAsync, 8, 8, "pr");
+    options.materialize_constant_join = true;
+    const double with = RunQuery(fleet.Url(engine), options, query).seconds;
+    options.materialize_constant_join = false;
+    const double without =
+        RunQuery(fleet.Url(engine), options, query).seconds;
+    std::cout << std::left << std::setw(12) << engine << std::fixed
+              << std::setprecision(3) << std::setw(13) << with
+              << std::setw(10) << without << std::setprecision(2)
+              << without / with << "x\n";
+  }
+  std::cout << "\n";
+}
+
+void AblatePartitionCount() {
+  const graph::Graph g =
+      graph::MakeEgoNetGraph(40, 12, 0.3, 17);
+  EngineFleet fleet("abl_parts", g);
+  const int64_t dest = 39 * 12 + 1;
+  const std::string query = core::workloads::SsspQuery(1, dest);
+
+  std::cout << "--- Ablation 2: partition count (SSSP, async vs asyncP, "
+               "4 threads)\n";
+  std::cout << "partitions  async_s   asyncP_s  asyncP_skipped\n";
+  for (const int partitions : {4, 16, 64}) {
+    const auto async =
+        RunQuery(fleet.Url("postgres"),
+                 ModeOptions(core::ExecutionMode::kAsync, 4, partitions,
+                             "sssp"),
+                 query);
+    const auto asyncp =
+        RunQuery(fleet.Url("postgres"),
+                 ModeOptions(core::ExecutionMode::kAsyncPriority, 4,
+                             partitions, "sssp"),
+                 query);
+    std::cout << std::left << std::setw(12) << partitions << std::fixed
+              << std::setprecision(3) << std::setw(10) << async.seconds
+              << std::setw(10) << asyncp.seconds
+              << asyncp.stats.skipped_tasks << "\n";
+  }
+  std::cout << "\n";
+}
+
+void AblateBatching() {
+  const graph::Graph g = graph::MakeWebGraph(2000, 4, 9);
+  EngineFleet fleet("abl_batch", g);  // loads once; we reload with options
+
+  std::cout << "--- Ablation 3: statement batching during bulk load ("
+            << g.edge_count() << " edges, 100us round trips)\n";
+  std::cout << "batch_rows  seconds   round_trips\n";
+  for (const size_t batch : {size_t{1}, size_t{50}, size_t{500}}) {
+    auto conn = dbc::DriverManager::GetConnection(fleet.Url("postgres"));
+    graph::LoadOptions options;
+    options.batch_size = batch;
+    options.create_indexes = false;
+    Stopwatch watch;
+    graph::LoadEdges(*conn, g, options);
+    std::cout << std::left << std::setw(12) << batch << std::fixed
+              << std::setprecision(3) << std::setw(10)
+              << watch.ElapsedSeconds() << conn->stats().round_trips
+              << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "========================================================\n";
+  std::cout << "Ablations: Rmjoin, partition count, statement batching\n";
+  std::cout << "========================================================\n\n";
+  AblateRmjoin();
+  AblatePartitionCount();
+  AblateBatching();
+  return 0;
+}

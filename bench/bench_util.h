@@ -1,0 +1,183 @@
+// Shared plumbing for the figure-reproduction benchmarks: per-engine
+// databases, dataset loading, timed SQLoop runs, and the convergence
+// sampler of §VI-A ("we sampled the entire dataset using a separate
+// thread every 5 seconds" — scaled down to our run times).
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "core/sqloop.h"
+#include "core/workloads.h"
+#include "dbc/driver.h"
+#include "graph/graph.h"
+#include "graph/loader.h"
+#include "minidb/server.h"
+
+namespace sqloop::bench {
+
+inline const std::vector<std::string>& Engines() {
+  static const std::vector<std::string> kEngines = {"postgres", "mysql",
+                                                    "mariadb"};
+  return kEngines;
+}
+
+/// Reads an integer knob from the environment (SQLOOP_BENCH_<NAME>),
+/// falling back to the laptop-scale default. Export larger values to
+/// approach paper scale.
+inline int64_t Knob(const char* name, int64_t fallback) {
+  const std::string var = std::string("SQLOOP_BENCH_") + name;
+  if (const char* value = std::getenv(var.c_str())) {
+    return std::atoll(value);
+  }
+  return fallback;
+}
+
+/// One registered host holding a database per engine profile, with the
+/// same dataset loaded into each.
+class EngineFleet {
+ public:
+  explicit EngineFleet(const std::string& tag, const graph::Graph& graph,
+                       int64_t latency_us = -1, int64_t row_cost_ns = -1) {
+    host_ = "bench_" + tag;
+    // Defaults model the paper's testbed: a ~100us JDBC round trip and
+    // ~2us of server work per row examined, overlapped across connections
+    // (see DESIGN.md "Substitutions"). Override via env knobs.
+    latency_us_ = latency_us >= 0 ? latency_us : Knob("LATENCY_US", 100);
+    row_cost_ns_ = row_cost_ns >= 0 ? row_cost_ns : Knob("ROW_COST_NS", 3000);
+    dbc::DriverManager::RegisterHost(host_, &server_);
+    for (const auto& engine : Engines()) {
+      server_.CreateDatabase(engine,
+                             minidb::EngineProfile::ByName(engine));
+      auto conn = dbc::DriverManager::GetConnection(Url(engine));
+      graph::LoadEdges(*conn, graph);
+    }
+  }
+  ~EngineFleet() { dbc::DriverManager::RegisterHost(host_, nullptr); }
+
+  std::string Url(const std::string& engine) const {
+    return "minidb://" + host_ + "/" + engine +
+           "?latency_us=" + std::to_string(latency_us_) +
+           "&row_cost_ns=" + std::to_string(row_cost_ns_);
+  }
+
+ private:
+  minidb::Server server_;
+  std::string host_;
+  int64_t latency_us_ = 0;
+  int64_t row_cost_ns_ = 0;
+};
+
+struct TimedRun {
+  double seconds = 0;
+  core::RunStats stats;
+  dbc::ResultSet result;
+};
+
+inline core::SqloopOptions ModeOptions(core::ExecutionMode mode, int threads,
+                                       int partitions,
+                                       const std::string& workload) {
+  core::SqloopOptions options;
+  options.mode = mode;
+  options.threads = threads;
+  options.partitions = partitions;
+  if (mode == core::ExecutionMode::kAsyncPriority) {
+    if (workload == "pr") {
+      options.priority_query = core::workloads::PageRankPriorityQuery();
+      options.priority_descending = true;
+    } else if (workload == "dq") {
+      options.priority_query = core::workloads::DqPriorityQuery();
+      options.priority_descending = false;
+    } else {  // sssp
+      options.priority_query = core::workloads::SsspPriorityQuery();
+      options.priority_descending = false;
+    }
+  }
+  return options;
+}
+
+inline TimedRun RunQuery(const std::string& url,
+                         const core::SqloopOptions& options,
+                         const std::string& query) {
+  core::SqLoop loop(url, options);
+  Stopwatch watch;
+  TimedRun run;
+  run.result = loop.Execute(query);
+  run.seconds = watch.ElapsedSeconds();
+  run.stats = loop.last_run();
+  return run;
+}
+
+/// Convergence sample: (elapsed seconds, SUM(Rank) over the live view).
+struct ConvergencePoint {
+  double seconds;
+  double sum_of_rank;
+};
+
+/// Runs the query on a worker thread while the caller's thread samples
+/// SUM(rank) from the union view every `period_ms` (the paper's Fig. 4
+/// methodology).
+inline std::vector<ConvergencePoint> RunWithConvergenceSampling(
+    const std::string& url, core::SqloopOptions options,
+    const std::string& query, const std::string& view_name,
+    int period_ms, double* total_seconds) {
+  options.keep_result_tables = true;  // keep the view alive for sampling
+  std::vector<ConvergencePoint> samples;
+  std::atomic<bool> done{false};
+  Stopwatch watch;
+
+  std::thread runner([&] {
+    core::SqLoop loop(url, options);
+    loop.Execute(query);
+    done.store(true);
+  });
+
+  auto sampler_conn = dbc::DriverManager::GetConnection(url);
+  const std::string probe = "SELECT SUM(Rank) FROM " + view_name;
+  while (!done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(period_ms));
+    try {
+      const auto result = sampler_conn->ExecuteQuery(probe);
+      if (!result.rows.empty() && result.rows[0][0].is_numeric()) {
+        samples.push_back(
+            {watch.ElapsedSeconds(), result.rows[0][0].NumericAsDouble()});
+      }
+    } catch (const Error&) {
+      // View not created yet (or being torn down) — skip this sample.
+    }
+  }
+  runner.join();
+  if (total_seconds != nullptr) *total_seconds = watch.ElapsedSeconds();
+  // Final sample after completion.
+  try {
+    const auto result = sampler_conn->ExecuteQuery(probe);
+    if (!result.rows.empty() && result.rows[0][0].is_numeric()) {
+      samples.push_back(
+          {watch.ElapsedSeconds(), result.rows[0][0].NumericAsDouble()});
+    }
+  } catch (const Error&) {
+  }
+  return samples;
+}
+
+inline const char* ModeLabel(core::ExecutionMode mode) {
+  switch (mode) {
+    case core::ExecutionMode::kSingleThread:
+      return "SingleThread";
+    case core::ExecutionMode::kSync:
+      return "Sync";
+    case core::ExecutionMode::kAsync:
+      return "Async";
+    case core::ExecutionMode::kAsyncPriority:
+      return "AsyncP";
+  }
+  return "?";
+}
+
+}  // namespace sqloop::bench

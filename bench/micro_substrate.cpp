@@ -1,0 +1,163 @@
+// Micro-benchmarks for the substrate layers (google-benchmark): SQL
+// parsing, join/aggregation execution per engine profile, DML throughput,
+// recursive CTE evaluation, and connection round-trip overhead. These are
+// not paper figures — they size the building blocks the figures rest on.
+#include <benchmark/benchmark.h>
+
+#include "core/workloads.h"
+#include "dbc/driver.h"
+#include "graph/generators.h"
+#include "graph/loader.h"
+#include "minidb/executor.h"
+#include "minidb/server.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace {
+
+using namespace sqloop;
+
+void BM_ParsePageRankCte(benchmark::State& state) {
+  const std::string query = core::workloads::PageRankQuery(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::ParseStatement(query));
+  }
+}
+BENCHMARK(BM_ParsePageRankCte);
+
+void BM_PrintParsedStatement(benchmark::State& state) {
+  const auto stmt = sql::ParseStatement(core::workloads::PageRankQuery(100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::PrintStatement(*stmt, Dialect::kMySql));
+  }
+}
+BENCHMARK(BM_PrintParsedStatement);
+
+class EngineFixtureBase {
+ public:
+  explicit EngineFixtureBase(const std::string& engine)
+      : db_("bench", minidb::EngineProfile::ByName(engine)), exec_(db_) {
+    exec_.ExecuteSql(
+        "CREATE TABLE e (src BIGINT, dst BIGINT, w DOUBLE PRECISION)");
+    exec_.ExecuteSql("CREATE INDEX e_src ON e (src)");
+    exec_.ExecuteSql("CREATE INDEX e_dst ON e (dst)");
+    const auto g = graph::MakeWebGraph(2000, 4, 3);
+    for (const auto& edge : g.edges()) {
+      exec_.ExecuteSql("INSERT INTO e VALUES (" + std::to_string(edge.src) +
+                       "," + std::to_string(edge.dst) + "," +
+                       Value(edge.weight).ToSqlLiteral() + ")");
+    }
+  }
+
+  minidb::Database db_;
+  minidb::Executor exec_;
+};
+
+void BM_JoinAggregate(benchmark::State& state, const std::string& engine) {
+  EngineFixtureBase fixture(engine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.exec_.ExecuteSql(
+        "SELECT a.dst, SUM(b.w) FROM e AS a JOIN e AS b ON a.dst = b.src "
+        "GROUP BY a.dst"));
+  }
+}
+BENCHMARK_CAPTURE(BM_JoinAggregate, postgres, "postgres")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_JoinAggregate, mysql, "mysql")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_JoinAggregate, mariadb, "mariadb")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GroupByAggregate(benchmark::State& state, const std::string& engine) {
+  EngineFixtureBase fixture(engine);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.exec_.ExecuteSql(
+        "SELECT src, COUNT(*), SUM(w), AVG(w) FROM e GROUP BY src"));
+  }
+}
+BENCHMARK_CAPTURE(BM_GroupByAggregate, postgres, "postgres")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GroupByAggregate, mysql, "mysql")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UpdateFromSubquery(benchmark::State& state) {
+  minidb::Database db("bench", minidb::EngineProfile::Canonical());
+  minidb::Executor exec(db);
+  exec.ExecuteSql("CREATE TABLE r (id BIGINT PRIMARY KEY, d DOUBLE)");
+  exec.ExecuteSql("CREATE TABLE m (id BIGINT, v DOUBLE)");
+  for (int i = 0; i < 2000; ++i) {
+    exec.ExecuteSql("INSERT INTO r VALUES (" + std::to_string(i) + ", 0.0)");
+    exec.ExecuteSql("INSERT INTO m VALUES (" + std::to_string(i) + ", 0.5)");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.ExecuteSql(
+        "UPDATE r SET d = r.d + s.v FROM (SELECT id, SUM(v) AS v FROM m "
+        "GROUP BY id) AS s WHERE r.id = s.id"));
+  }
+}
+BENCHMARK(BM_UpdateFromSubquery)->Unit(benchmark::kMillisecond);
+
+void BM_RecursiveCte(benchmark::State& state) {
+  minidb::Database db("bench", minidb::EngineProfile::Postgres());
+  minidb::Executor exec(db);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.ExecuteSql(
+        "WITH RECURSIVE f (n, pn) AS (VALUES (0, 1) UNION ALL "
+        "SELECT n + pn, n FROM f WHERE n < 100000) SELECT COUNT(*) FROM f"));
+  }
+}
+BENCHMARK(BM_RecursiveCte);
+
+void BM_ConnectionRoundTrip(benchmark::State& state) {
+  static minidb::Server server;
+  static bool initialized = [] {
+    dbc::DriverManager::RegisterHost("bench_rt", &server);
+    server.CreateDatabase("db", minidb::EngineProfile::Postgres());
+    return true;
+  }();
+  (void)initialized;
+  auto conn = dbc::DriverManager::GetConnection(
+      "minidb://bench_rt/db?latency_us=" + std::to_string(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conn->ExecuteQuery("SELECT 1"));
+  }
+}
+BENCHMARK(BM_ConnectionRoundTrip)->Arg(0)->Arg(100)->Arg(500);
+
+void BM_BatchedInsertVsSingle(benchmark::State& state) {
+  static minidb::Server server;
+  static bool initialized = [] {
+    dbc::DriverManager::RegisterHost("bench_batch", &server);
+    server.CreateDatabase("db", minidb::EngineProfile::Postgres());
+    return true;
+  }();
+  (void)initialized;
+  auto conn = dbc::DriverManager::GetConnection(
+      "minidb://bench_batch/db?latency_us=100");
+  conn->Execute("DROP TABLE IF EXISTS t");
+  conn->Execute("CREATE UNLOGGED TABLE t (id BIGINT)");
+  const bool batched = state.range(0) != 0;
+  int64_t next = 0;
+  for (auto _ : state) {
+    if (batched) {
+      for (int i = 0; i < 64; ++i) {
+        conn->AddBatch("INSERT INTO t VALUES (" + std::to_string(next++) +
+                       ")");
+      }
+      conn->ExecuteBatch();
+    } else {
+      for (int i = 0; i < 64; ++i) {
+        conn->Execute("INSERT INTO t VALUES (" + std::to_string(next++) +
+                      ")");
+      }
+    }
+  }
+}
+BENCHMARK(BM_BatchedInsertVsSingle)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

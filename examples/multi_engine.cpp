@@ -1,0 +1,66 @@
+// The engine-independence claim (paper Fig. 1): the same iterative CTE
+// text runs unchanged against PostgreSQL-, MySQL-, and MariaDB-profile
+// engines — including one "remote" server registered under its own host
+// name — with SQLoop's translation module handling each dialect.
+//
+//   ./build/examples/multi_engine
+#include <iostream>
+
+#include "core/sqloop.h"
+#include "core/workloads.h"
+#include "dbc/driver.h"
+#include "graph/generators.h"
+#include "graph/loader.h"
+#include "minidb/server.h"
+
+int main() {
+  using namespace sqloop;
+
+  // Two "machines": localhost plus a second registered server.
+  static minidb::Server remote;
+  dbc::DriverManager::RegisterHost("analytics.example.com", &remote);
+
+  minidb::Server::Default().CreateDatabase(
+      "graphs_pg", minidb::EngineProfile::Postgres());
+  minidb::Server::Default().CreateDatabase(
+      "graphs_my", minidb::EngineProfile::MySql());
+  remote.CreateDatabase("graphs_maria", minidb::EngineProfile::MariaDb());
+
+  const graph::Graph g = graph::MakeWebGraph(800, 4, 99);
+
+  const std::string urls[] = {
+      "minidb://localhost/graphs_pg?engine=postgres",
+      "minidb://localhost/graphs_my?engine=mysql",
+      "minidb://analytics.example.com/graphs_maria?engine=mariadb",
+  };
+
+  for (const std::string& url : urls) {
+    auto conn = dbc::DriverManager::GetConnection(url);
+    graph::LoadEdges(*conn, g);  // engine-appropriate DDL under the hood
+
+    core::SqloopOptions options;
+    options.mode = core::ExecutionMode::kAsync;
+    options.partitions = 8;
+    options.threads = 2;
+    core::SqLoop loop(url, options);
+
+    // Identical query text on every engine — no dialect in sight.
+    const auto result = loop.Execute(core::workloads::PageRankQuery(5));
+    double sum = 0;
+    for (const auto& row : result.rows) sum += row[1].NumericAsDouble();
+
+    std::cout << url << "\n  engine=" << loop.connection().profile().name
+              << "  nodes=" << result.rows.size() << "  sum(rank)=" << sum
+              << "  time=" << loop.last_run().seconds << "s\n";
+
+    // Recursive CTEs too — emulated transparently where the engine lacks
+    // them (the MySQL 5.7 profile).
+    const auto fib = loop.Execute(
+        "WITH RECURSIVE f (n, pn) AS (VALUES (0, 1) UNION ALL "
+        "SELECT n + pn, n FROM f WHERE n < 100) SELECT MAX(n) FROM f");
+    std::cout << "  recursive CTE result: " << fib.rows[0][0].ToString()
+              << "\n";
+  }
+  dbc::DriverManager::RegisterHost("analytics.example.com", nullptr);
+  return 0;
+}

@@ -1,0 +1,268 @@
+// sqloop_shell — an interactive psql-style client for SQLoop.
+//
+// Usage:
+//   ./build/examples/sqloop_shell [url]
+//   echo "SELECT 1;" | ./build/examples/sqloop_shell
+//   ./build/examples/sqloop_shell -c "WITH ITERATIVE ...; SELECT ..."
+//
+// Without a URL it stands up a local postgres-profile database named
+// "shell". Statements end with ';'. Meta commands start with '\':
+//   \help                       this text
+//   \q                          quit
+//   \mode single|sync|async|asyncp   execution mode for iterative CTEs
+//   \threads N                  worker threads
+//   \partitions N               hash partitions
+//   \priority <sql> | off       AsyncP priority query ($PARTITION token)
+//   \asc | \desc                priority ordering
+//   \timing on|off              print wall-clock per statement
+//   \stats                      statistics of the last iterative run
+//   \tables                     list tables in the database
+//   \load web N DEG SEED        generate+load a web graph into `edges`
+//   \load ego C S P SEED        ... ego-net graph
+//   \load host H P L SEED       ... host graph
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "core/sqloop.h"
+#include "dbc/driver.h"
+#include "graph/generators.h"
+#include "graph/loader.h"
+#include "minidb/server.h"
+
+namespace {
+
+using namespace sqloop;
+
+constexpr size_t kMaxRowsShown = 40;
+
+void PrintResult(const dbc::ResultSet& result) {
+  if (result.columns.empty() && result.rows.empty()) {
+    std::cout << "OK";
+    if (result.affected_rows > 0) {
+      std::cout << " (" << result.affected_rows << " rows affected)";
+    }
+    std::cout << "\n";
+    return;
+  }
+  for (size_t c = 0; c < result.columns.size(); ++c) {
+    if (c > 0) std::cout << " | ";
+    std::cout << result.columns[c];
+  }
+  std::cout << "\n";
+  const size_t shown = std::min(result.rows.size(), kMaxRowsShown);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < result.rows[r].size(); ++c) {
+      if (c > 0) std::cout << " | ";
+      std::cout << result.rows[r][c].ToString();
+    }
+    std::cout << "\n";
+  }
+  if (result.rows.size() > shown) {
+    std::cout << "... (" << result.rows.size() - shown << " more rows)\n";
+  }
+  std::cout << "(" << result.rows.size() << " rows)\n";
+}
+
+void PrintStats(const core::RunStats& stats) {
+  std::cout << "mode=" << core::ExecutionModeName(stats.mode_used)
+            << " parallelized=" << (stats.parallelized ? "yes" : "no")
+            << " iterations=" << stats.iterations
+            << " updates=" << stats.total_updates
+            << " compute_tasks=" << stats.compute_tasks
+            << " gather_tasks=" << stats.gather_tasks
+            << " messages=" << stats.message_tables
+            << " skipped=" << stats.skipped_tasks << " time="
+            << stats.seconds << "s\n";
+  if (!stats.fallback_reason.empty()) {
+    std::cout << "fallback: " << stats.fallback_reason << "\n";
+  }
+}
+
+class Shell {
+ public:
+  explicit Shell(const std::string& url) : loop_(url) {
+    loop_.mutable_options().partitions = 16;
+    loop_.mutable_options().threads = 4;
+  }
+
+  /// Returns false when the shell should exit.
+  bool HandleMeta(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    auto& options = loop_.mutable_options();
+    if (cmd == "\\q" || cmd == "\\quit") return false;
+    if (cmd == "\\help") {
+      std::cout << "statements end with ';' — \\q quits; see the header "
+                   "comment of sqloop_shell.cpp for all meta commands\n";
+    } else if (cmd == "\\mode") {
+      std::string mode;
+      in >> mode;
+      if (mode == "single") {
+        options.mode = core::ExecutionMode::kSingleThread;
+      } else if (mode == "sync") {
+        options.mode = core::ExecutionMode::kSync;
+      } else if (mode == "async") {
+        options.mode = core::ExecutionMode::kAsync;
+      } else if (mode == "asyncp") {
+        options.mode = core::ExecutionMode::kAsyncPriority;
+      } else {
+        std::cout << "unknown mode '" << mode << "'\n";
+        return true;
+      }
+      std::cout << "mode = " << core::ExecutionModeName(options.mode)
+                << "\n";
+    } else if (cmd == "\\threads") {
+      in >> options.threads;
+      std::cout << "threads = " << options.ResolveThreads() << "\n";
+    } else if (cmd == "\\partitions") {
+      in >> options.partitions;
+      std::cout << "partitions = " << options.partitions << "\n";
+    } else if (cmd == "\\priority") {
+      std::string rest;
+      std::getline(in, rest);
+      while (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      if (rest == "off") {
+        options.priority_query.clear();
+        std::cout << "priority query cleared\n";
+      } else {
+        options.priority_query = rest;
+        std::cout << "priority query set\n";
+      }
+    } else if (cmd == "\\asc") {
+      options.priority_descending = false;
+    } else if (cmd == "\\desc") {
+      options.priority_descending = true;
+    } else if (cmd == "\\timing") {
+      std::string flag;
+      in >> flag;
+      timing_ = flag != "off";
+      std::cout << "timing " << (timing_ ? "on" : "off") << "\n";
+    } else if (cmd == "\\stats") {
+      PrintStats(loop_.last_run());
+    } else if (cmd == "\\tables") {
+      for (const auto& name : loop_.connection().database().TableNames()) {
+        std::cout << name << "\n";
+      }
+    } else if (cmd == "\\load") {
+      LoadGraph(in);
+    } else {
+      std::cout << "unknown meta command '" << cmd << "' (try \\help)\n";
+    }
+    return true;
+  }
+
+  void RunStatement(const std::string& sql) {
+    try {
+      const Stopwatch watch;
+      const auto result = loop_.Execute(sql);
+      PrintResult(result);
+      if (timing_) {
+        std::cout << "Time: " << watch.ElapsedMillis() << " ms\n";
+      }
+    } catch (const Error& e) {
+      std::cout << "ERROR: " << e.what() << "\n";
+    }
+  }
+
+ private:
+  void LoadGraph(std::istringstream& in) {
+    std::string kind;
+    in >> kind;
+    try {
+      graph::Graph g;
+      if (kind == "web") {
+        int64_t n = 1000, deg = 4, seed = 1;
+        in >> n >> deg >> seed;
+        g = graph::MakeWebGraph(n, static_cast<int>(deg),
+                                static_cast<uint64_t>(seed));
+      } else if (kind == "ego") {
+        int64_t c = 10, s = 20, seed = 1;
+        double p = 0.2;
+        in >> c >> s >> p >> seed;
+        g = graph::MakeEgoNetGraph(c, s, p, static_cast<uint64_t>(seed));
+      } else if (kind == "host") {
+        int64_t h = 20, p = 8, l = 50, seed = 1;
+        in >> h >> p >> l >> seed;
+        g = graph::MakeHostGraph(h, p, l, static_cast<uint64_t>(seed));
+      } else {
+        std::cout << "unknown graph kind '" << kind
+                  << "' (web | ego | host)\n";
+        return;
+      }
+      auto conn = dbc::DriverManager::GetConnection(loop_.url());
+      graph::LoadEdges(*conn, g);
+      std::cout << "loaded " << g.edge_count() << " edges over "
+                << g.NodeCount() << " nodes into `edges`\n";
+    } catch (const Error& e) {
+      std::cout << "ERROR: " << e.what() << "\n";
+    }
+  }
+
+  core::SqLoop loop_;
+  bool timing_ = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string url;
+  std::string inline_sql;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-c" && i + 1 < argc) {
+      inline_sql = argv[++i];
+    } else {
+      url = arg;
+    }
+  }
+  if (url.empty()) {
+    minidb::Server::Default().CreateDatabase(
+        "shell", minidb::EngineProfile::Postgres());
+    url = "minidb://localhost/shell";
+  }
+
+  try {
+    Shell shell(url);
+    if (!inline_sql.empty()) {
+      std::string statement;
+      std::istringstream in(inline_sql);
+      std::string piece;
+      while (std::getline(in, piece, ';')) {
+        if (piece.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+        shell.RunStatement(piece);
+      }
+      return 0;
+    }
+
+    const auto is_blank = [](const std::string& text) {
+      return text.find_first_not_of(" \t\r\n") == std::string::npos;
+    };
+    std::string buffer;
+    std::string line;
+    std::cout << "sqloop> " << std::flush;
+    while (std::getline(std::cin, line)) {
+      if (is_blank(buffer) && !line.empty() && line[0] == '\\') {
+        if (!shell.HandleMeta(line)) break;
+        std::cout << "sqloop> " << std::flush;
+        continue;
+      }
+      buffer += line + "\n";
+      size_t semi;
+      while ((semi = buffer.find(';')) != std::string::npos) {
+        const std::string sql = buffer.substr(0, semi);
+        buffer = buffer.substr(semi + 1);
+        if (!is_blank(sql)) shell.RunStatement(sql);
+      }
+      if (is_blank(buffer)) buffer.clear();
+      std::cout << (buffer.empty() ? "sqloop> " : "   ...> ") << std::flush;
+    }
+    return 0;
+  } catch (const sqloop::Error& e) {
+    std::cerr << "fatal: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,70 @@
+// A tour of every termination-condition type in Table I, on one small
+// dataset — metadata, data-value, and delta-based conditions.
+//
+//   ./build/examples/termination_tour
+#include <iostream>
+
+#include "common/error.h"
+#include "core/sqloop.h"
+#include "dbc/driver.h"
+#include "graph/generators.h"
+#include "graph/loader.h"
+#include "minidb/server.h"
+
+namespace {
+
+std::string GrowthCte(const std::string& until) {
+  // Balances converge toward 500 (30% of the gap per iteration), so both
+  // the values and the per-iteration movement are interesting to test:
+  // values grow, movement decays.
+  return "WITH ITERATIVE b (id, bal) AS ("
+         "  SELECT id, start FROM accounts"
+         "  ITERATE SELECT id, bal + (500 - bal) * 0.3 FROM b"
+         "  UNTIL " + until +
+         ") SELECT MAX(bal) FROM b";
+}
+
+}  // namespace
+
+int main() {
+  using namespace sqloop;
+  minidb::Server::Default().CreateDatabase(
+      "tour", minidb::EngineProfile::Postgres());
+  core::SqLoop loop("minidb://localhost/tour");
+  loop.Execute("CREATE TABLE accounts (id BIGINT PRIMARY KEY, "
+               "start DOUBLE PRECISION)");
+  loop.Execute("INSERT INTO accounts VALUES (1, 100.0), (2, 150.0)");
+
+  const struct {
+    const char* label;
+    std::string until;
+  } cases[] = {
+      {"metadata: n ITERATIONS", "5 ITERATIONS"},
+      {"metadata: n UPDATES (stops when the balances stop moving in "
+       "double precision)",
+       "0 UPDATES"},
+      {"data: expr over all rows", "(SELECT id FROM b WHERE bal > 400)"},
+      {"data: ANY expr", "ANY (SELECT id FROM b WHERE bal > 400)"},
+      {"data: expr compared to e", "(SELECT MAX(bal) FROM b) > 490"},
+      {"delta: all rows moved less than e",
+       "DELTA (SELECT n.id FROM b AS n JOIN b_delta AS o ON n.id = o.id "
+       "WHERE n.bal - o.bal < 20)"},
+      {"delta: ANY row moved less than e",
+       "ANY DELTA (SELECT n.id FROM b AS n JOIN b_delta AS o ON n.id = o.id "
+       "WHERE n.bal - o.bal < 5)"},
+  };
+
+  for (const auto& c : cases) {
+    // `1 UPDATES` never fires for this always-changing query; cap safely.
+    loop.mutable_options().max_iterations_guard = 400;
+    try {
+      const auto result = loop.Execute(GrowthCte(c.until));
+      std::cout << c.label << "\n  -> stopped after "
+                << loop.last_run().iterations << " iterations, max balance "
+                << result.rows[0][0].ToString() << "\n";
+    } catch (const Error& e) {
+      std::cout << c.label << "\n  -> " << e.what() << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Error types shared across all SQLoop modules.
+//
+// The library reports failures with exceptions (RAII everywhere makes this
+// safe); each subsystem throws a subclass of `sqloop::Error` so callers can
+// distinguish user mistakes (bad SQL) from engine-side faults.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sqloop {
+
+/// Root of the SQLoop exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// The submitted SQL text could not be tokenized or parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& message)
+      : Error("parse error: " + message) {}
+};
+
+/// The statement parsed but refers to unknown tables/columns, has a type
+/// mismatch, or violates a semantic rule (e.g. aggregate misuse).
+class AnalysisError : public Error {
+ public:
+  explicit AnalysisError(const std::string& message)
+      : Error("analysis error: " + message) {}
+};
+
+/// A fault raised while executing a statement inside the database engine.
+class ExecutionError : public Error {
+ public:
+  explicit ExecutionError(const std::string& message)
+      : Error("execution error: " + message) {}
+};
+
+/// Connectivity-layer fault: bad URL, closed connection, unknown database.
+class ConnectionError : public Error {
+ public:
+  explicit ConnectionError(const std::string& message)
+      : Error("connection error: " + message) {}
+};
+
+/// Misuse of a SQLoop API (precondition violation by the caller).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& message)
+      : Error("usage error: " + message) {}
+};
+
+}  // namespace sqloop

@@ -1,0 +1,59 @@
+// Minimal leveled logger. Quiet by default so test and bench output stays
+// clean; benches raise the level with --verbose.
+#pragma once
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace sqloop {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& Instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) noexcept { level_.store(level); }
+  LogLevel level() const noexcept { return level_.load(); }
+
+  void Write(LogLevel level, const std::string& message) {
+    if (level < level_.load()) return;
+    static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    const std::scoped_lock lock(mutex_);
+    std::cerr << "[sqloop " << kNames[static_cast<int>(level)] << "] "
+              << message << '\n';
+  }
+
+ private:
+  Logger() = default;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex mutex_;
+};
+
+namespace log_detail {
+inline void Emit(LogLevel level, std::ostringstream& stream) {
+  Logger::Instance().Write(level, stream.str());
+}
+}  // namespace log_detail
+
+#define SQLOOP_LOG(level_enum, expr)                                     \
+  do {                                                                   \
+    if ((level_enum) >= ::sqloop::Logger::Instance().level()) {          \
+      std::ostringstream sqloop_log_stream;                              \
+      sqloop_log_stream << expr;                                         \
+      ::sqloop::log_detail::Emit((level_enum), sqloop_log_stream);       \
+    }                                                                    \
+  } while (0)
+
+#define SQLOOP_DEBUG(expr) SQLOOP_LOG(::sqloop::LogLevel::kDebug, expr)
+#define SQLOOP_INFO(expr) SQLOOP_LOG(::sqloop::LogLevel::kInfo, expr)
+#define SQLOOP_WARN(expr) SQLOOP_LOG(::sqloop::LogLevel::kWarn, expr)
+#define SQLOOP_ERROR(expr) SQLOOP_LOG(::sqloop::LogLevel::kError, expr)
+
+}  // namespace sqloop

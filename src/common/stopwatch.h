@@ -1,0 +1,25 @@
+// Monotonic stopwatch used by the benchmark harness and convergence sampler.
+#pragma once
+
+#include <chrono>
+
+namespace sqloop {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void Restart() noexcept { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const noexcept { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sqloop

@@ -1,0 +1,32 @@
+// Small string helpers used by the lexer, printer, and translators.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqloop::strings {
+
+/// ASCII lower-casing (SQL identifiers/keywords are case-insensitive).
+std::string ToLower(std::string_view text);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view text);
+
+/// Case-insensitive equality for ASCII text.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Splits on a separator character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char separator);
+
+/// Joins the pieces with the given separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// True if `text` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace sqloop::strings

@@ -1,0 +1,62 @@
+#include "common/thread_pool.h"
+
+namespace sqloop {
+
+ThreadPool::ThreadPool(size_t worker_count,
+                       std::function<void(size_t)> on_worker_start) {
+  workers_.reserve(worker_count);
+  for (size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back(
+        [this, i, on_worker_start] { WorkerLoop(i, on_worker_start); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  // std::jthread joins on destruction.
+}
+
+std::future<void> ThreadPool::Submit(std::function<void(size_t)> task) {
+  std::packaged_task<void(size_t)> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_tasks_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(
+    size_t worker_index, const std::function<void(size_t)>& on_worker_start) {
+  if (on_worker_start) on_worker_start(worker_index);
+  while (true) {
+    std::packaged_task<void(size_t)> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_tasks_;
+    }
+    task(worker_index);
+    {
+      const std::scoped_lock lock(mutex_);
+      --active_tasks_;
+      if (queue_.empty() && active_tasks_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace sqloop

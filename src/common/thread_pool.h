@@ -1,0 +1,53 @@
+// Fixed-size worker pool. The SQLoop parallel engine submits Compute/Gather
+// tasks here; each worker owns one database connection for its lifetime
+// (the paper's "thread pool where each thread opens a new connection").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sqloop {
+
+class ThreadPool {
+ public:
+  /// Spawns `worker_count` threads. If `on_worker_start` is provided it runs
+  /// once on each worker before any task (used to open per-worker
+  /// connections); its argument is the worker index in [0, worker_count).
+  explicit ThreadPool(size_t worker_count,
+                      std::function<void(size_t)> on_worker_start = {});
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains queued tasks and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. The task receives the index of the worker running it,
+  /// so it can look up that worker's connection.
+  std::future<void> Submit(std::function<void(size_t)> task);
+
+  /// Blocks until every submitted task has finished and the queue is empty.
+  void WaitIdle();
+
+  size_t worker_count() const noexcept { return workers_.size(); }
+
+ private:
+  void WorkerLoop(size_t worker_index,
+                  const std::function<void(size_t)>& on_worker_start);
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::packaged_task<void(size_t)>> queue_;
+  size_t active_tasks_ = 0;
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace sqloop

@@ -1,0 +1,73 @@
+// User-facing knobs and run statistics for the SQLoop middleware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace sqloop::core {
+
+/// Parallel execution policy (paper §V-E).
+enum class ExecutionMode {
+  kSingleThread,    // the §IV-B baseline loop, no partitioning
+  kSync,            // two-phase Compute/Gather with a barrier per phase
+  kAsync,           // Gather-then-Compute per partition, no barrier
+  kAsyncPriority,   // Async with a user-priority scheduling order
+};
+
+const char* ExecutionModeName(ExecutionMode mode) noexcept;
+
+struct SqloopOptions {
+  ExecutionMode mode = ExecutionMode::kSync;
+
+  /// Worker threads (each opens its own connection). 0 = the paper's
+  /// default of half the available CPUs (§V-B).
+  int threads = 0;
+
+  /// Number of hash partitions of the CTE table. The paper defaults to
+  /// 256 "to take advantage of the asynchronous techniques".
+  int partitions = 256;
+
+  /// AsyncP only: per-partition priority query. `$PARTITION` is replaced
+  /// by the partition table name; the query must return one scalar. NULL
+  /// means "this partition has no useful work right now".
+  std::string priority_query;
+
+  /// AsyncP only: true = larger priority value runs first (PageRank's
+  /// sum-of-delta); false = smaller runs first (SSSP's min-distance).
+  bool priority_descending = true;
+
+  /// Materialize the constant part of the iterative join per partition
+  /// (Rmjoin, paper §V-B). Disable only to measure its effect — the
+  /// ablation benchmark does.
+  bool materialize_constant_join = true;
+
+  /// Safety net for UNTIL conditions that never trigger.
+  int64_t max_iterations_guard = 1000000;
+
+  /// Keep the result view/partitions after the query (benches sample them).
+  bool keep_result_tables = false;
+
+  int ResolveThreads() const {
+    if (threads > 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 2 ? static_cast<int>(hw / 2) : 1;
+  }
+};
+
+/// What actually happened during the last Execute() — used by tests,
+/// benches, and the EXPERIMENTS.md tables.
+struct RunStats {
+  ExecutionMode mode_used = ExecutionMode::kSingleThread;
+  bool parallelized = false;
+  std::string fallback_reason;  // why the parallel path was not taken
+  int64_t iterations = 0;       // rounds executed
+  uint64_t total_updates = 0;   // changed rows across all statements
+  uint64_t compute_tasks = 0;
+  uint64_t gather_tasks = 0;
+  uint64_t message_tables = 0;
+  uint64_t skipped_tasks = 0;   // AsyncP partitions skipped as unproductive
+  double seconds = 0;
+};
+
+}  // namespace sqloop::core

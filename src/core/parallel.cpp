@@ -1,0 +1,939 @@
+#include "core/parallel.h"
+
+#include "core/schema_infer.h"
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "dbc/driver.h"
+#include "minidb/schema.h"
+
+namespace sqloop::core {
+namespace {
+
+using minidb::FoldIdentifier;
+
+std::string ReplaceAll(std::string text, const std::string& needle,
+                       const std::string& replacement) {
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    text.replace(pos, needle.size(), replacement);
+    pos += replacement.size();
+  }
+  return text;
+}
+
+/// Identity element of the aggregate's accumulation (paper §V-D).
+Value AggregateIdentity(sql::AggFunc f) {
+  switch (f) {
+    case sql::AggFunc::kSum:
+    case sql::AggFunc::kCount:
+    case sql::AggFunc::kAvg:
+      return Value(0.0);
+    case sql::AggFunc::kMin:
+      return Value(std::numeric_limits<double>::infinity());
+    case sql::AggFunc::kMax:
+      return Value(-std::numeric_limits<double>::infinity());
+  }
+  throw UsageError("unknown aggregate");
+}
+
+/// The aggregate the Gather side applies to partial message values —
+/// COUNT partials are combined with SUM (paper §V-D).
+sql::AggFunc GatherAggregate(sql::AggFunc f) {
+  switch (f) {
+    case sql::AggFunc::kSum:
+    case sql::AggFunc::kCount:
+      return sql::AggFunc::kSum;
+    case sql::AggFunc::kMin:
+      return sql::AggFunc::kMin;
+    case sql::AggFunc::kMax:
+      return sql::AggFunc::kMax;
+    case sql::AggFunc::kAvg:
+      break;  // AVG gathers SUM/COUNT pairs; handled separately
+  }
+  throw UsageError("GatherAggregate not defined for AVG");
+}
+
+// Hidden accumulator columns backing parallel AVG (paper §V-D: a Gather
+// needs both the SUM and the COUNT to accumulate averages).
+constexpr const char* kAvgSumColumn = "sqloop_avg_sum";
+constexpr const char* kAvgCntColumn = "sqloop_avg_cnt";
+
+// Hidden send-gating column for MIN/MAX workloads: the DAIC model only
+// propagates *changed* deltas, so a row re-sends only after a gather
+// improved it (otherwise converged regions would message forever and
+// AsyncP could never skip them). 1 = changed since the last Compute.
+constexpr const char* kDirtyColumn = "sqloop_dirty";
+
+// Dispatch tracing for scheduler debugging (SQLOOP_SCHED_TRACE=1).
+const bool kSchedulerTrace = std::getenv("SQLOOP_SCHED_TRACE") != nullptr;
+
+}  // namespace
+
+ParallelRunner::ParallelRunner(std::string url, dbc::Connection& master,
+                               const sql::WithClause& with,
+                               const CteAnalysis& analysis,
+                               std::vector<sql::ColumnDef> schema,
+                               const SqloopOptions& options, RunStats& stats)
+    : url_(std::move(url)),
+      master_(master),
+      with_(with),
+      analysis_(analysis),
+      options_(options),
+      stats_(stats),
+      translator_(Translator::For(master)),
+      schema_(std::move(schema)),
+      checker_(with.termination, translator_, analysis.cte_name),
+      partitions_(static_cast<size_t>(std::max(options.partitions, 1))),
+      base_(analysis.cte_name) {
+  consumed_.assign(partitions_, 0);
+  priorities_.assign(partitions_, std::nullopt);
+  priority_known_.assign(partitions_, false);
+
+  // Message table layout (paper §V-C/§V-D), plus an indexed target-
+  // partition column so each Gather reads only its own rows ("indexes on
+  // all tables ... ensure that unnecessary scans will be avoided", §V-C).
+  message_schema_.push_back({"id", schema_[0].type, ""});
+  if (analysis_.aggregate == sql::AggFunc::kAvg) {
+    message_schema_.push_back({"sval", ValueType::kDouble, ""});
+    message_schema_.push_back({"cval", ValueType::kInt64, ""});
+  } else {
+    message_schema_.push_back({"val", ValueType::kDouble, ""});
+  }
+  message_schema_.push_back({"target_pt", ValueType::kInt64, ""});
+}
+
+std::string ParallelRunner::PartitionTable(size_t k) const {
+  return base_ + "_pt" + std::to_string(k);
+}
+
+std::string ParallelRunner::MjoinTable(size_t k) const {
+  return base_ + "_mj" + std::to_string(k);
+}
+
+// ---------------------------------------------------------------------------
+// Setup
+// ---------------------------------------------------------------------------
+
+void ParallelRunner::DropLeftovers() {
+  master_.Execute("DROP VIEW IF EXISTS " + translator_.Quote(base_));
+  master_.AddBatch(translator_.DropTableSql(base_));
+  master_.AddBatch(translator_.DropTableSql(base_ + "_seed"));
+  master_.AddBatch(translator_.DropTableSql(base_ + "_delta"));
+  for (size_t k = 0; k < partitions_; ++k) {
+    master_.AddBatch(translator_.DropTableSql(PartitionTable(k)));
+    master_.AddBatch(translator_.DropTableSql(MjoinTable(k)));
+  }
+  master_.ExecuteBatch();
+}
+
+void ParallelRunner::CreatePartitions() {
+  const std::string staging = base_ + "_seed";
+  master_.Execute(translator_.CreateTableSql(staging, schema_, -1));
+  master_.Execute("INSERT INTO " + translator_.Quote(staging) + " " +
+                  translator_.Render(*with_.seed));
+
+  // Partition schema: declared columns (+ hidden accumulator/gating
+  // columns depending on the aggregate).
+  std::vector<sql::ColumnDef> partition_schema = schema_;
+  const bool avg = analysis_.aggregate == sql::AggFunc::kAvg;
+  const bool minmax = analysis_.aggregate == sql::AggFunc::kMin ||
+                      analysis_.aggregate == sql::AggFunc::kMax;
+  if (avg) {
+    partition_schema.push_back({kAvgSumColumn, ValueType::kDouble, ""});
+    partition_schema.push_back({kAvgCntColumn, ValueType::kInt64, ""});
+  }
+  if (minmax) {
+    partition_schema.push_back({kDirtyColumn, ValueType::kInt64, ""});
+  }
+
+  std::string column_list = "(";
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    if (c > 0) column_list += ", ";
+    column_list += translator_.Quote(schema_[c].name);
+  }
+  column_list += ")";
+
+  const std::string key = translator_.Quote(schema_[0].name);
+  const std::string p = std::to_string(partitions_);
+  for (size_t k = 0; k < partitions_; ++k) {
+    master_.AddBatch(translator_.CreateTableSql(PartitionTable(k),
+                                                partition_schema,
+                                                /*primary_key_index=*/0));
+    // Hash partitioning on Rid (paper §V-B): ((key % P) + P) % P == k.
+    master_.AddBatch("INSERT INTO " + translator_.Quote(PartitionTable(k)) +
+                     " " + column_list + " SELECT * FROM " +
+                     translator_.Quote(staging) + " WHERE ((" + key + " % " +
+                     p + ") + " + p + ") % " + p + " = " +
+                     std::to_string(k));
+    if (avg) {
+      master_.AddBatch("UPDATE " + translator_.Quote(PartitionTable(k)) +
+                       " SET " + std::string(kAvgSumColumn) + " = 0, " +
+                       std::string(kAvgCntColumn) + " = 0");
+    }
+    if (minmax) {
+      // Everything is "changed" at the start: the seed values have never
+      // been sent.
+      master_.AddBatch("UPDATE " + translator_.Quote(PartitionTable(k)) +
+                       " SET " + std::string(kDirtyColumn) + " = 1");
+    }
+  }
+  master_.AddBatch(translator_.DropTableSql(staging));
+  master_.ExecuteBatch();
+}
+
+void ParallelRunner::CreateUnionView() {
+  // R becomes a view of Rpt1 ∪ Rpt2 ∪ ... (paper §V-B), exposing exactly
+  // the declared CTE columns (hidden AVG accumulators stay hidden).
+  auto view_select = std::make_unique<sql::SelectStmt>();
+  for (size_t k = 0; k < partitions_; ++k) {
+    sql::SelectCore core;
+    for (const auto& def : schema_) {
+      core.items.push_back({sql::MakeColumnRef("", def.name), ""});
+    }
+    core.from = sql::MakeBaseTable(PartitionTable(k));
+    if (k > 0) view_select->set_ops.push_back(sql::SetOp::kUnionAll);
+    view_select->cores.push_back(std::move(core));
+  }
+  sql::Statement create;
+  create.kind = sql::StatementKind::kCreateView;
+  create.table_name = base_;
+  create.view_select = std::move(view_select);
+  master_.Execute(translator_.Render(create));
+}
+
+void ParallelRunner::MaterializeConstantJoins() {
+  if (!options_.materialize_constant_join) return;  // ablation knob
+  // Rmjoin (paper §V-B): the join's constant side — the bridging relation
+  // filtered to rows whose from-key lives in the partition, projected to
+  // the columns Ri actually uses.
+  std::vector<sql::ColumnDef> mjoin_schema = InferTableColumns(
+      master_, translator_, analysis_.mid_table, analysis_.mid_columns_used);
+
+  std::string projection;
+  for (size_t c = 0; c < analysis_.mid_columns_used.size(); ++c) {
+    if (c > 0) projection += ", ";
+    projection += "m." + translator_.Quote(analysis_.mid_columns_used[c]);
+  }
+
+  for (size_t k = 0; k < partitions_; ++k) {
+    const std::string mjoin = MjoinTable(k);
+    master_.AddBatch(translator_.CreateTableSql(mjoin, mjoin_schema, -1));
+    master_.AddBatch(
+        "INSERT INTO " + translator_.Quote(mjoin) + " SELECT " + projection +
+        " FROM " + translator_.Quote(analysis_.mid_table) + " AS m JOIN " +
+        translator_.Quote(PartitionTable(k)) + " AS r ON m." +
+        translator_.Quote(analysis_.mid_from_key) + " = r." +
+        translator_.Quote(schema_[0].name));
+    // Index the scan key so the message query can do index nested loops
+    // on MySQL-style engines (paper §V-C: "indexes on all tables").
+    master_.AddBatch("CREATE INDEX " +
+                     translator_.Quote(mjoin + "_from") + " ON " +
+                     translator_.Quote(mjoin) + " (" +
+                     translator_.Quote(analysis_.mid_from_key) + ")");
+    if (k % 16 == 15) master_.ExecuteBatch();
+  }
+  master_.ExecuteBatch();
+}
+
+void ParallelRunner::BuildTaskSql() {
+  const bool avg = analysis_.aggregate == sql::AggFunc::kAvg;
+  const bool keep_delta = analysis_.aggregate == sql::AggFunc::kMin ||
+                          analysis_.aggregate == sql::AggFunc::kMax;
+  const std::string key = schema_[0].name;
+
+  message_select_.resize(partitions_);
+  update_sql_.resize(partitions_);
+
+  for (size_t k = 0; k < partitions_; ++k) {
+    const std::string pt = PartitionTable(k);
+
+    // Step 1 of Compute: the message query — Ridelta computed from the
+    // partition's own rows joined with its materialized constant join.
+    // (Runs before the own-column update; the workloads' message
+    // expressions read Delta or LEAST(own, Delta), both invariant under
+    // that update.)
+    {
+      auto select = std::make_unique<sql::SelectStmt>();
+      sql::SelectCore core;
+      core.items.push_back(
+          {sql::MakeColumnRef(analysis_.mid_alias, analysis_.mid_to_key),
+           "id"});
+      if (avg) {
+        const sql::Expr* agg = nullptr;
+        {
+          std::vector<const sql::Expr*> aggs;
+          minidb::CollectAggregates(*analysis_.delta_expr, aggs);
+          agg = aggs.at(0);
+        }
+        core.items.push_back({sql::MakeAggregate(sql::AggFunc::kSum,
+                                                 agg->args[0]->Clone()),
+                              "sval"});
+        core.items.push_back({sql::MakeAggregate(sql::AggFunc::kCount,
+                                                 agg->args[0]->Clone()),
+                              "cval"});
+      } else {
+        core.items.push_back({analysis_.delta_expr->Clone(), "val"});
+      }
+      const std::string join_source = options_.materialize_constant_join
+                                          ? MjoinTable(k)
+                                          : analysis_.mid_table;
+      core.from = sql::MakeJoin(
+          sql::JoinKind::kInner,
+          sql::MakeBaseTable(pt, analysis_.self_alias),
+          sql::MakeBaseTable(join_source, analysis_.mid_alias),
+          sql::MakeBinary(
+              sql::BinaryOp::kEq,
+              sql::MakeColumnRef(analysis_.self_alias, key),
+              sql::MakeColumnRef(analysis_.mid_alias,
+                                 analysis_.mid_from_key)));
+      {
+        // target_pt = ((to_key % P) + P) % P — which partition owns the row.
+        const auto p_lit = [&] {
+          return sql::MakeLiteral(
+              Value(static_cast<int64_t>(partitions_)));
+        };
+        auto mod = sql::MakeBinary(
+            sql::BinaryOp::kMod,
+            sql::MakeBinary(
+                sql::BinaryOp::kAdd,
+                sql::MakeBinary(sql::BinaryOp::kMod,
+                                sql::MakeColumnRef(analysis_.mid_alias,
+                                                   analysis_.mid_to_key),
+                                p_lit()),
+                p_lit()),
+            p_lit());
+        core.items.push_back({std::move(mod), "target_pt"});
+      }
+      if (analysis_.where != nullptr) core.where = analysis_.where->Clone();
+      if (keep_delta) {
+        // MIN/MAX: only rows whose delta improved since the last Compute
+        // have anything new to say (DAIC change propagation).
+        core.where = sql::AndTogether(
+            std::move(core.where),
+            sql::MakeBinary(sql::BinaryOp::kEq,
+                            sql::MakeColumnRef(analysis_.self_alias,
+                                               kDirtyColumn),
+                            sql::MakeLiteral(Value(int64_t{1}))));
+      }
+      core.group_by.push_back(
+          sql::MakeColumnRef(analysis_.mid_alias, analysis_.mid_to_key));
+      select->cores.push_back(std::move(core));
+      message_select_[k] = translator_.Render(*select);
+    }
+
+    // Step 2 of Compute, combined: update the partition's own columns and
+    // reset the delta to the aggregate's identity — one statement, one
+    // table scan. MIN/MAX deltas are NOT reset: their accumulation is
+    // idempotent, and resetting would make freshly gathered (identical)
+    // minima count as row updates forever, so `UNTIL n UPDATES` could
+    // never trigger on cyclic graphs.
+    {
+      sql::Statement update;
+      update.kind = sql::StatementKind::kUpdate;
+      update.table_name = pt;
+      update.update_alias = analysis_.primary_alias;
+      for (const auto& own : analysis_.own_columns) {
+        update.set_items.emplace_back(own.name, own.expr->Clone());
+      }
+      if (!keep_delta) {
+        update.set_items.emplace_back(
+            analysis_.delta_column,
+            sql::MakeLiteral(AggregateIdentity(analysis_.aggregate)));
+        if (avg) {
+          update.set_items.emplace_back(kAvgSumColumn,
+                                        sql::MakeLiteral(Value(0.0)));
+          update.set_items.emplace_back(kAvgCntColumn,
+                                        sql::MakeLiteral(Value(int64_t{0})));
+        }
+      } else {
+        // The messages just sent cover everything changed so far.
+        update.set_items.emplace_back(kDirtyColumn,
+                                      sql::MakeLiteral(Value(int64_t{0})));
+      }
+      if (!update.set_items.empty()) {
+        update_sql_[k] = translator_.Render(update);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tasks
+// ---------------------------------------------------------------------------
+
+uint64_t ParallelRunner::RunCompute(size_t partition, dbc::Connection& conn) {
+  uint64_t updates = 0;
+
+  const uint64_t seq = message_seq_.fetch_add(1);
+  const std::string msg = base_ + "_msg" + std::to_string(seq);
+  conn.Execute(translator_.CreateTableSql(msg, message_schema_, -1));
+  const size_t produced = conn.ExecuteUpdate(
+      "INSERT INTO " + translator_.Quote(msg) + " " +
+      message_select_[partition]);
+  if (produced > 0) {
+    conn.Execute("CREATE INDEX " + translator_.Quote(msg + "_t") + " ON " +
+                 translator_.Quote(msg) + " (target_pt)");
+    std::vector<size_t> targets;
+    if (options_.mode == ExecutionMode::kAsyncPriority) {
+      // Record which partitions this table addresses so idle partitions
+      // can be skipped safely (paper SV-E: avoid unproductive tasks).
+      const auto result = conn.ExecuteQuery(
+          "SELECT DISTINCT target_pt FROM " + translator_.Quote(msg));
+      targets.reserve(result.rows.size());
+      for (const auto& row : result.rows) {
+        targets.push_back(static_cast<size_t>(row[0].as_int()));
+      }
+      std::sort(targets.begin(), targets.end());
+    }
+    RegisterMessageTable(msg, std::move(targets));
+  } else {
+    conn.Execute(translator_.DropTableSql(msg));
+  }
+
+  if (!update_sql_[partition].empty()) {
+    updates += conn.ExecuteUpdate(update_sql_[partition]);
+  }
+  compute_tasks_.fetch_add(1);
+  return updates;
+}
+
+uint64_t ParallelRunner::RunGather(size_t partition, dbc::Connection& conn) {
+  auto [unread, upto] = UnreadMessages(partition);
+  gather_tasks_.fetch_add(1);
+  if (unread.empty()) {
+    MarkConsumed(partition, upto);  // nothing addressed to this partition
+    return 0;
+  }
+
+  // One statement unions every unread message table (paper §V-C: "a
+  // single query that contains the union of all the message tables");
+  // each arm reads only this partition's rows through the target index.
+  const bool avg_msgs = analysis_.aggregate == sql::AggFunc::kAvg;
+  const std::string msg_columns = avg_msgs ? "id, sval, cval" : "id, val";
+  std::string union_sql;
+  for (size_t i = 0; i < unread.size(); ++i) {
+    if (i > 0) union_sql += " UNION ALL ";
+    union_sql += "SELECT " + msg_columns + " FROM " +
+                 translator_.Quote(unread[i]) + " WHERE target_pt = " +
+                 std::to_string(partition);
+  }
+
+  const std::string pt = translator_.Quote(PartitionTable(partition));
+  const std::string alias = translator_.Quote(analysis_.primary_alias);
+  const std::string delta = translator_.Quote(analysis_.delta_column);
+  const std::string key = translator_.Quote(schema_[0].name);
+
+  std::string sql;
+  if (analysis_.aggregate == sql::AggFunc::kAvg) {
+    // Accumulate SUM/COUNT pairs, recompute the user's expression with the
+    // aggregate replaced by the accumulated ratio (paper §V-D).
+    const sql::Expr* agg = nullptr;
+    {
+      std::vector<const sql::Expr*> aggs;
+      minidb::CollectAggregates(*analysis_.delta_expr, aggs);
+      agg = aggs.at(0);
+    }
+    const std::string sum_ref =
+        "(" + alias + "." + std::string(kAvgSumColumn) + " + m.s)";
+    const std::string cnt_ref =
+        "(" + alias + "." + std::string(kAvgCntColumn) + " + m.c)";
+    const auto ratio =
+        sql::ParseSelect("SELECT " + sum_ref + " / (" + cnt_ref + " + 0.0)");
+    const auto rewritten = SubstituteAggregate(
+        *analysis_.delta_expr, *agg, *ratio->cores[0].items[0].expr);
+    sql = "UPDATE " + pt + " AS " + alias + " SET " +
+          std::string(kAvgSumColumn) + " = " + alias + "." +
+          std::string(kAvgSumColumn) + " + m.s, " +
+          std::string(kAvgCntColumn) + " = " + alias + "." +
+          std::string(kAvgCntColumn) + " + m.c, " + delta +
+          " = CASE WHEN " + cnt_ref + " = 0 THEN " + alias + "." + delta +
+          " ELSE " + translator_.Render(*rewritten) + " END" +
+          " FROM (SELECT id, SUM(sval) AS s, SUM(cval) AS c FROM (" +
+          union_sql + ") AS msgs GROUP BY id) AS m WHERE " + alias + "." +
+          key + " = m.id";
+  } else {
+    std::string combine;
+    std::string dirty_update;
+    switch (analysis_.aggregate) {
+      case sql::AggFunc::kSum:
+      case sql::AggFunc::kCount:
+        combine = alias + "." + delta + " + m.v";
+        break;
+      case sql::AggFunc::kMin:
+        combine = "LEAST(" + alias + "." + delta + ", m.v)";
+        dirty_update = ", " + std::string(kDirtyColumn) +
+                       " = CASE WHEN m.v < " + alias + "." + delta +
+                       " THEN 1 ELSE " + alias + "." +
+                       std::string(kDirtyColumn) + " END";
+        break;
+      case sql::AggFunc::kMax:
+        combine = "GREATEST(" + alias + "." + delta + ", m.v)";
+        dirty_update = ", " + std::string(kDirtyColumn) +
+                       " = CASE WHEN m.v > " + alias + "." + delta +
+                       " THEN 1 ELSE " + alias + "." +
+                       std::string(kDirtyColumn) + " END";
+        break;
+      default:
+        throw UsageError("unexpected aggregate in gather");
+    }
+    sql = "UPDATE " + pt + " AS " + alias + " SET " + delta + " = " +
+          combine + dirty_update + " FROM (SELECT id, " +
+          std::string(sql::AggFuncName(GatherAggregate(analysis_.aggregate))) +
+          "(val) AS v FROM (" + union_sql +
+          ") AS msgs GROUP BY id) AS m WHERE " + alias + "." + key +
+          " = m.id";
+  }
+
+  const uint64_t updates = conn.ExecuteUpdate(sql);
+  MarkConsumed(partition, upto);
+  return updates;
+}
+
+// ---------------------------------------------------------------------------
+// Message registry
+// ---------------------------------------------------------------------------
+
+void ParallelRunner::RegisterMessageTable(std::string name,
+                                          std::vector<size_t> targets) {
+  const std::scoped_lock lock(registry_mutex_);
+  message_tables_.push_back(std::move(name));
+  message_targets_.push_back(std::move(targets));
+  message_count_.fetch_add(1);
+}
+
+std::pair<std::vector<std::string>, size_t> ParallelRunner::UnreadMessages(
+    size_t partition) {
+  const std::scoped_lock lock(registry_mutex_);
+  const size_t upto = message_tables_.size();
+  std::vector<std::string> unread;
+  for (size_t i = consumed_[partition]; i < upto; ++i) {
+    const auto& targets = message_targets_[i];
+    if (targets.empty() ||
+        std::binary_search(targets.begin(), targets.end(), partition)) {
+      unread.push_back(message_tables_[i]);
+    }
+  }
+  return {std::move(unread), upto};
+}
+
+bool ParallelRunner::HasUnreadTargetedMessages(size_t partition) {
+  // Caller holds registry_mutex_.
+  for (size_t i = consumed_[partition]; i < message_tables_.size(); ++i) {
+    const auto& targets = message_targets_[i];
+    if (targets.empty() ||
+        std::binary_search(targets.begin(), targets.end(), partition)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ParallelRunner::MarkConsumed(size_t partition, size_t upto) {
+  const std::scoped_lock lock(registry_mutex_);
+  consumed_[partition] = std::max(consumed_[partition], upto);
+}
+
+void ParallelRunner::DropFullyConsumedMessages() {
+  std::vector<std::string> droppable;
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    const size_t minimum =
+        *std::min_element(consumed_.begin(), consumed_.end());
+    for (size_t i = dropped_prefix_; i < minimum; ++i) {
+      droppable.push_back(message_tables_[i]);
+    }
+    dropped_prefix_ = std::max(dropped_prefix_, minimum);
+  }
+  if (droppable.empty()) return;
+  for (const auto& name : droppable) {
+    master_.AddBatch(translator_.DropTableSql(name));
+  }
+  master_.ExecuteBatch();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+void ParallelRunner::RefreshPriority(size_t partition, dbc::Connection& conn) {
+  if (options_.priority_query.empty()) return;
+  const std::string sql = ReplaceAll(options_.priority_query, "$PARTITION",
+                                     PartitionTable(partition));
+  std::optional<double> priority;
+  const auto result = conn.ExecuteQuery(sql);
+  if (!result.rows.empty() && !result.rows[0].empty() &&
+      result.rows[0][0].is_numeric()) {
+    const double v = result.rows[0][0].NumericAsDouble();
+    if (std::isfinite(v)) priority = v;
+  }
+  const std::scoped_lock lock(priority_mutex_);
+  priorities_[partition] = priority;
+  priority_known_[partition] = true;
+}
+
+std::vector<size_t> ParallelRunner::PartitionOrderForRound() {
+  std::vector<size_t> order;
+  order.reserve(partitions_);
+  if (options_.mode != ExecutionMode::kAsyncPriority ||
+      options_.priority_query.empty()) {
+    for (size_t k = 0; k < partitions_; ++k) order.push_back(k);
+    return order;
+  }
+
+  struct Entry {
+    size_t partition;
+    double rank;  // already oriented so larger runs first
+  };
+  std::vector<Entry> entries;
+  {
+    const std::scoped_lock lock(priority_mutex_, registry_mutex_);
+    for (size_t k = 0; k < partitions_; ++k) {
+      const bool has_messages = HasUnreadTargetedMessages(k);
+      if (!priority_known_[k]) {
+        // Never measured: run it first.
+        entries.push_back({k, std::numeric_limits<double>::infinity()});
+        continue;
+      }
+      if (!priorities_[k].has_value()) {
+        if (has_messages) {
+          // No productive work of its own, but it must still consume
+          // pending messages.
+          entries.push_back({k, -std::numeric_limits<double>::infinity()});
+        } else {
+          stats_.skipped_tasks += 1;
+        }
+        continue;
+      }
+      const double v = *priorities_[k];
+      entries.push_back({k, options_.priority_descending ? v : -v});
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.rank > b.rank;
+                   });
+  for (const Entry& e : entries) order.push_back(e.partition);
+  return order;
+}
+
+bool ParallelRunner::PartitionEligible(size_t partition, double* rank) {
+  const std::scoped_lock lock(priority_mutex_, registry_mutex_);
+  if (!priority_known_[partition]) {
+    *rank = std::numeric_limits<double>::infinity();  // never measured
+    return true;
+  }
+  const bool has_messages = [&] {
+    for (size_t i = consumed_[partition]; i < message_tables_.size(); ++i) {
+      const auto& targets = message_targets_[i];
+      if (targets.empty() ||
+          std::binary_search(targets.begin(), targets.end(), partition)) {
+        return true;
+      }
+    }
+    return false;
+  }();
+  if (priorities_[partition].has_value()) {
+    const double v = *priorities_[partition];
+    *rank = options_.priority_descending ? v : -v;
+    return true;
+  }
+  if (has_messages) {
+    *rank = -std::numeric_limits<double>::infinity();  // consume, low rank
+    return true;
+  }
+  return false;
+}
+
+void ParallelRunner::RunRounds() {
+  const int threads = options_.ResolveThreads();
+  std::vector<std::unique_ptr<dbc::Connection>> worker_conns(
+      static_cast<size_t>(threads));
+  ThreadPool pool(static_cast<size_t>(threads), [&](size_t index) {
+    try {
+      worker_conns[index] = dbc::DriverManager::GetConnection(url_);
+    } catch (...) {
+      const std::scoped_lock lock(failure_mutex_);
+      if (!failure_) failure_ = std::current_exception();
+    }
+  });
+
+  const auto guarded = [&](auto body) {
+    return [this, body, &worker_conns](size_t worker) {
+      try {
+        {
+          const std::scoped_lock lock(failure_mutex_);
+          if (failure_) return;
+        }
+        if (!worker_conns[worker]) return;  // connection failed to open
+        round_updates_.fetch_add(body(*worker_conns[worker]));
+      } catch (...) {
+        const std::scoped_lock lock(failure_mutex_);
+        if (!failure_) failure_ = std::current_exception();
+      }
+    };
+  };
+  const auto throw_if_failed = [&] {
+    const std::scoped_lock lock(failure_mutex_);
+    if (failure_) std::rethrow_exception(failure_);
+  };
+
+  const bool continuous_priority =
+      options_.mode == ExecutionMode::kAsyncPriority &&
+      !options_.priority_query.empty();
+
+  // State for the continuous priority scheduler (paper §V-E: "instead of
+  // scheduling ... in a round-robin fashion, the master thread maintains a
+  // priority queue"). A "round" is a work window of `partitions_` completed
+  // pair tasks — the budget an Async round would spend — so ITERATIONS
+  // termination stays comparable across modes.
+  std::mutex sched_mutex;
+  std::condition_variable sched_cv;
+  std::vector<char> running(partitions_, 0);
+  std::vector<uint64_t> last_dispatch(partitions_, 0);
+  uint64_t dispatch_seq = 0;
+  size_t in_flight = 0;
+
+  for (int64_t round = 1;; ++round) {
+    if (checker_.needs_delta_snapshot()) {
+      for (const auto& sql : checker_.SnapshotSql(schema_)) {
+        master_.Execute(sql);
+      }
+    }
+    round_updates_.store(0);
+
+    if (options_.mode == ExecutionMode::kSync) {
+      // Two-phase with explicit barriers (paper §V-E, Fig. 3 top).
+      for (size_t k = 0; k < partitions_; ++k) {
+        pool.Submit(guarded([this, k](dbc::Connection& conn) {
+          return RunCompute(k, conn);
+        }));
+      }
+      pool.WaitIdle();
+      throw_if_failed();
+      for (size_t k = 0; k < partitions_; ++k) {
+        pool.Submit(guarded([this, k](dbc::Connection& conn) {
+          return RunGather(k, conn);
+        }));
+      }
+      pool.WaitIdle();
+      throw_if_failed();
+    } else if (!continuous_priority) {
+      // Async: Gather then Compute per partition, no barrier between
+      // partitions (paper §V-E, Fig. 3 bottom).
+      for (const size_t k : PartitionOrderForRound()) {
+        pool.Submit(guarded([this, k](dbc::Connection& conn) {
+          uint64_t updates = RunGather(k, conn);
+          updates += RunCompute(k, conn);
+          if (options_.mode == ExecutionMode::kAsyncPriority) {
+            RefreshPriority(k, conn);
+          }
+          return updates;
+        }));
+      }
+      pool.WaitIdle();
+      throw_if_failed();
+    } else {
+      // AsyncP: continuously dispatch the highest-priority eligible
+      // partition, keeping at most `threads` tasks in flight so every
+      // dispatch decision sees fresh priorities. The same partition may
+      // run several times within a window while unproductive ones are
+      // never scheduled.
+      size_t window_dispatched = 0;
+      bool starved = false;
+      while (window_dispatched < partitions_) {
+        {
+          // Dispatch-on-demand: wait for a free worker slot.
+          std::unique_lock lock(sched_mutex);
+          if (in_flight >= static_cast<size_t>(threads)) {
+            sched_cv.wait(lock, [&] {
+              return in_flight < static_cast<size_t>(threads);
+            });
+          }
+        }
+        int best = -1;
+        double best_rank = 0;
+        {
+          // Highest rank wins; ties go to the least-recently-dispatched
+          // partition so equal-priority work (e.g. message consumption)
+          // is served fairly instead of starving high partition ids.
+          const std::scoped_lock lock(sched_mutex);
+          for (size_t k = 0; k < partitions_; ++k) {
+            if (running[k]) continue;
+            double rank;
+            if (!PartitionEligible(k, &rank)) continue;
+            if (best < 0 || rank > best_rank ||
+                (rank == best_rank &&
+                 last_dispatch[k] < last_dispatch[static_cast<size_t>(best)])) {
+              best = static_cast<int>(k);
+              best_rank = rank;
+            }
+          }
+        }
+        if (best < 0) {
+          std::unique_lock lock(sched_mutex);
+          if (in_flight > 0) {
+            // In-flight work may enable new partitions; wait and re-scan.
+            const size_t snapshot = in_flight;
+            sched_cv.wait(lock, [&] { return in_flight < snapshot; });
+            continue;
+          }
+          starved = true;  // nothing eligible at all
+          break;
+        }
+        {
+          const std::scoped_lock lock(sched_mutex);
+          running[static_cast<size_t>(best)] = 1;
+          last_dispatch[static_cast<size_t>(best)] = ++dispatch_seq;
+          ++in_flight;
+          ++window_dispatched;
+        }
+        if (kSchedulerTrace) {
+          std::fprintf(stderr, "sqloop-sched: dispatch pt%d rank=%g\n", best,
+                       best_rank);
+        }
+        const size_t k = static_cast<size_t>(best);
+        pool.Submit([this, k, guarded, &sched_mutex, &sched_cv, &running,
+                     &in_flight](size_t worker) {
+          guarded([this, k](dbc::Connection& conn) {
+            uint64_t updates = RunGather(k, conn);
+            updates += RunCompute(k, conn);
+            // An unchanged partition keeps its previous priority; only
+            // re-measure when the pair actually moved data.
+            if (updates > 0) {
+              RefreshPriority(k, conn);
+            } else {
+              const std::scoped_lock lock(priority_mutex_);
+              priorities_[k] = std::nullopt;
+              priority_known_[k] = true;
+            }
+            return updates;
+          })(worker);
+          const std::scoped_lock lock(sched_mutex);
+          running[k] = 0;
+          --in_flight;
+          sched_cv.notify_all();
+        });
+      }
+      {
+        std::unique_lock lock(sched_mutex);
+        sched_cv.wait(lock, [&] { return in_flight == 0; });
+      }
+      throw_if_failed();
+      // Account partitions with no productive work as skipped (§V-E).
+      for (size_t k = 0; k < partitions_; ++k) {
+        double rank;
+        if (!PartitionEligible(k, &rank)) ++stats_.skipped_tasks;
+      }
+      if (kSchedulerTrace) {
+        std::fprintf(stderr,
+                     "sqloop-sched: window %lld dispatched=%zu updates=%llu "
+                     "starved=%d\n",
+                     static_cast<long long>(round), window_dispatched,
+                     static_cast<unsigned long long>(round_updates_.load()),
+                     static_cast<int>(starved));
+      }
+      if (starved && round_updates_.load() == 0) {
+        // Nothing can make progress anymore: quiesced. Check Tc once and
+        // stop either way — further windows would be identical no-ops.
+        DropFullyConsumedMessages();
+        stats_.iterations = round;
+        checker_.Satisfied(master_, round, 0);
+        break;
+      }
+    }
+
+    DropFullyConsumedMessages();
+    stats_.iterations = round;
+    const uint64_t updates = round_updates_.load();
+    stats_.total_updates += updates;
+    // A zero-update window is genuine quiescence: the fair tie-breaking
+    // above guarantees every pending message is consumed within a window,
+    // so anything still unread is an idempotent re-send.
+    if (checker_.Satisfied(master_, round, updates)) break;
+    if (round >= options_.max_iterations_guard) {
+      throw ExecutionError("iterative CTE '" + with_.name +
+                           "' did not satisfy its UNTIL condition within " +
+                           std::to_string(options_.max_iterations_guard) +
+                           " rounds");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void ParallelRunner::Cleanup() {
+  try {
+    master_.Execute("DROP VIEW IF EXISTS " + translator_.Quote(base_));
+    for (size_t k = 0; k < partitions_; ++k) {
+      master_.AddBatch(translator_.DropTableSql(PartitionTable(k)));
+      master_.AddBatch(translator_.DropTableSql(MjoinTable(k)));
+    }
+    master_.AddBatch(translator_.DropTableSql(base_ + "_seed"));
+    master_.AddBatch(translator_.DropTableSql(base_ + "_delta"));
+    {
+      const std::scoped_lock lock(registry_mutex_);
+      for (size_t i = dropped_prefix_; i < message_tables_.size(); ++i) {
+        master_.AddBatch(translator_.DropTableSql(message_tables_[i]));
+      }
+      dropped_prefix_ = message_tables_.size();
+    }
+    master_.ExecuteBatch();
+  } catch (...) {
+    // Cleanup is best-effort; the original error (if any) matters more.
+  }
+}
+
+dbc::ResultSet ParallelRunner::Run() {
+  const Stopwatch watch;
+  try {
+    DropLeftovers();
+    CreatePartitions();
+    CreateUnionView();
+    MaterializeConstantJoins();
+    BuildTaskSql();
+    RunRounds();
+
+    dbc::ResultSet result =
+        master_.ExecuteQuery(translator_.Render(*with_.final_query));
+
+    stats_.mode_used = options_.mode;
+    stats_.parallelized = true;
+    stats_.compute_tasks = compute_tasks_.load();
+    stats_.gather_tasks = gather_tasks_.load();
+    stats_.message_tables = message_count_.load();
+    stats_.seconds = watch.ElapsedSeconds();
+
+    if (options_.keep_result_tables) {
+      // Keep the view + partitions for post-run sampling, but clear the
+      // transient message tables and the constant-join materialization.
+      for (size_t k = 0; k < partitions_; ++k) {
+        master_.AddBatch(translator_.DropTableSql(MjoinTable(k)));
+      }
+      const std::scoped_lock lock(registry_mutex_);
+      for (size_t i = dropped_prefix_; i < message_tables_.size(); ++i) {
+        master_.AddBatch(translator_.DropTableSql(message_tables_[i]));
+      }
+      dropped_prefix_ = message_tables_.size();
+      master_.ExecuteBatch();
+    } else {
+      Cleanup();
+    }
+    return result;
+  } catch (...) {
+    Cleanup();
+    throw;
+  }
+}
+
+}  // namespace sqloop::core

@@ -1,0 +1,116 @@
+// The parallel execution engine (paper §V): hash-partitions the CTE table,
+// re-defines R as a view over the partition union, materializes the
+// constant part of the join (Rmjoin), and drives per-partition
+// Compute/Gather tasks over a pool of worker connections under the Sync,
+// Async, or Prioritized-Async scheduling policies.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/options.h"
+#include "core/termination.h"
+#include "core/translator.h"
+#include "dbc/connection.h"
+
+namespace sqloop::core {
+
+class ParallelRunner {
+ public:
+  /// `master` drives DDL, termination checks, and the final query; worker
+  /// connections are opened against `url` (one per thread, §V-B). `schema`
+  /// is the inferred CTE schema (key first, already widened).
+  ParallelRunner(std::string url, dbc::Connection& master,
+                 const sql::WithClause& with, const CteAnalysis& analysis,
+                 std::vector<sql::ColumnDef> schema,
+                 const SqloopOptions& options, RunStats& stats);
+
+  dbc::ResultSet Run();
+
+ private:
+  // --- setup / teardown -------------------------------------------------
+  void DropLeftovers();
+  void CreatePartitions();
+  void CreateUnionView();
+  void MaterializeConstantJoins();  // Rmjoin (§V-B)
+  void BuildTaskSql();
+  void Cleanup();
+
+  // --- tasks (§V-C) -----------------------------------------------------
+  uint64_t RunCompute(size_t partition, dbc::Connection& conn);
+  uint64_t RunGather(size_t partition, dbc::Connection& conn);
+
+  // --- message registry (the paper's "global data structure") ------------
+  // `targets` lists the partitions the table's rows belong to (empty =
+  // unknown, treat as "all"); AsyncP uses it to skip idle partitions
+  // without missing messages addressed to them.
+  void RegisterMessageTable(std::string name, std::vector<size_t> targets);
+  std::pair<std::vector<std::string>, size_t> UnreadMessages(size_t partition);
+  bool HasUnreadTargetedMessages(size_t partition);
+  void MarkConsumed(size_t partition, size_t upto);
+  void DropFullyConsumedMessages();  // master-side, between rounds
+
+  // --- scheduling (§V-E) --------------------------------------------------
+  void RunRounds();
+  std::vector<size_t> PartitionOrderForRound();
+  void RefreshPriority(size_t partition, dbc::Connection& conn);
+  /// True if the partition currently has productive work: a usable
+  /// priority, pending messages addressed to it, or no measurement yet.
+  /// Fills `rank` with the dispatch priority (already oriented so larger
+  /// runs first).
+  bool PartitionEligible(size_t partition, double* rank);
+
+  std::string PartitionTable(size_t k) const;
+  std::string MjoinTable(size_t k) const;
+
+  const std::string url_;
+  dbc::Connection& master_;
+  const sql::WithClause& with_;
+  const CteAnalysis& analysis_;
+  const SqloopOptions& options_;
+  RunStats& stats_;
+  Translator translator_;
+  std::vector<sql::ColumnDef> schema_;
+  std::vector<sql::ColumnDef> message_schema_;
+  TerminationChecker checker_;
+
+  size_t partitions_;
+  std::string base_;  // folded CTE name; also the union view's name
+
+  // Pre-rendered per-partition SQL.
+  std::vector<std::string> message_select_;  // SELECT feeding message tables
+  // Combined own-column update + delta reset, applied after messaging
+  // (one statement, one partition scan).
+  std::vector<std::string> update_sql_;
+  std::string create_message_columns_;       // "(id BIGINT, val ...)" body
+
+  // Message registry.
+  std::mutex registry_mutex_;
+  std::vector<std::string> message_tables_;
+  std::vector<std::vector<size_t>> message_targets_;  // sorted; empty = all
+  std::vector<size_t> consumed_;  // per partition: index into message_tables_
+  size_t dropped_prefix_ = 0;
+  std::atomic<uint64_t> message_seq_{0};
+
+  // AsyncP priorities (NaN optional = unknown; nullopt = "no work").
+  std::mutex priority_mutex_;
+  std::vector<std::optional<double>> priorities_;
+  std::vector<bool> priority_known_;
+
+  // Per-round accounting.
+  std::atomic<uint64_t> round_updates_{0};
+  std::atomic<uint64_t> compute_tasks_{0};
+  std::atomic<uint64_t> gather_tasks_{0};
+  std::atomic<uint64_t> message_count_{0};
+
+  // First task failure, rethrown on the master thread.
+  std::mutex failure_mutex_;
+  std::exception_ptr failure_;
+};
+
+}  // namespace sqloop::core

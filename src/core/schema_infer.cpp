@@ -1,0 +1,85 @@
+#include "core/schema_infer.h"
+
+#include "common/error.h"
+#include "minidb/schema.h"
+
+namespace sqloop::core {
+namespace {
+
+constexpr int64_t kSampleRows = 100;
+
+std::vector<sql::ColumnDef> DeriveColumns(
+    const dbc::ResultSet& sample,
+    const std::vector<std::string>& declared_columns, bool widen_non_key) {
+  if (!declared_columns.empty() &&
+      declared_columns.size() != sample.columns.size()) {
+    throw AnalysisError("CTE declares " +
+                        std::to_string(declared_columns.size()) +
+                        " columns but its seed produces " +
+                        std::to_string(sample.columns.size()));
+  }
+  std::vector<sql::ColumnDef> defs;
+  defs.reserve(sample.columns.size());
+  for (size_t c = 0; c < sample.columns.size(); ++c) {
+    sql::ColumnDef def;
+    def.name = minidb::FoldIdentifier(
+        declared_columns.empty() ? sample.columns[c] : declared_columns[c]);
+    // First non-NULL sampled value decides; all-NULL defaults to DOUBLE.
+    ValueType sampled = ValueType::kNull;
+    for (const auto& row : sample.rows) {
+      if (!row[c].is_null()) {
+        sampled = row[c].type();
+        break;
+      }
+    }
+    switch (sampled) {
+      case ValueType::kInt64:
+        def.type = (c > 0 && widen_non_key) ? ValueType::kDouble
+                                            : ValueType::kInt64;
+        break;
+      case ValueType::kDouble:
+      case ValueType::kNull:
+        def.type = ValueType::kDouble;
+        break;
+      case ValueType::kText:
+        def.type = ValueType::kText;
+        break;
+    }
+    defs.push_back(std::move(def));
+  }
+  return defs;
+}
+
+}  // namespace
+
+std::vector<sql::ColumnDef> InferSchemaFromSelect(
+    dbc::Connection& connection, const Translator& translator,
+    const sql::SelectStmt& select,
+    const std::vector<std::string>& declared_columns, bool widen_non_key) {
+  // SELECT * FROM (<select>) AS sqloop_sample LIMIT 100
+  auto probe = std::make_unique<sql::SelectStmt>();
+  sql::SelectCore core;
+  core.items.push_back({sql::MakeStar(), ""});
+  core.from = sql::MakeSubquery(select.Clone(), "sqloop_sample");
+  probe->cores.push_back(std::move(core));
+  probe->limit = kSampleRows;
+  const auto sample = connection.ExecuteQuery(translator.Render(*probe));
+  return DeriveColumns(sample, declared_columns, widen_non_key);
+}
+
+std::vector<sql::ColumnDef> InferTableColumns(
+    dbc::Connection& connection, const Translator& translator,
+    const std::string& table, const std::vector<std::string>& columns) {
+  auto probe = std::make_unique<sql::SelectStmt>();
+  sql::SelectCore core;
+  for (const auto& column : columns) {
+    core.items.push_back({sql::MakeColumnRef("", column), ""});
+  }
+  core.from = sql::MakeBaseTable(table);
+  probe->cores.push_back(std::move(core));
+  probe->limit = kSampleRows;
+  const auto sample = connection.ExecuteQuery(translator.Render(*probe));
+  return DeriveColumns(sample, columns, /*widen_non_key=*/false);
+}
+
+}  // namespace sqloop::core

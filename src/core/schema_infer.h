@@ -1,0 +1,35 @@
+// Schema inference for SQLoop-managed tables. Engines need a CREATE TABLE
+// before `INSERT INTO R R0` (paper §IV-B), but a CTE declares only column
+// names — so SQLoop samples the seed query and derives column types.
+//
+// Widening rule: the key column (Rid, always first) keeps its sampled
+// type; every other numeric column widens to DOUBLE, because iterative
+// members routinely turn integer seeds into fractional values (PageRank
+// seeds Rank with the integer 0 and then accumulates doubles into it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/translator.h"
+#include "dbc/connection.h"
+#include "sql/ast.h"
+
+namespace sqloop::core {
+
+/// Samples `SELECT * FROM (<select>) LIMIT 100` and returns column
+/// definitions. `declared_columns` (the CTE column list) overrides the
+/// select's output names when non-empty; a mismatch in arity throws
+/// AnalysisError. With `widen_non_key` false, sampled types are kept as-is
+/// (recursive CTEs append rows, they never mutate them).
+std::vector<sql::ColumnDef> InferSchemaFromSelect(
+    dbc::Connection& connection, const Translator& translator,
+    const sql::SelectStmt& select,
+    const std::vector<std::string>& declared_columns, bool widen_non_key);
+
+/// Samples the listed columns of an existing table.
+std::vector<sql::ColumnDef> InferTableColumns(
+    dbc::Connection& connection, const Translator& translator,
+    const std::string& table, const std::vector<std::string>& columns);
+
+}  // namespace sqloop::core

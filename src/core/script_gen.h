@@ -1,0 +1,30 @@
+// The hand-written-SQL-script baseline of the paper's §VI-D comparison:
+// what a user without SQLoop would submit — a long, engine-specific script
+// that manages tables, runs the iteration body, and merges results, one
+// statement at a time over a single connection, with none of SQLoop's
+// parallelization, join materialization, or indexing.
+#pragma once
+
+#include <string>
+
+#include "core/options.h"
+#include "dbc/connection.h"
+#include "sql/ast.h"
+
+namespace sqloop::core {
+
+/// Renders the full script text for `iterations` unrolled iterations of
+/// the CTE's body — the artifact a user would hand-write ("SQL scripts in
+/// most cases were more than 200 lines", §VI-D). One statement per line.
+std::string GenerateIterativeScript(const sql::WithClause& with,
+                                    Dialect dialect, int64_t iterations);
+
+/// Executes the script-equivalent computation on one connection, honoring
+/// the CTE's UNTIL condition the way a user's client-side loop would.
+/// Fills `stats` like the other executors.
+dbc::ResultSet RunScriptBaseline(dbc::Connection& connection,
+                                 const sql::WithClause& with,
+                                 const SqloopOptions& options,
+                                 RunStats& stats);
+
+}  // namespace sqloop::core

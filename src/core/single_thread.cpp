@@ -1,0 +1,172 @@
+#include "core/single_thread.h"
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "core/schema_infer.h"
+#include "core/termination.h"
+#include "core/translator.h"
+#include "minidb/schema.h"
+
+namespace sqloop::core {
+namespace {
+
+using minidb::FoldIdentifier;
+
+/// Builds `UPDATE <target> SET c1 = <alias>.c1, ... FROM <source> AS
+/// <alias> WHERE <target>.<key> = <alias>.<key>` — the Rid ∩ Rtmp_id merge
+/// of §III-A.
+std::string BuildMergeSql(const Translator& translator,
+                          const std::string& target,
+                          const std::string& source,
+                          const std::vector<sql::ColumnDef>& schema) {
+  static constexpr const char* kAlias = "sqloop_tmp";
+  sql::Statement update;
+  update.kind = sql::StatementKind::kUpdate;
+  update.table_name = target;
+  for (size_t i = 1; i < schema.size(); ++i) {
+    update.set_items.emplace_back(schema[i].name,
+                                  sql::MakeColumnRef(kAlias, schema[i].name));
+  }
+  update.update_from = sql::MakeBaseTable(source, kAlias);
+  update.where =
+      sql::MakeBinary(sql::BinaryOp::kEq,
+                      sql::MakeColumnRef(target, schema[0].name),
+                      sql::MakeColumnRef(kAlias, schema[0].name));
+  return translator.Render(update);
+}
+
+}  // namespace
+
+dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
+                                        const sql::WithClause& with,
+                                        const SqloopOptions& options,
+                                        RunStats& stats) {
+  const Stopwatch watch;
+  const Translator translator = Translator::For(connection);
+  const std::string table = FoldIdentifier(with.name);
+  const std::string tmp = table + "_tmp";
+
+  const auto schema = InferSchemaFromSelect(connection, translator, *with.seed,
+                                            with.columns,
+                                            /*widen_non_key=*/true);
+  if (schema.size() < 2) {
+    throw AnalysisError("an iterative CTE needs a key column plus at least "
+                        "one value column");
+  }
+  const TerminationChecker checker(with.termination, translator, table);
+
+  // CREATE TABLE R; INSERT INTO R R0 (paper §IV-B).
+  connection.Execute(translator.DropTableSql(table));
+  connection.Execute(translator.DropTableSql(tmp));
+  connection.Execute(translator.DropTableSql(checker.delta_table()));
+  connection.Execute(
+      translator.CreateTableSql(table, schema, /*primary_key_index=*/0));
+  connection.Execute("INSERT INTO " + translator.Quote(table) + " " +
+                     translator.Render(*with.seed));
+
+  const std::string insert_tmp_sql = "INSERT INTO " + translator.Quote(tmp) +
+                                     " " + translator.Render(*with.step);
+  const std::string merge_sql = BuildMergeSql(translator, table, tmp, schema);
+  const std::string create_tmp_sql =
+      translator.CreateTableSql(tmp, schema, /*primary_key_index=*/0);
+  const std::string drop_tmp_sql = translator.DropTableSql(tmp);
+
+  for (int64_t iteration = 1;; ++iteration) {
+    if (checker.needs_delta_snapshot()) {
+      for (const auto& sql : checker.SnapshotSql(schema)) {
+        connection.Execute(sql);
+      }
+    }
+    // Rtmp <- Ri(R); R <- merge(R, Rtmp) on matching keys.
+    connection.Execute(create_tmp_sql);
+    connection.Execute(insert_tmp_sql);
+    const size_t updates = connection.ExecuteUpdate(merge_sql);
+    connection.Execute(drop_tmp_sql);
+
+    stats.iterations = iteration;
+    stats.total_updates += updates;
+    if (checker.Satisfied(connection, iteration, updates)) break;
+    if (iteration >= options.max_iterations_guard) {
+      throw ExecutionError("iterative CTE '" + with.name +
+                           "' did not satisfy its UNTIL condition within " +
+                           std::to_string(options.max_iterations_guard) +
+                           " iterations");
+    }
+  }
+
+  dbc::ResultSet result =
+      connection.ExecuteQuery(translator.Render(*with.final_query));
+
+  if (!options.keep_result_tables) {
+    connection.Execute(translator.DropTableSql(table));
+    connection.Execute(translator.DropTableSql(checker.delta_table()));
+  }
+  stats.mode_used = ExecutionMode::kSingleThread;
+  stats.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+dbc::ResultSet RunRecursiveEmulated(dbc::Connection& connection,
+                                    const sql::WithClause& with,
+                                    const SqloopOptions& options,
+                                    RunStats& stats) {
+  const Stopwatch watch;
+  const Translator translator = Translator::For(connection);
+  const std::string table = FoldIdentifier(with.name);
+  const std::string work_a = table + "_wa";
+  const std::string work_b = table + "_wb";
+
+  // Recursive CTEs append, never mutate — keep sampled types, allow
+  // duplicate rows (no primary key).
+  const auto schema = InferSchemaFromSelect(connection, translator, *with.seed,
+                                            with.columns,
+                                            /*widen_non_key=*/false);
+  for (const auto& name : {table, work_a, work_b}) {
+    connection.Execute(translator.DropTableSql(name));
+  }
+  connection.Execute(translator.CreateTableSql(table, schema, -1));
+  connection.Execute(translator.CreateTableSql(work_a, schema, -1));
+  const std::string seed_sql = translator.Render(*with.seed);
+  connection.Execute("INSERT INTO " + translator.Quote(table) + " " +
+                     seed_sql);
+  connection.Execute("INSERT INTO " + translator.Quote(work_a) + " " +
+                     seed_sql);
+
+  // Semi-naive loop: the step only ever sees the previous delta.
+  std::string current = work_a;
+  std::string next = work_b;
+  for (int64_t round = 1;; ++round) {
+    if (round > options.max_iterations_guard) {
+      throw ExecutionError("recursive CTE '" + with.name +
+                           "' exceeded the recursion guard");
+    }
+    auto step = with.step->Clone();
+    RenameBaseTables(*step, {{table, current}});
+    connection.Execute(translator.CreateTableSql(next, schema, -1));
+    const size_t produced =
+        connection.ExecuteUpdate("INSERT INTO " + translator.Quote(next) +
+                                 " " + translator.Render(*step));
+    stats.iterations = round;
+    stats.total_updates += produced;
+    if (produced == 0) {
+      connection.Execute(translator.DropTableSql(next));
+      break;
+    }
+    connection.Execute("INSERT INTO " + translator.Quote(table) +
+                       " SELECT * FROM " + translator.Quote(next));
+    connection.Execute(translator.DropTableSql(current));
+    std::swap(current, next);
+  }
+
+  dbc::ResultSet result =
+      connection.ExecuteQuery(translator.Render(*with.final_query));
+  if (!options.keep_result_tables) {
+    connection.Execute(translator.DropTableSql(table));
+    connection.Execute(translator.DropTableSql(current));
+  }
+  stats.mode_used = ExecutionMode::kSingleThread;
+  stats.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sqloop::core

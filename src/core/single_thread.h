@@ -1,0 +1,26 @@
+// The single-threaded executors (paper §IV-B):
+//  * iterative CTEs via the R / Rtmp update loop with Table I termination,
+//  * recursive CTEs emulated with client-driven semi-naive evaluation for
+//    engines that lack WITH RECURSIVE (MySQL 5.7).
+#pragma once
+
+#include "core/options.h"
+#include "dbc/connection.h"
+#include "sql/ast.h"
+
+namespace sqloop::core {
+
+/// Runs an iterative CTE on one connection without partitioning.
+dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
+                                        const sql::WithClause& with,
+                                        const SqloopOptions& options,
+                                        RunStats& stats);
+
+/// Client-side semi-naive evaluation of a recursive CTE through plain SQL
+/// (used when the engine cannot evaluate WITH RECURSIVE itself).
+dbc::ResultSet RunRecursiveEmulated(dbc::Connection& connection,
+                                    const sql::WithClause& with,
+                                    const SqloopOptions& options,
+                                    RunStats& stats);
+
+}  // namespace sqloop::core

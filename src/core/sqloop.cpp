@@ -1,0 +1,109 @@
+#include "core/sqloop.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "core/analysis.h"
+#include "core/parallel.h"
+#include "core/schema_infer.h"
+#include "core/single_thread.h"
+#include "core/translator.h"
+#include "dbc/driver.h"
+#include "sql/parser.h"
+
+namespace sqloop::core {
+
+const char* ExecutionModeName(ExecutionMode mode) noexcept {
+  switch (mode) {
+    case ExecutionMode::kSingleThread:
+      return "single-thread";
+    case ExecutionMode::kSync:
+      return "sync";
+    case ExecutionMode::kAsync:
+      return "async";
+    case ExecutionMode::kAsyncPriority:
+      return "async-priority";
+  }
+  return "?";
+}
+
+SqLoop::SqLoop(std::string url, SqloopOptions options)
+    : url_(std::move(url)),
+      options_(options),
+      master_(dbc::DriverManager::GetConnection(url_)) {}
+
+dbc::ResultSet SqLoop::Execute(const std::string& sql) {
+  const auto stmt = sql::ParseStatement(sql);
+  return ExecuteStatement(*stmt);
+}
+
+dbc::ResultSet SqLoop::ExecuteScript(const std::string& script) {
+  const auto statements = sql::ParseScript(script);
+  dbc::ResultSet last;
+  for (const auto& stmt : statements) {
+    last = ExecuteStatement(*stmt);
+  }
+  return last;
+}
+
+dbc::ResultSet SqLoop::ExecuteStatement(const sql::Statement& stmt) {
+  const Translator translator = Translator::For(*master_);
+
+  if (stmt.kind != sql::StatementKind::kWith) {
+    // Regular SQL: rewritten by the translation module for the target
+    // dialect and forwarded as-is (paper §IV-B).
+    return master_->Execute(translator.Render(stmt));
+  }
+
+  switch (stmt.with.kind) {
+    case sql::CteKind::kPlain:
+      return master_->Execute(translator.Render(stmt));
+    case sql::CteKind::kRecursive:
+      if (master_->profile().supports_recursive_cte) {
+        return master_->Execute(translator.Render(stmt));
+      }
+      SQLOOP_INFO("engine '" << master_->profile().name
+                             << "' lacks recursive CTEs; emulating");
+      stats_ = {};
+      return RunRecursiveEmulated(*master_, stmt.with, options_, stats_);
+    case sql::CteKind::kIterative:
+      return ExecuteIterative(stmt.with);
+  }
+  throw UsageError("unknown CTE kind");
+}
+
+dbc::ResultSet SqLoop::ExecuteIterative(const sql::WithClause& with) {
+  stats_ = {};
+
+  if (options_.mode == ExecutionMode::kSingleThread) {
+    stats_.fallback_reason = "single-thread mode requested";
+    return RunIterativeSingleThread(*master_, with, options_, stats_);
+  }
+
+  // Automatic analysis (paper §V-A): parallelize when the iterative member
+  // uses a supported aggregate and fits the partitionable shape.
+  const CteAnalysis analysis = AnalyzeIterativeCte(with);
+  if (!analysis.parallelizable) {
+    SQLOOP_INFO("falling back to single-threaded execution: "
+                << analysis.reason);
+    stats_.fallback_reason = analysis.reason;
+    return RunIterativeSingleThread(*master_, with, options_, stats_);
+  }
+
+  const Translator translator = Translator::For(*master_);
+  auto schema = InferSchemaFromSelect(*master_, translator, *with.seed,
+                                      with.columns, /*widen_non_key=*/true);
+  if (schema.empty() || schema[0].type != ValueType::kInt64) {
+    stats_.fallback_reason =
+        "the key column is not integer-typed; hash partitioning on Rid "
+        "requires integer keys";
+    SQLOOP_INFO("falling back to single-threaded execution: "
+                << stats_.fallback_reason);
+    return RunIterativeSingleThread(*master_, with, options_, stats_);
+  }
+
+  ParallelRunner runner(url_, *master_, with, analysis, std::move(schema),
+                        options_, stats_);
+  return runner.Run();
+}
+
+}  // namespace sqloop::core

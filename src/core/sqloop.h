@@ -1,0 +1,60 @@
+// SQLoop — the public entry point of the middleware (paper Fig. 1/2).
+//
+// A SqLoop instance connects to one target engine by URL and accepts any
+// SQL statement:
+//   * regular SQL is translated for the engine's dialect and forwarded;
+//   * recursive CTEs run natively when the engine supports them, or via
+//     SQLoop's client-side semi-naive emulation when it does not
+//     (e.g. the MySQL 5.7 profile);
+//   * iterative CTEs (the SQLoop extension, §III) are analyzed and run
+//     either on the single-threaded loop (§IV-B) or the partitioned
+//     parallel engine (§V) under Sync / Async / AsyncP policies.
+//
+// Example:
+//   sqloop::core::SqLoop loop("minidb://localhost/mydb");
+//   loop.mutable_options().mode = sqloop::core::ExecutionMode::kAsync;
+//   auto ranks = loop.Execute(R"sql(
+//     WITH ITERATIVE PageRank (Node, Rank, Delta) AS (...)
+//     SELECT Node, Rank FROM PageRank)sql");
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/options.h"
+#include "dbc/connection.h"
+
+namespace sqloop::core {
+
+class SqLoop {
+ public:
+  /// Connects immediately; throws ConnectionError on failure.
+  explicit SqLoop(std::string url, SqloopOptions options = {});
+
+  /// Executes one statement of SQL (iterative/recursive CTEs included).
+  dbc::ResultSet Execute(const std::string& sql);
+
+  /// Executes a ';'-separated script; returns the last statement's result.
+  dbc::ResultSet ExecuteScript(const std::string& script);
+
+  /// Statistics of the most recent iterative/recursive execution.
+  const RunStats& last_run() const noexcept { return stats_; }
+
+  const SqloopOptions& options() const noexcept { return options_; }
+  SqloopOptions& mutable_options() noexcept { return options_; }
+
+  /// The master connection (also usable for ad-hoc queries/sampling).
+  dbc::Connection& connection() { return *master_; }
+  const std::string& url() const noexcept { return url_; }
+
+ private:
+  dbc::ResultSet ExecuteStatement(const sql::Statement& stmt);
+  dbc::ResultSet ExecuteIterative(const sql::WithClause& with);
+
+  std::string url_;
+  SqloopOptions options_;
+  std::unique_ptr<dbc::Connection> master_;
+  RunStats stats_;
+};
+
+}  // namespace sqloop::core

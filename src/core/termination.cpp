@@ -1,0 +1,76 @@
+#include "core/termination.h"
+
+#include "common/error.h"
+#include "minidb/schema.h"
+
+namespace sqloop::core {
+
+TerminationChecker::TerminationChecker(const sql::Termination& tc,
+                                       const Translator& translator,
+                                       std::string relation)
+    : tc_(tc.Clone()),
+      translator_(translator),
+      relation_(minidb::FoldIdentifier(relation)),
+      delta_table_(relation_ + "_delta") {
+  if (tc_.probe) {
+    probe_sql_ = translator_.Render(*tc_.probe);
+    count_all_sql_ = "SELECT COUNT(*) FROM " + translator_.Quote(relation_);
+  }
+}
+
+std::vector<std::string> TerminationChecker::SnapshotSql(
+    const std::vector<sql::ColumnDef>& schema) const {
+  if (!tc_.delta) return {};
+  return {
+      translator_.DropTableSql(delta_table_),
+      translator_.CreateTableSql(delta_table_, schema,
+                                 /*primary_key_index=*/0),
+      "INSERT INTO " + translator_.Quote(delta_table_) + " SELECT * FROM " +
+          translator_.Quote(relation_),
+  };
+}
+
+bool TerminationChecker::Satisfied(dbc::Connection& connection,
+                                   int64_t iteration,
+                                   uint64_t updates) const {
+  switch (tc_.kind) {
+    case sql::Termination::Kind::kIterations:
+      return iteration >= tc_.count;
+    case sql::Termination::Kind::kUpdates:
+      // "UNTIL n UPDATES" stops once Ri updates no more than n rows; the
+      // paper's own Example 3 uses `UNTIL 0 UPDATES` with this meaning.
+      return updates <= static_cast<uint64_t>(tc_.count);
+    case sql::Termination::Kind::kProbeAll: {
+      const auto probe = connection.ExecuteQuery(probe_sql_);
+      const auto all = connection.ExecuteQuery(count_all_sql_);
+      return static_cast<int64_t>(probe.row_count()) ==
+             all.ScalarAt().as_int();
+    }
+    case sql::Termination::Kind::kProbeAny:
+      return !connection.ExecuteQuery(probe_sql_).empty();
+    case sql::Termination::Kind::kProbeCompare: {
+      const auto probe = connection.ExecuteQuery(probe_sql_);
+      if (probe.row_count() != 1 || probe.rows[0].size() != 1) {
+        throw ExecutionError(
+            "a compared UNTIL expression must return exactly one value "
+            "(got " + std::to_string(probe.row_count()) + " rows)");
+      }
+      const Value& value = probe.rows[0][0];
+      if (value.is_null()) return false;
+      const int cmp = Value::Compare(value, tc_.bound);
+      switch (tc_.comparator) {
+        case '<':
+          return cmp < 0;
+        case '=':
+          return cmp == 0;
+        case '>':
+          return cmp > 0;
+        default:
+          throw UsageError("unknown UNTIL comparator");
+      }
+    }
+  }
+  throw UsageError("unknown termination kind");
+}
+
+}  // namespace sqloop::core

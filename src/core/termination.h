@@ -1,0 +1,46 @@
+// Evaluation of the UNTIL termination conditions of Table I. SQLoop checks
+// Tc itself with ordinary SQL against the materialized CTE relation
+// (a table in the single-threaded path, the union view in the parallel
+// paths), so the same checker serves every executor.
+#pragma once
+
+#include <string>
+
+#include "core/translator.h"
+#include "dbc/connection.h"
+#include "sql/ast.h"
+
+namespace sqloop::core {
+
+class TerminationChecker {
+ public:
+  /// `relation` is where R is readable (table or view name). DELTA probes
+  /// read the previous iteration from `<relation>_delta`, which the
+  /// executor refreshes via SnapshotSql() before every iteration.
+  TerminationChecker(const sql::Termination& tc, const Translator& translator,
+                     std::string relation);
+
+  /// Whether the executor must maintain the `<relation>_delta` snapshot.
+  bool needs_delta_snapshot() const noexcept { return tc_.delta; }
+  const std::string& delta_table() const noexcept { return delta_table_; }
+
+  /// Statements refreshing the delta snapshot (run before the iteration).
+  std::vector<std::string> SnapshotSql(
+      const std::vector<sql::ColumnDef>& schema) const;
+
+  /// True when the query should stop. `iteration` is 1-based and counts
+  /// completed iterations; `updates` is the row-update count of the
+  /// iteration that just finished.
+  bool Satisfied(dbc::Connection& connection, int64_t iteration,
+                 uint64_t updates) const;
+
+ private:
+  sql::Termination tc_;
+  Translator translator_;
+  std::string relation_;
+  std::string delta_table_;
+  std::string probe_sql_;      // rendered probe, when tc has one
+  std::string count_all_sql_;  // SELECT COUNT(*) FROM <relation>
+};
+
+}  // namespace sqloop::core

@@ -1,0 +1,95 @@
+#include "core/translator.h"
+
+#include "minidb/schema.h"
+
+namespace sqloop::core {
+
+using minidb::FoldIdentifier;
+
+std::string Translator::CreateTableSql(
+    const std::string& name, const std::vector<sql::ColumnDef>& columns,
+    int primary_key_index) const {
+  sql::Statement stmt;
+  stmt.kind = sql::StatementKind::kCreateTable;
+  stmt.table_name = name;
+  stmt.columns = columns;
+  stmt.primary_key_index = primary_key_index;
+  // SQLoop's scratch tables are transient: skip logging on every engine
+  // (UNLOGGED on postgres, ENGINE=MyISAM on the MySQL family — the same
+  // configuration the paper's evaluation uses).
+  stmt.unlogged = true;
+  return Render(stmt);
+}
+
+std::string Translator::DropTableSql(const std::string& name,
+                                     bool if_exists) const {
+  sql::Statement stmt;
+  stmt.kind = sql::StatementKind::kDropTable;
+  stmt.table_name = name;
+  stmt.if_exists = if_exists;
+  return Render(stmt);
+}
+
+namespace {
+
+void RenameInTableRef(
+    sql::TableRef& ref,
+    const std::unordered_map<std::string, std::string>& renames) {
+  if (ref.kind != sql::TableRefKind::kBase) return;
+  const auto it = renames.find(FoldIdentifier(ref.table_name));
+  if (it == renames.end()) return;
+  if (ref.alias.empty() || FoldIdentifier(ref.alias) ==
+                               FoldIdentifier(ref.table_name)) {
+    // Keep the old name visible as the alias so qualified column
+    // references in the query still resolve.
+    ref.alias = ref.table_name;
+  }
+  ref.table_name = it->second;
+}
+
+}  // namespace
+
+void RenameBaseTables(
+    sql::SelectStmt& select,
+    const std::unordered_map<std::string, std::string>& renames) {
+  for (auto& core : select.cores) {
+    if (core.from) {
+      sql::VisitTableRefsMutable(
+          *core.from, [&](sql::TableRef& ref) { RenameInTableRef(ref, renames); });
+    }
+  }
+}
+
+void RequalifyColumns(sql::Expr& expr, const std::string& from,
+                      const std::string& to) {
+  const std::string folded_from = FoldIdentifier(from);
+  sql::VisitExprMutable(expr, [&](sql::Expr& node) {
+    if (node.kind == sql::ExprKind::kColumnRef &&
+        FoldIdentifier(node.qualifier) == folded_from) {
+      node.qualifier = to;
+    }
+  });
+}
+
+sql::ExprPtr SubstituteAggregate(const sql::Expr& expr, const sql::Expr& agg,
+                                 const sql::Expr& replacement) {
+  if (expr.kind == sql::ExprKind::kAggregate && sql::ExprEquals(expr, agg)) {
+    return replacement.Clone();
+  }
+  auto out = expr.Clone();
+  const std::function<void(sql::ExprPtr&)> descend = [&](sql::ExprPtr& child) {
+    if (child) child = SubstituteAggregate(*child, agg, replacement);
+  };
+  descend(out->left);
+  descend(out->right);
+  for (auto& arg : out->args) arg = SubstituteAggregate(*arg, agg, replacement);
+  descend(out->case_operand);
+  for (auto& when : out->whens) {
+    when.condition = SubstituteAggregate(*when.condition, agg, replacement);
+    when.result = SubstituteAggregate(*when.result, agg, replacement);
+  }
+  descend(out->else_expr);
+  return out;
+}
+
+}  // namespace sqloop::core

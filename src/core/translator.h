@@ -1,0 +1,75 @@
+// The translation module (paper §IV-B): renders canonical ASTs as SQL for
+// the connected engine's dialect and provides the AST rewrites the
+// executors need (re-pointing CTE references at real tables, re-qualifying
+// columns, substituting aggregate calls). Auto-configures from the
+// connection's profile.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "dbc/connection.h"
+#include "sql/ast.h"
+#include "sql/printer.h"
+
+namespace sqloop::core {
+
+class Translator {
+ public:
+  explicit Translator(Dialect dialect) : dialect_(dialect) {}
+
+  /// Auto-configuration from the live connection (the paper's "based on
+  /// the JDBC drivers that are used").
+  static Translator For(const dbc::Connection& connection) {
+    return Translator(connection.dialect());
+  }
+
+  Dialect dialect() const noexcept { return dialect_; }
+
+  std::string Render(const sql::Statement& stmt) const {
+    return sql::PrintStatement(stmt, dialect_);
+  }
+  std::string Render(const sql::SelectStmt& select) const {
+    return sql::PrintSelect(select, dialect_);
+  }
+  std::string Render(const sql::Expr& expr) const {
+    return sql::PrintExpr(expr, dialect_);
+  }
+  std::string Quote(const std::string& identifier) const {
+    return sql::QuoteIdentifier(identifier, dialect_);
+  }
+
+  /// CREATE [UNLOGGED] TABLE <name> (...) with engine-appropriate options.
+  /// `primary_key_index` < 0 means no primary key.
+  std::string CreateTableSql(const std::string& name,
+                             const std::vector<sql::ColumnDef>& columns,
+                             int primary_key_index) const;
+
+  std::string DropTableSql(const std::string& name,
+                           bool if_exists = true) const;
+
+ private:
+  Dialect dialect_;
+};
+
+/// Re-points base-table references: any FROM entry whose (folded) table
+/// name appears in `renames` is redirected to the mapped table. The
+/// original name is preserved as the alias so column qualifiers in the
+/// query keep resolving (e.g. `FROM PageRank` -> `FROM pagerank_w AS
+/// PageRank`).
+void RenameBaseTables(
+    sql::SelectStmt& select,
+    const std::unordered_map<std::string, std::string>& renames);
+
+/// Rewrites column-reference qualifiers: refs qualified with `from`
+/// (folded comparison) become qualified with `to`.
+void RequalifyColumns(sql::Expr& expr, const std::string& from,
+                      const std::string& to);
+
+/// Returns a clone of `expr` with the single aggregate call matching
+/// `agg` (structurally) replaced by `replacement`. Used by the gather-side
+/// COUNT/AVG rewrites (paper §V-D).
+sql::ExprPtr SubstituteAggregate(const sql::Expr& expr, const sql::Expr& agg,
+                                 const sql::Expr& replacement);
+
+}  // namespace sqloop::core

@@ -1,0 +1,149 @@
+#include "core/workloads.h"
+
+namespace sqloop::core::workloads {
+namespace {
+
+/// The node universe both examples use: every id appearing in the edge
+/// table as a source or destination.
+constexpr const char* kAllNodes =
+    "(SELECT src FROM edges UNION SELECT dst FROM edges) AS alledges";
+
+}  // namespace
+
+std::string PageRankQuery(int64_t iterations) {
+  // Example 2, verbatim modulo the iteration count.
+  return "WITH ITERATIVE PageRank (Node, Rank, Delta) AS ("
+         " SELECT src, 0, 0.15 FROM " + std::string(kAllNodes) +
+         " GROUP BY src"
+         " ITERATE"
+         " SELECT PageRank.Node,"
+         "  COALESCE(PageRank.Rank + PageRank.Delta, 0.15),"
+         "  COALESCE(0.85 * SUM(IncomingRank.Delta * IncomingEdges.weight),"
+         "           0.0)"
+         " FROM PageRank"
+         " LEFT JOIN edges AS IncomingEdges"
+         "   ON PageRank.Node = IncomingEdges.dst"
+         " LEFT JOIN PageRank AS IncomingRank"
+         "   ON IncomingRank.Node = IncomingEdges.src"
+         " GROUP BY PageRank.Node"
+         " UNTIL " + std::to_string(iterations) + " ITERATIONS"
+         ") SELECT Node, Rank FROM PageRank";
+}
+
+namespace {
+
+// Example 3's iterative member. The paper's listing reads
+// `MIN(Neighbor.Distance + ...)`, but under iterate-then-merge semantics
+// the seeded Delta would never reach Distance and nothing would propagate;
+// using Delta alone oscillates on cycles. The propagating, monotone form
+// is the neighbor's best-known distance LEAST(Distance, Delta) — see
+// DESIGN.md "Execution-model notes".
+std::string SsspCte(int64_t source, const std::string& until) {
+  return "WITH ITERATIVE sssp (Node, Distance, Delta) AS ("
+         " SELECT src, Infinity,"
+         "  CASE WHEN src = " + std::to_string(source) +
+         "   THEN 0 ELSE Infinity END"
+         " FROM " + std::string(kAllNodes) +
+         " GROUP BY src"
+         " ITERATE"
+         " SELECT sssp.Node,"
+         "  LEAST(sssp.Distance, sssp.Delta),"
+         "  COALESCE(MIN(LEAST(Neighbor.Distance, Neighbor.Delta)"
+         "      + IncomingEdges.weight), Infinity)"
+         " FROM sssp"
+         " LEFT JOIN edges AS IncomingEdges ON sssp.Node = IncomingEdges.dst"
+         " LEFT JOIN sssp AS Neighbor ON Neighbor.Node = IncomingEdges.src"
+         " WHERE Neighbor.Delta != Infinity"
+         " GROUP BY sssp.Node"
+         " UNTIL " + until + ")";
+}
+
+}  // namespace
+
+std::string SsspQuery(int64_t source, int64_t destination) {
+  return SsspCte(source, "0 UPDATES") +
+         " SELECT sssp.Distance FROM sssp WHERE sssp.Node = " +
+         std::to_string(destination);
+}
+
+std::string SsspAllQuery(int64_t source) {
+  return SsspCte(source, "0 UPDATES") +
+         " SELECT Node, LEAST(Distance, Delta) FROM sssp"
+         " WHERE LEAST(Distance, Delta) < Infinity";
+}
+
+namespace {
+
+std::string DescendantCte(int64_t source, const std::string& until) {
+  // Hop counts: every edge is one click (§VI-A: "the number of clicks the
+  // user needs to make to go from a given web-page to any other").
+  return "WITH ITERATIVE dq (Node, Hops, Delta) AS ("
+         " SELECT src, Infinity,"
+         "  CASE WHEN src = " + std::to_string(source) +
+         "   THEN 0 ELSE Infinity END"
+         " FROM " + std::string(kAllNodes) +
+         " GROUP BY src"
+         " ITERATE"
+         " SELECT dq.Node,"
+         "  LEAST(dq.Hops, dq.Delta),"
+         "  COALESCE(MIN(LEAST(Neighbor.Hops, Neighbor.Delta) + 1), Infinity)"
+         " FROM dq"
+         " LEFT JOIN edges AS IncomingEdges ON dq.Node = IncomingEdges.dst"
+         " LEFT JOIN dq AS Neighbor ON Neighbor.Node = IncomingEdges.src"
+         " WHERE Neighbor.Delta != Infinity"
+         " GROUP BY dq.Node"
+         " UNTIL " + until + ")";
+}
+
+}  // namespace
+
+std::string DescendantQuery(int64_t source) {
+  return DescendantCte(source, "0 UPDATES") +
+         " SELECT Node, LEAST(Hops, Delta) FROM dq"
+         " WHERE LEAST(Hops, Delta) < Infinity";
+}
+
+std::string DescendantQueryBounded(int64_t source, int64_t max_hops) {
+  return DescendantCte(source, std::to_string(max_hops) + " ITERATIONS") +
+         " SELECT Node, LEAST(Hops, Delta) FROM dq"
+         " WHERE LEAST(Hops, Delta) < Infinity";
+}
+
+std::string ConnectedComponentsQuery() {
+  // Comp absorbs the best (smallest) label seen; Delta accumulates the
+  // minimum label offered by any neighbour. Quiescence = every component
+  // has agreed on its minimum node id.
+  return "WITH ITERATIVE cc (Node, Comp, Delta) AS ("
+         " SELECT src, src, src"
+         " FROM (SELECT src FROM edges_sym UNION"
+         "       SELECT dst FROM edges_sym) AS alln"
+         " GROUP BY src"
+         " ITERATE"
+         " SELECT cc.Node,"
+         "  LEAST(cc.Comp, cc.Delta),"
+         "  COALESCE(MIN(LEAST(Neighbor.Comp, Neighbor.Delta)), Infinity)"
+         " FROM cc"
+         " LEFT JOIN edges_sym AS IncomingEdges"
+         "   ON cc.Node = IncomingEdges.dst"
+         " LEFT JOIN cc AS Neighbor ON Neighbor.Node = IncomingEdges.src"
+         " GROUP BY cc.Node"
+         " UNTIL 0 UPDATES"
+         ") SELECT Node, LEAST(Comp, Delta) FROM cc";
+}
+
+std::string PageRankPriorityQuery() {
+  return "SELECT SUM(ABS(Delta)) FROM $PARTITION";
+}
+
+std::string SsspPriorityQuery() {
+  // A node represents pending work only while its freshly gathered Delta
+  // would still improve its Distance; converged partitions report NULL and
+  // become skippable (paper §V-E).
+  return "SELECT MIN(Delta) FROM $PARTITION WHERE Delta < Distance";
+}
+
+std::string DqPriorityQuery() {
+  return "SELECT MIN(Delta) FROM $PARTITION WHERE Delta < Hops";
+}
+
+}  // namespace sqloop::core::workloads

@@ -1,0 +1,43 @@
+// The paper's evaluation queries (Examples 2 and 3 plus the Descendant
+// Query of §VI-A) as ready-to-run iterative CTE strings, parameterized the
+// way the benchmarks need. All assume an `edges(src, dst, weight)` table
+// with weight = 1/outdegree (see graph::LoadEdges).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sqloop::core::workloads {
+
+/// Example 2 — PageRank over the whole graph, UNTIL n ITERATIONS.
+std::string PageRankQuery(int64_t iterations);
+
+/// Example 3 — single-source shortest path, UNTIL 0 UPDATES. Returns the
+/// distance of `destination`.
+std::string SsspQuery(int64_t source, int64_t destination);
+
+/// Variant returning all distances (used to compare against Dijkstra).
+std::string SsspAllQuery(int64_t source);
+
+/// Descendant Query (§VI-A): hop counts ("clicks") from `source`;
+/// terminates when no hop count improves. Returns all discovered nodes
+/// with their hop counts.
+std::string DescendantQuery(int64_t source);
+
+/// Descendant Query bounded to `max_hops` iterations (the Fig. 4 sweep
+/// over the number of explored nodes).
+std::string DescendantQueryBounded(int64_t source, int64_t max_hops);
+
+/// Connected components by minimum-label propagation (one of the
+/// aggregation-based algorithms §II-B lists as inexpressible with
+/// recursive CTEs). Expects a symmetrized edge table `edges_sym(src,
+/// dst, weight)` (labels must flow against edge direction too).
+std::string ConnectedComponentsQuery();
+
+/// AsyncP priority queries (paper §V-E): PageRank prioritizes partitions
+/// by accumulated delta; SSSP/DQ by smallest tentative delta.
+std::string PageRankPriorityQuery();
+std::string SsspPriorityQuery();   // tentative-distance CTEs (Distance col)
+std::string DqPriorityQuery();     // hop-count CTEs (Hops column)
+
+}  // namespace sqloop::core::workloads

@@ -1,0 +1,126 @@
+#include "dbc/connection.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+#include "sql/parser.h"
+
+namespace sqloop::dbc {
+
+Connection::Connection(std::shared_ptr<minidb::Database> db,
+                       int64_t latency_us, int64_t row_cost_ns)
+    : db_(std::move(db)),
+      executor_(*db_),
+      latency_us_(latency_us),
+      row_cost_ns_(row_cost_ns) {}
+
+Connection::~Connection() {
+  if (!closed_) {
+    try {
+      Close();
+    } catch (...) {
+      // Destructors must not throw; an implicit rollback failure on close
+      // leaves the database as-is.
+    }
+  }
+}
+
+void Connection::PayRoundTrip() {
+  ++stats_.round_trips;
+  if (latency_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+  }
+}
+
+void Connection::PayServerWork(size_t rows_examined) {
+  if (row_cost_ns_ <= 0 || rows_examined == 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(
+      row_cost_ns_ * static_cast<int64_t>(rows_examined)));
+}
+
+void Connection::EnsureOpen() const {
+  if (closed_) throw ConnectionError("connection is closed");
+}
+
+void Connection::EnsureTransactionIfNeeded() {
+  // JDBC: with autocommit off, a transaction is implicitly opened by the
+  // first statement and stays open until commit()/rollback().
+  if (!autocommit_ && !in_explicit_txn_) {
+    executor_.ExecuteSql("BEGIN", &session_);
+    in_explicit_txn_ = true;
+  }
+}
+
+ResultSet Connection::Execute(const std::string& sql) {
+  EnsureOpen();
+  PayRoundTrip();
+  ++stats_.statements;
+  EnsureTransactionIfNeeded();
+  ResultSet result = executor_.ExecuteSql(sql, &session_);
+  PayServerWork(result.rows_examined);
+  return result;
+}
+
+size_t Connection::ExecuteUpdate(const std::string& sql) {
+  return Execute(sql).affected_rows;
+}
+
+void Connection::AddBatch(std::string sql) {
+  EnsureOpen();
+  batch_.push_back(std::move(sql));
+}
+
+std::vector<size_t> Connection::ExecuteBatch() {
+  EnsureOpen();
+  PayRoundTrip();  // the whole batch ships in one round trip
+  EnsureTransactionIfNeeded();
+  std::vector<size_t> affected;
+  affected.reserve(batch_.size());
+  size_t rows_examined = 0;
+  for (const std::string& sql : batch_) {
+    ++stats_.statements;
+    const ResultSet result = executor_.ExecuteSql(sql, &session_);
+    rows_examined += result.rows_examined;
+    affected.push_back(result.affected_rows);
+  }
+  batch_.clear();
+  PayServerWork(rows_examined);
+  return affected;
+}
+
+void Connection::SetAutoCommit(bool autocommit) {
+  EnsureOpen();
+  if (autocommit && in_explicit_txn_) Commit();
+  autocommit_ = autocommit;
+}
+
+void Connection::Commit() {
+  EnsureOpen();
+  if (in_explicit_txn_) {
+    PayRoundTrip();
+    executor_.ExecuteSql("COMMIT", &session_);
+    in_explicit_txn_ = false;
+  }
+}
+
+void Connection::Rollback() {
+  EnsureOpen();
+  if (in_explicit_txn_) {
+    PayRoundTrip();
+    executor_.ExecuteSql("ROLLBACK", &session_);
+    in_explicit_txn_ = false;
+  }
+}
+
+void Connection::Close() {
+  if (closed_) return;
+  if (in_explicit_txn_) {
+    // JDBC drivers roll back uncommitted work on close.
+    executor_.ExecuteSql("ROLLBACK", &session_);
+    in_explicit_txn_ = false;
+  }
+  closed_ = true;
+}
+
+}  // namespace sqloop::dbc

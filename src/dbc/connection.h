@@ -1,0 +1,102 @@
+// Connection / statement API in the JDBC style the paper depends on:
+// execute, executeQuery, executeUpdate, addBatch/executeBatch, transaction
+// control, and isolation levels.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minidb/database.h"
+#include "minidb/executor.h"
+
+namespace sqloop::dbc {
+
+using ResultSet = minidb::ResultSet;
+
+enum class IsolationLevel {
+  kReadCommitted,  // statement-level isolation (minidb's native behaviour)
+  kSerializable,   // accepted and recorded; see DESIGN.md for scope
+};
+
+/// Round-trip / statement counters, exposed so tests and benches can verify
+/// communication-cost claims (e.g. that batching collapses round trips).
+struct ConnectionStats {
+  uint64_t round_trips = 0;
+  uint64_t statements = 0;
+};
+
+/// One client connection to a database. Not thread-safe — use one
+/// connection per thread, exactly as SQLoop does (paper §V-B).
+class Connection {
+ public:
+  Connection(std::shared_ptr<minidb::Database> db, int64_t latency_us,
+             int64_t row_cost_ns = 0);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Executes one statement of any kind; pays one round trip.
+  ResultSet Execute(const std::string& sql);
+
+  /// Executes a statement expected to produce rows.
+  ResultSet ExecuteQuery(const std::string& sql) { return Execute(sql); }
+
+  /// Executes DML; returns the affected-row count.
+  size_t ExecuteUpdate(const std::string& sql);
+
+  /// Queues a statement for ExecuteBatch.
+  void AddBatch(std::string sql);
+
+  /// Runs all queued statements in order, paying a single round trip
+  /// (JDBC's Statement.executeBatch). Returns per-statement affected rows.
+  std::vector<size_t> ExecuteBatch();
+
+  size_t batch_size() const noexcept { return batch_.size(); }
+
+  // --- transactions ----------------------------------------------------
+  /// With autocommit off, the first subsequent statement opens a
+  /// transaction that lasts until Commit/Rollback (JDBC semantics).
+  void SetAutoCommit(bool autocommit);
+  bool auto_commit() const noexcept { return autocommit_; }
+  void Commit();
+  void Rollback();
+
+  void SetTransactionIsolation(IsolationLevel level) noexcept {
+    isolation_ = level;
+  }
+  IsolationLevel transaction_isolation() const noexcept { return isolation_; }
+
+  // --- introspection ---------------------------------------------------
+  const minidb::EngineProfile& profile() const { return db_->profile(); }
+  Dialect dialect() const { return db_->profile().dialect; }
+  const std::string& database_name() const { return db_->name(); }
+  const ConnectionStats& stats() const noexcept { return stats_; }
+  bool closed() const noexcept { return closed_; }
+  void Close();
+
+  /// Direct handle for test fixtures; production code goes through SQL.
+  minidb::Database& database() { return *db_; }
+
+ private:
+  void PayRoundTrip();
+  void PayServerWork(size_t rows_examined);
+  void EnsureOpen() const;
+  void EnsureTransactionIfNeeded();
+
+  std::shared_ptr<minidb::Database> db_;
+  minidb::Executor executor_;
+  minidb::Session session_;
+  std::vector<std::string> batch_;
+  int64_t latency_us_;
+  int64_t row_cost_ns_;
+  bool autocommit_ = true;
+  bool in_explicit_txn_ = false;
+  bool closed_ = false;
+  IsolationLevel isolation_ = IsolationLevel::kReadCommitted;
+  ConnectionStats stats_;
+};
+
+}  // namespace sqloop::dbc

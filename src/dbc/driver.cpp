@@ -1,0 +1,145 @@
+#include "dbc/driver.h"
+
+#include <charconv>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "dbc/connection.h"
+
+namespace sqloop::dbc {
+namespace {
+
+std::mutex& HostMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::unordered_map<std::string, minidb::Server*>& HostMap() {
+  static std::unordered_map<std::string, minidb::Server*> hosts = {
+      {"localhost", &minidb::Server::Default()},
+      {"127.0.0.1", &minidb::Server::Default()},
+  };
+  return hosts;
+}
+
+int64_t ParseInt(const std::string& text, const std::string& what) {
+  int64_t value = 0;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (result.ec != std::errc{} || result.ptr != text.data() + text.size()) {
+    throw ConnectionError("malformed " + what + " '" + text + "' in URL");
+  }
+  return value;
+}
+
+}  // namespace
+
+ConnectionConfig ConnectionConfig::Parse(const std::string& url) {
+  static constexpr std::string_view kScheme = "minidb://";
+  if (!strings::StartsWith(url, kScheme)) {
+    throw ConnectionError("URL '" + url + "' must start with minidb://");
+  }
+  ConnectionConfig config;
+  std::string rest = url.substr(kScheme.size());
+
+  const size_t query_pos = rest.find('?');
+  std::string query;
+  if (query_pos != std::string::npos) {
+    query = rest.substr(query_pos + 1);
+    rest = rest.substr(0, query_pos);
+  }
+
+  const size_t slash = rest.find('/');
+  if (slash == std::string::npos || slash + 1 >= rest.size()) {
+    throw ConnectionError("URL '" + url + "' is missing a database name");
+  }
+  std::string authority = rest.substr(0, slash);
+  config.database = rest.substr(slash + 1);
+
+  const size_t colon = authority.find(':');
+  if (colon != std::string::npos) {
+    config.port =
+        static_cast<int>(ParseInt(authority.substr(colon + 1), "port"));
+    authority = authority.substr(0, colon);
+  }
+  if (authority.empty()) {
+    throw ConnectionError("URL '" + url + "' is missing a host");
+  }
+  config.host = authority;
+
+  if (!query.empty()) {
+    for (const std::string& pair : strings::Split(query, '&')) {
+      if (pair.empty()) continue;
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        throw ConnectionError("malformed URL parameter '" + pair + "'");
+      }
+      const std::string key = strings::ToLower(pair.substr(0, eq));
+      const std::string value = pair.substr(eq + 1);
+      if (key == "latency_us") {
+        config.latency_us = ParseInt(value, "latency_us");
+        if (config.latency_us < 0) {
+          throw ConnectionError("latency_us must be non-negative");
+        }
+      } else if (key == "row_cost_ns") {
+        config.row_cost_ns = ParseInt(value, "row_cost_ns");
+        if (config.row_cost_ns < 0) {
+          throw ConnectionError("row_cost_ns must be non-negative");
+        }
+      } else if (key == "engine") {
+        config.expected_engine = value;
+      } else {
+        throw ConnectionError("unknown URL parameter '" + key + "'");
+      }
+    }
+  }
+  return config;
+}
+
+std::unique_ptr<Connection> DriverManager::GetConnection(
+    const std::string& url) {
+  const ConnectionConfig config = ConnectionConfig::Parse(url);
+
+  minidb::Server* server = nullptr;
+  {
+    const std::scoped_lock lock(HostMutex());
+    const auto it = HostMap().find(strings::ToLower(config.host));
+    if (it != HostMap().end()) server = it->second;
+  }
+  if (server == nullptr) {
+    throw ConnectionError("no database server registered for host '" +
+                          config.host + "'");
+  }
+
+  auto db = server->FindDatabase(config.database);
+  if (!db) {
+    throw ConnectionError("database '" + config.database +
+                          "' does not exist on host '" + config.host + "'");
+  }
+  if (!config.expected_engine.empty()) {
+    const auto expected =
+        minidb::EngineProfile::ByName(config.expected_engine);
+    if (expected.name != db->profile().name) {
+      throw ConnectionError("database '" + config.database + "' runs " +
+                            db->profile().name + ", not the requested " +
+                            expected.name);
+    }
+  }
+  return std::make_unique<Connection>(std::move(db), config.latency_us,
+                                      config.row_cost_ns);
+}
+
+void DriverManager::RegisterHost(const std::string& host,
+                                 minidb::Server* server) {
+  const std::scoped_lock lock(HostMutex());
+  const std::string folded = strings::ToLower(host);
+  if (server == nullptr) {
+    HostMap().erase(folded);
+  } else {
+    HostMap()[folded] = server;
+  }
+}
+
+}  // namespace sqloop::dbc

@@ -1,0 +1,56 @@
+// dbc — the repo's JDBC stand-in (paper §IV-A).
+//
+// SQLoop talks to engines exclusively through this layer: URL-based
+// connection establishment, statements, batching, transactions, and
+// isolation levels. A configurable synthetic round-trip latency models the
+// client/server hop that JDBC drivers pay over TCP; SQLoop's batching and
+// connection-per-worker design only show their value because this cost
+// exists.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "minidb/server.h"
+
+namespace sqloop::dbc {
+
+/// Parsed form of a connection URL:
+///   minidb://<host>[:port]/<database>[?latency_us=N][&engine=<name>]
+struct ConnectionConfig {
+  std::string host = "localhost";
+  int port = 5432;
+  std::string database;
+  /// Simulated one-way-and-back cost of a statement round trip, paid once
+  /// per Execute* call (a whole batch pays it once).
+  int64_t latency_us = 100;
+  /// Simulated server-side processing cost per row examined. Models the
+  /// paper's 32-core testbed on small machines: every connection's
+  /// statements cost time proportional to the data they scan, and those
+  /// costs overlap across connections exactly as they would on a server
+  /// with ample cores (see DESIGN.md "Substitutions"). 0 disables.
+  int64_t row_cost_ns = 0;
+  /// Optional engine assertion: if non-empty, connecting fails unless the
+  /// target database actually runs this engine profile.
+  std::string expected_engine;
+
+  static ConnectionConfig Parse(const std::string& url);
+};
+
+class Connection;
+
+/// Entry point mirroring java.sql.DriverManager. Hosts map to Server
+/// instances; "localhost" is pre-registered to Server::Default().
+class DriverManager {
+ public:
+  /// Opens a connection, or throws ConnectionError (unknown host/database,
+  /// engine mismatch, malformed URL).
+  static std::unique_ptr<Connection> GetConnection(const std::string& url);
+
+  /// Makes `server` reachable as minidb://<host>/... (used to model
+  /// multiple remote database machines). Passing nullptr unregisters.
+  static void RegisterHost(const std::string& host, minidb::Server* server);
+};
+
+}  // namespace sqloop::dbc

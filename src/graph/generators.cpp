@@ -1,0 +1,172 @@
+#include "graph/generators.h"
+
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sqloop::graph {
+namespace {
+
+/// Packs an edge into a dedup key (node ids stay far below 2^32 at every
+/// scale the benches use).
+uint64_t EdgeKey(int64_t src, int64_t dst) {
+  return (static_cast<uint64_t>(src) << 32) | static_cast<uint64_t>(dst);
+}
+
+class EdgeBuilder {
+ public:
+  explicit EdgeBuilder(Graph& graph) : graph_(graph) {}
+
+  bool TryAdd(int64_t src, int64_t dst) {
+    if (src == dst) return false;
+    if (!seen_.insert(EdgeKey(src, dst)).second) return false;
+    graph_.AddEdge(src, dst);
+    return true;
+  }
+
+ private:
+  Graph& graph_;
+  std::unordered_set<uint64_t> seen_;
+};
+
+}  // namespace
+
+Graph MakeWebGraph(int64_t node_count, int avg_out_degree, uint64_t seed) {
+  if (node_count < 2 || avg_out_degree < 1) {
+    throw UsageError("web graph needs >= 2 nodes and >= 1 out-degree");
+  }
+  Graph g;
+  EdgeBuilder builder(g);
+  Rng rng(seed);
+
+  // Preferential attachment with an 80/20 rich-get-richer / uniform mix.
+  // `endpoints` holds one entry per received edge, so sampling from it is
+  // proportional to in-degree.
+  std::vector<int64_t> endpoints = {1};
+  endpoints.reserve(static_cast<size_t>(node_count) * avg_out_degree);
+
+  for (int64_t v = 2; v <= node_count; ++v) {
+    for (int i = 0; i < avg_out_degree; ++i) {
+      int64_t target;
+      if (rng.NextDouble() < 0.8) {
+        target = endpoints[rng.NextBelow(endpoints.size())];
+      } else {
+        target = 1 + static_cast<int64_t>(rng.NextBelow(
+                         static_cast<uint64_t>(v - 1)));
+      }
+      if (builder.TryAdd(v, target)) endpoints.push_back(target);
+    }
+    endpoints.push_back(v);
+  }
+
+  // A sprinkle of random edges creates the cycles real web graphs have.
+  const int64_t extra = node_count / 10 + 1;
+  for (int64_t i = 0; i < extra; ++i) {
+    const auto u = 1 + static_cast<int64_t>(
+                           rng.NextBelow(static_cast<uint64_t>(node_count)));
+    const auto v = 1 + static_cast<int64_t>(
+                           rng.NextBelow(static_cast<uint64_t>(node_count)));
+    builder.TryAdd(u, v);
+  }
+
+  g.AssignOutDegreeWeights();
+  return g;
+}
+
+Graph MakeEgoNetGraph(int64_t circle_count, int64_t circle_size,
+                      double intra_edge_probability, uint64_t seed,
+                      bool bidirectional) {
+  if (circle_count < 1 || circle_size < 2) {
+    throw UsageError("ego-net graph needs >= 1 circle of >= 2 nodes");
+  }
+  if (intra_edge_probability <= 0 || intra_edge_probability > 1) {
+    throw UsageError("intra_edge_probability must be in (0, 1]");
+  }
+  Graph g;
+  EdgeBuilder builder(g);
+  Rng rng(seed);
+
+  const auto node_id = [&](int64_t circle, int64_t index) {
+    return circle * circle_size + index + 1;  // ids start at 1
+  };
+
+  for (int64_t c = 0; c < circle_count; ++c) {
+    // Dense intra-circle structure: a ring guaranteeing connectivity plus
+    // random chords at the requested density.
+    for (int64_t i = 0; i < circle_size; ++i) {
+      builder.TryAdd(node_id(c, i), node_id(c, (i + 1) % circle_size));
+      if (bidirectional) {
+        builder.TryAdd(node_id(c, (i + 1) % circle_size), node_id(c, i));
+      }
+    }
+    const auto chords = static_cast<int64_t>(
+        intra_edge_probability * static_cast<double>(circle_size) *
+        static_cast<double>(circle_size - 1));
+    for (int64_t k = 0; k < chords; ++k) {
+      const auto a = static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(circle_size)));
+      const auto b = static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(circle_size)));
+      builder.TryAdd(node_id(c, a), node_id(c, b));
+    }
+    // Weak ties to the next circle (both directions, few of them), so the
+    // cluster chain is traversable but cross-circle paths stay long.
+    if (c + 1 < circle_count) {
+      for (int k = 0; k < 2; ++k) {
+        const auto a = static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(circle_size)));
+        const auto b = static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(circle_size)));
+        builder.TryAdd(node_id(c, a), node_id(c + 1, b));
+        if (bidirectional) builder.TryAdd(node_id(c + 1, b), node_id(c, a));
+      }
+    }
+  }
+
+  g.AssignOutDegreeWeights();
+  return g;
+}
+
+Graph MakeHostGraph(int64_t host_count, int64_t pages_per_host,
+                    int64_t backbone_length, uint64_t seed) {
+  if (host_count < 1 || pages_per_host < 2 || backbone_length < 1) {
+    throw UsageError("host graph needs hosts, pages and a backbone");
+  }
+  Graph g;
+  EdgeBuilder builder(g);
+  Rng rng(seed);
+
+  // Navigation backbone 0 -> 1 -> ... -> L. No edge generated anywhere
+  // else may target a backbone node, so node k stays exactly k clicks
+  // from node 0 (the Fig. 6 DQ guarantee).
+  for (int64_t k = 0; k < backbone_length; ++k) builder.TryAdd(k, k + 1);
+
+  const auto page_id = [&](int64_t host, int64_t page) {
+    return backbone_length + 1 + host * pages_per_host + page;
+  };
+
+  for (int64_t h = 0; h < host_count; ++h) {
+    const int64_t home = page_id(h, 0);
+    // Host-local structure: hub-and-spoke plus a local chain, like a site
+    // with an index page and article sequences.
+    for (int64_t p = 1; p < pages_per_host; ++p) {
+      builder.TryAdd(home, page_id(h, p));
+      builder.TryAdd(page_id(h, p), home);
+      if (p + 1 < pages_per_host && rng.NextDouble() < 0.5) {
+        builder.TryAdd(page_id(h, p), page_id(h, p + 1));
+      }
+    }
+    // Each host hangs off one backbone node (one-way: backbone -> host).
+    const int64_t attach =
+        (h * backbone_length) / host_count;  // spread along the backbone
+    builder.TryAdd(attach, home);
+    // Sparse cross-host links within the same "domain half".
+    if (h + 1 < host_count) builder.TryAdd(home, page_id(h + 1, 0));
+  }
+
+  g.AssignOutDegreeWeights();
+  return g;
+}
+
+}  // namespace sqloop::graph

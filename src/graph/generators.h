@@ -1,0 +1,38 @@
+// Deterministic synthetic dataset generators standing in for the paper's
+// SNAP datasets (see DESIGN.md "Substitutions"). Every generator takes an
+// explicit seed and is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace sqloop::graph {
+
+/// Stand-in for web-Google (paper: 5,105,039 edges): a directed
+/// preferential-attachment graph whose in-degrees follow a power law.
+/// ~`avg_out_degree` edges per node. Used for the PageRank experiments.
+Graph MakeWebGraph(int64_t node_count, int avg_out_degree, uint64_t seed);
+
+/// Stand-in for the Twitter ego-network dataset (paper: 1,768,149 edges):
+/// dense clusters ("circles") with sparse weak ties between consecutive
+/// circles. Short intra-cluster paths, longer cross-cluster traversals —
+/// the SSSP workload's structure.
+/// `bidirectional` controls whether ring/tie edges get a reverse twin.
+/// Twitter follower edges are directed; pass false for the faithful
+/// directed variant (forward-only traversal => sparse SSSP frontiers).
+Graph MakeEgoNetGraph(int64_t circle_count, int64_t circle_size,
+                      double intra_edge_probability, uint64_t seed,
+                      bool bidirectional = true);
+
+/// Stand-in for web-BerkStan (paper: 7,600,595 edges): two "domains" of
+/// host-local link structure plus a long navigation backbone, guaranteeing
+/// page pairs that are exactly `backbone_length` clicks apart (the paper's
+/// Fig. 6 DQ uses a pair 100 clicks apart).
+///
+/// Backbone node ids are 0..backbone_length: node k is exactly k clicks
+/// from node 0 along the backbone (and no shortcut is generated).
+Graph MakeHostGraph(int64_t host_count, int64_t pages_per_host,
+                    int64_t backbone_length, uint64_t seed);
+
+}  // namespace sqloop::graph

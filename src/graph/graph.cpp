@@ -1,0 +1,82 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "common/error.h"
+
+namespace sqloop::graph {
+
+void Graph::AddEdge(int64_t src, int64_t dst) {
+  edges_.push_back({src, dst, 0.0});
+}
+
+std::vector<int64_t> Graph::Nodes() const {
+  std::set<int64_t> ids;
+  for (const Edge& e : edges_) {
+    ids.insert(e.src);
+    ids.insert(e.dst);
+  }
+  return {ids.begin(), ids.end()};
+}
+
+size_t Graph::NodeCount() const { return Nodes().size(); }
+
+std::unordered_map<int64_t, size_t> Graph::OutDegrees() const {
+  std::unordered_map<int64_t, size_t> degrees;
+  for (const Edge& e : edges_) ++degrees[e.src];
+  return degrees;
+}
+
+void Graph::AssignOutDegreeWeights() {
+  const auto degrees = OutDegrees();
+  for (Edge& e : edges_) {
+    e.weight = 1.0 / static_cast<double>(degrees.at(e.src));
+  }
+}
+
+std::unordered_map<int64_t, std::vector<std::pair<int64_t, double>>>
+Graph::OutAdjacency() const {
+  std::unordered_map<int64_t, std::vector<std::pair<int64_t, double>>> adj;
+  for (const Edge& e : edges_) adj[e.src].emplace_back(e.dst, e.weight);
+  return adj;
+}
+
+std::unordered_map<int64_t, std::vector<std::pair<int64_t, double>>>
+Graph::InAdjacency() const {
+  std::unordered_map<int64_t, std::vector<std::pair<int64_t, double>>> adj;
+  for (const Edge& e : edges_) adj[e.dst].emplace_back(e.src, e.weight);
+  return adj;
+}
+
+void Graph::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw UsageError("cannot open '" + path + "' for writing");
+  for (const Edge& e : edges_) {
+    out << e.src << ',' << e.dst << ',' << e.weight << '\n';
+  }
+}
+
+Graph Graph::LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw UsageError("cannot open '" + path + "' for reading");
+  Graph g;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t c1 = line.find(',');
+    const size_t c2 = line.find(',', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      throw UsageError("malformed edge line: " + line);
+    }
+    Edge e;
+    e.src = std::stoll(line.substr(0, c1));
+    e.dst = std::stoll(line.substr(c1 + 1, c2 - c1 - 1));
+    e.weight = std::stod(line.substr(c2 + 1));
+    g.edges_.push_back(e);
+  }
+  return g;
+}
+
+}  // namespace sqloop::graph

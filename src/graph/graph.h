@@ -1,0 +1,53 @@
+// Directed graph container shared by the generators, the loader, and the
+// reference algorithms. Edge weights follow the paper's convention:
+// weight(u→v) = 1 / outdegree(u).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sqloop::graph {
+
+struct Edge {
+  int64_t src = 0;
+  int64_t dst = 0;
+  double weight = 0;  // filled by AssignOutDegreeWeights
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  void AddEdge(int64_t src, int64_t dst);
+
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+  size_t edge_count() const noexcept { return edges_.size(); }
+
+  /// Distinct node ids appearing as a source or destination, sorted.
+  std::vector<int64_t> Nodes() const;
+  size_t NodeCount() const;
+
+  /// Sets every edge's weight to 1/outdegree(src) — the paper's weighting.
+  void AssignOutDegreeWeights();
+
+  /// Out-adjacency: node -> (neighbor, weight) pairs.
+  std::unordered_map<int64_t, std::vector<std::pair<int64_t, double>>>
+  OutAdjacency() const;
+
+  /// In-adjacency: node -> (predecessor, weight) pairs.
+  std::unordered_map<int64_t, std::vector<std::pair<int64_t, double>>>
+  InAdjacency() const;
+
+  std::unordered_map<int64_t, size_t> OutDegrees() const;
+
+  /// Writes/reads "src,dst,weight" CSV (one edge per line, no header).
+  void SaveCsv(const std::string& path) const;
+  static Graph LoadCsv(const std::string& path);
+
+ private:
+  std::vector<Edge> edges_;
+};
+
+}  // namespace sqloop::graph

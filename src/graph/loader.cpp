@@ -1,0 +1,81 @@
+#include "graph/loader.h"
+
+#include <string>
+
+#include "sql/printer.h"
+#include "sql/value.h"
+
+namespace sqloop::graph {
+
+void LoadEdges(dbc::Connection& connection, const Graph& graph,
+               const LoadOptions& options) {
+  const Dialect dialect = connection.dialect();
+
+  if (options.drop_existing) {
+    connection.Execute("DROP TABLE IF EXISTS " +
+                       sql::QuoteIdentifier(options.table_name, dialect));
+  }
+
+  // Engine-appropriate DDL: UNLOGGED on postgres, ENGINE=MyISAM on the
+  // MySQL family (the paper's §VI-A configuration for both).
+  sql::Statement create;
+  create.kind = sql::StatementKind::kCreateTable;
+  create.table_name = options.table_name;
+  create.columns = {{"src", ValueType::kInt64, "BIGINT"},
+                    {"dst", ValueType::kInt64, "BIGINT"},
+                    {"weight", ValueType::kDouble, ""}};
+  create.unlogged = true;
+  connection.Execute(sql::PrintStatement(create, dialect));
+
+  // Multi-row INSERT statements, several per batch round trip.
+  constexpr size_t kStatementsPerBatch = 8;
+  std::string statement;
+  size_t rows_in_statement = 0;
+  size_t statements_in_batch = 0;
+
+  const auto flush_statement = [&] {
+    if (rows_in_statement == 0) return;
+    connection.AddBatch(std::move(statement));
+    statement.clear();
+    rows_in_statement = 0;
+    if (++statements_in_batch >= kStatementsPerBatch) {
+      connection.ExecuteBatch();
+      statements_in_batch = 0;
+    }
+  };
+
+  for (const Edge& edge : graph.edges()) {
+    if (rows_in_statement == 0) {
+      statement = "INSERT INTO " +
+                  sql::QuoteIdentifier(options.table_name, dialect) +
+                  " VALUES ";
+    } else {
+      statement += ", ";
+    }
+    statement += "(" + std::to_string(edge.src) + ", " +
+                 std::to_string(edge.dst) + ", " +
+                 Value(edge.weight).ToSqlLiteral() + ")";
+    if (++rows_in_statement >= options.batch_size) flush_statement();
+  }
+  flush_statement();
+  if (statements_in_batch > 0 || connection.batch_size() > 0) {
+    connection.ExecuteBatch();
+  }
+
+  if (options.create_indexes) {
+    connection.Execute("CREATE INDEX " +
+                       sql::QuoteIdentifier(options.table_name + "_src",
+                                            dialect) +
+                       " ON " +
+                       sql::QuoteIdentifier(options.table_name, dialect) +
+                       " (src)");
+    connection.Execute("CREATE INDEX " +
+                       sql::QuoteIdentifier(options.table_name + "_dst",
+                                            dialect) +
+                       " ON " +
+                       sql::QuoteIdentifier(options.table_name, dialect) +
+                       " (dst)");
+  }
+}
+
+}  // namespace sqloop::graph

@@ -1,0 +1,125 @@
+#include "graph/reference.h"
+
+#include <deque>
+#include <functional>
+#include <queue>
+
+namespace sqloop::graph {
+
+std::unordered_map<int64_t, double> Dijkstra(const Graph& graph,
+                                             int64_t source) {
+  const auto adjacency = graph.OutAdjacency();
+  std::unordered_map<int64_t, double> dist;
+  using Entry = std::pair<double, int64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  dist[source] = 0;
+  frontier.emplace(0.0, source);
+  while (!frontier.empty()) {
+    const auto [d, node] = frontier.top();
+    frontier.pop();
+    const auto it = dist.find(node);
+    if (it != dist.end() && d > it->second) continue;  // stale entry
+    const auto adj = adjacency.find(node);
+    if (adj == adjacency.end()) continue;
+    for (const auto& [next, weight] : adj->second) {
+      const double candidate = d + weight;
+      const auto existing = dist.find(next);
+      if (existing == dist.end() || candidate < existing->second) {
+        dist[next] = candidate;
+        frontier.emplace(candidate, next);
+      }
+    }
+  }
+  return dist;
+}
+
+std::unordered_map<int64_t, int64_t> BfsHops(const Graph& graph,
+                                             int64_t source) {
+  const auto adjacency = graph.OutAdjacency();
+  std::unordered_map<int64_t, int64_t> hops;
+  std::deque<int64_t> frontier;
+  hops[source] = 0;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    const int64_t node = frontier.front();
+    frontier.pop_front();
+    const auto adj = adjacency.find(node);
+    if (adj == adjacency.end()) continue;
+    for (const auto& [next, weight] : adj->second) {
+      if (hops.try_emplace(next, hops[node] + 1).second) {
+        frontier.push_back(next);
+      }
+    }
+  }
+  return hops;
+}
+
+PageRankResult PageRankReference(const Graph& graph, int iterations) {
+  const auto in_adjacency = graph.InAdjacency();
+  const auto nodes = graph.Nodes();
+
+  std::unordered_map<int64_t, double> rank;
+  std::unordered_map<int64_t, double> delta;
+  rank.reserve(nodes.size());
+  delta.reserve(nodes.size());
+  for (const int64_t node : nodes) {
+    rank[node] = 0.0;
+    delta[node] = 0.15;
+  }
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::unordered_map<int64_t, double> next_delta;
+    next_delta.reserve(nodes.size());
+    for (const int64_t node : nodes) {
+      rank[node] += delta[node];
+      double incoming = 0.0;
+      const auto in = in_adjacency.find(node);
+      if (in != in_adjacency.end()) {
+        for (const auto& [pred, weight] : in->second) {
+          incoming += delta[pred] * weight;
+        }
+      }
+      next_delta[node] = 0.85 * incoming;
+    }
+    delta = std::move(next_delta);
+  }
+
+  PageRankResult result;
+  result.rank = std::move(rank);
+  for (const auto& [node, r] : result.rank) result.sum_of_rank += r;
+  return result;
+}
+
+std::unordered_map<int64_t, int64_t> ConnectedComponents(const Graph& graph) {
+  // Union-find over node ids.
+  std::unordered_map<int64_t, int64_t> parent;
+  const std::function<int64_t(int64_t)> find = [&](int64_t x) -> int64_t {
+    auto it = parent.find(x);
+    if (it == parent.end()) {
+      parent[x] = x;
+      return x;
+    }
+    if (it->second == x) return x;
+    const int64_t root = find(it->second);
+    parent[x] = root;
+    return root;
+  };
+  const auto unite = [&](int64_t a, int64_t b) {
+    const int64_t ra = find(a);
+    const int64_t rb = find(b);
+    if (ra == rb) return;
+    // Smaller id becomes the root so component labels are canonical.
+    if (ra < rb) {
+      parent[rb] = ra;
+    } else {
+      parent[ra] = rb;
+    }
+  };
+  for (const Edge& e : graph.edges()) unite(e.src, e.dst);
+
+  std::unordered_map<int64_t, int64_t> component;
+  for (const int64_t node : graph.Nodes()) component[node] = find(node);
+  return component;
+}
+
+}  // namespace sqloop::graph

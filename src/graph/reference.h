@@ -1,0 +1,36 @@
+// Reference implementations of the paper's three workloads (plus connected
+// components), used as ground truth by the property tests: whatever the
+// SQLoop executors compute must match these.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/graph.h"
+
+namespace sqloop::graph {
+
+/// Dijkstra shortest-path distances from `source`. Unreachable nodes are
+/// absent from the map.
+std::unordered_map<int64_t, double> Dijkstra(const Graph& graph,
+                                             int64_t source);
+
+/// BFS hop counts from `source` treating every edge as one "click".
+std::unordered_map<int64_t, int64_t> BfsHops(const Graph& graph,
+                                             int64_t source);
+
+struct PageRankResult {
+  std::unordered_map<int64_t, double> rank;
+  double sum_of_rank = 0;  // the paper's convergence metric (§VI-A)
+};
+
+/// Synchronous delta-accumulative PageRank exactly as Example 2 computes
+/// it: rank starts at 0, delta at 0.15; each iteration does
+///   rank += delta;  delta'[v] = 0.85 * Σ_{(u,v)} delta[u] * weight(u,v).
+PageRankResult PageRankReference(const Graph& graph, int iterations);
+
+/// Weakly-connected components (edges treated as undirected); returns
+/// node -> smallest node id in its component.
+std::unordered_map<int64_t, int64_t> ConnectedComponents(const Graph& graph);
+
+}  // namespace sqloop::graph

@@ -1,0 +1,97 @@
+#include "minidb/database.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace sqloop::minidb {
+
+EngineProfile EngineProfile::ByName(const std::string& name) {
+  const std::string folded = FoldIdentifier(name);
+  if (folded == "postgres" || folded == "postgresql") return Postgres();
+  if (folded == "mysql") return MySql();
+  if (folded == "mariadb") return MariaDb();
+  if (folded == "canonical" || folded.empty()) return Canonical();
+  throw UsageError("unknown engine profile '" + name + "'");
+}
+
+Database::Database(std::string name, EngineProfile profile)
+    : name_(std::move(name)), profile_(std::move(profile)) {}
+
+void Database::CreateTable(const std::string& table_name, Schema schema,
+                           bool if_not_exists) {
+  const std::string folded = FoldIdentifier(table_name);
+  const std::scoped_lock lock(catalog_lock_);
+  if (tables_.contains(folded) || views_.contains(folded)) {
+    if (if_not_exists) return;
+    throw ExecutionError("relation '" + table_name + "' already exists");
+  }
+  tables_.emplace(folded, std::make_shared<Table>(folded, std::move(schema)));
+}
+
+bool Database::DropTable(const std::string& table_name, bool if_exists) {
+  const std::string folded = FoldIdentifier(table_name);
+  const std::scoped_lock lock(catalog_lock_);
+  if (tables_.erase(folded) > 0) return true;
+  if (!if_exists) {
+    throw ExecutionError("table '" + table_name + "' does not exist");
+  }
+  return false;
+}
+
+void Database::CreateView(const std::string& view_name,
+                          sql::SelectPtr definition) {
+  const std::string folded = FoldIdentifier(view_name);
+  const std::scoped_lock lock(catalog_lock_);
+  if (tables_.contains(folded) || views_.contains(folded)) {
+    throw ExecutionError("relation '" + view_name + "' already exists");
+  }
+  views_.emplace(folded, std::shared_ptr<const sql::SelectStmt>(
+                             definition.release()));
+}
+
+bool Database::DropView(const std::string& view_name, bool if_exists) {
+  const std::string folded = FoldIdentifier(view_name);
+  const std::scoped_lock lock(catalog_lock_);
+  if (views_.erase(folded) > 0) return true;
+  if (!if_exists) {
+    throw ExecutionError("view '" + view_name + "' does not exist");
+  }
+  return false;
+}
+
+std::shared_ptr<Table> Database::FindTable(
+    const std::string& table_name) const {
+  const std::shared_lock lock(catalog_lock_);
+  const auto it = tables_.find(FoldIdentifier(table_name));
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const sql::SelectStmt> Database::FindView(
+    const std::string& view_name) const {
+  const std::shared_lock lock(catalog_lock_);
+  const auto it = views_.find(FoldIdentifier(view_name));
+  return it == views_.end() ? nullptr : it->second;
+}
+
+bool Database::HasTable(const std::string& table_name) const {
+  const std::shared_lock lock(catalog_lock_);
+  return tables_.contains(FoldIdentifier(table_name));
+}
+
+bool Database::HasView(const std::string& view_name) const {
+  const std::shared_lock lock(catalog_lock_);
+  return views_.contains(FoldIdentifier(view_name));
+}
+
+std::vector<std::string> Database::TableNames() const {
+  const std::shared_lock lock(catalog_lock_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace sqloop::minidb

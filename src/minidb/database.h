@@ -1,0 +1,57 @@
+// A minidb database: catalog of tables and views plus the engine profile.
+// Thread-safe for concurrent connections; the catalog has its own RW lock
+// and each table carries a table-level RW lock (see table.h).
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "minidb/engine_profile.h"
+#include "minidb/table.h"
+#include "sql/ast.h"
+
+namespace sqloop::minidb {
+
+class Database {
+ public:
+  explicit Database(std::string name,
+                    EngineProfile profile = EngineProfile::Canonical());
+
+  const std::string& name() const noexcept { return name_; }
+  const EngineProfile& profile() const noexcept { return profile_; }
+
+  // --- catalog operations (internally locked) -------------------------
+
+  void CreateTable(const std::string& table_name, Schema schema,
+                   bool if_not_exists);
+  bool DropTable(const std::string& table_name, bool if_exists);
+
+  void CreateView(const std::string& view_name, sql::SelectPtr definition);
+  bool DropView(const std::string& view_name, bool if_exists);
+
+  /// Looks up a table; returns nullptr if absent. The returned pointer
+  /// stays valid until the table is dropped (shared ownership).
+  std::shared_ptr<Table> FindTable(const std::string& table_name) const;
+
+  /// Looks up a view definition; returns nullptr if absent.
+  std::shared_ptr<const sql::SelectStmt> FindView(
+      const std::string& view_name) const;
+
+  bool HasTable(const std::string& table_name) const;
+  bool HasView(const std::string& view_name) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::string name_;
+  EngineProfile profile_;
+  mutable std::shared_mutex catalog_lock_;
+  std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::shared_ptr<const sql::SelectStmt>>
+      views_;
+};
+
+}  // namespace sqloop::minidb

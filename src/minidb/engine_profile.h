@@ -1,0 +1,60 @@
+// Engine profiles — the reproduction's stand-in for PostgreSQL 9.6,
+// MySQL 5.7, and MariaDB 10.2 (paper §VI-A).
+//
+// The profiles differ in genuinely engine-like ways:
+//   * join algorithm: PostgreSQL 9.6 has a hash join; MySQL 5.7 famously
+//     did not (nested loop only, index nested loop when an index exists);
+//     MariaDB 10.2 had block-hash joins available as a fallback.
+//   * aggregation: hash aggregation (postgres) vs sort-based (mysql family).
+//   * dialect strictness: each profile rejects the other family's DDL
+//     spellings, which is what makes SQLoop's translation module necessary.
+#pragma once
+
+#include <string>
+
+#include "sql/dialect.h"
+
+namespace sqloop::minidb {
+
+enum class JoinAlgorithm {
+  kHash,             // build/probe hash join on equi-keys
+  kNestedLoop,       // index nested loop if possible, else plain nested loop
+  kNestedLoopOrHash, // index nested loop if possible, else hash join
+};
+
+enum class AggAlgorithm { kHash, kSort };
+
+struct EngineProfile {
+  std::string name;
+  Dialect dialect = Dialect::kCanonical;
+  JoinAlgorithm join_algorithm = JoinAlgorithm::kHash;
+  AggAlgorithm agg_algorithm = AggAlgorithm::kHash;
+  bool strict_dialect = false;
+  // MySQL 5.7 (the paper's version) predates recursive CTE support; SQLoop
+  // emulates recursion client-side for such engines (§IV-B).
+  bool supports_recursive_cte = true;
+
+  static EngineProfile Postgres() {
+    return {"postgres", Dialect::kPostgres, JoinAlgorithm::kHash,
+            AggAlgorithm::kHash, true, true};
+  }
+  static EngineProfile MySql() {
+    return {"mysql", Dialect::kMySql, JoinAlgorithm::kNestedLoop,
+            AggAlgorithm::kSort, true, false};
+  }
+  static EngineProfile MariaDb() {
+    return {"mariadb", Dialect::kMariaDb, JoinAlgorithm::kNestedLoopOrHash,
+            AggAlgorithm::kSort, true, true};
+  }
+  /// Permissive profile used by unit tests.
+  static EngineProfile Canonical() {
+    return {"canonical", Dialect::kCanonical, JoinAlgorithm::kHash,
+            AggAlgorithm::kHash, false, true};
+  }
+
+  /// Looks a profile up by name ("postgres", "mysql", "mariadb",
+  /// "canonical"). Throws UsageError on unknown names.
+  static EngineProfile ByName(const std::string& name);
+};
+
+}  // namespace sqloop::minidb

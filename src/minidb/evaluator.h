@@ -1,0 +1,96 @@
+// Expression evaluation over in-flight relations, with SQL NULL semantics
+// (three-valued logic, NULL-propagating arithmetic) and the aggregate
+// accumulators for SUM / MIN / MAX / COUNT / AVG.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "minidb/schema.h"
+#include "sql/ast.h"
+
+namespace sqloop::minidb {
+
+/// Where a column of an intermediate relation came from: `qualifier` is the
+/// table alias (folded), `name` the column name (folded).
+struct ColumnBinding {
+  std::string qualifier;
+  std::string name;
+};
+
+/// A materialized intermediate relation flowing between operators.
+struct Relation {
+  std::vector<ColumnBinding> columns;
+  std::vector<Row> rows;
+};
+
+/// Evaluation context: the current row inside a relation, plus (during
+/// aggregate projection) the values computed for each aggregate
+/// sub-expression of the SELECT list.
+///
+/// `resolution_cache` memoizes column-reference lookups per (expression
+/// node, relation) so hot loops avoid repeated linear scans.
+struct EvalContext {
+  const std::vector<ColumnBinding>* columns = nullptr;
+  const Row* row = nullptr;
+  const std::vector<const sql::Expr*>* agg_exprs = nullptr;
+  const std::vector<Value>* agg_values = nullptr;
+  std::unordered_map<const sql::Expr*, int>* resolution_cache = nullptr;
+};
+
+/// Evaluates `expr` in `ctx`. Throws AnalysisError for unresolved or
+/// ambiguous columns and ExecutionError for runtime type errors.
+Value Evaluate(const sql::Expr& expr, const EvalContext& ctx);
+
+/// True when the value counts as satisfied in a WHERE/HAVING/ON position
+/// (non-NULL and numerically non-zero).
+bool Truthy(const Value& v);
+
+/// Resolves a column reference against a binding list. Returns the column
+/// index; throws AnalysisError if missing or ambiguous.
+int ResolveColumn(const std::vector<ColumnBinding>& columns,
+                  const std::string& qualifier, const std::string& name);
+
+/// Same, but returns -1 instead of throwing when the column is absent
+/// (still throws on ambiguity).
+int TryResolveColumn(const std::vector<ColumnBinding>& columns,
+                     const std::string& qualifier, const std::string& name);
+
+/// True if every column reference in `expr` resolves in `columns`.
+bool AllColumnsResolve(const sql::Expr& expr,
+                       const std::vector<ColumnBinding>& columns);
+
+/// Streaming accumulator for one aggregate function.
+class Accumulator {
+ public:
+  Accumulator(sql::AggFunc func, bool distinct);
+
+  /// Feeds one input value (ignored when NULL, per SQL).
+  void Add(const Value& v);
+
+  Value Result() const;
+
+ private:
+  bool ShouldSkipDuplicate(const Value& v);
+
+  sql::AggFunc func_;
+  bool distinct_;
+  std::unordered_set<Value, ValueKeyHash, ValueKeyEq> seen_;
+
+  int64_t value_count_ = 0;  // accepted (non-NULL, non-duplicate) inputs
+  int64_t int_sum_ = 0;
+  double double_sum_ = 0;
+  bool saw_double_ = false;
+  Value extreme_;           // running MIN/MAX
+};
+
+/// Collects the distinct aggregate sub-expressions (by structural equality)
+/// appearing in `expr` into `out`.
+void CollectAggregates(const sql::Expr& expr,
+                       std::vector<const sql::Expr*>& out);
+
+/// True if `expr` contains any aggregate function call.
+bool ContainsAggregate(const sql::Expr& expr);
+
+}  // namespace sqloop::minidb

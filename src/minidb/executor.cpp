@@ -1,0 +1,1523 @@
+#include "minidb/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "common/error.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace sqloop::minidb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lock management: all tables a statement touches are locked up front in
+// name order (shared for reads, exclusive for writes). Sorted acquisition
+// makes deadlock impossible; std::map keeps the order for us.
+// ---------------------------------------------------------------------------
+
+class LockSet {
+ public:
+  LockSet() = default;
+  LockSet(const LockSet&) = delete;
+  LockSet& operator=(const LockSet&) = delete;
+
+  void Request(std::shared_ptr<Table> table, bool write) {
+    if (!table) return;
+    const std::string name = table->name();
+    auto [it, inserted] =
+        entries_.try_emplace(name, Entry{std::move(table), write});
+    if (!inserted) it->second.write |= write;
+  }
+
+  void AcquireAll() {
+    for (auto& [name, entry] : entries_) {
+      if (entry.write) {
+        entry.table->lock().lock();
+      } else {
+        entry.table->lock().lock_shared();
+      }
+      entry.locked = true;
+    }
+  }
+
+  ~LockSet() {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (!it->second.locked) continue;
+      if (it->second.write) {
+        it->second.table->lock().unlock();
+      } else {
+        it->second.table->lock().unlock_shared();
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<Table> table;
+    bool write = false;
+    bool locked = false;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Walks statements collecting every base table referenced (views are
+/// expanded to their underlying tables; CTE names are excluded).
+class TableCollector {
+ public:
+  explicit TableCollector(const Database& db) : db_(db) {}
+
+  void AddName(const std::string& raw_name,
+               const std::set<std::string>& ctes) {
+    const std::string name = FoldIdentifier(raw_name);
+    if (ctes.contains(name)) return;
+    if (const auto view = db_.FindView(name)) {
+      if (visited_views_.insert(name).second) {
+        FromSelect(*view, ctes);
+      }
+      return;
+    }
+    reads_.insert(name);
+  }
+
+  void FromTableRef(const sql::TableRef& ref,
+                    const std::set<std::string>& ctes) {
+    switch (ref.kind) {
+      case sql::TableRefKind::kBase:
+        AddName(ref.table_name, ctes);
+        return;
+      case sql::TableRefKind::kJoin:
+        FromTableRef(*ref.left, ctes);
+        FromTableRef(*ref.right, ctes);
+        return;
+      case sql::TableRefKind::kSubquery:
+        FromSelect(*ref.subquery, ctes);
+        return;
+    }
+  }
+
+  void FromSelect(const sql::SelectStmt& stmt,
+                  const std::set<std::string>& ctes) {
+    for (const auto& core : stmt.cores) {
+      if (core.from) FromTableRef(*core.from, ctes);
+    }
+  }
+
+  /// Adds all requests to `locks`. `written` names get exclusive locks.
+  void Apply(LockSet& locks, const Database& db,
+             const std::set<std::string>& written) const {
+    std::set<std::string> all = reads_;
+    for (const auto& name : written) all.insert(FoldIdentifier(name));
+    for (const auto& name : all) {
+      locks.Request(db.FindTable(name),
+                    written.contains(name) ||
+                        written.contains(FoldIdentifier(name)));
+    }
+  }
+
+ private:
+  const Database& db_;
+  std::set<std::string> reads_;
+  std::set<std::string> visited_views_;
+};
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+ResultSet RelationToResult(Relation&& rel) {
+  ResultSet out;
+  out.columns.reserve(rel.columns.size());
+  for (const auto& binding : rel.columns) out.columns.push_back(binding.name);
+  out.rows = std::move(rel.rows);
+  return out;
+}
+
+Relation ResultToRelation(ResultSet&& result, const std::string& qualifier) {
+  Relation rel;
+  const std::string folded = FoldIdentifier(qualifier);
+  rel.columns.reserve(result.columns.size());
+  for (const auto& name : result.columns) {
+    rel.columns.push_back({folded, FoldIdentifier(name)});
+  }
+  rel.rows = std::move(result.rows);
+  return rel;
+}
+
+/// Renames a relation's columns from an explicit CTE column list.
+void RenameColumns(Relation& rel, const std::vector<std::string>& names) {
+  if (names.empty()) return;
+  if (names.size() != rel.columns.size()) {
+    throw AnalysisError("CTE declares " + std::to_string(names.size()) +
+                        " columns but its body produces " +
+                        std::to_string(rel.columns.size()));
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    rel.columns[i].name = FoldIdentifier(names[i]);
+  }
+}
+
+/// Copies a relation, re-qualifying its columns under `alias` (how a CTE or
+/// view becomes visible in a FROM clause).
+Relation BindAs(const Relation& rel, const std::string& alias) {
+  Relation out;
+  const std::string folded = FoldIdentifier(alias);
+  out.columns.reserve(rel.columns.size());
+  for (const auto& binding : rel.columns) {
+    out.columns.push_back({folded, binding.name});
+  }
+  out.rows = rel.rows;
+  return out;
+}
+
+std::string OutputName(const sql::SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return FoldIdentifier(item.alias);
+  if (item.expr->kind == sql::ExprKind::kColumnRef) {
+    return FoldIdentifier(item.expr->column);
+  }
+  return "col" + std::to_string(index + 1);
+}
+
+// Hashing / comparison for grouping keys and DISTINCT.
+struct KeyHash {
+  size_t operator()(const Row& key) const noexcept {
+    size_t h = 0x9E3779B97F4A7C15ULL;
+    for (const Value& v : key) h = h * 31 + v.Hash();
+    return h;
+  }
+};
+struct KeyEq {
+  bool operator()(const Row& a, const Row& b) const noexcept {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!Value::KeyEquals(a[i], b[i])) return false;
+    }
+    return true;
+  }
+};
+struct KeyLess {
+  bool operator()(const Row& a, const Row& b) const noexcept {
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      const int c = Value::Compare(a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// Splits a predicate into its top-level AND conjuncts.
+void SplitConjuncts(const sql::Expr& expr, std::vector<const sql::Expr*>& out) {
+  if (expr.kind == sql::ExprKind::kBinary &&
+      expr.binary_op == sql::BinaryOp::kAnd) {
+    SplitConjuncts(*expr.left, out);
+    SplitConjuncts(*expr.right, out);
+    return;
+  }
+  out.push_back(&expr);
+}
+
+/// SQL join-key equality: NULL never matches anything.
+bool JoinKeyEquals(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return false;
+  return Value::Compare(a, b) == 0;
+}
+
+struct EquiPair {
+  int left_index = -1;   // column index in the left relation
+  int right_index = -1;  // column index in the right relation
+};
+
+/// Classifies ON-clause conjuncts into equi-join pairs vs residual
+/// predicates that must run on the combined row.
+void ClassifyJoinCondition(const sql::Expr* on,
+                           const std::vector<ColumnBinding>& left,
+                           const std::vector<ColumnBinding>& right,
+                           std::vector<EquiPair>& equi,
+                           std::vector<const sql::Expr*>& residual) {
+  if (on == nullptr) return;
+  std::vector<const sql::Expr*> conjuncts;
+  SplitConjuncts(*on, conjuncts);
+  for (const sql::Expr* conjunct : conjuncts) {
+    if (conjunct->kind == sql::ExprKind::kBinary &&
+        conjunct->binary_op == sql::BinaryOp::kEq &&
+        conjunct->left->kind == sql::ExprKind::kColumnRef &&
+        conjunct->right->kind == sql::ExprKind::kColumnRef) {
+      const sql::Expr& a = *conjunct->left;
+      const sql::Expr& b = *conjunct->right;
+      const int al = TryResolveColumn(left, a.qualifier, a.column);
+      const int br = TryResolveColumn(right, b.qualifier, b.column);
+      if (al >= 0 && br >= 0) {
+        equi.push_back({al, br});
+        continue;
+      }
+      const int bl = TryResolveColumn(left, b.qualifier, b.column);
+      const int ar = TryResolveColumn(right, a.qualifier, a.column);
+      if (bl >= 0 && ar >= 0) {
+        equi.push_back({bl, ar});
+        continue;
+      }
+    }
+    residual.push_back(conjunct);
+  }
+}
+
+bool ResidualHolds(const std::vector<const sql::Expr*>& residual,
+                   const EvalContext& ctx) {
+  for (const sql::Expr* predicate : residual) {
+    if (!Truthy(Evaluate(*predicate, ctx))) return false;
+  }
+  return true;
+}
+
+// --- ORDER BY resolution ----------------------------------------------
+//
+// SQL resolves ORDER BY names against the SELECT output first and the
+// FROM input second ("SELECT id AS node ... ORDER BY id" sorts by the
+// input column). We rewrite each column reference in the order keys into
+// a positional reference against a synthetic combined binding list
+// [__out.c0.., __in.c0..] so one Evaluate() call per row suffices.
+// Aggregate sub-expressions are left untouched so they keep matching the
+// collected aggregate list structurally.
+
+sql::ExprPtr RewriteOrderExpr(const sql::Expr& expr,
+                              const std::vector<ColumnBinding>& output,
+                              const std::vector<ColumnBinding>& input) {
+  if (expr.kind == sql::ExprKind::kAggregate) return expr.Clone();
+  if (expr.kind == sql::ExprKind::kColumnRef) {
+    int index = expr.qualifier.empty()
+                    ? TryResolveColumn(output, "", expr.column)
+                    : -1;
+    if (index >= 0) {
+      return sql::MakeColumnRef("__out", "c" + std::to_string(index));
+    }
+    index = TryResolveColumn(input, expr.qualifier, expr.column);
+    if (index >= 0) {
+      return sql::MakeColumnRef("__in", "c" + std::to_string(index));
+    }
+    throw AnalysisError("unknown ORDER BY column '" +
+                        (expr.qualifier.empty()
+                             ? expr.column
+                             : expr.qualifier + "." + expr.column) +
+                        "'");
+  }
+  auto out = expr.Clone();
+  // Rewrite children in place (Clone gave us a deep copy to mutate).
+  const auto rewrite_child = [&](sql::ExprPtr& child) {
+    if (child) child = RewriteOrderExpr(*child, output, input);
+  };
+  rewrite_child(out->left);
+  rewrite_child(out->right);
+  for (auto& arg : out->args) arg = RewriteOrderExpr(*arg, output, input);
+  rewrite_child(out->case_operand);
+  for (auto& when : out->whens) {
+    when.condition = RewriteOrderExpr(*when.condition, output, input);
+    when.result = RewriteOrderExpr(*when.result, output, input);
+  }
+  rewrite_child(out->else_expr);
+  return out;
+}
+
+std::vector<ColumnBinding> CombinedOrderBindings(size_t output_width,
+                                                 size_t input_width) {
+  std::vector<ColumnBinding> combined;
+  combined.reserve(output_width + input_width);
+  for (size_t i = 0; i < output_width; ++i) {
+    combined.push_back({"__out", "c" + std::to_string(i)});
+  }
+  for (size_t i = 0; i < input_width; ++i) {
+    combined.push_back({"__in", "c" + std::to_string(i)});
+  }
+  return combined;
+}
+
+Row ConcatRows(const Row& left, const Row& right) {
+  Row out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SELECT pipeline
+// ---------------------------------------------------------------------------
+
+Relation Executor::ScanTable(const Table& table, const std::string& alias) {
+  Relation rel;
+  const std::string folded = FoldIdentifier(alias);
+  rel.columns.reserve(table.schema().column_count());
+  for (const auto& column : table.schema().columns()) {
+    rel.columns.push_back({folded, column.name});
+  }
+  rel.rows.reserve(table.live_row_count());
+  for (size_t row_id = 0; row_id < table.slot_count(); ++row_id) {
+    if (table.IsLive(row_id)) rel.rows.push_back(table.At(row_id));
+  }
+  rows_examined_ += rel.rows.size();
+  return rel;
+}
+
+Relation Executor::EvalTableRef(const sql::TableRef& ref, ExecContext& ctx) {
+  switch (ref.kind) {
+    case sql::TableRefKind::kBase: {
+      const std::string name = FoldIdentifier(ref.table_name);
+      const auto cte = ctx.cte_bindings.find(name);
+      if (cte != ctx.cte_bindings.end()) {
+        return BindAs(*cte->second, ref.alias);
+      }
+      if (const auto view = db_.FindView(name)) {
+        ExecContext view_ctx;  // views cannot see the caller's CTEs
+        ResultSet result = EvalSelect(*view, view_ctx);
+        return ResultToRelation(std::move(result), ref.alias);
+      }
+      const auto table = db_.FindTable(name);
+      if (!table) {
+        throw ExecutionError("relation '" + ref.table_name +
+                             "' does not exist");
+      }
+      return ScanTable(*table, ref.alias);
+    }
+    case sql::TableRefKind::kSubquery: {
+      ResultSet result = EvalSelect(*ref.subquery, ctx);
+      return ResultToRelation(std::move(result), ref.alias);
+    }
+    case sql::TableRefKind::kJoin:
+      return EvalJoin(ref, ctx);
+  }
+  throw UsageError("unknown table reference kind");
+}
+
+Relation Executor::EvalJoin(const sql::TableRef& join, ExecContext& ctx) {
+  Relation left = EvalTableRef(*join.left, ctx);
+  const sql::TableRef& right_ref = *join.right;
+
+  // When the right side is a plain base table (not a CTE or view) we keep
+  // the Table handle so the MySQL-style profile can do index nested loops.
+  std::shared_ptr<Table> right_table;
+  if (right_ref.kind == sql::TableRefKind::kBase) {
+    const std::string name = FoldIdentifier(right_ref.table_name);
+    if (!ctx.cte_bindings.contains(name) && !db_.HasView(name)) {
+      right_table = db_.FindTable(name);
+      if (!right_table) {
+        throw ExecutionError("relation '" + right_ref.table_name +
+                             "' does not exist");
+      }
+    }
+  }
+
+  Relation right;
+  std::vector<ColumnBinding> right_columns;
+  bool right_materialized = false;
+  if (right_table) {
+    const std::string alias = FoldIdentifier(right_ref.alias);
+    for (const auto& column : right_table->schema().columns()) {
+      right_columns.push_back({alias, column.name});
+    }
+  } else {
+    right = EvalTableRef(right_ref, ctx);
+    right_columns = right.columns;
+    right_materialized = true;
+  }
+
+  Relation out;
+  out.columns.reserve(left.columns.size() + right_columns.size());
+  out.columns.insert(out.columns.end(), left.columns.begin(),
+                     left.columns.end());
+  out.columns.insert(out.columns.end(), right_columns.begin(),
+                     right_columns.end());
+
+  const auto materialize_right = [&] {
+    if (!right_materialized) {
+      right = ScanTable(*right_table, right_ref.alias);
+      right_materialized = true;
+    }
+  };
+
+  if (join.join_kind == sql::JoinKind::kCross) {
+    materialize_right();
+    out.rows.reserve(left.rows.size() * right.rows.size());
+    for (const Row& l : left.rows) {
+      for (const Row& r : right.rows) out.rows.push_back(ConcatRows(l, r));
+    }
+    return out;
+  }
+
+  std::vector<EquiPair> equi;
+  std::vector<const sql::Expr*> residual;
+  ClassifyJoinCondition(join.on_condition.get(), left.columns, right_columns,
+                        equi, residual);
+
+  std::unordered_map<const sql::Expr*, int> cache;
+  const size_t right_width = right_columns.size();
+  const bool left_join = join.join_kind == sql::JoinKind::kLeft;
+
+  const auto emit_unmatched = [&](const Row& l) {
+    if (!left_join) return;
+    Row padded = l;
+    padded.resize(l.size() + right_width);  // default-constructed = NULL
+    out.rows.push_back(std::move(padded));
+  };
+  const auto match_residual = [&](const Row& combined) {
+    if (residual.empty()) return true;
+    EvalContext ec{&out.columns, &combined, nullptr, nullptr, &cache};
+    return ResidualHolds(residual, ec);
+  };
+
+  // --- strategy selection per engine profile --------------------------
+  const JoinAlgorithm algorithm = db_.profile().join_algorithm;
+
+  // Index nested loop: available when the right side is a base table with
+  // an index on one of the equi-join columns (MySQL 5.7's only fast path).
+  int inl_pair = -1;
+  if (right_table &&
+      (algorithm == JoinAlgorithm::kNestedLoop ||
+       algorithm == JoinAlgorithm::kNestedLoopOrHash)) {
+    for (size_t i = 0; i < equi.size(); ++i) {
+      const std::string& column =
+          right_table->schema().columns()[equi[i].right_index].name;
+      if (right_table->HasIndexOn(column)) {
+        inl_pair = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+
+  if (inl_pair >= 0) {
+    const EquiPair& pair = equi[static_cast<size_t>(inl_pair)];
+    const std::string& column =
+        right_table->schema().columns()[pair.right_index].name;
+    for (const Row& l : left.rows) {
+      const Value& key = l[pair.left_index];
+      bool matched = false;
+      if (!key.is_null()) {
+        for (const size_t row_id : right_table->IndexLookup(column, key)) {
+          ++rows_examined_;
+          const Row& r = right_table->At(row_id);
+          bool keys_ok = true;
+          for (size_t i = 0; i < equi.size(); ++i) {
+            if (static_cast<int>(i) == inl_pair) continue;
+            if (!JoinKeyEquals(l[equi[i].left_index], r[equi[i].right_index])) {
+              keys_ok = false;
+              break;
+            }
+          }
+          if (!keys_ok) continue;
+          Row combined = ConcatRows(l, r);
+          if (!match_residual(combined)) continue;
+          out.rows.push_back(std::move(combined));
+          matched = true;
+        }
+      }
+      if (!matched) emit_unmatched(l);
+    }
+    return out;
+  }
+
+  const bool use_hash =
+      !equi.empty() && (algorithm == JoinAlgorithm::kHash ||
+                        algorithm == JoinAlgorithm::kNestedLoopOrHash);
+
+  materialize_right();
+
+  if (use_hash) {
+    // Build on the right side, probe from the left.
+    std::unordered_map<Row, std::vector<size_t>, KeyHash, KeyEq> built;
+    built.reserve(right.rows.size());
+    for (size_t i = 0; i < right.rows.size(); ++i) {
+      Row key;
+      key.reserve(equi.size());
+      bool has_null = false;
+      for (const EquiPair& pair : equi) {
+        const Value& v = right.rows[i][pair.right_index];
+        if (v.is_null()) {
+          has_null = true;
+          break;
+        }
+        key.push_back(v);
+      }
+      if (!has_null) built[std::move(key)].push_back(i);
+    }
+    for (const Row& l : left.rows) {
+      Row key;
+      key.reserve(equi.size());
+      bool has_null = false;
+      for (const EquiPair& pair : equi) {
+        const Value& v = l[pair.left_index];
+        if (v.is_null()) {
+          has_null = true;
+          break;
+        }
+        key.push_back(v);
+      }
+      bool matched = false;
+      if (!has_null) {
+        const auto it = built.find(key);
+        if (it != built.end()) {
+          for (const size_t i : it->second) {
+            Row combined = ConcatRows(l, right.rows[i]);
+            if (!match_residual(combined)) continue;
+            out.rows.push_back(std::move(combined));
+            matched = true;
+          }
+        }
+      }
+      if (!matched) emit_unmatched(l);
+    }
+    return out;
+  }
+
+  // Plain nested loop (MySQL 5.7 with no usable index).
+  for (const Row& l : left.rows) {
+    bool matched = false;
+    for (const Row& r : right.rows) {
+      bool keys_ok = true;
+      for (const EquiPair& pair : equi) {
+        if (!JoinKeyEquals(l[pair.left_index], r[pair.right_index])) {
+          keys_ok = false;
+          break;
+        }
+      }
+      if (!keys_ok) continue;
+      Row combined = ConcatRows(l, r);
+      if (!match_residual(combined)) continue;
+      out.rows.push_back(std::move(combined));
+      matched = true;
+    }
+    if (!matched) emit_unmatched(l);
+  }
+  return out;
+}
+
+Relation Executor::ProjectCore(const sql::SelectCore& core,
+                               const Relation& input,
+                               const std::vector<sql::OrderItem>* order_by,
+                               std::vector<Row>* sort_keys) {
+  Relation out;
+  // Expand the output binding list (stars expand to input columns).
+  struct ProjectionSlot {
+    const sql::Expr* expr = nullptr;  // null => direct input column copy
+    int input_index = -1;
+  };
+  std::vector<ProjectionSlot> slots;
+  for (size_t i = 0; i < core.items.size(); ++i) {
+    const sql::SelectItem& item = core.items[i];
+    if (item.expr->kind == sql::ExprKind::kStar) {
+      const std::string qualifier = FoldIdentifier(item.expr->qualifier);
+      bool any = false;
+      for (size_t c = 0; c < input.columns.size(); ++c) {
+        if (!qualifier.empty() && input.columns[c].qualifier != qualifier) {
+          continue;
+        }
+        slots.push_back({nullptr, static_cast<int>(c)});
+        out.columns.push_back({"", input.columns[c].name});
+        any = true;
+      }
+      if (!any && !qualifier.empty()) {
+        throw AnalysisError("no table '" + item.expr->qualifier +
+                            "' to expand in SELECT " + item.expr->qualifier +
+                            ".*");
+      }
+      continue;
+    }
+    slots.push_back({item.expr.get(), -1});
+    out.columns.push_back({"", OutputName(item, i)});
+  }
+
+  // Prepare ORDER BY machinery (output-first, input-fallback resolution).
+  std::vector<sql::ExprPtr> order_exprs;
+  std::vector<ColumnBinding> order_bindings;
+  if (order_by != nullptr) {
+    for (const auto& item : *order_by) {
+      order_exprs.push_back(
+          RewriteOrderExpr(*item.expr, out.columns, input.columns));
+    }
+    order_bindings =
+        CombinedOrderBindings(out.columns.size(), input.columns.size());
+  }
+
+  std::unordered_map<const sql::Expr*, int> cache;
+  std::unordered_map<const sql::Expr*, int> order_cache;
+  out.rows.reserve(input.rows.size());
+  for (const Row& row : input.rows) {
+    Row projected;
+    projected.reserve(slots.size());
+    EvalContext ec{&input.columns, &row, nullptr, nullptr, &cache};
+    for (const ProjectionSlot& slot : slots) {
+      if (slot.expr == nullptr) {
+        projected.push_back(row[slot.input_index]);
+      } else {
+        projected.push_back(Evaluate(*slot.expr, ec));
+      }
+    }
+    if (order_by != nullptr) {
+      Row combined = ConcatRows(projected, row);
+      EvalContext oc{&order_bindings, &combined, nullptr, nullptr,
+                     &order_cache};
+      Row key;
+      key.reserve(order_exprs.size());
+      for (const auto& expr : order_exprs) {
+        key.push_back(Evaluate(*expr, oc));
+      }
+      sort_keys->push_back(std::move(key));
+    }
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Relation Executor::AggregateCore(const sql::SelectCore& core,
+                                 const Relation& input,
+                                 const std::vector<sql::OrderItem>* order_by,
+                                 std::vector<Row>* sort_keys) {
+  // Aggregate sub-expressions across the SELECT list, HAVING, and ORDER BY.
+  std::vector<const sql::Expr*> agg_exprs;
+  for (const auto& item : core.items) CollectAggregates(*item.expr, agg_exprs);
+  if (core.having) CollectAggregates(*core.having, agg_exprs);
+  if (order_by != nullptr) {
+    for (const auto& item : *order_by) {
+      CollectAggregates(*item.expr, agg_exprs);
+    }
+  }
+
+  for (const auto& item : core.items) {
+    if (item.expr->kind == sql::ExprKind::kStar) {
+      throw AnalysisError("'*' cannot be mixed with aggregation");
+    }
+  }
+
+  struct Group {
+    Row representative;
+    std::vector<Accumulator> accumulators;
+  };
+
+  const auto new_group = [&](const Row& row) {
+    Group group;
+    group.representative = row;
+    group.accumulators.reserve(agg_exprs.size());
+    for (const sql::Expr* agg : agg_exprs) {
+      group.accumulators.emplace_back(agg->agg_func, agg->agg_distinct);
+    }
+    return group;
+  };
+
+  std::unordered_map<const sql::Expr*, int> cache;
+  const auto feed = [&](Group& group, const Row& row) {
+    EvalContext ec{&input.columns, &row, nullptr, nullptr, &cache};
+    for (size_t i = 0; i < agg_exprs.size(); ++i) {
+      const sql::Expr* agg = agg_exprs[i];
+      if (agg->agg_star) {
+        group.accumulators[i].Add(Value(int64_t{1}));
+      } else {
+        group.accumulators[i].Add(Evaluate(*agg->args[0], ec));
+      }
+    }
+  };
+
+  // Group rows. The engine profile picks hash vs sort grouping; both are
+  // correct, they just cost differently (matching postgres vs mysql).
+  std::vector<Group> groups;
+  if (core.group_by.empty()) {
+    Row null_rep(input.columns.size());  // all-NULL representative
+    groups.push_back(new_group(input.rows.empty() ? null_rep
+                                                  : input.rows.front()));
+    for (const Row& row : input.rows) feed(groups[0], row);
+  } else {
+    const auto key_of = [&](const Row& row) {
+      Row key;
+      key.reserve(core.group_by.size());
+      EvalContext ec{&input.columns, &row, nullptr, nullptr, &cache};
+      for (const auto& expr : core.group_by) {
+        key.push_back(Evaluate(*expr, ec));
+      }
+      return key;
+    };
+    if (db_.profile().agg_algorithm == AggAlgorithm::kHash) {
+      std::unordered_map<Row, size_t, KeyHash, KeyEq> index;
+      for (const Row& row : input.rows) {
+        Row key = key_of(row);
+        const auto [it, inserted] =
+            index.try_emplace(std::move(key), groups.size());
+        if (inserted) groups.push_back(new_group(row));
+        feed(groups[it->second], row);
+      }
+    } else {
+      std::map<Row, size_t, KeyLess> index;
+      for (const Row& row : input.rows) {
+        Row key = key_of(row);
+        const auto [it, inserted] =
+            index.try_emplace(std::move(key), groups.size());
+        if (inserted) groups.push_back(new_group(row));
+        feed(groups[it->second], row);
+      }
+    }
+  }
+
+  // Project each group.
+  Relation out;
+  out.columns.reserve(core.items.size());
+  for (size_t i = 0; i < core.items.size(); ++i) {
+    out.columns.push_back({"", OutputName(core.items[i], i)});
+  }
+
+  std::vector<sql::ExprPtr> order_exprs;
+  std::vector<ColumnBinding> order_bindings;
+  if (order_by != nullptr) {
+    for (const auto& item : *order_by) {
+      order_exprs.push_back(
+          RewriteOrderExpr(*item.expr, out.columns, input.columns));
+    }
+    order_bindings =
+        CombinedOrderBindings(out.columns.size(), input.columns.size());
+  }
+
+  std::unordered_map<const sql::Expr*, int> project_cache;
+  std::unordered_map<const sql::Expr*, int> order_cache;
+  for (const Group& group : groups) {
+    std::vector<Value> agg_values;
+    agg_values.reserve(group.accumulators.size());
+    for (const Accumulator& acc : group.accumulators) {
+      agg_values.push_back(acc.Result());
+    }
+    EvalContext ec{&input.columns, &group.representative, &agg_exprs,
+                   &agg_values, &project_cache};
+    if (core.having && !Truthy(Evaluate(*core.having, ec))) continue;
+    Row projected;
+    projected.reserve(core.items.size());
+    for (const auto& item : core.items) {
+      projected.push_back(Evaluate(*item.expr, ec));
+    }
+    if (order_by != nullptr) {
+      Row combined = ConcatRows(projected, group.representative);
+      EvalContext oc{&order_bindings, &combined, &agg_exprs, &agg_values,
+                     &order_cache};
+      Row key;
+      key.reserve(order_exprs.size());
+      for (const auto& expr : order_exprs) {
+        key.push_back(Evaluate(*expr, oc));
+      }
+      sort_keys->push_back(std::move(key));
+    }
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Relation Executor::EvalCore(const sql::SelectCore& core, ExecContext& ctx,
+                            const std::vector<sql::OrderItem>* order_by,
+                            std::vector<Row>* sort_keys) {
+  Relation input;
+  bool scanned_via_index = false;
+  if (core.from && core.where &&
+      core.from->kind == sql::TableRefKind::kBase) {
+    // Index-scan pushdown: `FROM t WHERE col = <literal> [AND ...]` with
+    // an index on col reads only the matching rows ("indexes ensure that
+    // unnecessary scans will be avoided", paper SV-C).
+    const std::string name = FoldIdentifier(core.from->table_name);
+    if (!ctx.cte_bindings.contains(name) && !db_.HasView(name)) {
+      if (const auto table = db_.FindTable(name)) {
+        std::vector<const sql::Expr*> conjuncts;
+        SplitConjuncts(*core.where, conjuncts);
+        for (const sql::Expr* conjunct : conjuncts) {
+          if (conjunct->kind != sql::ExprKind::kBinary ||
+              conjunct->binary_op != sql::BinaryOp::kEq) {
+            continue;
+          }
+          const sql::Expr* column = conjunct->left.get();
+          const sql::Expr* literal = conjunct->right.get();
+          if (column->kind != sql::ExprKind::kColumnRef) {
+            std::swap(column, literal);
+          }
+          if (column->kind != sql::ExprKind::kColumnRef ||
+              literal->kind != sql::ExprKind::kLiteral ||
+              literal->literal.is_null()) {
+            continue;
+          }
+          const std::string alias = FoldIdentifier(core.from->alias);
+          if (!column->qualifier.empty() &&
+              FoldIdentifier(column->qualifier) != alias) {
+            continue;
+          }
+          const std::string col = FoldIdentifier(column->column);
+          if (table->schema().FindColumn(col) < 0 ||
+              !table->HasIndexOn(col)) {
+            continue;
+          }
+          input.columns.reserve(table->schema().column_count());
+          for (const auto& def : table->schema().columns()) {
+            input.columns.push_back({alias, def.name});
+          }
+          for (const size_t row_id :
+               table->IndexLookup(col, literal->literal)) {
+            input.rows.push_back(table->At(row_id));
+          }
+          rows_examined_ += input.rows.size();
+          scanned_via_index = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!scanned_via_index) {
+    if (core.from) {
+      input = EvalTableRef(*core.from, ctx);
+    } else {
+      input.rows.emplace_back();  // FROM-less SELECT produces one row
+    }
+  }
+
+  if (core.where) {
+    std::unordered_map<const sql::Expr*, int> cache;
+    std::vector<Row> kept;
+    kept.reserve(input.rows.size());
+    for (Row& row : input.rows) {
+      EvalContext ec{&input.columns, &row, nullptr, nullptr, &cache};
+      if (Truthy(Evaluate(*core.where, ec))) kept.push_back(std::move(row));
+    }
+    input.rows = std::move(kept);
+  }
+
+  bool aggregate_mode = !core.group_by.empty() || core.having != nullptr;
+  if (!aggregate_mode) {
+    for (const auto& item : core.items) {
+      if (ContainsAggregate(*item.expr)) {
+        aggregate_mode = true;
+        break;
+      }
+    }
+  }
+
+  Relation out = aggregate_mode
+                     ? AggregateCore(core, input, order_by, sort_keys)
+                     : ProjectCore(core, input, order_by, sort_keys);
+
+  if (core.distinct) {
+    std::unordered_set<Row, KeyHash, KeyEq> seen;
+    std::vector<Row> unique;
+    std::vector<Row> unique_keys;
+    unique.reserve(out.rows.size());
+    for (size_t i = 0; i < out.rows.size(); ++i) {
+      if (seen.insert(out.rows[i]).second) {
+        unique.push_back(std::move(out.rows[i]));
+        if (sort_keys != nullptr) {
+          unique_keys.push_back(std::move((*sort_keys)[i]));
+        }
+      }
+    }
+    out.rows = std::move(unique);
+    if (sort_keys != nullptr) *sort_keys = std::move(unique_keys);
+  }
+  return out;
+}
+
+ResultSet Executor::EvalSelect(const sql::SelectStmt& stmt, ExecContext& ctx) {
+  const bool single_core_sort =
+      stmt.cores.size() == 1 && !stmt.order_by.empty();
+  std::vector<Row> sort_keys;
+  Relation combined =
+      EvalCore(stmt.cores[0], ctx, single_core_sort ? &stmt.order_by : nullptr,
+               single_core_sort ? &sort_keys : nullptr);
+  for (size_t i = 1; i < stmt.cores.size(); ++i) {
+    Relation next = EvalCore(stmt.cores[i], ctx);
+    if (next.columns.size() != combined.columns.size()) {
+      throw AnalysisError("UNION arms have different column counts (" +
+                          std::to_string(combined.columns.size()) + " vs " +
+                          std::to_string(next.columns.size()) + ")");
+    }
+    combined.rows.insert(combined.rows.end(),
+                         std::make_move_iterator(next.rows.begin()),
+                         std::make_move_iterator(next.rows.end()));
+    if (stmt.set_ops[i - 1] == sql::SetOp::kUnion) {
+      std::unordered_set<Row, KeyHash, KeyEq> seen;
+      std::vector<Row> unique;
+      unique.reserve(combined.rows.size());
+      for (Row& row : combined.rows) {
+        if (seen.insert(row).second) unique.push_back(std::move(row));
+      }
+      combined.rows = std::move(unique);
+    }
+  }
+
+  if (!stmt.order_by.empty()) {
+    if (!single_core_sort) {
+      // UNION result: ORDER BY resolves against the output columns only.
+      std::vector<sql::ExprPtr> order_exprs;
+      for (const auto& item : stmt.order_by) {
+        order_exprs.push_back(
+            RewriteOrderExpr(*item.expr, combined.columns, {}));
+      }
+      const auto bindings =
+          CombinedOrderBindings(combined.columns.size(), 0);
+      std::unordered_map<const sql::Expr*, int> cache;
+      sort_keys.clear();
+      sort_keys.reserve(combined.rows.size());
+      for (const Row& row : combined.rows) {
+        EvalContext ec{&bindings, &row, nullptr, nullptr, &cache};
+        Row key;
+        key.reserve(order_exprs.size());
+        for (const auto& expr : order_exprs) {
+          key.push_back(Evaluate(*expr, ec));
+        }
+        sort_keys.push_back(std::move(key));
+      }
+    }
+    std::vector<size_t> order(combined.rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                       for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+                         const int c = Value::Compare(sort_keys[a][i],
+                                                      sort_keys[b][i]);
+                         if (c != 0) {
+                           return stmt.order_by[i].ascending ? c < 0 : c > 0;
+                         }
+                       }
+                       return a < b;
+                     });
+    std::vector<Row> sorted;
+    sorted.reserve(combined.rows.size());
+    for (const size_t index : order) {
+      sorted.push_back(std::move(combined.rows[index]));
+    }
+    combined.rows = std::move(sorted);
+  }
+
+  if (stmt.offset) {
+    const auto skip = std::min(combined.rows.size(),
+                               static_cast<size_t>(*stmt.offset));
+    combined.rows.erase(combined.rows.begin(),
+                        combined.rows.begin() + static_cast<ptrdiff_t>(skip));
+  }
+  if (stmt.limit && combined.rows.size() > static_cast<size_t>(*stmt.limit)) {
+    combined.rows.resize(static_cast<size_t>(*stmt.limit));
+  }
+  return RelationToResult(std::move(combined));
+}
+
+// ---------------------------------------------------------------------------
+// WITH (plain and recursive CTEs; iterative rejected — SQLoop's job)
+// ---------------------------------------------------------------------------
+
+ResultSet Executor::ExecWith(const sql::Statement& stmt, ExecContext& ctx) {
+  const sql::WithClause& with = stmt.with;
+  const std::string name = FoldIdentifier(with.name);
+
+  switch (with.kind) {
+    case sql::CteKind::kPlain: {
+      Relation body =
+          ResultToRelation(EvalSelect(*with.seed, ctx), /*qualifier=*/"");
+      RenameColumns(body, with.columns);
+      ctx.cte_bindings[name] = &body;
+      ResultSet result = EvalSelect(*with.final_query, ctx);
+      ctx.cte_bindings.erase(name);
+      return result;
+    }
+    case sql::CteKind::kRecursive: {
+      if (!db_.profile().supports_recursive_cte) {
+        throw ExecutionError(
+            "this engine version does not implement recursive CTE "
+            "evaluation (use the SQLoop middleware)");
+      }
+      // Semi-naive evaluation (paper §II-A): the recursive member sees only
+      // the delta of the previous round, and R accumulates all rows.
+      Relation all = ResultToRelation(EvalSelect(*with.seed, ctx), "");
+      RenameColumns(all, with.columns);
+      Relation working = all;
+
+      for (int64_t round = 0;; ++round) {
+        if (round >= kMaxRecursions) {
+          throw ExecutionError("recursive CTE '" + with.name +
+                               "' exceeded the recursion limit");
+        }
+        if (working.rows.empty()) break;
+        ctx.cte_bindings[name] = &working;
+        Relation delta = ResultToRelation(EvalSelect(*with.step, ctx), "");
+        ctx.cte_bindings.erase(name);
+        if (delta.columns.size() != all.columns.size()) {
+          throw AnalysisError(
+              "recursive member of '" + with.name +
+              "' produces a different column count than the seed");
+        }
+        delta.columns = all.columns;
+        all.rows.insert(all.rows.end(), delta.rows.begin(), delta.rows.end());
+        working = std::move(delta);
+      }
+
+      ctx.cte_bindings[name] = &all;
+      ResultSet result = EvalSelect(*with.final_query, ctx);
+      ctx.cte_bindings.erase(name);
+      return result;
+    }
+    case sql::CteKind::kIterative:
+      throw ExecutionError(
+          "iterative CTEs are a SQLoop extension; submit this query "
+          "through the SQLoop middleware, not directly to the engine");
+  }
+  throw UsageError("unknown CTE kind");
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+void Executor::CheckDialect(const sql::Statement& stmt) const {
+  const EngineProfile& profile = db_.profile();
+  if (!profile.strict_dialect) return;
+  if (stmt.kind != sql::StatementKind::kCreateTable) return;
+
+  if (profile.dialect == Dialect::kPostgres) {
+    if (!stmt.engine_option.empty()) {
+      throw ExecutionError("syntax error: ENGINE table options are not "
+                           "supported by the postgres engine");
+    }
+    for (const auto& column : stmt.columns) {
+      if (column.type_spelling == "DOUBLE") {
+        throw ExecutionError("type \"DOUBLE\" does not exist in the postgres "
+                             "engine; use DOUBLE PRECISION");
+      }
+    }
+  } else if (IsMySqlFamily(profile.dialect)) {
+    if (stmt.unlogged) {
+      throw ExecutionError("syntax error: UNLOGGED tables are "
+                           "PostgreSQL-specific; use ENGINE=MyISAM");
+    }
+  }
+}
+
+ResultSet Executor::ExecCreateTable(const sql::Statement& stmt) {
+  CheckDialect(stmt);
+  std::vector<Column> columns;
+  columns.reserve(stmt.columns.size());
+  for (const auto& def : stmt.columns) {
+    columns.push_back({FoldIdentifier(def.name), def.type});
+  }
+  db_.CreateTable(stmt.table_name, Schema(std::move(columns),
+                                          stmt.primary_key_index),
+                  stmt.if_not_exists);
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+void Executor::BackupForTransaction(Session* session, Table& table) {
+  if (session == nullptr || !session->in_transaction_) return;
+  session->backups_.try_emplace(table.name(), table.SnapshotRows());
+}
+
+ResultSet Executor::ExecInsert(const sql::Statement& stmt, Session* session) {
+  const auto table = db_.FindTable(stmt.table_name);
+  if (!table) {
+    throw ExecutionError("table '" + stmt.table_name + "' does not exist");
+  }
+  const Schema& schema = table->schema();
+
+  // Map the statement's column list (or schema order) to schema positions.
+  std::vector<int> positions;
+  if (stmt.insert_columns.empty()) {
+    positions.resize(schema.column_count());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      positions[i] = static_cast<int>(i);
+    }
+  } else {
+    for (const auto& column : stmt.insert_columns) {
+      const int index = schema.FindColumn(column);
+      if (index < 0) {
+        throw ExecutionError("no column '" + column + "' in table '" +
+                             stmt.table_name + "'");
+      }
+      positions.push_back(index);
+    }
+  }
+
+  std::vector<Row> incoming;
+  if (stmt.insert_select) {
+    ExecContext ctx;
+    ResultSet selected = EvalSelect(*stmt.insert_select, ctx);
+    incoming = std::move(selected.rows);
+  } else {
+    EvalContext ec;  // VALUES expressions see no input columns
+    for (const auto& row_exprs : stmt.insert_rows) {
+      Row row;
+      row.reserve(row_exprs.size());
+      for (const auto& expr : row_exprs) row.push_back(Evaluate(*expr, ec));
+      incoming.push_back(std::move(row));
+    }
+  }
+
+  BackupForTransaction(session, *table);
+  size_t inserted = 0;
+  for (Row& source : incoming) {
+    if (source.size() != positions.size()) {
+      throw ExecutionError("INSERT supplies " +
+                           std::to_string(source.size()) + " values for " +
+                           std::to_string(positions.size()) + " columns");
+    }
+    Row full(schema.column_count());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      full[positions[i]] = std::move(source[i]);
+    }
+    table->Insert(std::move(full));
+    ++inserted;
+  }
+  ResultSet result;
+  result.affected_rows = inserted;
+  return result;
+}
+
+ResultSet Executor::ExecUpdate(const sql::Statement& stmt, Session* session,
+                               ExecContext& ctx) {
+  const auto table = db_.FindTable(stmt.table_name);
+  if (!table) {
+    throw ExecutionError("table '" + stmt.table_name + "' does not exist");
+  }
+  const Schema& schema = table->schema();
+  const std::string alias = FoldIdentifier(
+      stmt.update_alias.empty() ? stmt.table_name : stmt.update_alias);
+
+  std::vector<ColumnBinding> target_columns;
+  target_columns.reserve(schema.column_count());
+  for (const auto& column : schema.columns()) {
+    target_columns.push_back({alias, column.name});
+  }
+
+  // Resolve SET targets once.
+  std::vector<int> set_positions;
+  set_positions.reserve(stmt.set_items.size());
+  for (const auto& [column, expr] : stmt.set_items) {
+    const int index = schema.FindColumn(column);
+    if (index < 0) {
+      throw ExecutionError("no column '" + column + "' in table '" +
+                           stmt.table_name + "'");
+    }
+    set_positions.push_back(index);
+  }
+
+  std::vector<std::pair<size_t, Row>> pending;  // (row id, new row)
+  std::unordered_map<const sql::Expr*, int> cache;
+
+  if (stmt.update_from) {
+    // UPDATE ... FROM <source>: match each target row against the source,
+    // hash-accelerated on the first target=source equi conjunct.
+    Relation source = EvalTableRef(*stmt.update_from, ctx);
+
+    std::vector<ColumnBinding> combined = target_columns;
+    combined.insert(combined.end(), source.columns.begin(),
+                    source.columns.end());
+
+    std::vector<const sql::Expr*> conjuncts;
+    if (stmt.where) SplitConjuncts(*stmt.where, conjuncts);
+
+    int target_key = -1;
+    int source_key = -1;
+    std::vector<const sql::Expr*> residual;
+    for (const sql::Expr* conjunct : conjuncts) {
+      if (target_key < 0 && conjunct->kind == sql::ExprKind::kBinary &&
+          conjunct->binary_op == sql::BinaryOp::kEq &&
+          conjunct->left->kind == sql::ExprKind::kColumnRef &&
+          conjunct->right->kind == sql::ExprKind::kColumnRef) {
+        const sql::Expr& a = *conjunct->left;
+        const sql::Expr& b = *conjunct->right;
+        const int at = TryResolveColumn(target_columns, a.qualifier, a.column);
+        const int bs = TryResolveColumn(source.columns, b.qualifier, b.column);
+        if (at >= 0 && bs >= 0) {
+          target_key = at;
+          source_key = bs;
+          continue;
+        }
+        const int bt = TryResolveColumn(target_columns, b.qualifier, b.column);
+        const int as = TryResolveColumn(source.columns, a.qualifier, a.column);
+        if (bt >= 0 && as >= 0) {
+          target_key = bt;
+          source_key = as;
+          continue;
+        }
+      }
+      residual.push_back(conjunct);
+    }
+
+    std::unordered_multimap<Value, size_t, ValueKeyHash, ValueKeyEq> by_key;
+    if (target_key >= 0) {
+      by_key.reserve(source.rows.size());
+      for (size_t i = 0; i < source.rows.size(); ++i) {
+        const Value& key = source.rows[i][source_key];
+        if (!key.is_null()) by_key.emplace(key, i);
+      }
+    }
+
+    for (size_t row_id = 0; row_id < table->slot_count(); ++row_id) {
+      if (!table->IsLive(row_id)) continue;
+      ++rows_examined_;
+      const Row& current = table->At(row_id);
+
+      const auto try_match = [&](const Row& source_row) -> bool {
+        Row combined_row = ConcatRows(current, source_row);
+        EvalContext ec{&combined, &combined_row, nullptr, nullptr, &cache};
+        if (!ResidualHolds(residual, ec)) return false;
+        Row updated = current;
+        for (size_t i = 0; i < stmt.set_items.size(); ++i) {
+          updated[set_positions[i]] =
+              Evaluate(*stmt.set_items[i].second, ec);
+        }
+        schema.CoerceRow(updated);
+        bool changed = false;
+        for (size_t i = 0; i < updated.size(); ++i) {
+          if (!Value::KeyEquals(updated[i], current[i])) {
+            changed = true;
+            break;
+          }
+        }
+        if (changed) pending.emplace_back(row_id, std::move(updated));
+        return true;
+      };
+
+      if (target_key >= 0) {
+        const Value& key = current[target_key];
+        if (key.is_null()) continue;
+        const auto [begin, end] = by_key.equal_range(key);
+        for (auto it = begin; it != end; ++it) {
+          if (try_match(source.rows[it->second])) break;  // first match wins
+        }
+      } else {
+        for (const Row& source_row : source.rows) {
+          if (try_match(source_row)) break;
+        }
+      }
+    }
+  } else {
+    for (size_t row_id = 0; row_id < table->slot_count(); ++row_id) {
+      if (!table->IsLive(row_id)) continue;
+      ++rows_examined_;
+      const Row& current = table->At(row_id);
+      EvalContext ec{&target_columns, &current, nullptr, nullptr, &cache};
+      if (stmt.where && !Truthy(Evaluate(*stmt.where, ec))) continue;
+      Row updated = current;
+      for (size_t i = 0; i < stmt.set_items.size(); ++i) {
+        updated[set_positions[i]] = Evaluate(*stmt.set_items[i].second, ec);
+      }
+      schema.CoerceRow(updated);
+      bool changed = false;
+      for (size_t i = 0; i < updated.size(); ++i) {
+        if (!Value::KeyEquals(updated[i], current[i])) {
+          changed = true;
+          break;
+        }
+      }
+      if (changed) pending.emplace_back(row_id, std::move(updated));
+    }
+  }
+
+  BackupForTransaction(session, *table);
+  for (auto& [row_id, row] : pending) {
+    table->Update(row_id, std::move(row));
+  }
+  ResultSet result;
+  result.affected_rows = pending.size();
+  return result;
+}
+
+ResultSet Executor::ExecDelete(const sql::Statement& stmt, Session* session) {
+  const auto table = db_.FindTable(stmt.table_name);
+  if (!table) {
+    throw ExecutionError("table '" + stmt.table_name + "' does not exist");
+  }
+  const std::string alias = FoldIdentifier(stmt.table_name);
+  std::vector<ColumnBinding> columns;
+  for (const auto& column : table->schema().columns()) {
+    columns.push_back({alias, column.name});
+  }
+  std::vector<size_t> doomed;
+  std::unordered_map<const sql::Expr*, int> cache;
+  for (size_t row_id = 0; row_id < table->slot_count(); ++row_id) {
+    if (!table->IsLive(row_id)) continue;
+    ++rows_examined_;
+    if (stmt.where) {
+      const Row& row = table->At(row_id);
+      EvalContext ec{&columns, &row, nullptr, nullptr, &cache};
+      if (!Truthy(Evaluate(*stmt.where, ec))) continue;
+    }
+    doomed.push_back(row_id);
+  }
+  BackupForTransaction(session, *table);
+  for (const size_t row_id : doomed) table->Delete(row_id);
+  ResultSet result;
+  result.affected_rows = doomed.size();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+ResultSet Executor::ExecTransaction(const sql::Statement& stmt,
+                                    Session* session) {
+  if (session == nullptr) {
+    throw UsageError("transaction statements require a session");
+  }
+  switch (stmt.kind) {
+    case sql::StatementKind::kBegin:
+      if (session->in_transaction_) {
+        throw ExecutionError("a transaction is already in progress");
+      }
+      session->in_transaction_ = true;
+      session->backups_.clear();
+      return {};
+    case sql::StatementKind::kCommit:
+      session->in_transaction_ = false;
+      session->backups_.clear();
+      return {};
+    case sql::StatementKind::kRollback: {
+      for (auto& [name, rows] : session->backups_) {
+        const auto table = db_.FindTable(name);
+        if (!table) continue;  // dropped mid-transaction; nothing to restore
+        const std::scoped_lock lock(table->lock());
+        table->RestoreRows(rows);
+      }
+      session->in_transaction_ = false;
+      session->backups_.clear();
+      return {};
+    }
+    default:
+      throw UsageError("not a transaction statement");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+ResultSet Executor::Execute(const sql::Statement& stmt, Session* session) {
+  rows_examined_ = 0;
+  ResultSet result = ExecuteInternal(stmt, session);
+  result.rows_examined = rows_examined_;
+  return result;
+}
+
+ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
+                                    Session* session) {
+  ExecContext ctx;
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect: {
+      TableCollector collector(db_);
+      collector.FromSelect(*stmt.select, {});
+      LockSet locks;
+      collector.Apply(locks, db_, {});
+      locks.AcquireAll();
+      return EvalSelect(*stmt.select, ctx);
+    }
+    case sql::StatementKind::kWith: {
+      TableCollector collector(db_);
+      const std::set<std::string> ctes = {FoldIdentifier(stmt.with.name)};
+      collector.FromSelect(*stmt.with.seed, ctes);
+      if (stmt.with.step) collector.FromSelect(*stmt.with.step, ctes);
+      if (stmt.with.termination.probe) {
+        collector.FromSelect(*stmt.with.termination.probe, ctes);
+      }
+      collector.FromSelect(*stmt.with.final_query, ctes);
+      LockSet locks;
+      collector.Apply(locks, db_, {});
+      locks.AcquireAll();
+      return ExecWith(stmt, ctx);
+    }
+    case sql::StatementKind::kCreateTable:
+      return ExecCreateTable(stmt);
+    case sql::StatementKind::kDropTable:
+      db_.DropTable(stmt.table_name, stmt.if_exists);
+      return {};
+    case sql::StatementKind::kCreateIndex: {
+      const auto table = db_.FindTable(stmt.table_name);
+      if (!table) {
+        throw ExecutionError("table '" + stmt.table_name +
+                             "' does not exist");
+      }
+      const std::scoped_lock lock(table->lock());
+      table->CreateIndex(stmt.index_name, stmt.index_columns.at(0));
+      return {};
+    }
+    case sql::StatementKind::kDropIndex: {
+      if (!stmt.table_name.empty()) {
+        const auto table = db_.FindTable(stmt.table_name);
+        if (!table) {
+          throw ExecutionError("table '" + stmt.table_name +
+                               "' does not exist");
+        }
+        const std::scoped_lock lock(table->lock());
+        if (!table->DropIndex(stmt.index_name) && !stmt.if_exists) {
+          throw ExecutionError("index '" + stmt.index_name +
+                               "' does not exist");
+        }
+        return {};
+      }
+      for (const auto& name : db_.TableNames()) {
+        const auto table = db_.FindTable(name);
+        if (!table) continue;
+        const std::scoped_lock lock(table->lock());
+        if (table->DropIndex(stmt.index_name)) return {};
+      }
+      if (!stmt.if_exists) {
+        throw ExecutionError("index '" + stmt.index_name +
+                             "' does not exist");
+      }
+      return {};
+    }
+    case sql::StatementKind::kCreateView:
+      db_.CreateView(stmt.table_name, stmt.view_select->Clone());
+      return {};
+    case sql::StatementKind::kDropView:
+      db_.DropView(stmt.table_name, stmt.if_exists);
+      return {};
+    case sql::StatementKind::kInsert: {
+      TableCollector collector(db_);
+      if (stmt.insert_select) collector.FromSelect(*stmt.insert_select, {});
+      LockSet locks;
+      collector.Apply(locks, db_, {FoldIdentifier(stmt.table_name)});
+      locks.AcquireAll();
+      return ExecInsert(stmt, session);
+    }
+    case sql::StatementKind::kUpdate: {
+      TableCollector collector(db_);
+      if (stmt.update_from) collector.FromTableRef(*stmt.update_from, {});
+      LockSet locks;
+      collector.Apply(locks, db_, {FoldIdentifier(stmt.table_name)});
+      locks.AcquireAll();
+      return ExecUpdate(stmt, session, ctx);
+    }
+    case sql::StatementKind::kDelete: {
+      LockSet locks;
+      locks.Request(db_.FindTable(stmt.table_name), /*write=*/true);
+      locks.AcquireAll();
+      return ExecDelete(stmt, session);
+    }
+    case sql::StatementKind::kTruncate: {
+      const auto table = db_.FindTable(stmt.table_name);
+      if (!table) {
+        throw ExecutionError("table '" + stmt.table_name +
+                             "' does not exist");
+      }
+      const std::scoped_lock lock(table->lock());
+      BackupForTransaction(session, *table);
+      const size_t removed = table->live_row_count();
+      table->Clear();
+      ResultSet result;
+      result.affected_rows = removed;
+      return result;
+    }
+    case sql::StatementKind::kBegin:
+    case sql::StatementKind::kCommit:
+    case sql::StatementKind::kRollback:
+      return ExecTransaction(stmt, session);
+  }
+  throw UsageError("unknown statement kind");
+}
+
+ResultSet Executor::ExecuteSql(std::string_view text, Session* session) {
+  const auto stmt = sql::ParseStatement(text);
+  return Execute(*stmt, session);
+}
+
+}  // namespace sqloop::minidb

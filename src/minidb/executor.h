@@ -1,0 +1,94 @@
+// Statement execution against a Database: the SELECT pipeline (scans,
+// joins, grouping, set operations), DML, DDL, recursive CTEs via
+// semi-naive evaluation, and weak transactions (table-snapshot rollback).
+//
+// Concurrency model: each statement collects every base table it touches,
+// sorts them by name, and takes table-level locks up front (shared for
+// reads, exclusive for writes) — the global ordering makes deadlock
+// impossible. This mirrors the table-lock engines the paper runs on and is
+// exactly the overhead SQLoop's per-partition tables + message tables are
+// designed to avoid (paper §V-C).
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "minidb/database.h"
+#include "minidb/evaluator.h"
+
+namespace sqloop::minidb {
+
+/// Per-connection state: an open transaction's table backups. minidb
+/// transactions give statement-level isolation with all-or-nothing
+/// rollback of DML (DDL is not transactional; see DESIGN.md).
+class Session {
+ public:
+  bool in_transaction() const noexcept { return in_transaction_; }
+
+ private:
+  friend class Executor;
+  bool in_transaction_ = false;
+  std::unordered_map<std::string, std::vector<Row>> backups_;
+};
+
+class Executor {
+ public:
+  explicit Executor(Database& db) : db_(db) {}
+
+  /// Executes one parsed statement. `session` carries transaction state
+  /// and may be null for autocommit execution.
+  ResultSet Execute(const sql::Statement& stmt, Session* session = nullptr);
+
+  /// Parses and executes exactly one statement of SQL text.
+  ResultSet ExecuteSql(std::string_view text, Session* session = nullptr);
+
+  /// Iteration cap for recursive CTE evaluation (safety net against
+  /// non-terminating recursion).
+  static constexpr int64_t kMaxRecursions = 100000;
+
+ private:
+  struct ExecContext {
+    // CTE name (folded) -> materialized relation visible to the query.
+    std::unordered_map<std::string, const Relation*> cte_bindings;
+  };
+
+  // --- SELECT pipeline -------------------------------------------------
+  // For single-core statements the ORDER BY keys are computed inside the
+  // core evaluation, where both the projected output and the pre-projection
+  // input are visible (SQL allows ordering by either). `order_by` and
+  // `sort_keys` are null for UNION arms.
+  ResultSet EvalSelect(const sql::SelectStmt& stmt, ExecContext& ctx);
+  Relation EvalCore(const sql::SelectCore& core, ExecContext& ctx,
+                    const std::vector<sql::OrderItem>* order_by = nullptr,
+                    std::vector<Row>* sort_keys = nullptr);
+  Relation EvalTableRef(const sql::TableRef& ref, ExecContext& ctx);
+  Relation EvalJoin(const sql::TableRef& join, ExecContext& ctx);
+  Relation ScanTable(const Table& table, const std::string& alias);
+  Relation ProjectCore(const sql::SelectCore& core, const Relation& input,
+                       const std::vector<sql::OrderItem>* order_by,
+                       std::vector<Row>* sort_keys);
+  Relation AggregateCore(const sql::SelectCore& core, const Relation& input,
+                         const std::vector<sql::OrderItem>* order_by,
+                         std::vector<Row>* sort_keys);
+
+  // --- statements -------------------------------------------------------
+  ResultSet ExecuteInternal(const sql::Statement& stmt, Session* session);
+  ResultSet ExecWith(const sql::Statement& stmt, ExecContext& ctx);
+  ResultSet ExecCreateTable(const sql::Statement& stmt);
+  ResultSet ExecInsert(const sql::Statement& stmt, Session* session);
+  ResultSet ExecUpdate(const sql::Statement& stmt, Session* session,
+                       ExecContext& ctx);
+  ResultSet ExecDelete(const sql::Statement& stmt, Session* session);
+  ResultSet ExecTransaction(const sql::Statement& stmt, Session* session);
+
+  void CheckDialect(const sql::Statement& stmt) const;
+  void BackupForTransaction(Session* session, Table& table);
+
+  Database& db_;
+  // Scan-volume accounting for the statement currently executing (each
+  // connection owns its Executor, so no synchronization is needed).
+  size_t rows_examined_ = 0;
+};
+
+}  // namespace sqloop::minidb

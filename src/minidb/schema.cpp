@@ -1,0 +1,82 @@
+#include "minidb/schema.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace sqloop::minidb {
+
+std::string FoldIdentifier(const std::string& name) {
+  return strings::ToLower(name);
+}
+
+Schema::Schema(std::vector<Column> columns, int primary_key_index)
+    : columns_(std::move(columns)), primary_key_index_(primary_key_index) {
+  for (auto& column : columns_) column.name = FoldIdentifier(column.name);
+  if (primary_key_index_ >= static_cast<int>(columns_.size())) {
+    throw UsageError("primary key index out of range");
+  }
+}
+
+int Schema::FindColumn(const std::string& name) const noexcept {
+  const std::string folded = FoldIdentifier(name);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == folded) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Schema::CoerceRow(Row& row) const {
+  if (row.size() != columns_.size()) {
+    throw ExecutionError("row has " + std::to_string(row.size()) +
+                         " values but table has " +
+                         std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    Value& v = row[i];
+    if (v.is_null()) continue;
+    switch (columns_[i].type) {
+      case ValueType::kInt64:
+        if (v.is_int()) continue;
+        if (v.is_double()) {
+          const double d = v.as_double();
+          const auto as_int = static_cast<int64_t>(d);
+          if (static_cast<double>(as_int) == d) {
+            v = Value(as_int);
+            continue;
+          }
+        }
+        throw ExecutionError("cannot store " +
+                             std::string(ValueTypeName(v.type())) +
+                             " value in BIGINT column '" + columns_[i].name +
+                             "'");
+      case ValueType::kDouble:
+        if (v.is_double()) continue;
+        if (v.is_int()) {
+          v = Value(static_cast<double>(v.as_int()));
+          continue;
+        }
+        throw ExecutionError("cannot store " +
+                             std::string(ValueTypeName(v.type())) +
+                             " value in DOUBLE column '" + columns_[i].name +
+                             "'");
+      case ValueType::kText:
+        if (v.is_text()) continue;
+        v = Value(v.ToString());
+        continue;
+      case ValueType::kNull:
+        throw ExecutionError("column '" + columns_[i].name +
+                             "' has invalid NULL type");
+    }
+  }
+}
+
+const Value& ResultSet::ScalarAt(size_t row, size_t col) const {
+  if (row >= rows.size() || col >= rows[row].size()) {
+    throw UsageError("ScalarAt(" + std::to_string(row) + ", " +
+                     std::to_string(col) + ") out of range for " +
+                     std::to_string(rows.size()) + "-row result");
+  }
+  return rows[row][col];
+}
+
+}  // namespace sqloop::minidb

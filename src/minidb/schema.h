@@ -1,0 +1,64 @@
+// Table schemas and row/result containers for the minidb engine.
+//
+// Identifier handling: minidb folds all table/column names to lower case
+// (as PostgreSQL does for unquoted identifiers), so SQL written with any
+// capitalization resolves consistently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace sqloop::minidb {
+
+using Row = std::vector<Value>;
+
+struct Column {
+  std::string name;  // lower-cased
+  ValueType type = ValueType::kInt64;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<Column> columns, int primary_key_index);
+
+  const std::vector<Column>& columns() const noexcept { return columns_; }
+  size_t column_count() const noexcept { return columns_.size(); }
+  int primary_key_index() const noexcept { return primary_key_index_; }
+
+  /// Index of the column with this (case-insensitive) name, or -1.
+  int FindColumn(const std::string& name) const noexcept;
+
+  /// Coerces `row` to the schema's column types in place (int widens to
+  /// double, NULL passes through). Throws ExecutionError on arity or type
+  /// mismatch.
+  void CoerceRow(Row& row) const;
+
+ private:
+  std::vector<Column> columns_;
+  int primary_key_index_ = -1;
+};
+
+/// Result of a statement: column names + rows for queries, affected-row
+/// count for DML. Shipped to clients through the dbc layer.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  size_t affected_rows = 0;
+  /// Rows the engine read while answering (table-scan volume). The dbc
+  /// layer uses this to model server-side processing cost; see DESIGN.md.
+  size_t rows_examined = 0;
+
+  bool empty() const noexcept { return rows.empty(); }
+  size_t row_count() const noexcept { return rows.size(); }
+
+  /// Convenience accessor for single-value results (aggregate probes).
+  const Value& ScalarAt(size_t row = 0, size_t col = 0) const;
+};
+
+/// Lower-cases an identifier the way the catalog stores it.
+std::string FoldIdentifier(const std::string& name);
+
+}  // namespace sqloop::minidb

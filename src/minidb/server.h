@@ -1,0 +1,44 @@
+// The minidb "server": a process-wide registry of named databases that
+// connections attach to by URL, standing in for the PostgreSQL/MySQL/
+// MariaDB server processes of the paper's testbed.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "minidb/database.h"
+
+namespace sqloop::minidb {
+
+class Server {
+ public:
+  /// The default in-process server instance (what `minidb://localhost/...`
+  /// URLs resolve to).
+  static Server& Default();
+
+  Server() = default;
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Creates a database with the given engine profile. Throws if the name
+  /// is taken.
+  std::shared_ptr<Database> CreateDatabase(const std::string& name,
+                                           EngineProfile profile);
+
+  /// Returns the database or nullptr.
+  std::shared_ptr<Database> FindDatabase(const std::string& name) const;
+
+  /// Drops a database; returns false if it did not exist.
+  bool DropDatabase(const std::string& name);
+
+  std::vector<std::string> DatabaseNames() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Database>> databases_;
+};
+
+}  // namespace sqloop::minidb

@@ -1,0 +1,167 @@
+#include "minidb/table.h"
+
+#include "common/error.h"
+
+namespace sqloop::minidb {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+size_t Table::Insert(Row row) {
+  schema_.CoerceRow(row);
+  const int pk = schema_.primary_key_index();
+  if (pk >= 0) {
+    const Value& key = row[pk];
+    if (key.is_null()) {
+      throw ExecutionError("NULL primary key in table '" + name_ + "'");
+    }
+    if (pk_index_.contains(key)) {
+      throw ExecutionError("duplicate primary key " + key.ToString() +
+                           " in table '" + name_ + "'");
+    }
+  }
+  const size_t row_id = rows_.size();
+  rows_.push_back(std::move(row));
+  live_.push_back(1);
+  ++live_rows_;
+  if (pk >= 0) pk_index_.emplace(rows_[row_id][pk], row_id);
+  IndexInsert(row_id);
+  return row_id;
+}
+
+void Table::Update(size_t row_id, Row row) {
+  schema_.CoerceRow(row);
+  const int pk = schema_.primary_key_index();
+  if (pk >= 0) {
+    const Value& old_key = rows_[row_id][pk];
+    const Value& new_key = row[pk];
+    if (new_key.is_null()) {
+      throw ExecutionError("NULL primary key in table '" + name_ + "'");
+    }
+    if (!Value::KeyEquals(old_key, new_key)) {
+      if (pk_index_.contains(new_key)) {
+        throw ExecutionError("duplicate primary key " + new_key.ToString() +
+                             " in table '" + name_ + "'");
+      }
+      pk_index_.erase(old_key);
+      pk_index_.emplace(new_key, row_id);
+    }
+  }
+  IndexErase(row_id);
+  rows_[row_id] = std::move(row);
+  IndexInsert(row_id);
+}
+
+void Table::Delete(size_t row_id) {
+  if (!live_[row_id]) return;
+  const int pk = schema_.primary_key_index();
+  if (pk >= 0) pk_index_.erase(rows_[row_id][pk]);
+  IndexErase(row_id);
+  live_[row_id] = 0;
+  --live_rows_;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  live_.clear();
+  live_rows_ = 0;
+  pk_index_.clear();
+  for (auto& [name, index] : secondary_indexes_) index.map.clear();
+}
+
+int64_t Table::FindByPrimaryKey(const Value& key) const {
+  if (schema_.primary_key_index() < 0) return -1;
+  const auto it = pk_index_.find(key);
+  return it == pk_index_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+void Table::CreateIndex(const std::string& index_name,
+                        const std::string& column_name) {
+  const std::string folded = FoldIdentifier(index_name);
+  if (secondary_indexes_.contains(folded)) {
+    throw ExecutionError("index '" + index_name + "' already exists");
+  }
+  SecondaryIndex index;
+  index.column = FoldIdentifier(column_name);
+  index.column_index = schema_.FindColumn(index.column);
+  if (index.column_index < 0) {
+    throw ExecutionError("no column '" + column_name + "' in table '" +
+                         name_ + "' to index");
+  }
+  for (size_t row_id = 0; row_id < rows_.size(); ++row_id) {
+    if (live_[row_id]) {
+      index.map.emplace(rows_[row_id][index.column_index], row_id);
+    }
+  }
+  secondary_indexes_.emplace(folded, std::move(index));
+}
+
+bool Table::DropIndex(const std::string& index_name) {
+  return secondary_indexes_.erase(FoldIdentifier(index_name)) > 0;
+}
+
+bool Table::HasIndexOn(const std::string& column_name) const {
+  const std::string folded = FoldIdentifier(column_name);
+  if (schema_.primary_key_index() >= 0 &&
+      schema_.columns()[schema_.primary_key_index()].name == folded) {
+    return true;
+  }
+  for (const auto& [name, index] : secondary_indexes_) {
+    if (index.column == folded) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> Table::IndexLookup(const std::string& column_name,
+                                       const Value& key) const {
+  const std::string folded = FoldIdentifier(column_name);
+  if (schema_.primary_key_index() >= 0 &&
+      schema_.columns()[schema_.primary_key_index()].name == folded) {
+    const int64_t row = FindByPrimaryKey(key);
+    if (row < 0) return {};
+    return {static_cast<size_t>(row)};
+  }
+  for (const auto& [name, index] : secondary_indexes_) {
+    if (index.column != folded) continue;
+    std::vector<size_t> out;
+    const auto [begin, end] = index.map.equal_range(key);
+    for (auto it = begin; it != end; ++it) out.push_back(it->second);
+    return out;
+  }
+  throw UsageError("IndexLookup on unindexed column '" + column_name + "'");
+}
+
+std::vector<Row> Table::SnapshotRows() const {
+  std::vector<Row> out;
+  out.reserve(live_rows_);
+  for (size_t row_id = 0; row_id < rows_.size(); ++row_id) {
+    if (live_[row_id]) out.push_back(rows_[row_id]);
+  }
+  return out;
+}
+
+void Table::RestoreRows(const std::vector<Row>& rows) {
+  Clear();
+  for (const Row& row : rows) Insert(row);
+}
+
+void Table::IndexInsert(size_t row_id) {
+  for (auto& [name, index] : secondary_indexes_) {
+    index.map.emplace(rows_[row_id][index.column_index], row_id);
+  }
+}
+
+void Table::IndexErase(size_t row_id) {
+  for (auto& [name, index] : secondary_indexes_) {
+    const Value& key = rows_[row_id][index.column_index];
+    const auto [begin, end] = index.map.equal_range(key);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == row_id) {
+        index.map.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace sqloop::minidb

@@ -1,0 +1,88 @@
+// In-memory table with a primary-key hash index and optional secondary
+// hash indexes. Rows are stored in insertion order with tombstones; the
+// table-level reader/writer lock lives here (the engine's unit of locking,
+// like MyISAM's table locks).
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "minidb/schema.h"
+
+namespace sqloop::minidb {
+
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const noexcept { return name_; }
+  const Schema& schema() const noexcept { return schema_; }
+
+  /// The lock the executor takes (shared for reads, exclusive for writes).
+  std::shared_mutex& lock() const noexcept { return lock_; }
+
+  // All methods below assume the caller holds the appropriate lock.
+
+  /// Appends a row (coerced to the schema). Enforces primary-key
+  /// uniqueness when the schema declares one. Returns the row id.
+  size_t Insert(Row row);
+
+  size_t live_row_count() const noexcept { return live_rows_; }
+  size_t slot_count() const noexcept { return rows_.size(); }
+  bool IsLive(size_t row_id) const noexcept { return live_[row_id]; }
+  const Row& At(size_t row_id) const noexcept { return rows_[row_id]; }
+
+  /// Overwrites the row in place (coerced; primary key must not change to
+  /// a value already used by another live row). Keeps indexes in sync.
+  void Update(size_t row_id, Row row);
+
+  void Delete(size_t row_id);
+  void Clear();
+
+  /// Primary-key point lookup; returns -1 if absent or no PK declared.
+  int64_t FindByPrimaryKey(const Value& key) const;
+
+  /// Creates a single-column secondary hash index. (Multi-column CREATE
+  /// INDEX statements index their first column; see DESIGN.md.)
+  void CreateIndex(const std::string& index_name,
+                   const std::string& column_name);
+  bool DropIndex(const std::string& index_name);
+  bool HasIndexOn(const std::string& column_name) const;
+
+  /// Row ids of live rows whose `column` equals `key`, via a secondary
+  /// index. Precondition: HasIndexOn(column).
+  std::vector<size_t> IndexLookup(const std::string& column_name,
+                                  const Value& key) const;
+
+  /// Snapshot of all live rows (used for transaction rollback backups).
+  std::vector<Row> SnapshotRows() const;
+
+  /// Replaces the whole content (rollback restore).
+  void RestoreRows(const std::vector<Row>& rows);
+
+ private:
+  struct SecondaryIndex {
+    std::string column;
+    int column_index = -1;
+    std::unordered_multimap<Value, size_t, ValueKeyHash, ValueKeyEq> map;
+  };
+
+  void IndexInsert(size_t row_id);
+  void IndexErase(size_t row_id);
+
+  std::string name_;
+  Schema schema_;
+  mutable std::shared_mutex lock_;
+
+  std::vector<Row> rows_;
+  std::vector<char> live_;
+  size_t live_rows_ = 0;
+
+  std::unordered_map<Value, size_t, ValueKeyHash, ValueKeyEq> pk_index_;
+  std::unordered_map<std::string, SecondaryIndex> secondary_indexes_;
+};
+
+}  // namespace sqloop::minidb

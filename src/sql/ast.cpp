@@ -1,0 +1,333 @@
+#include "sql/ast.h"
+
+namespace sqloop::sql {
+
+const char* AggFuncName(AggFunc f) noexcept {
+  switch (f) {
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+const char* BinaryOpName(BinaryOp op) noexcept {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNotEq: return "!=";
+    case BinaryOp::kLess: return "<";
+    case BinaryOp::kLessEq: return "<=";
+    case BinaryOp::kGreater: return ">";
+    case BinaryOp::kGreaterEq: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->qualifier = qualifier;
+  out->column = column;
+  out->unary_op = unary_op;
+  out->binary_op = binary_op;
+  if (left) out->left = left->Clone();
+  if (right) out->right = right->Clone();
+  out->function_name = function_name;
+  out->args.reserve(args.size());
+  for (const auto& arg : args) out->args.push_back(arg->Clone());
+  out->agg_func = agg_func;
+  out->agg_star = agg_star;
+  out->agg_distinct = agg_distinct;
+  if (case_operand) out->case_operand = case_operand->Clone();
+  out->whens.reserve(whens.size());
+  for (const auto& w : whens) {
+    CaseWhen copy;
+    copy.condition = w.condition->Clone();
+    copy.result = w.result->Clone();
+    out->whens.push_back(std::move(copy));
+  }
+  if (else_expr) out->else_expr = else_expr->Clone();
+  out->is_not_null = is_not_null;
+  return out;
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->left = std::move(lhs);
+  e->right = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeFunction(std::string upper_name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->function_name = std::move(upper_name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr MakeAggregate(AggFunc f, ExprPtr arg, bool star, bool distinct) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->agg_func = f;
+  e->agg_star = star;
+  e->agg_distinct = distinct;
+  if (arg) e->args.push_back(std::move(arg));
+  return e;
+}
+
+ExprPtr MakeIsNull(ExprPtr operand, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIsNull;
+  e->left = std::move(operand);
+  e->is_not_null = negated;
+  return e;
+}
+
+ExprPtr AndTogether(ExprPtr a, ExprPtr b) {
+  if (!a) return b;
+  if (!b) return a;
+  return MakeBinary(BinaryOp::kAnd, std::move(a), std::move(b));
+}
+
+bool ExprEquals(const Expr& a, const Expr& b) noexcept {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::kLiteral:
+      return Value::KeyEquals(a.literal, b.literal);
+    case ExprKind::kColumnRef:
+      return a.qualifier == b.qualifier && a.column == b.column;
+    case ExprKind::kStar:
+      return true;
+    case ExprKind::kUnary:
+      return a.unary_op == b.unary_op && ExprEquals(*a.left, *b.left);
+    case ExprKind::kBinary:
+      return a.binary_op == b.binary_op && ExprEquals(*a.left, *b.left) &&
+             ExprEquals(*a.right, *b.right);
+    case ExprKind::kFunction: {
+      if (a.function_name != b.function_name ||
+          a.args.size() != b.args.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a.args.size(); ++i) {
+        if (!ExprEquals(*a.args[i], *b.args[i])) return false;
+      }
+      return true;
+    }
+    case ExprKind::kAggregate: {
+      if (a.agg_func != b.agg_func || a.agg_star != b.agg_star ||
+          a.agg_distinct != b.agg_distinct ||
+          a.args.size() != b.args.size()) {
+        return false;
+      }
+      return a.args.empty() || ExprEquals(*a.args[0], *b.args[0]);
+    }
+    case ExprKind::kCase: {
+      if (static_cast<bool>(a.case_operand) !=
+              static_cast<bool>(b.case_operand) ||
+          a.whens.size() != b.whens.size() ||
+          static_cast<bool>(a.else_expr) != static_cast<bool>(b.else_expr)) {
+        return false;
+      }
+      if (a.case_operand && !ExprEquals(*a.case_operand, *b.case_operand))
+        return false;
+      for (size_t i = 0; i < a.whens.size(); ++i) {
+        if (!ExprEquals(*a.whens[i].condition, *b.whens[i].condition) ||
+            !ExprEquals(*a.whens[i].result, *b.whens[i].result)) {
+          return false;
+        }
+      }
+      return !a.else_expr || ExprEquals(*a.else_expr, *b.else_expr);
+    }
+    case ExprKind::kIsNull:
+      return a.is_not_null == b.is_not_null && ExprEquals(*a.left, *b.left);
+  }
+  return false;
+}
+
+void VisitExpr(const Expr& expr, const std::function<void(const Expr&)>& fn) {
+  fn(expr);
+  if (expr.left) VisitExpr(*expr.left, fn);
+  if (expr.right) VisitExpr(*expr.right, fn);
+  for (const auto& arg : expr.args) VisitExpr(*arg, fn);
+  if (expr.case_operand) VisitExpr(*expr.case_operand, fn);
+  for (const auto& w : expr.whens) {
+    VisitExpr(*w.condition, fn);
+    VisitExpr(*w.result, fn);
+  }
+  if (expr.else_expr) VisitExpr(*expr.else_expr, fn);
+}
+
+void VisitExprMutable(Expr& expr, const std::function<void(Expr&)>& fn) {
+  fn(expr);
+  if (expr.left) VisitExprMutable(*expr.left, fn);
+  if (expr.right) VisitExprMutable(*expr.right, fn);
+  for (auto& arg : expr.args) VisitExprMutable(*arg, fn);
+  if (expr.case_operand) VisitExprMutable(*expr.case_operand, fn);
+  for (auto& w : expr.whens) {
+    VisitExprMutable(*w.condition, fn);
+    VisitExprMutable(*w.result, fn);
+  }
+  if (expr.else_expr) VisitExprMutable(*expr.else_expr, fn);
+}
+
+TableRefPtr TableRef::Clone() const {
+  auto out = std::make_unique<TableRef>();
+  out->kind = kind;
+  out->table_name = table_name;
+  out->alias = alias;
+  out->join_kind = join_kind;
+  if (left) out->left = left->Clone();
+  if (right) out->right = right->Clone();
+  if (on_condition) out->on_condition = on_condition->Clone();
+  if (subquery) out->subquery = subquery->Clone();
+  return out;
+}
+
+TableRefPtr MakeBaseTable(std::string table, std::string alias) {
+  auto ref = std::make_unique<TableRef>();
+  ref->kind = TableRefKind::kBase;
+  ref->table_name = std::move(table);
+  ref->alias = alias.empty() ? ref->table_name : std::move(alias);
+  return ref;
+}
+
+TableRefPtr MakeJoin(JoinKind kind, TableRefPtr left, TableRefPtr right,
+                     ExprPtr on) {
+  auto ref = std::make_unique<TableRef>();
+  ref->kind = TableRefKind::kJoin;
+  ref->join_kind = kind;
+  ref->left = std::move(left);
+  ref->right = std::move(right);
+  ref->on_condition = std::move(on);
+  return ref;
+}
+
+TableRefPtr MakeSubquery(SelectPtr select, std::string alias) {
+  auto ref = std::make_unique<TableRef>();
+  ref->kind = TableRefKind::kSubquery;
+  ref->subquery = std::move(select);
+  ref->alias = std::move(alias);
+  return ref;
+}
+
+void VisitBaseTables(const TableRef& ref,
+                     const std::function<void(const TableRef&)>& fn) {
+  switch (ref.kind) {
+    case TableRefKind::kBase:
+      fn(ref);
+      return;
+    case TableRefKind::kJoin:
+      VisitBaseTables(*ref.left, fn);
+      VisitBaseTables(*ref.right, fn);
+      return;
+    case TableRefKind::kSubquery:
+      if (ref.subquery) {
+        for (const auto& core : ref.subquery->cores) {
+          if (core.from) VisitBaseTables(*core.from, fn);
+        }
+      }
+      return;
+  }
+}
+
+void VisitTableRefsMutable(TableRef& ref,
+                           const std::function<void(TableRef&)>& fn) {
+  fn(ref);
+  if (ref.left) VisitTableRefsMutable(*ref.left, fn);
+  if (ref.right) VisitTableRefsMutable(*ref.right, fn);
+  if (ref.subquery) {
+    for (auto& core : ref.subquery->cores) {
+      if (core.from) VisitTableRefsMutable(*core.from, fn);
+    }
+  }
+}
+
+SelectCore SelectCore::Clone() const {
+  SelectCore out;
+  out.distinct = distinct;
+  out.items.reserve(items.size());
+  for (const auto& item : items) {
+    SelectItem copy;
+    copy.expr = item.expr->Clone();
+    copy.alias = item.alias;
+    out.items.push_back(std::move(copy));
+  }
+  if (from) out.from = from->Clone();
+  if (where) out.where = where->Clone();
+  out.group_by.reserve(group_by.size());
+  for (const auto& g : group_by) out.group_by.push_back(g->Clone());
+  if (having) out.having = having->Clone();
+  return out;
+}
+
+SelectPtr SelectStmt::Clone() const {
+  auto out = std::make_unique<SelectStmt>();
+  out->cores.reserve(cores.size());
+  for (const auto& core : cores) out->cores.push_back(core.Clone());
+  out->set_ops = set_ops;
+  out->order_by.reserve(order_by.size());
+  for (const auto& o : order_by) {
+    OrderItem copy;
+    copy.expr = o.expr->Clone();
+    copy.ascending = o.ascending;
+    out->order_by.push_back(std::move(copy));
+  }
+  out->limit = limit;
+  out->offset = offset;
+  return out;
+}
+
+Termination Termination::Clone() const {
+  Termination out;
+  out.kind = kind;
+  out.count = count;
+  out.delta = delta;
+  if (probe) out.probe = probe->Clone();
+  out.comparator = comparator;
+  out.bound = bound;
+  return out;
+}
+
+}  // namespace sqloop::sql

@@ -1,0 +1,313 @@
+// Abstract syntax tree for the SQL subset plus the SQLoop iterative-CTE
+// extension (paper §III). One tagged struct per syntactic category keeps
+// cloning and rewriting (which the SQLoop analyzer does heavily) simple.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace sqloop::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kStar,       // bare `*` in SELECT lists
+  kUnary,
+  kBinary,
+  kFunction,   // scalar functions: COALESCE, LEAST, GREATEST, ABS
+  kAggregate,  // SUM / MIN / MAX / COUNT / AVG
+  kCase,
+  kIsNull,
+};
+
+enum class UnaryOp { kNegate, kNot };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNotEq, kLess, kLessEq, kGreater, kGreaterEq,
+  kAnd, kOr,
+};
+
+enum class AggFunc { kSum, kMin, kMax, kCount, kAvg };
+
+const char* AggFuncName(AggFunc f) noexcept;
+const char* BinaryOpName(BinaryOp op) noexcept;
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct CaseWhen {
+  ExprPtr condition;
+  ExprPtr result;
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef — `qualifier` is the table name/alias, possibly empty.
+  std::string qualifier;
+  std::string column;
+
+  // kUnary (operand in `left`) / kBinary
+  UnaryOp unary_op = UnaryOp::kNegate;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  ExprPtr left;
+  ExprPtr right;
+
+  // kFunction — upper-case name; kAggregate argument also lives in args[0].
+  std::string function_name;
+  std::vector<ExprPtr> args;
+
+  // kAggregate
+  AggFunc agg_func = AggFunc::kSum;
+  bool agg_star = false;      // COUNT(*)
+  bool agg_distinct = false;  // COUNT(DISTINCT x)
+
+  // kCase
+  ExprPtr case_operand;  // optional (simple CASE); null for searched CASE
+  std::vector<CaseWhen> whens;
+  ExprPtr else_expr;  // optional
+
+  // kIsNull
+  bool is_not_null = false;
+
+  ExprPtr Clone() const;
+};
+
+// Factory helpers used by the parser and the SQLoop query rewriter.
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string qualifier, std::string column);
+ExprPtr MakeStar();
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeFunction(std::string upper_name, std::vector<ExprPtr> args);
+ExprPtr MakeAggregate(AggFunc f, ExprPtr arg, bool star = false,
+                      bool distinct = false);
+ExprPtr MakeIsNull(ExprPtr operand, bool negated);
+
+/// Ands two (possibly null) predicates together.
+ExprPtr AndTogether(ExprPtr a, ExprPtr b);
+
+/// Structural equality (used to match GROUP BY keys to SELECT items).
+bool ExprEquals(const Expr& a, const Expr& b) noexcept;
+
+/// Calls `fn` on `expr` and every descendant expression.
+void VisitExpr(const Expr& expr, const std::function<void(const Expr&)>& fn);
+
+/// Mutable pre-order visit; `fn` may rewrite nodes in place.
+void VisitExprMutable(Expr& expr, const std::function<void(Expr&)>& fn);
+
+// ---------------------------------------------------------------------------
+// Table references (FROM clauses)
+// ---------------------------------------------------------------------------
+
+enum class TableRefKind { kBase, kJoin, kSubquery };
+enum class JoinKind { kInner, kLeft, kCross };
+
+struct SelectStmt;
+using SelectPtr = std::unique_ptr<SelectStmt>;
+
+struct TableRef;
+using TableRefPtr = std::unique_ptr<TableRef>;
+
+struct TableRef {
+  TableRefKind kind = TableRefKind::kBase;
+
+  // kBase
+  std::string table_name;
+
+  // kBase / kSubquery: the binding name visible to expressions. For a base
+  // table without an alias this equals table_name.
+  std::string alias;
+
+  // kJoin
+  JoinKind join_kind = JoinKind::kInner;
+  TableRefPtr left;
+  TableRefPtr right;
+  ExprPtr on_condition;  // null for CROSS
+
+  // kSubquery
+  SelectPtr subquery;
+
+  TableRefPtr Clone() const;
+};
+
+TableRefPtr MakeBaseTable(std::string table, std::string alias = {});
+TableRefPtr MakeJoin(JoinKind kind, TableRefPtr left, TableRefPtr right,
+                     ExprPtr on);
+TableRefPtr MakeSubquery(SelectPtr select, std::string alias);
+
+/// Calls `fn` for every base-table reference under `ref`.
+void VisitBaseTables(const TableRef& ref,
+                     const std::function<void(const TableRef&)>& fn);
+
+/// Mutable variant, visiting every TableRef node (joins included).
+void VisitTableRefsMutable(TableRef& ref,
+                           const std::function<void(TableRef&)>& fn);
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+enum class SetOp { kUnionAll, kUnion };
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // output column name; empty -> derived
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// One SELECT ... FROM ... WHERE ... GROUP BY ... HAVING block.
+struct SelectCore {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRefPtr from;  // null for FROM-less selects (e.g. VALUES-like seeds)
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+
+  SelectCore Clone() const;
+};
+
+/// A full select statement: one or more cores joined by UNION [ALL],
+/// followed by optional ORDER BY / LIMIT.
+struct SelectStmt {
+  std::vector<SelectCore> cores;  // size >= 1
+  std::vector<SetOp> set_ops;     // size == cores.size() - 1
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+
+  SelectPtr Clone() const;
+};
+
+// ---------------------------------------------------------------------------
+// Iterative-CTE termination conditions (paper Table I)
+// ---------------------------------------------------------------------------
+
+struct Termination {
+  enum class Kind {
+    kIterations,   // UNTIL n ITERATIONS
+    kUpdates,      // UNTIL n UPDATES  (fewer than n rows updated)
+    kProbeAll,     // UNTIL [DELTA] (expr)        — expr returns |R| rows
+    kProbeAny,     // UNTIL ANY [DELTA] (expr)    — expr returns >= 1 row
+    kProbeCompare, // UNTIL [DELTA] (expr) <|=|> e
+  };
+
+  Kind kind = Kind::kIterations;
+  int64_t count = 0;    // kIterations / kUpdates
+  bool delta = false;   // probe may reference <R>_delta (previous iteration)
+  SelectPtr probe;      // the user's expr query
+  char comparator = 0;  // '<', '=', '>' for kProbeCompare
+  Value bound;          // e
+
+  Termination Clone() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StatementKind {
+  kSelect,
+  kCreateTable,
+  kDropTable,
+  kCreateIndex,
+  kDropIndex,
+  kCreateView,
+  kDropView,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kTruncate,
+  kBegin,
+  kCommit,
+  kRollback,
+  kWith,  // WITH [RECURSIVE|ITERATIVE] ... — both CTE flavors
+};
+
+enum class CteKind { kPlain, kRecursive, kIterative };
+
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  // Raw type spelling as written ("DOUBLE PRECISION", "DOUBLE", ...), kept
+  // so engine profiles can enforce their dialect (see sql/dialect.h).
+  std::string type_spelling;
+};
+
+struct Statement;
+using StatementPtr = std::unique_ptr<Statement>;
+
+/// WITH-clause payload. For kPlain the step/termination are unused; for
+/// kRecursive the CTE body is `seed UNION ALL step`; for kIterative it is
+/// `seed ITERATE step UNTIL termination` (paper §III-A).
+struct WithClause {
+  CteKind kind = CteKind::kPlain;
+  std::string name;
+  std::vector<std::string> columns;  // may be empty (derive from seed)
+  SelectPtr seed;                    // R0
+  SelectPtr step;                    // Ri
+  Termination termination;           // Tc (iterative only)
+  SelectPtr final_query;             // Qf
+};
+
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+
+  // kSelect
+  SelectPtr select;
+
+  // Common DDL/DML target.
+  std::string table_name;
+
+  // kCreateTable
+  std::vector<ColumnDef> columns;
+  int primary_key_index = -1;
+  bool if_not_exists = false;
+  bool unlogged = false;          // CREATE UNLOGGED TABLE (postgres)
+  std::string engine_option;      // trailing ENGINE=<x> (mysql family)
+
+  // kDropTable / kDropIndex / kDropView
+  bool if_exists = false;
+
+  // kCreateIndex / kDropIndex
+  std::string index_name;
+  std::vector<std::string> index_columns;
+
+  // kCreateView
+  SelectPtr view_select;
+
+  // kInsert
+  std::vector<std::string> insert_columns;
+  std::vector<std::vector<ExprPtr>> insert_rows;  // INSERT ... VALUES
+  SelectPtr insert_select;                        // INSERT ... SELECT
+
+  // kUpdate
+  std::string update_alias;
+  std::vector<std::pair<std::string, ExprPtr>> set_items;
+  TableRefPtr update_from;  // UPDATE ... FROM <ref> (postgres style)
+  ExprPtr where;            // kUpdate / kDelete
+
+  // kWith
+  WithClause with;
+};
+
+}  // namespace sqloop::sql

@@ -1,0 +1,59 @@
+// SQL dialects understood by the translation module and enforced by the
+// engine profiles.
+//
+// The paper's translation module "contains pre-defined rules that dictate
+// how a given type of query should be rewritten for a given target database
+// engine". We reproduce the genuinely divergent bits of the three engines
+// the paper evaluates:
+//   * double column type:   DOUBLE PRECISION (PostgreSQL) vs DOUBLE (MySQL
+//     and MariaDB)
+//   * no-logging tables:    CREATE UNLOGGED TABLE (PostgreSQL) vs a
+//     trailing ENGINE=MyISAM option (MySQL/MariaDB)
+//   * identifier quoting:   "ident" (PostgreSQL) vs `ident` (MySQL/MariaDB)
+#pragma once
+
+#include <string_view>
+
+namespace sqloop {
+
+enum class Dialect { kCanonical, kPostgres, kMySql, kMariaDb };
+
+constexpr std::string_view DialectName(Dialect d) noexcept {
+  switch (d) {
+    case Dialect::kCanonical:
+      return "canonical";
+    case Dialect::kPostgres:
+      return "postgres";
+    case Dialect::kMySql:
+      return "mysql";
+    case Dialect::kMariaDb:
+      return "mariadb";
+  }
+  return "?";
+}
+
+constexpr bool IsMySqlFamily(Dialect d) noexcept {
+  return d == Dialect::kMySql || d == Dialect::kMariaDb;
+}
+
+/// Spelling of the 8-byte float type in this dialect.
+constexpr std::string_view DoubleTypeName(Dialect d) noexcept {
+  return d == Dialect::kPostgres ? "DOUBLE PRECISION" : "DOUBLE";
+}
+
+/// Identifier quote character (only emitted for reserved-word collisions).
+constexpr char IdentifierQuote(Dialect d) noexcept {
+  return IsMySqlFamily(d) ? '`' : '"';
+}
+
+/// Whether CREATE UNLOGGED TABLE is accepted.
+constexpr bool SupportsUnloggedTables(Dialect d) noexcept {
+  return d == Dialect::kPostgres || d == Dialect::kCanonical;
+}
+
+/// Whether the trailing ENGINE=<name> table option is accepted.
+constexpr bool SupportsEngineTableOption(Dialect d) noexcept {
+  return IsMySqlFamily(d) || d == Dialect::kCanonical;
+}
+
+}  // namespace sqloop

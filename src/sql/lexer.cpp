@@ -1,0 +1,266 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace sqloop::sql {
+namespace {
+
+const std::unordered_set<std::string>& KeywordSet() {
+  static const std::unordered_set<std::string> kKeywords = {
+      // Core DML/DDL.
+      "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+      "DESC", "LIMIT", "OFFSET", "AS", "ON", "JOIN", "INNER", "LEFT",
+      "RIGHT", "FULL", "OUTER", "CROSS", "UNION", "ALL", "DISTINCT",
+      "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
+      "DROP", "TABLE", "INDEX", "VIEW", "IF", "EXISTS", "NOT", "PRIMARY",
+      "KEY", "UNLOGGED", "ENGINE", "TRUNCATE", "AND", "OR", "IS", "NULL",
+      "CASE", "WHEN", "THEN", "ELSE", "END", "BETWEEN", "IN", "LIKE",
+      "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION",
+      // Types.
+      "BIGINT", "INT", "INTEGER", "DOUBLE", "PRECISION", "FLOAT", "TEXT",
+      "VARCHAR", "REAL",
+      // CTE and the SQLoop extension (paper §III-A / Table I).
+      "WITH", "RECURSIVE", "ITERATIVE", "ITERATE", "UNTIL", "ITERATIONS",
+      "UPDATES", "ANY", "DELTA",
+      // Literals with keyword spelling.
+      "TRUE", "FALSE", "INFINITY",
+  };
+  return kKeywords;
+}
+
+[[noreturn]] void Fail(std::string_view message, size_t offset) {
+  throw ParseError(std::string(message) + " at byte " +
+                   std::to_string(offset));
+}
+
+}  // namespace
+
+bool IsReservedKeyword(std::string_view upper_word) noexcept {
+  return KeywordSet().contains(std::string(upper_word));
+}
+
+std::string DescribeToken(const Token& token) {
+  switch (token.kind) {
+    case TokenKind::kEnd:
+      return "<end of input>";
+    case TokenKind::kIdentifier:
+      return "identifier '" + token.text + "'";
+    case TokenKind::kKeyword:
+      return "keyword " + token.text;
+    case TokenKind::kIntegerLiteral:
+      return "integer " + std::to_string(token.int_value);
+    case TokenKind::kDoubleLiteral:
+      return "number " + std::to_string(token.double_value);
+    case TokenKind::kStringLiteral:
+      return "string '" + token.text + "'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNotEq: return "'!='";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kSemicolon: return "';'";
+  }
+  return "<token>";
+}
+
+std::vector<Token> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  const auto push = [&](TokenKind kind, size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) ++i;
+      if (i + 1 >= n) Fail("unterminated block comment", start);
+      i += 2;
+      continue;
+    }
+    // String literal.
+    if (c == '\'') {
+      const size_t start = i++;
+      std::string body;
+      while (true) {
+        if (i >= n) Fail("unterminated string literal", start);
+        if (source[i] == '\'') {
+          if (i + 1 < n && source[i + 1] == '\'') {  // escaped quote
+            body += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        body += source[i++];
+      }
+      Token t;
+      t.kind = TokenKind::kStringLiteral;
+      t.text = std::move(body);
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Quoted identifier: "x" (postgres) or `x` (mysql family).
+    if (c == '"' || c == '`') {
+      const size_t start = i++;
+      std::string body;
+      while (i < n && source[i] != c) body += source[i++];
+      if (i >= n) Fail("unterminated quoted identifier", start);
+      ++i;
+      Token t;
+      t.kind = TokenKind::kIdentifier;
+      t.text = std::move(body);
+      t.offset = start;
+      t.quote = c;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Number literal.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      const size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      if (i < n && source[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i])))
+          ++i;
+      }
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (source[i] == '+' || source[i] == '-')) ++i;
+        if (i >= n || !std::isdigit(static_cast<unsigned char>(source[i])))
+          Fail("malformed exponent", start);
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i])))
+          ++i;
+      }
+      const std::string_view body = source.substr(start, i - start);
+      Token t;
+      t.offset = start;
+      if (is_double) {
+        t.kind = TokenKind::kDoubleLiteral;
+        t.double_value = std::stod(std::string(body));
+      } else {
+        t.kind = TokenKind::kIntegerLiteral;
+        const auto result = std::from_chars(body.data(),
+                                            body.data() + body.size(),
+                                            t.int_value);
+        if (result.ec != std::errc{}) Fail("integer literal overflow", start);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Identifier or keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      const std::string_view body = source.substr(start, i - start);
+      const std::string upper = strings::ToUpper(body);
+      Token t;
+      t.offset = start;
+      if (KeywordSet().contains(upper)) {
+        t.kind = TokenKind::kKeyword;
+        t.text = std::string(body);
+        t.upper = upper;
+      } else {
+        t.kind = TokenKind::kIdentifier;
+        t.text = std::string(body);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Operators / punctuation.
+    const size_t start = i;
+    switch (c) {
+      case '+': push(TokenKind::kPlus, start); ++i; break;
+      case '-': push(TokenKind::kMinus, start); ++i; break;
+      case '*': push(TokenKind::kStar, start); ++i; break;
+      case '/': push(TokenKind::kSlash, start); ++i; break;
+      case '%': push(TokenKind::kPercent, start); ++i; break;
+      case '(': push(TokenKind::kLParen, start); ++i; break;
+      case ')': push(TokenKind::kRParen, start); ++i; break;
+      case ',': push(TokenKind::kComma, start); ++i; break;
+      case '.': push(TokenKind::kDot, start); ++i; break;
+      case ';': push(TokenKind::kSemicolon, start); ++i; break;
+      case '=': push(TokenKind::kEq, start); ++i; break;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kNotEq, start);
+          i += 2;
+        } else {
+          Fail("unexpected '!'", start);
+        }
+        break;
+      case '<':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kLessEq, start);
+          i += 2;
+        } else if (i + 1 < n && source[i + 1] == '>') {
+          push(TokenKind::kNotEq, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLess, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kGreaterEq, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGreater, start);
+          ++i;
+        }
+        break;
+      default:
+        Fail(std::string("unexpected character '") + c + "'", start);
+    }
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace sqloop::sql

@@ -1,0 +1,21 @@
+// SQL tokenizer. Keywords are recognized case-insensitively; anything
+// alphabetic that is not a keyword is an identifier. Supports '--' line
+// comments and /* block */ comments.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/token.h"
+
+namespace sqloop::sql {
+
+/// Tokenizes the whole statement up front (SQL statements are short; this
+/// keeps the parser simple and the error offsets exact). Throws ParseError.
+std::vector<Token> Tokenize(std::string_view source);
+
+/// True if `word` (upper-case) is a reserved SQL keyword in this grammar.
+bool IsReservedKeyword(std::string_view upper_word) noexcept;
+
+}  // namespace sqloop::sql

@@ -1,0 +1,884 @@
+#include "sql/parser.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace sqloop::sql {
+namespace {
+
+/// Names treated as aggregate functions when used in call position.
+const std::unordered_map<std::string, AggFunc>& AggregateNames() {
+  static const std::unordered_map<std::string, AggFunc> kAggs = {
+      {"SUM", AggFunc::kSum},   {"MIN", AggFunc::kMin},
+      {"MAX", AggFunc::kMax},   {"COUNT", AggFunc::kCount},
+      {"AVG", AggFunc::kAvg},
+  };
+  return kAggs;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source)
+      : source_(source), tokens_(Tokenize(source)) {}
+
+  StatementPtr ParseSingleStatement() {
+    auto stmt = ParseStatementInternal();
+    Accept(TokenKind::kSemicolon);
+    Expect(TokenKind::kEnd);
+    return stmt;
+  }
+
+  std::vector<StatementPtr> ParseAll() {
+    std::vector<StatementPtr> out;
+    while (!Check(TokenKind::kEnd)) {
+      if (Accept(TokenKind::kSemicolon)) continue;
+      out.push_back(ParseStatementInternal());
+      if (!Check(TokenKind::kEnd)) Expect(TokenKind::kSemicolon);
+    }
+    return out;
+  }
+
+  SelectPtr ParseBareSelect() {
+    auto select = ParseSelectStmt();
+    Accept(TokenKind::kSemicolon);
+    Expect(TokenKind::kEnd);
+    return select;
+  }
+
+ private:
+  // --- token plumbing -------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t index = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+
+  bool CheckKeyword(std::string_view word) const {
+    return Peek().IsKeyword(word);
+  }
+
+  // Keywords that the grammar only needs in specific positions; elsewhere
+  // they behave as ordinary identifiers (the paper's queries use `Delta`
+  // as a column name, for instance).
+  static bool IsSoftKeyword(const Token& t) noexcept {
+    return t.kind == TokenKind::kKeyword &&
+           (t.upper == "DELTA" || t.upper == "ITERATIONS" ||
+            t.upper == "UPDATES" || t.upper == "ENGINE" || t.upper == "ANY");
+  }
+
+  bool CheckIdentifierLike() const {
+    return Check(TokenKind::kIdentifier) || IsSoftKeyword(Peek());
+  }
+
+  bool Accept(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+
+  bool AcceptKeyword(std::string_view word) {
+    if (!CheckKeyword(word)) return false;
+    Advance();
+    return true;
+  }
+
+  const Token& Expect(TokenKind kind, std::string_view what = {}) {
+    if (!Check(kind)) {
+      Fail(std::string("expected ") +
+           (what.empty() ? "token" : std::string(what)) + ", found " +
+           DescribeToken(Peek()));
+    }
+    return Advance();
+  }
+
+  void ExpectKeyword(std::string_view word) {
+    if (!AcceptKeyword(word)) {
+      Fail("expected " + std::string(word) + ", found " +
+           DescribeToken(Peek()));
+    }
+  }
+
+  std::string ExpectIdentifier(std::string_view what) {
+    if (CheckIdentifierLike()) return Advance().text;
+    Fail("expected " + std::string(what) + ", found " + DescribeToken(Peek()));
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw ParseError(message + " (near byte " +
+                     std::to_string(Peek().offset) + " of: " +
+                     std::string(source_.substr(0, 120)) + "...)");
+  }
+
+  // --- statements -----------------------------------------------------
+  StatementPtr ParseStatementInternal() {
+    if (CheckKeyword("SELECT") || CheckKeyword("VALUES")) {
+      auto stmt = std::make_unique<Statement>();
+      stmt->kind = StatementKind::kSelect;
+      stmt->select = ParseSelectStmt();
+      return stmt;
+    }
+    if (CheckKeyword("WITH")) return ParseWith();
+    if (CheckKeyword("CREATE")) return ParseCreate();
+    if (CheckKeyword("DROP")) return ParseDrop();
+    if (CheckKeyword("INSERT")) return ParseInsert();
+    if (CheckKeyword("UPDATE")) return ParseUpdate();
+    if (CheckKeyword("DELETE")) return ParseDelete();
+    if (CheckKeyword("TRUNCATE")) return ParseTruncate();
+    if (AcceptKeyword("BEGIN")) {
+      AcceptKeyword("TRANSACTION");
+      auto stmt = std::make_unique<Statement>();
+      stmt->kind = StatementKind::kBegin;
+      return stmt;
+    }
+    if (AcceptKeyword("COMMIT")) {
+      auto stmt = std::make_unique<Statement>();
+      stmt->kind = StatementKind::kCommit;
+      return stmt;
+    }
+    if (AcceptKeyword("ROLLBACK")) {
+      auto stmt = std::make_unique<Statement>();
+      stmt->kind = StatementKind::kRollback;
+      return stmt;
+    }
+    Fail("expected a statement, found " + DescribeToken(Peek()));
+  }
+
+  StatementPtr ParseWith() {
+    ExpectKeyword("WITH");
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StatementKind::kWith;
+    WithClause& with = stmt->with;
+    if (AcceptKeyword("RECURSIVE")) {
+      with.kind = CteKind::kRecursive;
+    } else if (AcceptKeyword("ITERATIVE")) {
+      with.kind = CteKind::kIterative;
+    } else {
+      with.kind = CteKind::kPlain;
+    }
+    with.name = ExpectIdentifier("CTE name");
+    if (Accept(TokenKind::kLParen)) {
+      do {
+        with.columns.push_back(ExpectIdentifier("CTE column name"));
+      } while (Accept(TokenKind::kComma));
+      Expect(TokenKind::kRParen, "')'");
+    }
+    ExpectKeyword("AS");
+    Expect(TokenKind::kLParen, "'(' before CTE body");
+
+    switch (with.kind) {
+      case CteKind::kPlain:
+        with.seed = ParseSelectStmt();
+        break;
+      case CteKind::kRecursive: {
+        // Body is `R0 UNION ALL Ri`; R0 itself may be a UNION chain, so the
+        // recursive member is the *last* core of the parsed chain.
+        auto body = ParseSelectStmt();
+        if (body->cores.size() < 2) {
+          Fail("recursive CTE body must be 'seed UNION ALL step'");
+        }
+        if (body->set_ops.back() != SetOp::kUnionAll) {
+          Fail("recursive CTE requires UNION ALL before the recursive member");
+        }
+        auto step = std::make_unique<SelectStmt>();
+        step->cores.push_back(std::move(body->cores.back()));
+        body->cores.pop_back();
+        body->set_ops.pop_back();
+        with.seed = std::move(body);
+        with.step = std::move(step);
+        break;
+      }
+      case CteKind::kIterative: {
+        with.seed = ParseSelectStmt(/*stop_at_iterate=*/true);
+        ExpectKeyword("ITERATE");
+        with.step = ParseSelectStmt(/*stop_at_iterate=*/true);
+        ExpectKeyword("UNTIL");
+        with.termination = ParseTermination();
+        break;
+      }
+    }
+    Expect(TokenKind::kRParen, "')' after CTE body");
+    with.final_query = ParseSelectStmt();
+    return stmt;
+  }
+
+  /// Table I grammar:
+  ///   n ITERATIONS | n UPDATES
+  ///   [ANY] [DELTA] (expr) [ <|=|> literal ]
+  Termination ParseTermination() {
+    Termination tc;
+    if (Check(TokenKind::kIntegerLiteral)) {
+      tc.count = Advance().int_value;
+      if (AcceptKeyword("ITERATIONS")) {
+        tc.kind = Termination::Kind::kIterations;
+        if (tc.count <= 0) Fail("ITERATIONS count must be positive");
+      } else if (AcceptKeyword("UPDATES")) {
+        tc.kind = Termination::Kind::kUpdates;
+        if (tc.count < 0) Fail("UPDATES count must be non-negative");
+      } else {
+        Fail("expected ITERATIONS or UPDATES after count");
+      }
+      return tc;
+    }
+    const bool any = AcceptKeyword("ANY");
+    tc.delta = AcceptKeyword("DELTA");
+    Expect(TokenKind::kLParen, "'(' before termination expression");
+    tc.probe = ParseSelectStmt();
+    Expect(TokenKind::kRParen, "')' after termination expression");
+    if (Check(TokenKind::kLess) || Check(TokenKind::kEq) ||
+        Check(TokenKind::kGreater)) {
+      if (any) Fail("ANY cannot be combined with a comparison bound");
+      tc.kind = Termination::Kind::kProbeCompare;
+      const TokenKind op = Advance().kind;
+      tc.comparator = op == TokenKind::kLess ? '<'
+                      : op == TokenKind::kEq ? '='
+                                             : '>';
+      tc.bound = ParseLiteralValue();
+      return tc;
+    }
+    tc.kind = any ? Termination::Kind::kProbeAny : Termination::Kind::kProbeAll;
+    return tc;
+  }
+
+  Value ParseLiteralValue() {
+    bool negative = false;
+    if (Accept(TokenKind::kMinus)) negative = true;
+    if (Check(TokenKind::kIntegerLiteral)) {
+      const int64_t v = Advance().int_value;
+      return Value(negative ? -v : v);
+    }
+    if (Check(TokenKind::kDoubleLiteral)) {
+      const double v = Advance().double_value;
+      return Value(negative ? -v : v);
+    }
+    if (AcceptKeyword("INFINITY")) {
+      const double inf = std::numeric_limits<double>::infinity();
+      return Value(negative ? -inf : inf);
+    }
+    if (Check(TokenKind::kStringLiteral)) {
+      if (negative) Fail("cannot negate a string literal");
+      return Value(Advance().text);
+    }
+    Fail("expected a literal, found " + DescribeToken(Peek()));
+  }
+
+  StatementPtr ParseCreate() {
+    ExpectKeyword("CREATE");
+    auto stmt = std::make_unique<Statement>();
+    if (AcceptKeyword("UNLOGGED")) {
+      stmt->unlogged = true;
+      ExpectKeyword("TABLE");
+      return ParseCreateTableBody(std::move(stmt));
+    }
+    if (AcceptKeyword("TABLE")) return ParseCreateTableBody(std::move(stmt));
+    if (AcceptKeyword("INDEX")) {
+      stmt->kind = StatementKind::kCreateIndex;
+      stmt->index_name = ExpectIdentifier("index name");
+      ExpectKeyword("ON");
+      stmt->table_name = ExpectIdentifier("table name");
+      Expect(TokenKind::kLParen, "'('");
+      do {
+        stmt->index_columns.push_back(ExpectIdentifier("column name"));
+      } while (Accept(TokenKind::kComma));
+      Expect(TokenKind::kRParen, "')'");
+      return stmt;
+    }
+    if (AcceptKeyword("VIEW")) {
+      stmt->kind = StatementKind::kCreateView;
+      stmt->table_name = ExpectIdentifier("view name");
+      ExpectKeyword("AS");
+      stmt->view_select = ParseSelectStmt();
+      return stmt;
+    }
+    Fail("expected TABLE, INDEX or VIEW after CREATE");
+  }
+
+  StatementPtr ParseCreateTableBody(StatementPtr stmt) {
+    stmt->kind = StatementKind::kCreateTable;
+    if (AcceptKeyword("IF")) {
+      ExpectKeyword("NOT");
+      ExpectKeyword("EXISTS");
+      stmt->if_not_exists = true;
+    }
+    stmt->table_name = ExpectIdentifier("table name");
+    Expect(TokenKind::kLParen, "'('");
+    do {
+      ColumnDef def;
+      def.name = ExpectIdentifier("column name");
+      ParseColumnType(def);
+      if (AcceptKeyword("PRIMARY")) {
+        ExpectKeyword("KEY");
+        if (stmt->primary_key_index >= 0) Fail("multiple PRIMARY KEY columns");
+        stmt->primary_key_index = static_cast<int>(stmt->columns.size());
+      }
+      stmt->columns.push_back(std::move(def));
+    } while (Accept(TokenKind::kComma));
+    Expect(TokenKind::kRParen, "')'");
+    if (AcceptKeyword("ENGINE")) {
+      Expect(TokenKind::kEq, "'=' after ENGINE");
+      stmt->engine_option = ExpectIdentifier("storage engine name");
+    }
+    return stmt;
+  }
+
+  void ParseColumnType(ColumnDef& def) {
+    if (!Check(TokenKind::kKeyword)) {
+      Fail("expected a column type, found " + DescribeToken(Peek()));
+    }
+    const std::string word = Advance().upper;
+    if (word == "BIGINT" || word == "INT" || word == "INTEGER") {
+      def.type = ValueType::kInt64;
+      def.type_spelling = word;
+      return;
+    }
+    if (word == "DOUBLE") {
+      def.type = ValueType::kDouble;
+      def.type_spelling = "DOUBLE";
+      if (AcceptKeyword("PRECISION")) def.type_spelling = "DOUBLE PRECISION";
+      return;
+    }
+    if (word == "FLOAT" || word == "REAL") {
+      def.type = ValueType::kDouble;
+      def.type_spelling = word;
+      return;
+    }
+    if (word == "TEXT") {
+      def.type = ValueType::kText;
+      def.type_spelling = word;
+      return;
+    }
+    if (word == "VARCHAR") {
+      def.type = ValueType::kText;
+      def.type_spelling = word;
+      if (Accept(TokenKind::kLParen)) {
+        Expect(TokenKind::kIntegerLiteral, "VARCHAR length");
+        Expect(TokenKind::kRParen, "')'");
+      }
+      return;
+    }
+    Fail("unsupported column type " + word);
+  }
+
+  StatementPtr ParseDrop() {
+    ExpectKeyword("DROP");
+    auto stmt = std::make_unique<Statement>();
+    if (AcceptKeyword("TABLE")) {
+      stmt->kind = StatementKind::kDropTable;
+    } else if (AcceptKeyword("INDEX")) {
+      stmt->kind = StatementKind::kDropIndex;
+    } else if (AcceptKeyword("VIEW")) {
+      stmt->kind = StatementKind::kDropView;
+    } else {
+      Fail("expected TABLE, INDEX or VIEW after DROP");
+    }
+    if (AcceptKeyword("IF")) {
+      ExpectKeyword("EXISTS");
+      stmt->if_exists = true;
+    }
+    if (stmt->kind == StatementKind::kDropIndex) {
+      stmt->index_name = ExpectIdentifier("index name");
+      if (AcceptKeyword("ON")) {
+        stmt->table_name = ExpectIdentifier("table name");
+      }
+    } else {
+      stmt->table_name = ExpectIdentifier("name");
+    }
+    return stmt;
+  }
+
+  StatementPtr ParseInsert() {
+    ExpectKeyword("INSERT");
+    ExpectKeyword("INTO");
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StatementKind::kInsert;
+    stmt->table_name = ExpectIdentifier("table name");
+    if (Check(TokenKind::kLParen)) {
+      // Could be a column list or a parenthesized SELECT; disambiguate by
+      // the token after '('.
+      if (Peek(1).kind == TokenKind::kIdentifier &&
+          (Peek(2).kind == TokenKind::kComma ||
+           Peek(2).kind == TokenKind::kRParen)) {
+        Advance();  // '('
+        do {
+          stmt->insert_columns.push_back(ExpectIdentifier("column name"));
+        } while (Accept(TokenKind::kComma));
+        Expect(TokenKind::kRParen, "')'");
+      }
+    }
+    if (AcceptKeyword("VALUES")) {
+      do {
+        Expect(TokenKind::kLParen, "'('");
+        std::vector<ExprPtr> row;
+        do {
+          row.push_back(ParseExpr());
+        } while (Accept(TokenKind::kComma));
+        Expect(TokenKind::kRParen, "')'");
+        stmt->insert_rows.push_back(std::move(row));
+      } while (Accept(TokenKind::kComma));
+      return stmt;
+    }
+    stmt->insert_select = ParseSelectStmt();
+    return stmt;
+  }
+
+  StatementPtr ParseUpdate() {
+    ExpectKeyword("UPDATE");
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StatementKind::kUpdate;
+    stmt->table_name = ExpectIdentifier("table name");
+    if (AcceptKeyword("AS")) {
+      stmt->update_alias = ExpectIdentifier("alias");
+    } else if (CheckIdentifierLike()) {
+      stmt->update_alias = Advance().text;
+    }
+    ExpectKeyword("SET");
+    do {
+      std::string column = ExpectIdentifier("column name");
+      // Tolerate a qualified target column (alias.col).
+      if (Accept(TokenKind::kDot)) column = ExpectIdentifier("column name");
+      Expect(TokenKind::kEq, "'='");
+      stmt->set_items.emplace_back(std::move(column), ParseExpr());
+    } while (Accept(TokenKind::kComma));
+    if (AcceptKeyword("FROM")) stmt->update_from = ParseTableRef();
+    if (AcceptKeyword("WHERE")) stmt->where = ParseExpr();
+    return stmt;
+  }
+
+  StatementPtr ParseDelete() {
+    ExpectKeyword("DELETE");
+    ExpectKeyword("FROM");
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StatementKind::kDelete;
+    stmt->table_name = ExpectIdentifier("table name");
+    if (AcceptKeyword("WHERE")) stmt->where = ParseExpr();
+    return stmt;
+  }
+
+  StatementPtr ParseTruncate() {
+    ExpectKeyword("TRUNCATE");
+    AcceptKeyword("TABLE");
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StatementKind::kTruncate;
+    stmt->table_name = ExpectIdentifier("table name");
+    return stmt;
+  }
+
+  // --- SELECT ---------------------------------------------------------
+  //
+  // `stop_at_iterate` prevents the UNION-chain loop from consuming the
+  // ITERATE/UNTIL keywords that delimit iterative-CTE members.
+  SelectPtr ParseSelectStmt(bool stop_at_iterate = false) {
+    auto stmt = std::make_unique<SelectStmt>();
+    ParseCoreInto(*stmt);
+    while (CheckKeyword("UNION")) {
+      if (stop_at_iterate &&
+          (Peek(1).IsKeyword("ITERATE") || Peek(1).IsKeyword("UNTIL"))) {
+        break;
+      }
+      Advance();
+      const SetOp op =
+          AcceptKeyword("ALL") ? SetOp::kUnionAll : SetOp::kUnion;
+      stmt->set_ops.push_back(op);
+      ParseCoreInto(*stmt);
+    }
+    if (AcceptKeyword("ORDER")) {
+      ExpectKeyword("BY");
+      do {
+        OrderItem item;
+        item.expr = ParseExpr();
+        if (AcceptKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (Accept(TokenKind::kComma));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      stmt->limit = Expect(TokenKind::kIntegerLiteral, "LIMIT count")
+                        .int_value;
+      if (AcceptKeyword("OFFSET")) {
+        stmt->offset = Expect(TokenKind::kIntegerLiteral, "OFFSET count")
+                           .int_value;
+      }
+    }
+    return stmt;
+  }
+
+  void ParseCoreInto(SelectStmt& stmt) {
+    if (AcceptKeyword("VALUES")) {
+      // VALUES (a, b), (c, d) — one FROM-less core per row, joined by
+      // UNION ALL (matches the set semantics of a VALUES list).
+      bool first = true;
+      do {
+        Expect(TokenKind::kLParen, "'('");
+        SelectCore core;
+        size_t column = 0;
+        do {
+          SelectItem item;
+          item.expr = ParseExpr();
+          item.alias = "column" + std::to_string(++column);
+          core.items.push_back(std::move(item));
+        } while (Accept(TokenKind::kComma));
+        Expect(TokenKind::kRParen, "')'");
+        if (!first) stmt.set_ops.push_back(SetOp::kUnionAll);
+        stmt.cores.push_back(std::move(core));
+        first = false;
+      } while (Accept(TokenKind::kComma));
+      return;
+    }
+    if (Check(TokenKind::kLParen)) {
+      // Parenthesized core: (SELECT ...). Parse and splice.
+      Advance();
+      auto inner = ParseSelectStmt();
+      Expect(TokenKind::kRParen, "')'");
+      if (!inner->order_by.empty() || inner->limit) {
+        Fail("ORDER BY/LIMIT not supported inside parenthesized UNION arm");
+      }
+      for (size_t i = 0; i < inner->cores.size(); ++i) {
+        if (i > 0) stmt.set_ops.push_back(inner->set_ops[i - 1]);
+        stmt.cores.push_back(std::move(inner->cores[i]));
+      }
+      return;
+    }
+    ExpectKeyword("SELECT");
+    SelectCore core;
+    core.distinct = AcceptKeyword("DISTINCT");
+    do {
+      SelectItem item;
+      if (Check(TokenKind::kStar)) {
+        Advance();
+        item.expr = MakeStar();
+      } else {
+        item.expr = ParseExpr();
+        if (AcceptKeyword("AS")) {
+          item.alias = ExpectIdentifier("column alias");
+        } else if (CheckIdentifierLike()) {
+          item.alias = Advance().text;
+        }
+      }
+      core.items.push_back(std::move(item));
+    } while (Accept(TokenKind::kComma));
+    if (AcceptKeyword("FROM")) core.from = ParseTableRef();
+    if (AcceptKeyword("WHERE")) core.where = ParseExpr();
+    if (AcceptKeyword("GROUP")) {
+      ExpectKeyword("BY");
+      do {
+        core.group_by.push_back(ParseExpr());
+      } while (Accept(TokenKind::kComma));
+    }
+    if (AcceptKeyword("HAVING")) core.having = ParseExpr();
+    stmt.cores.push_back(std::move(core));
+  }
+
+  // --- FROM clauses ----------------------------------------------------
+  TableRefPtr ParseTableRef() {
+    auto left = ParseJoinChain();
+    while (Accept(TokenKind::kComma)) {
+      auto right = ParseJoinChain();
+      left = MakeJoin(JoinKind::kCross, std::move(left), std::move(right),
+                      nullptr);
+    }
+    return left;
+  }
+
+  TableRefPtr ParseJoinChain() {
+    auto left = ParsePrimaryRef();
+    while (true) {
+      JoinKind kind;
+      if (AcceptKeyword("JOIN")) {
+        kind = JoinKind::kInner;
+      } else if (CheckKeyword("INNER") && Peek(1).IsKeyword("JOIN")) {
+        Advance();
+        Advance();
+        kind = JoinKind::kInner;
+      } else if (CheckKeyword("LEFT")) {
+        Advance();
+        AcceptKeyword("OUTER");
+        ExpectKeyword("JOIN");
+        kind = JoinKind::kLeft;
+      } else if (CheckKeyword("CROSS") && Peek(1).IsKeyword("JOIN")) {
+        Advance();
+        Advance();
+        auto right = ParsePrimaryRef();
+        left = MakeJoin(JoinKind::kCross, std::move(left), std::move(right),
+                        nullptr);
+        continue;
+      } else {
+        return left;
+      }
+      auto right = ParsePrimaryRef();
+      ExpectKeyword("ON");
+      auto on = ParseExpr();
+      left = MakeJoin(kind, std::move(left), std::move(right), std::move(on));
+    }
+  }
+
+  TableRefPtr ParsePrimaryRef() {
+    if (Accept(TokenKind::kLParen)) {
+      auto select = ParseSelectStmt();
+      Expect(TokenKind::kRParen, "')'");
+      std::string alias;
+      AcceptKeyword("AS");
+      alias = ExpectIdentifier("subquery alias");
+      return MakeSubquery(std::move(select), std::move(alias));
+    }
+    const std::string table = ExpectIdentifier("table name");
+    std::string alias;
+    if (AcceptKeyword("AS")) {
+      alias = ExpectIdentifier("table alias");
+    } else if (CheckIdentifierLike()) {
+      alias = Advance().text;
+    }
+    return MakeBaseTable(table, alias);
+  }
+
+  // --- expressions ------------------------------------------------------
+  ExprPtr ParseExpr() { return ParseOr(); }
+
+  ExprPtr ParseOr() {
+    auto left = ParseAnd();
+    while (AcceptKeyword("OR")) {
+      left = MakeBinary(BinaryOp::kOr, std::move(left), ParseAnd());
+    }
+    return left;
+  }
+
+  ExprPtr ParseAnd() {
+    auto left = ParseNot();
+    while (AcceptKeyword("AND")) {
+      left = MakeBinary(BinaryOp::kAnd, std::move(left), ParseNot());
+    }
+    return left;
+  }
+
+  ExprPtr ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      return MakeUnary(UnaryOp::kNot, ParseNot());
+    }
+    return ParseComparison();
+  }
+
+  ExprPtr ParseComparison() {
+    auto left = ParseAdditive();
+    // IS [NOT] NULL
+    if (AcceptKeyword("IS")) {
+      const bool negated = AcceptKeyword("NOT");
+      ExpectKeyword("NULL");
+      return MakeIsNull(std::move(left), negated);
+    }
+    // [NOT] BETWEEN a AND b  — desugared.
+    bool negate_suffix = false;
+    if (CheckKeyword("NOT") &&
+        (Peek(1).IsKeyword("BETWEEN") || Peek(1).IsKeyword("IN"))) {
+      Advance();
+      negate_suffix = true;
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      auto low = ParseAdditive();
+      ExpectKeyword("AND");
+      auto high = ParseAdditive();
+      auto lower_bound =
+          MakeBinary(BinaryOp::kGreaterEq, left->Clone(), std::move(low));
+      auto upper_bound =
+          MakeBinary(BinaryOp::kLessEq, std::move(left), std::move(high));
+      auto range = MakeBinary(BinaryOp::kAnd, std::move(lower_bound),
+                              std::move(upper_bound));
+      return negate_suffix ? MakeUnary(UnaryOp::kNot, std::move(range))
+                           : std::move(range);
+    }
+    // [NOT] IN (literal list) — desugared to an OR chain.
+    if (AcceptKeyword("IN")) {
+      Expect(TokenKind::kLParen, "'('");
+      ExprPtr chain;
+      do {
+        auto candidate = ParseExpr();
+        auto eq = MakeBinary(BinaryOp::kEq, left->Clone(),
+                             std::move(candidate));
+        chain = chain ? MakeBinary(BinaryOp::kOr, std::move(chain),
+                                   std::move(eq))
+                      : std::move(eq);
+      } while (Accept(TokenKind::kComma));
+      Expect(TokenKind::kRParen, "')'");
+      return negate_suffix ? MakeUnary(UnaryOp::kNot, std::move(chain))
+                           : std::move(chain);
+    }
+    static constexpr std::pair<TokenKind, BinaryOp> kOps[] = {
+        {TokenKind::kEq, BinaryOp::kEq},
+        {TokenKind::kNotEq, BinaryOp::kNotEq},
+        {TokenKind::kLess, BinaryOp::kLess},
+        {TokenKind::kLessEq, BinaryOp::kLessEq},
+        {TokenKind::kGreater, BinaryOp::kGreater},
+        {TokenKind::kGreaterEq, BinaryOp::kGreaterEq},
+    };
+    for (const auto& [token, op] : kOps) {
+      if (Accept(token)) {
+        return MakeBinary(op, std::move(left), ParseAdditive());
+      }
+    }
+    return left;
+  }
+
+  ExprPtr ParseAdditive() {
+    auto left = ParseMultiplicative();
+    while (true) {
+      if (Accept(TokenKind::kPlus)) {
+        left = MakeBinary(BinaryOp::kAdd, std::move(left),
+                          ParseMultiplicative());
+      } else if (Accept(TokenKind::kMinus)) {
+        left = MakeBinary(BinaryOp::kSub, std::move(left),
+                          ParseMultiplicative());
+      } else {
+        return left;
+      }
+    }
+  }
+
+  ExprPtr ParseMultiplicative() {
+    auto left = ParseUnary();
+    while (true) {
+      if (Accept(TokenKind::kStar)) {
+        left = MakeBinary(BinaryOp::kMul, std::move(left), ParseUnary());
+      } else if (Accept(TokenKind::kSlash)) {
+        left = MakeBinary(BinaryOp::kDiv, std::move(left), ParseUnary());
+      } else if (Accept(TokenKind::kPercent)) {
+        left = MakeBinary(BinaryOp::kMod, std::move(left), ParseUnary());
+      } else {
+        return left;
+      }
+    }
+  }
+
+  ExprPtr ParseUnary() {
+    if (Accept(TokenKind::kMinus)) {
+      return MakeUnary(UnaryOp::kNegate, ParseUnary());
+    }
+    Accept(TokenKind::kPlus);  // unary plus is a no-op
+    return ParsePrimary();
+  }
+
+  ExprPtr ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kIntegerLiteral:
+        Advance();
+        return MakeLiteral(Value(token.int_value));
+      case TokenKind::kDoubleLiteral:
+        Advance();
+        return MakeLiteral(Value(token.double_value));
+      case TokenKind::kStringLiteral:
+        Advance();
+        return MakeLiteral(Value(token.text));
+      case TokenKind::kLParen: {
+        Advance();
+        auto inner = ParseExpr();
+        Expect(TokenKind::kRParen, "')'");
+        return inner;
+      }
+      case TokenKind::kKeyword:
+        if (IsSoftKeyword(token)) return ParseIdentifierExpr();
+        if (AcceptKeyword("NULL")) return MakeLiteral(Value::Null());
+        if (AcceptKeyword("TRUE")) return MakeLiteral(Value(int64_t{1}));
+        if (AcceptKeyword("FALSE")) return MakeLiteral(Value(int64_t{0}));
+        if (AcceptKeyword("INFINITY")) {
+          return MakeLiteral(
+              Value(std::numeric_limits<double>::infinity()));
+        }
+        if (CheckKeyword("CASE")) return ParseCase();
+        Fail("unexpected " + DescribeToken(token) + " in expression");
+      case TokenKind::kIdentifier:
+        return ParseIdentifierExpr();
+      default:
+        Fail("unexpected " + DescribeToken(token) + " in expression");
+    }
+  }
+
+  ExprPtr ParseCase() {
+    ExpectKeyword("CASE");
+    auto expr = std::make_unique<Expr>();
+    expr->kind = ExprKind::kCase;
+    if (!CheckKeyword("WHEN")) expr->case_operand = ParseExpr();
+    while (AcceptKeyword("WHEN")) {
+      CaseWhen when;
+      when.condition = ParseExpr();
+      ExpectKeyword("THEN");
+      when.result = ParseExpr();
+      expr->whens.push_back(std::move(when));
+    }
+    if (expr->whens.empty()) Fail("CASE requires at least one WHEN");
+    if (AcceptKeyword("ELSE")) expr->else_expr = ParseExpr();
+    ExpectKeyword("END");
+    return expr;
+  }
+
+  ExprPtr ParseIdentifierExpr() {
+    const std::string name = ExpectIdentifier("identifier");
+    // Function or aggregate call.
+    if (Check(TokenKind::kLParen)) {
+      const std::string upper = strings::ToUpper(name);
+      Advance();  // '('
+      const auto agg_it = AggregateNames().find(upper);
+      if (agg_it != AggregateNames().end()) {
+        if (Accept(TokenKind::kStar)) {
+          Expect(TokenKind::kRParen, "')'");
+          if (agg_it->second != AggFunc::kCount) {
+            Fail("'*' argument is only valid for COUNT");
+          }
+          return MakeAggregate(AggFunc::kCount, nullptr, /*star=*/true);
+        }
+        const bool distinct = AcceptKeyword("DISTINCT");
+        auto arg = ParseExpr();
+        Expect(TokenKind::kRParen, "')'");
+        return MakeAggregate(agg_it->second, std::move(arg), false, distinct);
+      }
+      std::vector<ExprPtr> args;
+      if (!Check(TokenKind::kRParen)) {
+        do {
+          args.push_back(ParseExpr());
+        } while (Accept(TokenKind::kComma));
+      }
+      Expect(TokenKind::kRParen, "')'");
+      return MakeFunction(upper, std::move(args));
+    }
+    // Qualified column: name.column or name.*
+    if (Accept(TokenKind::kDot)) {
+      if (Accept(TokenKind::kStar)) {
+        auto star = MakeStar();
+        star->qualifier = name;
+        return star;
+      }
+      return MakeColumnRef(name, ExpectIdentifier("column name"));
+    }
+    return MakeColumnRef({}, name);
+  }
+
+  std::string_view source_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatementPtr ParseStatement(std::string_view source) {
+  Parser parser(source);
+  return parser.ParseSingleStatement();
+}
+
+std::vector<StatementPtr> ParseScript(std::string_view source) {
+  Parser parser(source);
+  return parser.ParseAll();
+}
+
+SelectPtr ParseSelect(std::string_view source) {
+  Parser parser(source);
+  return parser.ParseBareSelect();
+}
+
+}  // namespace sqloop::sql

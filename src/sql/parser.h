@@ -1,0 +1,26 @@
+// Recursive-descent parser for the SQL subset plus SQLoop's iterative-CTE
+// extension. This is the repo's equivalent of the paper's antlr4-based
+// custom parser (§IV-B): it classifies statements, and for CTEs it exposes
+// the seed (R0), step (Ri), termination condition (Tc), and final query
+// (Qf) as separate ASTs.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace sqloop::sql {
+
+/// Parses exactly one statement (a trailing ';' is allowed). Throws
+/// ParseError on malformed input.
+StatementPtr ParseStatement(std::string_view source);
+
+/// Parses a ';'-separated script into its statements. Empty statements are
+/// skipped.
+std::vector<StatementPtr> ParseScript(std::string_view source);
+
+/// Parses a bare SELECT (used for termination probes and priority queries).
+SelectPtr ParseSelect(std::string_view source);
+
+}  // namespace sqloop::sql

@@ -1,0 +1,383 @@
+#include "sql/printer.h"
+
+#include <cctype>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace sqloop::sql {
+namespace {
+
+bool NeedsQuoting(const std::string& name) {
+  if (name.empty()) return true;
+  if (IsReservedKeyword(strings::ToUpper(name))) return true;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') {
+    return true;
+  }
+  for (const char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return true;
+  }
+  return false;
+}
+
+std::string TypeSpelling(const ColumnDef& def, Dialect dialect) {
+  switch (def.type) {
+    case ValueType::kInt64:
+      return "BIGINT";
+    case ValueType::kDouble:
+      return std::string(DoubleTypeName(dialect));
+    case ValueType::kText:
+      return "TEXT";
+    case ValueType::kNull:
+      break;
+  }
+  throw UsageError("column '" + def.name + "' has no storable type");
+}
+
+}  // namespace
+
+std::string QuoteIdentifier(const std::string& name, Dialect dialect) {
+  if (!NeedsQuoting(name)) return name;
+  const char q = IdentifierQuote(dialect);
+  std::string out(1, q);
+  for (const char c : name) {
+    out += c;
+    if (c == q) out += c;  // double the quote char to escape it
+  }
+  out += q;
+  return out;
+}
+
+std::string PrintExpr(const Expr& expr, Dialect dialect) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal.ToSqlLiteral();
+    case ExprKind::kColumnRef: {
+      std::string out;
+      if (!expr.qualifier.empty()) {
+        out += QuoteIdentifier(expr.qualifier, dialect);
+        out += '.';
+      }
+      out += QuoteIdentifier(expr.column, dialect);
+      return out;
+    }
+    case ExprKind::kStar:
+      return expr.qualifier.empty()
+                 ? "*"
+                 : QuoteIdentifier(expr.qualifier, dialect) + ".*";
+    case ExprKind::kUnary: {
+      const std::string inner = PrintExpr(*expr.left, dialect);
+      return expr.unary_op == UnaryOp::kNegate ? "(-" + inner + ")"
+                                               : "(NOT " + inner + ")";
+    }
+    case ExprKind::kBinary:
+      return "(" + PrintExpr(*expr.left, dialect) + " " +
+             BinaryOpName(expr.binary_op) + " " +
+             PrintExpr(*expr.right, dialect) + ")";
+    case ExprKind::kFunction: {
+      std::string out = expr.function_name + "(";
+      for (size_t i = 0; i < expr.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += PrintExpr(*expr.args[i], dialect);
+      }
+      out += ')';
+      return out;
+    }
+    case ExprKind::kAggregate: {
+      std::string out = std::string(AggFuncName(expr.agg_func)) + "(";
+      if (expr.agg_star) {
+        out += '*';
+      } else {
+        if (expr.agg_distinct) out += "DISTINCT ";
+        out += PrintExpr(*expr.args[0], dialect);
+      }
+      out += ')';
+      return out;
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      if (expr.case_operand) {
+        out += ' ' + PrintExpr(*expr.case_operand, dialect);
+      }
+      for (const auto& when : expr.whens) {
+        out += " WHEN " + PrintExpr(*when.condition, dialect) + " THEN " +
+               PrintExpr(*when.result, dialect);
+      }
+      if (expr.else_expr) {
+        out += " ELSE " + PrintExpr(*expr.else_expr, dialect);
+      }
+      out += " END";
+      return out;
+    }
+    case ExprKind::kIsNull:
+      return "(" + PrintExpr(*expr.left, dialect) +
+             (expr.is_not_null ? " IS NOT NULL)" : " IS NULL)");
+  }
+  throw UsageError("unprintable expression");
+}
+
+std::string PrintTableRef(const TableRef& ref, Dialect dialect) {
+  switch (ref.kind) {
+    case TableRefKind::kBase: {
+      std::string out = QuoteIdentifier(ref.table_name, dialect);
+      if (!ref.alias.empty() && ref.alias != ref.table_name) {
+        out += " AS " + QuoteIdentifier(ref.alias, dialect);
+      }
+      return out;
+    }
+    case TableRefKind::kJoin: {
+      std::string out = PrintTableRef(*ref.left, dialect);
+      switch (ref.join_kind) {
+        case JoinKind::kInner:
+          out += " JOIN ";
+          break;
+        case JoinKind::kLeft:
+          out += " LEFT JOIN ";
+          break;
+        case JoinKind::kCross:
+          out += " CROSS JOIN ";
+          break;
+      }
+      // Parenthesize nested right-side joins to keep associativity.
+      if (ref.right->kind == TableRefKind::kJoin) {
+        out += "(" + PrintTableRef(*ref.right, dialect) + ")";
+      } else {
+        out += PrintTableRef(*ref.right, dialect);
+      }
+      if (ref.on_condition) {
+        out += " ON " + PrintExpr(*ref.on_condition, dialect);
+      }
+      return out;
+    }
+    case TableRefKind::kSubquery:
+      return "(" + PrintSelect(*ref.subquery, dialect) + ") AS " +
+             QuoteIdentifier(ref.alias, dialect);
+  }
+  throw UsageError("unprintable table reference");
+}
+
+namespace {
+
+std::string PrintCore(const SelectCore& core, Dialect dialect) {
+  std::string out = "SELECT ";
+  if (core.distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < core.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += PrintExpr(*core.items[i].expr, dialect);
+    if (!core.items[i].alias.empty() &&
+        core.items[i].expr->kind != ExprKind::kStar) {
+      out += " AS " + QuoteIdentifier(core.items[i].alias, dialect);
+    }
+  }
+  if (core.from) out += " FROM " + PrintTableRef(*core.from, dialect);
+  if (core.where) out += " WHERE " + PrintExpr(*core.where, dialect);
+  if (!core.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < core.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PrintExpr(*core.group_by[i], dialect);
+    }
+  }
+  if (core.having) out += " HAVING " + PrintExpr(*core.having, dialect);
+  return out;
+}
+
+}  // namespace
+
+std::string PrintSelect(const SelectStmt& select, Dialect dialect) {
+  std::string out;
+  for (size_t i = 0; i < select.cores.size(); ++i) {
+    if (i > 0) {
+      out += select.set_ops[i - 1] == SetOp::kUnionAll ? " UNION ALL "
+                                                       : " UNION ";
+    }
+    out += PrintCore(select.cores[i], dialect);
+  }
+  if (!select.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < select.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PrintExpr(*select.order_by[i].expr, dialect);
+      if (!select.order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (select.limit) out += " LIMIT " + std::to_string(*select.limit);
+  if (select.offset) out += " OFFSET " + std::to_string(*select.offset);
+  return out;
+}
+
+std::string PrintTermination(const Termination& tc, Dialect dialect) {
+  switch (tc.kind) {
+    case Termination::Kind::kIterations:
+      return std::to_string(tc.count) + " ITERATIONS";
+    case Termination::Kind::kUpdates:
+      return std::to_string(tc.count) + " UPDATES";
+    case Termination::Kind::kProbeAll:
+      return std::string(tc.delta ? "DELTA " : "") + "(" +
+             PrintSelect(*tc.probe, dialect) + ")";
+    case Termination::Kind::kProbeAny:
+      return std::string("ANY ") + (tc.delta ? "DELTA " : "") + "(" +
+             PrintSelect(*tc.probe, dialect) + ")";
+    case Termination::Kind::kProbeCompare:
+      return std::string(tc.delta ? "DELTA " : "") + "(" +
+             PrintSelect(*tc.probe, dialect) + ") " + tc.comparator + " " +
+             tc.bound.ToSqlLiteral();
+  }
+  throw UsageError("unprintable termination condition");
+}
+
+std::string PrintStatement(const Statement& stmt, Dialect dialect) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return PrintSelect(*stmt.select, dialect);
+    case StatementKind::kCreateTable: {
+      std::string out = "CREATE ";
+      if (stmt.unlogged && SupportsUnloggedTables(dialect)) out += "UNLOGGED ";
+      out += "TABLE ";
+      if (stmt.if_not_exists) out += "IF NOT EXISTS ";
+      out += QuoteIdentifier(stmt.table_name, dialect) + " (";
+      for (size_t i = 0; i < stmt.columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += QuoteIdentifier(stmt.columns[i].name, dialect) + " " +
+               TypeSpelling(stmt.columns[i], dialect);
+        if (static_cast<int>(i) == stmt.primary_key_index) {
+          out += " PRIMARY KEY";
+        }
+      }
+      out += ")";
+      if (!stmt.engine_option.empty() && SupportsEngineTableOption(dialect)) {
+        out += " ENGINE=" + stmt.engine_option;
+      } else if (stmt.unlogged && IsMySqlFamily(dialect)) {
+        // The MySQL-family spelling of "skip transactional logging".
+        out += " ENGINE=MyISAM";
+      }
+      return out;
+    }
+    case StatementKind::kDropTable:
+      return std::string("DROP TABLE ") + (stmt.if_exists ? "IF EXISTS " : "") +
+             QuoteIdentifier(stmt.table_name, dialect);
+    case StatementKind::kCreateIndex: {
+      std::string out = "CREATE INDEX " +
+                        QuoteIdentifier(stmt.index_name, dialect) + " ON " +
+                        QuoteIdentifier(stmt.table_name, dialect) + " (";
+      for (size_t i = 0; i < stmt.index_columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += QuoteIdentifier(stmt.index_columns[i], dialect);
+      }
+      out += ")";
+      return out;
+    }
+    case StatementKind::kDropIndex: {
+      std::string out = std::string("DROP INDEX ") +
+                        (stmt.if_exists ? "IF EXISTS " : "") +
+                        QuoteIdentifier(stmt.index_name, dialect);
+      if (IsMySqlFamily(dialect) || !stmt.table_name.empty()) {
+        if (stmt.table_name.empty()) {
+          throw UsageError("DROP INDEX requires ON <table> for MySQL dialects");
+        }
+        out += " ON " + QuoteIdentifier(stmt.table_name, dialect);
+      }
+      return out;
+    }
+    case StatementKind::kCreateView:
+      return "CREATE VIEW " + QuoteIdentifier(stmt.table_name, dialect) +
+             " AS " + PrintSelect(*stmt.view_select, dialect);
+    case StatementKind::kDropView:
+      return std::string("DROP VIEW ") + (stmt.if_exists ? "IF EXISTS " : "") +
+             QuoteIdentifier(stmt.table_name, dialect);
+    case StatementKind::kInsert: {
+      std::string out = "INSERT INTO " +
+                        QuoteIdentifier(stmt.table_name, dialect);
+      if (!stmt.insert_columns.empty()) {
+        out += " (";
+        for (size_t i = 0; i < stmt.insert_columns.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += QuoteIdentifier(stmt.insert_columns[i], dialect);
+        }
+        out += ")";
+      }
+      if (stmt.insert_select) {
+        out += " " + PrintSelect(*stmt.insert_select, dialect);
+      } else {
+        out += " VALUES ";
+        for (size_t r = 0; r < stmt.insert_rows.size(); ++r) {
+          if (r > 0) out += ", ";
+          out += "(";
+          for (size_t c = 0; c < stmt.insert_rows[r].size(); ++c) {
+            if (c > 0) out += ", ";
+            out += PrintExpr(*stmt.insert_rows[r][c], dialect);
+          }
+          out += ")";
+        }
+      }
+      return out;
+    }
+    case StatementKind::kUpdate: {
+      std::string out = "UPDATE " + QuoteIdentifier(stmt.table_name, dialect);
+      if (!stmt.update_alias.empty()) {
+        out += " AS " + QuoteIdentifier(stmt.update_alias, dialect);
+      }
+      out += " SET ";
+      for (size_t i = 0; i < stmt.set_items.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += QuoteIdentifier(stmt.set_items[i].first, dialect) + " = " +
+               PrintExpr(*stmt.set_items[i].second, dialect);
+      }
+      if (stmt.update_from) {
+        out += " FROM " + PrintTableRef(*stmt.update_from, dialect);
+      }
+      if (stmt.where) out += " WHERE " + PrintExpr(*stmt.where, dialect);
+      return out;
+    }
+    case StatementKind::kDelete: {
+      std::string out =
+          "DELETE FROM " + QuoteIdentifier(stmt.table_name, dialect);
+      if (stmt.where) out += " WHERE " + PrintExpr(*stmt.where, dialect);
+      return out;
+    }
+    case StatementKind::kTruncate:
+      return "TRUNCATE TABLE " + QuoteIdentifier(stmt.table_name, dialect);
+    case StatementKind::kBegin:
+      return "BEGIN";
+    case StatementKind::kCommit:
+      return "COMMIT";
+    case StatementKind::kRollback:
+      return "ROLLBACK";
+    case StatementKind::kWith: {
+      const WithClause& with = stmt.with;
+      std::string out = "WITH ";
+      switch (with.kind) {
+        case CteKind::kPlain:
+          break;
+        case CteKind::kRecursive:
+          out += "RECURSIVE ";
+          break;
+        case CteKind::kIterative:
+          out += "ITERATIVE ";
+          break;
+      }
+      out += QuoteIdentifier(with.name, dialect);
+      if (!with.columns.empty()) {
+        out += " (";
+        for (size_t i = 0; i < with.columns.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += QuoteIdentifier(with.columns[i], dialect);
+        }
+        out += ")";
+      }
+      out += " AS (" + PrintSelect(*with.seed, dialect);
+      if (with.kind == CteKind::kRecursive) {
+        out += " UNION ALL " + PrintSelect(*with.step, dialect);
+      } else if (with.kind == CteKind::kIterative) {
+        out += " ITERATE " + PrintSelect(*with.step, dialect) + " UNTIL " +
+               PrintTermination(with.termination, dialect);
+      }
+      out += ") " + PrintSelect(*with.final_query, dialect);
+      return out;
+    }
+  }
+  throw UsageError("unprintable statement");
+}
+
+}  // namespace sqloop::sql

@@ -1,0 +1,31 @@
+// Renders ASTs back to SQL text. The `Dialect` parameter is what makes the
+// SQLoop translation module (paper §IV-B) concrete: the same canonical AST
+// prints as valid PostgreSQL, MySQL, or MariaDB SQL.
+#pragma once
+
+#include <string>
+
+#include "sql/ast.h"
+#include "sql/dialect.h"
+
+namespace sqloop::sql {
+
+std::string PrintExpr(const Expr& expr, Dialect dialect = Dialect::kCanonical);
+
+std::string PrintTableRef(const TableRef& ref,
+                          Dialect dialect = Dialect::kCanonical);
+
+std::string PrintSelect(const SelectStmt& select,
+                        Dialect dialect = Dialect::kCanonical);
+
+std::string PrintTermination(const Termination& tc,
+                             Dialect dialect = Dialect::kCanonical);
+
+std::string PrintStatement(const Statement& stmt,
+                           Dialect dialect = Dialect::kCanonical);
+
+/// Quotes `name` with the dialect's identifier quote if it collides with a
+/// reserved keyword or contains characters outside [A-Za-z0-9_].
+std::string QuoteIdentifier(const std::string& name, Dialect dialect);
+
+}  // namespace sqloop::sql

@@ -1,0 +1,40 @@
+// Token model for the hand-written SQL lexer (the repo's stand-in for the
+// paper's antlr4-generated parser).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sqloop::sql {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,       // possibly quoted; `text` holds the unquoted spelling
+  kKeyword,          // `text` holds the upper-cased keyword
+  kIntegerLiteral,   // `int_value`
+  kDoubleLiteral,    // `double_value`
+  kStringLiteral,    // `text` holds the unescaped body
+  // Operators and punctuation.
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEq, kNotEq, kLess, kLessEq, kGreater, kGreaterEq,
+  kLParen, kRParen, kComma, kDot, kSemicolon,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;          // identifier / keyword (original case) / string
+  std::string upper;         // upper-cased spelling, set for keywords only
+  int64_t int_value = 0;     // for kIntegerLiteral
+  double double_value = 0;   // for kDoubleLiteral
+  size_t offset = 0;         // byte offset in the source, for diagnostics
+  char quote = '\0';         // identifier quote char if the source quoted it
+
+  bool IsKeyword(std::string_view word) const noexcept {
+    return kind == TokenKind::kKeyword && upper == word;
+  }
+};
+
+/// Human-readable token description for error messages.
+std::string DescribeToken(const Token& token);
+
+}  // namespace sqloop::sql

@@ -1,0 +1,92 @@
+// Runtime value type shared by the SQL frontend (literals) and the minidb
+// engine (stored cells). SQLoop's supported column types are 64-bit
+// integers, doubles, and text; NULL is first-class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace sqloop {
+
+enum class ValueType { kNull, kInt64, kDouble, kText };
+
+const char* ValueTypeName(ValueType type) noexcept;
+
+/// A single SQL cell. Small, regular, value-semantic.
+class Value {
+ public:
+  Value() noexcept : data_(std::monostate{}) {}
+  explicit Value(int64_t v) noexcept : data_(v) {}
+  explicit Value(double v) noexcept : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  static Value Null() noexcept { return Value{}; }
+
+  bool is_null() const noexcept {
+    return std::holds_alternative<std::monostate>(data_);
+  }
+  bool is_int() const noexcept {
+    return std::holds_alternative<int64_t>(data_);
+  }
+  bool is_double() const noexcept {
+    return std::holds_alternative<double>(data_);
+  }
+  bool is_text() const noexcept {
+    return std::holds_alternative<std::string>(data_);
+  }
+  bool is_numeric() const noexcept { return is_int() || is_double(); }
+
+  ValueType type() const noexcept {
+    if (is_null()) return ValueType::kNull;
+    if (is_int()) return ValueType::kInt64;
+    if (is_double()) return ValueType::kDouble;
+    return ValueType::kText;
+  }
+
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_text() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: ints widen to double. Throws std::bad_variant_access on
+  /// text/null — callers check is_numeric() first.
+  double NumericAsDouble() const {
+    return is_int() ? static_cast<double>(as_int()) : as_double();
+  }
+
+  /// SQL equality (NULL == NULL is false; use SqlIsDistinct for grouping).
+  friend bool operator==(const Value& a, const Value& b) noexcept;
+
+  /// Total ordering used for indexes/sorting: NULL < numbers < text.
+  /// Numbers compare across int/double.
+  static int Compare(const Value& a, const Value& b) noexcept;
+
+  /// Grouping/key equality: NULLs compare equal to each other.
+  static bool KeyEquals(const Value& a, const Value& b) noexcept;
+
+  /// Hash consistent with KeyEquals (ints and equal doubles may hash
+  /// differently only when they are distinguishable by Compare).
+  size_t Hash() const noexcept;
+
+  /// Renders the value as SQL literal text (quotes/escapes strings,
+  /// prints NULL). Used by the statement printers and message-table writers.
+  std::string ToSqlLiteral() const;
+
+  /// Human-readable rendering (no quotes on text).
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+struct ValueKeyHash {
+  size_t operator()(const Value& v) const noexcept { return v.Hash(); }
+};
+struct ValueKeyEq {
+  bool operator()(const Value& a, const Value& b) const noexcept {
+    return Value::KeyEquals(a, b);
+  }
+};
+
+}  // namespace sqloop

@@ -1,0 +1,54 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sqloop::strings {
+namespace {
+
+TEST(Strings, ToLowerUpper) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(Strings, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("UNION", "union"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("UNION", "unions"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t\na b\r\n"), "a b");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingle) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(StartsWith("minidb://x", "minidb://"));
+  EXPECT_FALSE(StartsWith("mini", "minidb"));
+}
+
+}  // namespace
+}  // namespace sqloop::strings

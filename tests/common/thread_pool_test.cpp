@@ -1,0 +1,83 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+namespace sqloop {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter](size_t) { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WorkerStartHookRunsOncePerWorker) {
+  std::mutex mutex;
+  std::set<size_t> started;
+  ThreadPool pool(3, [&](size_t index) {
+    const std::scoped_lock lock(mutex);
+    started.insert(index);
+  });
+  std::atomic<int> done{0};
+  for (int i = 0; i < 12; ++i) {
+    pool.Submit([&done](size_t) { done.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 12);
+  const std::scoped_lock lock(mutex);
+  EXPECT_EQ(started, (std::set<size_t>{0, 1, 2}));
+}
+
+TEST(ThreadPool, WorkerIndexInRange) {
+  ThreadPool pool(2);
+  std::atomic<bool> ok{true};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&ok](size_t index) {
+      if (index >= 2) ok.store(false);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPool, FuturePropagatesCompletion) {
+  ThreadPool pool(1);
+  auto future = pool.Submit([](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  future.wait();
+  SUCCEED();
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter](size_t) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      });
+    }
+    pool.WaitIdle();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+}  // namespace
+}  // namespace sqloop

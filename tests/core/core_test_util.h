@@ -1,0 +1,50 @@
+// Shared fixture for SQLoop core tests: a private server with one database
+// per engine profile and a loaded graph.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/sqloop.h"
+#include "dbc/driver.h"
+#include "graph/loader.h"
+#include "minidb/server.h"
+
+namespace sqloop::core::testing {
+
+/// Registers a fresh host per test; URL has zero synthetic latency so
+/// tests stay fast.
+class CoreFixtureBase {
+ public:
+  explicit CoreFixtureBase(const std::string& engine) {
+    static std::atomic<uint64_t> counter{0};
+    host_ = "core_test_" + std::to_string(counter.fetch_add(1));
+    dbc::DriverManager::RegisterHost(host_, &server_);
+    server_.CreateDatabase("db", minidb::EngineProfile::ByName(engine));
+  }
+  ~CoreFixtureBase() { dbc::DriverManager::RegisterHost(host_, nullptr); }
+
+  std::string Url() const { return "minidb://" + host_ + "/db?latency_us=0"; }
+
+  void LoadGraph(const graph::Graph& g) {
+    auto conn = dbc::DriverManager::GetConnection(Url());
+    graph::LoadEdges(*conn, g);
+  }
+
+  SqloopOptions SmallOptions(ExecutionMode mode, int partitions = 8,
+                             int threads = 2) {
+    SqloopOptions options;
+    options.mode = mode;
+    options.partitions = partitions;
+    options.threads = threads;
+    return options;
+  }
+
+ private:
+  minidb::Server server_;
+  std::string host_;
+};
+
+}  // namespace sqloop::core::testing

@@ -1,0 +1,111 @@
+// Failure injection: errors inside worker tasks, bad priority queries, and
+// seed/step mistakes must surface as exceptions on the caller's thread and
+// leave no scratch tables behind.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/workloads.h"
+#include "graph/generators.h"
+#include "tests/core/core_test_util.h"
+
+namespace sqloop::core {
+namespace {
+
+using testing::CoreFixtureBase;
+
+size_t ScratchTableCount(SqLoop& loop, const std::string& prefix) {
+  size_t count = 0;
+  for (const auto& name : loop.connection().database().TableNames()) {
+    if (name.rfind(prefix, 0) == 0) ++count;
+  }
+  return count;
+}
+
+TEST(Failure, BadPriorityQuerySurfacesAndCleansUp) {
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(graph::MakeWebGraph(80, 3, 1));
+  auto options = fixture.SmallOptions(ExecutionMode::kAsyncPriority, 4, 2);
+  options.priority_query = "SELECT nonsense FROM $PARTITION";
+  SqLoop loop(fixture.Url(), options);
+  EXPECT_THROW(loop.Execute(workloads::PageRankQuery(3)), Error);
+  EXPECT_EQ(ScratchTableCount(loop, "pagerank"), 0u);
+  EXPECT_FALSE(loop.connection().database().HasView("pagerank"));
+}
+
+TEST(Failure, StepReferencingMissingTableSurfacesAndCleansUp) {
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(graph::MakeWebGraph(60, 3, 2));
+  SqLoop loop(fixture.Url(), fixture.SmallOptions(ExecutionMode::kSync, 4));
+  const std::string query =
+      "WITH ITERATIVE r (Node, Rank, Delta) AS ("
+      " SELECT src, 0, 0.15 FROM (SELECT src FROM edges UNION "
+      " SELECT dst FROM edges) AS alln GROUP BY src"
+      " ITERATE"
+      " SELECT r.Node, r.Rank + r.Delta,"
+      "  COALESCE(0.85 * SUM(s.Delta * e.weight), 0.0)"
+      " FROM r LEFT JOIN missing_table AS e ON r.Node = e.dst"
+      "        LEFT JOIN r AS s ON s.Node = e.src"
+      " GROUP BY r.Node UNTIL 3 ITERATIONS) SELECT * FROM r";
+  EXPECT_THROW(loop.Execute(query), Error);
+  EXPECT_EQ(ScratchTableCount(loop, "r_"), 0u);
+}
+
+TEST(Failure, BadSeedSurfacesBeforeAnyTableIsCreated) {
+  CoreFixtureBase fixture("postgres");
+  SqLoop loop(fixture.Url());
+  EXPECT_THROW(
+      loop.Execute("WITH ITERATIVE r (a, b) AS (SELECT x FROM nowhere "
+                   "ITERATE SELECT a, b FROM r UNTIL 2 ITERATIONS) "
+                   "SELECT * FROM r"),
+      Error);
+  EXPECT_TRUE(loop.connection().database().TableNames().empty());
+}
+
+TEST(Failure, SingleThreadBadStepCleansUp) {
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(graph::MakeWebGraph(50, 3, 3));
+  auto options = fixture.SmallOptions(ExecutionMode::kSingleThread);
+  SqLoop loop(fixture.Url(), options);
+  // Step produces the wrong arity -> merge fails mid-iteration.
+  EXPECT_THROW(
+      loop.Execute("WITH ITERATIVE r (k, v) AS ("
+                   " SELECT src, 1.0 FROM edges GROUP BY src"
+                   " ITERATE SELECT k FROM r"
+                   " UNTIL 2 ITERATIONS) SELECT * FROM r"),
+      Error);
+}
+
+TEST(Failure, UnknownUrlParameterRejectedUpFront) {
+  EXPECT_THROW(SqLoop("minidb://localhost/db?bogus=1"), ConnectionError);
+}
+
+TEST(Failure, WorkerErrorDoesNotHangThePool) {
+  // A failing statement inside a Compute task must abort the run quickly
+  // (no deadlock waiting on barriers), repeatedly.
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(graph::MakeWebGraph(60, 3, 4));
+  auto options = fixture.SmallOptions(ExecutionMode::kAsync, 8, 4);
+  SqLoop loop(fixture.Url(), options);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    // Drop the edges table's stand-in inside the step: reference a column
+    // that does not exist so every Compute task throws.
+    EXPECT_THROW(
+        loop.Execute("WITH ITERATIVE r (Node, Rank, Delta) AS ("
+                     " SELECT src, 0, 0.15 FROM (SELECT src FROM edges UNION "
+                     " SELECT dst FROM edges) AS alln GROUP BY src"
+                     " ITERATE"
+                     " SELECT r.Node, r.Rank + r.Delta,"
+                     "  COALESCE(SUM(s.no_such_column * e.weight), 0.0)"
+                     " FROM r LEFT JOIN edges AS e ON r.Node = e.dst"
+                     "        LEFT JOIN r AS s ON s.Node = e.src"
+                     " GROUP BY r.Node UNTIL 3 ITERATIONS) SELECT * FROM r"),
+        Error);
+  }
+  // The database is still usable afterwards.
+  const auto count =
+      loop.connection().ExecuteQuery("SELECT COUNT(*) FROM edges");
+  EXPECT_GT(count.rows[0][0].as_int(), 0);
+}
+
+}  // namespace
+}  // namespace sqloop::core

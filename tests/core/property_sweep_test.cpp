@@ -1,0 +1,116 @@
+// Property sweeps: the executor-equivalence invariants, re-checked across
+// randomized graph seeds (parameterized gtest). Each seed produces a
+// different topology; the invariants must hold on all of them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/workloads.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "tests/core/core_test_util.h"
+
+namespace sqloop::core {
+namespace {
+
+using testing::CoreFixtureBase;
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweep, SyncPageRankMatchesReferenceOnRandomWebGraphs) {
+  const uint64_t seed = GetParam();
+  const graph::Graph g = graph::MakeWebGraph(100 + seed % 150, 3, seed);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+  SqLoop loop(fixture.Url(),
+              fixture.SmallOptions(ExecutionMode::kSync, 4 + seed % 5, 2));
+  const int iterations = 3 + static_cast<int>(seed % 4);
+  const auto result = loop.Execute(workloads::PageRankQuery(iterations));
+  const auto reference = graph::PageRankReference(g, iterations);
+  ASSERT_EQ(result.rows.size(), reference.rank.size());
+  for (const auto& row : result.rows) {
+    EXPECT_NEAR(row[1].as_double(), reference.rank.at(row[0].as_int()),
+                1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST_P(SeedSweep, AsyncSsspMatchesDijkstraOnRandomEgoNets) {
+  const uint64_t seed = GetParam();
+  const graph::Graph g =
+      graph::MakeEgoNetGraph(3 + seed % 5, 8 + seed % 8,
+                             0.15 + 0.02 * static_cast<double>(seed % 5),
+                             seed);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+  SqLoop loop(fixture.Url(),
+              fixture.SmallOptions(ExecutionMode::kAsync, 8, 3));
+  const auto result = loop.Execute(workloads::SsspAllQuery(1));
+  const auto dijkstra = graph::Dijkstra(g, 1);
+  std::map<int64_t, double> computed;
+  for (const auto& row : result.rows) {
+    computed[row[0].as_int()] = row[1].as_double();
+  }
+  for (const auto& [node, expected] : dijkstra) {
+    ASSERT_TRUE(computed.contains(node)) << "seed " << seed << " node "
+                                         << node;
+    EXPECT_NEAR(computed.at(node), expected, 1e-9)
+        << "seed " << seed << " node " << node;
+  }
+  EXPECT_EQ(computed.size(), dijkstra.size()) << "seed " << seed;
+}
+
+TEST_P(SeedSweep, AsyncPriorityDqMatchesBfsOnRandomHostGraphs) {
+  const uint64_t seed = GetParam();
+  const graph::Graph g = graph::MakeHostGraph(3 + seed % 6, 4 + seed % 4,
+                                              15 + seed % 30, seed);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+  auto options = fixture.SmallOptions(ExecutionMode::kAsyncPriority, 16, 2);
+  options.priority_query = workloads::DqPriorityQuery();
+  options.priority_descending = false;
+  SqLoop loop(fixture.Url(), options);
+  const auto result = loop.Execute(workloads::DescendantQuery(0));
+  const auto bfs = graph::BfsHops(g, 0);
+  ASSERT_EQ(result.rows.size(), bfs.size()) << "seed " << seed;
+  for (const auto& row : result.rows) {
+    const int64_t node = row[0].as_int();
+    EXPECT_EQ(static_cast<int64_t>(std::llround(row[1].NumericAsDouble())),
+              bfs.at(node))
+        << "seed " << seed << " node " << node;
+  }
+}
+
+TEST_P(SeedSweep, RmjoinAblationIsSemanticallyInvisible) {
+  const uint64_t seed = GetParam();
+  const graph::Graph g = graph::MakeWebGraph(80 + seed % 60, 3, seed + 99);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+
+  auto options = fixture.SmallOptions(ExecutionMode::kSync, 4, 2);
+  options.materialize_constant_join = true;
+  SqLoop with_mjoin(fixture.Url(), options);
+  const auto expected = with_mjoin.Execute(workloads::PageRankQuery(4));
+
+  options.materialize_constant_join = false;
+  SqLoop without(fixture.Url(), options);
+  const auto actual = without.Execute(workloads::PageRankQuery(4));
+
+  ASSERT_EQ(actual.rows.size(), expected.rows.size()) << "seed " << seed;
+  std::map<int64_t, double> reference;
+  for (const auto& row : expected.rows) {
+    reference[row[0].as_int()] = row[1].as_double();
+  }
+  for (const auto& row : actual.rows) {
+    EXPECT_NEAR(row[1].as_double(), reference.at(row[0].as_int()), 1e-12)
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+}  // namespace
+}  // namespace sqloop::core

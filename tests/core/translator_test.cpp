@@ -1,0 +1,76 @@
+#include "core/translator.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace sqloop::core {
+namespace {
+
+TEST(Translator, CreateTableRespectsDialect) {
+  const std::vector<sql::ColumnDef> columns = {
+      {"id", ValueType::kInt64, ""}, {"v", ValueType::kDouble, ""}};
+  const Translator pg(Dialect::kPostgres);
+  const std::string pg_sql = pg.CreateTableSql("t", columns, 0);
+  EXPECT_NE(pg_sql.find("UNLOGGED"), std::string::npos);
+  EXPECT_NE(pg_sql.find("DOUBLE PRECISION"), std::string::npos);
+  EXPECT_NE(pg_sql.find("PRIMARY KEY"), std::string::npos);
+
+  const Translator my(Dialect::kMySql);
+  const std::string my_sql = my.CreateTableSql("t", columns, 0);
+  EXPECT_EQ(my_sql.find("UNLOGGED"), std::string::npos);
+  EXPECT_NE(my_sql.find("ENGINE=MyISAM"), std::string::npos);
+  EXPECT_EQ(my_sql.find("PRECISION"), std::string::npos);
+}
+
+TEST(Translator, DropTable) {
+  const Translator t(Dialect::kCanonical);
+  EXPECT_EQ(t.DropTableSql("x"), "DROP TABLE IF EXISTS x");
+  EXPECT_EQ(t.DropTableSql("x", false), "DROP TABLE x");
+}
+
+TEST(Translator, RenameBaseTablesKeepsQualifierWorking) {
+  auto select = sql::ParseSelect(
+      "SELECT PageRank.Node FROM PageRank JOIN PageRank AS Other "
+      "ON PageRank.Node = Other.Node");
+  RenameBaseTables(*select, {{"pagerank", "pagerank_w"}});
+  const std::string out = sql::PrintSelect(*select);
+  // Both references point at the working table; the original name (and
+  // the explicit alias) keep column references resolving.
+  EXPECT_NE(out.find("pagerank_w AS PageRank"), std::string::npos);
+  EXPECT_NE(out.find("pagerank_w AS Other"), std::string::npos);
+  EXPECT_NE(out.find("PageRank.Node"), std::string::npos);
+}
+
+TEST(Translator, RenameBaseTablesIgnoresOtherTables) {
+  auto select = sql::ParseSelect("SELECT * FROM edges");
+  RenameBaseTables(*select, {{"pagerank", "pagerank_w"}});
+  EXPECT_EQ(sql::PrintSelect(*select), "SELECT * FROM edges");
+}
+
+TEST(Translator, RequalifyColumns) {
+  auto select = sql::ParseSelect("SELECT r.a + s.b FROM r JOIN s ON r.a = s.b");
+  RequalifyColumns(*select->cores[0].items[0].expr, "r", "part0");
+  EXPECT_NE(sql::PrintExpr(*select->cores[0].items[0].expr).find("part0.a"),
+            std::string::npos);
+  EXPECT_NE(sql::PrintExpr(*select->cores[0].items[0].expr).find("s.b"),
+            std::string::npos);
+}
+
+TEST(Translator, SubstituteAggregateReplacesStructurally) {
+  auto select =
+      sql::ParseSelect("SELECT COALESCE(0.85 * SUM(s.d * e.w), 0.0) FROM t");
+  const sql::Expr& expr = *select->cores[0].items[0].expr;
+  auto agg_holder = sql::ParseSelect("SELECT SUM(s.d * e.w)");
+  const sql::Expr& agg = *agg_holder->cores[0].items[0].expr;
+  auto replacement_holder = sql::ParseSelect("SELECT m.total");
+  const auto rewritten =
+      SubstituteAggregate(expr, agg, *replacement_holder->cores[0].items[0].expr);
+  const std::string out = sql::PrintExpr(*rewritten);
+  EXPECT_EQ(out.find("SUM"), std::string::npos);
+  EXPECT_NE(out.find("m.total"), std::string::npos);
+  EXPECT_NE(out.find("0.8"), std::string::npos);  // %.17g spelling
+}
+
+}  // namespace
+}  // namespace sqloop::core

@@ -1,0 +1,219 @@
+#include "dbc/connection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "dbc/driver.h"
+#include "minidb/server.h"
+
+namespace sqloop::dbc {
+namespace {
+
+using minidb::EngineProfile;
+using minidb::Server;
+
+/// Each test gets a private server registered under a unique host name.
+class DbcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    host_ = "host_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    for (auto& c : host_) c = std::tolower(static_cast<unsigned char>(c));
+    DriverManager::RegisterHost(host_, &server_);
+    server_.CreateDatabase("db", EngineProfile::Postgres());
+  }
+  void TearDown() override { DriverManager::RegisterHost(host_, nullptr); }
+
+  std::unique_ptr<Connection> Connect(const std::string& params = {}) {
+    return DriverManager::GetConnection("minidb://" + host_ +
+                                        "/db?latency_us=0" + params);
+  }
+
+  Server server_;
+  std::string host_;
+};
+
+TEST_F(DbcTest, BasicQueryRoundTrip) {
+  auto conn = Connect();
+  conn->Execute("CREATE UNLOGGED TABLE t (id BIGINT PRIMARY KEY, v DOUBLE "
+                "PRECISION)");
+  EXPECT_EQ(conn->ExecuteUpdate("INSERT INTO t VALUES (1, 0.5), (2, 1.5)"),
+            2u);
+  const auto result = conn->ExecuteQuery("SELECT SUM(v) FROM t");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.rows[0][0].as_double(), 2.0);
+}
+
+TEST_F(DbcTest, UrlParsing) {
+  const auto config = ConnectionConfig::Parse(
+      "minidb://db.example.com:5433/analytics?latency_us=250&engine=mysql");
+  EXPECT_EQ(config.host, "db.example.com");
+  EXPECT_EQ(config.port, 5433);
+  EXPECT_EQ(config.database, "analytics");
+  EXPECT_EQ(config.latency_us, 250);
+  EXPECT_EQ(config.expected_engine, "mysql");
+}
+
+TEST_F(DbcTest, MalformedUrlsThrow) {
+  EXPECT_THROW(ConnectionConfig::Parse("http://x/db"), ConnectionError);
+  EXPECT_THROW(ConnectionConfig::Parse("minidb://hostonly"), ConnectionError);
+  EXPECT_THROW(ConnectionConfig::Parse("minidb:///db"), ConnectionError);
+  EXPECT_THROW(ConnectionConfig::Parse("minidb://h/db?latency_us=abc"),
+               ConnectionError);
+  EXPECT_THROW(ConnectionConfig::Parse("minidb://h/db?nope=1"),
+               ConnectionError);
+  EXPECT_THROW(ConnectionConfig::Parse("minidb://h:notaport/db"),
+               ConnectionError);
+}
+
+TEST_F(DbcTest, UnknownHostAndDatabaseThrow) {
+  EXPECT_THROW(DriverManager::GetConnection("minidb://no_such_host/db"),
+               ConnectionError);
+  EXPECT_THROW(
+      DriverManager::GetConnection("minidb://" + host_ + "/missing"),
+      ConnectionError);
+}
+
+TEST_F(DbcTest, EngineAssertionChecksProfile) {
+  EXPECT_NO_THROW(Connect("&engine=postgres"));
+  EXPECT_THROW(Connect("&engine=mysql"), ConnectionError);
+}
+
+TEST_F(DbcTest, ProfileIntrospection) {
+  auto conn = Connect();
+  EXPECT_EQ(conn->profile().name, "postgres");
+  EXPECT_EQ(conn->dialect(), Dialect::kPostgres);
+  EXPECT_EQ(conn->database_name(), "db");
+}
+
+TEST_F(DbcTest, BatchPaysOneRoundTrip) {
+  auto conn = Connect();
+  conn->Execute("CREATE UNLOGGED TABLE t (id BIGINT PRIMARY KEY)");
+  const uint64_t before = conn->stats().round_trips;
+  for (int i = 0; i < 10; ++i) {
+    conn->AddBatch("INSERT INTO t VALUES (" + std::to_string(i) + ")");
+  }
+  EXPECT_EQ(conn->batch_size(), 10u);
+  const auto affected = conn->ExecuteBatch();
+  EXPECT_EQ(conn->batch_size(), 0u);
+  ASSERT_EQ(affected.size(), 10u);
+  EXPECT_EQ(conn->stats().round_trips, before + 1);
+  EXPECT_EQ(conn->ExecuteQuery("SELECT COUNT(*) FROM t").rows[0][0].as_int(),
+            10);
+}
+
+TEST_F(DbcTest, StatsCountStatements) {
+  auto conn = Connect();
+  conn->Execute("CREATE UNLOGGED TABLE t (id BIGINT PRIMARY KEY)");
+  conn->Execute("INSERT INTO t VALUES (1)");
+  EXPECT_EQ(conn->stats().statements, 2u);
+  EXPECT_EQ(conn->stats().round_trips, 2u);
+}
+
+TEST_F(DbcTest, AutoCommitOffRollsBackOnExplicitRollback) {
+  auto conn = Connect();
+  conn->Execute("CREATE UNLOGGED TABLE t (id BIGINT PRIMARY KEY)");
+  conn->Execute("INSERT INTO t VALUES (1)");
+  conn->SetAutoCommit(false);
+  conn->Execute("INSERT INTO t VALUES (2)");
+  conn->Execute("INSERT INTO t VALUES (3)");
+  conn->Rollback();
+  EXPECT_EQ(conn->ExecuteQuery("SELECT COUNT(*) FROM t").rows[0][0].as_int(),
+            1);
+  conn->Execute("INSERT INTO t VALUES (4)");
+  conn->Commit();
+  EXPECT_EQ(conn->ExecuteQuery("SELECT COUNT(*) FROM t").rows[0][0].as_int(),
+            2);
+}
+
+TEST_F(DbcTest, CloseRollsBackOpenTransaction) {
+  auto conn = Connect();
+  conn->Execute("CREATE UNLOGGED TABLE t (id BIGINT PRIMARY KEY)");
+  {
+    auto writer = Connect();
+    writer->SetAutoCommit(false);
+    writer->Execute("INSERT INTO t VALUES (1)");
+    writer->Close();
+  }
+  EXPECT_EQ(conn->ExecuteQuery("SELECT COUNT(*) FROM t").rows[0][0].as_int(),
+            0);
+}
+
+TEST_F(DbcTest, ClosedConnectionRejectsWork) {
+  auto conn = Connect();
+  conn->Close();
+  EXPECT_TRUE(conn->closed());
+  EXPECT_THROW(conn->Execute("SELECT 1"), ConnectionError);
+  EXPECT_THROW(conn->AddBatch("SELECT 1"), ConnectionError);
+}
+
+TEST_F(DbcTest, IsolationLevelIsRecorded) {
+  auto conn = Connect();
+  EXPECT_EQ(conn->transaction_isolation(), IsolationLevel::kReadCommitted);
+  conn->SetTransactionIsolation(IsolationLevel::kSerializable);
+  EXPECT_EQ(conn->transaction_isolation(), IsolationLevel::kSerializable);
+}
+
+TEST_F(DbcTest, TwoConnectionsShareState) {
+  auto a = Connect();
+  auto b = Connect();
+  a->Execute("CREATE UNLOGGED TABLE t (id BIGINT PRIMARY KEY)");
+  a->Execute("INSERT INTO t VALUES (1)");
+  EXPECT_EQ(b->ExecuteQuery("SELECT COUNT(*) FROM t").rows[0][0].as_int(), 1);
+}
+
+TEST_F(DbcTest, MultipleHostsModelRemoteServers) {
+  Server other;
+  other.CreateDatabase("remote_db", EngineProfile::MariaDb());
+  DriverManager::RegisterHost("db2.example.com", &other);
+  auto conn = DriverManager::GetConnection(
+      "minidb://db2.example.com/remote_db?latency_us=0");
+  EXPECT_EQ(conn->profile().name, "mariadb");
+  conn->Execute("CREATE TABLE t (id BIGINT PRIMARY KEY) ENGINE = MyISAM");
+  DriverManager::RegisterHost("db2.example.com", nullptr);
+  EXPECT_THROW(
+      DriverManager::GetConnection("minidb://db2.example.com/remote_db"),
+      ConnectionError);
+}
+
+TEST_F(DbcTest, RowCostModelsServerWork) {
+  auto conn = Connect();
+  conn->Execute("CREATE UNLOGGED TABLE big (id BIGINT PRIMARY KEY)");
+  for (int i = 0; i < 200; ++i) {
+    conn->AddBatch("INSERT INTO big VALUES (" + std::to_string(i) + ")");
+  }
+  conn->ExecuteBatch();
+
+  auto costed = DriverManager::GetConnection(
+      "minidb://" + host_ + "/db?latency_us=0&row_cost_ns=20000");
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = costed->ExecuteQuery("SELECT COUNT(*) FROM big");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_EQ(result.rows[0][0].as_int(), 200);
+  EXPECT_EQ(result.rows_examined, 200u);
+  // 200 rows x 20us = 4ms of modeled server work.
+  EXPECT_GE(elapsed, 4000);
+}
+
+TEST_F(DbcTest, RowCostRejectsNegative) {
+  EXPECT_THROW(
+      ConnectionConfig::Parse("minidb://h/db?row_cost_ns=-5"),
+      ConnectionError);
+}
+
+TEST_F(DbcTest, LatencyIsPaidPerRoundTrip) {
+  auto slow = DriverManager::GetConnection("minidb://" + host_ +
+                                           "/db?latency_us=2000");
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) slow->Execute("SELECT 1");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            5 * 2000);
+}
+
+}  // namespace
+}  // namespace sqloop::dbc

@@ -1,0 +1,140 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/error.h"
+
+#include "graph/generators.h"
+
+namespace sqloop::graph {
+namespace {
+
+TEST(Graph, WeightsAreInverseOutDegree) {
+  Graph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  g.AssignOutDegreeWeights();
+  EXPECT_DOUBLE_EQ(g.edges()[0].weight, 0.5);
+  EXPECT_DOUBLE_EQ(g.edges()[1].weight, 0.5);
+  EXPECT_DOUBLE_EQ(g.edges()[2].weight, 1.0);
+}
+
+TEST(Graph, NodesAndAdjacency) {
+  Graph g;
+  g.AddEdge(5, 2);
+  g.AddEdge(2, 9);
+  g.AssignOutDegreeWeights();
+  EXPECT_EQ(g.Nodes(), (std::vector<int64_t>{2, 5, 9}));
+  EXPECT_EQ(g.NodeCount(), 3u);
+  const auto out = g.OutAdjacency();
+  ASSERT_EQ(out.at(5).size(), 1u);
+  EXPECT_EQ(out.at(5)[0].first, 2);
+  const auto in = g.InAdjacency();
+  ASSERT_EQ(in.at(9).size(), 1u);
+  EXPECT_EQ(in.at(9)[0].first, 2);
+}
+
+TEST(Graph, CsvRoundTrip) {
+  Graph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AssignOutDegreeWeights();
+  const std::string path = ::testing::TempDir() + "/edges_roundtrip.csv";
+  g.SaveCsv(path);
+  const Graph loaded = Graph::LoadCsv(path);
+  ASSERT_EQ(loaded.edge_count(), 2u);
+  EXPECT_EQ(loaded.edges()[0].src, 1);
+  EXPECT_EQ(loaded.edges()[1].dst, 3);
+  EXPECT_DOUBLE_EQ(loaded.edges()[0].weight, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(Generators, WebGraphIsDeterministic) {
+  const Graph a = MakeWebGraph(500, 4, 42);
+  const Graph b = MakeWebGraph(500, 4, 42);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (size_t i = 0; i < a.edge_count(); ++i) {
+    EXPECT_EQ(a.edges()[i].src, b.edges()[i].src);
+    EXPECT_EQ(a.edges()[i].dst, b.edges()[i].dst);
+  }
+  const Graph c = MakeWebGraph(500, 4, 43);
+  EXPECT_NE(a.edge_count(), 0u);
+  bool differs = a.edge_count() != c.edge_count();
+  for (size_t i = 0; !differs && i < a.edge_count(); ++i) {
+    differs = a.edges()[i].dst != c.edges()[i].dst;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, WebGraphHasPowerLawishInDegrees) {
+  const Graph g = MakeWebGraph(2000, 5, 7);
+  std::unordered_map<int64_t, int> in_degree;
+  for (const Edge& e : g.edges()) ++in_degree[e.dst];
+  int max_in = 0;
+  double total = 0;
+  for (const auto& [node, d] : in_degree) {
+    max_in = std::max(max_in, d);
+    total += d;
+  }
+  const double mean = total / static_cast<double>(in_degree.size());
+  // Preferential attachment: the hub in-degree dwarfs the mean.
+  EXPECT_GT(max_in, 10 * mean);
+}
+
+TEST(Generators, WebGraphNoSelfLoopsOrDuplicates) {
+  const Graph g = MakeWebGraph(300, 3, 1);
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_TRUE(seen.emplace(e.src, e.dst).second);
+  }
+}
+
+TEST(Generators, EgoNetConnectsConsecutiveCircles) {
+  const Graph g = MakeEgoNetGraph(10, 20, 0.2, 3);
+  bool cross_found = false;
+  for (const Edge& e : g.edges()) {
+    const int64_t c_src = (e.src - 1) / 20;
+    const int64_t c_dst = (e.dst - 1) / 20;
+    EXPECT_LE(std::abs(c_src - c_dst), 1);  // only neighbor circles
+    if (c_src != c_dst) cross_found = true;
+  }
+  EXPECT_TRUE(cross_found);
+}
+
+TEST(Generators, DirectedEgoNetHasNoReverseTwins) {
+  const Graph g = MakeEgoNetGraph(6, 8, 0.2, 4, /*bidirectional=*/false);
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (const Edge& e : g.edges()) seen.emplace(e.src, e.dst);
+  size_t twins = 0;
+  for (const Edge& e : g.edges()) {
+    if (seen.contains({e.dst, e.src})) ++twins;
+  }
+  // Random chords may collide occasionally; structural edges must not.
+  EXPECT_LT(twins, g.edge_count() / 4);
+}
+
+TEST(Generators, HostGraphBackboneDistancesAreExact) {
+  const Graph g = MakeHostGraph(10, 8, 50, 11);
+  // No generated edge may point *into* the backbone except along it.
+  for (const Edge& e : g.edges()) {
+    if (e.dst <= 50) {
+      EXPECT_EQ(e.src, e.dst - 1)
+          << "backbone node " << e.dst << " has a shortcut from " << e.src;
+    }
+  }
+}
+
+TEST(Generators, InvalidParametersThrow) {
+  EXPECT_THROW(MakeWebGraph(1, 3, 0), sqloop::UsageError);
+  EXPECT_THROW(MakeEgoNetGraph(0, 5, 0.5, 0), sqloop::UsageError);
+  EXPECT_THROW(MakeEgoNetGraph(2, 5, 1.5, 0), sqloop::UsageError);
+  EXPECT_THROW(MakeHostGraph(0, 5, 10, 0), sqloop::UsageError);
+}
+
+}  // namespace
+}  // namespace sqloop::graph

@@ -1,0 +1,108 @@
+#include "graph/reference.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace sqloop::graph {
+namespace {
+
+Graph Diamond() {
+  // 1 -> {2,3} -> 4 -> 5, with weights 1/outdegree.
+  Graph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 4);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AssignOutDegreeWeights();
+  return g;
+}
+
+TEST(Dijkstra, DiamondDistances) {
+  const auto dist = Dijkstra(Diamond(), 1);
+  EXPECT_DOUBLE_EQ(dist.at(1), 0.0);
+  EXPECT_DOUBLE_EQ(dist.at(2), 0.5);
+  EXPECT_DOUBLE_EQ(dist.at(3), 0.5);
+  EXPECT_DOUBLE_EQ(dist.at(4), 1.5);  // 0.5 + 1.0
+  EXPECT_DOUBLE_EQ(dist.at(5), 2.5);
+}
+
+TEST(Dijkstra, UnreachableNodesAbsent) {
+  Graph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  g.AssignOutDegreeWeights();
+  const auto dist = Dijkstra(g, 1);
+  EXPECT_TRUE(dist.contains(2));
+  EXPECT_FALSE(dist.contains(3));
+  EXPECT_FALSE(dist.contains(4));
+}
+
+TEST(BfsHops, CountsClicks) {
+  const auto hops = BfsHops(Diamond(), 1);
+  EXPECT_EQ(hops.at(1), 0);
+  EXPECT_EQ(hops.at(2), 1);
+  EXPECT_EQ(hops.at(4), 2);
+  EXPECT_EQ(hops.at(5), 3);
+}
+
+TEST(BfsHops, HostGraphBackboneHopEqualsNodeId) {
+  const Graph g = MakeHostGraph(8, 6, 100, 5);
+  const auto hops = BfsHops(g, 0);
+  EXPECT_EQ(hops.at(50), 50);
+  EXPECT_EQ(hops.at(100), 100);
+}
+
+TEST(PageRank, SumOfRankGrowsMonotonically) {
+  const Graph g = MakeWebGraph(300, 4, 9);
+  double previous = 0;
+  for (const int iters : {1, 5, 10, 20}) {
+    const auto result = PageRankReference(g, iters);
+    EXPECT_GT(result.sum_of_rank, previous);
+    previous = result.sum_of_rank;
+  }
+}
+
+TEST(PageRank, ConvergesTowardClosedFormTotal) {
+  // With delta seeded at 0.15 and damping 0.85 on a graph with no dangling
+  // nodes, total injected mass approaches n * 0.15 / (1 - 0.85) = n.
+  Graph g;  // 3-cycle: no dangling nodes, each weight 1.
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);
+  g.AssignOutDegreeWeights();
+  const auto result = PageRankReference(g, 200);
+  EXPECT_NEAR(result.sum_of_rank, 3.0, 1e-6);
+  EXPECT_NEAR(result.rank.at(1), 1.0, 1e-6);  // symmetry
+}
+
+TEST(PageRank, ZeroIterationsGivesZeroRank) {
+  const auto result = PageRankReference(Diamond(), 0);
+  EXPECT_DOUBLE_EQ(result.sum_of_rank, 0.0);
+}
+
+TEST(ConnectedComponents, LabelsBySmallestId) {
+  Graph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(10, 11);
+  g.AssignOutDegreeWeights();
+  const auto cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.at(1), 1);
+  EXPECT_EQ(cc.at(3), 1);
+  EXPECT_EQ(cc.at(10), 10);
+  EXPECT_EQ(cc.at(11), 10);
+}
+
+TEST(ConnectedComponents, DirectionIgnored) {
+  Graph g;
+  g.AddEdge(5, 1);  // edge direction must not split the component
+  g.AddEdge(5, 6);
+  g.AssignOutDegreeWeights();
+  const auto cc = ConnectedComponents(g);
+  EXPECT_EQ(cc.at(6), 1);
+}
+
+}  // namespace
+}  // namespace sqloop::graph

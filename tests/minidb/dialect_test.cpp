@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "minidb/database.h"
+#include "minidb/executor.h"
+
+namespace sqloop::minidb {
+namespace {
+
+TEST(EngineProfile, ByNameResolvesAllProfiles) {
+  EXPECT_EQ(EngineProfile::ByName("postgres").dialect, Dialect::kPostgres);
+  EXPECT_EQ(EngineProfile::ByName("PostgreSQL").dialect, Dialect::kPostgres);
+  EXPECT_EQ(EngineProfile::ByName("mysql").dialect, Dialect::kMySql);
+  EXPECT_EQ(EngineProfile::ByName("mariadb").dialect, Dialect::kMariaDb);
+  EXPECT_EQ(EngineProfile::ByName("canonical").dialect, Dialect::kCanonical);
+  EXPECT_THROW(EngineProfile::ByName("oracle"), UsageError);
+}
+
+TEST(EngineProfile, JoinAlgorithmsMatchHistory) {
+  // PostgreSQL 9.6 had hash joins; MySQL 5.7 did not.
+  EXPECT_EQ(EngineProfile::Postgres().join_algorithm, JoinAlgorithm::kHash);
+  EXPECT_EQ(EngineProfile::MySql().join_algorithm,
+            JoinAlgorithm::kNestedLoop);
+  EXPECT_EQ(EngineProfile::MariaDb().join_algorithm,
+            JoinAlgorithm::kNestedLoopOrHash);
+}
+
+TEST(Dialect, PostgresRejectsMySqlDdl) {
+  Database db("pg", EngineProfile::Postgres());
+  Executor exec(db);
+  EXPECT_THROW(
+      exec.ExecuteSql("CREATE TABLE t (a BIGINT) ENGINE = MyISAM"),
+      ExecutionError);
+  EXPECT_THROW(exec.ExecuteSql("CREATE TABLE t (a BIGINT, b DOUBLE)"),
+               ExecutionError);
+  // The correct PostgreSQL spellings pass.
+  exec.ExecuteSql("CREATE UNLOGGED TABLE t (a BIGINT, b DOUBLE PRECISION)");
+}
+
+TEST(Dialect, MySqlLacksRecursiveCtes) {
+  // The paper's MySQL 5.7 predates recursive CTE support.
+  Database db("my", EngineProfile::MySql());
+  Executor exec(db);
+  exec.ExecuteSql("CREATE TABLE e (src BIGINT, dst BIGINT) ENGINE = MyISAM");
+  EXPECT_THROW(exec.ExecuteSql(
+                   "WITH RECURSIVE r (n) AS (SELECT 1 UNION ALL "
+                   "SELECT n + 1 FROM r WHERE n < 3) SELECT * FROM r"),
+               ExecutionError);
+}
+
+TEST(Dialect, MySqlRejectsUnlogged) {
+  Database db("my", EngineProfile::MySql());
+  Executor exec(db);
+  EXPECT_THROW(exec.ExecuteSql("CREATE UNLOGGED TABLE t (a BIGINT)"),
+               ExecutionError);
+  exec.ExecuteSql("CREATE TABLE t (a BIGINT, b DOUBLE) ENGINE = MyISAM");
+}
+
+TEST(Dialect, CanonicalAcceptsEverything) {
+  Database db("c", EngineProfile::Canonical());
+  Executor exec(db);
+  exec.ExecuteSql("CREATE UNLOGGED TABLE t1 (a BIGINT, b DOUBLE)");
+  exec.ExecuteSql(
+      "CREATE TABLE t2 (a BIGINT, b DOUBLE PRECISION) ENGINE = MyISAM");
+}
+
+TEST(Dialect, IdentifierFoldingIsCaseInsensitive) {
+  Database db("c", EngineProfile::Canonical());
+  Executor exec(db);
+  exec.ExecuteSql("CREATE TABLE PageRank (Node BIGINT PRIMARY KEY, "
+                  "Rank DOUBLE, Delta DOUBLE)");
+  exec.ExecuteSql("INSERT INTO pagerank VALUES (1, 0.0, 0.15)");
+  const auto result =
+      exec.ExecuteSql("SELECT PAGERANK.NODE, pagerank.rank FROM PageRank");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].as_int(), 1);
+}
+
+}  // namespace
+}  // namespace sqloop::minidb

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "tests/minidb/test_util.h"
+
+namespace sqloop::minidb {
+namespace {
+
+using testing::DbFixture;
+using testing::Sorted;
+
+class SelectTest : public DbFixture {
+ protected:
+  void SetUp() override {
+    Run("CREATE TABLE nums (id BIGINT PRIMARY KEY, v BIGINT, d DOUBLE, "
+        "tag TEXT)");
+    Run("INSERT INTO nums VALUES (1, 10, 1.5, 'a'), (2, 20, 2.5, 'b'), "
+        "(3, 30, 3.5, 'a'), (4, NULL, NULL, 'c')");
+    Run("CREATE TABLE edges (src BIGINT, dst BIGINT, weight DOUBLE)");
+    Run("INSERT INTO edges VALUES (1, 2, 1.0), (1, 3, 1.0), (2, 3, 0.5), "
+        "(3, 1, 0.25)");
+  }
+};
+
+TEST_F(SelectTest, ProjectionAndAlias) {
+  const auto result = Run("SELECT id AS node, v + 1 AS bumped FROM nums "
+                          "WHERE id <= 2 ORDER BY id");
+  ASSERT_EQ(result.columns.size(), 2u);
+  EXPECT_EQ(result.columns[0], "node");
+  EXPECT_EQ(result.columns[1], "bumped");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0][1].as_int(), 11);
+  EXPECT_EQ(result.rows[1][1].as_int(), 21);
+}
+
+TEST_F(SelectTest, SelectStarKeepsSchemaOrder) {
+  const auto result = Run("SELECT * FROM nums WHERE id = 1");
+  ASSERT_EQ(result.columns.size(), 4u);
+  EXPECT_EQ(result.columns[0], "id");
+  EXPECT_EQ(result.columns[3], "tag");
+}
+
+TEST_F(SelectTest, FromlessSelect) {
+  const auto result = Run("SELECT 1 + 2, 'x'");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].as_int(), 3);
+  EXPECT_EQ(result.rows[0][1].as_text(), "x");
+}
+
+TEST_F(SelectTest, WhereNullComparisonsExcludeRows) {
+  // v = NULL is unknown, so row 4 never matches; IS NULL does.
+  EXPECT_EQ(Run("SELECT id FROM nums WHERE v > 0").rows.size(), 3u);
+  EXPECT_EQ(Run("SELECT id FROM nums WHERE v IS NULL").rows.size(), 1u);
+  EXPECT_EQ(Run("SELECT id FROM nums WHERE v IS NOT NULL").rows.size(), 3u);
+  EXPECT_EQ(Run("SELECT id FROM nums WHERE NOT (v > 0)").rows.size(), 0u);
+}
+
+TEST_F(SelectTest, AggregatesOverTable) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM nums").as_int(), 4);
+  EXPECT_EQ(Scalar("SELECT COUNT(v) FROM nums").as_int(), 3);  // NULL skipped
+  EXPECT_EQ(Scalar("SELECT SUM(v) FROM nums").as_int(), 60);
+  EXPECT_DOUBLE_EQ(Scalar("SELECT AVG(v) FROM nums").as_double(), 20.0);
+  EXPECT_EQ(Scalar("SELECT MIN(v) FROM nums").as_int(), 10);
+  EXPECT_EQ(Scalar("SELECT MAX(v) FROM nums").as_int(), 30);
+}
+
+TEST_F(SelectTest, AggregatesOnEmptyInput) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM nums WHERE id > 100").as_int(), 0);
+  EXPECT_TRUE(Scalar("SELECT SUM(v) FROM nums WHERE id > 100").is_null());
+  EXPECT_TRUE(Scalar("SELECT MIN(v) FROM nums WHERE id > 100").is_null());
+}
+
+TEST_F(SelectTest, CountDistinct) {
+  EXPECT_EQ(Scalar("SELECT COUNT(DISTINCT tag) FROM nums").as_int(), 3);
+}
+
+TEST_F(SelectTest, GroupByWithHaving) {
+  const auto result = Run(
+      "SELECT tag, COUNT(*) AS n, SUM(v) AS total FROM nums "
+      "GROUP BY tag HAVING COUNT(*) > 1");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].as_text(), "a");
+  EXPECT_EQ(result.rows[0][1].as_int(), 2);
+  EXPECT_EQ(result.rows[0][2].as_int(), 40);
+}
+
+TEST_F(SelectTest, AggregateInsideExpression) {
+  // The PageRank pattern: COALESCE(0.85 * SUM(...), 0.0).
+  const Value v = Scalar(
+      "SELECT COALESCE(0.5 * SUM(v), 0.0) FROM nums WHERE id > 100");
+  EXPECT_DOUBLE_EQ(v.as_double(), 0.0);
+  const Value w = Scalar("SELECT COALESCE(0.5 * SUM(v), 0.0) FROM nums");
+  EXPECT_DOUBLE_EQ(w.as_double(), 30.0);
+}
+
+TEST_F(SelectTest, InnerJoin) {
+  const auto result = Run(
+      "SELECT nums.id, edges.dst FROM nums JOIN edges ON nums.id = edges.src "
+      "ORDER BY nums.id, edges.dst");
+  ASSERT_EQ(result.rows.size(), 4u);
+  EXPECT_EQ(result.rows[0][0].as_int(), 1);
+  EXPECT_EQ(result.rows[0][1].as_int(), 2);
+}
+
+TEST_F(SelectTest, LeftJoinPadsWithNulls) {
+  const auto result = Run(
+      "SELECT nums.id, edges.dst FROM nums LEFT JOIN edges "
+      "ON nums.id = edges.src AND edges.weight > 0.9 "
+      "ORDER BY nums.id, edges.dst");
+  // id=1 has two heavy edges; ids 2,3 have only light edges -> padded;
+  // id=4 has none -> padded.
+  ASSERT_EQ(result.rows.size(), 5u);
+  EXPECT_EQ(result.rows[0][0].as_int(), 1);
+  EXPECT_FALSE(result.rows[0][1].is_null());
+  EXPECT_TRUE(result.rows[2][1].is_null());
+  EXPECT_TRUE(result.rows[3][1].is_null());
+  EXPECT_TRUE(result.rows[4][1].is_null());
+}
+
+TEST_F(SelectTest, SelfJoinWithAliases) {
+  // Two-hop paths in the edge table.
+  const auto result = Run(
+      "SELECT a.src, b.dst FROM edges AS a JOIN edges AS b ON a.dst = b.src "
+      "WHERE a.src = 1 ORDER BY a.src, b.dst");
+  ASSERT_EQ(result.rows.size(), 2u);  // 1->2->3 and 1->3->1
+  EXPECT_EQ(result.rows[0][1].as_int(), 1);
+  EXPECT_EQ(result.rows[1][1].as_int(), 3);
+}
+
+TEST_F(SelectTest, CrossJoinCount) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM nums, edges").as_int(), 16);
+}
+
+TEST_F(SelectTest, SubqueryInFrom) {
+  const auto result = Run(
+      "SELECT s.total FROM (SELECT SUM(v) AS total FROM nums) AS s");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].as_int(), 60);
+}
+
+TEST_F(SelectTest, UnionDeduplicatesUnionAllKeeps) {
+  EXPECT_EQ(Run("SELECT src FROM edges UNION SELECT dst FROM edges")
+                .rows.size(),
+            3u);
+  EXPECT_EQ(Run("SELECT src FROM edges UNION ALL SELECT dst FROM edges")
+                .rows.size(),
+            8u);
+}
+
+TEST_F(SelectTest, UnionArityMismatchThrows) {
+  EXPECT_THROW(Run("SELECT src, dst FROM edges UNION SELECT src FROM edges"),
+               AnalysisError);
+}
+
+TEST_F(SelectTest, DistinctRows) {
+  EXPECT_EQ(Run("SELECT DISTINCT tag FROM nums").rows.size(), 3u);
+  EXPECT_EQ(Run("SELECT DISTINCT src FROM edges").rows.size(), 3u);
+}
+
+TEST_F(SelectTest, OrderByDescAndLimit) {
+  const auto result = Run("SELECT id FROM nums ORDER BY id DESC LIMIT 2");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0][0].as_int(), 4);
+  EXPECT_EQ(result.rows[1][0].as_int(), 3);
+}
+
+TEST_F(SelectTest, LimitOffsetPagination) {
+  const auto page1 = Run("SELECT id FROM nums ORDER BY id LIMIT 2");
+  const auto page2 = Run("SELECT id FROM nums ORDER BY id LIMIT 2 OFFSET 2");
+  ASSERT_EQ(page1.rows.size(), 2u);
+  ASSERT_EQ(page2.rows.size(), 2u);
+  EXPECT_EQ(page1.rows[0][0].as_int(), 1);
+  EXPECT_EQ(page2.rows[0][0].as_int(), 3);
+  // Offset past the end yields nothing.
+  EXPECT_TRUE(Run("SELECT id FROM nums LIMIT 2 OFFSET 99").rows.empty());
+}
+
+TEST_F(SelectTest, MultiColumnGroupBy) {
+  Run("CREATE TABLE pairs (a BIGINT, b BIGINT, v DOUBLE)");
+  Run("INSERT INTO pairs VALUES (1,1,1.0),(1,1,2.0),(1,2,3.0),(2,1,4.0)");
+  const auto result = Run(
+      "SELECT a, b, SUM(v) FROM pairs GROUP BY a, b ORDER BY a, b");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.rows[0][2].as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(result.rows[1][2].as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(result.rows[2][2].as_double(), 4.0);
+}
+
+TEST_F(SelectTest, OrderByExpressionOverOutput) {
+  const auto result =
+      Run("SELECT id, v FROM nums WHERE v IS NOT NULL ORDER BY v * -1");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(result.rows[0][0].as_int(), 3);
+}
+
+TEST_F(SelectTest, CaseCoalesceLeast) {
+  const auto result = Run(
+      "SELECT CASE WHEN v > 15 THEN 'big' ELSE 'small' END, "
+      "COALESCE(v, 0), LEAST(v, 15) FROM nums ORDER BY id");
+  ASSERT_EQ(result.rows.size(), 4u);
+  EXPECT_EQ(result.rows[0][0].as_text(), "small");
+  EXPECT_EQ(result.rows[1][0].as_text(), "big");
+  EXPECT_EQ(result.rows[3][1].as_int(), 0);       // COALESCE(NULL, 0)
+  EXPECT_EQ(result.rows[3][2].as_int(), 15);      // LEAST ignores NULL
+  EXPECT_EQ(result.rows[0][2].as_int(), 10);
+}
+
+TEST_F(SelectTest, GroupedJoinAggregate) {
+  // Incoming weight per node — the core PageRank shape.
+  const auto result = Run(
+      "SELECT nums.id, COALESCE(SUM(edges.weight), 0.0) AS win "
+      "FROM nums LEFT JOIN edges ON nums.id = edges.dst "
+      "GROUP BY nums.id ORDER BY nums.id");
+  ASSERT_EQ(result.rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.rows[0][1].as_double(), 0.25);  // 3->1
+  EXPECT_DOUBLE_EQ(result.rows[1][1].as_double(), 1.0);   // 1->2
+  EXPECT_DOUBLE_EQ(result.rows[2][1].as_double(), 1.5);   // 1->3, 2->3
+  EXPECT_DOUBLE_EQ(result.rows[3][1].as_double(), 0.0);   // none
+}
+
+TEST_F(SelectTest, UnknownColumnThrows) {
+  EXPECT_THROW(Run("SELECT nope FROM nums"), AnalysisError);
+  EXPECT_THROW(Run("SELECT edges.id FROM nums"), AnalysisError);
+}
+
+TEST_F(SelectTest, AmbiguousColumnThrows) {
+  EXPECT_THROW(
+      Run("SELECT src FROM edges AS a JOIN edges AS b ON a.src = b.src"),
+      AnalysisError);
+}
+
+TEST_F(SelectTest, UnknownTableThrows) {
+  EXPECT_THROW(Run("SELECT * FROM missing"), ExecutionError);
+}
+
+TEST_F(SelectTest, DivisionSemantics) {
+  EXPECT_EQ(Scalar("SELECT 7 / 2").as_int(), 3);            // int division
+  EXPECT_DOUBLE_EQ(Scalar("SELECT 7 / 2.0").as_double(), 3.5);
+  EXPECT_THROW(Run("SELECT 1 / 0"), ExecutionError);
+  EXPECT_EQ(Scalar("SELECT 7 % 3").as_int(), 1);
+}
+
+TEST_F(SelectTest, InfinityArithmetic) {
+  EXPECT_EQ(Scalar("SELECT CASE WHEN Infinity > 1e308 THEN 1 ELSE 0 END")
+                .as_int(),
+            1);
+  const Value v = Scalar("SELECT LEAST(Infinity, 5.0)");
+  EXPECT_DOUBLE_EQ(v.as_double(), 5.0);
+}
+
+// Views --------------------------------------------------------------------
+
+TEST_F(SelectTest, ViewOverUnion) {
+  Run("CREATE TABLE part1 (id BIGINT PRIMARY KEY, v BIGINT)");
+  Run("CREATE TABLE part2 (id BIGINT PRIMARY KEY, v BIGINT)");
+  Run("INSERT INTO part1 VALUES (1, 10), (2, 20)");
+  Run("INSERT INTO part2 VALUES (3, 30)");
+  Run("CREATE VIEW whole AS SELECT id, v FROM part1 UNION ALL "
+      "SELECT id, v FROM part2");
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM whole").as_int(), 3);
+  EXPECT_EQ(Scalar("SELECT SUM(v) FROM whole").as_int(), 60);
+  // Views observe later base-table changes.
+  Run("INSERT INTO part2 VALUES (4, 40)");
+  EXPECT_EQ(Scalar("SELECT SUM(v) FROM whole").as_int(), 100);
+}
+
+TEST_F(SelectTest, DropViewAndRecreate) {
+  Run("CREATE VIEW v1 AS SELECT id FROM nums");
+  Run("DROP VIEW v1");
+  EXPECT_THROW(Run("SELECT * FROM v1"), ExecutionError);
+  EXPECT_THROW(Run("DROP VIEW v1"), ExecutionError);
+  Run("DROP VIEW IF EXISTS v1");  // no throw
+}
+
+// Profile parity: every profile must produce identical SELECT results. ----
+
+class ProfileParityTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfileParityTest, JoinAndAggregateResultsMatchCanonical) {
+  Database db("p", EngineProfile::ByName(GetParam()));
+  Executor exec(db);
+  exec.ExecuteSql(
+      "CREATE TABLE e (src BIGINT, dst BIGINT, w DOUBLE PRECISION)");
+  exec.ExecuteSql("INSERT INTO e VALUES (1,2,0.5),(2,3,0.25),(3,1,1.0),"
+                  "(1,3,0.75),(2,1,0.1)");
+  exec.ExecuteSql("CREATE INDEX e_dst ON e (dst)");
+  const auto grouped = exec.ExecuteSql(
+      "SELECT a.src, SUM(b.w) FROM e AS a LEFT JOIN e AS b ON a.dst = b.src "
+      "GROUP BY a.src ORDER BY a.src");
+  ASSERT_EQ(grouped.rows.size(), 3u);
+  // src=1: edges to 2 and 3; from 2: .25+.1, from 3: 1.0 -> 1.35
+  EXPECT_NEAR(grouped.rows[0][1].as_double(), 1.35, 1e-9);
+  const auto joined = exec.ExecuteSql(
+      "SELECT COUNT(*) FROM e AS a JOIN e AS b ON a.dst = b.src");
+  EXPECT_EQ(joined.rows[0][0].as_int(), 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileParityTest,
+                         ::testing::Values("postgres", "mysql", "mariadb",
+                                           "canonical"));
+
+}  // namespace
+}  // namespace sqloop::minidb

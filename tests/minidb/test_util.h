@@ -1,0 +1,51 @@
+// Shared helpers for minidb tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "minidb/database.h"
+#include "minidb/executor.h"
+
+namespace sqloop::minidb::testing {
+
+/// A database + executor pair with a convenience Run() helper.
+class DbFixture : public ::testing::Test {
+ protected:
+  explicit DbFixture(EngineProfile profile = EngineProfile::Canonical())
+      : db_("testdb", std::move(profile)), exec_(db_) {}
+
+  ResultSet Run(const std::string& sql) { return exec_.ExecuteSql(sql); }
+
+  ResultSet Run(const std::string& sql, Session& session) {
+    return exec_.ExecuteSql(sql, &session);
+  }
+
+  /// Runs a query and returns its single scalar result.
+  Value Scalar(const std::string& sql) {
+    const ResultSet result = Run(sql);
+    EXPECT_EQ(result.rows.size(), 1u) << sql;
+    EXPECT_EQ(result.rows.at(0).size(), 1u) << sql;
+    return result.rows.at(0).at(0);
+  }
+
+  Database db_;
+  Executor exec_;
+};
+
+/// Sorts rows for order-insensitive comparison.
+inline std::vector<Row> Sorted(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      const int c = Value::Compare(a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  });
+  return rows;
+}
+
+}  // namespace sqloop::minidb::testing

@@ -1,0 +1,107 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace sqloop::sql {
+namespace {
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  const auto tokens = Tokenize("select Select SELECT");
+  ASSERT_EQ(tokens.size(), 4u);  // 3 + end
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kKeyword);
+    EXPECT_EQ(tokens[i].upper, "SELECT");
+  }
+}
+
+TEST(Lexer, IdentifiersKeepCase) {
+  const auto tokens = Tokenize("PageRank edges_2");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "PageRank");
+  EXPECT_EQ(tokens[1].text, "edges_2");
+}
+
+TEST(Lexer, IterativeExtensionKeywords) {
+  const auto tokens = Tokenize("ITERATIVE ITERATE UNTIL ITERATIONS UPDATES DELTA ANY");
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kKeyword) << i;
+  }
+}
+
+TEST(Lexer, NumbersIntAndDouble) {
+  const auto tokens = Tokenize("42 0.15 1e3 2.5E-2 .5");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntegerLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 0.15);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.025);
+  EXPECT_DOUBLE_EQ(tokens[4].double_value, 0.5);
+}
+
+TEST(Lexer, StringLiteralWithEscapedQuote) {
+  const auto tokens = Tokenize("'it''s'");
+  ASSERT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(Lexer, QuotedIdentifiersBothStyles) {
+  const auto pg = Tokenize("\"Select\"");
+  EXPECT_EQ(pg[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(pg[0].text, "Select");
+  EXPECT_EQ(pg[0].quote, '"');
+
+  const auto my = Tokenize("`order`");
+  EXPECT_EQ(my[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(my[0].text, "order");
+  EXPECT_EQ(my[0].quote, '`');
+}
+
+TEST(Lexer, OperatorsIncludingTwoChar) {
+  const auto tokens = Tokenize("<= >= != <> = < >");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLessEq);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kGreaterEq);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNotEq);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNotEq);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kEq);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kLess);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kGreater);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto tokens = Tokenize("SELECT -- trailing comment\n 1 /* block */ + 2");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].upper, "SELECT");
+  EXPECT_EQ(tokens[1].int_value, 1);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kPlus);
+  EXPECT_EQ(tokens[3].int_value, 2);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(Tokenize("'abc"), ParseError);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(Tokenize("/* abc"), ParseError);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+  EXPECT_THROW(Tokenize("SELECT @x"), ParseError);
+}
+
+TEST(Lexer, EndTokenAlwaysPresent) {
+  const auto tokens = Tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, InfinityIsKeyword) {
+  const auto tokens = Tokenize("Infinity");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(tokens[0].upper, "INFINITY");
+}
+
+}  // namespace
+}  // namespace sqloop::sql

@@ -1,0 +1,352 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sql/printer.h"
+
+namespace sqloop::sql {
+namespace {
+
+// --- plain statements -------------------------------------------------
+
+TEST(Parser, SimpleSelect) {
+  const auto stmt = ParseStatement("SELECT a, b FROM t WHERE a > 1");
+  ASSERT_EQ(stmt->kind, StatementKind::kSelect);
+  const auto& core = stmt->select->cores.at(0);
+  ASSERT_EQ(core.items.size(), 2u);
+  EXPECT_EQ(core.items[0].expr->column, "a");
+  ASSERT_NE(core.from, nullptr);
+  EXPECT_EQ(core.from->table_name, "t");
+  ASSERT_NE(core.where, nullptr);
+  EXPECT_EQ(core.where->binary_op, BinaryOp::kGreater);
+}
+
+TEST(Parser, SelectStarAndQualifiedStar) {
+  const auto stmt = ParseStatement("SELECT *, t.* FROM t");
+  const auto& items = stmt->select->cores[0].items;
+  EXPECT_EQ(items[0].expr->kind, ExprKind::kStar);
+  EXPECT_EQ(items[1].expr->kind, ExprKind::kStar);
+  EXPECT_EQ(items[1].expr->qualifier, "t");
+}
+
+TEST(Parser, GroupByWithAggregate) {
+  const auto stmt = ParseStatement(
+      "SELECT dst, SUM(w) AS total FROM edges GROUP BY dst HAVING SUM(w) > 2");
+  const auto& core = stmt->select->cores[0];
+  ASSERT_EQ(core.group_by.size(), 1u);
+  EXPECT_EQ(core.items[1].expr->kind, ExprKind::kAggregate);
+  EXPECT_EQ(core.items[1].expr->agg_func, AggFunc::kSum);
+  EXPECT_EQ(core.items[1].alias, "total");
+  ASSERT_NE(core.having, nullptr);
+}
+
+TEST(Parser, CountStarAndCountDistinct) {
+  const auto stmt =
+      ParseStatement("SELECT COUNT(*), COUNT(DISTINCT x) FROM t");
+  const auto& items = stmt->select->cores[0].items;
+  EXPECT_TRUE(items[0].expr->agg_star);
+  EXPECT_TRUE(items[1].expr->agg_distinct);
+}
+
+TEST(Parser, StarOnlyValidForCount) {
+  EXPECT_THROW(ParseStatement("SELECT SUM(*) FROM t"), ParseError);
+}
+
+TEST(Parser, JoinsInnerLeftCross) {
+  const auto stmt = ParseStatement(
+      "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y "
+      "CROSS JOIN d");
+  const auto& from = stmt->select->cores[0].from;
+  ASSERT_EQ(from->kind, TableRefKind::kJoin);
+  EXPECT_EQ(from->join_kind, JoinKind::kCross);
+  EXPECT_EQ(from->left->join_kind, JoinKind::kLeft);
+  EXPECT_EQ(from->left->left->join_kind, JoinKind::kInner);
+}
+
+TEST(Parser, CommaJoinBecomesCross) {
+  const auto stmt = ParseStatement("SELECT * FROM a, b WHERE a.x = b.x");
+  const auto& from = stmt->select->cores[0].from;
+  ASSERT_EQ(from->kind, TableRefKind::kJoin);
+  EXPECT_EQ(from->join_kind, JoinKind::kCross);
+}
+
+TEST(Parser, SubqueryInFrom) {
+  const auto stmt = ParseStatement(
+      "SELECT s.x FROM (SELECT x FROM t) AS s WHERE s.x > 0");
+  const auto& from = stmt->select->cores[0].from;
+  ASSERT_EQ(from->kind, TableRefKind::kSubquery);
+  EXPECT_EQ(from->alias, "s");
+}
+
+TEST(Parser, UnionChain) {
+  const auto stmt = ParseStatement(
+      "SELECT src FROM edges UNION SELECT dst FROM edges UNION ALL SELECT 1");
+  EXPECT_EQ(stmt->select->cores.size(), 3u);
+  EXPECT_EQ(stmt->select->set_ops[0], SetOp::kUnion);
+  EXPECT_EQ(stmt->select->set_ops[1], SetOp::kUnionAll);
+}
+
+TEST(Parser, OrderByLimit) {
+  const auto stmt =
+      ParseStatement("SELECT a FROM t ORDER BY a DESC, b LIMIT 5");
+  EXPECT_EQ(stmt->select->order_by.size(), 2u);
+  EXPECT_FALSE(stmt->select->order_by[0].ascending);
+  EXPECT_TRUE(stmt->select->order_by[1].ascending);
+  EXPECT_EQ(stmt->select->limit, 5);
+}
+
+TEST(Parser, LimitOffset) {
+  const auto stmt = ParseStatement("SELECT a FROM t LIMIT 10 OFFSET 20");
+  EXPECT_EQ(stmt->select->limit, 10);
+  EXPECT_EQ(stmt->select->offset, 20);
+}
+
+TEST(Parser, ValuesMultiRow) {
+  const auto stmt = ParseStatement("VALUES (0, 1), (2, 3)");
+  EXPECT_EQ(stmt->select->cores.size(), 2u);
+  EXPECT_EQ(stmt->select->set_ops[0], SetOp::kUnionAll);
+}
+
+TEST(Parser, CaseSearchedAndCoalesce) {
+  const auto stmt = ParseStatement(
+      "SELECT CASE WHEN src = 1 THEN 0 ELSE Infinity END, "
+      "COALESCE(x, 0.15), LEAST(a, b) FROM t");
+  const auto& items = stmt->select->cores[0].items;
+  EXPECT_EQ(items[0].expr->kind, ExprKind::kCase);
+  EXPECT_EQ(items[1].expr->kind, ExprKind::kFunction);
+  EXPECT_EQ(items[1].expr->function_name, "COALESCE");
+  EXPECT_EQ(items[2].expr->function_name, "LEAST");
+}
+
+TEST(Parser, IsNullAndIsNotNull) {
+  const auto stmt =
+      ParseStatement("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL");
+  const auto& where = stmt->select->cores[0].where;
+  EXPECT_EQ(where->binary_op, BinaryOp::kAnd);
+  EXPECT_EQ(where->left->kind, ExprKind::kIsNull);
+  EXPECT_FALSE(where->left->is_not_null);
+  EXPECT_TRUE(where->right->is_not_null);
+}
+
+TEST(Parser, BetweenAndInDesugar) {
+  const auto stmt = ParseStatement(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 3 AND b IN (1, 2)");
+  // Both desugar to boolean trees; printing should round-trip semantics.
+  const std::string printed = PrintStatement(*stmt);
+  EXPECT_NE(printed.find(">="), std::string::npos);
+  EXPECT_NE(printed.find("<="), std::string::npos);
+  EXPECT_NE(printed.find("OR"), std::string::npos);
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  const auto stmt = ParseStatement("SELECT 1 + 2 * 3");
+  const auto& expr = stmt->select->cores[0].items[0].expr;
+  EXPECT_EQ(expr->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(expr->right->binary_op, BinaryOp::kMul);
+}
+
+TEST(Parser, CreateTableWithPrimaryKeyAndTypes) {
+  const auto stmt = ParseStatement(
+      "CREATE TABLE r (node BIGINT PRIMARY KEY, rank DOUBLE PRECISION, "
+      "name TEXT)");
+  ASSERT_EQ(stmt->kind, StatementKind::kCreateTable);
+  EXPECT_EQ(stmt->table_name, "r");
+  ASSERT_EQ(stmt->columns.size(), 3u);
+  EXPECT_EQ(stmt->primary_key_index, 0);
+  EXPECT_EQ(stmt->columns[0].type, ValueType::kInt64);
+  EXPECT_EQ(stmt->columns[1].type, ValueType::kDouble);
+  EXPECT_EQ(stmt->columns[1].type_spelling, "DOUBLE PRECISION");
+  EXPECT_EQ(stmt->columns[2].type, ValueType::kText);
+}
+
+TEST(Parser, CreateUnloggedTableAndEngineOption) {
+  const auto pg = ParseStatement("CREATE UNLOGGED TABLE t (a BIGINT)");
+  EXPECT_TRUE(pg->unlogged);
+  const auto my =
+      ParseStatement("CREATE TABLE t (a BIGINT) ENGINE = MyISAM");
+  EXPECT_EQ(my->engine_option, "MyISAM");
+}
+
+TEST(Parser, CreateIndexAndDrop) {
+  const auto ci = ParseStatement("CREATE INDEX idx ON t (a, b)");
+  ASSERT_EQ(ci->kind, StatementKind::kCreateIndex);
+  EXPECT_EQ(ci->index_name, "idx");
+  EXPECT_EQ(ci->index_columns.size(), 2u);
+
+  const auto di = ParseStatement("DROP INDEX IF EXISTS idx ON t");
+  ASSERT_EQ(di->kind, StatementKind::kDropIndex);
+  EXPECT_TRUE(di->if_exists);
+  EXPECT_EQ(di->table_name, "t");
+}
+
+TEST(Parser, InsertValuesAndSelect) {
+  const auto iv =
+      ParseStatement("INSERT INTO t (a, b) VALUES (1, 2), (3, 4)");
+  ASSERT_EQ(iv->kind, StatementKind::kInsert);
+  EXPECT_EQ(iv->insert_columns.size(), 2u);
+  EXPECT_EQ(iv->insert_rows.size(), 2u);
+
+  const auto is = ParseStatement("INSERT INTO t SELECT a, b FROM s");
+  ASSERT_NE(is->insert_select, nullptr);
+}
+
+TEST(Parser, UpdateWithFromAndWhere) {
+  const auto stmt = ParseStatement(
+      "UPDATE r SET delta = delta + m.v FROM "
+      "(SELECT id, SUM(v) AS v FROM msg GROUP BY id) AS m "
+      "WHERE r.id = m.id");
+  ASSERT_EQ(stmt->kind, StatementKind::kUpdate);
+  ASSERT_EQ(stmt->set_items.size(), 1u);
+  EXPECT_EQ(stmt->set_items[0].first, "delta");
+  ASSERT_NE(stmt->update_from, nullptr);
+  EXPECT_EQ(stmt->update_from->kind, TableRefKind::kSubquery);
+  ASSERT_NE(stmt->where, nullptr);
+}
+
+TEST(Parser, DeleteAndTruncate) {
+  EXPECT_EQ(ParseStatement("DELETE FROM t WHERE a = 1")->kind,
+            StatementKind::kDelete);
+  EXPECT_EQ(ParseStatement("TRUNCATE TABLE t")->kind,
+            StatementKind::kTruncate);
+}
+
+TEST(Parser, TransactionStatements) {
+  EXPECT_EQ(ParseStatement("BEGIN")->kind, StatementKind::kBegin);
+  EXPECT_EQ(ParseStatement("BEGIN TRANSACTION")->kind, StatementKind::kBegin);
+  EXPECT_EQ(ParseStatement("COMMIT")->kind, StatementKind::kCommit);
+  EXPECT_EQ(ParseStatement("ROLLBACK")->kind, StatementKind::kRollback);
+}
+
+// --- CTEs ---------------------------------------------------------------
+
+TEST(Parser, RecursiveCteFibonacci) {
+  // Example 1 from the paper.
+  const auto stmt = ParseStatement(
+      "WITH RECURSIVE Fibonacci(n, pn) AS ("
+      "  VALUES (0, 1)"
+      "  UNION ALL"
+      "  SELECT n + pn, n FROM Fibonacci WHERE n < 1000"
+      ") SELECT SUM(n) FROM Fibonacci");
+  ASSERT_EQ(stmt->kind, StatementKind::kWith);
+  EXPECT_EQ(stmt->with.kind, CteKind::kRecursive);
+  EXPECT_EQ(stmt->with.name, "Fibonacci");
+  ASSERT_EQ(stmt->with.columns.size(), 2u);
+  ASSERT_NE(stmt->with.seed, nullptr);
+  ASSERT_NE(stmt->with.step, nullptr);
+  ASSERT_NE(stmt->with.final_query, nullptr);
+}
+
+TEST(Parser, IterativeCtePageRankShape) {
+  // Example 2 from the paper (structure, simplified expressions).
+  const auto stmt = ParseStatement(
+      "WITH ITERATIVE PageRank(Node, Rank, Delta) AS ("
+      "  SELECT src, 0, 0.15 FROM (SELECT src FROM edges UNION "
+      "  SELECT dst FROM edges) AS alledges GROUP BY src"
+      "  ITERATE"
+      "  SELECT PageRank.Node,"
+      "    COALESCE(PageRank.Rank + PageRank.Delta, 0.15),"
+      "    COALESCE(0.85 * SUM(IncomingRank.Delta * IncomingEdges.weight), 0.0)"
+      "  FROM PageRank"
+      "  LEFT JOIN edges AS IncomingEdges ON PageRank.Node = IncomingEdges.dst"
+      "  LEFT JOIN PageRank AS IncomingRank "
+      "    ON IncomingRank.Node = IncomingEdges.src"
+      "  GROUP BY PageRank.Node"
+      "  UNTIL 100 ITERATIONS"
+      ") SELECT Node, Rank FROM PageRank");
+  ASSERT_EQ(stmt->kind, StatementKind::kWith);
+  EXPECT_EQ(stmt->with.kind, CteKind::kIterative);
+  EXPECT_EQ(stmt->with.termination.kind, Termination::Kind::kIterations);
+  EXPECT_EQ(stmt->with.termination.count, 100);
+  // The step self-joins PageRank via the IncomingRank alias.
+  ASSERT_NE(stmt->with.step, nullptr);
+}
+
+TEST(Parser, IterativeCteUpdatesTermination) {
+  const auto stmt = ParseStatement(
+      "WITH ITERATIVE sssp(Node, Distance, Delta) AS ("
+      "  SELECT src, Infinity, 0 FROM edges GROUP BY src"
+      "  ITERATE SELECT Node, Distance, Delta FROM sssp"
+      "  UNTIL 0 UPDATES"
+      ") SELECT * FROM sssp");
+  EXPECT_EQ(stmt->with.termination.kind, Termination::Kind::kUpdates);
+  EXPECT_EQ(stmt->with.termination.count, 0);
+}
+
+TEST(Parser, TerminationDataProbeForms) {
+  const auto all = ParseStatement(
+      "WITH ITERATIVE r(a) AS (SELECT 1 ITERATE SELECT a FROM r "
+      "UNTIL (SELECT a FROM r WHERE a > 0)) SELECT * FROM r");
+  EXPECT_EQ(all->with.termination.kind, Termination::Kind::kProbeAll);
+  EXPECT_FALSE(all->with.termination.delta);
+
+  const auto any = ParseStatement(
+      "WITH ITERATIVE r(a) AS (SELECT 1 ITERATE SELECT a FROM r "
+      "UNTIL ANY (SELECT a FROM r WHERE a > 10)) SELECT * FROM r");
+  EXPECT_EQ(any->with.termination.kind, Termination::Kind::kProbeAny);
+
+  const auto cmp = ParseStatement(
+      "WITH ITERATIVE r(a) AS (SELECT 1 ITERATE SELECT a FROM r "
+      "UNTIL (SELECT SUM(a) FROM r) > 100) SELECT * FROM r");
+  EXPECT_EQ(cmp->with.termination.kind, Termination::Kind::kProbeCompare);
+  EXPECT_EQ(cmp->with.termination.comparator, '>');
+  EXPECT_EQ(cmp->with.termination.bound.as_int(), 100);
+}
+
+TEST(Parser, TerminationDeltaForms) {
+  const auto d = ParseStatement(
+      "WITH ITERATIVE r(a) AS (SELECT 1 ITERATE SELECT a FROM r "
+      "UNTIL DELTA (SELECT a FROM r)) SELECT * FROM r");
+  EXPECT_TRUE(d->with.termination.delta);
+  EXPECT_EQ(d->with.termination.kind, Termination::Kind::kProbeAll);
+
+  const auto ad = ParseStatement(
+      "WITH ITERATIVE r(a) AS (SELECT 1 ITERATE SELECT a FROM r "
+      "UNTIL ANY DELTA (SELECT a FROM r)) SELECT * FROM r");
+  EXPECT_TRUE(ad->with.termination.delta);
+  EXPECT_EQ(ad->with.termination.kind, Termination::Kind::kProbeAny);
+
+  const auto dc = ParseStatement(
+      "WITH ITERATIVE r(a) AS (SELECT 1 ITERATE SELECT a FROM r "
+      "UNTIL DELTA (SELECT SUM(a) FROM r) < 0.001) SELECT * FROM r");
+  EXPECT_TRUE(dc->with.termination.delta);
+  EXPECT_EQ(dc->with.termination.kind, Termination::Kind::kProbeCompare);
+  EXPECT_EQ(dc->with.termination.comparator, '<');
+  EXPECT_DOUBLE_EQ(dc->with.termination.bound.as_double(), 0.001);
+}
+
+TEST(Parser, RecursiveCteRequiresUnionAll) {
+  EXPECT_THROW(ParseStatement(
+                   "WITH RECURSIVE r(a) AS (SELECT 1 UNION SELECT a FROM r) "
+                   "SELECT * FROM r"),
+               ParseError);
+  EXPECT_THROW(
+      ParseStatement("WITH RECURSIVE r(a) AS (SELECT 1) SELECT * FROM r"),
+      ParseError);
+}
+
+TEST(Parser, NegativeIterationCountRejected) {
+  EXPECT_THROW(ParseStatement(
+                   "WITH ITERATIVE r(a) AS (SELECT 1 ITERATE SELECT a FROM r "
+                   "UNTIL 0 ITERATIONS) SELECT * FROM r"),
+               ParseError);
+}
+
+TEST(Parser, ScriptSplitsStatements) {
+  const auto script = ParseScript(
+      "CREATE TABLE t (a BIGINT); INSERT INTO t VALUES (1);;"
+      "SELECT * FROM t;");
+  ASSERT_EQ(script.size(), 3u);
+  EXPECT_EQ(script[0]->kind, StatementKind::kCreateTable);
+  EXPECT_EQ(script[1]->kind, StatementKind::kInsert);
+  EXPECT_EQ(script[2]->kind, StatementKind::kSelect);
+}
+
+TEST(Parser, GarbageThrows) {
+  EXPECT_THROW(ParseStatement("FLY ME TO THE MOON"), ParseError);
+  EXPECT_THROW(ParseStatement("SELECT FROM"), ParseError);
+  EXPECT_THROW(ParseStatement("SELECT 1 FROM t WHERE"), ParseError);
+}
+
+}  // namespace
+}  // namespace sqloop::sql

@@ -1,0 +1,110 @@
+#include "sql/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace sqloop::sql {
+namespace {
+
+/// Parse → print → parse → print must be a fixed point.
+void ExpectRoundTrip(const std::string& source) {
+  const auto first = ParseStatement(source);
+  const std::string printed = PrintStatement(*first);
+  const auto second = ParseStatement(printed);
+  EXPECT_EQ(printed, PrintStatement(*second)) << "source: " << source;
+}
+
+TEST(Printer, RoundTripSelect) {
+  ExpectRoundTrip("SELECT a, b FROM t WHERE a > 1 GROUP BY a HAVING SUM(b) > 2");
+  ExpectRoundTrip("SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y");
+  ExpectRoundTrip("SELECT src FROM edges UNION SELECT dst FROM edges");
+  ExpectRoundTrip("SELECT a FROM t ORDER BY a DESC LIMIT 3");
+  ExpectRoundTrip("SELECT CASE WHEN a = 1 THEN 0 ELSE 2 END FROM t");
+  ExpectRoundTrip("SELECT COALESCE(a, 0.15), LEAST(a, b) FROM t");
+  ExpectRoundTrip("SELECT COUNT(*), COUNT(DISTINCT a), AVG(b) FROM t");
+}
+
+TEST(Printer, RoundTripDml) {
+  ExpectRoundTrip("INSERT INTO t (a, b) VALUES (1, 2), (3, NULL)");
+  ExpectRoundTrip("INSERT INTO t SELECT a FROM s WHERE a IS NOT NULL");
+  ExpectRoundTrip(
+      "UPDATE r SET d = d + m.v FROM (SELECT i, SUM(v) AS v FROM msg "
+      "GROUP BY i) AS m WHERE r.i = m.i");
+  ExpectRoundTrip("DELETE FROM t WHERE a = 1");
+}
+
+TEST(Printer, RoundTripCtes) {
+  ExpectRoundTrip(
+      "WITH RECURSIVE f(n, pn) AS (VALUES (0, 1) UNION ALL "
+      "SELECT n + pn, n FROM f WHERE n < 1000) SELECT SUM(n) FROM f");
+  ExpectRoundTrip(
+      "WITH ITERATIVE r(a, d) AS (SELECT 1, 0.5 ITERATE "
+      "SELECT a, SUM(d) FROM r GROUP BY a UNTIL 10 ITERATIONS) "
+      "SELECT * FROM r");
+  ExpectRoundTrip(
+      "WITH ITERATIVE r(a, d) AS (SELECT 1, 0.5 ITERATE "
+      "SELECT a, d FROM r UNTIL DELTA (SELECT SUM(d) FROM r) < 0.01) "
+      "SELECT * FROM r");
+  ExpectRoundTrip(
+      "WITH ITERATIVE r(a) AS (SELECT 1 ITERATE SELECT a FROM r "
+      "UNTIL ANY (SELECT a FROM r WHERE a > 3)) SELECT * FROM r");
+}
+
+TEST(Printer, DoubleTypePerDialect) {
+  const auto stmt =
+      ParseStatement("CREATE TABLE t (a BIGINT PRIMARY KEY, b DOUBLE)");
+  const std::string pg = PrintStatement(*stmt, Dialect::kPostgres);
+  const std::string my = PrintStatement(*stmt, Dialect::kMySql);
+  EXPECT_NE(pg.find("DOUBLE PRECISION"), std::string::npos);
+  EXPECT_EQ(my.find("PRECISION"), std::string::npos);
+  EXPECT_NE(my.find("DOUBLE"), std::string::npos);
+}
+
+TEST(Printer, UnloggedTranslatesToEngineOption) {
+  const auto stmt = ParseStatement("CREATE UNLOGGED TABLE t (a BIGINT)");
+  const std::string pg = PrintStatement(*stmt, Dialect::kPostgres);
+  const std::string maria = PrintStatement(*stmt, Dialect::kMariaDb);
+  EXPECT_NE(pg.find("UNLOGGED"), std::string::npos);
+  EXPECT_EQ(maria.find("UNLOGGED"), std::string::npos);
+  EXPECT_NE(maria.find("ENGINE=MyISAM"), std::string::npos);
+}
+
+TEST(Printer, ReservedIdentifiersAreQuotedPerDialect) {
+  const auto order = MakeColumnRef("t", "order");
+  EXPECT_EQ(PrintExpr(*order, Dialect::kPostgres), "t.\"order\"");
+  EXPECT_EQ(PrintExpr(*order, Dialect::kMySql), "t.`order`");
+}
+
+TEST(Printer, StringLiteralEscaping) {
+  const auto lit = MakeLiteral(Value(std::string("it's")));
+  EXPECT_EQ(PrintExpr(*lit), "'it''s'");
+}
+
+TEST(Printer, InfinityLiteralPrints) {
+  const auto stmt = ParseStatement("SELECT Infinity");
+  EXPECT_NE(PrintStatement(*stmt).find("Infinity"), std::string::npos);
+}
+
+TEST(Printer, TerminationForms) {
+  Termination tc;
+  tc.kind = Termination::Kind::kIterations;
+  tc.count = 100;
+  EXPECT_EQ(PrintTermination(tc), "100 ITERATIONS");
+
+  tc.kind = Termination::Kind::kUpdates;
+  tc.count = 0;
+  EXPECT_EQ(PrintTermination(tc), "0 UPDATES");
+
+  tc.kind = Termination::Kind::kProbeCompare;
+  tc.delta = true;
+  tc.comparator = '<';
+  tc.bound = Value(0.001);
+  tc.probe = ParseSelect("SELECT SUM(d) FROM r");
+  const std::string printed = PrintTermination(tc);
+  EXPECT_NE(printed.find("DELTA"), std::string::npos);
+  EXPECT_NE(printed.find("<"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqloop::sql

@@ -1,0 +1,67 @@
+#include "sql/value.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace sqloop {
+namespace {
+
+TEST(Value, NullBehaviour) {
+  const Value null = Value::Null();
+  EXPECT_TRUE(null.is_null());
+  EXPECT_FALSE(null == null);  // SQL: NULL = NULL is not true
+  EXPECT_TRUE(Value::KeyEquals(null, null));
+  EXPECT_EQ(null.ToSqlLiteral(), "NULL");
+}
+
+TEST(Value, NumericCrossTypeComparison) {
+  const Value i(int64_t{3});
+  const Value d(3.0);
+  EXPECT_EQ(Value::Compare(i, d), 0);
+  EXPECT_TRUE(i == d);
+  EXPECT_EQ(i.Hash(), d.Hash());  // required for hash-join key equality
+}
+
+TEST(Value, OrderingAcrossTypes) {
+  EXPECT_LT(Value::Compare(Value::Null(), Value(int64_t{0})), 0);
+  EXPECT_LT(Value::Compare(Value(int64_t{5}), Value(std::string("a"))), 0);
+  EXPECT_LT(Value::Compare(Value(1.5), Value(int64_t{2})), 0);
+  EXPECT_GT(Value::Compare(Value(std::string("b")), Value(std::string("a"))),
+            0);
+}
+
+TEST(Value, InfinityRendersAndCompares) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const Value v(inf);
+  EXPECT_EQ(v.ToString(), "Infinity");
+  EXPECT_GT(Value::Compare(v, Value(1e308)), 0);
+  EXPECT_EQ(Value::Compare(v, Value(inf)), 0);
+}
+
+TEST(Value, TextLiteralQuoting) {
+  EXPECT_EQ(Value(std::string("o'clock")).ToSqlLiteral(), "'o''clock'");
+  EXPECT_EQ(Value(std::string("plain")).ToSqlLiteral(), "'plain'");
+}
+
+TEST(Value, DoubleRoundTripPrecision) {
+  const Value v(0.1 + 0.2);
+  const double parsed = std::stod(v.ToString());
+  EXPECT_DOUBLE_EQ(parsed, 0.1 + 0.2);
+}
+
+TEST(Value, KeyEqualsDistinguishesNullFromZero) {
+  EXPECT_FALSE(Value::KeyEquals(Value::Null(), Value(int64_t{0})));
+  EXPECT_FALSE(Value::KeyEquals(Value(int64_t{0}), Value::Null()));
+}
+
+TEST(Value, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt64), "BIGINT");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDouble), "DOUBLE");
+  EXPECT_STREQ(ValueTypeName(ValueType::kText), "TEXT");
+  EXPECT_STREQ(ValueTypeName(ValueType::kNull), "NULL");
+}
+
+}  // namespace
+}  // namespace sqloop
