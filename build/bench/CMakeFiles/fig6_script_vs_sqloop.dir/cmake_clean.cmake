@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_script_vs_sqloop.dir/fig6_script_vs_sqloop.cpp.o"
+  "CMakeFiles/fig6_script_vs_sqloop.dir/fig6_script_vs_sqloop.cpp.o.d"
+  "fig6_script_vs_sqloop"
+  "fig6_script_vs_sqloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_script_vs_sqloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

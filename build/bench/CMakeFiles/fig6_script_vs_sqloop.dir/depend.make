@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_script_vs_sqloop.
+# This may be replaced when dependencies are built.

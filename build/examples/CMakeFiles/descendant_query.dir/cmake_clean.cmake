@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/descendant_query.dir/descendant_query.cpp.o"
+  "CMakeFiles/descendant_query.dir/descendant_query.cpp.o.d"
+  "descendant_query"
+  "descendant_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/descendant_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_engine.dir/multi_engine.cpp.o"
+  "CMakeFiles/multi_engine.dir/multi_engine.cpp.o.d"
+  "multi_engine"
+  "multi_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

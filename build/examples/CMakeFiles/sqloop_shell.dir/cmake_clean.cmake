@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqloop_shell.dir/sqloop_shell.cpp.o"
+  "CMakeFiles/sqloop_shell.dir/sqloop_shell.cpp.o.d"
+  "sqloop_shell"
+  "sqloop_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqloop_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

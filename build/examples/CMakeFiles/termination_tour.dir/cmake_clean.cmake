@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/termination_tour.dir/termination_tour.cpp.o"
+  "CMakeFiles/termination_tour.dir/termination_tour.cpp.o.d"
+  "termination_tour"
+  "termination_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/termination_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqloop_common.dir/common/strings.cpp.o"
+  "CMakeFiles/sqloop_common.dir/common/strings.cpp.o.d"
+  "CMakeFiles/sqloop_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/sqloop_common.dir/common/thread_pool.cpp.o.d"
+  "libsqloop_common.a"
+  "libsqloop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqloop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

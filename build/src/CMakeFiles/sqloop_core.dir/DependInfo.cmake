@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/CMakeFiles/sqloop_core.dir/core/analysis.cpp.o" "gcc" "src/CMakeFiles/sqloop_core.dir/core/analysis.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/CMakeFiles/sqloop_core.dir/core/parallel.cpp.o" "gcc" "src/CMakeFiles/sqloop_core.dir/core/parallel.cpp.o.d"
+  "/root/repo/src/core/schema_infer.cpp" "src/CMakeFiles/sqloop_core.dir/core/schema_infer.cpp.o" "gcc" "src/CMakeFiles/sqloop_core.dir/core/schema_infer.cpp.o.d"
+  "/root/repo/src/core/script_gen.cpp" "src/CMakeFiles/sqloop_core.dir/core/script_gen.cpp.o" "gcc" "src/CMakeFiles/sqloop_core.dir/core/script_gen.cpp.o.d"
+  "/root/repo/src/core/single_thread.cpp" "src/CMakeFiles/sqloop_core.dir/core/single_thread.cpp.o" "gcc" "src/CMakeFiles/sqloop_core.dir/core/single_thread.cpp.o.d"
+  "/root/repo/src/core/sqloop.cpp" "src/CMakeFiles/sqloop_core.dir/core/sqloop.cpp.o" "gcc" "src/CMakeFiles/sqloop_core.dir/core/sqloop.cpp.o.d"
+  "/root/repo/src/core/termination.cpp" "src/CMakeFiles/sqloop_core.dir/core/termination.cpp.o" "gcc" "src/CMakeFiles/sqloop_core.dir/core/termination.cpp.o.d"
+  "/root/repo/src/core/translator.cpp" "src/CMakeFiles/sqloop_core.dir/core/translator.cpp.o" "gcc" "src/CMakeFiles/sqloop_core.dir/core/translator.cpp.o.d"
+  "/root/repo/src/core/workloads.cpp" "src/CMakeFiles/sqloop_core.dir/core/workloads.cpp.o" "gcc" "src/CMakeFiles/sqloop_core.dir/core/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqloop_dbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqloop_core.dir/core/analysis.cpp.o"
+  "CMakeFiles/sqloop_core.dir/core/analysis.cpp.o.d"
+  "CMakeFiles/sqloop_core.dir/core/parallel.cpp.o"
+  "CMakeFiles/sqloop_core.dir/core/parallel.cpp.o.d"
+  "CMakeFiles/sqloop_core.dir/core/schema_infer.cpp.o"
+  "CMakeFiles/sqloop_core.dir/core/schema_infer.cpp.o.d"
+  "CMakeFiles/sqloop_core.dir/core/script_gen.cpp.o"
+  "CMakeFiles/sqloop_core.dir/core/script_gen.cpp.o.d"
+  "CMakeFiles/sqloop_core.dir/core/single_thread.cpp.o"
+  "CMakeFiles/sqloop_core.dir/core/single_thread.cpp.o.d"
+  "CMakeFiles/sqloop_core.dir/core/sqloop.cpp.o"
+  "CMakeFiles/sqloop_core.dir/core/sqloop.cpp.o.d"
+  "CMakeFiles/sqloop_core.dir/core/termination.cpp.o"
+  "CMakeFiles/sqloop_core.dir/core/termination.cpp.o.d"
+  "CMakeFiles/sqloop_core.dir/core/translator.cpp.o"
+  "CMakeFiles/sqloop_core.dir/core/translator.cpp.o.d"
+  "CMakeFiles/sqloop_core.dir/core/workloads.cpp.o"
+  "CMakeFiles/sqloop_core.dir/core/workloads.cpp.o.d"
+  "libsqloop_core.a"
+  "libsqloop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqloop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

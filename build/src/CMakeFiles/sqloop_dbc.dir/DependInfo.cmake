@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbc/connection.cpp" "src/CMakeFiles/sqloop_dbc.dir/dbc/connection.cpp.o" "gcc" "src/CMakeFiles/sqloop_dbc.dir/dbc/connection.cpp.o.d"
+  "/root/repo/src/dbc/driver.cpp" "src/CMakeFiles/sqloop_dbc.dir/dbc/driver.cpp.o" "gcc" "src/CMakeFiles/sqloop_dbc.dir/dbc/driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqloop_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqloop_dbc.dir/dbc/connection.cpp.o"
+  "CMakeFiles/sqloop_dbc.dir/dbc/connection.cpp.o.d"
+  "CMakeFiles/sqloop_dbc.dir/dbc/driver.cpp.o"
+  "CMakeFiles/sqloop_dbc.dir/dbc/driver.cpp.o.d"
+  "libsqloop_dbc.a"
+  "libsqloop_dbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqloop_dbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

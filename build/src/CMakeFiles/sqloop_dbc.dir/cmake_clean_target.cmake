@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqloop_dbc.a"
+)

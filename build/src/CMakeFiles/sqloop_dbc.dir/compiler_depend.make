@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sqloop_dbc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqloop_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/sqloop_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/sqloop_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/sqloop_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/sqloop_graph.dir/graph/loader.cpp.o"
+  "CMakeFiles/sqloop_graph.dir/graph/loader.cpp.o.d"
+  "CMakeFiles/sqloop_graph.dir/graph/reference.cpp.o"
+  "CMakeFiles/sqloop_graph.dir/graph/reference.cpp.o.d"
+  "libsqloop_graph.a"
+  "libsqloop_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqloop_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

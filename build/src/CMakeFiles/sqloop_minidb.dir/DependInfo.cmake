@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minidb/database.cpp" "src/CMakeFiles/sqloop_minidb.dir/minidb/database.cpp.o" "gcc" "src/CMakeFiles/sqloop_minidb.dir/minidb/database.cpp.o.d"
+  "/root/repo/src/minidb/evaluator.cpp" "src/CMakeFiles/sqloop_minidb.dir/minidb/evaluator.cpp.o" "gcc" "src/CMakeFiles/sqloop_minidb.dir/minidb/evaluator.cpp.o.d"
+  "/root/repo/src/minidb/executor.cpp" "src/CMakeFiles/sqloop_minidb.dir/minidb/executor.cpp.o" "gcc" "src/CMakeFiles/sqloop_minidb.dir/minidb/executor.cpp.o.d"
+  "/root/repo/src/minidb/schema.cpp" "src/CMakeFiles/sqloop_minidb.dir/minidb/schema.cpp.o" "gcc" "src/CMakeFiles/sqloop_minidb.dir/minidb/schema.cpp.o.d"
+  "/root/repo/src/minidb/server.cpp" "src/CMakeFiles/sqloop_minidb.dir/minidb/server.cpp.o" "gcc" "src/CMakeFiles/sqloop_minidb.dir/minidb/server.cpp.o.d"
+  "/root/repo/src/minidb/table.cpp" "src/CMakeFiles/sqloop_minidb.dir/minidb/table.cpp.o" "gcc" "src/CMakeFiles/sqloop_minidb.dir/minidb/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqloop_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

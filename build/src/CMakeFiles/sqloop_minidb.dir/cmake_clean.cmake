@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqloop_minidb.dir/minidb/database.cpp.o"
+  "CMakeFiles/sqloop_minidb.dir/minidb/database.cpp.o.d"
+  "CMakeFiles/sqloop_minidb.dir/minidb/evaluator.cpp.o"
+  "CMakeFiles/sqloop_minidb.dir/minidb/evaluator.cpp.o.d"
+  "CMakeFiles/sqloop_minidb.dir/minidb/executor.cpp.o"
+  "CMakeFiles/sqloop_minidb.dir/minidb/executor.cpp.o.d"
+  "CMakeFiles/sqloop_minidb.dir/minidb/schema.cpp.o"
+  "CMakeFiles/sqloop_minidb.dir/minidb/schema.cpp.o.d"
+  "CMakeFiles/sqloop_minidb.dir/minidb/server.cpp.o"
+  "CMakeFiles/sqloop_minidb.dir/minidb/server.cpp.o.d"
+  "CMakeFiles/sqloop_minidb.dir/minidb/table.cpp.o"
+  "CMakeFiles/sqloop_minidb.dir/minidb/table.cpp.o.d"
+  "libsqloop_minidb.a"
+  "libsqloop_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqloop_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

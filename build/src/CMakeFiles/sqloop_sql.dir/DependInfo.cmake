@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cpp" "src/CMakeFiles/sqloop_sql.dir/sql/ast.cpp.o" "gcc" "src/CMakeFiles/sqloop_sql.dir/sql/ast.cpp.o.d"
+  "/root/repo/src/sql/lexer.cpp" "src/CMakeFiles/sqloop_sql.dir/sql/lexer.cpp.o" "gcc" "src/CMakeFiles/sqloop_sql.dir/sql/lexer.cpp.o.d"
+  "/root/repo/src/sql/parser.cpp" "src/CMakeFiles/sqloop_sql.dir/sql/parser.cpp.o" "gcc" "src/CMakeFiles/sqloop_sql.dir/sql/parser.cpp.o.d"
+  "/root/repo/src/sql/printer.cpp" "src/CMakeFiles/sqloop_sql.dir/sql/printer.cpp.o" "gcc" "src/CMakeFiles/sqloop_sql.dir/sql/printer.cpp.o.d"
+  "/root/repo/src/sql/value.cpp" "src/CMakeFiles/sqloop_sql.dir/sql/value.cpp.o" "gcc" "src/CMakeFiles/sqloop_sql.dir/sql/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqloop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

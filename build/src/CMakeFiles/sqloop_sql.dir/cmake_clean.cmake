@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqloop_sql.dir/sql/ast.cpp.o"
+  "CMakeFiles/sqloop_sql.dir/sql/ast.cpp.o.d"
+  "CMakeFiles/sqloop_sql.dir/sql/lexer.cpp.o"
+  "CMakeFiles/sqloop_sql.dir/sql/lexer.cpp.o.d"
+  "CMakeFiles/sqloop_sql.dir/sql/parser.cpp.o"
+  "CMakeFiles/sqloop_sql.dir/sql/parser.cpp.o.d"
+  "CMakeFiles/sqloop_sql.dir/sql/printer.cpp.o"
+  "CMakeFiles/sqloop_sql.dir/sql/printer.cpp.o.d"
+  "CMakeFiles/sqloop_sql.dir/sql/value.cpp.o"
+  "CMakeFiles/sqloop_sql.dir/sql/value.cpp.o.d"
+  "libsqloop_sql.a"
+  "libsqloop_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqloop_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqloop_sql.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analysis_test.cpp" "tests/CMakeFiles/core_test.dir/core/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/analysis_test.cpp.o.d"
+  "/root/repo/tests/core/executor_equivalence_test.cpp" "tests/CMakeFiles/core_test.dir/core/executor_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/executor_equivalence_test.cpp.o.d"
+  "/root/repo/tests/core/failure_test.cpp" "tests/CMakeFiles/core_test.dir/core/failure_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/failure_test.cpp.o.d"
+  "/root/repo/tests/core/parallel_detail_test.cpp" "tests/CMakeFiles/core_test.dir/core/parallel_detail_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/parallel_detail_test.cpp.o.d"
+  "/root/repo/tests/core/property_sweep_test.cpp" "tests/CMakeFiles/core_test.dir/core/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/core/script_gen_test.cpp" "tests/CMakeFiles/core_test.dir/core/script_gen_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/script_gen_test.cpp.o.d"
+  "/root/repo/tests/core/sqloop_facade_test.cpp" "tests/CMakeFiles/core_test.dir/core/sqloop_facade_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sqloop_facade_test.cpp.o.d"
+  "/root/repo/tests/core/termination_test.cpp" "tests/CMakeFiles/core_test.dir/core/termination_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/termination_test.cpp.o.d"
+  "/root/repo/tests/core/translator_test.cpp" "tests/CMakeFiles/core_test.dir/core/translator_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/translator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqloop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_dbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/analysis_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/analysis_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/executor_equivalence_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/executor_equivalence_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/failure_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/failure_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/parallel_detail_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/parallel_detail_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/property_sweep_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/property_sweep_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/script_gen_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/script_gen_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/sqloop_facade_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/sqloop_facade_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/termination_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/termination_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/translator_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/translator_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minidb/concurrency_test.cpp" "tests/CMakeFiles/minidb_test.dir/minidb/concurrency_test.cpp.o" "gcc" "tests/CMakeFiles/minidb_test.dir/minidb/concurrency_test.cpp.o.d"
+  "/root/repo/tests/minidb/dialect_test.cpp" "tests/CMakeFiles/minidb_test.dir/minidb/dialect_test.cpp.o" "gcc" "tests/CMakeFiles/minidb_test.dir/minidb/dialect_test.cpp.o.d"
+  "/root/repo/tests/minidb/evaluator_test.cpp" "tests/CMakeFiles/minidb_test.dir/minidb/evaluator_test.cpp.o" "gcc" "tests/CMakeFiles/minidb_test.dir/minidb/evaluator_test.cpp.o.d"
+  "/root/repo/tests/minidb/executor_cte_test.cpp" "tests/CMakeFiles/minidb_test.dir/minidb/executor_cte_test.cpp.o" "gcc" "tests/CMakeFiles/minidb_test.dir/minidb/executor_cte_test.cpp.o.d"
+  "/root/repo/tests/minidb/executor_dml_test.cpp" "tests/CMakeFiles/minidb_test.dir/minidb/executor_dml_test.cpp.o" "gcc" "tests/CMakeFiles/minidb_test.dir/minidb/executor_dml_test.cpp.o.d"
+  "/root/repo/tests/minidb/executor_select_test.cpp" "tests/CMakeFiles/minidb_test.dir/minidb/executor_select_test.cpp.o" "gcc" "tests/CMakeFiles/minidb_test.dir/minidb/executor_select_test.cpp.o.d"
+  "/root/repo/tests/minidb/pushdown_test.cpp" "tests/CMakeFiles/minidb_test.dir/minidb/pushdown_test.cpp.o" "gcc" "tests/CMakeFiles/minidb_test.dir/minidb/pushdown_test.cpp.o.d"
+  "/root/repo/tests/minidb/table_test.cpp" "tests/CMakeFiles/minidb_test.dir/minidb/table_test.cpp.o" "gcc" "tests/CMakeFiles/minidb_test.dir/minidb/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sqloop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_dbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sqloop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

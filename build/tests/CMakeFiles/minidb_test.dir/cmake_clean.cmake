@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_test.dir/minidb/concurrency_test.cpp.o"
+  "CMakeFiles/minidb_test.dir/minidb/concurrency_test.cpp.o.d"
+  "CMakeFiles/minidb_test.dir/minidb/dialect_test.cpp.o"
+  "CMakeFiles/minidb_test.dir/minidb/dialect_test.cpp.o.d"
+  "CMakeFiles/minidb_test.dir/minidb/evaluator_test.cpp.o"
+  "CMakeFiles/minidb_test.dir/minidb/evaluator_test.cpp.o.d"
+  "CMakeFiles/minidb_test.dir/minidb/executor_cte_test.cpp.o"
+  "CMakeFiles/minidb_test.dir/minidb/executor_cte_test.cpp.o.d"
+  "CMakeFiles/minidb_test.dir/minidb/executor_dml_test.cpp.o"
+  "CMakeFiles/minidb_test.dir/minidb/executor_dml_test.cpp.o.d"
+  "CMakeFiles/minidb_test.dir/minidb/executor_select_test.cpp.o"
+  "CMakeFiles/minidb_test.dir/minidb/executor_select_test.cpp.o.d"
+  "CMakeFiles/minidb_test.dir/minidb/pushdown_test.cpp.o"
+  "CMakeFiles/minidb_test.dir/minidb/pushdown_test.cpp.o.d"
+  "CMakeFiles/minidb_test.dir/minidb/table_test.cpp.o"
+  "CMakeFiles/minidb_test.dir/minidb/table_test.cpp.o.d"
+  "minidb_test"
+  "minidb_test.pdb"
+  "minidb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
