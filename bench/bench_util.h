@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -19,6 +20,7 @@
 #include "graph/graph.h"
 #include "graph/loader.h"
 #include "minidb/server.h"
+#include "telemetry/exporters.h"
 
 namespace sqloop::bench {
 
@@ -102,15 +104,40 @@ inline core::SqloopOptions ModeOptions(core::ExecutionMode mode, int threads,
   return options;
 }
 
+/// Exports a run's telemetry when SQLOOP_BENCH_TELEMETRY asks for it:
+///   summary       — human-readable per-round table on stderr
+///   jsonl:<path>  — append the JSONL event stream to <path>
+///   prom:<path>   — overwrite <path> with a Prometheus text snapshot
+/// Unset (the default) costs nothing beyond one getenv per run.
+inline void MaybeExportTelemetry(const core::RunStats& stats,
+                                 const std::string& label) {
+  const char* spec = std::getenv("SQLOOP_BENCH_TELEMETRY");
+  if (spec == nullptr || stats.recorder == nullptr) return;
+  const std::string value(spec);
+  if (value == "summary") {
+    std::cerr << "-- telemetry: " << label << "\n"
+              << telemetry::Summary(*stats.recorder);
+  } else if (value.starts_with("jsonl:")) {
+    std::ofstream out(value.substr(6), std::ios::app);
+    out << telemetry::JsonLines(*stats.recorder);
+  } else if (value.starts_with("prom:")) {
+    std::ofstream out(value.substr(5));
+    out << telemetry::PrometheusSnapshot(*stats.recorder);
+  } else {
+    std::cerr << "SQLOOP_BENCH_TELEMETRY: unknown spec '" << value << "'\n";
+  }
+}
+
 inline TimedRun RunQuery(const std::string& url,
                          const core::SqloopOptions& options,
                          const std::string& query) {
-  core::SqLoop loop(url, options);
+  core::SqLoop loop(url);
   Stopwatch watch;
   TimedRun run;
-  run.result = loop.Execute(query);
+  run.result = loop.Execute(query, options);
   run.seconds = watch.ElapsedSeconds();
   run.stats = loop.last_run();
+  MaybeExportTelemetry(run.stats, core::ExecutionModeName(options.mode));
   return run;
 }
 
@@ -133,8 +160,8 @@ inline std::vector<ConvergencePoint> RunWithConvergenceSampling(
   Stopwatch watch;
 
   std::thread runner([&] {
-    core::SqLoop loop(url, options);
-    loop.Execute(query);
+    core::SqLoop loop(url);
+    loop.Execute(query, options);
     done.store(true);
   });
 

@@ -1,5 +1,6 @@
 // PageRank over a synthetic web graph — the paper's Example 2, run in all
-// four execution modes with per-mode statistics.
+// four execution modes with per-mode statistics and a per-iteration
+// compute/gather breakdown from the telemetry recorder.
 //
 //   ./build/examples/pagerank [node_count] [iterations]
 #include <cstdlib>
@@ -61,6 +62,16 @@ int main(int argc, char** argv) {
               << stats.seconds << "s  compute=" << stats.compute_tasks
               << " gather=" << stats.gather_tasks
               << " messages=" << stats.message_tables << "\n";
+    for (const auto& round : stats.per_iteration()) {
+      std::cout << "    round " << std::right << std::setw(2) << round.round
+                << ": updates=" << std::left << std::setw(8) << round.updates
+                << " compute=" << std::setprecision(4) << round.compute_seconds
+                << "s gather=" << round.gather_seconds << "s";
+      if (round.barrier_wait_seconds > 0) {
+        std::cout << " barrier=" << round.barrier_wait_seconds << "s";
+      }
+      std::cout << "\n";
+    }
   }
   return 0;
 }

@@ -15,7 +15,9 @@
 //   \priority <sql> | off       AsyncP priority query ($PARTITION token)
 //   \asc | \desc                priority ordering
 //   \timing on|off              print wall-clock per statement
+//   \trace on|off               live per-round trace while a query runs
 //   \stats                      statistics of the last iterative run
+//                               (including the per-round telemetry table)
 //   \tables                     list tables in the database
 //   \load web N DEG SEED        generate+load a web graph into `edges`
 //   \load ego C S P SEED        ... ego-net graph
@@ -31,6 +33,7 @@
 #include "graph/generators.h"
 #include "graph/loader.h"
 #include "minidb/server.h"
+#include "telemetry/exporters.h"
 
 namespace {
 
@@ -79,13 +82,34 @@ void PrintStats(const core::RunStats& stats) {
   if (!stats.fallback_reason.empty()) {
     std::cout << "fallback: " << stats.fallback_reason << "\n";
   }
+  if (stats.recorder) {
+    std::cout << telemetry::Summary(*stats.recorder);
+  }
 }
+
+/// Streams round progress to the terminal while a query executes.
+class TraceObserver : public core::ExecutionObserver {
+ public:
+  void OnRoundEnd(const telemetry::IterationStats& round) override {
+    std::cout << "  round " << round.round << ": updates=" << round.updates
+              << " compute=" << round.compute_tasks << "/"
+              << round.compute_seconds << "s gather=" << round.gather_tasks
+              << "/" << round.gather_seconds << "s";
+    if (round.partitions_skipped > 0) {
+      std::cout << " skipped=" << round.partitions_skipped;
+    }
+    std::cout << " wall=" << round.seconds << "s\n";
+  }
+  void OnFallback(const std::string& reason) override {
+    std::cout << "  fallback: " << reason << "\n";
+  }
+};
 
 class Shell {
  public:
   explicit Shell(const std::string& url) : loop_(url) {
-    loop_.mutable_options().partitions = 16;
-    loop_.mutable_options().threads = 4;
+    options_.partitions = 16;
+    options_.threads = 4;
   }
 
   /// Returns false when the shell should exit.
@@ -93,7 +117,9 @@ class Shell {
     std::istringstream in(line);
     std::string cmd;
     in >> cmd;
-    auto& options = loop_.mutable_options();
+    // The shell keeps its own options and passes them per call — the
+    // SqLoop instance defaults are never mutated.
+    auto& options = options_;
     if (cmd == "\\q" || cmd == "\\quit") return false;
     if (cmd == "\\help") {
       std::cout << "statements end with ';' — \\q quits; see the header "
@@ -141,6 +167,12 @@ class Shell {
       in >> flag;
       timing_ = flag != "off";
       std::cout << "timing " << (timing_ ? "on" : "off") << "\n";
+    } else if (cmd == "\\trace") {
+      std::string flag;
+      in >> flag;
+      const bool on = flag != "off";
+      loop_.set_observer(on ? &tracer_ : nullptr);
+      std::cout << "trace " << (on ? "on" : "off") << "\n";
     } else if (cmd == "\\stats") {
       PrintStats(loop_.last_run());
     } else if (cmd == "\\tables") {
@@ -158,7 +190,7 @@ class Shell {
   void RunStatement(const std::string& sql) {
     try {
       const Stopwatch watch;
-      const auto result = loop_.Execute(sql);
+      const auto result = loop_.Execute(sql, options_);
       PrintResult(result);
       if (timing_) {
         std::cout << "Time: " << watch.ElapsedMillis() << " ms\n";
@@ -203,6 +235,8 @@ class Shell {
   }
 
   core::SqLoop loop_;
+  core::SqloopOptions options_;
+  TraceObserver tracer_;
   bool timing_ = true;
 };
 

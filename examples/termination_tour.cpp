@@ -54,11 +54,14 @@ int main() {
        "WHERE n.bal - o.bal < 5)"},
   };
 
+  // `1 UPDATES` never fires for this always-changing query; cap safely.
+  // Passed per call, so the loop instance keeps its pristine defaults.
+  auto options = loop.options();
+  options.max_iterations_guard = 400;
+
   for (const auto& c : cases) {
-    // `1 UPDATES` never fires for this always-changing query; cap safely.
-    loop.mutable_options().max_iterations_guard = 400;
     try {
-      const auto result = loop.Execute(GrowthCte(c.until));
+      const auto result = loop.Execute(GrowthCte(c.until), options);
       std::cout << c.label << "\n  -> stopped after "
                 << loop.last_run().iterations << " iterations, max balance "
                 << result.rows[0][0].ToString() << "\n";

@@ -1,0 +1,51 @@
+// The observer half of the execution API: callers register an
+// ExecutionObserver on a SqLoop instance and receive round-boundary and
+// task-completion callbacks during iterative/recursive executions, instead
+// of polling the database or diffing RunStats after the fact.
+#pragma once
+
+#include <string>
+
+#include "core/options.h"
+#include "telemetry/recorder.h"
+
+namespace sqloop::core {
+
+/// Callbacks fired while an iterative or emulated-recursive CTE executes.
+/// OnRoundStart/OnRoundEnd/OnFallback arrive on the thread that called
+/// SqLoop::Execute. OnTaskComplete arrives on worker threads, possibly
+/// concurrently — implementations must be thread-safe — and only fires in
+/// telemetry-enabled builds (the default; see DESIGN.md "Observability").
+/// Callbacks must not re-enter the SqLoop instance that is executing.
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+
+  /// A new round is about to run (1-based).
+  virtual void OnRoundStart(int64_t round) { (void)round; }
+
+  /// A round finished; `round` carries its per-round statistics.
+  virtual void OnRoundEnd(const telemetry::IterationStats& round) {
+    (void)round;
+  }
+
+  /// One Compute/Gather/priority task (or a master-side setup/final span)
+  /// completed.
+  virtual void OnTaskComplete(const telemetry::TaskSpan& span) { (void)span; }
+
+  /// The parallel engine declined the query and fell back to the
+  /// single-threaded loop.
+  virtual void OnFallback(const std::string& reason) { (void)reason; }
+};
+
+/// Everything an execution strategy needs besides the query itself: the
+/// per-call options, the stats sink, and the optional telemetry recorder /
+/// observer. Bundled so runner signatures survive future additions.
+struct ExecutionContext {
+  const SqloopOptions& options;
+  RunStats& stats;
+  telemetry::Recorder* recorder = nullptr;
+  ExecutionObserver* observer = nullptr;
+};
+
+}  // namespace sqloop::core

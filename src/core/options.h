@@ -1,9 +1,14 @@
 // User-facing knobs and run statistics for the SQLoop middleware.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
+
+#include "telemetry/recorder.h"
 
 namespace sqloop::core {
 
@@ -48,15 +53,28 @@ struct SqloopOptions {
   /// Keep the result view/partitions after the query (benches sample them).
   bool keep_result_tables = false;
 
+  /// Worker threads actually opened: the explicit `threads` (or the paper's
+  /// half-the-CPUs default), clamped to the partition count — with fewer
+  /// partitions than threads the extra workers could never be scheduled and
+  /// would only open idle connections.
   int ResolveThreads() const {
-    if (threads > 0) return threads;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw >= 2 ? static_cast<int>(hw / 2) : 1;
+    int resolved = threads;
+    if (resolved <= 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      resolved = hw >= 2 ? static_cast<int>(hw / 2) : 1;
+    }
+    return std::max(1, std::min(resolved, std::max(partitions, 1)));
   }
 };
 
 /// What actually happened during the last Execute() — used by tests,
 /// benches, and the EXPERIMENTS.md tables.
+///
+/// The flat totals below are aggregated over the whole run; the per-round
+/// breakdown lives in the telemetry recorder the run wrote to, and
+/// `per_iteration()` exposes it (one entry per executed round). RunStats is
+/// a cheap value type: copying it shares the (immutable-after-run)
+/// recorder.
 struct RunStats {
   ExecutionMode mode_used = ExecutionMode::kSingleThread;
   bool parallelized = false;
@@ -68,6 +86,18 @@ struct RunStats {
   uint64_t message_tables = 0;
   uint64_t skipped_tasks = 0;   // AsyncP partitions skipped as unproductive
   double seconds = 0;
+
+  /// Telemetry of the run: per-round stats, task spans, and the counters
+  /// attributed by dbc/minidb. Null until an iterative/recursive execution
+  /// has run.
+  std::shared_ptr<telemetry::Recorder> recorder;
+
+  /// One entry per executed round, in order. Empty when no recorder was
+  /// attached. Each field sums across rounds to the matching flat total.
+  std::vector<telemetry::IterationStats> per_iteration() const {
+    return recorder ? recorder->IterationsSnapshot()
+                    : std::vector<telemetry::IterationStats>{};
+  }
 };
 
 }  // namespace sqloop::core

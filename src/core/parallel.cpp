@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "dbc/driver.h"
 #include "minidb/schema.h"
+#include "telemetry/hooks.h"
 
 namespace sqloop::core {
 namespace {
@@ -82,17 +83,19 @@ ParallelRunner::ParallelRunner(std::string url, dbc::Connection& master,
                                const sql::WithClause& with,
                                const CteAnalysis& analysis,
                                std::vector<sql::ColumnDef> schema,
-                               const SqloopOptions& options, RunStats& stats)
+                               const ExecutionContext& ctx)
     : url_(std::move(url)),
       master_(master),
       with_(with),
       analysis_(analysis),
-      options_(options),
-      stats_(stats),
+      options_(ctx.options),
+      stats_(ctx.stats),
+      recorder_(ctx.recorder),
+      observer_(ctx.observer),
       translator_(Translator::For(master)),
       schema_(std::move(schema)),
       checker_(with.termination, translator_, analysis.cte_name),
-      partitions_(static_cast<size_t>(std::max(options.partitions, 1))),
+      partitions_(static_cast<size_t>(std::max(ctx.options.partitions, 1))),
       base_(analysis.cte_name) {
   consumed_.assign(partitions_, 0);
   priorities_.assign(partitions_, std::nullopt);
@@ -495,7 +498,87 @@ uint64_t ParallelRunner::RunGather(size_t partition, dbc::Connection& conn) {
 
   const uint64_t updates = conn.ExecuteUpdate(sql);
   MarkConsumed(partition, upto);
+  messages_consumed_.fetch_add(unread.size());
   return updates;
+}
+
+uint64_t ParallelRunner::TimedCompute(size_t partition, dbc::Connection& conn) {
+  const double start = run_watch_.ElapsedSeconds();
+  const uint64_t updates = RunCompute(partition, conn);
+  const double duration = run_watch_.ElapsedSeconds() - start;
+  compute_ns_.fetch_add(static_cast<uint64_t>(duration * 1e9));
+  EmitSpan(telemetry::SpanKind::kCompute, static_cast<int64_t>(partition),
+           start, duration, updates);
+  return updates;
+}
+
+uint64_t ParallelRunner::TimedGather(size_t partition, dbc::Connection& conn) {
+  const double start = run_watch_.ElapsedSeconds();
+  const uint64_t updates = RunGather(partition, conn);
+  const double duration = run_watch_.ElapsedSeconds() - start;
+  gather_ns_.fetch_add(static_cast<uint64_t>(duration * 1e9));
+  EmitSpan(telemetry::SpanKind::kGather, static_cast<int64_t>(partition),
+           start, duration, updates);
+  return updates;
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+void ParallelRunner::EmitSpan(telemetry::SpanKind kind, int64_t partition,
+                              double start, double duration,
+                              uint64_t updates) {
+#if SQLOOP_TELEMETRY_ENABLED
+  if (recorder_ == nullptr && observer_ == nullptr) return;
+  telemetry::TaskSpan span;
+  span.kind = kind;
+  span.round = current_round_.load(std::memory_order_relaxed);
+  span.partition = partition;
+  span.thread_id = telemetry::Recorder::ThisThreadId();
+  span.start_seconds = start;
+  span.duration_seconds = duration;
+  span.updates = updates;
+  if (recorder_ != nullptr) recorder_->RecordSpan(span);
+  if (observer_ != nullptr) observer_->OnTaskComplete(span);
+#else
+  (void)kind;
+  (void)partition;
+  (void)start;
+  (void)duration;
+  (void)updates;
+#endif
+}
+
+void ParallelRunner::FinishRound(int64_t round, uint64_t updates,
+                                 double round_start, double barrier_wait) {
+  telemetry::IterationStats it;
+  it.round = round;
+  it.updates = updates;
+  const uint64_t compute_tasks = compute_tasks_.load();
+  const uint64_t gather_tasks = gather_tasks_.load();
+  const uint64_t produced = message_count_.load();
+  const uint64_t consumed = messages_consumed_.load();
+  const uint64_t compute_ns = compute_ns_.load();
+  const uint64_t gather_ns = gather_ns_.load();
+  it.compute_tasks = compute_tasks - prev_compute_tasks_;
+  it.gather_tasks = gather_tasks - prev_gather_tasks_;
+  it.compute_seconds = static_cast<double>(compute_ns - prev_compute_ns_) * 1e-9;
+  it.gather_seconds = static_cast<double>(gather_ns - prev_gather_ns_) * 1e-9;
+  it.barrier_wait_seconds = barrier_wait;
+  it.messages_produced = produced - prev_messages_produced_;
+  it.messages_consumed = consumed - prev_messages_consumed_;
+  it.partitions_skipped = stats_.skipped_tasks - prev_skipped_;
+  it.seconds = run_watch_.ElapsedSeconds() - round_start;
+  prev_compute_tasks_ = compute_tasks;
+  prev_gather_tasks_ = gather_tasks;
+  prev_messages_produced_ = produced;
+  prev_messages_consumed_ = consumed;
+  prev_compute_ns_ = compute_ns;
+  prev_gather_ns_ = gather_ns;
+  prev_skipped_ = stats_.skipped_tasks;
+  if (recorder_ != nullptr) recorder_->RecordIteration(it);
+  if (observer_ != nullptr) observer_->OnRoundEnd(it);
 }
 
 // ---------------------------------------------------------------------------
@@ -566,6 +649,7 @@ void ParallelRunner::DropFullyConsumedMessages() {
 
 void ParallelRunner::RefreshPriority(size_t partition, dbc::Connection& conn) {
   if (options_.priority_query.empty()) return;
+  const double start = run_watch_.ElapsedSeconds();
   const std::string sql = ReplaceAll(options_.priority_query, "$PARTITION",
                                      PartitionTable(partition));
   std::optional<double> priority;
@@ -575,9 +659,14 @@ void ParallelRunner::RefreshPriority(size_t partition, dbc::Connection& conn) {
     const double v = result.rows[0][0].NumericAsDouble();
     if (std::isfinite(v)) priority = v;
   }
-  const std::scoped_lock lock(priority_mutex_);
-  priorities_[partition] = priority;
-  priority_known_[partition] = true;
+  {
+    const std::scoped_lock lock(priority_mutex_);
+    priorities_[partition] = priority;
+    priority_known_[partition] = true;
+  }
+  SQLOOP_TELEMETRY(EmitSpan(telemetry::SpanKind::kPriority,
+                            static_cast<int64_t>(partition), start,
+                            run_watch_.ElapsedSeconds() - start, 0););
 }
 
 std::vector<size_t> ParallelRunner::PartitionOrderForRound() {
@@ -660,6 +749,8 @@ void ParallelRunner::RunRounds() {
   ThreadPool pool(static_cast<size_t>(threads), [&](size_t index) {
     try {
       worker_conns[index] = dbc::DriverManager::GetConnection(url_);
+      // Worker statements count toward the same run as the master's.
+      worker_conns[index]->set_recorder(recorder_);
     } catch (...) {
       const std::scoped_lock lock(failure_mutex_);
       if (!failure_) failure_ = std::current_exception();
@@ -703,6 +794,10 @@ void ParallelRunner::RunRounds() {
   size_t in_flight = 0;
 
   for (int64_t round = 1;; ++round) {
+    current_round_.store(round, std::memory_order_relaxed);
+    if (observer_ != nullptr) observer_->OnRoundStart(round);
+    const double round_start = run_watch_.ElapsedSeconds();
+    double barrier_wait = 0;
     if (checker_.needs_delta_snapshot()) {
       for (const auto& sql : checker_.SnapshotSql(schema_)) {
         master_.Execute(sql);
@@ -710,29 +805,46 @@ void ParallelRunner::RunRounds() {
     }
     round_updates_.store(0);
 
+    // Aggregate worker idle across one barriered phase: the pool has
+    // `threads` workers for `wall` seconds; whatever they did not spend
+    // inside tasks was spent waiting at the barrier.
+    const auto barrier_phase = [&](auto submit_all) {
+      const double phase_start = run_watch_.ElapsedSeconds();
+      const uint64_t busy_before = compute_ns_.load() + gather_ns_.load();
+      submit_all();
+      pool.WaitIdle();
+      throw_if_failed();
+      const double wall = run_watch_.ElapsedSeconds() - phase_start;
+      const double busy =
+          static_cast<double>(compute_ns_.load() + gather_ns_.load() -
+                              busy_before) *
+          1e-9;
+      barrier_wait += std::max(0.0, wall * threads - busy);
+    };
+
     if (options_.mode == ExecutionMode::kSync) {
       // Two-phase with explicit barriers (paper §V-E, Fig. 3 top).
-      for (size_t k = 0; k < partitions_; ++k) {
-        pool.Submit(guarded([this, k](dbc::Connection& conn) {
-          return RunCompute(k, conn);
-        }));
-      }
-      pool.WaitIdle();
-      throw_if_failed();
-      for (size_t k = 0; k < partitions_; ++k) {
-        pool.Submit(guarded([this, k](dbc::Connection& conn) {
-          return RunGather(k, conn);
-        }));
-      }
-      pool.WaitIdle();
-      throw_if_failed();
+      barrier_phase([&] {
+        for (size_t k = 0; k < partitions_; ++k) {
+          pool.Submit(guarded([this, k](dbc::Connection& conn) {
+            return TimedCompute(k, conn);
+          }));
+        }
+      });
+      barrier_phase([&] {
+        for (size_t k = 0; k < partitions_; ++k) {
+          pool.Submit(guarded([this, k](dbc::Connection& conn) {
+            return TimedGather(k, conn);
+          }));
+        }
+      });
     } else if (!continuous_priority) {
       // Async: Gather then Compute per partition, no barrier between
       // partitions (paper §V-E, Fig. 3 bottom).
       for (const size_t k : PartitionOrderForRound()) {
         pool.Submit(guarded([this, k](dbc::Connection& conn) {
-          uint64_t updates = RunGather(k, conn);
-          updates += RunCompute(k, conn);
+          uint64_t updates = TimedGather(k, conn);
+          updates += TimedCompute(k, conn);
           if (options_.mode == ExecutionMode::kAsyncPriority) {
             RefreshPriority(k, conn);
           }
@@ -804,8 +916,8 @@ void ParallelRunner::RunRounds() {
         pool.Submit([this, k, guarded, &sched_mutex, &sched_cv, &running,
                      &in_flight](size_t worker) {
           guarded([this, k](dbc::Connection& conn) {
-            uint64_t updates = RunGather(k, conn);
-            updates += RunCompute(k, conn);
+            uint64_t updates = TimedGather(k, conn);
+            updates += TimedCompute(k, conn);
             // An unchanged partition keeps its previous priority; only
             // re-measure when the pair actually moved data.
             if (updates > 0) {
@@ -846,6 +958,7 @@ void ParallelRunner::RunRounds() {
         // stop either way — further windows would be identical no-ops.
         DropFullyConsumedMessages();
         stats_.iterations = round;
+        FinishRound(round, 0, round_start, barrier_wait);
         checker_.Satisfied(master_, round, 0);
         break;
       }
@@ -855,6 +968,7 @@ void ParallelRunner::RunRounds() {
     stats_.iterations = round;
     const uint64_t updates = round_updates_.load();
     stats_.total_updates += updates;
+    FinishRound(round, updates, round_start, barrier_wait);
     // A zero-update window is genuine quiescence: the fair tie-breaking
     // above guarantees every pending message is consumed within a window,
     // so anything still unread is an idempotent re-send.
@@ -897,15 +1011,21 @@ void ParallelRunner::Cleanup() {
 dbc::ResultSet ParallelRunner::Run() {
   const Stopwatch watch;
   try {
+    const double setup_start = run_watch_.ElapsedSeconds();
     DropLeftovers();
     CreatePartitions();
     CreateUnionView();
     MaterializeConstantJoins();
     BuildTaskSql();
+    SQLOOP_TELEMETRY(EmitSpan(telemetry::SpanKind::kSetup, -1, setup_start,
+                              run_watch_.ElapsedSeconds() - setup_start, 0););
     RunRounds();
 
+    const double final_start = run_watch_.ElapsedSeconds();
     dbc::ResultSet result =
         master_.ExecuteQuery(translator_.Render(*with_.final_query));
+    SQLOOP_TELEMETRY(EmitSpan(telemetry::SpanKind::kFinal, -1, final_start,
+                              run_watch_.ElapsedSeconds() - final_start, 0););
 
     stats_.mode_used = options_.mode;
     stats_.parallelized = true;

@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "core/analysis.h"
+#include "core/observer.h"
 #include "core/options.h"
 #include "core/termination.h"
 #include "core/translator.h"
@@ -24,11 +26,13 @@ class ParallelRunner {
  public:
   /// `master` drives DDL, termination checks, and the final query; worker
   /// connections are opened against `url` (one per thread, §V-B). `schema`
-  /// is the inferred CTE schema (key first, already widened).
+  /// is the inferred CTE schema (key first, already widened). `ctx` bundles
+  /// the per-call options with the stats/telemetry sinks; all referenced
+  /// objects must outlive the runner.
   ParallelRunner(std::string url, dbc::Connection& master,
                  const sql::WithClause& with, const CteAnalysis& analysis,
                  std::vector<sql::ColumnDef> schema,
-                 const SqloopOptions& options, RunStats& stats);
+                 const ExecutionContext& ctx);
 
   dbc::ResultSet Run();
 
@@ -44,6 +48,20 @@ class ParallelRunner {
   // --- tasks (§V-C) -----------------------------------------------------
   uint64_t RunCompute(size_t partition, dbc::Connection& conn);
   uint64_t RunGather(size_t partition, dbc::Connection& conn);
+  /// Task wrappers: time the task into the per-round accumulators and emit
+  /// a TaskSpan (telemetry-enabled builds only).
+  uint64_t TimedCompute(size_t partition, dbc::Connection& conn);
+  uint64_t TimedGather(size_t partition, dbc::Connection& conn);
+
+  // --- telemetry ----------------------------------------------------------
+  /// Records one attributed unit of work; no-op without recorder/observer.
+  void EmitSpan(telemetry::SpanKind kind, int64_t partition, double start,
+                double duration, uint64_t updates);
+  /// Closes the round's accounting window: turns the accumulated task
+  /// counters into an IterationStats delta, records it, and fires the
+  /// observer. Runs on the master thread while the pool is idle.
+  void FinishRound(int64_t round, uint64_t updates, double round_start,
+                   double barrier_wait);
 
   // --- message registry (the paper's "global data structure") ------------
   // `targets` lists the partitions the table's rows belong to (empty =
@@ -74,6 +92,9 @@ class ParallelRunner {
   const CteAnalysis& analysis_;
   const SqloopOptions& options_;
   RunStats& stats_;
+  telemetry::Recorder* const recorder_;  // may be null
+  ExecutionObserver* const observer_;    // may be null
+  const Stopwatch run_watch_;            // span times are offsets from this
   Translator translator_;
   std::vector<sql::ColumnDef> schema_;
   std::vector<sql::ColumnDef> message_schema_;
@@ -102,11 +123,24 @@ class ParallelRunner {
   std::vector<std::optional<double>> priorities_;
   std::vector<bool> priority_known_;
 
-  // Per-round accounting.
+  // Per-round accounting. The `_ns` accumulators hold summed task wall time
+  // in nanoseconds; FinishRound() snapshots running totals into `prev_` to
+  // produce per-round deltas.
   std::atomic<uint64_t> round_updates_{0};
   std::atomic<uint64_t> compute_tasks_{0};
   std::atomic<uint64_t> gather_tasks_{0};
   std::atomic<uint64_t> message_count_{0};
+  std::atomic<uint64_t> messages_consumed_{0};
+  std::atomic<uint64_t> compute_ns_{0};
+  std::atomic<uint64_t> gather_ns_{0};
+  std::atomic<int64_t> current_round_{0};  // read by workers for span.round
+  uint64_t prev_compute_tasks_ = 0;
+  uint64_t prev_gather_tasks_ = 0;
+  uint64_t prev_messages_produced_ = 0;
+  uint64_t prev_messages_consumed_ = 0;
+  uint64_t prev_compute_ns_ = 0;
+  uint64_t prev_gather_ns_ = 0;
+  uint64_t prev_skipped_ = 0;
 
   // First task failure, rethrown on the master thread.
   std::mutex failure_mutex_;

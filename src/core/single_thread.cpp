@@ -6,6 +6,7 @@
 #include "core/termination.h"
 #include "core/translator.h"
 #include "minidb/schema.h"
+#include "telemetry/hooks.h"
 
 namespace sqloop::core {
 namespace {
@@ -35,12 +36,41 @@ std::string BuildMergeSql(const Translator& translator,
   return translator.Render(update);
 }
 
+/// Records one round of a single-threaded loop: the whole body counts as
+/// one Compute-side task, plus a span so traces stay uniform across modes.
+void RecordRound(const ExecutionContext& ctx, const Stopwatch& run_watch,
+                 int64_t round, uint64_t updates, double body_start,
+                 telemetry::SpanKind kind) {
+  telemetry::IterationStats it;
+  it.round = round;
+  it.updates = updates;
+  it.compute_tasks = 1;
+  it.seconds = run_watch.ElapsedSeconds() - body_start;
+  it.compute_seconds = it.seconds;
+  if (ctx.recorder != nullptr) ctx.recorder->RecordIteration(it);
+  SQLOOP_TELEMETRY({
+    if (ctx.recorder != nullptr || ctx.observer != nullptr) {
+      telemetry::TaskSpan span;
+      span.kind = kind;
+      span.round = round;
+      span.thread_id = telemetry::Recorder::ThisThreadId();
+      span.start_seconds = body_start;
+      span.duration_seconds = it.seconds;
+      span.updates = updates;
+      if (ctx.recorder != nullptr) ctx.recorder->RecordSpan(span);
+      if (ctx.observer != nullptr) ctx.observer->OnTaskComplete(span);
+    }
+  });
+  if (ctx.observer != nullptr) ctx.observer->OnRoundEnd(it);
+}
+
 }  // namespace
 
 dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
                                         const sql::WithClause& with,
-                                        const SqloopOptions& options,
-                                        RunStats& stats) {
+                                        const ExecutionContext& ctx) {
+  const SqloopOptions& options = ctx.options;
+  RunStats& stats = ctx.stats;
   const Stopwatch watch;
   const Translator translator = Translator::For(connection);
   const std::string table = FoldIdentifier(with.name);
@@ -72,6 +102,8 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
   const std::string drop_tmp_sql = translator.DropTableSql(tmp);
 
   for (int64_t iteration = 1;; ++iteration) {
+    if (ctx.observer != nullptr) ctx.observer->OnRoundStart(iteration);
+    const double body_start = watch.ElapsedSeconds();
     if (checker.needs_delta_snapshot()) {
       for (const auto& sql : checker.SnapshotSql(schema)) {
         connection.Execute(sql);
@@ -85,6 +117,8 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
 
     stats.iterations = iteration;
     stats.total_updates += updates;
+    RecordRound(ctx, watch, iteration, updates, body_start,
+                telemetry::SpanKind::kMerge);
     if (checker.Satisfied(connection, iteration, updates)) break;
     if (iteration >= options.max_iterations_guard) {
       throw ExecutionError("iterative CTE '" + with.name +
@@ -108,8 +142,9 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
 
 dbc::ResultSet RunRecursiveEmulated(dbc::Connection& connection,
                                     const sql::WithClause& with,
-                                    const SqloopOptions& options,
-                                    RunStats& stats) {
+                                    const ExecutionContext& ctx) {
+  const SqloopOptions& options = ctx.options;
+  RunStats& stats = ctx.stats;
   const Stopwatch watch;
   const Translator translator = Translator::For(connection);
   const std::string table = FoldIdentifier(with.name);
@@ -140,6 +175,8 @@ dbc::ResultSet RunRecursiveEmulated(dbc::Connection& connection,
       throw ExecutionError("recursive CTE '" + with.name +
                            "' exceeded the recursion guard");
     }
+    if (ctx.observer != nullptr) ctx.observer->OnRoundStart(round);
+    const double body_start = watch.ElapsedSeconds();
     auto step = with.step->Clone();
     RenameBaseTables(*step, {{table, current}});
     connection.Execute(translator.CreateTableSql(next, schema, -1));
@@ -150,12 +187,16 @@ dbc::ResultSet RunRecursiveEmulated(dbc::Connection& connection,
     stats.total_updates += produced;
     if (produced == 0) {
       connection.Execute(translator.DropTableSql(next));
+      RecordRound(ctx, watch, round, 0, body_start,
+                  telemetry::SpanKind::kMerge);
       break;
     }
     connection.Execute("INSERT INTO " + translator.Quote(table) +
                        " SELECT * FROM " + translator.Quote(next));
     connection.Execute(translator.DropTableSql(current));
     std::swap(current, next);
+    RecordRound(ctx, watch, round, produced, body_start,
+                telemetry::SpanKind::kMerge);
   }
 
   dbc::ResultSet result =

@@ -2,8 +2,11 @@
 //  * iterative CTEs via the R / Rtmp update loop with Table I termination,
 //  * recursive CTEs emulated with client-driven semi-naive evaluation for
 //    engines that lack WITH RECURSIVE (MySQL 5.7).
+// Both record one telemetry IterationStats entry per round and fire the
+// ExecutionContext's observer at round boundaries.
 #pragma once
 
+#include "core/observer.h"
 #include "core/options.h"
 #include "dbc/connection.h"
 #include "sql/ast.h"
@@ -13,14 +16,12 @@ namespace sqloop::core {
 /// Runs an iterative CTE on one connection without partitioning.
 dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
                                         const sql::WithClause& with,
-                                        const SqloopOptions& options,
-                                        RunStats& stats);
+                                        const ExecutionContext& ctx);
 
 /// Client-side semi-naive evaluation of a recursive CTE through plain SQL
 /// (used when the engine cannot evaluate WITH RECURSIVE itself).
 dbc::ResultSet RunRecursiveEmulated(dbc::Connection& connection,
                                     const sql::WithClause& with,
-                                    const SqloopOptions& options,
-                                    RunStats& stats);
+                                    const ExecutionContext& ctx);
 
 }  // namespace sqloop::core

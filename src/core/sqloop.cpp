@@ -11,6 +11,25 @@
 #include "sql/parser.h"
 
 namespace sqloop::core {
+namespace {
+
+/// Detaches the recorder from a connection when the run leaves scope — the
+/// recorder dies with RunStats, the connection does not.
+class RecorderAttachment {
+ public:
+  RecorderAttachment(dbc::Connection& conn, telemetry::Recorder* recorder)
+      : conn_(conn) {
+    conn_.set_recorder(recorder);
+  }
+  ~RecorderAttachment() { conn_.set_recorder(nullptr); }
+  RecorderAttachment(const RecorderAttachment&) = delete;
+  RecorderAttachment& operator=(const RecorderAttachment&) = delete;
+
+ private:
+  dbc::Connection& conn_;
+};
+
+}  // namespace
 
 const char* ExecutionModeName(ExecutionMode mode) noexcept {
   switch (mode) {
@@ -32,20 +51,32 @@ SqLoop::SqLoop(std::string url, SqloopOptions options)
       master_(dbc::DriverManager::GetConnection(url_)) {}
 
 dbc::ResultSet SqLoop::Execute(const std::string& sql) {
+  return Execute(sql, options_);
+}
+
+dbc::ResultSet SqLoop::Execute(const std::string& sql,
+                               const SqloopOptions& options) {
   const auto stmt = sql::ParseStatement(sql);
-  return ExecuteStatement(*stmt);
+  return ExecuteStatement(*stmt, options);
 }
 
 dbc::ResultSet SqLoop::ExecuteScript(const std::string& script) {
   const auto statements = sql::ParseScript(script);
   dbc::ResultSet last;
   for (const auto& stmt : statements) {
-    last = ExecuteStatement(*stmt);
+    last = ExecuteStatement(*stmt, options_);
   }
   return last;
 }
 
-dbc::ResultSet SqLoop::ExecuteStatement(const sql::Statement& stmt) {
+telemetry::Recorder* SqLoop::BeginRun() {
+  stats_ = {};
+  stats_.recorder = std::make_shared<telemetry::Recorder>();
+  return stats_.recorder.get();
+}
+
+dbc::ResultSet SqLoop::ExecuteStatement(const sql::Statement& stmt,
+                                        const SqloopOptions& options) {
   const Translator translator = Translator::For(*master_);
 
   if (stmt.kind != sql::StatementKind::kWith) {
@@ -57,26 +88,38 @@ dbc::ResultSet SqLoop::ExecuteStatement(const sql::Statement& stmt) {
   switch (stmt.with.kind) {
     case sql::CteKind::kPlain:
       return master_->Execute(translator.Render(stmt));
-    case sql::CteKind::kRecursive:
+    case sql::CteKind::kRecursive: {
       if (master_->profile().supports_recursive_cte) {
         return master_->Execute(translator.Render(stmt));
       }
       SQLOOP_INFO("engine '" << master_->profile().name
                              << "' lacks recursive CTEs; emulating");
-      stats_ = {};
-      return RunRecursiveEmulated(*master_, stmt.with, options_, stats_);
+      telemetry::Recorder* recorder = BeginRun();
+      const RecorderAttachment attach(*master_, recorder);
+      const ExecutionContext ctx{options, stats_, recorder, observer_};
+      return RunRecursiveEmulated(*master_, stmt.with, ctx);
+    }
     case sql::CteKind::kIterative:
-      return ExecuteIterative(stmt.with);
+      return ExecuteIterative(stmt.with, options);
   }
   throw UsageError("unknown CTE kind");
 }
 
-dbc::ResultSet SqLoop::ExecuteIterative(const sql::WithClause& with) {
-  stats_ = {};
+dbc::ResultSet SqLoop::ExecuteIterative(const sql::WithClause& with,
+                                        const SqloopOptions& options) {
+  telemetry::Recorder* recorder = BeginRun();
+  const RecorderAttachment attach(*master_, recorder);
+  const ExecutionContext ctx{options, stats_, recorder, observer_};
 
-  if (options_.mode == ExecutionMode::kSingleThread) {
+  const auto fall_back = [&](const std::string& reason) {
+    stats_.fallback_reason = reason;
+    if (observer_ != nullptr) observer_->OnFallback(reason);
+    return RunIterativeSingleThread(*master_, with, ctx);
+  };
+
+  if (options.mode == ExecutionMode::kSingleThread) {
     stats_.fallback_reason = "single-thread mode requested";
-    return RunIterativeSingleThread(*master_, with, options_, stats_);
+    return RunIterativeSingleThread(*master_, with, ctx);
   }
 
   // Automatic analysis (paper §V-A): parallelize when the iterative member
@@ -85,24 +128,22 @@ dbc::ResultSet SqLoop::ExecuteIterative(const sql::WithClause& with) {
   if (!analysis.parallelizable) {
     SQLOOP_INFO("falling back to single-threaded execution: "
                 << analysis.reason);
-    stats_.fallback_reason = analysis.reason;
-    return RunIterativeSingleThread(*master_, with, options_, stats_);
+    return fall_back(analysis.reason);
   }
 
   const Translator translator = Translator::For(*master_);
   auto schema = InferSchemaFromSelect(*master_, translator, *with.seed,
                                       with.columns, /*widen_non_key=*/true);
   if (schema.empty() || schema[0].type != ValueType::kInt64) {
-    stats_.fallback_reason =
+    const std::string reason =
         "the key column is not integer-typed; hash partitioning on Rid "
         "requires integer keys";
-    SQLOOP_INFO("falling back to single-threaded execution: "
-                << stats_.fallback_reason);
-    return RunIterativeSingleThread(*master_, with, options_, stats_);
+    SQLOOP_INFO("falling back to single-threaded execution: " << reason);
+    return fall_back(reason);
   }
 
   ParallelRunner runner(url_, *master_, with, analysis, std::move(schema),
-                        options_, stats_);
+                        ctx);
   return runner.Run();
 }
 

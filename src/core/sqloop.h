@@ -12,15 +12,21 @@
 //
 // Example:
 //   sqloop::core::SqLoop loop("minidb://localhost/mydb");
-//   loop.mutable_options().mode = sqloop::core::ExecutionMode::kAsync;
+//   sqloop::core::SqloopOptions options;
+//   options.mode = sqloop::core::ExecutionMode::kAsync;
 //   auto ranks = loop.Execute(R"sql(
 //     WITH ITERATIVE PageRank (Node, Rank, Delta) AS (...)
-//     SELECT Node, Rank FROM PageRank)sql");
+//     SELECT Node, Rank FROM PageRank)sql", options);
+//
+// Observability: loop.last_run() exposes flat totals plus a per-round
+// trace (`per_iteration()`), and set_observer() delivers round-boundary /
+// task-completion callbacks while a query executes (see core/observer.h).
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "core/observer.h"
 #include "core/options.h"
 #include "dbc/connection.h"
 
@@ -28,19 +34,43 @@ namespace sqloop::core {
 
 class SqLoop {
  public:
-  /// Connects immediately; throws ConnectionError on failure.
+  /// Connects immediately; throws ConnectionError on failure. `options`
+  /// become the instance defaults used by the one-argument Execute().
   explicit SqLoop(std::string url, SqloopOptions options = {});
 
-  /// Executes one statement of SQL (iterative/recursive CTEs included).
+  /// Executes one statement of SQL (iterative/recursive CTEs included)
+  /// under the instance's default options.
   dbc::ResultSet Execute(const std::string& sql);
+
+  /// Executes one statement under per-call options, leaving the instance
+  /// defaults untouched. Prefer this over mutating mutable_options()
+  /// between calls: per-call options keep concurrent and repeated runs
+  /// independent of call order.
+  dbc::ResultSet Execute(const std::string& sql,
+                         const SqloopOptions& options);
 
   /// Executes a ';'-separated script; returns the last statement's result.
   dbc::ResultSet ExecuteScript(const std::string& script);
 
-  /// Statistics of the most recent iterative/recursive execution.
+  /// Registers an observer for round/task callbacks during iterative and
+  /// emulated-recursive executions. Not owned; must outlive the instance
+  /// or be cleared with set_observer(nullptr). See core/observer.h for
+  /// threading guarantees.
+  void set_observer(ExecutionObserver* observer) noexcept {
+    observer_ = observer;
+  }
+  ExecutionObserver* observer() const noexcept { return observer_; }
+
+  /// Statistics of the most recent iterative/recursive execution,
+  /// including the per-round telemetry trace (stats.per_iteration()).
   const RunStats& last_run() const noexcept { return stats_; }
 
   const SqloopOptions& options() const noexcept { return options_; }
+
+  /// DEPRECATED: mutating the shared instance options makes runs depend on
+  /// call order and races with concurrent use of the instance. Pass
+  /// per-call options via Execute(sql, options) instead; this accessor
+  /// remains only for legacy callers and will be removed.
   SqloopOptions& mutable_options() noexcept { return options_; }
 
   /// The master connection (also usable for ad-hoc queries/sampling).
@@ -48,13 +78,18 @@ class SqLoop {
   const std::string& url() const noexcept { return url_; }
 
  private:
-  dbc::ResultSet ExecuteStatement(const sql::Statement& stmt);
-  dbc::ResultSet ExecuteIterative(const sql::WithClause& with);
+  dbc::ResultSet ExecuteStatement(const sql::Statement& stmt,
+                                  const SqloopOptions& options);
+  dbc::ResultSet ExecuteIterative(const sql::WithClause& with,
+                                  const SqloopOptions& options);
+  /// Fresh recorder wired to stats_ and the master connection.
+  telemetry::Recorder* BeginRun();
 
   std::string url_;
   SqloopOptions options_;
   std::unique_ptr<dbc::Connection> master_;
   RunStats stats_;
+  ExecutionObserver* observer_ = nullptr;
 };
 
 }  // namespace sqloop::core

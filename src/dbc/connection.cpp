@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "sql/parser.h"
+#include "telemetry/hooks.h"
 
 namespace sqloop::dbc {
 
@@ -26,8 +27,16 @@ Connection::~Connection() {
   }
 }
 
+void Connection::set_recorder(telemetry::Recorder* recorder) noexcept {
+  recorder_ = recorder;
+  // The embedded engine attributes server-side costs (rows examined,
+  // lock waits) to the same recorder.
+  executor_.set_recorder(recorder);
+}
+
 void Connection::PayRoundTrip() {
   ++stats_.round_trips;
+  SQLOOP_COUNT(recorder_, "dbc.round_trips", 1);
   if (latency_us_ > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
   }
@@ -56,6 +65,7 @@ ResultSet Connection::Execute(const std::string& sql) {
   EnsureOpen();
   PayRoundTrip();
   ++stats_.statements;
+  SQLOOP_COUNT(recorder_, "dbc.statements", 1);
   EnsureTransactionIfNeeded();
   ResultSet result = executor_.ExecuteSql(sql, &session_);
   PayServerWork(result.rows_examined);
@@ -74,12 +84,15 @@ void Connection::AddBatch(std::string sql) {
 std::vector<size_t> Connection::ExecuteBatch() {
   EnsureOpen();
   PayRoundTrip();  // the whole batch ships in one round trip
+  SQLOOP_COUNT(recorder_, "dbc.batches", 1);
+  SQLOOP_COUNT(recorder_, "dbc.batch_statements", batch_.size());
   EnsureTransactionIfNeeded();
   std::vector<size_t> affected;
   affected.reserve(batch_.size());
   size_t rows_examined = 0;
   for (const std::string& sql : batch_) {
     ++stats_.statements;
+    SQLOOP_COUNT(recorder_, "dbc.statements", 1);
     const ResultSet result = executor_.ExecuteSql(sql, &session_);
     rows_examined += result.rows_examined;
     affected.push_back(result.affected_rows);

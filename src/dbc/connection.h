@@ -10,6 +10,7 @@
 
 #include "minidb/database.h"
 #include "minidb/executor.h"
+#include "telemetry/recorder.h"
 
 namespace sqloop::dbc {
 
@@ -25,6 +26,8 @@ enum class IsolationLevel {
 struct ConnectionStats {
   uint64_t round_trips = 0;
   uint64_t statements = 0;
+
+  void Reset() noexcept { *this = {}; }
 };
 
 /// One client connection to a database. Not thread-safe — use one
@@ -74,6 +77,16 @@ class Connection {
   Dialect dialect() const { return db_->profile().dialect; }
   const std::string& database_name() const { return db_->name(); }
   const ConnectionStats& stats() const noexcept { return stats_; }
+  /// Zeroes the lifetime counters, e.g. between benchmark phases.
+  void ResetStats() noexcept { stats_.Reset(); }
+
+  /// Attributes this connection's work (round trips, statements, batches,
+  /// plus the engine's rows-examined / lock-wait costs) to a telemetry
+  /// recorder. Null detaches. The recorder must outlive the attachment;
+  /// SqLoop attaches one per run and detaches it when the run ends.
+  void set_recorder(telemetry::Recorder* recorder) noexcept;
+  telemetry::Recorder* recorder() const noexcept { return recorder_; }
+
   bool closed() const noexcept { return closed_; }
   void Close();
 
@@ -97,6 +110,7 @@ class Connection {
   bool closed_ = false;
   IsolationLevel isolation_ = IsolationLevel::kReadCommitted;
   ConnectionStats stats_;
+  telemetry::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace sqloop::dbc

@@ -6,8 +6,10 @@
 #include <set>
 
 #include "common/error.h"
+#include "common/stopwatch.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
+#include "telemetry/hooks.h"
 
 namespace sqloop::minidb {
 namespace {
@@ -20,7 +22,8 @@ namespace {
 
 class LockSet {
  public:
-  LockSet() = default;
+  explicit LockSet(telemetry::Recorder* recorder = nullptr)
+      : recorder_(recorder) {}
   LockSet(const LockSet&) = delete;
   LockSet& operator=(const LockSet&) = delete;
 
@@ -33,6 +36,9 @@ class LockSet {
   }
 
   void AcquireAll() {
+#if SQLOOP_TELEMETRY_ENABLED
+    const Stopwatch watch;
+#endif
     for (auto& [name, entry] : entries_) {
       if (entry.write) {
         entry.table->lock().lock();
@@ -41,6 +47,8 @@ class LockSet {
       }
       entry.locked = true;
     }
+    SQLOOP_TIME_SECONDS(recorder_, "minidb.lock_wait_seconds",
+                        watch.ElapsedSeconds());
   }
 
   ~LockSet() {
@@ -60,6 +68,7 @@ class LockSet {
     bool write = false;
     bool locked = false;
   };
+  telemetry::Recorder* recorder_ = nullptr;
   std::map<std::string, Entry> entries_;
 };
 
@@ -1395,6 +1404,7 @@ ResultSet Executor::Execute(const sql::Statement& stmt, Session* session) {
   rows_examined_ = 0;
   ResultSet result = ExecuteInternal(stmt, session);
   result.rows_examined = rows_examined_;
+  SQLOOP_COUNT(recorder_, "minidb.rows_examined", rows_examined_);
   return result;
 }
 
@@ -1405,7 +1415,7 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
     case sql::StatementKind::kSelect: {
       TableCollector collector(db_);
       collector.FromSelect(*stmt.select, {});
-      LockSet locks;
+      LockSet locks(recorder_);
       collector.Apply(locks, db_, {});
       locks.AcquireAll();
       return EvalSelect(*stmt.select, ctx);
@@ -1419,7 +1429,7 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
         collector.FromSelect(*stmt.with.termination.probe, ctes);
       }
       collector.FromSelect(*stmt.with.final_query, ctes);
-      LockSet locks;
+      LockSet locks(recorder_);
       collector.Apply(locks, db_, {});
       locks.AcquireAll();
       return ExecWith(stmt, ctx);
@@ -1474,7 +1484,7 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
     case sql::StatementKind::kInsert: {
       TableCollector collector(db_);
       if (stmt.insert_select) collector.FromSelect(*stmt.insert_select, {});
-      LockSet locks;
+      LockSet locks(recorder_);
       collector.Apply(locks, db_, {FoldIdentifier(stmt.table_name)});
       locks.AcquireAll();
       return ExecInsert(stmt, session);
@@ -1482,13 +1492,13 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
     case sql::StatementKind::kUpdate: {
       TableCollector collector(db_);
       if (stmt.update_from) collector.FromTableRef(*stmt.update_from, {});
-      LockSet locks;
+      LockSet locks(recorder_);
       collector.Apply(locks, db_, {FoldIdentifier(stmt.table_name)});
       locks.AcquireAll();
       return ExecUpdate(stmt, session, ctx);
     }
     case sql::StatementKind::kDelete: {
-      LockSet locks;
+      LockSet locks(recorder_);
       locks.Request(db_.FindTable(stmt.table_name), /*write=*/true);
       locks.AcquireAll();
       return ExecDelete(stmt, session);

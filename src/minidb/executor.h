@@ -16,6 +16,7 @@
 
 #include "minidb/database.h"
 #include "minidb/evaluator.h"
+#include "telemetry/recorder.h"
 
 namespace sqloop::minidb {
 
@@ -46,6 +47,13 @@ class Executor {
   /// Iteration cap for recursive CTE evaluation (safety net against
   /// non-terminating recursion).
   static constexpr int64_t kMaxRecursions = 100000;
+
+  /// Attributes server-side costs (rows examined, lock-wait time) to a
+  /// telemetry recorder; null detaches. Only consulted in telemetry-enabled
+  /// builds — the counting hooks compile out otherwise.
+  void set_recorder(telemetry::Recorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
 
  private:
   struct ExecContext {
@@ -89,6 +97,7 @@ class Executor {
   // Scan-volume accounting for the statement currently executing (each
   // connection owns its Executor, so no synchronization is needed).
   size_t rows_examined_ = 0;
+  telemetry::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace sqloop::minidb

@@ -1,0 +1,36 @@
+// Renderers for a Recorder's contents:
+//   * JSON lines — one self-describing object per line (counter, timer,
+//     iteration, span); machine-readable and append-friendly, and readable
+//     back with ReadJsonLines for offline analysis of dumped traces;
+//   * Prometheus-style text snapshot — flat `# TYPE` + `name value` pairs
+//     suitable for a scrape endpoint or a metrics diff in a test;
+//   * Summary — the human table the benches print (per-round Compute /
+//     Gather cost, barrier stalls, message traffic; paper Figs. 4-6).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/recorder.h"
+
+namespace sqloop::telemetry {
+
+/// Writes every counter, timer, iteration, and span as one JSON object per
+/// line. The format is flat (no nested objects) and stable.
+void WriteJsonLines(const Recorder& recorder, std::ostream& out);
+std::string JsonLines(const Recorder& recorder);
+
+/// Parses text produced by WriteJsonLines back into `into` (merging with
+/// whatever it already holds). Unknown line types are skipped; a malformed
+/// line throws UsageError. Returns the number of lines consumed.
+size_t ReadJsonLines(std::istream& in, Recorder& into);
+
+/// Prometheus exposition-format snapshot: derived totals over the recorded
+/// rounds plus every named counter (`sqloop_<name>_total`) and timer
+/// (`sqloop_<name>_seconds_total`), names sanitized to [a-z0-9_].
+std::string PrometheusSnapshot(const Recorder& recorder);
+
+/// Human-readable run report: a per-round table plus counters and timers.
+std::string Summary(const Recorder& recorder);
+
+}  // namespace sqloop::telemetry

@@ -1,0 +1,114 @@
+#include "telemetry/recorder.h"
+
+#include <thread>
+
+namespace sqloop::telemetry {
+
+const char* SpanKindName(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kCompute:
+      return "compute";
+    case SpanKind::kGather:
+      return "gather";
+    case SpanKind::kPriority:
+      return "priority";
+    case SpanKind::kSetup:
+      return "setup";
+    case SpanKind::kFinal:
+      return "final";
+    case SpanKind::kMerge:
+      return "merge";
+  }
+  return "?";
+}
+
+bool ParseSpanKind(std::string_view name, SpanKind* kind) noexcept {
+  for (const SpanKind k :
+       {SpanKind::kCompute, SpanKind::kGather, SpanKind::kPriority,
+        SpanKind::kSetup, SpanKind::kFinal, SpanKind::kMerge}) {
+    if (name == SpanKindName(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Recorder::Add(std::string_view counter, uint64_t delta) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Recorder::AddSeconds(std::string_view timer, double seconds) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = timers_.find(timer);
+  if (it == timers_.end()) {
+    timers_.emplace(std::string(timer), seconds);
+  } else {
+    it->second += seconds;
+  }
+}
+
+uint64_t Recorder::counter(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Recorder::timer_seconds(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = timers_.find(name);
+  return it == timers_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Recorder::Counters() const {
+  const std::scoped_lock lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, double>> Recorder::Timers() const {
+  const std::scoped_lock lock(mutex_);
+  return {timers_.begin(), timers_.end()};
+}
+
+void Recorder::RecordIteration(const IterationStats& round) {
+  const std::scoped_lock lock(mutex_);
+  iterations_.push_back(round);
+}
+
+void Recorder::RecordSpan(const TaskSpan& span) {
+  const std::scoped_lock lock(mutex_);
+  spans_.push_back(span);
+}
+
+std::vector<IterationStats> Recorder::IterationsSnapshot() const {
+  const std::scoped_lock lock(mutex_);
+  return iterations_;
+}
+
+std::vector<TaskSpan> Recorder::SpansSnapshot() const {
+  const std::scoped_lock lock(mutex_);
+  return spans_;
+}
+
+size_t Recorder::iteration_count() const {
+  const std::scoped_lock lock(mutex_);
+  return iterations_.size();
+}
+
+size_t Recorder::span_count() const {
+  const std::scoped_lock lock(mutex_);
+  return spans_.size();
+}
+
+uint64_t Recorder::ThisThreadId() noexcept {
+  return static_cast<uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+}  // namespace sqloop::telemetry

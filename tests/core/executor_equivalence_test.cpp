@@ -85,13 +85,14 @@ TEST_P(EquivalenceTest, SsspMatchesDijkstra) {
   SetUpWith(g);
   constexpr int64_t kSource = 1;
 
+  auto options = loop_->options();
   if (GetParam().mode == ExecutionMode::kAsyncPriority) {
-    loop_->mutable_options().priority_query =
-        workloads::SsspPriorityQuery();
-    loop_->mutable_options().priority_descending = false;
+    options.priority_query = workloads::SsspPriorityQuery();
+    options.priority_descending = false;
   }
 
-  const auto result = loop_->Execute(workloads::SsspAllQuery(kSource));
+  const auto result =
+      loop_->Execute(workloads::SsspAllQuery(kSource), options);
   const auto dijkstra = graph::Dijkstra(g, kSource);
 
   std::map<int64_t, double> computed;
@@ -115,12 +116,14 @@ TEST_P(EquivalenceTest, DescendantQueryMatchesBfs) {
   SetUpWith(g);
   constexpr int64_t kSource = 0;
 
+  auto options = loop_->options();
   if (GetParam().mode == ExecutionMode::kAsyncPriority) {
-    loop_->mutable_options().priority_query = workloads::DqPriorityQuery();
-    loop_->mutable_options().priority_descending = false;
+    options.priority_query = workloads::DqPriorityQuery();
+    options.priority_descending = false;
   }
 
-  const auto result = loop_->Execute(workloads::DescendantQuery(kSource));
+  const auto result =
+      loop_->Execute(workloads::DescendantQuery(kSource), options);
   const auto bfs = graph::BfsHops(g, kSource);
 
   std::map<int64_t, int64_t> computed;

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "common/error.h"
 #include "core/workloads.h"
 #include "graph/generators.h"
+#include "telemetry/hooks.h"
 #include "tests/core/core_test_util.h"
 
 namespace sqloop::core {
@@ -135,6 +138,126 @@ TEST(Facade, KeepResultTablesLeavesViewReadable) {
   const auto sum = loop.connection().ExecuteQuery(
       "SELECT SUM(Rank) FROM PageRank");
   EXPECT_GT(sum.rows.at(0).at(0).as_double(), 0.0);
+}
+
+TEST(Facade, PerCallOptionsOverrideInstanceDefaults) {
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(graph::MakeWebGraph(60, 3, 5));
+  // Instance default: single-thread. The per-call options ask for Sync.
+  SqLoop loop(fixture.Url(), [] {
+    SqloopOptions o;
+    o.mode = ExecutionMode::kSingleThread;
+    return o;
+  }());
+
+  auto per_call = loop.options();
+  per_call.mode = ExecutionMode::kSync;
+  per_call.partitions = 4;
+  per_call.threads = 2;
+  loop.Execute(workloads::PageRankQuery(2), per_call);
+  EXPECT_TRUE(loop.last_run().parallelized);
+  EXPECT_EQ(loop.last_run().mode_used, ExecutionMode::kSync);
+
+  // The instance defaults were not mutated: a plain Execute still runs
+  // single-threaded.
+  EXPECT_EQ(loop.options().mode, ExecutionMode::kSingleThread);
+  loop.Execute(workloads::PageRankQuery(2));
+  EXPECT_FALSE(loop.last_run().parallelized);
+  EXPECT_EQ(loop.last_run().mode_used, ExecutionMode::kSingleThread);
+}
+
+TEST(Facade, SingleThreadRunsExposePerIterationStats) {
+  CoreFixtureBase fixture("postgres");
+  SqLoop loop(fixture.Url());
+  loop.Execute(
+      "WITH ITERATIVE r (k, v) AS (SELECT 1, 2.0 ITERATE "
+      "SELECT k, v + 1 FROM r UNTIL 3 ITERATIONS) SELECT v FROM r");
+  const auto rounds = loop.last_run().per_iteration();
+  ASSERT_EQ(rounds.size(), 3u);
+  uint64_t updates = 0;
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    EXPECT_EQ(rounds[i].round, static_cast<int64_t>(i + 1));
+    EXPECT_EQ(rounds[i].compute_tasks, 1u);
+    EXPECT_GT(rounds[i].seconds, 0.0);
+    updates += rounds[i].updates;
+  }
+  EXPECT_EQ(updates, loop.last_run().total_updates);
+}
+
+namespace {
+/// Counts callbacks and remembers what the rounds reported.
+class CountingObserver : public ExecutionObserver {
+ public:
+  void OnRoundStart(int64_t) override { ++starts; }
+  void OnRoundEnd(const telemetry::IterationStats& round) override {
+    ++ends;
+    updates += round.updates;
+  }
+  void OnTaskComplete(const telemetry::TaskSpan&) override { ++tasks; }
+  void OnFallback(const std::string& reason) override { fallback = reason; }
+
+  int starts = 0;
+  int ends = 0;
+  std::atomic<int> tasks{0};  // worker threads call OnTaskComplete
+  uint64_t updates = 0;
+  std::string fallback;
+};
+}  // namespace
+
+TEST(Facade, ObserverSeesEveryRoundBoundary) {
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(graph::MakeWebGraph(80, 3, 7));
+  CountingObserver observer;
+  SqLoop loop(fixture.Url());
+  loop.set_observer(&observer);
+  EXPECT_EQ(loop.observer(), &observer);
+  loop.Execute(workloads::PageRankQuery(3),
+               fixture.SmallOptions(ExecutionMode::kSync, 4, 2));
+  EXPECT_EQ(observer.starts, loop.last_run().iterations);
+  EXPECT_EQ(observer.ends, loop.last_run().iterations);
+  EXPECT_EQ(observer.updates, loop.last_run().total_updates);
+  if (telemetry::kHooksEnabled) {
+    // Every Compute/Gather task plus the setup/final master spans.
+    EXPECT_GE(static_cast<uint64_t>(observer.tasks.load()),
+              loop.last_run().compute_tasks + loop.last_run().gather_tasks);
+  }
+  loop.set_observer(nullptr);
+}
+
+TEST(Facade, ObserverHearsAboutFallbacks) {
+  CoreFixtureBase fixture("postgres");
+  CountingObserver observer;
+  SqLoop loop(fixture.Url(), [] {
+    SqloopOptions o;
+    o.mode = ExecutionMode::kSync;
+    return o;
+  }());
+  loop.set_observer(&observer);
+  loop.Execute(
+      "WITH ITERATIVE r (k, v) AS (SELECT 1, 2.0 ITERATE "
+      "SELECT k, v + 1 FROM r UNTIL 3 ITERATIONS) SELECT v FROM r");
+  EXPECT_EQ(observer.fallback, loop.last_run().fallback_reason);
+  EXPECT_FALSE(observer.fallback.empty());
+  EXPECT_EQ(observer.ends, 3);
+}
+
+TEST(Facade, ResolveThreadsClampsToPartitionCount) {
+  SqloopOptions options;
+  options.threads = 8;
+  options.partitions = 3;
+  // More workers than partitions could never be scheduled concurrently.
+  EXPECT_EQ(options.ResolveThreads(), 3);
+
+  options.partitions = 16;
+  EXPECT_EQ(options.ResolveThreads(), 8);
+
+  options.threads = 0;  // auto: half the CPUs, still clamped
+  options.partitions = 1;
+  EXPECT_EQ(options.ResolveThreads(), 1);
+
+  options.threads = 4;
+  options.partitions = 0;  // degenerate partition count clamps to 1
+  EXPECT_EQ(options.ResolveThreads(), 1);
 }
 
 TEST(Facade, BadUrlThrows) {

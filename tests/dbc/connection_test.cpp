@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "dbc/driver.h"
 #include "minidb/server.h"
+#include "telemetry/hooks.h"
 
 namespace sqloop::dbc {
 namespace {
@@ -109,6 +110,51 @@ TEST_F(DbcTest, StatsCountStatements) {
   conn->Execute("INSERT INTO t VALUES (1)");
   EXPECT_EQ(conn->stats().statements, 2u);
   EXPECT_EQ(conn->stats().round_trips, 2u);
+}
+
+TEST_F(DbcTest, ResetStatsZeroesCounters) {
+  auto conn = Connect();
+  conn->Execute("CREATE UNLOGGED TABLE t (id BIGINT PRIMARY KEY)");
+  conn->Execute("INSERT INTO t VALUES (1)");
+  ASSERT_GT(conn->stats().statements, 0u);
+  conn->ResetStats();
+  EXPECT_EQ(conn->stats().statements, 0u);
+  EXPECT_EQ(conn->stats().round_trips, 0u);
+  // Counting resumes from zero, e.g. between benchmark phases.
+  conn->Execute("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(conn->stats().statements, 1u);
+  EXPECT_EQ(conn->stats().round_trips, 1u);
+}
+
+TEST_F(DbcTest, RecorderAttributesStatementsAndBatches) {
+  auto conn = Connect();
+  EXPECT_EQ(conn->recorder(), nullptr);
+  telemetry::Recorder rec;
+  conn->set_recorder(&rec);
+  EXPECT_EQ(conn->recorder(), &rec);
+
+  conn->Execute("CREATE UNLOGGED TABLE t (id BIGINT PRIMARY KEY)");
+  conn->AddBatch("INSERT INTO t VALUES (1)");
+  conn->AddBatch("INSERT INTO t VALUES (2)");
+  conn->ExecuteBatch();
+  conn->ExecuteQuery("SELECT COUNT(*) FROM t");
+
+  if (telemetry::kHooksEnabled) {
+    EXPECT_EQ(rec.counter("dbc.round_trips"), 3u);  // 2 Executes + 1 batch
+    EXPECT_EQ(rec.counter("dbc.statements"), 4u);
+    EXPECT_EQ(rec.counter("dbc.batches"), 1u);
+    EXPECT_EQ(rec.counter("dbc.batch_statements"), 2u);
+    // The engine attributed its scan volume to the same recorder.
+    EXPECT_GT(rec.counter("minidb.rows_examined"), 0u);
+  } else {
+    EXPECT_EQ(rec.Counters().size(), 0u);
+  }
+
+  // Detached: no further attribution.
+  conn->set_recorder(nullptr);
+  const uint64_t trips = rec.counter("dbc.round_trips");
+  conn->Execute("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(rec.counter("dbc.round_trips"), trips);
 }
 
 TEST_F(DbcTest, AutoCommitOffRollsBackOnExplicitRollback) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 #include <thread>
 
 #include "common/error.h"
@@ -15,6 +16,8 @@
 #include "graph/loader.h"
 #include "graph/reference.h"
 #include "minidb/server.h"
+#include "telemetry/exporters.h"
+#include "telemetry/hooks.h"
 
 namespace sqloop {
 namespace {
@@ -193,6 +196,98 @@ TEST_F(EndToEndTest, OlapAssumptionOtherTablesStayTransactional) {
   auto conn = dbc::DriverManager::GetConnection(Url());
   const auto orders = conn->ExecuteQuery("SELECT COUNT(*) FROM orders");
   EXPECT_GT(orders.rows[0][0].as_int(), 0);  // committed half survived
+}
+
+TEST_F(EndToEndTest, PerIterationStatsSumToRunTotals) {
+  const graph::Graph g = graph::MakeWebGraph(250, 3, 17);
+  {
+    auto conn = dbc::DriverManager::GetConnection(Url());
+    graph::LoadEdges(*conn, g);
+  }
+  core::SqLoop loop(Url());
+  for (const auto mode :
+       {core::ExecutionMode::kSync, core::ExecutionMode::kAsync,
+        core::ExecutionMode::kAsyncPriority}) {
+    core::SqloopOptions options;
+    options.mode = mode;
+    options.partitions = 6;
+    options.threads = 3;
+    if (mode == core::ExecutionMode::kAsyncPriority) {
+      options.priority_query = core::workloads::PageRankPriorityQuery();
+    }
+    loop.Execute(core::workloads::PageRankQuery(5), options);
+
+    const core::RunStats& stats = loop.last_run();
+    SCOPED_TRACE(core::ExecutionModeName(mode));
+    EXPECT_TRUE(stats.parallelized);
+    const auto rounds = stats.per_iteration();
+    ASSERT_EQ(rounds.size(), static_cast<size_t>(stats.iterations));
+
+    uint64_t updates = 0, compute = 0, gather = 0, produced = 0, skipped = 0;
+    double compute_s = 0, gather_s = 0;
+    for (size_t i = 0; i < rounds.size(); ++i) {
+      EXPECT_EQ(rounds[i].round, static_cast<int64_t>(i + 1));
+      EXPECT_GT(rounds[i].seconds, 0.0);
+      updates += rounds[i].updates;
+      compute += rounds[i].compute_tasks;
+      gather += rounds[i].gather_tasks;
+      produced += rounds[i].messages_produced;
+      skipped += rounds[i].partitions_skipped;
+      compute_s += rounds[i].compute_seconds;
+      gather_s += rounds[i].gather_seconds;
+    }
+    // Per-round deltas sum back to the flat totals.
+    EXPECT_EQ(updates, stats.total_updates);
+    EXPECT_EQ(compute, stats.compute_tasks);
+    EXPECT_EQ(gather, stats.gather_tasks);
+    EXPECT_EQ(produced, stats.message_tables);
+    EXPECT_EQ(skipped, stats.skipped_tasks);
+    EXPECT_GT(compute_s, 0.0);
+    EXPECT_GT(gather_s, 0.0);
+  }
+}
+
+TEST_F(EndToEndTest, TelemetryExportersRoundTripARealRun) {
+  const graph::Graph g = graph::MakeWebGraph(200, 3, 23);
+  {
+    auto conn = dbc::DriverManager::GetConnection(Url());
+    graph::LoadEdges(*conn, g);
+  }
+  core::SqloopOptions options;
+  options.mode = core::ExecutionMode::kSync;
+  options.partitions = 4;
+  options.threads = 2;
+  core::SqLoop loop(Url());
+  loop.Execute(core::workloads::PageRankQuery(4), options);
+
+  const auto recorder = loop.last_run().recorder;
+  ASSERT_NE(recorder, nullptr);
+  if (telemetry::kHooksEnabled) {
+    // Statement counters attributed across both layers and all threads.
+    EXPECT_GT(recorder->counter("dbc.statements"), 0u);
+    EXPECT_GT(recorder->counter("dbc.round_trips"), 0u);
+    EXPECT_GT(recorder->counter("minidb.rows_examined"), 0u);
+    EXPECT_GT(recorder->span_count(), 0u);
+  }
+
+  // JSONL round-trips losslessly through the reader.
+  const std::string jsonl = telemetry::JsonLines(*recorder);
+  EXPECT_FALSE(jsonl.empty());
+  std::istringstream in(jsonl);
+  telemetry::Recorder parsed;
+  telemetry::ReadJsonLines(in, parsed);
+  EXPECT_EQ(telemetry::JsonLines(parsed), jsonl);
+  EXPECT_EQ(parsed.iteration_count(), recorder->iteration_count());
+  EXPECT_EQ(parsed.span_count(), recorder->span_count());
+
+  // The Prometheus snapshot reflects the same run.
+  const std::string prom = telemetry::PrometheusSnapshot(*recorder);
+  EXPECT_NE(prom.find("sqloop_iterations_total " +
+                      std::to_string(loop.last_run().iterations)),
+            std::string::npos);
+  EXPECT_NE(prom.find("sqloop_updates_total " +
+                      std::to_string(loop.last_run().total_updates)),
+            std::string::npos);
 }
 
 TEST_F(EndToEndTest, CsvRoundTripThroughTheFullStack) {

@@ -1,0 +1,123 @@
+#include "telemetry/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sqloop::telemetry {
+namespace {
+
+TEST(RecorderTest, CountersAccumulateAndReadBack) {
+  Recorder rec;
+  EXPECT_EQ(rec.counter("absent"), 0u);
+  rec.Add("dbc.round_trips", 2);
+  rec.Add("dbc.round_trips", 3);
+  rec.Add("minidb.rows_examined", 7);
+  EXPECT_EQ(rec.counter("dbc.round_trips"), 5u);
+  EXPECT_EQ(rec.counter("minidb.rows_examined"), 7u);
+
+  const auto counters = rec.Counters();
+  ASSERT_EQ(counters.size(), 2u);
+  // Sorted by name.
+  EXPECT_EQ(counters[0].first, "dbc.round_trips");
+  EXPECT_EQ(counters[1].first, "minidb.rows_examined");
+}
+
+TEST(RecorderTest, TimersAccumulateSeconds) {
+  Recorder rec;
+  EXPECT_DOUBLE_EQ(rec.timer_seconds("absent"), 0.0);
+  rec.AddSeconds("minidb.lock_wait_seconds", 0.25);
+  rec.AddSeconds("minidb.lock_wait_seconds", 0.5);
+  EXPECT_DOUBLE_EQ(rec.timer_seconds("minidb.lock_wait_seconds"), 0.75);
+}
+
+TEST(RecorderTest, IterationsKeepInsertionOrder) {
+  Recorder rec;
+  for (int64_t round = 1; round <= 4; ++round) {
+    IterationStats it;
+    it.round = round;
+    it.updates = static_cast<uint64_t>(round * 10);
+    rec.RecordIteration(it);
+  }
+  const auto rounds = rec.IterationsSnapshot();
+  ASSERT_EQ(rounds.size(), 4u);
+  EXPECT_EQ(rec.iteration_count(), 4u);
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    EXPECT_EQ(rounds[i].round, static_cast<int64_t>(i + 1));
+    EXPECT_EQ(rounds[i].updates, (i + 1) * 10);
+  }
+}
+
+TEST(RecorderTest, SpanKindNamesRoundTrip) {
+  for (const SpanKind kind :
+       {SpanKind::kCompute, SpanKind::kGather, SpanKind::kPriority,
+        SpanKind::kSetup, SpanKind::kFinal, SpanKind::kMerge}) {
+    SpanKind parsed;
+    ASSERT_TRUE(ParseSpanKind(SpanKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  SpanKind parsed;
+  EXPECT_FALSE(ParseSpanKind("nonsense", &parsed));
+}
+
+TEST(RecorderTest, ConcurrentMutationIsLossless) {
+  // The recorder's whole job is absorbing concurrent worker updates; this
+  // drives every mutator from many threads and checks nothing is lost.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  Recorder rec;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.Add("shared", 1);
+        rec.Add("per_thread." + std::to_string(t), 1);
+        rec.AddSeconds("busy", 0.001);
+        TaskSpan span;
+        span.kind = SpanKind::kCompute;
+        span.partition = t;
+        span.thread_id = Recorder::ThisThreadId();
+        rec.RecordSpan(span);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(rec.counter("shared"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(rec.counter("per_thread." + std::to_string(t)),
+              static_cast<uint64_t>(kPerThread));
+  }
+  EXPECT_NEAR(rec.timer_seconds("busy"), kThreads * kPerThread * 0.001, 1e-6);
+  ASSERT_EQ(rec.span_count(), static_cast<size_t>(kThreads) * kPerThread);
+
+  // Every span kept its thread attribution: exactly kPerThread spans per
+  // partition id, and a span's thread id is consistent within a partition.
+  const auto spans = rec.SpansSnapshot();
+  std::vector<size_t> per_partition(kThreads, 0);
+  for (const auto& span : spans) {
+    ASSERT_GE(span.partition, 0);
+    ASSERT_LT(span.partition, kThreads);
+    ++per_partition[static_cast<size_t>(span.partition)];
+    EXPECT_NE(span.thread_id, 0u);
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_partition[static_cast<size_t>(t)],
+              static_cast<size_t>(kPerThread));
+  }
+}
+
+TEST(RecorderTest, ThisThreadIdStableWithinThreadDistinctAcross) {
+  const uint64_t main_id = Recorder::ThisThreadId();
+  EXPECT_EQ(main_id, Recorder::ThisThreadId());
+  uint64_t other_id = 0;
+  std::thread([&other_id] { other_id = Recorder::ThisThreadId(); }).join();
+  EXPECT_NE(other_id, 0u);
+  EXPECT_NE(other_id, main_id);
+}
+
+}  // namespace
+}  // namespace sqloop::telemetry

@@ -1,0 +1,42 @@
+// Link-time proof that -DSQLOOP_TELEMETRY=OFF carries zero hot-path cost.
+//
+// This translation unit is compiled with SQLOOP_TELEMETRY_ENABLED=0 (see
+// tests/CMakeLists.txt). Every hook macro below is passed arguments that
+// call functions which are DECLARED but never DEFINED anywhere. The binary
+// links only because the disabled macros expand to nothing and never
+// evaluate their arguments; re-enabling telemetry for this target turns
+// each call site into an undefined-symbol link error.
+#include "telemetry/hooks.h"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace sqloop::telemetry {
+
+class Recorder;  // hooks.h does not pull in recorder.h when disabled
+
+// Deliberately undefined: referencing any of these breaks the link.
+Recorder* NeverDefinedRecorder();
+const char* NeverDefinedName();
+uint64_t NeverDefinedDelta();
+double NeverDefinedSeconds();
+void NeverDefinedBlock();
+
+static_assert(!kHooksEnabled,
+              "telemetry_off_probe must build with SQLOOP_TELEMETRY_ENABLED=0");
+
+void Probe() {
+  SQLOOP_TELEMETRY(NeverDefinedBlock(););
+  SQLOOP_COUNT(NeverDefinedRecorder(), NeverDefinedName(),
+               NeverDefinedDelta());
+  SQLOOP_TIME_SECONDS(NeverDefinedRecorder(), NeverDefinedName(),
+                      NeverDefinedSeconds());
+}
+
+}  // namespace sqloop::telemetry
+
+int main() {
+  sqloop::telemetry::Probe();
+  std::puts("telemetry hooks compiled out: OK");
+  return 0;
+}
