@@ -17,16 +17,24 @@
 //   \timing on|off              print wall-clock per statement
 //   \trace on|off               live per-round trace while a query runs
 //   \stats                      statistics of the last iterative run
-//                               (including the per-round telemetry table)
+//                               (including the per-round telemetry table
+//                               and the resilience counters)
+//   \faults k=v ... | off       seeded fault injection on this shell's
+//                               server: seed=N connect=R drop=R
+//                               transient=R slow=R slow_us=N drop_every=N
+//                               transient_every=N connect_every=N
+//                               slow_every=N max=N (R in [0,1])
 //   \tables                     list tables in the database
 //   \load web N DEG SEED        generate+load a web graph into `edges`
 //   \load ego C S P SEED        ... ego-net graph
 //   \load host H P L SEED       ... host graph
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "common/error.h"
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "core/sqloop.h"
 #include "dbc/driver.h"
@@ -79,6 +87,15 @@ void PrintStats(const core::RunStats& stats) {
             << " messages=" << stats.message_tables
             << " skipped=" << stats.skipped_tasks << " time="
             << stats.seconds << "s\n";
+  if (stats.retries + stats.reopened_connections + stats.timeouts +
+          stats.degraded_rounds + stats.workers_retired >
+      0) {
+    std::cout << "resilience: retries=" << stats.retries
+              << " reopened_connections=" << stats.reopened_connections
+              << " timeouts=" << stats.timeouts
+              << " degraded_rounds=" << stats.degraded_rounds
+              << " workers_retired=" << stats.workers_retired << "\n";
+  }
   if (!stats.fallback_reason.empty()) {
     std::cout << "fallback: " << stats.fallback_reason << "\n";
   }
@@ -102,6 +119,15 @@ class TraceObserver : public core::ExecutionObserver {
   }
   void OnFallback(const std::string& reason) override {
     std::cout << "  fallback: " << reason << "\n";
+  }
+  void OnRetry(const core::RetryEvent& event) override {
+    std::cout << "  retry " << event.what << " pt" << event.partition
+              << " attempt=" << event.attempt << " backoff=" << event.backoff_ms
+              << "ms: " << event.error << "\n";
+  }
+  void OnDegrade(const core::DegradeEvent& event) override {
+    std::cout << "  degrade: " << event.reason
+              << " (live workers: " << event.remaining_workers << ")\n";
   }
 };
 
@@ -175,6 +201,8 @@ class Shell {
       std::cout << "trace " << (on ? "on" : "off") << "\n";
     } else if (cmd == "\\stats") {
       PrintStats(loop_.last_run());
+    } else if (cmd == "\\faults") {
+      ConfigureFaults(in);
     } else if (cmd == "\\tables") {
       for (const auto& name : loop_.connection().database().TableNames()) {
         std::cout << name << "\n";
@@ -201,6 +229,79 @@ class Shell {
   }
 
  private:
+  /// \faults off, or \faults key=value...: installs a seeded FaultInjector
+  /// on the shell's server (picked up by every connection, including the
+  /// worker pool) and on the already-open master connection.
+  void ConfigureFaults(std::istringstream& in) {
+    const std::string& url = loop_.url();
+    std::string host = "localhost";
+    if (const auto scheme = url.find("://"); scheme != std::string::npos) {
+      const auto start = scheme + 3;
+      host = url.substr(start, url.find('/', start) - start);
+    }
+    minidb::Server* server = dbc::DriverManager::FindHost(host);
+    if (server == nullptr) {
+      std::cout << "no minidb server registered for host '" << host << "'\n";
+      return;
+    }
+    FaultConfig config;
+    std::string token;
+    while (in >> token) {
+      if (token == "off") {
+        server->set_fault_injector(nullptr);
+        loop_.connection().set_fault_injector(nullptr);
+        std::cout << "fault injection off\n";
+        return;
+      }
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) {
+        std::cout << "expected key=value, got '" << token << "'\n";
+        return;
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      try {
+        if (key == "seed") {
+          config.seed = std::stoull(value);
+        } else if (key == "connect") {
+          config.connect_failure_rate = std::stod(value);
+        } else if (key == "connect_every") {
+          config.connect_every = std::stoll(value);
+        } else if (key == "drop") {
+          config.drop_rate = std::stod(value);
+        } else if (key == "drop_every") {
+          config.drop_every = std::stoll(value);
+        } else if (key == "transient") {
+          config.transient_rate = std::stod(value);
+        } else if (key == "transient_every") {
+          config.transient_every = std::stoll(value);
+        } else if (key == "slow") {
+          config.slow_rate = std::stod(value);
+        } else if (key == "slow_every") {
+          config.slow_every = std::stoll(value);
+        } else if (key == "slow_us") {
+          config.slow_us = std::stoll(value);
+        } else if (key == "max") {
+          config.max_faults = std::stoll(value);
+        } else {
+          std::cout << "unknown fault key '" << key << "'\n";
+          return;
+        }
+      } catch (const std::exception&) {
+        std::cout << "bad value for '" << key << "': " << value << "\n";
+        return;
+      }
+    }
+    if (!config.any()) {
+      std::cout << "no fault rates given (try \\help)\n";
+      return;
+    }
+    auto injector = std::make_shared<FaultInjector>(config);
+    server->set_fault_injector(injector);
+    loop_.connection().set_fault_injector(injector);
+    std::cout << "fault injection on (seed=" << config.seed << ")\n";
+  }
+
   void LoadGraph(std::istringstream& in) {
     std::string kind;
     in >> kind;

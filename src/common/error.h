@@ -3,6 +3,13 @@
 // The library reports failures with exceptions (RAII everywhere makes this
 // safe); each subsystem throws a subclass of `sqloop::Error` so callers can
 // distinguish user mistakes (bad SQL) from engine-side faults.
+//
+// The hierarchy also encodes the resilience layer's transient-vs-fatal
+// classification: everything under `TransientError` is retryable (the
+// statement or connection attempt can be repeated without changing the
+// query's result), everything else is fatal and aborts the run immediately.
+// `IsTransientError` is the single classification point the retry machinery
+// uses; tests/common/error_test.cpp pins the full table.
 #pragma once
 
 #include <stdexcept>
@@ -16,7 +23,7 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& message) : std::runtime_error(message) {}
 };
 
-/// The submitted SQL text could not be tokenized or parsed.
+/// The submitted SQL text could not be tokenized or parsed. Fatal.
 class ParseError : public Error {
  public:
   explicit ParseError(const std::string& message)
@@ -24,7 +31,7 @@ class ParseError : public Error {
 };
 
 /// The statement parsed but refers to unknown tables/columns, has a type
-/// mismatch, or violates a semantic rule (e.g. aggregate misuse).
+/// mismatch, or violates a semantic rule (e.g. aggregate misuse). Fatal.
 class AnalysisError : public Error {
  public:
   explicit AnalysisError(const std::string& message)
@@ -32,24 +39,67 @@ class AnalysisError : public Error {
 };
 
 /// A fault raised while executing a statement inside the database engine.
+/// Fatal: the engine deterministically rejects the statement, so retrying
+/// it can never succeed.
 class ExecutionError : public Error {
  public:
   explicit ExecutionError(const std::string& message)
       : Error("execution error: " + message) {}
 };
 
-/// Connectivity-layer fault: bad URL, closed connection, unknown database.
+/// Configuration-level connectivity fault: bad URL, unknown host or
+/// database, engine-profile mismatch, use of a closed connection. Fatal —
+/// reconnecting with the same configuration would fail the same way.
 class ConnectionError : public Error {
  public:
   explicit ConnectionError(const std::string& message)
       : Error("connection error: " + message) {}
 };
 
-/// Misuse of a SQLoop API (precondition violation by the caller).
+/// Misuse of a SQLoop API (precondition violation by the caller). Fatal.
 class UsageError : public Error {
  public:
   explicit UsageError(const std::string& message)
       : Error("usage error: " + message) {}
 };
+
+/// A fault that is expected to clear on its own: the statement never
+/// reached the engine, so re-issuing it (possibly on a fresh connection)
+/// is safe and produces the same result as an undisturbed run.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& message)
+      : Error("transient error: " + message) {}
+
+ protected:
+  /// Subclasses carry their own prefix instead of stacking "transient
+  /// error:" in front of it.
+  struct Raw {};
+  TransientError(Raw, const std::string& message) : Error(message) {}
+};
+
+/// A statement (or connection attempt) exceeded its deadline before the
+/// engine applied it. Transient: the work never happened, retry is safe.
+class TimeoutError : public TransientError {
+ public:
+  explicit TimeoutError(const std::string& message)
+      : TransientError(Raw{}, "timeout: " + message) {}
+};
+
+/// The connection to the engine dropped (or an open attempt was refused)
+/// before the in-flight statement was applied. Transient: reopen and retry.
+class ConnectionLostError : public TransientError {
+ public:
+  explicit ConnectionLostError(const std::string& message)
+      : TransientError(Raw{}, "connection lost: " + message) {}
+};
+
+/// The transient-vs-fatal classification table, in one place:
+///   transient — TransientError, TimeoutError, ConnectionLostError
+///   fatal     — ParseError, AnalysisError, ExecutionError,
+///               ConnectionError, UsageError, plain Error, anything else
+inline bool IsTransientError(const std::exception& error) noexcept {
+  return dynamic_cast<const TransientError*>(&error) != nullptr;
+}
 
 }  // namespace sqloop

@@ -9,6 +9,12 @@ ThreadPool::ThreadPool(size_t worker_count,
     workers_.emplace_back(
         [this, i, on_worker_start] { WorkerLoop(i, on_worker_start); });
   }
+  // Wait until every worker has run its start hook. Callers rely on the
+  // hooks' side effects (per-worker connections) being settled once the
+  // pool is constructed — without this, a slow-starting worker could run
+  // its hook after the caller already tore those resources down.
+  std::unique_lock lock(mutex_);
+  started_cv_.wait(lock, [&] { return started_ == worker_count; });
 }
 
 ThreadPool::~ThreadPool() {
@@ -39,6 +45,11 @@ void ThreadPool::WaitIdle() {
 void ThreadPool::WorkerLoop(
     size_t worker_index, const std::function<void(size_t)>& on_worker_start) {
   if (on_worker_start) on_worker_start(worker_index);
+  {
+    const std::scoped_lock lock(mutex_);
+    ++started_;
+  }
+  started_cv_.notify_all();
   while (true) {
     std::packaged_task<void(size_t)> task;
     {

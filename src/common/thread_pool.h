@@ -19,6 +19,8 @@ class ThreadPool {
   /// Spawns `worker_count` threads. If `on_worker_start` is provided it runs
   /// once on each worker before any task (used to open per-worker
   /// connections); its argument is the worker index in [0, worker_count).
+  /// The constructor returns only after every worker has completed its
+  /// start hook, so the hooks' side effects are settled for the caller.
   explicit ThreadPool(size_t worker_count,
                       std::function<void(size_t)> on_worker_start = {});
 
@@ -44,8 +46,10 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
+  std::condition_variable started_cv_;
   std::deque<std::packaged_task<void(size_t)>> queue_;
   size_t active_tasks_ = 0;
+  size_t started_ = 0;
   bool stopping_ = false;
   std::vector<std::jthread> workers_;
 };

@@ -11,11 +11,35 @@
 
 namespace sqloop::core {
 
+/// A transient failure about to be retried (see DESIGN.md "Failure model
+/// & resilience").
+struct RetryEvent {
+  std::string what;      // which operation failed, e.g. "compute"
+  int64_t partition;     // affected partition, -1 for master-side work
+  int attempt;           // the attempt that just failed (1-based)
+  int64_t backoff_ms;    // sleep before the next attempt
+  std::string error;     // the transient error's message
+};
+
+/// The runner shed capacity instead of aborting.
+struct DegradeEvent {
+  enum class Kind {
+    kWorkerRetired,         // a worker exhausted its retry budget
+    kMasterTookOver,        // master re-executed tasks workers abandoned
+  };
+  Kind kind;
+  size_t remaining_workers;  // live workers after the event
+  std::string reason;
+};
+
 /// Callbacks fired while an iterative or emulated-recursive CTE executes.
 /// OnRoundStart/OnRoundEnd/OnFallback arrive on the thread that called
 /// SqLoop::Execute. OnTaskComplete arrives on worker threads, possibly
 /// concurrently — implementations must be thread-safe — and only fires in
 /// telemetry-enabled builds (the default; see DESIGN.md "Observability").
+/// OnRetry and OnDegrade also arrive on worker threads and must be
+/// thread-safe; unlike OnTaskComplete they fire in ALL builds (resilience
+/// is behaviour, not observability).
 /// Callbacks must not re-enter the SqLoop instance that is executing.
 class ExecutionObserver {
  public:
@@ -36,6 +60,13 @@ class ExecutionObserver {
   /// The parallel engine declined the query and fell back to the
   /// single-threaded loop.
   virtual void OnFallback(const std::string& reason) { (void)reason; }
+
+  /// A transient failure was absorbed and the operation will be retried.
+  virtual void OnRetry(const RetryEvent& event) { (void)event; }
+
+  /// The run degraded (worker retired / master took over) instead of
+  /// aborting.
+  virtual void OnDegrade(const DegradeEvent& event) { (void)event; }
 };
 
 /// Everything an execution strategy needs besides the query itself: the

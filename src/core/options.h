@@ -22,6 +22,34 @@ enum class ExecutionMode {
 
 const char* ExecutionModeName(ExecutionMode mode) noexcept;
 
+/// How the runner reacts to transient faults (connection drops, injected
+/// transient errors, statement timeouts). Fatal errors — parse/analysis/
+/// execution/config — always abort immediately regardless of this policy.
+struct RetryPolicy {
+  /// Attempts per statement or task piece, including the first. At the
+  /// paper-scale fault rates the resilience suite injects (up to 20% per
+  /// statement), 5 attempts push the per-statement exhaustion probability
+  /// below ~3e-4. 1 disables retries.
+  int max_attempts = 5;
+
+  /// Exponential backoff before attempt k sleeps
+  /// min(backoff_max_ms, backoff_base_ms * multiplier^(k-1)), scaled by a
+  /// deterministic jitter in [0.5, 1.0] drawn from jitter_seed.
+  int64_t backoff_base_ms = 1;
+  double backoff_multiplier = 2.0;
+  int64_t backoff_max_ms = 100;
+  uint64_t jitter_seed = 42;
+
+  /// Per-statement deadline forwarded to every connection the run opens;
+  /// 0 disables. A blown deadline surfaces as a (retryable) TimeoutError.
+  int64_t statement_timeout_ms = 0;
+
+  /// When a worker exhausts its retry budget: true = degrade gracefully
+  /// (retire the worker, re-execute its tasks on the master, ultimately
+  /// single-thread the round); false = abort the run with RetryExhausted.
+  bool allow_degradation = true;
+};
+
 struct SqloopOptions {
   ExecutionMode mode = ExecutionMode::kSync;
 
@@ -52,6 +80,9 @@ struct SqloopOptions {
 
   /// Keep the result view/partitions after the query (benches sample them).
   bool keep_result_tables = false;
+
+  /// Resilience policy applied by all execution modes.
+  RetryPolicy retry;
 
   /// Worker threads actually opened: the explicit `threads` (or the paper's
   /// half-the-CPUs default), clamped to the partition count — with fewer
@@ -86,6 +117,14 @@ struct RunStats {
   uint64_t message_tables = 0;
   uint64_t skipped_tasks = 0;   // AsyncP partitions skipped as unproductive
   double seconds = 0;
+
+  // --- resilience (mirrored into the recorder as resilience.* counters,
+  // kept flat here so tests work with telemetry compiled out) ------------
+  uint64_t retries = 0;               // transient failures retried
+  uint64_t reopened_connections = 0;  // dropped connections re-armed
+  uint64_t timeouts = 0;              // statements that blew their deadline
+  uint64_t degraded_rounds = 0;       // rounds that needed master takeover
+  uint64_t workers_retired = 0;       // workers that exhausted their budget
 
   /// Telemetry of the run: per-round stats, task spans, and the counters
   /// attributed by dbc/minidb. Null until an iterative/recursive execution

@@ -96,7 +96,8 @@ ParallelRunner::ParallelRunner(std::string url, dbc::Connection& master,
       schema_(std::move(schema)),
       checker_(with.termination, translator_, analysis.cte_name),
       partitions_(static_cast<size_t>(std::max(ctx.options.partitions, 1))),
-      base_(analysis.cte_name) {
+      base_(analysis.cte_name),
+      retrier_(ctx.options.retry, ctx.recorder, ctx.observer) {
   consumed_.assign(partitions_, 0);
   priorities_.assign(partitions_, std::nullopt);
   priority_known_.assign(partitions_, false);
@@ -127,7 +128,7 @@ std::string ParallelRunner::MjoinTable(size_t k) const {
 // ---------------------------------------------------------------------------
 
 void ParallelRunner::DropLeftovers() {
-  master_.Execute("DROP VIEW IF EXISTS " + translator_.Quote(base_));
+  MasterExecute("DROP VIEW IF EXISTS " + translator_.Quote(base_));
   master_.AddBatch(translator_.DropTableSql(base_));
   master_.AddBatch(translator_.DropTableSql(base_ + "_seed"));
   master_.AddBatch(translator_.DropTableSql(base_ + "_delta"));
@@ -135,14 +136,14 @@ void ParallelRunner::DropLeftovers() {
     master_.AddBatch(translator_.DropTableSql(PartitionTable(k)));
     master_.AddBatch(translator_.DropTableSql(MjoinTable(k)));
   }
-  master_.ExecuteBatch();
+  MasterExecuteBatch();
 }
 
 void ParallelRunner::CreatePartitions() {
   const std::string staging = base_ + "_seed";
-  master_.Execute(translator_.CreateTableSql(staging, schema_, -1));
-  master_.Execute("INSERT INTO " + translator_.Quote(staging) + " " +
-                  translator_.Render(*with_.seed));
+  MasterExecute(translator_.CreateTableSql(staging, schema_, -1));
+  MasterExecute("INSERT INTO " + translator_.Quote(staging) + " " +
+                translator_.Render(*with_.seed));
 
   // Partition schema: declared columns (+ hidden accumulator/gating
   // columns depending on the aggregate).
@@ -190,7 +191,7 @@ void ParallelRunner::CreatePartitions() {
     }
   }
   master_.AddBatch(translator_.DropTableSql(staging));
-  master_.ExecuteBatch();
+  MasterExecuteBatch();
 }
 
 void ParallelRunner::CreateUnionView() {
@@ -210,7 +211,7 @@ void ParallelRunner::CreateUnionView() {
   create.kind = sql::StatementKind::kCreateView;
   create.table_name = base_;
   create.view_select = std::move(view_select);
-  master_.Execute(translator_.Render(create));
+  MasterExecute(translator_.Render(create));
 }
 
 void ParallelRunner::MaterializeConstantJoins() {
@@ -218,8 +219,11 @@ void ParallelRunner::MaterializeConstantJoins() {
   // Rmjoin (paper §V-B): the join's constant side — the bridging relation
   // filtered to rows whose from-key lives in the partition, projected to
   // the columns Ri actually uses.
-  std::vector<sql::ColumnDef> mjoin_schema = InferTableColumns(
-      master_, translator_, analysis_.mid_table, analysis_.mid_columns_used);
+  std::vector<sql::ColumnDef> mjoin_schema =
+      retrier_.Run(master_, "setup", -1, [&] {
+        return InferTableColumns(master_, translator_, analysis_.mid_table,
+                                 analysis_.mid_columns_used);
+      });
 
   std::string projection;
   for (size_t c = 0; c < analysis_.mid_columns_used.size(); ++c) {
@@ -242,9 +246,9 @@ void ParallelRunner::MaterializeConstantJoins() {
                      translator_.Quote(mjoin + "_from") + " ON " +
                      translator_.Quote(mjoin) + " (" +
                      translator_.Quote(analysis_.mid_from_key) + ")");
-    if (k % 16 == 15) master_.ExecuteBatch();
+    if (k % 16 == 15) MasterExecuteBatch();
   }
-  master_.ExecuteBatch();
+  MasterExecuteBatch();
 }
 
 void ParallelRunner::BuildTaskSql() {
@@ -373,33 +377,51 @@ void ParallelRunner::BuildTaskSql() {
 // Tasks
 // ---------------------------------------------------------------------------
 
-uint64_t ParallelRunner::RunCompute(size_t partition, dbc::Connection& conn) {
+uint64_t ParallelRunner::RunCompute(size_t partition, dbc::Connection& conn,
+                                    ComputeAttempt& attempt) {
   uint64_t updates = 0;
 
-  const uint64_t seq = message_seq_.fetch_add(1);
-  const std::string msg = base_ + "_msg" + std::to_string(seq);
-  conn.Execute(translator_.CreateTableSql(msg, message_schema_, -1));
-  const size_t produced = conn.ExecuteUpdate(
-      "INSERT INTO " + translator_.Quote(msg) + " " +
-      message_select_[partition]);
-  if (produced > 0) {
-    conn.Execute("CREATE INDEX " + translator_.Quote(msg + "_t") + " ON " +
-                 translator_.Quote(msg) + " (target_pt)");
-    std::vector<size_t> targets;
-    if (options_.mode == ExecutionMode::kAsyncPriority) {
-      // Record which partitions this table addresses so idle partitions
-      // can be skipped safely (paper SV-E: avoid unproductive tasks).
-      const auto result = conn.ExecuteQuery(
-          "SELECT DISTINCT target_pt FROM " + translator_.Quote(msg));
-      targets.reserve(result.rows.size());
-      for (const auto& row : result.rows) {
-        targets.push_back(static_cast<size_t>(row[0].as_int()));
-      }
-      std::sort(targets.begin(), targets.end());
+  if (!attempt.messages_done) {
+    if (!attempt.orphan.empty()) {
+      // A previous attempt failed after creating its message table but
+      // before handing it to the registry; a retry must not leave that
+      // partial table behind (DROP ... IF EXISTS also covers a fault
+      // before the CREATE was applied).
+      const std::string orphan = attempt.orphan;
+      conn.Execute(translator_.DropTableSql(orphan));
+      attempt.orphan.clear();
     }
-    RegisterMessageTable(msg, std::move(targets));
-  } else {
-    conn.Execute(translator_.DropTableSql(msg));
+    const uint64_t seq = message_seq_.fetch_add(1);
+    const std::string msg = base_ + "_msg" + std::to_string(seq);
+    attempt.orphan = msg;
+    conn.Execute(translator_.CreateTableSql(msg, message_schema_, -1));
+    const size_t produced = conn.ExecuteUpdate(
+        "INSERT INTO " + translator_.Quote(msg) + " " +
+        message_select_[partition]);
+    if (produced > 0) {
+      conn.Execute("CREATE INDEX " + translator_.Quote(msg + "_t") + " ON " +
+                   translator_.Quote(msg) + " (target_pt)");
+      std::vector<size_t> targets;
+      if (options_.mode == ExecutionMode::kAsyncPriority) {
+        // Record which partitions this table addresses so idle partitions
+        // can be skipped safely (paper SV-E: avoid unproductive tasks).
+        const auto result = conn.ExecuteQuery(
+            "SELECT DISTINCT target_pt FROM " + translator_.Quote(msg));
+        targets.reserve(result.rows.size());
+        for (const auto& row : result.rows) {
+          targets.push_back(static_cast<size_t>(row[0].as_int()));
+        }
+        std::sort(targets.begin(), targets.end());
+      }
+      // Once registered the table is owned by the registry — and must
+      // never be registered twice, or gathers would double-count deltas.
+      attempt.orphan.clear();
+      RegisterMessageTable(msg, std::move(targets));
+    } else {
+      conn.Execute(translator_.DropTableSql(msg));
+      attempt.orphan.clear();
+    }
+    attempt.messages_done = true;
   }
 
   if (!update_sql_[partition].empty()) {
@@ -411,9 +433,9 @@ uint64_t ParallelRunner::RunCompute(size_t partition, dbc::Connection& conn) {
 
 uint64_t ParallelRunner::RunGather(size_t partition, dbc::Connection& conn) {
   auto [unread, upto] = UnreadMessages(partition);
-  gather_tasks_.fetch_add(1);
   if (unread.empty()) {
     MarkConsumed(partition, upto);  // nothing addressed to this partition
+    gather_tasks_.fetch_add(1);
     return 0;
   }
 
@@ -498,13 +520,16 @@ uint64_t ParallelRunner::RunGather(size_t partition, dbc::Connection& conn) {
 
   const uint64_t updates = conn.ExecuteUpdate(sql);
   MarkConsumed(partition, upto);
+  // Counted at completion (not entry) so a retried gather counts once.
+  gather_tasks_.fetch_add(1);
   messages_consumed_.fetch_add(unread.size());
   return updates;
 }
 
-uint64_t ParallelRunner::TimedCompute(size_t partition, dbc::Connection& conn) {
+uint64_t ParallelRunner::TimedCompute(size_t partition, dbc::Connection& conn,
+                                      ComputeAttempt& attempt) {
   const double start = run_watch_.ElapsedSeconds();
-  const uint64_t updates = RunCompute(partition, conn);
+  const uint64_t updates = RunCompute(partition, conn, attempt);
   const double duration = run_watch_.ElapsedSeconds() - start;
   compute_ns_.fetch_add(static_cast<uint64_t>(duration * 1e9));
   EmitSpan(telemetry::SpanKind::kCompute, static_cast<int64_t>(partition),
@@ -520,6 +545,106 @@ uint64_t ParallelRunner::TimedGather(size_t partition, dbc::Connection& conn) {
   EmitSpan(telemetry::SpanKind::kGather, static_cast<int64_t>(partition),
            start, duration, updates);
   return updates;
+}
+
+// ---------------------------------------------------------------------------
+// Resilience (DESIGN.md "Failure model & resilience")
+// ---------------------------------------------------------------------------
+
+void ParallelRunner::MasterExecute(const std::string& sql) {
+  retrier_.Run(master_, "master", -1, [&] {
+    master_.Execute(sql);
+    return 0;
+  });
+}
+
+void ParallelRunner::MasterExecuteBatch() {
+  // Safe to retry as one unit: a fault strikes before any batched
+  // statement executes, and the queued batch survives the failure (and a
+  // Reopen), so a retry resubmits exactly the original statements.
+  retrier_.Run(master_, "master-batch", -1, [&] {
+    master_.ExecuteBatch();
+    return 0;
+  });
+}
+
+void ParallelRunner::RunSpec(dbc::Connection& conn, TaskSpec& spec) {
+  const size_t k = spec.partition;
+  const auto partition = static_cast<int64_t>(k);
+  if (spec.do_gather) {
+    const uint64_t updates = retrier_.Run(conn, "gather", partition, [&] {
+      return TimedGather(k, conn);
+    });
+    round_updates_.fetch_add(updates);
+    spec.updates += updates;
+    spec.do_gather = false;
+  }
+  if (spec.do_compute) {
+    const uint64_t updates = retrier_.Run(conn, "compute", partition, [&] {
+      return TimedCompute(k, conn, spec.compute);
+    });
+    round_updates_.fetch_add(updates);
+    spec.updates += updates;
+    spec.do_compute = false;
+  }
+  if (spec.refresh != RefreshMode::kNone) {
+    if (spec.refresh == RefreshMode::kAlways || spec.updates > 0) {
+      retrier_.Run(conn, "priority", partition, [&] {
+        RefreshPriority(k, conn);
+        return 0;
+      });
+    } else {
+      // An unchanged partition keeps no claim to the scheduler's
+      // attention until messages arrive for it.
+      const std::scoped_lock lock(priority_mutex_);
+      priorities_[k] = std::nullopt;
+      priority_known_[k] = true;
+    }
+    spec.refresh = RefreshMode::kNone;
+  }
+}
+
+void ParallelRunner::AbandonTask(TaskSpec spec) {
+  const std::scoped_lock lock(degrade_mutex_);
+  abandoned_.push_back(std::move(spec));
+}
+
+void ParallelRunner::DrainAbandoned() {
+  std::vector<TaskSpec> pending;
+  size_t remaining_workers = 0;
+  {
+    const std::scoped_lock lock(degrade_mutex_);
+    pending.swap(abandoned_);
+    remaining_workers = live_workers_;
+  }
+  if (pending.empty()) return;
+  if (!round_degraded_) {
+    round_degraded_ = true;
+    ++degraded_rounds_;
+    SQLOOP_COUNT(recorder_, "resilience.degraded_rounds", 1);
+  }
+  if (observer_ != nullptr) {
+    observer_->OnDegrade(
+        {DegradeEvent::Kind::kMasterTookOver, remaining_workers,
+         std::to_string(pending.size()) +
+             " abandoned task(s) re-executed on the master connection"});
+  }
+  // The last rung of the ladder: with every worker retired this loop IS
+  // the single-thread fallback — the round completes on the master alone.
+  // RetryExhausted here has no rung left below it and aborts the run.
+  for (TaskSpec& spec : pending) {
+    RunSpec(master_, spec);
+  }
+}
+
+void ParallelRunner::FlushResilienceStats() {
+  // += rather than =: a setup-phase Retrier (schema inference in sqloop.cpp)
+  // may have accumulated counts before this runner existed.
+  stats_.retries += retrier_.retries();
+  stats_.reopened_connections += retrier_.reopened_connections();
+  stats_.timeouts += retrier_.timeouts();
+  stats_.workers_retired += workers_retired_.load();
+  stats_.degraded_rounds += degraded_rounds_;
 }
 
 // ---------------------------------------------------------------------------
@@ -640,7 +765,7 @@ void ParallelRunner::DropFullyConsumedMessages() {
   for (const auto& name : droppable) {
     master_.AddBatch(translator_.DropTableSql(name));
   }
-  master_.ExecuteBatch();
+  MasterExecuteBatch();
 }
 
 // ---------------------------------------------------------------------------
@@ -746,31 +871,108 @@ void ParallelRunner::RunRounds() {
   const int threads = options_.ResolveThreads();
   std::vector<std::unique_ptr<dbc::Connection>> worker_conns(
       static_cast<size_t>(threads));
+  worker_dead_.assign(static_cast<size_t>(threads), 0);
+  {
+    const std::scoped_lock lock(degrade_mutex_);
+    live_workers_ = static_cast<size_t>(threads);
+  }
   ThreadPool pool(static_cast<size_t>(threads), [&](size_t index) {
     try {
       worker_conns[index] = dbc::DriverManager::GetConnection(url_);
       // Worker statements count toward the same run as the master's.
       worker_conns[index]->set_recorder(recorder_);
+      worker_conns[index]->set_statement_timeout_ms(
+          options_.retry.statement_timeout_ms);
+    } catch (const std::exception& e) {
+      if (IsTransientError(e)) return;  // first task re-attempts the open
+      const std::scoped_lock lock(failure_mutex_);
+      if (!failure_) failure_ = std::current_exception();
     } catch (...) {
       const std::scoped_lock lock(failure_mutex_);
       if (!failure_) failure_ = std::current_exception();
     }
   });
 
-  const auto guarded = [&](auto body) {
-    return [this, body, &worker_conns](size_t worker) {
-      try {
-        {
-          const std::scoped_lock lock(failure_mutex_);
-          if (failure_) return;
+  // However RunRounds exits, every worker connection is closed before the
+  // pool unwinds — the failure path must not leak live connections until
+  // some enclosing scope gets around to it. Declared after `pool` so it
+  // runs first, and it drains the queue so no task can resurrect a
+  // connection afterwards.
+  struct WorkerConnCloser {
+    ThreadPool& pool;
+    std::vector<std::unique_ptr<dbc::Connection>>& conns;
+    ~WorkerConnCloser() {
+      pool.WaitIdle();
+      for (auto& conn : conns) {
+        if (conn && !conn->closed()) {
+          try {
+            conn->Close();
+          } catch (...) {
+            // Deterministic close is best-effort on the unwind path.
+          }
         }
-        if (!worker_conns[worker]) return;  // connection failed to open
-        round_updates_.fetch_add(body(*worker_conns[worker]));
-      } catch (...) {
-        const std::scoped_lock lock(failure_mutex_);
-        if (!failure_) failure_ = std::current_exception();
       }
-    };
+    }
+  } closer{pool, worker_conns};
+
+  const auto poison = [&] {
+    const std::scoped_lock lock(failure_mutex_);
+    if (!failure_) failure_ = std::current_exception();
+  };
+  const auto worker_retired = [&](size_t worker) {
+    const std::scoped_lock lock(degrade_mutex_);
+    return worker_dead_[worker] != 0;
+  };
+  // Rung 3 of the ladder: a worker that exhausted its retry budget is
+  // retired — the pool shrinks and the worker's connection closes for good.
+  const auto retire_worker = [&](size_t worker, const std::string& reason) {
+    size_t remaining = 0;
+    {
+      const std::scoped_lock lock(degrade_mutex_);
+      if (worker_dead_[worker]) return;
+      worker_dead_[worker] = 1;
+      remaining = --live_workers_;
+    }
+    workers_retired_.fetch_add(1);
+    SQLOOP_COUNT(recorder_, "resilience.workers_retired", 1);
+    if (worker_conns[worker] && !worker_conns[worker]->closed()) {
+      try {
+        worker_conns[worker]->Close();
+      } catch (...) {
+      }
+    }
+    if (observer_ != nullptr) {
+      observer_->OnDegrade(
+          {DegradeEvent::Kind::kWorkerRetired, remaining, reason});
+    }
+  };
+
+  // One spec on one worker thread. Transient faults retry inside RunSpec
+  // (rungs 1-2: retry, reopen); budget exhaustion retires the worker and
+  // forwards the spec's unfinished pieces to the master (rung 4); fatal
+  // errors poison the run.
+  const auto run_task = [&](size_t worker, TaskSpec spec) {
+    {
+      const std::scoped_lock lock(failure_mutex_);
+      if (failure_) return;
+    }
+    if (worker_retired(worker)) {
+      AbandonTask(std::move(spec));
+      return;
+    }
+    try {
+      dbc::Connection& conn = retrier_.EnsureOpen(worker_conns[worker], url_);
+      RunSpec(conn, spec);
+    } catch (const RetryExhausted& e) {
+      if (options_.retry.allow_degradation) {
+        retire_worker(worker, e.what());
+        AbandonTask(std::move(spec));
+      } else {
+        poison();
+      }
+    } catch (...) {
+      poison();
+    }
   };
   const auto throw_if_failed = [&] {
     const std::scoped_lock lock(failure_mutex_);
@@ -795,19 +997,22 @@ void ParallelRunner::RunRounds() {
 
   for (int64_t round = 1;; ++round) {
     current_round_.store(round, std::memory_order_relaxed);
+    round_degraded_ = false;
     if (observer_ != nullptr) observer_->OnRoundStart(round);
     const double round_start = run_watch_.ElapsedSeconds();
     double barrier_wait = 0;
     if (checker_.needs_delta_snapshot()) {
       for (const auto& sql : checker_.SnapshotSql(schema_)) {
-        master_.Execute(sql);
+        MasterExecute(sql);
       }
     }
     round_updates_.store(0);
 
     // Aggregate worker idle across one barriered phase: the pool has
     // `threads` workers for `wall` seconds; whatever they did not spend
-    // inside tasks was spent waiting at the barrier.
+    // inside tasks was spent waiting at the barrier. Abandoned tasks are
+    // drained after the estimate so master takeover does not read as
+    // barrier idleness.
     const auto barrier_phase = [&](auto submit_all) {
       const double phase_start = run_watch_.ElapsedSeconds();
       const uint64_t busy_before = compute_ns_.load() + gather_ns_.load();
@@ -820,39 +1025,50 @@ void ParallelRunner::RunRounds() {
                               busy_before) *
           1e-9;
       barrier_wait += std::max(0.0, wall * threads - busy);
+      DrainAbandoned();
     };
 
     if (options_.mode == ExecutionMode::kSync) {
       // Two-phase with explicit barriers (paper §V-E, Fig. 3 top).
       barrier_phase([&] {
         for (size_t k = 0; k < partitions_; ++k) {
-          pool.Submit(guarded([this, k](dbc::Connection& conn) {
-            return TimedCompute(k, conn);
-          }));
+          pool.Submit([&run_task, k](size_t worker) {
+            TaskSpec spec;
+            spec.partition = k;
+            spec.do_compute = true;
+            run_task(worker, std::move(spec));
+          });
         }
       });
       barrier_phase([&] {
         for (size_t k = 0; k < partitions_; ++k) {
-          pool.Submit(guarded([this, k](dbc::Connection& conn) {
-            return TimedGather(k, conn);
-          }));
+          pool.Submit([&run_task, k](size_t worker) {
+            TaskSpec spec;
+            spec.partition = k;
+            spec.do_gather = true;
+            run_task(worker, std::move(spec));
+          });
         }
       });
     } else if (!continuous_priority) {
       // Async: Gather then Compute per partition, no barrier between
       // partitions (paper §V-E, Fig. 3 bottom).
+      const RefreshMode refresh = options_.mode == ExecutionMode::kAsyncPriority
+                                      ? RefreshMode::kAlways
+                                      : RefreshMode::kNone;
       for (const size_t k : PartitionOrderForRound()) {
-        pool.Submit(guarded([this, k](dbc::Connection& conn) {
-          uint64_t updates = TimedGather(k, conn);
-          updates += TimedCompute(k, conn);
-          if (options_.mode == ExecutionMode::kAsyncPriority) {
-            RefreshPriority(k, conn);
-          }
-          return updates;
-        }));
+        pool.Submit([&run_task, k, refresh](size_t worker) {
+          TaskSpec spec;
+          spec.partition = k;
+          spec.do_gather = true;
+          spec.do_compute = true;
+          spec.refresh = refresh;
+          run_task(worker, std::move(spec));
+        });
       }
       pool.WaitIdle();
       throw_if_failed();
+      DrainAbandoned();
     } else {
       // AsyncP: continuously dispatch the highest-priority eligible
       // partition, keeping at most `threads` tasks in flight so every
@@ -913,22 +1129,16 @@ void ParallelRunner::RunRounds() {
                        best_rank);
         }
         const size_t k = static_cast<size_t>(best);
-        pool.Submit([this, k, guarded, &sched_mutex, &sched_cv, &running,
+        pool.Submit([&run_task, k, &sched_mutex, &sched_cv, &running,
                      &in_flight](size_t worker) {
-          guarded([this, k](dbc::Connection& conn) {
-            uint64_t updates = TimedGather(k, conn);
-            updates += TimedCompute(k, conn);
-            // An unchanged partition keeps its previous priority; only
-            // re-measure when the pair actually moved data.
-            if (updates > 0) {
-              RefreshPriority(k, conn);
-            } else {
-              const std::scoped_lock lock(priority_mutex_);
-              priorities_[k] = std::nullopt;
-              priority_known_[k] = true;
-            }
-            return updates;
-          })(worker);
+          // kIfProductive: an unchanged partition keeps its previous
+          // priority; only re-measure when the pair actually moved data.
+          TaskSpec spec;
+          spec.partition = k;
+          spec.do_gather = true;
+          spec.do_compute = true;
+          spec.refresh = RefreshMode::kIfProductive;
+          run_task(worker, std::move(spec));
           const std::scoped_lock lock(sched_mutex);
           running[k] = 0;
           --in_flight;
@@ -940,6 +1150,9 @@ void ParallelRunner::RunRounds() {
         sched_cv.wait(lock, [&] { return in_flight == 0; });
       }
       throw_if_failed();
+      // Drain before the starvation check: an abandoned pair the master
+      // re-runs may still produce updates this window.
+      DrainAbandoned();
       // Account partitions with no productive work as skipped (§V-E).
       for (size_t k = 0; k < partitions_; ++k) {
         double rank;
@@ -959,7 +1172,8 @@ void ParallelRunner::RunRounds() {
         DropFullyConsumedMessages();
         stats_.iterations = round;
         FinishRound(round, 0, round_start, barrier_wait);
-        checker_.Satisfied(master_, round, 0);
+        retrier_.Run(master_, "termination", -1,
+                     [&] { return checker_.Satisfied(master_, round, 0); });
         break;
       }
     }
@@ -972,7 +1186,10 @@ void ParallelRunner::RunRounds() {
     // A zero-update window is genuine quiescence: the fair tie-breaking
     // above guarantees every pending message is consumed within a window,
     // so anything still unread is an idempotent re-send.
-    if (checker_.Satisfied(master_, round, updates)) break;
+    const bool satisfied = retrier_.Run(master_, "termination", -1, [&] {
+      return checker_.Satisfied(master_, round, updates);
+    });
+    if (satisfied) break;
     if (round >= options_.max_iterations_guard) {
       throw ExecutionError("iterative CTE '" + with_.name +
                            "' did not satisfy its UNTIL condition within " +
@@ -988,6 +1205,9 @@ void ParallelRunner::RunRounds() {
 
 void ParallelRunner::Cleanup() {
   try {
+    // The run may have ended with the master connection dropped by a
+    // fault; cleanup needs a live connection or nothing below can work.
+    if (master_.closed()) master_.Reopen();
     master_.Execute("DROP VIEW IF EXISTS " + translator_.Quote(base_));
     for (size_t k = 0; k < partitions_; ++k) {
       master_.AddBatch(translator_.DropTableSql(PartitionTable(k)));
@@ -1010,6 +1230,14 @@ void ParallelRunner::Cleanup() {
 
 dbc::ResultSet ParallelRunner::Run() {
   const Stopwatch watch;
+  // The caller owns the master connection; apply the run's statement
+  // timeout for the duration of the run and restore the old value after.
+  struct TimeoutGuard {
+    dbc::Connection& conn;
+    int64_t saved;
+    ~TimeoutGuard() { conn.set_statement_timeout_ms(saved); }
+  } timeout_guard{master_, master_.statement_timeout_ms()};
+  master_.set_statement_timeout_ms(options_.retry.statement_timeout_ms);
   try {
     const double setup_start = run_watch_.ElapsedSeconds();
     DropLeftovers();
@@ -1022,8 +1250,9 @@ dbc::ResultSet ParallelRunner::Run() {
     RunRounds();
 
     const double final_start = run_watch_.ElapsedSeconds();
-    dbc::ResultSet result =
-        master_.ExecuteQuery(translator_.Render(*with_.final_query));
+    dbc::ResultSet result = retrier_.Run(master_, "final", -1, [&] {
+      return master_.ExecuteQuery(translator_.Render(*with_.final_query));
+    });
     SQLOOP_TELEMETRY(EmitSpan(telemetry::SpanKind::kFinal, -1, final_start,
                               run_watch_.ElapsedSeconds() - final_start, 0););
 
@@ -1045,12 +1274,14 @@ dbc::ResultSet ParallelRunner::Run() {
         master_.AddBatch(translator_.DropTableSql(message_tables_[i]));
       }
       dropped_prefix_ = message_tables_.size();
-      master_.ExecuteBatch();
+      MasterExecuteBatch();
     } else {
       Cleanup();
     }
+    FlushResilienceStats();
     return result;
   } catch (...) {
+    FlushResilienceStats();  // partial counters still tell the story
     Cleanup();
     throw;
   }

@@ -16,6 +16,7 @@
 #include "core/analysis.h"
 #include "core/observer.h"
 #include "core/options.h"
+#include "core/resilience.h"
 #include "core/termination.h"
 #include "core/translator.h"
 #include "dbc/connection.h"
@@ -37,6 +38,36 @@ class ParallelRunner {
   dbc::ResultSet Run();
 
  private:
+  /// Cross-attempt progress of one Compute task, so a retry never repeats
+  /// a completed piece: once the message phase is done it is skipped (a
+  /// second RegisterMessageTable would double-count SUM deltas), and a
+  /// partial message table left by a failed attempt is dropped before the
+  /// next one (DESIGN.md "Failure model & resilience").
+  struct ComputeAttempt {
+    bool messages_done = false;
+    std::string orphan;  // created but not yet registered/dropped
+  };
+
+  /// Whether a finished Compute/Gather pair re-measures its priority.
+  enum class RefreshMode {
+    kNone,
+    kAlways,        // Async under AsyncP mode: refresh unconditionally
+    kIfProductive,  // AsyncP continuous: refresh only if the pair moved data
+  };
+
+  /// One unit of schedulable work plus its progress. A spec survives its
+  /// worker: when a worker exhausts its retry budget the spec — with the
+  /// completed pieces already cleared — moves to `abandoned_` and the
+  /// master re-executes only what is left.
+  struct TaskSpec {
+    size_t partition = 0;
+    bool do_gather = false;
+    bool do_compute = false;
+    RefreshMode refresh = RefreshMode::kNone;
+    uint64_t updates = 0;  // accumulated across pieces (feeds kIfProductive)
+    ComputeAttempt compute;
+  };
+
   // --- setup / teardown -------------------------------------------------
   void DropLeftovers();
   void CreatePartitions();
@@ -45,12 +76,28 @@ class ParallelRunner {
   void BuildTaskSql();
   void Cleanup();
 
+  // --- resilience (DESIGN.md "Failure model & resilience") ---------------
+  /// master_.Execute / master_.ExecuteBatch under the retry policy.
+  void MasterExecute(const std::string& sql);
+  void MasterExecuteBatch();
+  /// Runs the spec's remaining pieces on `conn`, each piece under the
+  /// retry policy, clearing piece flags as they complete. Worker threads
+  /// and the master (DrainAbandoned) both use it.
+  void RunSpec(dbc::Connection& conn, TaskSpec& spec);
+  void AbandonTask(TaskSpec spec);
+  /// Master-side: re-executes every abandoned spec on the master
+  /// connection. Called only while the pool is idle (phase/round borders).
+  void DrainAbandoned();
+  void FlushResilienceStats();
+
   // --- tasks (§V-C) -----------------------------------------------------
-  uint64_t RunCompute(size_t partition, dbc::Connection& conn);
+  uint64_t RunCompute(size_t partition, dbc::Connection& conn,
+                      ComputeAttempt& attempt);
   uint64_t RunGather(size_t partition, dbc::Connection& conn);
   /// Task wrappers: time the task into the per-round accumulators and emit
   /// a TaskSpan (telemetry-enabled builds only).
-  uint64_t TimedCompute(size_t partition, dbc::Connection& conn);
+  uint64_t TimedCompute(size_t partition, dbc::Connection& conn,
+                        ComputeAttempt& attempt);
   uint64_t TimedGather(size_t partition, dbc::Connection& conn);
 
   // --- telemetry ----------------------------------------------------------
@@ -145,6 +192,18 @@ class ParallelRunner {
   // First task failure, rethrown on the master thread.
   std::mutex failure_mutex_;
   std::exception_ptr failure_;
+
+  // Resilience state. The retrier is shared by the master and all workers;
+  // the degradation ladder tracks retired workers and the tasks they
+  // abandoned (drained by the master at phase/round borders).
+  Retrier retrier_;
+  std::mutex degrade_mutex_;
+  std::vector<char> worker_dead_;
+  size_t live_workers_ = 0;
+  std::vector<TaskSpec> abandoned_;
+  std::atomic<uint64_t> workers_retired_{0};
+  uint64_t degraded_rounds_ = 0;   // master-thread only
+  bool round_degraded_ = false;    // master-thread only, reset per round
 };
 
 }  // namespace sqloop::core

@@ -1,0 +1,91 @@
+#include "core/resilience.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "dbc/driver.h"
+#include "telemetry/hooks.h"
+
+namespace sqloop::core {
+
+Retrier::Retrier(const RetryPolicy& policy, telemetry::Recorder* recorder,
+                 ExecutionObserver* observer)
+    : policy_(policy),
+      recorder_(recorder),
+      observer_(observer),
+      jitter_rng_(policy.jitter_seed) {}
+
+int64_t Retrier::NextBackoffMs(int attempt) {
+  if (policy_.backoff_base_ms <= 0) return 0;
+  double backoff = static_cast<double>(policy_.backoff_base_ms) *
+                   std::pow(policy_.backoff_multiplier, attempt - 1);
+  backoff = std::min(backoff, static_cast<double>(policy_.backoff_max_ms));
+  // Deterministic jitter in [0.5, 1.0]: decorrelates workers without
+  // sacrificing run-to-run reproducibility (seeded stream).
+  double jitter;
+  {
+    const std::lock_guard<std::mutex> lock(jitter_mutex_);
+    jitter = 0.5 + 0.5 * jitter_rng_.NextDouble();
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(backoff * jitter));
+}
+
+void Retrier::NoteRetry(const char* what, int64_t partition, int attempt,
+                        int64_t backoff_ms, const std::string& error) {
+  retries_.fetch_add(1);
+  SQLOOP_COUNT(recorder_, "resilience.retries", 1);
+  if (observer_ != nullptr) {
+    observer_->OnRetry(RetryEvent{what, partition, attempt, backoff_ms,
+                                  error});
+  }
+}
+
+void Retrier::HandleFailure(const std::exception& error, const char* what,
+                            int64_t partition, int attempt) {
+  if (!IsTransientError(error)) throw;  // fatal: surface the original error
+  if (dynamic_cast<const TimeoutError*>(&error) != nullptr) {
+    timeouts_.fetch_add(1);
+    SQLOOP_COUNT(recorder_, "resilience.timeouts", 1);
+  }
+  if (attempt >= policy_.max_attempts) {
+    throw RetryExhausted(attempt, error.what());
+  }
+  const int64_t backoff_ms = NextBackoffMs(attempt);
+  NoteRetry(what, partition, attempt, backoff_ms, error.what());
+  if (backoff_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+  }
+}
+
+void Retrier::Reopen(dbc::Connection& conn, const char* /*what*/,
+                     int64_t /*partition*/, int /*attempt*/) {
+  conn.Reopen();  // may throw ConnectionLostError -> handled by the caller
+  reopens_.fetch_add(1);
+  SQLOOP_COUNT(recorder_, "resilience.reopened_connections", 1);
+}
+
+dbc::Connection& Retrier::EnsureOpen(std::unique_ptr<dbc::Connection>& slot,
+                                     const std::string& url) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (!slot) {
+        // A fresh open replacing a lost/abandoned connection counts as a
+        // reopen: it is the recovery action, just without an old handle.
+        slot = dbc::DriverManager::GetConnection(url);
+        slot->set_statement_timeout_ms(policy_.statement_timeout_ms);
+        slot->set_recorder(recorder_);
+        reopens_.fetch_add(1);
+        SQLOOP_COUNT(recorder_, "resilience.reopened_connections", 1);
+      } else if (slot->closed()) {
+        Reopen(*slot, "reopen", -1, attempt);
+      }
+      return *slot;
+    } catch (const std::exception& e) {
+      HandleFailure(e, "reopen", -1, attempt);
+    }
+  }
+}
+
+}  // namespace sqloop::core

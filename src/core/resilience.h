@@ -1,0 +1,99 @@
+// The resilience engine: retry-with-backoff around every statement the
+// runners issue, connection reopening, and the bookkeeping the degradation
+// ladder builds on (see DESIGN.md "Failure model & resilience").
+//
+// The Retrier only ever retries *transient* errors (IsTransientError);
+// fatal errors pass straight through. Retrying is safe because faults are
+// injected before a statement reaches the engine (fault.h): a failed
+// operation provably did not happen, so re-running the caller's closure
+// cannot double-apply work — callers whose closures span several
+// statements keep their own progress state (see ComputeAttempt in
+// parallel.cpp) so completed pieces are not repeated.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/observer.h"
+#include "core/options.h"
+#include "dbc/connection.h"
+#include "telemetry/recorder.h"
+
+namespace sqloop::core {
+
+/// A transient failure survived RetryPolicy::max_attempts attempts. Fatal:
+/// the ladder above (worker retirement / master takeover) decides whether
+/// the run can still continue.
+class RetryExhausted : public Error {
+ public:
+  RetryExhausted(int attempts, const std::string& last_error)
+      : Error("retry budget exhausted after " + std::to_string(attempts) +
+              " attempts; last error: " + last_error) {}
+};
+
+/// Thread-safe retry executor shared by one run's master and workers.
+/// Counts retries/reopens/timeouts for RunStats and mirrors them into the
+/// telemetry recorder.
+class Retrier {
+ public:
+  Retrier(const RetryPolicy& policy, telemetry::Recorder* recorder,
+          ExecutionObserver* observer);
+
+  /// Runs `fn` with up to policy.max_attempts attempts. Before each
+  /// attempt a closed `conn` (dropped by a fault, or closed by a previous
+  /// failed attempt) is reopened in place. Transient errors back off and
+  /// retry; fatal errors and budget exhaustion (RetryExhausted) propagate.
+  /// `what`/`partition` label telemetry and observer events.
+  template <typename Fn>
+  auto Run(dbc::Connection& conn, const char* what, int64_t partition,
+           Fn&& fn) {
+    for (int attempt = 1;; ++attempt) {
+      try {
+        if (conn.closed()) Reopen(conn, what, partition, attempt);
+        return fn();
+      } catch (const std::exception& e) {
+        HandleFailure(e, what, partition, attempt);
+      }
+    }
+  }
+
+  /// Opens (or re-opens) the connection slot for `url`, retrying transient
+  /// open failures under the same policy. Applies the policy's statement
+  /// timeout and the run's recorder to the fresh connection.
+  dbc::Connection& EnsureOpen(std::unique_ptr<dbc::Connection>& slot,
+                              const std::string& url);
+
+  const RetryPolicy& policy() const noexcept { return policy_; }
+
+  // --- counters (flushed into RunStats by the runner) -------------------
+  uint64_t retries() const noexcept { return retries_.load(); }
+  uint64_t reopened_connections() const noexcept { return reopens_.load(); }
+  uint64_t timeouts() const noexcept { return timeouts_.load(); }
+
+ private:
+  /// Classifies the failure; returns normally iff the caller should try
+  /// again (after this method slept the backoff).
+  void HandleFailure(const std::exception& error, const char* what,
+                     int64_t partition, int attempt);
+  void Reopen(dbc::Connection& conn, const char* what, int64_t partition,
+              int attempt);
+  int64_t NextBackoffMs(int attempt);
+  void NoteRetry(const char* what, int64_t partition, int attempt,
+                 int64_t backoff_ms, const std::string& error);
+
+  const RetryPolicy policy_;
+  telemetry::Recorder* recorder_;
+  ExecutionObserver* observer_;
+  std::mutex jitter_mutex_;
+  Rng jitter_rng_;
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> reopens_{0};
+  std::atomic<uint64_t> timeouts_{0};
+};
+
+}  // namespace sqloop::core

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/stopwatch.h"
+#include "core/resilience.h"
 #include "core/schema_infer.h"
 #include "core/termination.h"
 #include "core/translator.h"
@@ -12,6 +13,55 @@ namespace sqloop::core {
 namespace {
 
 using minidb::FoldIdentifier;
+
+/// Statement-level resilience for the single-threaded loops: every
+/// statement is one retry unit. Faults are injected before the engine
+/// applies a statement (see DESIGN.md "Failure model & resilience"), so
+/// re-running a failed statement never double-applies work, and the loop's
+/// own progress (which statement comes next) is naturally preserved.
+/// Also scopes the policy's statement timeout to the run.
+class ResilientConn {
+ public:
+  ResilientConn(dbc::Connection& conn, const ExecutionContext& ctx)
+      : conn_(conn),
+        retrier_(ctx.options.retry, ctx.recorder, ctx.observer),
+        stats_(ctx.stats),
+        saved_timeout_ms_(conn.statement_timeout_ms()) {
+    conn_.set_statement_timeout_ms(ctx.options.retry.statement_timeout_ms);
+  }
+  ~ResilientConn() {
+    conn_.set_statement_timeout_ms(saved_timeout_ms_);
+    // Flush on every exit path: partial counters still tell the story
+    // when the run aborts.
+    // += so counts from a setup-phase Retrier (sqloop.cpp) survive when
+    // the parallel path falls back here mid-setup.
+    stats_.retries += retrier_.retries();
+    stats_.reopened_connections += retrier_.reopened_connections();
+    stats_.timeouts += retrier_.timeouts();
+  }
+
+  void Execute(const std::string& sql) {
+    retrier_.Run(conn_, "statement", -1, [&] {
+      conn_.Execute(sql);
+      return 0;
+    });
+  }
+  size_t ExecuteUpdate(const std::string& sql) {
+    return retrier_.Run(conn_, "statement", -1,
+                        [&] { return conn_.ExecuteUpdate(sql); });
+  }
+  dbc::ResultSet ExecuteQuery(const std::string& sql) {
+    return retrier_.Run(conn_, "query", -1,
+                        [&] { return conn_.ExecuteQuery(sql); });
+  }
+  Retrier& retrier() { return retrier_; }
+
+ private:
+  dbc::Connection& conn_;
+  Retrier retrier_;
+  RunStats& stats_;
+  int64_t saved_timeout_ms_;
+};
 
 /// Builds `UPDATE <target> SET c1 = <alias>.c1, ... FROM <source> AS
 /// <alias> WHERE <target>.<key> = <alias>.<key>` — the Rid ∩ Rtmp_id merge
@@ -75,10 +125,15 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
   const Translator translator = Translator::For(connection);
   const std::string table = FoldIdentifier(with.name);
   const std::string tmp = table + "_tmp";
+  ResilientConn rc(connection, ctx);
 
-  const auto schema = InferSchemaFromSelect(connection, translator, *with.seed,
-                                            with.columns,
-                                            /*widen_non_key=*/true);
+  // Schema inference only issues read-only probes, so the whole call is a
+  // safe retry unit.
+  const auto schema = rc.retrier().Run(connection, "setup", -1, [&] {
+    return InferSchemaFromSelect(connection, translator, *with.seed,
+                                 with.columns,
+                                 /*widen_non_key=*/true);
+  });
   if (schema.size() < 2) {
     throw AnalysisError("an iterative CTE needs a key column plus at least "
                         "one value column");
@@ -86,13 +141,13 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
   const TerminationChecker checker(with.termination, translator, table);
 
   // CREATE TABLE R; INSERT INTO R R0 (paper §IV-B).
-  connection.Execute(translator.DropTableSql(table));
-  connection.Execute(translator.DropTableSql(tmp));
-  connection.Execute(translator.DropTableSql(checker.delta_table()));
-  connection.Execute(
+  rc.Execute(translator.DropTableSql(table));
+  rc.Execute(translator.DropTableSql(tmp));
+  rc.Execute(translator.DropTableSql(checker.delta_table()));
+  rc.Execute(
       translator.CreateTableSql(table, schema, /*primary_key_index=*/0));
-  connection.Execute("INSERT INTO " + translator.Quote(table) + " " +
-                     translator.Render(*with.seed));
+  rc.Execute("INSERT INTO " + translator.Quote(table) + " " +
+             translator.Render(*with.seed));
 
   const std::string insert_tmp_sql = "INSERT INTO " + translator.Quote(tmp) +
                                      " " + translator.Render(*with.step);
@@ -106,20 +161,23 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
     const double body_start = watch.ElapsedSeconds();
     if (checker.needs_delta_snapshot()) {
       for (const auto& sql : checker.SnapshotSql(schema)) {
-        connection.Execute(sql);
+        rc.Execute(sql);
       }
     }
     // Rtmp <- Ri(R); R <- merge(R, Rtmp) on matching keys.
-    connection.Execute(create_tmp_sql);
-    connection.Execute(insert_tmp_sql);
-    const size_t updates = connection.ExecuteUpdate(merge_sql);
-    connection.Execute(drop_tmp_sql);
+    rc.Execute(create_tmp_sql);
+    rc.Execute(insert_tmp_sql);
+    const size_t updates = rc.ExecuteUpdate(merge_sql);
+    rc.Execute(drop_tmp_sql);
 
     stats.iterations = iteration;
     stats.total_updates += updates;
     RecordRound(ctx, watch, iteration, updates, body_start,
                 telemetry::SpanKind::kMerge);
-    if (checker.Satisfied(connection, iteration, updates)) break;
+    const bool satisfied = rc.retrier().Run(connection, "termination", -1, [&] {
+      return checker.Satisfied(connection, iteration, updates);
+    });
+    if (satisfied) break;
     if (iteration >= options.max_iterations_guard) {
       throw ExecutionError("iterative CTE '" + with.name +
                            "' did not satisfy its UNTIL condition within " +
@@ -129,11 +187,11 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
   }
 
   dbc::ResultSet result =
-      connection.ExecuteQuery(translator.Render(*with.final_query));
+      rc.ExecuteQuery(translator.Render(*with.final_query));
 
   if (!options.keep_result_tables) {
-    connection.Execute(translator.DropTableSql(table));
-    connection.Execute(translator.DropTableSql(checker.delta_table()));
+    rc.Execute(translator.DropTableSql(table));
+    rc.Execute(translator.DropTableSql(checker.delta_table()));
   }
   stats.mode_used = ExecutionMode::kSingleThread;
   stats.seconds = watch.ElapsedSeconds();
@@ -151,21 +209,23 @@ dbc::ResultSet RunRecursiveEmulated(dbc::Connection& connection,
   const std::string work_a = table + "_wa";
   const std::string work_b = table + "_wb";
 
+  ResilientConn rc(connection, ctx);
+
   // Recursive CTEs append, never mutate — keep sampled types, allow
   // duplicate rows (no primary key).
-  const auto schema = InferSchemaFromSelect(connection, translator, *with.seed,
-                                            with.columns,
-                                            /*widen_non_key=*/false);
+  const auto schema = rc.retrier().Run(connection, "setup", -1, [&] {
+    return InferSchemaFromSelect(connection, translator, *with.seed,
+                                 with.columns,
+                                 /*widen_non_key=*/false);
+  });
   for (const auto& name : {table, work_a, work_b}) {
-    connection.Execute(translator.DropTableSql(name));
+    rc.Execute(translator.DropTableSql(name));
   }
-  connection.Execute(translator.CreateTableSql(table, schema, -1));
-  connection.Execute(translator.CreateTableSql(work_a, schema, -1));
+  rc.Execute(translator.CreateTableSql(table, schema, -1));
+  rc.Execute(translator.CreateTableSql(work_a, schema, -1));
   const std::string seed_sql = translator.Render(*with.seed);
-  connection.Execute("INSERT INTO " + translator.Quote(table) + " " +
-                     seed_sql);
-  connection.Execute("INSERT INTO " + translator.Quote(work_a) + " " +
-                     seed_sql);
+  rc.Execute("INSERT INTO " + translator.Quote(table) + " " + seed_sql);
+  rc.Execute("INSERT INTO " + translator.Quote(work_a) + " " + seed_sql);
 
   // Semi-naive loop: the step only ever sees the previous delta.
   std::string current = work_a;
@@ -179,31 +239,31 @@ dbc::ResultSet RunRecursiveEmulated(dbc::Connection& connection,
     const double body_start = watch.ElapsedSeconds();
     auto step = with.step->Clone();
     RenameBaseTables(*step, {{table, current}});
-    connection.Execute(translator.CreateTableSql(next, schema, -1));
+    rc.Execute(translator.CreateTableSql(next, schema, -1));
     const size_t produced =
-        connection.ExecuteUpdate("INSERT INTO " + translator.Quote(next) +
-                                 " " + translator.Render(*step));
+        rc.ExecuteUpdate("INSERT INTO " + translator.Quote(next) + " " +
+                         translator.Render(*step));
     stats.iterations = round;
     stats.total_updates += produced;
     if (produced == 0) {
-      connection.Execute(translator.DropTableSql(next));
+      rc.Execute(translator.DropTableSql(next));
       RecordRound(ctx, watch, round, 0, body_start,
                   telemetry::SpanKind::kMerge);
       break;
     }
-    connection.Execute("INSERT INTO " + translator.Quote(table) +
-                       " SELECT * FROM " + translator.Quote(next));
-    connection.Execute(translator.DropTableSql(current));
+    rc.Execute("INSERT INTO " + translator.Quote(table) + " SELECT * FROM " +
+               translator.Quote(next));
+    rc.Execute(translator.DropTableSql(current));
     std::swap(current, next);
     RecordRound(ctx, watch, round, produced, body_start,
                 telemetry::SpanKind::kMerge);
   }
 
   dbc::ResultSet result =
-      connection.ExecuteQuery(translator.Render(*with.final_query));
+      rc.ExecuteQuery(translator.Render(*with.final_query));
   if (!options.keep_result_tables) {
-    connection.Execute(translator.DropTableSql(table));
-    connection.Execute(translator.DropTableSql(current));
+    rc.Execute(translator.DropTableSql(table));
+    rc.Execute(translator.DropTableSql(current));
   }
   stats.mode_used = ExecutionMode::kSingleThread;
   stats.seconds = watch.ElapsedSeconds();

@@ -4,6 +4,7 @@
 #include "common/logging.h"
 #include "core/analysis.h"
 #include "core/parallel.h"
+#include "core/resilience.h"
 #include "core/schema_infer.h"
 #include "core/single_thread.h"
 #include "core/translator.h"
@@ -132,8 +133,16 @@ dbc::ResultSet SqLoop::ExecuteIterative(const sql::WithClause& with,
   }
 
   const Translator translator = Translator::For(*master_);
-  auto schema = InferSchemaFromSelect(*master_, translator, *with.seed,
-                                      with.columns, /*widen_non_key=*/true);
+  // Schema inference runs before the runner's own retry machinery exists;
+  // a transient fault here must not abort the run.
+  Retrier setup_retrier(options.retry, recorder, observer_);
+  auto schema = setup_retrier.Run(*master_, "setup", -1, [&] {
+    return InferSchemaFromSelect(*master_, translator, *with.seed,
+                                 with.columns, /*widen_non_key=*/true);
+  });
+  stats_.retries += setup_retrier.retries();
+  stats_.reopened_connections += setup_retrier.reopened_connections();
+  stats_.timeouts += setup_retrier.timeouts();
   if (schema.empty() || schema[0].type != ValueType::kInt64) {
     const std::string reason =
         "the key column is not integer-typed; hash partitioning on Rid "

@@ -10,11 +10,15 @@
 namespace sqloop::dbc {
 
 Connection::Connection(std::shared_ptr<minidb::Database> db,
-                       int64_t latency_us, int64_t row_cost_ns)
+                       int64_t latency_us, int64_t row_cost_ns,
+                       std::shared_ptr<FaultInjector> fault_injector)
     : db_(std::move(db)),
       executor_(*db_),
       latency_us_(latency_us),
-      row_cost_ns_(row_cost_ns) {}
+      row_cost_ns_(row_cost_ns),
+      fault_(std::move(fault_injector)) {
+  db_->OnConnectionOpened();
+}
 
 Connection::~Connection() {
   if (!closed_) {
@@ -52,6 +56,59 @@ void Connection::EnsureOpen() const {
   if (closed_) throw ConnectionError("connection is closed");
 }
 
+void Connection::DropNow() {
+  // A real network drop aborts the server-side session: any open
+  // transaction is rolled back by the engine, and the client handle is
+  // dead from here on.
+  if (in_explicit_txn_ || session_.in_transaction()) {
+    // Covers both driver-managed transactions (autocommit off) and a raw
+    // BEGIN the caller sent as SQL.
+    executor_.ExecuteSql("ROLLBACK", &session_);
+    in_explicit_txn_ = false;
+  }
+  closed_ = true;
+  db_->OnConnectionClosed();
+}
+
+void Connection::MaybeInjectFault() {
+  if (!fault_) return;
+  switch (fault_->NextStatementFault()) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kDrop:
+      DropNow();
+      throw ConnectionLostError("injected connection drop");
+    case FaultKind::kTransient:
+      throw TransientError("injected transient engine fault");
+    case FaultKind::kSlow: {
+      const int64_t delay_us = fault_->slow_us();
+      if (statement_timeout_ms_ > 0 &&
+          delay_us >= statement_timeout_ms_ * 1000) {
+        // The statement would miss its deadline: the client gives up at
+        // the deadline and the engine never applies the statement.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(statement_timeout_ms_));
+        throw TimeoutError("statement exceeded " +
+                           std::to_string(statement_timeout_ms_) +
+                           "ms deadline");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      return;
+    }
+  }
+}
+
+void Connection::Reopen() {
+  if (!closed_) return;
+  if (fault_ && fault_->ShouldFailConnect()) {
+    throw ConnectionLostError("injected reconnect failure");
+  }
+  closed_ = false;
+  in_explicit_txn_ = false;
+  db_->OnConnectionOpened();
+  PayRoundTrip();  // the reconnect handshake costs one round trip
+}
+
 void Connection::EnsureTransactionIfNeeded() {
   // JDBC: with autocommit off, a transaction is implicitly opened by the
   // first statement and stays open until commit()/rollback().
@@ -63,6 +120,10 @@ void Connection::EnsureTransactionIfNeeded() {
 
 ResultSet Connection::Execute(const std::string& sql) {
   EnsureOpen();
+  // Faults fire before the engine sees the statement (see fault.h): a
+  // failure here is client-visible but leaves server state untouched, so
+  // the caller may safely retry.
+  MaybeInjectFault();
   PayRoundTrip();
   ++stats_.statements;
   SQLOOP_COUNT(recorder_, "dbc.statements", 1);
@@ -83,6 +144,10 @@ void Connection::AddBatch(std::string sql) {
 
 std::vector<size_t> Connection::ExecuteBatch() {
   EnsureOpen();
+  // One injection decision for the whole batch: it ships as a single
+  // submission, so a fault strikes before ANY queued statement executes.
+  // The queued batch is preserved on failure for resubmission.
+  MaybeInjectFault();
   PayRoundTrip();  // the whole batch ships in one round trip
   SQLOOP_COUNT(recorder_, "dbc.batches", 1);
   SQLOOP_COUNT(recorder_, "dbc.batch_statements", batch_.size());
@@ -128,12 +193,14 @@ void Connection::Rollback() {
 
 void Connection::Close() {
   if (closed_) return;
-  if (in_explicit_txn_) {
-    // JDBC drivers roll back uncommitted work on close.
+  if (in_explicit_txn_ || session_.in_transaction()) {
+    // JDBC drivers roll back uncommitted work on close — whether the
+    // transaction came from autocommit(false) or a raw BEGIN statement.
     executor_.ExecuteSql("ROLLBACK", &session_);
     in_explicit_txn_ = false;
   }
   closed_ = true;
+  db_->OnConnectionClosed();
 }
 
 }  // namespace sqloop::dbc

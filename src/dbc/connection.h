@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "minidb/database.h"
 #include "minidb/executor.h"
 #include "telemetry/recorder.h"
@@ -35,7 +36,8 @@ struct ConnectionStats {
 class Connection {
  public:
   Connection(std::shared_ptr<minidb::Database> db, int64_t latency_us,
-             int64_t row_cost_ns = 0);
+             int64_t row_cost_ns = 0,
+             std::shared_ptr<FaultInjector> fault_injector = nullptr);
   ~Connection();
 
   Connection(const Connection&) = delete;
@@ -90,6 +92,37 @@ class Connection {
   bool closed() const noexcept { return closed_; }
   void Close();
 
+  /// Re-arms a closed connection against the same database (the JDBC
+  /// pattern of replacing a dropped connection, without re-threading the
+  /// URL). Pays one handshake round trip; a configured fault injector may
+  /// refuse the attempt with ConnectionLostError, leaving the connection
+  /// closed. Queued batch statements survive — the whole batch is a single
+  /// client-visible submission that never reached the engine, so the
+  /// retrier resubmits it after the reopen. No-op on an open connection.
+  void Reopen();
+
+  // --- resilience hooks -------------------------------------------------
+  /// Shared fault decision source; null disables injection. Shell and
+  /// server hooks can attach one mid-session.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) noexcept {
+    fault_ = std::move(injector);
+  }
+  const std::shared_ptr<FaultInjector>& fault_injector() const noexcept {
+    return fault_;
+  }
+
+  /// Deadline for a single statement (or batch); 0 disables. Enforced at
+  /// the injection point: an injected slow statement whose delay would
+  /// blow the deadline sleeps only up to the deadline, then fails with
+  /// TimeoutError *before* the engine applies it — so timed-out work is
+  /// always safe to retry.
+  void set_statement_timeout_ms(int64_t timeout_ms) noexcept {
+    statement_timeout_ms_ = timeout_ms;
+  }
+  int64_t statement_timeout_ms() const noexcept {
+    return statement_timeout_ms_;
+  }
+
   /// Direct handle for test fixtures; production code goes through SQL.
   minidb::Database& database() { return *db_; }
 
@@ -98,6 +131,13 @@ class Connection {
   void PayServerWork(size_t rows_examined);
   void EnsureOpen() const;
   void EnsureTransactionIfNeeded();
+  /// Consults the injector before a statement/batch touches the engine.
+  /// Throws ConnectionLostError (after dropping the connection),
+  /// TransientError, or TimeoutError; sleeps for kSlow.
+  void MaybeInjectFault();
+  /// Marks the connection dropped, as a mid-statement network failure
+  /// would: open transaction rolled back server-side, handle unusable.
+  void DropNow();
 
   std::shared_ptr<minidb::Database> db_;
   minidb::Executor executor_;
@@ -105,6 +145,8 @@ class Connection {
   std::vector<std::string> batch_;
   int64_t latency_us_;
   int64_t row_cost_ns_;
+  std::shared_ptr<FaultInjector> fault_;
+  int64_t statement_timeout_ms_ = 0;
   bool autocommit_ = true;
   bool in_explicit_txn_ = false;
   bool closed_ = false;

@@ -2,7 +2,9 @@
 
 #include <charconv>
 #include <mutex>
+#include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/error.h"
 #include "common/strings.h"
@@ -32,6 +34,59 @@ int64_t ParseInt(const std::string& text, const std::string& what) {
     throw ConnectionError("malformed " + what + " '" + text + "' in URL");
   }
   return value;
+}
+
+int64_t ParseNonNegative(const std::string& text, const std::string& what) {
+  const int64_t value = ParseInt(text, what);
+  if (value < 0) throw ConnectionError(what + " must be non-negative");
+  return value;
+}
+
+double ParseRate(const std::string& text, const std::string& what) {
+  double value = 0;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (result.ec != std::errc{} || result.ptr != text.data() + text.size()) {
+    throw ConnectionError("malformed " + what + " '" + text + "' in URL");
+  }
+  if (value < 0.0 || value > 1.0) {
+    throw ConnectionError(what + " must be within [0, 1]");
+  }
+  return value;
+}
+
+std::mutex& InjectorMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+/// Connections opened with identical host/database/fault configuration
+/// share one injector, so a fixed fault_seed produces one deterministic
+/// fault schedule across the master and every (re)opened worker
+/// connection of a run.
+std::unordered_map<std::string, std::shared_ptr<FaultInjector>>&
+InjectorMap() {
+  static std::unordered_map<std::string, std::shared_ptr<FaultInjector>> map;
+  return map;
+}
+
+std::string InjectorKey(const ConnectionConfig& config) {
+  std::ostringstream key;
+  const FaultConfig& f = config.fault;
+  key << strings::ToLower(config.host) << '/' << config.database << '?'
+      << f.seed << '|' << f.connect_failure_rate << '|' << f.connect_every
+      << '|' << f.drop_rate << '|' << f.drop_every << '|' << f.transient_rate
+      << '|' << f.transient_every << '|' << f.slow_rate << '|' << f.slow_every
+      << '|' << f.slow_us << '|' << f.max_faults;
+  return key.str();
+}
+
+std::shared_ptr<FaultInjector> SharedInjectorFor(
+    const ConnectionConfig& config) {
+  const std::scoped_lock lock(InjectorMutex());
+  auto& slot = InjectorMap()[InjectorKey(config)];
+  if (!slot) slot = std::make_shared<FaultInjector>(config.fault);
+  return slot;
 }
 
 }  // namespace
@@ -70,6 +125,7 @@ ConnectionConfig ConnectionConfig::Parse(const std::string& url) {
   config.host = authority;
 
   if (!query.empty()) {
+    std::unordered_set<std::string> seen;
     for (const std::string& pair : strings::Split(query, '&')) {
       if (pair.empty()) continue;
       const size_t eq = pair.find('=');
@@ -78,18 +134,54 @@ ConnectionConfig ConnectionConfig::Parse(const std::string& url) {
       }
       const std::string key = strings::ToLower(pair.substr(0, eq));
       const std::string value = pair.substr(eq + 1);
+      if (!seen.insert(key).second) {
+        throw ConnectionError("duplicate URL parameter '" + key + "'");
+      }
       if (key == "latency_us") {
-        config.latency_us = ParseInt(value, "latency_us");
-        if (config.latency_us < 0) {
-          throw ConnectionError("latency_us must be non-negative");
-        }
+        config.latency_us = ParseNonNegative(value, "latency_us");
       } else if (key == "row_cost_ns") {
-        config.row_cost_ns = ParseInt(value, "row_cost_ns");
-        if (config.row_cost_ns < 0) {
-          throw ConnectionError("row_cost_ns must be non-negative");
-        }
+        config.row_cost_ns = ParseNonNegative(value, "row_cost_ns");
       } else if (key == "engine") {
         config.expected_engine = value;
+      } else if (key == "connect_timeout_ms") {
+        config.connect_timeout_ms = ParseNonNegative(value, key);
+      } else if (key == "fault_seed") {
+        config.fault.seed = static_cast<uint64_t>(ParseNonNegative(value, key));
+        config.has_fault = true;
+      } else if (key == "fault_connect_rate") {
+        config.fault.connect_failure_rate = ParseRate(value, key);
+        config.has_fault = true;
+      } else if (key == "fault_connect_every") {
+        config.fault.connect_every =
+            static_cast<uint64_t>(ParseNonNegative(value, key));
+        config.has_fault = true;
+      } else if (key == "fault_drop_rate") {
+        config.fault.drop_rate = ParseRate(value, key);
+        config.has_fault = true;
+      } else if (key == "fault_drop_every") {
+        config.fault.drop_every =
+            static_cast<uint64_t>(ParseNonNegative(value, key));
+        config.has_fault = true;
+      } else if (key == "fault_transient_rate") {
+        config.fault.transient_rate = ParseRate(value, key);
+        config.has_fault = true;
+      } else if (key == "fault_transient_every") {
+        config.fault.transient_every =
+            static_cast<uint64_t>(ParseNonNegative(value, key));
+        config.has_fault = true;
+      } else if (key == "fault_slow_rate") {
+        config.fault.slow_rate = ParseRate(value, key);
+        config.has_fault = true;
+      } else if (key == "fault_slow_every") {
+        config.fault.slow_every =
+            static_cast<uint64_t>(ParseNonNegative(value, key));
+        config.has_fault = true;
+      } else if (key == "fault_slow_us") {
+        config.fault.slow_us = ParseNonNegative(value, key);
+        config.has_fault = true;
+      } else if (key == "fault_max") {
+        config.fault.max_faults = ParseInt(value, key);
+        config.has_fault = true;
       } else {
         throw ConnectionError("unknown URL parameter '" + key + "'");
       }
@@ -127,8 +219,27 @@ std::unique_ptr<Connection> DriverManager::GetConnection(
                             expected.name);
     }
   }
+
+  // The handshake pays one round trip; a latency that cannot meet the
+  // connect deadline fails the open before a connection exists.
+  if (config.connect_timeout_ms > 0 &&
+      config.latency_us > config.connect_timeout_ms * 1000) {
+    throw TimeoutError("connection handshake to '" + config.host +
+                       "' exceeded connect_timeout_ms=" +
+                       std::to_string(config.connect_timeout_ms));
+  }
+
+  // A server-level injector (operator flipped faults on the deployment)
+  // takes precedence over URL-configured injection.
+  std::shared_ptr<FaultInjector> injector = server->fault_injector();
+  if (!injector && config.has_fault) injector = SharedInjectorFor(config);
+  if (injector && injector->ShouldFailConnect()) {
+    throw ConnectionLostError("injected connection-open failure for host '" +
+                              config.host + "'");
+  }
   return std::make_unique<Connection>(std::move(db), config.latency_us,
-                                      config.row_cost_ns);
+                                      config.row_cost_ns,
+                                      std::move(injector));
 }
 
 void DriverManager::RegisterHost(const std::string& host,
@@ -140,6 +251,12 @@ void DriverManager::RegisterHost(const std::string& host,
   } else {
     HostMap()[folded] = server;
   }
+}
+
+minidb::Server* DriverManager::FindHost(const std::string& host) {
+  const std::scoped_lock lock(HostMutex());
+  const auto it = HostMap().find(strings::ToLower(host));
+  return it == HostMap().end() ? nullptr : it->second;
 }
 
 }  // namespace sqloop::dbc

@@ -12,12 +12,16 @@
 #include <memory>
 #include <string>
 
+#include "common/fault.h"
 #include "minidb/server.h"
 
 namespace sqloop::dbc {
 
 /// Parsed form of a connection URL:
 ///   minidb://<host>[:port]/<database>[?latency_us=N][&engine=<name>]
+///       [&connect_timeout_ms=N][&fault_*=...]
+/// Duplicate query parameters are rejected (ConnectionError) — silently
+/// letting the last one win hid misconfigured benchmark URLs.
 struct ConnectionConfig {
   std::string host = "localhost";
   int port = 5432;
@@ -34,6 +38,17 @@ struct ConnectionConfig {
   /// Optional engine assertion: if non-empty, connecting fails unless the
   /// target database actually runs this engine profile.
   std::string expected_engine;
+  /// Deadline for the connection handshake; 0 disables. The handshake pays
+  /// one round trip, so a latency_us that cannot meet the deadline fails
+  /// the open with TimeoutError.
+  int64_t connect_timeout_ms = 0;
+  /// Fault-injection parameters (fault_seed, fault_drop_rate,
+  /// fault_transient_rate, fault_slow_rate, fault_slow_us,
+  /// fault_connect_rate, fault_*_every, fault_max). All connections opened
+  /// with the same host/database/fault configuration share one seeded
+  /// FaultInjector so the fault schedule is deterministic.
+  FaultConfig fault;
+  bool has_fault = false;
 
   static ConnectionConfig Parse(const std::string& url);
 };
@@ -51,6 +66,11 @@ class DriverManager {
   /// Makes `server` reachable as minidb://<host>/... (used to model
   /// multiple remote database machines). Passing nullptr unregisters.
   static void RegisterHost(const std::string& host, minidb::Server* server);
+
+  /// The server a host name resolves to, or nullptr. Lets callers (e.g.
+  /// the shell's \faults command) reach the Server behind a URL to attach
+  /// a fault injector to a live deployment.
+  static minidb::Server* FindHost(const std::string& host);
 };
 
 }  // namespace sqloop::dbc

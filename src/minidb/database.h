@@ -3,6 +3,7 @@
 // and each table carries a table-level RW lock (see table.h).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -45,8 +46,16 @@ class Database {
 
   std::vector<std::string> TableNames() const;
 
+  // --- connection accounting -------------------------------------------
+  // The dbc layer reports opens/closes so resilience tests can assert that
+  // a failed parallel run leaks no live connections.
+  void OnConnectionOpened() noexcept { open_connections_.fetch_add(1); }
+  void OnConnectionClosed() noexcept { open_connections_.fetch_sub(1); }
+  int open_connections() const noexcept { return open_connections_.load(); }
+
  private:
   std::string name_;
+  std::atomic<int> open_connections_{0};
   EngineProfile profile_;
   mutable std::shared_mutex catalog_lock_;
   std::unordered_map<std::string, std::shared_ptr<Table>> tables_;

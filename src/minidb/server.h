@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault.h"
 #include "minidb/database.h"
 
 namespace sqloop::minidb {
@@ -36,9 +37,24 @@ class Server {
 
   std::vector<std::string> DatabaseNames() const;
 
+  // --- fault injection --------------------------------------------------
+  // A server-level injector applies to every connection attached to this
+  // server and takes precedence over URL-configured injection (it models an
+  // operator flipping faults on a running deployment; the shell's \faults
+  // command uses it). Null clears it.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    const std::scoped_lock lock(mutex_);
+    fault_injector_ = std::move(injector);
+  }
+  std::shared_ptr<FaultInjector> fault_injector() const {
+    const std::scoped_lock lock(mutex_);
+    return fault_injector_;
+  }
+
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<Database>> databases_;
+  std::shared_ptr<FaultInjector> fault_injector_;
 };
 
 }  // namespace sqloop::minidb

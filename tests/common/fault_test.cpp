@@ -1,0 +1,152 @@
+// FaultInjector determinism and trigger semantics: the resilience suite
+// relies on a fixed seed producing the exact same fault schedule run to
+// run, and on *_every triggers firing on exact decision counts.
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sqloop {
+namespace {
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultConfig config;
+  config.seed = 7;
+  config.drop_rate = 0.3;
+  config.transient_rate = 0.2;
+  config.slow_rate = 0.1;
+  config.connect_failure_rate = 0.25;
+
+  FaultInjector a(config);
+  FaultInjector b(config);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.NextStatementFault(), b.NextStatementFault()) << "i=" << i;
+    EXPECT_EQ(a.ShouldFailConnect(), b.ShouldFailConnect()) << "i=" << i;
+  }
+  EXPECT_EQ(a.injected_total(), b.injected_total());
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultConfig config;
+  config.drop_rate = 0.5;
+  config.seed = 1;
+  FaultInjector a(config);
+  config.seed = 2;
+  FaultInjector b(config);
+  bool diverged = false;
+  for (int i = 0; i < 200 && !diverged; ++i) {
+    diverged = a.NextStatementFault() != b.NextStatementFault();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, EveryNFiresOnExactCounts) {
+  FaultConfig config;
+  config.drop_every = 3;
+  FaultInjector injector(config);
+  std::vector<int> fired;
+  for (int i = 1; i <= 10; ++i) {
+    if (injector.NextStatementFault() == FaultKind::kDrop) fired.push_back(i);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{3, 6, 9}));
+  EXPECT_EQ(injector.injected(FaultKind::kDrop), 3u);
+  EXPECT_EQ(injector.decisions(), 10u);
+}
+
+TEST(FaultInjector, ConnectEveryIsIndependentOfStatements) {
+  FaultConfig config;
+  config.connect_every = 2;
+  FaultInjector injector(config);
+  // Statement decisions must not advance the connect counter.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(injector.NextStatementFault(), FaultKind::kNone);
+  }
+  EXPECT_FALSE(injector.ShouldFailConnect());
+  EXPECT_TRUE(injector.ShouldFailConnect());
+  EXPECT_FALSE(injector.ShouldFailConnect());
+  EXPECT_TRUE(injector.ShouldFailConnect());
+  EXPECT_EQ(injector.injected_connect_failures(), 2u);
+}
+
+TEST(FaultInjector, ZeroRatesNeverFire) {
+  FaultInjector injector(FaultConfig{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.NextStatementFault(), FaultKind::kNone);
+    EXPECT_FALSE(injector.ShouldFailConnect());
+  }
+  EXPECT_EQ(injector.injected_total(), 0u);
+}
+
+TEST(FaultInjector, RateOneAlwaysFiresAndDropWinsPrecedence) {
+  FaultConfig config;
+  config.drop_rate = 1.0;
+  config.transient_rate = 1.0;
+  config.slow_rate = 1.0;
+  FaultInjector injector(config);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(injector.NextStatementFault(), FaultKind::kDrop);
+  }
+  EXPECT_EQ(injector.injected(FaultKind::kDrop), 20u);
+  EXPECT_EQ(injector.injected(FaultKind::kTransient), 0u);
+}
+
+TEST(FaultInjector, TransientBeatsSlow) {
+  FaultConfig config;
+  config.transient_rate = 1.0;
+  config.slow_rate = 1.0;
+  FaultInjector injector(config);
+  EXPECT_EQ(injector.NextStatementFault(), FaultKind::kTransient);
+}
+
+TEST(FaultInjector, MaxFaultsCapsTotalAcrossKinds) {
+  FaultConfig config;
+  config.drop_every = 1;      // would fire every time...
+  config.connect_every = 1;   // ...on both decision points
+  config.max_faults = 3;
+  FaultInjector injector(config);
+  uint64_t fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.NextStatementFault() != FaultKind::kNone) ++fired;
+    if (injector.ShouldFailConnect()) ++fired;
+  }
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(injector.injected_total(), 3u);
+  // The budget is permanently spent: later decisions stay clean.
+  EXPECT_EQ(injector.NextStatementFault(), FaultKind::kNone);
+}
+
+TEST(FaultInjector, ApproximateRateOverManyDraws) {
+  FaultConfig config;
+  config.seed = 99;
+  config.transient_rate = 0.2;
+  FaultInjector injector(config);
+  int fired = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (injector.NextStatementFault() == FaultKind::kTransient) ++fired;
+  }
+  // 20% +- a generous tolerance; this is a sanity check, not a PRNG test.
+  EXPECT_GT(fired, kDraws / 10);
+  EXPECT_LT(fired, kDraws * 3 / 10);
+}
+
+TEST(FaultInjector, KindNamesAreStable) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kNone), "none");
+  EXPECT_STREQ(FaultKindName(FaultKind::kDrop), "drop");
+  EXPECT_STREQ(FaultKindName(FaultKind::kTransient), "transient");
+  EXPECT_STREQ(FaultKindName(FaultKind::kSlow), "slow");
+}
+
+TEST(FaultInjector, ConfigAnyReflectsEveryTrigger) {
+  EXPECT_FALSE(FaultConfig{}.any());
+  FaultConfig c1;
+  c1.slow_every = 5;
+  EXPECT_TRUE(c1.any());
+  FaultConfig c2;
+  c2.connect_failure_rate = 0.1;
+  EXPECT_TRUE(c2.any());
+}
+
+}  // namespace
+}  // namespace sqloop

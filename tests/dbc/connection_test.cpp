@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/error.h"
+#include "common/fault.h"
 #include "dbc/driver.h"
 #include "minidb/server.h"
 #include "telemetry/hooks.h"
@@ -259,6 +262,156 @@ TEST_F(DbcTest, LatencyIsPaidPerRoundTrip) {
   EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
                 .count(),
             5 * 2000);
+}
+
+// --- URL hardening & connect timeouts (see driver.h) -----------------------
+
+TEST_F(DbcTest, DuplicateUrlParametersAreRejected) {
+  EXPECT_THROW(ConnectionConfig::Parse(
+                   "minidb://h/db?latency_us=10&latency_us=20"),
+               ConnectionError);
+  EXPECT_THROW(ConnectionConfig::Parse(
+                   "minidb://h/db?engine=mysql&latency_us=5&engine=mysql"),
+               ConnectionError);
+  // Distinct keys stay fine.
+  EXPECT_NO_THROW(
+      ConnectionConfig::Parse("minidb://h/db?latency_us=5&engine=mysql"));
+}
+
+TEST_F(DbcTest, ConnectTimeoutIsValidatedAndParsed) {
+  const auto config =
+      ConnectionConfig::Parse("minidb://h/db?connect_timeout_ms=250");
+  EXPECT_EQ(config.connect_timeout_ms, 250);
+  EXPECT_THROW(ConnectionConfig::Parse("minidb://h/db?connect_timeout_ms=-1"),
+               ConnectionError);
+  EXPECT_THROW(ConnectionConfig::Parse("minidb://h/db?connect_timeout_ms=x"),
+               ConnectionError);
+}
+
+TEST_F(DbcTest, ConnectTimeoutFiresAgainstModeledLatency) {
+  // 5ms of modeled handshake latency blows a 1ms connect deadline...
+  EXPECT_THROW(DriverManager::GetConnection(
+                   "minidb://" + host_ + "/db?latency_us=5000&" +
+                   "connect_timeout_ms=1"),
+               TimeoutError);
+  // ...and fits comfortably in a 1s one.
+  EXPECT_NO_THROW(DriverManager::GetConnection(
+      "minidb://" + host_ + "/db?latency_us=5000&connect_timeout_ms=1000"));
+}
+
+TEST_F(DbcTest, FaultRatesAreValidated) {
+  EXPECT_THROW(ConnectionConfig::Parse("minidb://h/db?fault_drop_rate=1.5"),
+               ConnectionError);
+  EXPECT_THROW(ConnectionConfig::Parse("minidb://h/db?fault_drop_rate=-0.1"),
+               ConnectionError);
+  const auto config = ConnectionConfig::Parse(
+      "minidb://h/db?fault_seed=7&fault_drop_rate=0.25&fault_slow_us=500");
+  EXPECT_TRUE(config.has_fault);
+  EXPECT_EQ(config.fault.seed, 7u);
+  EXPECT_DOUBLE_EQ(config.fault.drop_rate, 0.25);
+  EXPECT_EQ(config.fault.slow_us, 500);
+}
+
+TEST_F(DbcTest, InjectedDropClosesConnectionAndReopenRearmsIt) {
+  auto conn = Connect();
+  conn->Execute("CREATE UNLOGGED TABLE t (id BIGINT PRIMARY KEY)");
+
+  FaultConfig config;
+  config.drop_every = 1;  // every statement drops...
+  config.max_faults = 1;  // ...but only once
+  conn->set_fault_injector(std::make_shared<FaultInjector>(config));
+
+  EXPECT_THROW(conn->Execute("INSERT INTO t VALUES (1)"), ConnectionLostError);
+  EXPECT_TRUE(conn->closed());
+  // The failed INSERT never reached the engine.
+  conn->Reopen();
+  EXPECT_FALSE(conn->closed());
+  EXPECT_EQ(conn->ExecuteUpdate("INSERT INTO t VALUES (1)"), 1u);
+  const auto result = conn->ExecuteQuery("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(result.rows[0][0].as_int(), 1);
+}
+
+TEST_F(DbcTest, InjectedDropRollsBackOpenTransaction) {
+  auto conn = Connect();
+  conn->Execute("CREATE UNLOGGED TABLE t (id BIGINT PRIMARY KEY)");
+  conn->Execute("BEGIN");
+  conn->Execute("INSERT INTO t VALUES (1)");
+
+  FaultConfig config;
+  config.drop_every = 1;
+  config.max_faults = 1;
+  conn->set_fault_injector(std::make_shared<FaultInjector>(config));
+  EXPECT_THROW(conn->Execute("INSERT INTO t VALUES (2)"), ConnectionLostError);
+
+  conn->Reopen();
+  // The drop rolled back the uncommitted transaction, like a real server
+  // losing its session.
+  const auto result = conn->ExecuteQuery("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(result.rows[0][0].as_int(), 0);
+}
+
+TEST_F(DbcTest, ReopenOnOpenConnectionIsANoOp) {
+  auto conn = Connect();
+  conn->Execute("CREATE UNLOGGED TABLE t (id BIGINT PRIMARY KEY)");
+  conn->Reopen();
+  EXPECT_NO_THROW(conn->Execute("INSERT INTO t VALUES (1)"));
+}
+
+TEST_F(DbcTest, TransientFaultLeavesConnectionUsable) {
+  auto conn = Connect();
+  FaultConfig config;
+  config.transient_every = 2;  // the 2nd, 4th, ... statements fail
+  conn->set_fault_injector(std::make_shared<FaultInjector>(config));
+
+  conn->Execute("CREATE UNLOGGED TABLE t (id BIGINT PRIMARY KEY)");
+  EXPECT_THROW(conn->Execute("INSERT INTO t VALUES (1)"), TransientError);
+  EXPECT_FALSE(conn->closed());
+  // Immediate retry succeeds on the same connection, exactly once.
+  EXPECT_EQ(conn->ExecuteUpdate("INSERT INTO t VALUES (1)"), 1u);
+}
+
+TEST_F(DbcTest, SlowFaultPastDeadlineRaisesTimeoutBeforeExecution) {
+  auto conn = Connect();
+  conn->Execute("CREATE UNLOGGED TABLE t (id BIGINT PRIMARY KEY)");
+  conn->set_statement_timeout_ms(1);
+  FaultConfig config;
+  config.slow_every = 1;
+  config.slow_us = 50000;  // 50ms >> the 1ms deadline
+  config.max_faults = 1;
+  conn->set_fault_injector(std::make_shared<FaultInjector>(config));
+
+  EXPECT_THROW(conn->Execute("INSERT INTO t VALUES (1)"), TimeoutError);
+  // The statement was never applied; the retry lands exactly once.
+  EXPECT_EQ(conn->ExecuteUpdate("INSERT INTO t VALUES (1)"), 1u);
+  EXPECT_EQ(conn->ExecuteQuery("SELECT COUNT(*) FROM t").rows[0][0].as_int(),
+            1);
+}
+
+TEST_F(DbcTest, FaultUrlParametersShareOneInjectorPerConfig) {
+  // Two connections from the same faulted URL share one decision stream:
+  // with drop_every=3, the third statement overall drops, regardless of
+  // which connection issues it.
+  const std::string params = "&fault_seed=5&fault_drop_every=3&fault_max=1";
+  auto a = Connect(params);
+  auto b = Connect(params);
+  a->Execute("SELECT 1");
+  b->Execute("SELECT 1");
+  EXPECT_THROW(a->Execute("SELECT 1"), ConnectionLostError);
+  EXPECT_TRUE(a->closed());
+  EXPECT_FALSE(b->closed());
+}
+
+TEST_F(DbcTest, OpenConnectionsAreCounted) {
+  auto& db = *server_.FindDatabase("db");
+  const int base = db.open_connections();
+  {
+    auto a = Connect();
+    auto b = Connect();
+    EXPECT_EQ(db.open_connections(), base + 2);
+    a->Close();
+    EXPECT_EQ(db.open_connections(), base + 1);
+  }  // b's destructor closes it
+  EXPECT_EQ(db.open_connections(), base);
 }
 
 }  // namespace
