@@ -53,20 +53,34 @@ class EngineFleet {
     // (see DESIGN.md "Substitutions"). Override via env knobs.
     latency_us_ = latency_us >= 0 ? latency_us : Knob("LATENCY_US", 100);
     row_cost_ns_ = row_cost_ns >= 0 ? row_cost_ns : Knob("ROW_COST_NS", 3000);
+    // ~150us of server-side parse+plan per compiled statement (a real
+    // optimizer's cost, which the embedded parser radically undercosts).
+    // Plan-cached and prepared executions skip it, like server PREPARE.
+    compile_us_ = Knob("COMPILE_US", 150);
     dbc::DriverManager::RegisterHost(host_, &server_);
+    // NO_PLAN_CACHE=1 ablates the iteration-aware plan cache fleet-wide,
+    // so any benchmark can be A/B'd against the parse-per-statement world.
+    const bool no_plan_cache = Knob("NO_PLAN_CACHE", 0) != 0;
     for (const auto& engine : Engines()) {
-      server_.CreateDatabase(engine,
-                             minidb::EngineProfile::ByName(engine));
+      auto db = server_.CreateDatabase(engine,
+                                       minidb::EngineProfile::ByName(engine));
+      if (no_plan_cache) db->plan_cache().set_enabled(false);
       auto conn = dbc::DriverManager::GetConnection(Url(engine));
       graph::LoadEdges(*conn, graph);
     }
   }
   ~EngineFleet() { dbc::DriverManager::RegisterHost(host_, nullptr); }
 
-  std::string Url(const std::string& engine) const {
+  /// `compile_us_override` >= 0 replaces the fleet's modeled compile cost
+  /// (e.g. 0 for a pure-CPU micro measurement).
+  std::string Url(const std::string& engine,
+                  int64_t compile_us_override = -1) const {
+    const int64_t compile_us =
+        compile_us_override >= 0 ? compile_us_override : compile_us_;
     return "minidb://" + host_ + "/" + engine +
            "?latency_us=" + std::to_string(latency_us_) +
-           "&row_cost_ns=" + std::to_string(row_cost_ns_);
+           "&row_cost_ns=" + std::to_string(row_cost_ns_) +
+           "&compile_us=" + std::to_string(compile_us);
   }
 
  private:
@@ -74,6 +88,7 @@ class EngineFleet {
   std::string host_;
   int64_t latency_us_ = 0;
   int64_t row_cost_ns_ = 0;
+  int64_t compile_us_ = 0;
 };
 
 struct TimedRun {

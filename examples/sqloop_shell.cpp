@@ -28,6 +28,7 @@
 //   \load web N DEG SEED        generate+load a web graph into `edges`
 //   \load ego C S P SEED        ... ego-net graph
 //   \load host H P L SEED       ... host graph
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -100,13 +101,48 @@ void PrintStats(const core::RunStats& stats) {
     std::cout << "fallback: " << stats.fallback_reason << "\n";
   }
   if (stats.recorder) {
-    std::cout << telemetry::Summary(*stats.recorder);
+    const telemetry::Recorder& rec = *stats.recorder;
+    const uint64_t parses = rec.counter("sql.parse_count");
+    const uint64_t hits = rec.counter("minidb.plan_cache_hits");
+    const uint64_t misses = rec.counter("minidb.plan_cache_misses");
+    if (parses + hits + misses > 0) {
+      std::cout << "prepare: handles=" << rec.counter("dbc.prepared_statements")
+                << " prepared_execs=" << rec.counter("dbc.prepared_executions")
+                << " parses=" << parses << " cache_hits=" << hits
+                << " cache_misses=" << misses
+                << " rebinds=" << rec.counter("minidb.plan_rebinds");
+      if (hits + misses > 0) {
+        std::cout << " hit_rate="
+                  << 100.0 * static_cast<double>(hits) /
+                         static_cast<double>(hits + misses)
+                  << "%";
+      }
+      std::cout << " prepare_time=" << rec.timer_seconds("dbc.prepare_seconds")
+                << "s execute_time="
+                << rec.timer_seconds("dbc.execute_seconds") << "s\n";
+    }
+    std::cout << telemetry::Summary(rec);
   }
 }
 
 /// Streams round progress to the terminal while a query executes.
 class TraceObserver : public core::ExecutionObserver {
  public:
+  /// Lets the trace read the live run's recorder (the Recorder is
+  /// thread-safe, so sampling counters mid-run is fine).
+  void set_recorder_source(
+      std::function<const telemetry::Recorder*()> source) {
+    recorder_source_ = std::move(source);
+  }
+
+  void OnRoundStart(int64_t round) override {
+    // A new run means a fresh recorder: restart the per-round deltas.
+    if (round == 1) {
+      prev_hits_ = 0;
+      prev_misses_ = 0;
+    }
+  }
+
   void OnRoundEnd(const telemetry::IterationStats& round) override {
     std::cout << "  round " << round.round << ": updates=" << round.updates
               << " compute=" << round.compute_tasks << "/"
@@ -114,6 +150,22 @@ class TraceObserver : public core::ExecutionObserver {
               << "/" << round.gather_seconds << "s";
     if (round.partitions_skipped > 0) {
       std::cout << " skipped=" << round.partitions_skipped;
+    }
+    if (recorder_source_) {
+      if (const telemetry::Recorder* rec = recorder_source_()) {
+        const uint64_t hits = rec->counter("minidb.plan_cache_hits");
+        const uint64_t misses = rec->counter("minidb.plan_cache_misses");
+        const uint64_t round_hits = hits - prev_hits_;
+        const uint64_t round_misses = misses - prev_misses_;
+        prev_hits_ = hits;
+        prev_misses_ = misses;
+        if (round_hits + round_misses > 0) {
+          std::cout << " plan_cache="
+                    << 100.0 * static_cast<double>(round_hits) /
+                           static_cast<double>(round_hits + round_misses)
+                    << "%";
+        }
+      }
     }
     std::cout << " wall=" << round.seconds << "s\n";
   }
@@ -129,6 +181,11 @@ class TraceObserver : public core::ExecutionObserver {
     std::cout << "  degrade: " << event.reason
               << " (live workers: " << event.remaining_workers << ")\n";
   }
+
+ private:
+  std::function<const telemetry::Recorder*()> recorder_source_;
+  uint64_t prev_hits_ = 0;
+  uint64_t prev_misses_ = 0;
 };
 
 class Shell {
@@ -136,6 +193,9 @@ class Shell {
   explicit Shell(const std::string& url) : loop_(url) {
     options_.partitions = 16;
     options_.threads = 4;
+    tracer_.set_recorder_source([this]() -> const telemetry::Recorder* {
+      return loop_.last_run().recorder.get();
+    });
   }
 
   /// Returns false when the shell should exit.

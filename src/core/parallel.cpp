@@ -13,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "dbc/driver.h"
+#include "dbc/prepared_statement.h"
 #include "minidb/schema.h"
 #include "telemetry/hooks.h"
 
@@ -983,6 +984,20 @@ void ParallelRunner::RunRounds() {
       options_.mode == ExecutionMode::kAsyncPriority &&
       !options_.priority_query.empty();
 
+  // The delta snapshot repeats every round with fixed text: prepared once
+  // on the master, executed per round. Worker-side repeated statements
+  // (per-partition updates, priority probes, gather arms) instead share
+  // the database's plan cache — the first worker to run a text compiles it
+  // for every connection, which keeps handles off connections the
+  // resilience ladder may retire or replace mid-run.
+  std::vector<dbc::PreparedStatement> snapshot_stmts;
+  if (checker_.needs_delta_snapshot()) {
+    for (const auto& sql : checker_.SnapshotSql(schema_)) {
+      snapshot_stmts.push_back(retrier_.Run(
+          master_, "prepare", -1, [&] { return master_.Prepare(sql); }));
+    }
+  }
+
   // State for the continuous priority scheduler (paper §V-E: "instead of
   // scheduling ... in a round-robin fashion, the master thread maintains a
   // priority queue"). A "round" is a work window of `partitions_` completed
@@ -1001,10 +1016,11 @@ void ParallelRunner::RunRounds() {
     if (observer_ != nullptr) observer_->OnRoundStart(round);
     const double round_start = run_watch_.ElapsedSeconds();
     double barrier_wait = 0;
-    if (checker_.needs_delta_snapshot()) {
-      for (const auto& sql : checker_.SnapshotSql(schema_)) {
-        MasterExecute(sql);
-      }
+    for (auto& stmt : snapshot_stmts) {
+      retrier_.Run(master_, "master", -1, [&] {
+        stmt.Execute();
+        return 0;
+      });
     }
     round_updates_.store(0);
 

@@ -6,6 +6,7 @@
 #include "core/schema_infer.h"
 #include "core/termination.h"
 #include "core/translator.h"
+#include "dbc/prepared_statement.h"
 #include "minidb/schema.h"
 #include "telemetry/hooks.h"
 
@@ -54,6 +55,26 @@ class ResilientConn {
     return retrier_.Run(conn_, "query", -1,
                         [&] { return conn_.ExecuteQuery(sql); });
   }
+
+  // --- prepared path ---------------------------------------------------
+  // A handle's compiled state lives with the database, so it survives the
+  // Reopen a retry performs; re-running a failed execute is the same safe
+  // retry unit as a raw statement.
+  dbc::PreparedStatement Prepare(std::string sql) {
+    return retrier_.Run(conn_, "prepare", -1,
+                        [&] { return conn_.Prepare(sql); });
+  }
+  void Execute(dbc::PreparedStatement& stmt) {
+    retrier_.Run(conn_, "statement", -1, [&] {
+      stmt.Execute();
+      return 0;
+    });
+  }
+  size_t ExecuteUpdate(dbc::PreparedStatement& stmt) {
+    return retrier_.Run(conn_, "statement", -1,
+                        [&] { return stmt.ExecuteUpdate(); });
+  }
+
   Retrier& retrier() { return retrier_; }
 
  private:
@@ -149,26 +170,31 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
   rc.Execute("INSERT INTO " + translator.Quote(table) + " " +
              translator.Render(*with.seed));
 
-  const std::string insert_tmp_sql = "INSERT INTO " + translator.Quote(tmp) +
-                                     " " + translator.Render(*with.step);
-  const std::string merge_sql = BuildMergeSql(translator, table, tmp, schema);
-  const std::string create_tmp_sql =
-      translator.CreateTableSql(tmp, schema, /*primary_key_index=*/0);
-  const std::string drop_tmp_sql = translator.DropTableSql(tmp);
+  // Every statement the loop repeats is prepared exactly once here; the
+  // iterations below only execute the handles. The per-round tmp-table DDL
+  // re-binds each plan's lock set (cheap), but nothing is re-parsed.
+  auto create_tmp_stmt = rc.Prepare(
+      translator.CreateTableSql(tmp, schema, /*primary_key_index=*/0));
+  auto insert_tmp_stmt = rc.Prepare("INSERT INTO " + translator.Quote(tmp) +
+                                    " " + translator.Render(*with.step));
+  auto merge_stmt = rc.Prepare(BuildMergeSql(translator, table, tmp, schema));
+  auto drop_tmp_stmt = rc.Prepare(translator.DropTableSql(tmp));
+  std::vector<dbc::PreparedStatement> snapshot_stmts;
+  if (checker.needs_delta_snapshot()) {
+    for (const auto& sql : checker.SnapshotSql(schema)) {
+      snapshot_stmts.push_back(rc.Prepare(sql));
+    }
+  }
 
   for (int64_t iteration = 1;; ++iteration) {
     if (ctx.observer != nullptr) ctx.observer->OnRoundStart(iteration);
     const double body_start = watch.ElapsedSeconds();
-    if (checker.needs_delta_snapshot()) {
-      for (const auto& sql : checker.SnapshotSql(schema)) {
-        rc.Execute(sql);
-      }
-    }
+    for (auto& stmt : snapshot_stmts) rc.Execute(stmt);
     // Rtmp <- Ri(R); R <- merge(R, Rtmp) on matching keys.
-    rc.Execute(create_tmp_sql);
-    rc.Execute(insert_tmp_sql);
-    const size_t updates = rc.ExecuteUpdate(merge_sql);
-    rc.Execute(drop_tmp_sql);
+    rc.Execute(create_tmp_stmt);
+    rc.Execute(insert_tmp_stmt);
+    const size_t updates = rc.ExecuteUpdate(merge_stmt);
+    rc.Execute(drop_tmp_stmt);
 
     stats.iterations = iteration;
     stats.total_updates += updates;

@@ -30,6 +30,20 @@ std::vector<std::string> TerminationChecker::SnapshotSql(
   };
 }
 
+dbc::PreparedStatement& TerminationChecker::Prepared(
+    dbc::Connection& connection, std::unique_ptr<dbc::PreparedStatement>& slot,
+    const std::string& sql) const {
+  if (prepared_on_ != &connection) {
+    probe_stmt_.reset();
+    count_stmt_.reset();
+    prepared_on_ = &connection;
+  }
+  if (!slot) {
+    slot = std::make_unique<dbc::PreparedStatement>(connection.Prepare(sql));
+  }
+  return *slot;
+}
+
 bool TerminationChecker::Satisfied(dbc::Connection& connection,
                                    int64_t iteration,
                                    uint64_t updates) const {
@@ -41,15 +55,20 @@ bool TerminationChecker::Satisfied(dbc::Connection& connection,
       // paper's own Example 3 uses `UNTIL 0 UPDATES` with this meaning.
       return updates <= static_cast<uint64_t>(tc_.count);
     case sql::Termination::Kind::kProbeAll: {
-      const auto probe = connection.ExecuteQuery(probe_sql_);
-      const auto all = connection.ExecuteQuery(count_all_sql_);
+      const auto probe =
+          Prepared(connection, probe_stmt_, probe_sql_).ExecuteQuery();
+      const auto all =
+          Prepared(connection, count_stmt_, count_all_sql_).ExecuteQuery();
       return static_cast<int64_t>(probe.row_count()) ==
              all.ScalarAt().as_int();
     }
     case sql::Termination::Kind::kProbeAny:
-      return !connection.ExecuteQuery(probe_sql_).empty();
+      return !Prepared(connection, probe_stmt_, probe_sql_)
+                  .ExecuteQuery()
+                  .empty();
     case sql::Termination::Kind::kProbeCompare: {
-      const auto probe = connection.ExecuteQuery(probe_sql_);
+      const auto probe =
+          Prepared(connection, probe_stmt_, probe_sql_).ExecuteQuery();
       if (probe.row_count() != 1 || probe.rows[0].size() != 1) {
         throw ExecutionError(
             "a compared UNTIL expression must return exactly one value "

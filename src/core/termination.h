@@ -4,10 +4,12 @@
 // paths), so the same checker serves every executor.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/translator.h"
 #include "dbc/connection.h"
+#include "dbc/prepared_statement.h"
 #include "sql/ast.h"
 
 namespace sqloop::core {
@@ -35,12 +37,26 @@ class TerminationChecker {
                  uint64_t updates) const;
 
  private:
+  /// Lazily prepares `sql` on `connection` into `slot`. The probe runs
+  /// every round, so it is compiled exactly once per run; handles are
+  /// re-prepared when a different connection shows up (e.g. a fresh run).
+  dbc::PreparedStatement& Prepared(
+      dbc::Connection& connection,
+      std::unique_ptr<dbc::PreparedStatement>& slot,
+      const std::string& sql) const;
+
   sql::Termination tc_;
   Translator translator_;
   std::string relation_;
   std::string delta_table_;
   std::string probe_sql_;      // rendered probe, when tc has one
   std::string count_all_sql_;  // SELECT COUNT(*) FROM <relation>
+  // Prepared-once probe handles, keyed to the connection they were
+  // compiled on. Mutable: preparing is a caching detail of const
+  // Satisfied(). Reopen() of the same connection keeps them valid.
+  mutable std::unique_ptr<dbc::PreparedStatement> probe_stmt_;
+  mutable std::unique_ptr<dbc::PreparedStatement> count_stmt_;
+  mutable dbc::Connection* prepared_on_ = nullptr;
 };
 
 }  // namespace sqloop::core

@@ -11,11 +11,13 @@ namespace sqloop::dbc {
 
 Connection::Connection(std::shared_ptr<minidb::Database> db,
                        int64_t latency_us, int64_t row_cost_ns,
-                       std::shared_ptr<FaultInjector> fault_injector)
+                       std::shared_ptr<FaultInjector> fault_injector,
+                       int64_t compile_us)
     : db_(std::move(db)),
       executor_(*db_),
       latency_us_(latency_us),
       row_cost_ns_(row_cost_ns),
+      compile_us_(compile_us),
       fault_(std::move(fault_injector)) {
   db_->OnConnectionOpened();
 }
@@ -50,6 +52,13 @@ void Connection::PayServerWork(size_t rows_examined) {
   if (row_cost_ns_ <= 0 || rows_examined == 0) return;
   std::this_thread::sleep_for(std::chrono::nanoseconds(
       row_cost_ns_ * static_cast<int64_t>(rows_examined)));
+}
+
+void Connection::PayCompile(size_t statements) {
+  if (compile_us_ <= 0 || statements == 0) return;
+  SQLOOP_COUNT(recorder_, "dbc.server_compiles", statements);
+  std::this_thread::sleep_for(std::chrono::microseconds(
+      compile_us_ * static_cast<int64_t>(statements)));
 }
 
 void Connection::EnsureOpen() const {
@@ -118,7 +127,7 @@ void Connection::EnsureTransactionIfNeeded() {
   }
 }
 
-ResultSet Connection::Execute(const std::string& sql) {
+ResultSet Connection::Execute(std::string_view sql) {
   EnsureOpen();
   // Faults fire before the engine sees the statement (see fault.h): a
   // failure here is client-visible but leaves server state untouched, so
@@ -129,11 +138,12 @@ ResultSet Connection::Execute(const std::string& sql) {
   SQLOOP_COUNT(recorder_, "dbc.statements", 1);
   EnsureTransactionIfNeeded();
   ResultSet result = executor_.ExecuteSql(sql, &session_);
+  if (result.compiled) PayCompile();
   PayServerWork(result.rows_examined);
   return result;
 }
 
-size_t Connection::ExecuteUpdate(const std::string& sql) {
+size_t Connection::ExecuteUpdate(std::string_view sql) {
   return Execute(sql).affected_rows;
 }
 
@@ -155,14 +165,17 @@ std::vector<size_t> Connection::ExecuteBatch() {
   std::vector<size_t> affected;
   affected.reserve(batch_.size());
   size_t rows_examined = 0;
+  size_t compiles = 0;
   for (const std::string& sql : batch_) {
     ++stats_.statements;
     SQLOOP_COUNT(recorder_, "dbc.statements", 1);
-    const ResultSet result = executor_.ExecuteSql(sql, &session_);
+    ResultSet result = executor_.ExecuteSql(sql, &session_);
     rows_examined += result.rows_examined;
+    if (result.compiled) ++compiles;
     affected.push_back(result.affected_rows);
   }
   batch_.clear();
+  PayCompile(compiles);
   PayServerWork(rows_examined);
   return affected;
 }

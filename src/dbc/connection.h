@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/fault.h"
@@ -26,10 +27,14 @@ enum class IsolationLevel {
 /// communication-cost claims (e.g. that batching collapses round trips).
 struct ConnectionStats {
   uint64_t round_trips = 0;
-  uint64_t statements = 0;
+  uint64_t statements = 0;            // includes prepared executions
+  uint64_t prepared_statements = 0;   // Prepare() calls (handles created)
+  uint64_t prepared_executions = 0;   // executes that went through a handle
 
   void Reset() noexcept { *this = {}; }
 };
+
+class PreparedStatement;
 
 /// One client connection to a database. Not thread-safe — use one
 /// connection per thread, exactly as SQLoop does (paper §V-B).
@@ -37,20 +42,28 @@ class Connection {
  public:
   Connection(std::shared_ptr<minidb::Database> db, int64_t latency_us,
              int64_t row_cost_ns = 0,
-             std::shared_ptr<FaultInjector> fault_injector = nullptr);
+             std::shared_ptr<FaultInjector> fault_injector = nullptr,
+             int64_t compile_us = 0);
   ~Connection();
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
   /// Executes one statement of any kind; pays one round trip.
-  ResultSet Execute(const std::string& sql);
+  ResultSet Execute(std::string_view sql);
 
   /// Executes a statement expected to produce rows.
-  ResultSet ExecuteQuery(const std::string& sql) { return Execute(sql); }
+  ResultSet ExecuteQuery(std::string_view sql) { return Execute(sql); }
 
   /// Executes DML; returns the affected-row count.
-  size_t ExecuteUpdate(const std::string& sql);
+  size_t ExecuteUpdate(std::string_view sql);
+
+  /// Compiles `sql` (with optional `?` placeholders) into a reusable
+  /// handle — JDBC prepareStatement. Pays one round trip now; each
+  /// execution afterwards pays exactly one round trip and zero parses.
+  /// The handle stays valid across DDL (the plan re-binds transparently)
+  /// and across Close/Reopen of this connection.
+  PreparedStatement Prepare(std::string sql);
 
   /// Queues a statement for ExecuteBatch.
   void AddBatch(std::string sql);
@@ -127,8 +140,14 @@ class Connection {
   minidb::Database& database() { return *db_; }
 
  private:
+  friend class PreparedStatement;
+
   void PayRoundTrip();
   void PayServerWork(size_t rows_examined);
+  /// Simulated server-side parse+plan cost, paid only when the engine
+  /// actually compiled the statement (cache miss or ablation) — prepared
+  /// and plan-cached executions skip it, like a server-side PREPARE.
+  void PayCompile(size_t statements = 1);
   void EnsureOpen() const;
   void EnsureTransactionIfNeeded();
   /// Consults the injector before a statement/batch touches the engine.
@@ -145,6 +164,7 @@ class Connection {
   std::vector<std::string> batch_;
   int64_t latency_us_;
   int64_t row_cost_ns_;
+  int64_t compile_us_;
   std::shared_ptr<FaultInjector> fault_;
   int64_t statement_timeout_ms_ = 0;
   bool autocommit_ = true;

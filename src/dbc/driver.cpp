@@ -139,6 +139,8 @@ ConnectionConfig ConnectionConfig::Parse(const std::string& url) {
       }
       if (key == "latency_us") {
         config.latency_us = ParseNonNegative(value, "latency_us");
+      } else if (key == "compile_us") {
+        config.compile_us = ParseNonNegative(value, "compile_us");
       } else if (key == "row_cost_ns") {
         config.row_cost_ns = ParseNonNegative(value, "row_cost_ns");
       } else if (key == "engine") {
@@ -238,8 +240,8 @@ std::unique_ptr<Connection> DriverManager::GetConnection(
                               config.host + "'");
   }
   return std::make_unique<Connection>(std::move(db), config.latency_us,
-                                      config.row_cost_ns,
-                                      std::move(injector));
+                                      config.row_cost_ns, std::move(injector),
+                                      config.compile_us);
 }
 
 void DriverManager::RegisterHost(const std::string& host,

@@ -35,6 +35,13 @@ struct ConnectionConfig {
   /// costs overlap across connections exactly as they would on a server
   /// with ample cores (see DESIGN.md "Substitutions"). 0 disables.
   int64_t row_cost_ns = 0;
+  /// Simulated server-side parse+plan cost per compiled statement. Paid
+  /// only when the engine actually compiles text (cache miss, ablation);
+  /// plan-cached and prepared executions skip it, exactly like a
+  /// server-side PREPARE. Models a real engine's optimizer, which the
+  /// embedded parser radically undercosts (see DESIGN.md
+  /// "Substitutions"). 0 (the default) disables.
+  int64_t compile_us = 0;
   /// Optional engine assertion: if non-empty, connecting fails unless the
   /// target database actually runs this engine profile.
   std::string expected_engine;

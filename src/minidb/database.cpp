@@ -28,12 +28,16 @@ void Database::CreateTable(const std::string& table_name, Schema schema,
     throw ExecutionError("relation '" + table_name + "' already exists");
   }
   tables_.emplace(folded, std::make_shared<Table>(folded, std::move(schema)));
+  BumpCatalogVersion();
 }
 
 bool Database::DropTable(const std::string& table_name, bool if_exists) {
   const std::string folded = FoldIdentifier(table_name);
   const std::scoped_lock lock(catalog_lock_);
-  if (tables_.erase(folded) > 0) return true;
+  if (tables_.erase(folded) > 0) {
+    BumpCatalogVersion();
+    return true;
+  }
   if (!if_exists) {
     throw ExecutionError("table '" + table_name + "' does not exist");
   }
@@ -49,12 +53,16 @@ void Database::CreateView(const std::string& view_name,
   }
   views_.emplace(folded, std::shared_ptr<const sql::SelectStmt>(
                              definition.release()));
+  BumpCatalogVersion();
 }
 
 bool Database::DropView(const std::string& view_name, bool if_exists) {
   const std::string folded = FoldIdentifier(view_name);
   const std::scoped_lock lock(catalog_lock_);
-  if (views_.erase(folded) > 0) return true;
+  if (views_.erase(folded) > 0) {
+    BumpCatalogVersion();
+    return true;
+  }
   if (!if_exists) {
     throw ExecutionError("view '" + view_name + "' does not exist");
   }

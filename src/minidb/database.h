@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "minidb/engine_profile.h"
+#include "minidb/plan_cache.h"
 #include "minidb/table.h"
 #include "sql/ast.h"
 
@@ -46,6 +47,21 @@ class Database {
 
   std::vector<std::string> TableNames() const;
 
+  // --- plan cache & catalog versioning ---------------------------------
+  // Every DDL statement (table/view changes here; index DDL via the
+  // executor) bumps the catalog version; cached plans bound under an older
+  // version are re-bound — never re-parsed — on their next lookup.
+
+  PlanCache& plan_cache() noexcept { return plan_cache_; }
+  const PlanCache& plan_cache() const noexcept { return plan_cache_; }
+
+  uint64_t catalog_version() const noexcept {
+    return catalog_version_.load(std::memory_order_acquire);
+  }
+  void BumpCatalogVersion() noexcept {
+    catalog_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   // --- connection accounting -------------------------------------------
   // The dbc layer reports opens/closes so resilience tests can assert that
   // a failed parallel run leaks no live connections.
@@ -61,6 +77,8 @@ class Database {
   std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
   std::unordered_map<std::string, std::shared_ptr<const sql::SelectStmt>>
       views_;
+  std::atomic<uint64_t> catalog_version_{0};
+  PlanCache plan_cache_;
 };
 
 }  // namespace sqloop::minidb

@@ -281,6 +281,10 @@ Value Evaluate(const sql::Expr& expr, const EvalContext& ctx) {
       const bool is_null = v.is_null();
       return Value(int64_t{(is_null != expr.is_not_null) ? 1 : 0});
     }
+    case sql::ExprKind::kParameter:
+      throw AnalysisError(
+          "unbound parameter ?" + std::to_string(expr.param_index + 1) +
+          " — bind a value through a prepared statement before executing");
   }
   throw UsageError("unevaluable expression kind");
 }

@@ -114,15 +114,15 @@ class TableCollector {
     }
   }
 
-  /// Adds all requests to `locks`. `written` names get exclusive locks.
-  void Apply(LockSet& locks, const Database& db,
-             const std::set<std::string>& written) const {
+  /// Emits the collected names into a lock plan. `written` names (already
+  /// folded) get exclusive locks.
+  void Collect(LockPlan& plan, const std::set<std::string>& written) const {
     std::set<std::string> all = reads_;
     for (const auto& name : written) all.insert(FoldIdentifier(name));
     for (const auto& name : all) {
-      locks.Request(db.FindTable(name),
-                    written.contains(name) ||
-                        written.contains(FoldIdentifier(name)));
+      plan.entries.emplace_back(name, written.contains(name) ||
+                                          written.contains(
+                                              FoldIdentifier(name)));
     }
   }
 
@@ -131,6 +131,14 @@ class TableCollector {
   std::set<std::string> reads_;
   std::set<std::string> visited_views_;
 };
+
+/// Turns a lock plan back into lock requests against the live catalog.
+/// Names are re-resolved here, so plans survive drop/recreate cycles.
+void ApplyLockPlan(LockSet& locks, const Database& db, const LockPlan& plan) {
+  for (const auto& [name, write] : plan.entries) {
+    locks.Request(db.FindTable(name), write);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Small helpers
@@ -1401,24 +1409,26 @@ ResultSet Executor::ExecTransaction(const sql::Statement& stmt,
 // ---------------------------------------------------------------------------
 
 ResultSet Executor::Execute(const sql::Statement& stmt, Session* session) {
+  return ExecuteWithPlan(stmt, BuildLockPlan(stmt), session);
+}
+
+ResultSet Executor::ExecuteWithPlan(const sql::Statement& stmt,
+                                    const LockPlan& plan, Session* session) {
   rows_examined_ = 0;
-  ResultSet result = ExecuteInternal(stmt, session);
+  ResultSet result = ExecuteInternal(stmt, plan, session);
   result.rows_examined = rows_examined_;
   SQLOOP_COUNT(recorder_, "minidb.rows_examined", rows_examined_);
   return result;
 }
 
-ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
-                                    Session* session) {
-  ExecContext ctx;
+LockPlan Executor::BuildLockPlan(const sql::Statement& stmt) const {
+  LockPlan plan;
   switch (stmt.kind) {
     case sql::StatementKind::kSelect: {
       TableCollector collector(db_);
       collector.FromSelect(*stmt.select, {});
-      LockSet locks(recorder_);
-      collector.Apply(locks, db_, {});
-      locks.AcquireAll();
-      return EvalSelect(*stmt.select, ctx);
+      collector.Collect(plan, {});
+      break;
     }
     case sql::StatementKind::kWith: {
       TableCollector collector(db_);
@@ -1429,8 +1439,46 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
         collector.FromSelect(*stmt.with.termination.probe, ctes);
       }
       collector.FromSelect(*stmt.with.final_query, ctes);
+      collector.Collect(plan, {});
+      break;
+    }
+    case sql::StatementKind::kInsert: {
+      TableCollector collector(db_);
+      if (stmt.insert_select) collector.FromSelect(*stmt.insert_select, {});
+      collector.Collect(plan, {FoldIdentifier(stmt.table_name)});
+      break;
+    }
+    case sql::StatementKind::kUpdate: {
+      TableCollector collector(db_);
+      if (stmt.update_from) collector.FromTableRef(*stmt.update_from, {});
+      collector.Collect(plan, {FoldIdentifier(stmt.table_name)});
+      break;
+    }
+    case sql::StatementKind::kDelete:
+      plan.entries.emplace_back(FoldIdentifier(stmt.table_name),
+                                /*write=*/true);
+      break;
+    default:
+      // DDL, TRUNCATE and transaction statements lock inside their own
+      // execution paths; nothing to precompute.
+      break;
+  }
+  return plan;
+}
+
+ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
+                                    const LockPlan& plan, Session* session) {
+  ExecContext ctx;
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect: {
       LockSet locks(recorder_);
-      collector.Apply(locks, db_, {});
+      ApplyLockPlan(locks, db_, plan);
+      locks.AcquireAll();
+      return EvalSelect(*stmt.select, ctx);
+    }
+    case sql::StatementKind::kWith: {
+      LockSet locks(recorder_);
+      ApplyLockPlan(locks, db_, plan);
       locks.AcquireAll();
       return ExecWith(stmt, ctx);
     }
@@ -1445,8 +1493,13 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
         throw ExecutionError("table '" + stmt.table_name +
                              "' does not exist");
       }
-      const std::scoped_lock lock(table->lock());
-      table->CreateIndex(stmt.index_name, stmt.index_columns.at(0));
+      {
+        const std::scoped_lock lock(table->lock());
+        table->CreateIndex(stmt.index_name, stmt.index_columns.at(0));
+      }
+      // Index DDL bypasses the Database catalog methods, so the version
+      // bump that invalidates bound plans happens here.
+      db_.BumpCatalogVersion();
       return {};
     }
     case sql::StatementKind::kDropIndex: {
@@ -1456,8 +1509,14 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
           throw ExecutionError("table '" + stmt.table_name +
                                "' does not exist");
         }
-        const std::scoped_lock lock(table->lock());
-        if (!table->DropIndex(stmt.index_name) && !stmt.if_exists) {
+        bool dropped;
+        {
+          const std::scoped_lock lock(table->lock());
+          dropped = table->DropIndex(stmt.index_name);
+        }
+        if (dropped) {
+          db_.BumpCatalogVersion();
+        } else if (!stmt.if_exists) {
           throw ExecutionError("index '" + stmt.index_name +
                                "' does not exist");
         }
@@ -1466,8 +1525,15 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
       for (const auto& name : db_.TableNames()) {
         const auto table = db_.FindTable(name);
         if (!table) continue;
-        const std::scoped_lock lock(table->lock());
-        if (table->DropIndex(stmt.index_name)) return {};
+        bool dropped;
+        {
+          const std::scoped_lock lock(table->lock());
+          dropped = table->DropIndex(stmt.index_name);
+        }
+        if (dropped) {
+          db_.BumpCatalogVersion();
+          return {};
+        }
       }
       if (!stmt.if_exists) {
         throw ExecutionError("index '" + stmt.index_name +
@@ -1482,24 +1548,20 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
       db_.DropView(stmt.table_name, stmt.if_exists);
       return {};
     case sql::StatementKind::kInsert: {
-      TableCollector collector(db_);
-      if (stmt.insert_select) collector.FromSelect(*stmt.insert_select, {});
       LockSet locks(recorder_);
-      collector.Apply(locks, db_, {FoldIdentifier(stmt.table_name)});
+      ApplyLockPlan(locks, db_, plan);
       locks.AcquireAll();
       return ExecInsert(stmt, session);
     }
     case sql::StatementKind::kUpdate: {
-      TableCollector collector(db_);
-      if (stmt.update_from) collector.FromTableRef(*stmt.update_from, {});
       LockSet locks(recorder_);
-      collector.Apply(locks, db_, {FoldIdentifier(stmt.table_name)});
+      ApplyLockPlan(locks, db_, plan);
       locks.AcquireAll();
       return ExecUpdate(stmt, session, ctx);
     }
     case sql::StatementKind::kDelete: {
       LockSet locks(recorder_);
-      locks.Request(db_.FindTable(stmt.table_name), /*write=*/true);
+      ApplyLockPlan(locks, db_, plan);
       locks.AcquireAll();
       return ExecDelete(stmt, session);
     }
@@ -1526,8 +1588,104 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
 }
 
 ResultSet Executor::ExecuteSql(std::string_view text, Session* session) {
+  if (db_.plan_cache().enabled()) {
+    const auto plan = Prepare(text);
+    ResultSet result = ExecuteWithPlan(*plan->ast, *plan->locks, session);
+    result.compiled = last_prepare_parsed_;
+    return result;
+  }
+  // Ablation path (--no-plan-cache): the pre-cache cost model — every
+  // statement pays a full parse.
+  SQLOOP_COUNT(recorder_, "sql.parse_count", 1);
+#if SQLOOP_TELEMETRY_ENABLED
+  const Stopwatch parse_watch;
+#endif
   const auto stmt = sql::ParseStatement(text);
-  return Execute(*stmt, session);
+  SQLOOP_TIME_SECONDS(recorder_, "sql.parse_seconds",
+                      parse_watch.ElapsedSeconds());
+  ResultSet result = Execute(*stmt, session);
+  result.compiled = true;
+  return result;
+}
+
+std::shared_ptr<const CachedPlan> Executor::Rebind(const CachedPlan& stale,
+                                                   uint64_t version) {
+  // The catalog changed since this plan was bound: the parse stays valid
+  // (text -> AST is a pure function), only the bind layer — lock set and
+  // view expansion — is recomputed. The refresh stays connection-local;
+  // writing it back to the shared cache would serialize workers on the
+  // cache mutex only to be re-staled by the next round's DDL.
+  auto rebound = std::make_shared<CachedPlan>();
+  rebound->ast = stale.ast;
+  rebound->param_count = stale.param_count;
+  rebound->locks = std::make_shared<const LockPlan>(BuildLockPlan(*stale.ast));
+  rebound->bound_version = version;
+  db_.plan_cache().NoteRebind();
+  SQLOOP_COUNT(recorder_, "minidb.plan_rebinds", 1);
+  return rebound;
+}
+
+std::shared_ptr<const CachedPlan> Executor::Prepare(std::string_view text,
+                                                    bool pin) {
+  PlanCache& cache = db_.plan_cache();
+  if (!cache.enabled()) {
+    throw UsageError("Prepare requires the plan cache to be enabled");
+  }
+  last_prepare_parsed_ = false;
+  const uint64_t version = db_.catalog_version();
+  std::string raw(text);
+  if (const auto it = local_plans_.find(raw); it != local_plans_.end()) {
+    // Hot path: this connection has executed the exact text before. No
+    // shared state is touched unless the catalog moved underneath us.
+    SQLOOP_COUNT(recorder_, "minidb.plan_cache_hits", 1);
+    cache.NoteLocalHit();
+    if (it->second->bound_version != version) {
+      it->second = Rebind(*it->second, version);
+    }
+    return it->second;
+  }
+  const std::string key =
+      db_.profile().name + '\x1f' + NormalizeSqlKey(text);
+  if (auto entry = cache.Lookup(key)) {
+    SQLOOP_COUNT(recorder_, "minidb.plan_cache_hits", 1);
+    if (entry->bound_version != version) {
+      entry = Rebind(*entry, version);
+    }
+    if (local_plans_.size() >= kLocalPlanCapacity) local_plans_.clear();
+    local_plans_.emplace(std::move(raw), entry);
+    return entry;
+  }
+  SQLOOP_COUNT(recorder_, "minidb.plan_cache_misses", 1);
+  SQLOOP_COUNT(recorder_, "sql.parse_count", 1);
+  last_prepare_parsed_ = true;
+  auto plan = std::make_shared<CachedPlan>();
+  {
+#if SQLOOP_TELEMETRY_ENABLED
+    const Stopwatch parse_watch;
+#endif
+    auto parsed = sql::ParseStatement(text);
+    SQLOOP_TIME_SECONDS(recorder_, "sql.parse_seconds",
+                        parse_watch.ElapsedSeconds());
+    int max_param = -1;
+    sql::VisitStatementExprs(*parsed, [&max_param](const sql::Expr& expr) {
+      if (expr.kind == sql::ExprKind::kParameter) {
+        max_param = std::max(max_param, expr.param_index);
+      }
+    });
+    plan->param_count = max_param + 1;
+    plan->ast = std::shared_ptr<const sql::Statement>(std::move(parsed));
+  }
+  plan->locks = std::make_shared<const LockPlan>(BuildLockPlan(*plan->ast));
+  plan->bound_version = version;
+  if (pin || first_misses_.erase(key) > 0) {
+    cache.Put(key, plan);
+    if (local_plans_.size() >= kLocalPlanCapacity) local_plans_.clear();
+    local_plans_.emplace(std::move(raw), plan);
+  } else {
+    if (first_misses_.size() >= kLocalPlanCapacity) first_misses_.clear();
+    first_misses_.insert(key);
+  }
+  return plan;
 }
 
 }  // namespace sqloop::minidb

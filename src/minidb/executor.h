@@ -12,6 +12,7 @@
 
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "minidb/database.h"
@@ -41,8 +42,32 @@ class Executor {
   /// and may be null for autocommit execution.
   ResultSet Execute(const sql::Statement& stmt, Session* session = nullptr);
 
-  /// Parses and executes exactly one statement of SQL text.
+  /// Executes a statement with a precomputed lock plan (from Prepare or a
+  /// cached plan), skipping the per-statement table-collection walk.
+  ResultSet ExecuteWithPlan(const sql::Statement& stmt, const LockPlan& plan,
+                            Session* session = nullptr);
+
+  /// Executes exactly one statement of SQL text. Consults the database's
+  /// plan cache first: repeated text skips the parse entirely, and a
+  /// catalog change since the plan was bound re-binds without re-parsing.
   ResultSet ExecuteSql(std::string_view text, Session* session = nullptr);
+
+  /// Compile-once entry point: returns the cached plan for `text`, parsing
+  /// on a cache miss and re-binding the lock plan if DDL happened since it
+  /// was bound. The handle stays valid after eviction and across Reopen.
+  /// `pin` declares the text reusable (an explicit PREPARE): it enters the
+  /// shared cache on first compile instead of waiting for a second sighting.
+  /// Throws UsageError when the plan cache is disabled.
+  std::shared_ptr<const CachedPlan> Prepare(std::string_view text,
+                                            bool pin = false);
+
+  /// Whether the most recent Prepare call actually parsed (cache miss) as
+  /// opposed to serving a cached plan. Feeds the dbc compile-cost model.
+  bool last_prepare_parsed() const noexcept { return last_prepare_parsed_; }
+
+  /// Computes the lock plan (base tables to lock, views expanded) for a
+  /// statement under the current catalog.
+  LockPlan BuildLockPlan(const sql::Statement& stmt) const;
 
   /// Iteration cap for recursive CTE evaluation (safety net against
   /// non-terminating recursion).
@@ -81,7 +106,8 @@ class Executor {
                          std::vector<Row>* sort_keys);
 
   // --- statements -------------------------------------------------------
-  ResultSet ExecuteInternal(const sql::Statement& stmt, Session* session);
+  ResultSet ExecuteInternal(const sql::Statement& stmt, const LockPlan& plan,
+                            Session* session);
   ResultSet ExecWith(const sql::Statement& stmt, ExecContext& ctx);
   ResultSet ExecCreateTable(const sql::Statement& stmt);
   ResultSet ExecInsert(const sql::Statement& stmt, Session* session);
@@ -93,7 +119,27 @@ class Executor {
   void CheckDialect(const sql::Statement& stmt) const;
   void BackupForTransaction(Session* session, Table& table);
 
+  /// Recomputes the bind layer (lock set, view expansion) of a stale plan
+  /// under `version`; the parsed AST is shared, never re-parsed.
+  std::shared_ptr<const CachedPlan> Rebind(const CachedPlan& stale,
+                                           uint64_t version);
+
   Database& db_;
+  // Connection-local plan map (L1 in front of the shared PlanCache),
+  // keyed by raw statement text. Iterative runs re-execute the same
+  // statements every round from every worker; serving those from here —
+  // and re-binding locally after DDL — keeps the shared cache mutex off
+  // the hot path entirely. Capped: unique per-round message-table SQL
+  // would otherwise grow it without bound.
+  static constexpr size_t kLocalPlanCapacity = 256;
+  std::unordered_map<std::string, std::shared_ptr<const CachedPlan>>
+      local_plans_;
+  // Keys this connection has compiled exactly once. Ad-hoc text only
+  // enters the shared cache on its second compile, so single-use
+  // statements (unique message-table names minted every round) never
+  // churn the shared LRU or its mutex.
+  std::unordered_set<std::string> first_misses_;
+  bool last_prepare_parsed_ = false;
   // Scan-volume accounting for the statement currently executing (each
   // connection owns its Executor, so no synchronization is needed).
   size_t rows_examined_ = 0;

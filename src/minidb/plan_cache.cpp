@@ -1,0 +1,85 @@
+#include "minidb/plan_cache.h"
+
+#include <cctype>
+
+namespace sqloop::minidb {
+
+std::string NormalizeSqlKey(std::string_view sql) {
+  std::string out;
+  out.reserve(sql.size());
+  char quote = '\0';
+  bool pending_space = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    const char c = sql[i];
+    if (quote != '\0') {
+      out += c;
+      if (c == quote) {
+        // A doubled quote char is an escape, not a terminator.
+        if (i + 1 < sql.size() && sql[i + 1] == quote) {
+          out += quote;
+          ++i;
+        } else {
+          quote = '\0';
+        }
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out += ' ';
+    pending_space = false;
+    out += c;
+    if (c == '\'' || c == '"' || c == '`') quote = c;
+  }
+  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key) {
+  if (!enabled()) return nullptr;
+  const std::scoped_lock lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  return it->second.plan;
+}
+
+void PlanCache::Put(const std::string& key,
+                    std::shared_ptr<const CachedPlan> plan) {
+  if (!enabled()) return;
+  const std::scoped_lock lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    return;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Slot{std::move(plan), lru_.begin()});
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PlanCache::Clear() {
+  const std::scoped_lock lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+}
+
+size_t PlanCache::size() const {
+  const std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace sqloop::minidb

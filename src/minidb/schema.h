@@ -50,6 +50,11 @@ struct ResultSet {
   /// Rows the engine read while answering (table-scan volume). The dbc
   /// layer uses this to model server-side processing cost; see DESIGN.md.
   size_t rows_examined = 0;
+  /// True when the engine compiled (parsed + planned) the statement text
+  /// rather than serving a cached plan. The dbc layer uses this to model
+  /// server-side compile cost (compile_us) — prepared/cached executions
+  /// skip it, exactly like a server-side PREPARE.
+  bool compiled = false;
 
   bool empty() const noexcept { return rows.empty(); }
   size_t row_count() const noexcept { return rows.size(); }

@@ -58,6 +58,7 @@ ExprPtr Expr::Clone() const {
   }
   if (else_expr) out->else_expr = else_expr->Clone();
   out->is_not_null = is_not_null;
+  out->param_index = param_index;
   return out;
 }
 
@@ -125,6 +126,13 @@ ExprPtr MakeIsNull(ExprPtr operand, bool negated) {
   return e;
 }
 
+ExprPtr MakeParameter(int index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kParameter;
+  e->param_index = index;
+  return e;
+}
+
 ExprPtr AndTogether(ExprPtr a, ExprPtr b) {
   if (!a) return b;
   if (!b) return a;
@@ -182,6 +190,8 @@ bool ExprEquals(const Expr& a, const Expr& b) noexcept {
     }
     case ExprKind::kIsNull:
       return a.is_not_null == b.is_not_null && ExprEquals(*a.left, *b.left);
+    case ExprKind::kParameter:
+      return a.param_index == b.param_index;
   }
   return false;
 }
@@ -328,6 +338,109 @@ Termination Termination::Clone() const {
   out.comparator = comparator;
   out.bound = bound;
   return out;
+}
+
+WithClause WithClause::Clone() const {
+  WithClause out;
+  out.kind = kind;
+  out.name = name;
+  out.columns = columns;
+  if (seed) out.seed = seed->Clone();
+  if (step) out.step = step->Clone();
+  out.termination = termination.Clone();
+  if (final_query) out.final_query = final_query->Clone();
+  return out;
+}
+
+StatementPtr Statement::Clone() const {
+  auto out = std::make_unique<Statement>();
+  out->kind = kind;
+  if (select) out->select = select->Clone();
+  out->table_name = table_name;
+  out->columns = columns;
+  out->primary_key_index = primary_key_index;
+  out->if_not_exists = if_not_exists;
+  out->unlogged = unlogged;
+  out->engine_option = engine_option;
+  out->if_exists = if_exists;
+  out->index_name = index_name;
+  out->index_columns = index_columns;
+  if (view_select) out->view_select = view_select->Clone();
+  out->insert_columns = insert_columns;
+  out->insert_rows.reserve(insert_rows.size());
+  for (const auto& row : insert_rows) {
+    std::vector<ExprPtr> copy;
+    copy.reserve(row.size());
+    for (const auto& value : row) copy.push_back(value->Clone());
+    out->insert_rows.push_back(std::move(copy));
+  }
+  if (insert_select) out->insert_select = insert_select->Clone();
+  out->update_alias = update_alias;
+  out->set_items.reserve(set_items.size());
+  for (const auto& [column, expr] : set_items) {
+    out->set_items.emplace_back(column, expr->Clone());
+  }
+  if (update_from) out->update_from = update_from->Clone();
+  if (where) out->where = where->Clone();
+  out->with = with.Clone();
+  return out;
+}
+
+namespace {
+
+void VisitSelectExprsMutable(SelectStmt& select,
+                             const std::function<void(Expr&)>& fn);
+
+void VisitTableRefExprsMutable(TableRef& ref,
+                               const std::function<void(Expr&)>& fn) {
+  if (ref.on_condition) VisitExprMutable(*ref.on_condition, fn);
+  if (ref.left) VisitTableRefExprsMutable(*ref.left, fn);
+  if (ref.right) VisitTableRefExprsMutable(*ref.right, fn);
+  if (ref.subquery) VisitSelectExprsMutable(*ref.subquery, fn);
+}
+
+void VisitSelectExprsMutable(SelectStmt& select,
+                             const std::function<void(Expr&)>& fn) {
+  for (auto& core : select.cores) {
+    for (auto& item : core.items) VisitExprMutable(*item.expr, fn);
+    if (core.from) VisitTableRefExprsMutable(*core.from, fn);
+    if (core.where) VisitExprMutable(*core.where, fn);
+    for (auto& g : core.group_by) VisitExprMutable(*g, fn);
+    if (core.having) VisitExprMutable(*core.having, fn);
+  }
+  for (auto& o : select.order_by) VisitExprMutable(*o.expr, fn);
+}
+
+}  // namespace
+
+void VisitStatementExprsMutable(Statement& stmt,
+                                const std::function<void(Expr&)>& fn) {
+  if (stmt.select) VisitSelectExprsMutable(*stmt.select, fn);
+  if (stmt.view_select) VisitSelectExprsMutable(*stmt.view_select, fn);
+  for (auto& row : stmt.insert_rows) {
+    for (auto& value : row) VisitExprMutable(*value, fn);
+  }
+  if (stmt.insert_select) VisitSelectExprsMutable(*stmt.insert_select, fn);
+  for (auto& [column, expr] : stmt.set_items) VisitExprMutable(*expr, fn);
+  if (stmt.update_from) VisitTableRefExprsMutable(*stmt.update_from, fn);
+  if (stmt.where) VisitExprMutable(*stmt.where, fn);
+  if (stmt.with.seed) VisitSelectExprsMutable(*stmt.with.seed, fn);
+  if (stmt.with.step) VisitSelectExprsMutable(*stmt.with.step, fn);
+  if (stmt.with.termination.probe) {
+    VisitSelectExprsMutable(*stmt.with.termination.probe, fn);
+  }
+  if (stmt.with.final_query) {
+    VisitSelectExprsMutable(*stmt.with.final_query, fn);
+  }
+}
+
+void VisitStatementExprs(const Statement& stmt,
+                         const std::function<void(const Expr&)>& fn) {
+  // The mutable walker never adds/removes nodes itself and the callback
+  // here only observes, so delegating is safe.
+  VisitStatementExprsMutable(
+      const_cast<Statement&>(stmt),
+      [&fn](Expr& expr) { fn(static_cast<const Expr&>(expr)); });
 }
 
 }  // namespace sqloop::sql

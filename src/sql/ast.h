@@ -28,6 +28,7 @@ enum class ExprKind {
   kAggregate,  // SUM / MIN / MAX / COUNT / AVG
   kCase,
   kIsNull,
+  kParameter,  // `?` placeholder; bound to a literal before execution
 };
 
 enum class UnaryOp { kNegate, kNot };
@@ -84,6 +85,11 @@ struct Expr {
   // kIsNull
   bool is_not_null = false;
 
+  // kParameter — 0-based ordinal of the `?` in the statement text. Kept on
+  // the node even after a bind rewrites it to kLiteral, so a prepared
+  // statement can re-bind the same slot with a new value.
+  int param_index = -1;
+
   ExprPtr Clone() const;
 };
 
@@ -97,6 +103,7 @@ ExprPtr MakeFunction(std::string upper_name, std::vector<ExprPtr> args);
 ExprPtr MakeAggregate(AggFunc f, ExprPtr arg, bool star = false,
                       bool distinct = false);
 ExprPtr MakeIsNull(ExprPtr operand, bool negated);
+ExprPtr MakeParameter(int index);
 
 /// Ands two (possibly null) predicates together.
 ExprPtr AndTogether(ExprPtr a, ExprPtr b);
@@ -267,6 +274,8 @@ struct WithClause {
   SelectPtr step;                    // Ri
   Termination termination;           // Tc (iterative only)
   SelectPtr final_query;             // Qf
+
+  WithClause Clone() const;
 };
 
 struct Statement {
@@ -308,6 +317,18 @@ struct Statement {
 
   // kWith
   WithClause with;
+
+  StatementPtr Clone() const;
 };
+
+/// Calls `fn` on every expression in the statement — select lists, WHERE,
+/// join conditions, subqueries, VALUES rows, SET items, CTE bodies.
+void VisitStatementExprs(const Statement& stmt,
+                         const std::function<void(const Expr&)>& fn);
+
+/// Mutable variant; `fn` may rewrite nodes in place (used to bind `?`
+/// parameter slots).
+void VisitStatementExprsMutable(Statement& stmt,
+                                const std::function<void(Expr&)>& fn);
 
 }  // namespace sqloop::sql

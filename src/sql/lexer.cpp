@@ -74,6 +74,7 @@ std::string DescribeToken(const Token& token) {
     case TokenKind::kComma: return "','";
     case TokenKind::kDot: return "'.'";
     case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kQuestion: return "'?'";
   }
   return "<token>";
 }
@@ -221,6 +222,7 @@ std::vector<Token> Tokenize(std::string_view source) {
       case ',': push(TokenKind::kComma, start); ++i; break;
       case '.': push(TokenKind::kDot, start); ++i; break;
       case ';': push(TokenKind::kSemicolon, start); ++i; break;
+      case '?': push(TokenKind::kQuestion, start); ++i; break;
       case '=': push(TokenKind::kEq, start); ++i; break;
       case '!':
         if (i + 1 < n && source[i + 1] == '=') {

@@ -782,6 +782,9 @@ class Parser {
         Expect(TokenKind::kRParen, "')'");
         return inner;
       }
+      case TokenKind::kQuestion:
+        Advance();
+        return MakeParameter(param_count_++);
       case TokenKind::kKeyword:
         if (IsSoftKeyword(token)) return ParseIdentifierExpr();
         if (AcceptKeyword("NULL")) return MakeLiteral(Value::Null());
@@ -862,6 +865,7 @@ class Parser {
   std::string_view source_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int param_count_ = 0;  // `?` placeholders seen, in source order
 };
 
 }  // namespace

@@ -113,6 +113,8 @@ std::string PrintExpr(const Expr& expr, Dialect dialect) {
     case ExprKind::kIsNull:
       return "(" + PrintExpr(*expr.left, dialect) +
              (expr.is_not_null ? " IS NOT NULL)" : " IS NULL)");
+    case ExprKind::kParameter:
+      return "?";
   }
   throw UsageError("unprintable expression");
 }

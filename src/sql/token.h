@@ -18,6 +18,7 @@ enum class TokenKind {
   kPlus, kMinus, kStar, kSlash, kPercent,
   kEq, kNotEq, kLess, kLessEq, kGreater, kGreaterEq,
   kLParen, kRParen, kComma, kDot, kSemicolon,
+  kQuestion,         // `?` — positional parameter placeholder
 };
 
 struct Token {

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "core/resilience.h"
 #include "core/workloads.h"
 #include "dbc/driver.h"
+#include "dbc/prepared_statement.h"
 #include "graph/generators.h"
 #include "minidb/server.h"
 #include "tests/core/core_test_util.h"
@@ -179,6 +181,13 @@ TEST(ResilienceTest, FatalErrorAbortsPromptlyWithOriginalType) {
   fixture.LoadGraph(graph::MakeWebGraph(60, 3, 3));
   auto options = ResilientOptions(ExecutionMode::kSync, 2);
   options.max_iterations_guard = 2;  // PageRank below needs 6 rounds
+  // A retry attempt re-runs every statement of its task, each exposed to
+  // the injected 20% fault rate, so a 10-attempt budget has a small but
+  // real chance of exhausting — retiring a worker for reasons unrelated
+  // to what this test asserts (scheduling decides which thread draws
+  // which seeded fault). Enough headroom makes exhaustion impossible in
+  // practice; backoff is zero, so extra attempts cost nothing.
+  options.retry.max_attempts = 50;
   SqLoop loop(fixture.Url() + kFaultParams, options);
   EXPECT_THROW(loop.Execute(workloads::PageRankQuery(6)), ExecutionError);
   EXPECT_LE(loop.last_run().iterations, 2);
@@ -294,6 +303,89 @@ TEST(ResilienceTest, NoWorkerConnectionsLeakAfterFailedRun) {
   loop.Execute(workloads::PageRankQuery(1),
                ResilientOptions(ExecutionMode::kSync, 3));
   EXPECT_EQ(loop.connection().database().open_connections(), 1);
+}
+
+TEST(ResilienceTest, PreparedHandleSurvivesDropsAndReopenWithoutRecompiling) {
+  // Interplay of the prepared-execution path with fault injection: a
+  // handle's compiled plan lives with the database, so an injected drop +
+  // Reopen() must be transparent — same results, and no re-compile (the
+  // plan-cache miss count must not move, however many retries happen).
+  minidb::Server server;
+  dbc::DriverManager::RegisterHost("resilience_prep", &server);
+  server.CreateDatabase("db", minidb::EngineProfile::Postgres());
+  auto setup = dbc::DriverManager::GetConnection(
+      "minidb://resilience_prep/db?latency_us=0");
+  setup->Execute("CREATE TABLE kv (k BIGINT, v BIGINT)");
+  setup->Execute("INSERT INTO kv VALUES (1, 10), (2, 20), (3, 30)");
+
+  auto conn = dbc::DriverManager::GetConnection(
+      "minidb://resilience_prep/db?latency_us=0"
+      "&fault_seed=7&fault_drop_rate=0.2&fault_transient_rate=0.1");
+  int reopens = 0;
+  // The PREPARE round trip is fault-exposed like any statement.
+  std::optional<dbc::PreparedStatement> stmt;
+  for (int attempt = 0; !stmt.has_value(); ++attempt) {
+    ASSERT_LT(attempt, 100) << "prepare retry budget exhausted";
+    try {
+      stmt.emplace(conn->Prepare("SELECT v FROM kv WHERE k = ?"));
+    } catch (const ConnectionLostError&) {
+      conn->Reopen();
+      ++reopens;
+    } catch (const TransientError&) {
+    }
+  }
+
+  auto& cache = conn->database().plan_cache();
+  const uint64_t misses0 = cache.misses();
+  for (int round = 0; round < 200; ++round) {
+    const int64_t k = round % 3 + 1;
+    stmt->SetInt64(1, k);
+    for (int attempt = 0;; ++attempt) {
+      ASSERT_LT(attempt, 100) << "execute retry budget exhausted";
+      try {
+        const auto result = stmt->ExecuteQuery();
+        ASSERT_EQ(result.rows.size(), 1u);
+        EXPECT_EQ(result.rows[0][0].as_int(), k * 10);
+        break;
+      } catch (const ConnectionLostError&) {
+        conn->Reopen();
+        ++reopens;
+      } catch (const TransientError&) {
+      }
+    }
+  }
+  // The seeded 20% drop rate over 200+ statements guarantees real reopens,
+  // and none of them sent the statement text back through the compiler.
+  EXPECT_GT(reopens, 0);
+  EXPECT_EQ(cache.misses(), misses0);
+  dbc::DriverManager::RegisterHost("resilience_prep", nullptr);
+}
+
+TEST(ResilienceTest, PlanCacheIsInvisibleUnderFaults) {
+  // The cache-on and cache-off (ablated) worlds must converge identically
+  // even while drops and transient faults force retries mid-run. threads=1
+  // pins the task order, so PageRank's float summation order — and thus
+  // the comparison — is exact (see the all-modes test above).
+  const graph::Graph g = graph::MakeWebGraph(100, 3, 11);
+  const std::string query = workloads::PageRankQuery(5);
+  for (const ExecutionMode mode :
+       {ExecutionMode::kSingleThread, ExecutionMode::kSync}) {
+    SCOPED_TRACE(ExecutionModeName(mode));
+    const auto options = ResilientOptions(mode, /*threads=*/1);
+    std::vector<std::string> results[2];
+    for (const bool cache_on : {true, false}) {
+      CoreFixtureBase fixture("postgres");
+      fixture.LoadGraph(g);
+      dbc::DriverManager::GetConnection(fixture.Url())
+          ->database()
+          .plan_cache()
+          .set_enabled(cache_on);
+      SqLoop loop(fixture.Url() + kFaultParams, options);
+      results[cache_on ? 0 : 1] = Canonical(loop.Execute(query));
+      EXPECT_GT(loop.last_run().retries, 0u);
+    }
+    EXPECT_EQ(results[0], results[1]);
+  }
 }
 
 }  // namespace
