@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI entry point: configure + build the three presets, run the full test
+# suite once on the default build, and re-run the concurrency-sensitive
+# suites (fault injection + checkpoint recovery) under ASan/UBSan and TSan.
+#
+#   ./ci.sh            # everything
+#   ./ci.sh default    # one preset only (default | asan-ubsan | tsan)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run_preset() {
+  local preset="$1"
+  echo "==> [${preset}] configure + build"
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" --parallel
+  case "${preset}" in
+    default)
+      echo "==> [${preset}] full test suite"
+      ctest --preset default
+      ;;
+    *)
+      echo "==> [${preset}] resilience|recovery suites"
+      ctest --preset "${preset}"
+      ;;
+  esac
+}
+
+if [[ $# -gt 0 ]]; then
+  run_preset "$1"
+else
+  for preset in default asan-ubsan tsan; do
+    run_preset "${preset}"
+  done
+fi
+echo "==> CI green"

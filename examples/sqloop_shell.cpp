@@ -23,7 +23,16 @@
 //                               server: seed=N connect=R drop=R
 //                               transient=R slow=R slow_us=N drop_every=N
 //                               transient_every=N connect_every=N
-//                               slow_every=N max=N (R in [0,1])
+//                               slow_every=N max=N kill_at=ROUND
+//                               (R in [0,1]; kill_at aborts the job at
+//                               round N, once — pair with \checkpoint)
+//   \checkpoint [k=v ...]       iteration-level durability for iterative
+//                               runs: every=N (0 = off) dir=PATH
+//                               resume=on|off; bare \checkpoint shows the
+//                               current settings, \checkpoint off resets
+//                               them. A killed/crashed job rerun with
+//                               resume=on continues from its newest valid
+//                               checkpoint, bit-identically.
 //   \tables                     list tables in the database
 //   \load web N DEG SEED        generate+load a web graph into `edges`
 //   \load ego C S P SEED        ... ego-net graph
@@ -95,7 +104,17 @@ void PrintStats(const core::RunStats& stats) {
               << " reopened_connections=" << stats.reopened_connections
               << " timeouts=" << stats.timeouts
               << " degraded_rounds=" << stats.degraded_rounds
-              << " workers_retired=" << stats.workers_retired << "\n";
+              << " workers_retired=" << stats.workers_retired
+              << " partitions_rebalanced=" << stats.partitions_rebalanced
+              << "\n";
+  }
+  if (stats.checkpoints_written + stats.speculative_tasks > 0 ||
+      stats.resumed_from_round > 0) {
+    std::cout << "durability: checkpoints_written=" << stats.checkpoints_written
+              << " resumed_from_round=" << stats.resumed_from_round
+              << " speculative_tasks=" << stats.speculative_tasks
+              << " speculative_wins=" << stats.speculative_wins
+              << " speculative_losses=" << stats.speculative_losses << "\n";
   }
   if (!stats.fallback_reason.empty()) {
     std::cout << "fallback: " << stats.fallback_reason << "\n";
@@ -263,6 +282,8 @@ class Shell {
       PrintStats(loop_.last_run());
     } else if (cmd == "\\faults") {
       ConfigureFaults(in);
+    } else if (cmd == "\\checkpoint") {
+      ConfigureCheckpoint(in);
     } else if (cmd == "\\tables") {
       for (const auto& name : loop_.connection().database().TableNames()) {
         std::cout << name << "\n";
@@ -343,6 +364,8 @@ class Shell {
           config.slow_us = std::stoll(value);
         } else if (key == "max") {
           config.max_faults = std::stoll(value);
+        } else if (key == "kill_at") {
+          config.kill_at_round = std::stoll(value);
         } else {
           std::cout << "unknown fault key '" << key << "'\n";
           return;
@@ -352,7 +375,7 @@ class Shell {
         return;
       }
     }
-    if (!config.any()) {
+    if (!config.any() && config.kill_at_round == 0) {
       std::cout << "no fault rates given (try \\help)\n";
       return;
     }
@@ -360,6 +383,47 @@ class Shell {
     server->set_fault_injector(injector);
     loop_.connection().set_fault_injector(injector);
     std::cout << "fault injection on (seed=" << config.seed << ")\n";
+  }
+
+  /// \checkpoint, \checkpoint off, or \checkpoint key=value...: adjusts
+  /// the durability knobs carried into every subsequent iterative run.
+  void ConfigureCheckpoint(std::istringstream& in) {
+    std::string token;
+    while (in >> token) {
+      if (token == "off") {
+        options_.checkpoint_every = 0;
+        options_.resume = false;
+        std::cout << "checkpointing off\n";
+        return;
+      }
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) {
+        std::cout << "expected key=value or 'off', got '" << token << "'\n";
+        return;
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      try {
+        if (key == "every") {
+          options_.checkpoint_every = std::stoll(value);
+        } else if (key == "dir") {
+          options_.checkpoint_dir = value;
+        } else if (key == "resume") {
+          options_.resume = value != "off";
+        } else {
+          std::cout << "unknown checkpoint key '" << key << "'\n";
+          return;
+        }
+      } catch (const std::exception&) {
+        std::cout << "bad value for '" << key << "': " << value << "\n";
+        return;
+      }
+    }
+    std::cout << "checkpoint every=" << options_.checkpoint_every
+              << (options_.checkpoint_every > 0 ? "" : " (off)") << " dir="
+              << (options_.checkpoint_dir.empty() ? "sqloop_ckpt (default)"
+                                                  : options_.checkpoint_dir)
+              << " resume=" << (options_.resume ? "on" : "off") << "\n";
   }
 
   void LoadGraph(std::istringstream& in) {

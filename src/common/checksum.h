@@ -1,0 +1,42 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to seal checkpoint
+// artifacts: minidb table dumps carry a CRC footer and checkpoint manifests
+// end in a crc= line, so torn or bit-rotted files are detected at recovery
+// time instead of silently resuming from garbage.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace sqloop {
+
+namespace detail {
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// Incremental CRC-32: feed chunks by passing the previous return value as
+/// `crc` (start with 0). Matches zlib's crc32() for the same byte stream.
+inline uint32_t Crc32(const void* data, size_t length, uint32_t crc = 0) {
+  const auto& table = detail::Crc32Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < length; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace sqloop

@@ -94,10 +94,33 @@ class ConnectionLostError : public TransientError {
       : TransientError(Raw{}, "connection lost: " + message) {}
 };
 
+/// An injected whole-process crash (fault_kill_at_round): the job dies at a
+/// round boundary exactly as if the driver process were killed. Fatal — the
+/// run aborts; a later run with `resume` picks up from the newest valid
+/// checkpoint.
+class JobKilledError : public Error {
+ public:
+  explicit JobKilledError(const std::string& message)
+      : Error("job killed: " + message) {}
+};
+
+/// A straggling task's statement was cancelled because a speculative copy
+/// of the task took ownership (straggler mitigation). Fatal to the retry
+/// machinery — the original attempt must NOT be retried; the speculation
+/// path catches this and hands the task's remaining pieces to the spare
+/// connection. The statement never reached the engine (cancellation is
+/// checked before submission), so no work is double-applied.
+class TaskSupersededError : public Error {
+ public:
+  explicit TaskSupersededError(const std::string& message)
+      : Error("task superseded: " + message) {}
+};
+
 /// The transient-vs-fatal classification table, in one place:
 ///   transient — TransientError, TimeoutError, ConnectionLostError
 ///   fatal     — ParseError, AnalysisError, ExecutionError,
-///               ConnectionError, UsageError, plain Error, anything else
+///               ConnectionError, UsageError, JobKilledError,
+///               TaskSupersededError, plain Error, anything else
 inline bool IsTransientError(const std::exception& error) noexcept {
   return dynamic_cast<const TransientError*>(&error) != nullptr;
 }

@@ -64,6 +64,14 @@ FaultKind FaultInjector::NextStatementFault() {
   return FaultKind::kNone;
 }
 
+bool FaultInjector::ShouldKillAtRound(int64_t round) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.kill_at_round <= 0 || kill_fired_) return false;
+  if (round < config_.kill_at_round) return false;
+  kill_fired_ = true;
+  return true;
+}
+
 uint64_t FaultInjector::injected_total() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return injected_connect_ + injected_drop_ + injected_transient_ +

@@ -61,6 +61,14 @@ struct FaultConfig {
   /// inject "the first 3 faults" and then run clean.
   int64_t max_faults = -1;
 
+  /// Abort the whole job at the start of round N (0 = disabled) by making
+  /// the runner throw JobKilledError — a deterministic stand-in for a
+  /// process crash, used to test checkpoint recovery. Fires ONCE per
+  /// injector, so a resumed run against the same URL does not die again.
+  /// Not a statement fault: it does not count against max_faults and is
+  /// not part of any().
+  int64_t kill_at_round = 0;
+
   /// True when any fault can ever fire.
   bool any() const noexcept {
     return connect_failure_rate > 0 || connect_every > 0 || drop_rate > 0 ||
@@ -82,6 +90,12 @@ class FaultInjector {
   /// single client-visible submission). Precedence: drop > transient >
   /// slow, so a single draw sequence stays deterministic.
   FaultKind NextStatementFault();
+
+  /// Latched kill-at-round trigger: true exactly once, on the first call
+  /// with round >= kill_at_round (and kill_at_round > 0). The latch makes
+  /// a resumed run that shares this injector (same URL) survive rounds past
+  /// the kill point.
+  bool ShouldKillAtRound(int64_t round);
 
   const FaultConfig& config() const noexcept { return config_; }
   int64_t slow_us() const noexcept { return config_.slow_us; }
@@ -106,6 +120,7 @@ class FaultInjector {
   uint64_t injected_drop_ = 0;
   uint64_t injected_transient_ = 0;
   uint64_t injected_slow_ = 0;
+  bool kill_fired_ = false;
 };
 
 }  // namespace sqloop

@@ -1,0 +1,124 @@
+// Iteration-level checkpointing and crash recovery (DESIGN.md
+// "Checkpointing & recovery").
+//
+// At a configurable round cadence the runners persist a *consistent job
+// manifest*: the CTE state (whole table, or every partition table plus the
+// not-yet-consumed message tables), the iteration number, the scheduler
+// state AsyncP needs for bit-identical tie-breaking, and a content hash
+// over all dump files. Table payloads go through the minidb DUMP TABLE
+// fast path (tmp + atomic rename + CRC footer, see minidb/dump.h); the
+// manifest itself is a CRC-sealed text file written the same way. A crash
+// can therefore only ever leave (a) no new checkpoint, or (b) a complete,
+// self-validating one — never a torn one under a committed name.
+//
+// Recovery scans the job's checkpoint directory newest-first and resumes
+// from the first checkpoint that fully validates (manifest CRC, every dump
+// CRC, content hash); corrupt or torn candidates are skipped, falling back
+// to the previous checkpoint and ultimately to a fresh run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+
+namespace sqloop::core {
+
+/// Everything a checkpoint captured. File members hold paths relative to
+/// the checkpoint directory on disk; RecoveryManager returns them resolved
+/// to absolute-usable paths.
+struct CheckpointManifest {
+  int64_t round = 0;         // completed rounds at capture time
+  std::string mode;          // ExecutionModeName, sanity-checked on resume
+  int64_t partitions = 0;    // 0 for the single-thread runner
+
+  // Single-thread runner: the CTE table dump.
+  std::string table_file;
+
+  // Parallel runner: one dump per partition table, index == partition id.
+  std::vector<std::string> partition_files;
+
+  /// A not-yet-dropped message table: name, dump file, and the partitions
+  /// its rows target (empty = broadcast, mirrors the message registry).
+  struct MessageEntry {
+    std::string table;
+    std::string file;
+    std::vector<size_t> targets;
+  };
+  std::vector<MessageEntry> messages;
+
+  /// Per-partition consumed watermark into the message registry.
+  std::vector<size_t> consumed;
+
+  uint64_t message_seq = 0;  // next message-table sequence number
+
+  // AsyncP scheduler state, needed for bit-identical dispatch tie-breaking.
+  uint64_t dispatch_seq = 0;
+  std::vector<uint64_t> last_dispatch;
+  /// Per-partition priority, encoded tri-state: 'u' = never measured,
+  /// 'n' = measured as "no work", otherwise the double's raw bits.
+  std::vector<std::optional<double>> priorities;
+  std::vector<char> priority_known;
+
+  /// FNV-1a over the CRC footers of every dump file, in manifest order.
+  /// Catches a valid dump swapped in from a *different* checkpoint.
+  uint64_t content_hash = 0;
+};
+
+/// Writes checkpoints for one job. Layout:
+///   <dir>/<job_id>/ckpt_<round>/{manifest, *.dump}
+class CheckpointManager {
+ public:
+  /// `dir` empty means "sqloop_ckpt". `job_id` namespaces concurrent jobs;
+  /// use JobId() so reruns of the same query find their own checkpoints.
+  CheckpointManager(std::string dir, std::string job_id);
+
+  /// Stable identity of a job: hash of the rendered query + mode +
+  /// partition count. Two runs of the same job map to the same id — which
+  /// is exactly what lets `resume` find the first run's checkpoints.
+  static std::string JobId(const std::string& identity);
+
+  /// Creates (emptying any torn leftover) the staging directory for round
+  /// N's checkpoint and returns its path.
+  std::string BeginRound(int64_t round);
+
+  /// Absolute path for a dump file inside round N's checkpoint directory.
+  std::string FileFor(int64_t round, const std::string& stem) const;
+
+  /// Seals the checkpoint: computes the content hash from the dump files
+  /// on disk, writes the CRC-sealed manifest atomically, then prunes all
+  /// but the two newest sealed checkpoints (the previous one is kept as
+  /// the fallback for a torn/corrupt newest).
+  void Commit(CheckpointManifest manifest);
+
+  const std::string& job_root() const noexcept { return root_; }
+
+ private:
+  std::string RoundDir(int64_t round) const;
+
+  std::string root_;  // <dir>/<job_id>
+};
+
+/// Finds the newest fully-valid checkpoint of a job.
+class RecoveryManager {
+ public:
+  RecoveryManager(std::string dir, std::string job_id);
+
+  /// Scans newest-first; returns the first checkpoint whose manifest and
+  /// every referenced dump validate (CRCs + content hash), with file paths
+  /// resolved against the checkpoint directory. nullopt = start fresh.
+  /// Never throws: any unreadable candidate is skipped.
+  std::optional<CheckpointManifest> FindLatestValid() const;
+
+  const std::string& job_root() const noexcept { return root_; }
+
+ private:
+  std::string root_;
+};
+
+/// Shared by both runners: the directory that `checkpoint_dir` resolves to.
+std::string ResolveCheckpointDir(const SqloopOptions& options);
+
+}  // namespace sqloop::core

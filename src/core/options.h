@@ -84,6 +84,34 @@ struct SqloopOptions {
   /// Resilience policy applied by all execution modes.
   RetryPolicy retry;
 
+  // --- checkpointing & recovery (DESIGN.md "Checkpointing & recovery") --
+
+  /// Write a checkpoint every N completed rounds; 0 disables. Also
+  /// settable per-URL (`checkpoint_every=N`) — a nonzero value here wins.
+  int64_t checkpoint_every = 0;
+
+  /// Directory checkpoints live under (one subdirectory per job). Empty
+  /// means "sqloop_ckpt" in the working directory. URL knob:
+  /// `checkpoint_dir=<path>`.
+  std::string checkpoint_dir;
+
+  /// Resume from the newest valid checkpoint of this job, if one exists;
+  /// otherwise start fresh. A resumed run is bit-identical to an
+  /// uninterrupted one.
+  bool resume = false;
+
+  // --- straggler mitigation ---------------------------------------------
+
+  /// Speculatively re-execute a task once it has run longer than
+  /// straggler_factor × the p95 task latency (parallel modes only).
+  /// 0 disables speculation entirely.
+  double straggler_factor = 0;
+
+  /// Floor (and cold-start value, before enough latency samples exist) for
+  /// the speculation threshold, in milliseconds. Prevents speculating on
+  /// microsecond tasks whose p95 is noise.
+  int64_t straggler_min_ms = 100;
+
   /// Worker threads actually opened: the explicit `threads` (or the paper's
   /// half-the-CPUs default), clamped to the partition count — with fewer
   /// partitions than threads the extra workers could never be scheduled and
@@ -125,6 +153,17 @@ struct RunStats {
   uint64_t timeouts = 0;              // statements that blew their deadline
   uint64_t degraded_rounds = 0;       // rounds that needed master takeover
   uint64_t workers_retired = 0;       // workers that exhausted their budget
+  uint64_t partitions_rebalanced = 0; // retired workers' tasks rerouted to
+                                      // surviving workers (not the master)
+
+  // --- checkpointing & recovery -----------------------------------------
+  uint64_t checkpoints_written = 0;
+  int64_t resumed_from_round = 0;     // 0 = fresh run; N = resumed after N
+
+  // --- straggler mitigation ---------------------------------------------
+  uint64_t speculative_tasks = 0;     // tasks a speculative copy claimed
+  uint64_t speculative_wins = 0;      // speculation finished remaining work
+  uint64_t speculative_losses = 0;    // nothing left / speculation failed
 
   /// Telemetry of the run: per-round stats, task spans, and the counters
   /// attributed by dbc/minidb. Null until an iterative/recursive execution

@@ -4,10 +4,13 @@
 #include "sql/parser.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <thread>
 
 #include "common/error.h"
 #include "common/stopwatch.h"
@@ -646,6 +649,10 @@ void ParallelRunner::FlushResilienceStats() {
   stats_.timeouts += retrier_.timeouts();
   stats_.workers_retired += workers_retired_.load();
   stats_.degraded_rounds += degraded_rounds_;
+  stats_.partitions_rebalanced += rebalanced_.load();
+  stats_.speculative_tasks += speculative_tasks_.load();
+  stats_.speculative_wins += speculative_wins_.load();
+  stats_.speculative_losses += speculative_losses_.load();
 }
 
 // ---------------------------------------------------------------------------
@@ -767,6 +774,154 @@ void ParallelRunner::DropFullyConsumedMessages() {
     master_.AddBatch(translator_.DropTableSql(name));
   }
   MasterExecuteBatch();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing / recovery (DESIGN.md "Checkpointing & recovery")
+// ---------------------------------------------------------------------------
+
+void ParallelRunner::SetupCheckpointing() {
+  const bool want = options_.checkpoint_every > 0;
+  if (!want && !options_.resume) return;
+  // Identity ties checkpoints to the exact job: same query text, same mode,
+  // same partition count — a resumed run replays the same statements over
+  // the same layout, which is what makes the restored state meaningful.
+  const std::string job_id = CheckpointManager::JobId(
+      base_ + '|' + translator_.Render(*with_.seed) + '|' +
+      translator_.Render(*with_.step) + '|' +
+      translator_.Render(*with_.final_query) + '|' +
+      ExecutionModeName(options_.mode) + '|' + std::to_string(partitions_));
+  if (options_.resume) {
+    resume_from_ =
+        RecoveryManager(options_.checkpoint_dir, job_id).FindLatestValid();
+    if (resume_from_ != std::nullopt &&
+        (resume_from_->mode != ExecutionModeName(options_.mode) ||
+         resume_from_->partitions != static_cast<int64_t>(partitions_) ||
+         resume_from_->partition_files.size() != partitions_ ||
+         resume_from_->consumed.size() != partitions_)) {
+      // Identity hashing should make this unreachable; a mismatched layout
+      // cannot be resumed, so fall back to a fresh run.
+      resume_from_.reset();
+    }
+  }
+  if (want) {
+    ckpt_ =
+        std::make_unique<CheckpointManager>(options_.checkpoint_dir, job_id);
+  }
+}
+
+bool ParallelRunner::RestoreFromCheckpoint() {
+  if (resume_from_ == std::nullopt) return false;
+  const CheckpointManifest& m = *resume_from_;
+  const double start = run_watch_.ElapsedSeconds();
+
+  // Table payloads: every partition table, then every message table still
+  // pending at capture time. The dump stores the full schema (hidden AVG /
+  // dirty columns included) and doubles as raw bit patterns, so the
+  // restored tables are indistinguishable from the killed run's.
+  for (size_t k = 0; k < partitions_; ++k) {
+    master_.AddBatch("RESTORE TABLE " + translator_.Quote(PartitionTable(k)) +
+                     " FROM " +
+                     Value(m.partition_files[k]).ToSqlLiteral());
+  }
+  for (const auto& entry : m.messages) {
+    master_.AddBatch("RESTORE TABLE " + translator_.Quote(entry.table) +
+                     " FROM " + Value(entry.file).ToSqlLiteral());
+    // Dumps carry rows, not indexes; re-create the target index every
+    // registered message table has (RunCompute builds it on creation).
+    master_.AddBatch("CREATE INDEX " + translator_.Quote(entry.table + "_t") +
+                     " ON " + translator_.Quote(entry.table) +
+                     " (target_pt)");
+  }
+  MasterExecuteBatch();
+
+  // Registry state. Checkpointed indexes are relative to the tables still
+  // alive at capture time (the dropped prefix is gone for good), so the
+  // rebuilt registry starts at prefix 0.
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    message_tables_.clear();
+    message_targets_.clear();
+    for (const auto& entry : m.messages) {
+      message_tables_.push_back(entry.table);
+      message_targets_.push_back(entry.targets);
+    }
+    consumed_ = m.consumed;
+    dropped_prefix_ = 0;
+    message_seq_.store(m.message_seq);
+  }
+
+  // AsyncP priority + dispatch state, for bit-identical tie-breaking.
+  if (m.priorities.size() == partitions_ &&
+      m.priority_known.size() == partitions_) {
+    const std::scoped_lock lock(priority_mutex_);
+    priorities_ = m.priorities;
+    for (size_t k = 0; k < partitions_; ++k) {
+      priority_known_[k] = m.priority_known[k] != 0;
+    }
+  }
+  resume_round_ = m.round;
+  resume_dispatch_seq_ = m.dispatch_seq;
+  if (m.last_dispatch.size() == partitions_) {
+    resume_last_dispatch_ = m.last_dispatch;
+  }
+  stats_.resumed_from_round = m.round;
+  SQLOOP_COUNT(recorder_, "checkpoint.restores", 1);
+  SQLOOP_TELEMETRY(EmitSpan(telemetry::SpanKind::kRestore, -1, start,
+                            run_watch_.ElapsedSeconds() - start, 0););
+  return true;
+}
+
+void ParallelRunner::WriteCheckpoint(
+    int64_t round, uint64_t dispatch_seq,
+    const std::vector<uint64_t>& last_dispatch) {
+  const double start = run_watch_.ElapsedSeconds();
+  ckpt_->BeginRound(round);
+  CheckpointManifest m;
+  m.round = round;
+  m.mode = ExecutionModeName(options_.mode);
+  m.partitions = static_cast<int64_t>(partitions_);
+  for (size_t k = 0; k < partitions_; ++k) {
+    const std::string stem = "pt" + std::to_string(k) + ".dump";
+    master_.AddBatch("DUMP TABLE " + translator_.Quote(PartitionTable(k)) +
+                     " TO " +
+                     Value(ckpt_->FileFor(round, stem)).ToSqlLiteral());
+    m.partition_files.push_back(stem);
+  }
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    for (size_t i = dropped_prefix_; i < message_tables_.size(); ++i) {
+      CheckpointManifest::MessageEntry entry;
+      entry.table = message_tables_[i];
+      entry.file = "msg" + std::to_string(i - dropped_prefix_) + ".dump";
+      entry.targets = message_targets_[i];
+      master_.AddBatch("DUMP TABLE " + translator_.Quote(entry.table) +
+                       " TO " +
+                       Value(ckpt_->FileFor(round, entry.file)).ToSqlLiteral());
+      m.messages.push_back(std::move(entry));
+    }
+    // Rebase the per-partition watermarks against the dropped prefix: the
+    // restored registry re-indexes the surviving tables from zero.
+    m.consumed.reserve(partitions_);
+    for (const size_t c : consumed_) m.consumed.push_back(c - dropped_prefix_);
+    m.message_seq = message_seq_.load();
+  }
+  MasterExecuteBatch();
+  {
+    const std::scoped_lock lock(priority_mutex_);
+    m.priorities = priorities_;
+    m.priority_known.reserve(partitions_);
+    for (size_t k = 0; k < partitions_; ++k) {
+      m.priority_known.push_back(priority_known_[k] ? 1 : 0);
+    }
+  }
+  m.dispatch_seq = dispatch_seq;
+  m.last_dispatch = last_dispatch;
+  ckpt_->Commit(std::move(m));
+  ++stats_.checkpoints_written;
+  SQLOOP_COUNT(recorder_, "checkpoint.writes", 1);
+  SQLOOP_TELEMETRY(EmitSpan(telemetry::SpanKind::kCheckpoint, -1, start,
+                            run_watch_.ElapsedSeconds() - start, 0););
 }
 
 // ---------------------------------------------------------------------------
@@ -948,33 +1103,275 @@ void ParallelRunner::RunRounds() {
     }
   };
 
+  // --- straggler mitigation (DESIGN.md "Checkpointing & recovery") -------
+  // A watchdog thread tracks in-flight tasks; one that exceeds
+  // straggler_factor × the p95 of completed task durations is speculatively
+  // re-executed on a spare connection. Exactly-once is preserved by
+  // cooperative cancellation: the primary's connection refuses further
+  // statements (TaskSupersededError fires before the engine sees them), the
+  // watchdog waits until the primary has provably stopped, then runs only
+  // the spec's remaining pieces. First finisher wins; the loser ran nothing.
+  const bool speculate = options_.straggler_factor > 0 && threads > 1;
+  struct SpecState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    TaskSpec spec;
+    std::shared_ptr<std::atomic<bool>> cancel =
+        std::make_shared<std::atomic<bool>>(false);
+    double started = 0;           // run_watch_ offset at primary start
+    bool claimed = false;         // watchdog owns the remaining pieces
+    bool primary_exited = false;  // primary provably runs no more statements
+    bool done = false;            // spec fully finished (either side)
+  };
+  std::mutex watch_mutex;  // guards watchlist + samples; never nests inward
+  std::vector<std::shared_ptr<SpecState>> watchlist;
+  std::vector<double> task_samples;
+  size_t sample_cursor = 0;
+  constexpr size_t kMaxSamples = 256;
+  constexpr size_t kMinSamples = 8;
+  const auto record_sample = [&](double seconds) {
+    const std::scoped_lock lock(watch_mutex);
+    if (task_samples.size() < kMaxSamples) {
+      task_samples.push_back(seconds);
+    } else {
+      task_samples[sample_cursor] = seconds;
+      sample_cursor = (sample_cursor + 1) % kMaxSamples;
+    }
+  };
+  const auto speculation_threshold = [&]() -> double {
+    // Until enough samples exist the floor alone gates speculation, so a
+    // slow warm-up round cannot trigger a storm of copies.
+    const double floor_s =
+        static_cast<double>(options_.straggler_min_ms) * 1e-3;
+    std::vector<double> samples;
+    {
+      const std::scoped_lock lock(watch_mutex);
+      samples = task_samples;
+    }
+    if (samples.size() < kMinSamples) return floor_s;
+    size_t idx = (samples.size() * 95) / 100;
+    if (idx >= samples.size()) idx = samples.size() - 1;
+    std::nth_element(samples.begin(), samples.begin() + idx, samples.end());
+    return std::max(floor_s, options_.straggler_factor * samples[idx]);
+  };
+
   // One spec on one worker thread. Transient faults retry inside RunSpec
   // (rungs 1-2: retry, reopen); budget exhaustion retires the worker and
   // forwards the spec's unfinished pieces to the master (rung 4); fatal
-  // errors poison the run.
-  const auto run_task = [&](size_t worker, TaskSpec spec) {
+  // errors poison the run. A std::function so a task landing on a retired
+  // worker can resubmit itself onto a surviving one.
+  std::function<void(size_t, TaskSpec)> run_task = [&](size_t worker,
+                                                       TaskSpec spec) {
     {
       const std::scoped_lock lock(failure_mutex_);
       if (failure_) return;
     }
     if (worker_retired(worker)) {
-      AbandonTask(std::move(spec));
+      // A retired worker's thread still drains the shared queue. Bounce
+      // the task back so a surviving worker picks it up, instead of
+      // pinning every such partition on the master; bounded bounces keep
+      // a fully-dead pool draining deterministically via AbandonTask.
+      size_t survivors = 0;
+      {
+        const std::scoped_lock lock(degrade_mutex_);
+        survivors = live_workers_;
+      }
+      if (survivors > 0 && spec.bounces < 2 * threads) {
+        if (spec.bounces == 0) {
+          rebalanced_.fetch_add(1);
+          SQLOOP_COUNT(recorder_, "resilience.tasks_rebalanced", 1);
+        }
+        ++spec.bounces;
+        pool.Submit([&run_task, spec = std::move(spec)](size_t w) mutable {
+          run_task(w, std::move(spec));
+        });
+      } else {
+        AbandonTask(std::move(spec));
+      }
       return;
     }
-    try {
-      dbc::Connection& conn = retrier_.EnsureOpen(worker_conns[worker], url_);
-      RunSpec(conn, spec);
-    } catch (const RetryExhausted& e) {
-      if (options_.retry.allow_degradation) {
-        retire_worker(worker, e.what());
-        AbandonTask(std::move(spec));
-      } else {
+    if (!speculate) {
+      try {
+        dbc::Connection& conn =
+            retrier_.EnsureOpen(worker_conns[worker], url_);
+        RunSpec(conn, spec);
+      } catch (const RetryExhausted& e) {
+        if (options_.retry.allow_degradation) {
+          retire_worker(worker, e.what());
+          AbandonTask(std::move(spec));
+        } else {
+          poison();
+        }
+      } catch (...) {
         poison();
       }
-    } catch (...) {
-      poison();
+      return;
     }
+
+    // Speculative path: the spec's progress lives in shared state so the
+    // watchdog can take over exactly the pieces the primary did not finish.
+    auto state = std::make_shared<SpecState>();
+    state->spec = std::move(spec);
+    state->started = run_watch_.ElapsedSeconds();
+    {
+      const std::scoped_lock lock(watch_mutex);
+      watchlist.push_back(state);
+    }
+    bool superseded = false;
+    try {
+      dbc::Connection& conn = retrier_.EnsureOpen(worker_conns[worker], url_);
+      conn.set_cancel_flag(state->cancel);
+      struct FlagClearer {
+        dbc::Connection& conn;
+        ~FlagClearer() { conn.set_cancel_flag(nullptr); }
+      } clearer{conn};
+      RunSpec(conn, state->spec);
+      record_sample(run_watch_.ElapsedSeconds() - state->started);
+    } catch (const TaskSupersededError&) {
+      superseded = true;
+    } catch (const RetryExhausted& e) {
+      bool claimed = false;
+      {
+        const std::scoped_lock lock(state->mutex);
+        claimed = state->claimed;
+        if (!claimed) state->done = true;  // watchdog must not double-run
+      }
+      state->cv.notify_all();
+      if (claimed) {
+        // The watchdog already owns the leftovers; handing over instead of
+        // abandoning keeps the spec from being run by two parties.
+        superseded = true;
+        if (options_.retry.allow_degradation) retire_worker(worker, e.what());
+      } else if (options_.retry.allow_degradation) {
+        retire_worker(worker, e.what());
+        AbandonTask(std::move(state->spec));
+        return;
+      } else {
+        poison();
+        return;
+      }
+    } catch (...) {
+      {
+        const std::scoped_lock lock(state->mutex);
+        state->primary_exited = true;
+        state->done = true;  // fatal: the run is poisoned, nobody re-runs
+      }
+      state->cv.notify_all();
+      poison();
+      return;
+    }
+    if (superseded) {
+      // Hand over and wait: the enclosing barrier / window treats this
+      // task as complete only once its work is actually complete.
+      std::unique_lock lock(state->mutex);
+      state->primary_exited = true;
+      state->cv.notify_all();
+      state->cv.wait(lock, [&] { return state->done; });
+      return;
+    }
+    {
+      const std::scoped_lock lock(state->mutex);
+      // Finished under the watchdog's nose (every piece was already in the
+      // engine when the cancel landed): nothing is left to speculate on.
+      if (state->claimed) state->primary_exited = true;
+      state->done = true;
+    }
+    state->cv.notify_all();
   };
+
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (speculate) {
+    watchdog = std::thread([&] {
+      std::unique_ptr<dbc::Connection> spare;
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        std::shared_ptr<SpecState> victim;
+        const double now = run_watch_.ElapsedSeconds();
+        const double threshold = speculation_threshold();
+        {
+          const std::scoped_lock lock(watch_mutex);
+          watchlist.erase(
+              std::remove_if(watchlist.begin(), watchlist.end(),
+                             [](const std::shared_ptr<SpecState>& s) {
+                               const std::scoped_lock inner(s->mutex);
+                               return s->done;
+                             }),
+              watchlist.end());
+          for (const auto& s : watchlist) {
+            const std::scoped_lock inner(s->mutex);
+            if (s->claimed || s->done) continue;
+            if (now - s->started < threshold) continue;
+            s->claimed = true;
+            s->cancel->store(true, std::memory_order_release);
+            victim = s;
+            break;
+          }
+        }
+        if (victim == nullptr) continue;
+        speculative_tasks_.fetch_add(1);
+        SQLOOP_COUNT(recorder_, "straggler.speculations", 1);
+        {
+          // The primary stops at its next cancellation point (statement
+          // boundary or sliced injected sleep), so this wait is bounded.
+          std::unique_lock lock(victim->mutex);
+          victim->cv.wait(lock, [&] { return victim->primary_exited; });
+        }
+        bool nothing_left = false;
+        {
+          const std::scoped_lock lock(victim->mutex);
+          nothing_left = victim->done || (!victim->spec.do_gather &&
+                                          !victim->spec.do_compute &&
+                                          victim->spec.refresh ==
+                                              RefreshMode::kNone);
+        }
+        if (nothing_left) {
+          speculative_losses_.fetch_add(1);
+        } else {
+          bool won = false;
+          try {
+            dbc::Connection& conn = retrier_.EnsureOpen(spare, url_);
+            RunSpec(conn, victim->spec);
+            won = true;
+          } catch (const RetryExhausted&) {
+            AbandonTask(victim->spec);  // master drains it at the border
+          } catch (...) {
+            poison();
+          }
+          if (won) {
+            speculative_wins_.fetch_add(1);
+            SQLOOP_COUNT(recorder_, "straggler.wins", 1);
+          } else {
+            speculative_losses_.fetch_add(1);
+          }
+        }
+        {
+          const std::scoped_lock lock(victim->mutex);
+          victim->done = true;
+        }
+        victim->cv.notify_all();
+      }
+      if (spare != nullptr && !spare->closed()) {
+        try {
+          spare->Close();
+        } catch (...) {
+        }
+      }
+    });
+  }
+  // Joined before WorkerConnCloser runs (declared after it), while every
+  // local the watchdog captures is still alive. The loop always completes
+  // its current victim before observing the stop flag, so no primary is
+  // left waiting on a handed-over spec.
+  struct WatchdogJoiner {
+    std::atomic<bool>& stop;
+    std::thread& thread;
+    ~WatchdogJoiner() {
+      stop.store(true, std::memory_order_release);
+      if (thread.joinable()) thread.join();
+    }
+  } watchdog_joiner{watchdog_stop, watchdog};
+
   const auto throw_if_failed = [&] {
     const std::scoped_lock lock(failure_mutex_);
     if (failure_) std::rethrow_exception(failure_);
@@ -1009,11 +1406,25 @@ void ParallelRunner::RunRounds() {
   std::vector<uint64_t> last_dispatch(partitions_, 0);
   uint64_t dispatch_seq = 0;
   size_t in_flight = 0;
+  if (resume_round_ > 0 && resume_last_dispatch_.size() == partitions_) {
+    // Restored AsyncP tie-breaking state: the first resumed window ranks
+    // equal-priority partitions exactly as the killed run would have.
+    last_dispatch = resume_last_dispatch_;
+    dispatch_seq = resume_dispatch_seq_;
+  }
 
-  for (int64_t round = 1;; ++round) {
+  for (int64_t round = resume_round_ + 1;; ++round) {
     current_round_.store(round, std::memory_order_relaxed);
     round_degraded_ = false;
     if (observer_ != nullptr) observer_->OnRoundStart(round);
+    if (const auto& fault = master_.fault_injector();
+        fault != nullptr && fault->ShouldKillAtRound(round)) {
+      // Simulated hard crash. Run() drops the in-database scratch state on
+      // the way out (exactly what a process death forfeits); checkpoint
+      // files survive on disk for a later `resume` run.
+      throw JobKilledError("fault_kill_at_round fired at round " +
+                           std::to_string(round));
+    }
     const double round_start = run_watch_.ElapsedSeconds();
     double barrier_wait = 0;
     for (auto& stmt : snapshot_stmts) {
@@ -1206,6 +1617,9 @@ void ParallelRunner::RunRounds() {
       return checker_.Satisfied(master_, round, updates);
     });
     if (satisfied) break;
+    if (ckpt_ != nullptr && round % options_.checkpoint_every == 0) {
+      WriteCheckpoint(round, dispatch_seq, last_dispatch);
+    }
     if (round >= options_.max_iterations_guard) {
       throw ExecutionError("iterative CTE '" + with_.name +
                            "' did not satisfy its UNTIL condition within " +
@@ -1256,8 +1670,9 @@ dbc::ResultSet ParallelRunner::Run() {
   master_.set_statement_timeout_ms(options_.retry.statement_timeout_ms);
   try {
     const double setup_start = run_watch_.ElapsedSeconds();
+    SetupCheckpointing();
     DropLeftovers();
-    CreatePartitions();
+    if (!RestoreFromCheckpoint()) CreatePartitions();
     CreateUnionView();
     MaterializeConstantJoins();
     BuildTaskSql();

@@ -14,6 +14,7 @@
 
 #include "common/stopwatch.h"
 #include "core/analysis.h"
+#include "core/checkpoint.h"
 #include "core/observer.h"
 #include "core/options.h"
 #include "core/resilience.h"
@@ -65,6 +66,7 @@ class ParallelRunner {
     bool do_compute = false;
     RefreshMode refresh = RefreshMode::kNone;
     uint64_t updates = 0;  // accumulated across pieces (feeds kIfProductive)
+    int bounces = 0;       // rebalance hops off retired workers (bounded)
     ComputeAttempt compute;
   };
 
@@ -75,6 +77,20 @@ class ParallelRunner {
   void MaterializeConstantJoins();  // Rmjoin (§V-B)
   void BuildTaskSql();
   void Cleanup();
+
+  // --- checkpointing / recovery (DESIGN.md "Checkpointing & recovery") ---
+  /// Derives the job id and, under `resume`, probes for the newest valid
+  /// checkpoint of this exact job (same query, mode, partition count).
+  void SetupCheckpointing();
+  /// Re-creates the partition and pending message tables from the resume
+  /// checkpoint and reloads the registry / priority / scheduler state.
+  /// Returns false (fresh start) when there is nothing to resume.
+  bool RestoreFromCheckpoint();
+  /// Dumps every partition table plus the not-yet-dropped message tables
+  /// and seals the round's manifest. Runs at a round border (pool idle),
+  /// so the captured state is exactly what the next round starts from.
+  void WriteCheckpoint(int64_t round, uint64_t dispatch_seq,
+                       const std::vector<uint64_t>& last_dispatch);
 
   // --- resilience (DESIGN.md "Failure model & resilience") ---------------
   /// master_.Execute / master_.ExecuteBatch under the retry policy.
@@ -204,6 +220,19 @@ class ParallelRunner {
   std::atomic<uint64_t> workers_retired_{0};
   uint64_t degraded_rounds_ = 0;   // master-thread only
   bool round_degraded_ = false;    // master-thread only, reset per round
+  // Tasks bounced off a retired worker onto a surviving one (first bounce
+  // per task), and straggler-speculation outcomes (tasks == wins + losses).
+  std::atomic<uint64_t> rebalanced_{0};
+  std::atomic<uint64_t> speculative_tasks_{0};
+  std::atomic<uint64_t> speculative_wins_{0};
+  std::atomic<uint64_t> speculative_losses_{0};
+
+  // Checkpoint / recovery state (set up in Run before any DDL).
+  std::unique_ptr<CheckpointManager> ckpt_;
+  std::optional<CheckpointManifest> resume_from_;
+  int64_t resume_round_ = 0;  // 0 = fresh run
+  uint64_t resume_dispatch_seq_ = 0;
+  std::vector<uint64_t> resume_last_dispatch_;
 };
 
 }  // namespace sqloop::core

@@ -2,12 +2,14 @@
 
 #include "common/error.h"
 #include "common/stopwatch.h"
+#include "core/checkpoint.h"
 #include "core/resilience.h"
 #include "core/schema_infer.h"
 #include "core/termination.h"
 #include "core/translator.h"
 #include "dbc/prepared_statement.h"
 #include "minidb/schema.h"
+#include "sql/value.h"
 #include "telemetry/hooks.h"
 
 namespace sqloop::core {
@@ -135,6 +137,25 @@ void RecordRound(const ExecutionContext& ctx, const Stopwatch& run_watch,
   if (ctx.observer != nullptr) ctx.observer->OnRoundEnd(it);
 }
 
+/// Emits one kCheckpoint / kRestore span so traces attribute durability
+/// cost the same way they attribute Compute/Gather work.
+void RecordDurabilitySpan(const ExecutionContext& ctx,
+                          telemetry::SpanKind kind, int64_t round,
+                          double start_seconds, double duration_seconds) {
+  SQLOOP_TELEMETRY({
+    if (ctx.recorder != nullptr || ctx.observer != nullptr) {
+      telemetry::TaskSpan span;
+      span.kind = kind;
+      span.round = round;
+      span.thread_id = telemetry::Recorder::ThisThreadId();
+      span.start_seconds = start_seconds;
+      span.duration_seconds = duration_seconds;
+      if (ctx.recorder != nullptr) ctx.recorder->RecordSpan(span);
+      if (ctx.observer != nullptr) ctx.observer->OnTaskComplete(span);
+    }
+  });
+}
+
 }  // namespace
 
 dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
@@ -161,14 +182,59 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
   }
   const TerminationChecker checker(with.termination, translator, table);
 
-  // CREATE TABLE R; INSERT INTO R R0 (paper §IV-B).
+  // --- checkpointing / recovery ----------------------------------------
+  // Identity ties checkpoints to the exact job (query text + mode): a
+  // resumed run replays the same statements, so only state from the very
+  // same job makes the restored table meaningful.
+  const bool want_checkpoints = options.checkpoint_every > 0;
+  std::unique_ptr<CheckpointManager> ckpt;
+  std::optional<CheckpointManifest> resume_from;
+  if (want_checkpoints || options.resume) {
+    const std::string job_id = CheckpointManager::JobId(
+        table + '|' + translator.Render(*with.seed) + '|' +
+        translator.Render(*with.step) + '|' +
+        translator.Render(*with.final_query) + '|' +
+        ExecutionModeName(ExecutionMode::kSingleThread) + "|0");
+    if (options.resume) {
+      resume_from =
+          RecoveryManager(options.checkpoint_dir, job_id).FindLatestValid();
+      if (resume_from != std::nullopt &&
+          resume_from->mode !=
+              ExecutionModeName(ExecutionMode::kSingleThread)) {
+        resume_from.reset();
+      }
+    }
+    if (want_checkpoints) {
+      ckpt = std::make_unique<CheckpointManager>(options.checkpoint_dir,
+                                                 job_id);
+    }
+  }
+
+  // CREATE TABLE R; INSERT INTO R R0 (paper §IV-B) — or, when resuming,
+  // R restored from the newest valid checkpoint.
   rc.Execute(translator.DropTableSql(table));
   rc.Execute(translator.DropTableSql(tmp));
   rc.Execute(translator.DropTableSql(checker.delta_table()));
-  rc.Execute(
-      translator.CreateTableSql(table, schema, /*primary_key_index=*/0));
-  rc.Execute("INSERT INTO " + translator.Quote(table) + " " +
-             translator.Render(*with.seed));
+  int64_t start_iteration = 1;
+  if (resume_from != std::nullopt) {
+    // The dump stores doubles as raw bit patterns and the restore reinserts
+    // rows in dump order, so the resumed table is indistinguishable from
+    // the one the killed run held after this round.
+    const double restore_start = watch.ElapsedSeconds();
+    rc.Execute("RESTORE TABLE " + translator.Quote(table) + " FROM " +
+               Value(resume_from->table_file).ToSqlLiteral());
+    start_iteration = resume_from->round + 1;
+    stats.resumed_from_round = resume_from->round;
+    SQLOOP_COUNT(ctx.recorder, "checkpoint.restores", 1);
+    RecordDurabilitySpan(ctx, telemetry::SpanKind::kRestore,
+                         resume_from->round, restore_start,
+                         watch.ElapsedSeconds() - restore_start);
+  } else {
+    rc.Execute(
+        translator.CreateTableSql(table, schema, /*primary_key_index=*/0));
+    rc.Execute("INSERT INTO " + translator.Quote(table) + " " +
+               translator.Render(*with.seed));
+  }
 
   // Every statement the loop repeats is prepared exactly once here; the
   // iterations below only execute the handles. The per-round tmp-table DDL
@@ -186,8 +252,15 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
     }
   }
 
-  for (int64_t iteration = 1;; ++iteration) {
+  for (int64_t iteration = start_iteration;; ++iteration) {
     if (ctx.observer != nullptr) ctx.observer->OnRoundStart(iteration);
+    if (const auto& fault = connection.fault_injector();
+        fault != nullptr && fault->ShouldKillAtRound(iteration)) {
+      // Simulated hard crash: in-database leftovers are dropped by the
+      // next run's setup; checkpoint files survive for a `resume` run.
+      throw JobKilledError("fault_kill_at_round fired at round " +
+                           std::to_string(iteration));
+    }
     const double body_start = watch.ElapsedSeconds();
     for (auto& stmt : snapshot_stmts) rc.Execute(stmt);
     // Rtmp <- Ri(R); R <- merge(R, Rtmp) on matching keys.
@@ -204,6 +277,25 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
       return checker.Satisfied(connection, iteration, updates);
     });
     if (satisfied) break;
+    if (ckpt != nullptr && iteration % options.checkpoint_every == 0) {
+      // End-of-round capture: the merge committed and UNTIL said "keep
+      // going", so this round's table state is exactly what round N+1
+      // starts from.
+      const double ckpt_start = watch.ElapsedSeconds();
+      ckpt->BeginRound(iteration);
+      CheckpointManifest m;
+      m.round = iteration;
+      m.mode = ExecutionModeName(ExecutionMode::kSingleThread);
+      m.table_file = "table.dump";
+      rc.Execute("DUMP TABLE " + translator.Quote(table) + " TO " +
+                 Value(ckpt->FileFor(iteration, m.table_file))
+                     .ToSqlLiteral());
+      ckpt->Commit(std::move(m));
+      ++stats.checkpoints_written;
+      SQLOOP_COUNT(ctx.recorder, "checkpoint.writes", 1);
+      RecordDurabilitySpan(ctx, telemetry::SpanKind::kCheckpoint, iteration,
+                           ckpt_start, watch.ElapsedSeconds() - ckpt_start);
+    }
     if (iteration >= options.max_iterations_guard) {
       throw ExecutionError("iterative CTE '" + with.name +
                            "' did not satisfy its UNTIL condition within " +

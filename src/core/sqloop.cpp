@@ -108,9 +108,28 @@ dbc::ResultSet SqLoop::ExecuteStatement(const sql::Statement& stmt,
 
 dbc::ResultSet SqLoop::ExecuteIterative(const sql::WithClause& with,
                                         const SqloopOptions& options) {
+  // Checkpoint defaults carried by the connection URL (checkpoint_every /
+  // checkpoint_dir) apply when the per-call options leave them unset, so a
+  // deployment can turn on durability without touching call sites.
+  SqloopOptions effective = options;
+  if (effective.checkpoint_every == 0 || effective.checkpoint_dir.empty()) {
+    try {
+      const auto config = dbc::ConnectionConfig::Parse(url_);
+      if (effective.checkpoint_every == 0) {
+        effective.checkpoint_every = config.checkpoint_every;
+      }
+      if (effective.checkpoint_dir.empty()) {
+        effective.checkpoint_dir = config.checkpoint_dir;
+      }
+    } catch (...) {
+      // The URL already opened this session's connection; a re-parse
+      // failure here only forfeits the URL defaults.
+    }
+  }
+
   telemetry::Recorder* recorder = BeginRun();
   const RecorderAttachment attach(*master_, recorder);
-  const ExecutionContext ctx{options, stats_, recorder, observer_};
+  const ExecutionContext ctx{effective, stats_, recorder, observer_};
 
   const auto fall_back = [&](const std::string& reason) {
     stats_.fallback_reason = reason;
@@ -118,7 +137,7 @@ dbc::ResultSet SqLoop::ExecuteIterative(const sql::WithClause& with,
     return RunIterativeSingleThread(*master_, with, ctx);
   };
 
-  if (options.mode == ExecutionMode::kSingleThread) {
+  if (effective.mode == ExecutionMode::kSingleThread) {
     stats_.fallback_reason = "single-thread mode requested";
     return RunIterativeSingleThread(*master_, with, ctx);
   }
@@ -135,7 +154,7 @@ dbc::ResultSet SqLoop::ExecuteIterative(const sql::WithClause& with,
   const Translator translator = Translator::For(*master_);
   // Schema inference runs before the runner's own retry machinery exists;
   // a transient fault here must not abort the run.
-  Retrier setup_retrier(options.retry, recorder, observer_);
+  Retrier setup_retrier(effective.retry, recorder, observer_);
   auto schema = setup_retrier.Run(*master_, "setup", -1, [&] {
     return InferSchemaFromSelect(*master_, translator, *with.seed,
                                  with.columns, /*widen_non_key=*/true);

@@ -1,5 +1,6 @@
 #include "dbc/connection.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -79,6 +80,26 @@ void Connection::DropNow() {
   db_->OnConnectionClosed();
 }
 
+void Connection::ThrowIfSuperseded() const {
+  if (cancel_ && cancel_->load(std::memory_order_acquire)) {
+    throw TaskSupersededError(
+        "a speculative copy of this task took ownership");
+  }
+}
+
+void Connection::InterruptibleSleep(int64_t delay_us) const {
+  // 1ms slices: an injected slow statement reacts to a cancel request
+  // within a millisecond instead of serving out the whole delay.
+  constexpr int64_t kSliceUs = 1000;
+  while (delay_us > 0) {
+    ThrowIfSuperseded();
+    const int64_t slice = std::min(delay_us, kSliceUs);
+    std::this_thread::sleep_for(std::chrono::microseconds(slice));
+    delay_us -= slice;
+  }
+  ThrowIfSuperseded();
+}
+
 void Connection::MaybeInjectFault() {
   if (!fault_) return;
   switch (fault_->NextStatementFault()) {
@@ -95,13 +116,12 @@ void Connection::MaybeInjectFault() {
           delay_us >= statement_timeout_ms_ * 1000) {
         // The statement would miss its deadline: the client gives up at
         // the deadline and the engine never applies the statement.
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(statement_timeout_ms_));
+        InterruptibleSleep(statement_timeout_ms_ * 1000);
         throw TimeoutError("statement exceeded " +
                            std::to_string(statement_timeout_ms_) +
                            "ms deadline");
       }
-      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      InterruptibleSleep(delay_us);
       return;
     }
   }
@@ -129,10 +149,14 @@ void Connection::EnsureTransactionIfNeeded() {
 
 ResultSet Connection::Execute(std::string_view sql) {
   EnsureOpen();
+  ThrowIfSuperseded();
   // Faults fire before the engine sees the statement (see fault.h): a
   // failure here is client-visible but leaves server state untouched, so
   // the caller may safely retry.
   MaybeInjectFault();
+  // Last cancellation point: past here the statement reaches the engine
+  // and always completes, keeping the task's piece progress exact.
+  ThrowIfSuperseded();
   PayRoundTrip();
   ++stats_.statements;
   SQLOOP_COUNT(recorder_, "dbc.statements", 1);
@@ -154,10 +178,14 @@ void Connection::AddBatch(std::string sql) {
 
 std::vector<size_t> Connection::ExecuteBatch() {
   EnsureOpen();
+  ThrowIfSuperseded();
   // One injection decision for the whole batch: it ships as a single
   // submission, so a fault strikes before ANY queued statement executes.
   // The queued batch is preserved on failure for resubmission.
   MaybeInjectFault();
+  // Cancellation must not strike between a batch's statements (the whole
+  // batch is the retry unit), so this is its only post-injection check.
+  ThrowIfSuperseded();
   PayRoundTrip();  // the whole batch ships in one round trip
   SQLOOP_COUNT(recorder_, "dbc.batches", 1);
   SQLOOP_COUNT(recorder_, "dbc.batch_statements", batch_.size());

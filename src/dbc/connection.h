@@ -3,6 +3,7 @@
 // control, and isolation levels.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -124,6 +125,16 @@ class Connection {
     return fault_;
   }
 
+  /// Cooperative cancellation for straggler speculation: once the shared
+  /// flag flips to true, the next statement (or batch) this connection
+  /// would submit fails with TaskSupersededError *before* it reaches the
+  /// engine, and an in-progress injected slow sleep is cut short the same
+  /// way. A statement already inside the engine always completes, so a
+  /// cancelled task's finished pieces remain exactly-once. Null disables.
+  void set_cancel_flag(std::shared_ptr<std::atomic<bool>> flag) noexcept {
+    cancel_ = std::move(flag);
+  }
+
   /// Deadline for a single statement (or batch); 0 disables. Enforced at
   /// the injection point: an injected slow statement whose delay would
   /// blow the deadline sleeps only up to the deadline, then fails with
@@ -157,6 +168,11 @@ class Connection {
   /// Marks the connection dropped, as a mid-statement network failure
   /// would: open transaction rolled back server-side, handle unusable.
   void DropNow();
+  /// Throws TaskSupersededError iff the cancel flag is set.
+  void ThrowIfSuperseded() const;
+  /// Sleeps `delay_us` in small slices so a cancel request interrupts an
+  /// injected slow statement instead of waiting it out.
+  void InterruptibleSleep(int64_t delay_us) const;
 
   std::shared_ptr<minidb::Database> db_;
   minidb::Executor executor_;
@@ -166,6 +182,7 @@ class Connection {
   int64_t row_cost_ns_;
   int64_t compile_us_;
   std::shared_ptr<FaultInjector> fault_;
+  std::shared_ptr<std::atomic<bool>> cancel_;
   int64_t statement_timeout_ms_ = 0;
   bool autocommit_ = true;
   bool in_explicit_txn_ = false;

@@ -77,7 +77,7 @@ std::string InjectorKey(const ConnectionConfig& config) {
       << f.seed << '|' << f.connect_failure_rate << '|' << f.connect_every
       << '|' << f.drop_rate << '|' << f.drop_every << '|' << f.transient_rate
       << '|' << f.transient_every << '|' << f.slow_rate << '|' << f.slow_every
-      << '|' << f.slow_us << '|' << f.max_faults;
+      << '|' << f.slow_us << '|' << f.max_faults << '|' << f.kill_at_round;
   return key.str();
 }
 
@@ -124,6 +124,8 @@ ConnectionConfig ConnectionConfig::Parse(const std::string& url) {
   }
   config.host = authority;
 
+  bool slow_us_given = false;
+  bool slow_trigger_zeroed = false;  // fault_slow_rate=0 / fault_slow_every=0
   if (!query.empty()) {
     std::unordered_set<std::string> seen;
     for (const std::string& pair : strings::Split(query, '&')) {
@@ -173,20 +175,52 @@ ConnectionConfig ConnectionConfig::Parse(const std::string& url) {
         config.has_fault = true;
       } else if (key == "fault_slow_rate") {
         config.fault.slow_rate = ParseRate(value, key);
+        if (config.fault.slow_rate == 0) slow_trigger_zeroed = true;
         config.has_fault = true;
       } else if (key == "fault_slow_every") {
         config.fault.slow_every =
             static_cast<uint64_t>(ParseNonNegative(value, key));
+        if (config.fault.slow_every == 0) slow_trigger_zeroed = true;
         config.has_fault = true;
       } else if (key == "fault_slow_us") {
         config.fault.slow_us = ParseNonNegative(value, key);
         config.has_fault = true;
+        slow_us_given = true;
       } else if (key == "fault_max") {
         config.fault.max_faults = ParseInt(value, key);
         config.has_fault = true;
+      } else if (key == "fault_kill_at_round") {
+        config.fault.kill_at_round = ParseNonNegative(value, key);
+        config.has_fault = true;
+      } else if (key == "checkpoint_every") {
+        config.checkpoint_every = ParseNonNegative(value, key);
+      } else if (key == "checkpoint_dir") {
+        config.checkpoint_dir = value;
       } else {
         throw ConnectionError("unknown URL parameter '" + key + "'");
       }
+    }
+  }
+
+  // Contradictory fault-knob combinations are configuration bugs; reject
+  // them instead of silently running with no (or different) faults.
+  if (config.has_fault) {
+    const FaultConfig& f = config.fault;
+    if (f.max_faults == 0 && f.any()) {
+      throw ConnectionError(
+          "contradictory fault knobs: fault_max=0 disables every configured "
+          "fault trigger (drop fault_max or the fault_* triggers)");
+    }
+    // fault_slow_us alongside an *explicitly zeroed* slow trigger is a
+    // contradiction (the delay can never fire). A bare fault_slow_us with
+    // no trigger parameters stays legal: callers pre-set the delay and
+    // attach the trigger later (e.g. the shell's \faults command).
+    if (slow_us_given && slow_trigger_zeroed && f.slow_rate == 0 &&
+        f.slow_every == 0) {
+      throw ConnectionError(
+          "contradictory fault knobs: fault_slow_us is set but the "
+          "fault_slow_rate/fault_slow_every triggers are zero, so the "
+          "delay can never fire");
     }
   }
   return config;

@@ -51,11 +51,19 @@ struct ConnectionConfig {
   int64_t connect_timeout_ms = 0;
   /// Fault-injection parameters (fault_seed, fault_drop_rate,
   /// fault_transient_rate, fault_slow_rate, fault_slow_us,
-  /// fault_connect_rate, fault_*_every, fault_max). All connections opened
-  /// with the same host/database/fault configuration share one seeded
-  /// FaultInjector so the fault schedule is deterministic.
+  /// fault_connect_rate, fault_*_every, fault_max, fault_kill_at_round).
+  /// All connections opened with the same host/database/fault configuration
+  /// share one seeded FaultInjector so the fault schedule is deterministic.
+  /// Contradictory combinations (fault_max=0 alongside configured triggers;
+  /// fault_slow_us with no slow trigger) are rejected at parse time.
   FaultConfig fault;
   bool has_fault = false;
+
+  /// Checkpoint defaults carried by the URL (`checkpoint_every=N`,
+  /// `checkpoint_dir=<path>`): adopted by SqLoop when the per-call
+  /// SqloopOptions leave them unset. 0 / empty = no URL default.
+  int64_t checkpoint_every = 0;
+  std::string checkpoint_dir;
 
   static ConnectionConfig Parse(const std::string& url);
 };

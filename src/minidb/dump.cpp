@@ -1,0 +1,284 @@
+#include "minidb/dump.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/checksum.h"
+#include "common/error.h"
+#include "minidb/table.h"
+
+namespace sqloop::minidb {
+namespace {
+
+// Layout (all integers little-endian on every platform this repo targets;
+// dumps are written and read by the same machine within one job):
+//   8  bytes  magic "SQLPDMP1"
+//   u32       format version (1)
+//   i32       primary_key_index (-1 = none)
+//   u32       column count
+//   per column: u32 name length, name bytes, u8 type tag
+//   u64       row count
+//   per cell: u8 value tag (0 null / 1 int64 / 2 double / 3 text), payload
+//   u32       CRC-32 of every preceding byte
+constexpr char kMagic[8] = {'S', 'Q', 'L', 'P', 'D', 'M', 'P', '1'};
+constexpr uint32_t kFormatVersion = 1;
+
+enum : uint8_t { kTagNull = 0, kTagInt64 = 1, kTagDouble = 2, kTagText = 3 };
+
+void AppendRaw(std::string& out, const void* data, size_t length) {
+  out.append(static_cast<const char*>(data), length);
+}
+
+void AppendU8(std::string& out, uint8_t v) { AppendRaw(out, &v, sizeof(v)); }
+void AppendU32(std::string& out, uint32_t v) { AppendRaw(out, &v, sizeof(v)); }
+void AppendU64(std::string& out, uint64_t v) { AppendRaw(out, &v, sizeof(v)); }
+void AppendI32(std::string& out, int32_t v) { AppendRaw(out, &v, sizeof(v)); }
+void AppendI64(std::string& out, int64_t v) { AppendRaw(out, &v, sizeof(v)); }
+
+void AppendF64(std::string& out, double v) {
+  // The raw bit pattern round-trips exactly — the bit-identical resume
+  // guarantee rests on this (no text formatting of doubles anywhere).
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+uint8_t TypeTag(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return kTagNull;
+    case ValueType::kInt64:
+      return kTagInt64;
+    case ValueType::kDouble:
+      return kTagDouble;
+    case ValueType::kText:
+      return kTagText;
+  }
+  throw ExecutionError("dump: unknown value type");
+}
+
+ValueType TypeFromTag(uint8_t tag) {
+  switch (tag) {
+    case kTagNull:
+      return ValueType::kNull;
+    case kTagInt64:
+      return ValueType::kInt64;
+    case kTagDouble:
+      return ValueType::kDouble;
+    case kTagText:
+      return ValueType::kText;
+    default:
+      throw ExecutionError("dump: corrupt value type tag");
+  }
+}
+
+void AppendValue(std::string& out, const Value& value) {
+  if (value.is_null()) {
+    AppendU8(out, kTagNull);
+  } else if (value.is_int()) {
+    AppendU8(out, kTagInt64);
+    AppendI64(out, value.as_int());
+  } else if (value.is_double()) {
+    AppendU8(out, kTagDouble);
+    AppendF64(out, value.as_double());
+  } else {
+    const std::string& text = value.as_text();
+    AppendU8(out, kTagText);
+    AppendU32(out, static_cast<uint32_t>(text.size()));
+    AppendRaw(out, text.data(), text.size());
+  }
+}
+
+/// Bounds-checked cursor over a loaded dump body.
+class Reader {
+ public:
+  Reader(const std::string& data, const std::string& path)
+      : data_(data), path_(path) {}
+
+  void Read(void* out, size_t length) {
+    if (length > data_.size() - offset_) {
+      throw ExecutionError("dump file '" + path_ + "' is truncated");
+    }
+    std::memcpy(out, data_.data() + offset_, length);
+    offset_ += length;
+  }
+
+  uint8_t ReadU8() { return ReadAs<uint8_t>(); }
+  uint32_t ReadU32() { return ReadAs<uint32_t>(); }
+  uint64_t ReadU64() { return ReadAs<uint64_t>(); }
+  int32_t ReadI32() { return ReadAs<int32_t>(); }
+  int64_t ReadI64() { return ReadAs<int64_t>(); }
+
+  double ReadF64() {
+    uint64_t bits = ReadU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string ReadString(size_t length) {
+    if (length > data_.size() - offset_) {
+      throw ExecutionError("dump file '" + path_ + "' is truncated");
+    }
+    std::string out(data_.data() + offset_, length);
+    offset_ += length;
+    return out;
+  }
+
+  bool AtEnd() const noexcept { return offset_ == data_.size(); }
+
+ private:
+  template <typename T>
+  T ReadAs() {
+    T v;
+    Read(&v, sizeof(v));
+    return v;
+  }
+
+  const std::string& data_;
+  const std::string& path_;
+  size_t offset_ = 0;
+};
+
+Value ReadValue(Reader& reader) {
+  switch (reader.ReadU8()) {
+    case kTagNull:
+      return Value();
+    case kTagInt64:
+      return Value(reader.ReadI64());
+    case kTagDouble:
+      return Value(reader.ReadF64());
+    case kTagText:
+      return Value(reader.ReadString(reader.ReadU32()));
+    default:
+      throw ExecutionError("dump file has a corrupt value tag");
+  }
+}
+
+/// Loads the whole file; empty optional-style via thrown ExecutionError.
+std::string LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ExecutionError("cannot open dump file '" + path + "'");
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw ExecutionError("I/O error reading dump file '" + path + "'");
+  }
+  return data;
+}
+
+/// Checks magic/version/CRC and returns the body (everything between the
+/// header checks and the CRC footer remains in place; caller re-parses).
+std::string LoadValidatedFile(const std::string& path, uint32_t* crc_out) {
+  std::string data = LoadFile(path);
+  if (data.size() < sizeof(kMagic) + sizeof(uint32_t) * 2 ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw ExecutionError("'" + path + "' is not a minidb dump file");
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, data.data() + data.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  const uint32_t actual_crc =
+      Crc32(data.data(), data.size() - sizeof(stored_crc));
+  if (stored_crc != actual_crc) {
+    throw ExecutionError("dump file '" + path + "' failed CRC validation");
+  }
+  if (crc_out != nullptr) *crc_out = stored_crc;
+  data.resize(data.size() - sizeof(stored_crc));
+  return data;
+}
+
+}  // namespace
+
+size_t DumpTableToFile(const Table& table, const std::string& path) {
+  const Schema& schema = table.schema();
+  std::string out;
+  AppendRaw(out, kMagic, sizeof(kMagic));
+  AppendU32(out, kFormatVersion);
+  AppendI32(out, schema.primary_key_index());
+  AppendU32(out, static_cast<uint32_t>(schema.column_count()));
+  for (const Column& column : schema.columns()) {
+    AppendU32(out, static_cast<uint32_t>(column.name.size()));
+    AppendRaw(out, column.name.data(), column.name.size());
+    AppendU8(out, TypeTag(column.type));
+  }
+  AppendU64(out, table.live_row_count());
+  size_t written = 0;
+  for (size_t id = 0; id < table.slot_count(); ++id) {
+    if (!table.IsLive(id)) continue;
+    const Row& row = table.At(id);
+    for (const Value& value : row) AppendValue(out, value);
+    ++written;
+  }
+  AppendU32(out, Crc32(out.data(), out.size()));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      throw ExecutionError("cannot create dump file '" + tmp + "'");
+    }
+    file.write(out.data(), static_cast<std::streamsize>(out.size()));
+    file.flush();
+    if (!file.good()) {
+      throw ExecutionError("I/O error writing dump file '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw ExecutionError("cannot publish dump file '" + path + "'");
+  }
+  return written;
+}
+
+DumpContents ReadDumpFile(const std::string& path) {
+  const std::string body = LoadValidatedFile(path, nullptr);
+  Reader reader(body, path);
+  char magic[sizeof(kMagic)];
+  reader.Read(magic, sizeof(magic));
+  const uint32_t version = reader.ReadU32();
+  if (version != kFormatVersion) {
+    throw ExecutionError("dump file '" + path + "' has unsupported version " +
+                         std::to_string(version));
+  }
+  const int32_t primary_key_index = reader.ReadI32();
+  const uint32_t column_count = reader.ReadU32();
+  std::vector<Column> columns;
+  columns.reserve(column_count);
+  for (uint32_t i = 0; i < column_count; ++i) {
+    Column column;
+    column.name = reader.ReadString(reader.ReadU32());
+    column.type = TypeFromTag(reader.ReadU8());
+    columns.push_back(std::move(column));
+  }
+  DumpContents contents;
+  contents.schema = Schema(std::move(columns), primary_key_index);
+  const uint64_t row_count = reader.ReadU64();
+  contents.rows.reserve(row_count);
+  for (uint64_t r = 0; r < row_count; ++r) {
+    Row row;
+    row.reserve(column_count);
+    for (uint32_t c = 0; c < column_count; ++c) row.push_back(ReadValue(reader));
+    contents.rows.push_back(std::move(row));
+  }
+  if (!reader.AtEnd()) {
+    throw ExecutionError("dump file '" + path + "' has trailing garbage");
+  }
+  return contents;
+}
+
+bool ValidateDumpFile(const std::string& path, uint32_t* crc_out,
+                      std::string* error_out) noexcept {
+  try {
+    LoadValidatedFile(path, crc_out);
+    return true;
+  } catch (const std::exception& e) {
+    if (error_out != nullptr) *error_out = e.what();
+    return false;
+  }
+}
+
+}  // namespace sqloop::minidb

@@ -1,0 +1,50 @@
+// Durable table snapshots: the engine half of SQLoop's checkpointing
+// (DESIGN.md "Checkpointing & recovery").
+//
+// `DUMP TABLE t TO '<path>'` serializes a table's schema and live rows to a
+// single binary file; `RESTORE TABLE t FROM '<path>'` recreates the table
+// from one. The format is sealed by a CRC-32 footer and written via
+// tmp-file + atomic rename, so a crash mid-dump can never leave a torn file
+// under the final name — recovery either sees the complete new dump or the
+// previous state of the path.
+//
+// Rows are dumped in slot (insertion) order and restored by re-inserting in
+// that order, so a restored table is bit-identical to the dumped one as far
+// as any statement can observe (scan order, PK index, aggregates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minidb/schema.h"
+
+namespace sqloop::minidb {
+
+class Table;
+
+/// Serializes `table` (schema + live rows in slot order) to `path` via
+/// `<path>.tmp` + atomic rename. The caller holds at least a shared lock on
+/// the table. Returns the number of rows written; throws ExecutionError on
+/// I/O failure.
+size_t DumpTableToFile(const Table& table, const std::string& path);
+
+/// Payload of a dump file.
+struct DumpContents {
+  Schema schema;
+  std::vector<Row> rows;  // in dumped (insertion) order
+};
+
+/// Reads and fully validates a dump file. Throws ExecutionError on a
+/// missing file, bad magic/version, truncation, or CRC mismatch.
+DumpContents ReadDumpFile(const std::string& path);
+
+/// Cheap validity probe used by recovery to pick a checkpoint: true iff the
+/// file exists, carries the right magic/version, and its CRC-32 footer
+/// matches the content. `crc_out` (optional) receives the footer CRC —
+/// manifests hash these into their content hash so a dump swapped in from a
+/// different checkpoint is caught even though it is internally valid.
+bool ValidateDumpFile(const std::string& path, uint32_t* crc_out = nullptr,
+                      std::string* error_out = nullptr) noexcept;
+
+}  // namespace sqloop::minidb

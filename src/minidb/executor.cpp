@@ -4,9 +4,11 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 
 #include "common/error.h"
 #include "common/stopwatch.h"
+#include "minidb/dump.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "telemetry/hooks.h"
@@ -1577,6 +1579,36 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
       table->Clear();
       ResultSet result;
       result.affected_rows = removed;
+      return result;
+    }
+    case sql::StatementKind::kDumpTable: {
+      const auto table = db_.FindTable(stmt.table_name);
+      if (!table) {
+        throw ExecutionError("table '" + stmt.table_name +
+                             "' does not exist");
+      }
+      // A shared lock suffices: the dump only reads. Writers are excluded
+      // for the duration, so the file is a consistent snapshot.
+      const std::shared_lock lock(table->lock());
+      ResultSet result;
+      result.affected_rows = DumpTableToFile(*table, stmt.file_path);
+      result.rows_examined = table->live_row_count();
+      return result;
+    }
+    case sql::StatementKind::kRestoreTable: {
+      // Create-or-replace from the dumped schema; rows re-inserted in
+      // dumped order rebuild the table bit-identically (scan order, PK
+      // index). Validation happens in ReadDumpFile before any catalog
+      // change, so a corrupt dump leaves the database untouched.
+      DumpContents contents = ReadDumpFile(stmt.file_path);
+      db_.DropTable(stmt.table_name, /*if_exists=*/true);
+      db_.CreateTable(stmt.table_name, contents.schema,
+                      /*if_not_exists=*/false);
+      const auto table = db_.FindTable(stmt.table_name);
+      const std::scoped_lock lock(table->lock());
+      for (auto& row : contents.rows) table->Insert(std::move(row));
+      ResultSet result;
+      result.affected_rows = contents.rows.size();
       return result;
     }
     case sql::StatementKind::kBegin:

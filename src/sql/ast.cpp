@@ -375,6 +375,7 @@ StatementPtr Statement::Clone() const {
     out->insert_rows.push_back(std::move(copy));
   }
   if (insert_select) out->insert_select = insert_select->Clone();
+  out->file_path = file_path;
   out->update_alias = update_alias;
   out->set_items.reserve(set_items.size());
   for (const auto& [column, expr] : set_items) {

@@ -244,6 +244,8 @@ enum class StatementKind {
   kUpdate,
   kDelete,
   kTruncate,
+  kDumpTable,     // DUMP TABLE t TO '<path>' — checkpoint fast path
+  kRestoreTable,  // RESTORE TABLE t FROM '<path>'
   kBegin,
   kCommit,
   kRollback,
@@ -308,6 +310,9 @@ struct Statement {
   std::vector<std::string> insert_columns;
   std::vector<std::vector<ExprPtr>> insert_rows;  // INSERT ... VALUES
   SelectPtr insert_select;                        // INSERT ... SELECT
+
+  // kDumpTable / kRestoreTable
+  std::string file_path;
 
   // kUpdate
   std::string update_alias;

@@ -132,6 +132,8 @@ class Parser {
     if (CheckKeyword("UPDATE")) return ParseUpdate();
     if (CheckKeyword("DELETE")) return ParseDelete();
     if (CheckKeyword("TRUNCATE")) return ParseTruncate();
+    if (CheckKeyword("DUMP")) return ParseDump();
+    if (CheckKeyword("RESTORE")) return ParseRestore();
     if (AcceptKeyword("BEGIN")) {
       AcceptKeyword("TRANSACTION");
       auto stmt = std::make_unique<Statement>();
@@ -468,6 +470,37 @@ class Parser {
     stmt->kind = StatementKind::kTruncate;
     stmt->table_name = ExpectIdentifier("table name");
     return stmt;
+  }
+
+  // DUMP TABLE t TO '<path>' / RESTORE TABLE t FROM '<path>' — the
+  // checkpoint fast path (DESIGN.md "Checkpointing & recovery").
+  StatementPtr ParseDump() {
+    ExpectKeyword("DUMP");
+    AcceptKeyword("TABLE");
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StatementKind::kDumpTable;
+    stmt->table_name = ExpectIdentifier("table name");
+    ExpectKeyword("TO");
+    stmt->file_path = ExpectFilePath();
+    return stmt;
+  }
+
+  StatementPtr ParseRestore() {
+    ExpectKeyword("RESTORE");
+    AcceptKeyword("TABLE");
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StatementKind::kRestoreTable;
+    stmt->table_name = ExpectIdentifier("table name");
+    ExpectKeyword("FROM");
+    stmt->file_path = ExpectFilePath();
+    return stmt;
+  }
+
+  std::string ExpectFilePath() {
+    if (!Check(TokenKind::kStringLiteral)) {
+      Fail("expected a quoted file path, found " + DescribeToken(Peek()));
+    }
+    return Advance().text;
   }
 
   // --- SELECT ---------------------------------------------------------

@@ -340,6 +340,12 @@ std::string PrintStatement(const Statement& stmt, Dialect dialect) {
     }
     case StatementKind::kTruncate:
       return "TRUNCATE TABLE " + QuoteIdentifier(stmt.table_name, dialect);
+    case StatementKind::kDumpTable:
+      return "DUMP TABLE " + QuoteIdentifier(stmt.table_name, dialect) +
+             " TO " + Value(stmt.file_path).ToSqlLiteral();
+    case StatementKind::kRestoreTable:
+      return "RESTORE TABLE " + QuoteIdentifier(stmt.table_name, dialect) +
+             " FROM " + Value(stmt.file_path).ToSqlLiteral();
     case StatementKind::kBegin:
       return "BEGIN";
     case StatementKind::kCommit:

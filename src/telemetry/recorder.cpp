@@ -18,6 +18,10 @@ const char* SpanKindName(SpanKind kind) noexcept {
       return "final";
     case SpanKind::kMerge:
       return "merge";
+    case SpanKind::kCheckpoint:
+      return "checkpoint";
+    case SpanKind::kRestore:
+      return "restore";
   }
   return "?";
 }
@@ -25,7 +29,8 @@ const char* SpanKindName(SpanKind kind) noexcept {
 bool ParseSpanKind(std::string_view name, SpanKind* kind) noexcept {
   for (const SpanKind k :
        {SpanKind::kCompute, SpanKind::kGather, SpanKind::kPriority,
-        SpanKind::kSetup, SpanKind::kFinal, SpanKind::kMerge}) {
+        SpanKind::kSetup, SpanKind::kFinal, SpanKind::kMerge,
+        SpanKind::kCheckpoint, SpanKind::kRestore}) {
     if (name == SpanKindName(k)) {
       *kind = k;
       return true;

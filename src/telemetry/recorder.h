@@ -49,7 +49,9 @@ enum class SpanKind {
   kPriority,  // AsyncP priority refresh query
   kSetup,     // partitioning / view / Rmjoin setup (master)
   kFinal,     // the final query over the union view (master)
-  kMerge,     // single-thread R/Rtmp iteration body
+  kMerge,       // single-thread R/Rtmp iteration body
+  kCheckpoint,  // writing one checkpoint (dumps + manifest, master)
+  kRestore,     // restoring job state from a checkpoint (master)
 };
 
 const char* SpanKindName(SpanKind kind) noexcept;

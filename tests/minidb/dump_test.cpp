@@ -1,0 +1,171 @@
+// DUMP TABLE / RESTORE TABLE — the durable-snapshot fast path behind
+// SQLoop's checkpointing (minidb/dump.h). The contract under test: a
+// restore rebuilds the table bit-identically (rows, scan order, PK
+// index), validation runs before any catalog change, and every corruption
+// mode — truncation, bit flip, missing file — is caught by the CRC seal.
+#include "minidb/dump.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "tests/minidb/test_util.h"
+
+namespace sqloop::minidb {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DumpTest : public testing::DbFixture {
+ protected:
+  DumpTest() {
+    static std::atomic<uint64_t> counter{0};
+    dir_ = (fs::temp_directory_path() /
+            ("sqloop_dump_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(dir_);
+  }
+  ~DumpTest() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string File(const std::string& stem) const {
+    return (fs::path(dir_) / stem).string();
+  }
+
+  /// The table rendered to one string via a full scan — scan order, NULLs
+  /// and float bit patterns included.
+  std::string Render(const std::string& table) {
+    std::string out;
+    for (const auto& row : Run("SELECT * FROM " + table).rows) {
+      for (const auto& value : row) {
+        out += value.ToString();
+        out += '|';
+      }
+      out += '\n';
+    }
+    return out;
+  }
+
+  void CreateSample() {
+    Run("CREATE TABLE r (id BIGINT PRIMARY KEY, rank DOUBLE, note VARCHAR)");
+    Run("INSERT INTO r VALUES (3, 0.1, 'a'), (1, 0.25, NULL), "
+        "(2, 0.0001220703125, 'c')");
+    // A deleted row must not resurface in the dump.
+    Run("INSERT INTO r VALUES (9, 9.9, 'dead')");
+    Run("DELETE FROM r WHERE id = 9");
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DumpTest, RestoreRebuildsTableBitIdentically) {
+  CreateSample();
+  const std::string before = Render("r");
+  const auto dump = Run("DUMP TABLE r TO '" + File("r.dump") + "'");
+  EXPECT_EQ(dump.affected_rows, 3u);
+
+  Run("DROP TABLE r");
+  const auto restore = Run("RESTORE TABLE r FROM '" + File("r.dump") + "'");
+  EXPECT_EQ(restore.affected_rows, 3u);
+  EXPECT_EQ(Render("r"), before);
+  // The PK index came back with the schema: point updates work.
+  Run("UPDATE r SET rank = 1.5 WHERE id = 2");
+  EXPECT_EQ(Scalar("SELECT rank FROM r WHERE id = 2").as_double(), 1.5);
+}
+
+TEST_F(DumpTest, RestoreUnderDifferentNameReplacesExistingTable) {
+  CreateSample();
+  const std::string before = Render("r");
+  Run("DUMP TABLE r TO '" + File("r.dump") + "'");
+  Run("CREATE TABLE s (x BIGINT)");
+  Run("INSERT INTO s VALUES (42)");
+  // RESTORE is create-or-replace: `s` becomes a copy of the dumped `r`.
+  Run("RESTORE TABLE s FROM '" + File("r.dump") + "'");
+  EXPECT_EQ(Render("s"), before);
+}
+
+TEST_F(DumpTest, DumpLeavesNoTempFileBehind) {
+  CreateSample();
+  Run("DUMP TABLE r TO '" + File("r.dump") + "'");
+  size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename().string(), "r.dump");
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST_F(DumpTest, ValidateAcceptsIntactDumpAndReportsCrc) {
+  CreateSample();
+  Run("DUMP TABLE r TO '" + File("r.dump") + "'");
+  uint32_t crc = 0;
+  std::string error;
+  EXPECT_TRUE(ValidateDumpFile(File("r.dump"), &crc, &error)) << error;
+  EXPECT_NE(crc, 0u);
+}
+
+TEST_F(DumpTest, ValidateRejectsEveryCorruptionMode) {
+  CreateSample();
+  const std::string path = File("r.dump");
+  Run("DUMP TABLE r TO '" + path + "'");
+
+  EXPECT_FALSE(ValidateDumpFile(File("missing.dump")));
+
+  {
+    std::ofstream garbage(File("garbage.dump"), std::ios::binary);
+    garbage << "not a dump at all";
+  }
+  EXPECT_FALSE(ValidateDumpFile(File("garbage.dump")));
+
+  const auto size = fs::file_size(path);
+  fs::copy_file(path, File("torn.dump"));
+  fs::resize_file(File("torn.dump"), size / 2);
+  EXPECT_FALSE(ValidateDumpFile(File("torn.dump")));
+
+  fs::copy_file(path, File("flipped.dump"));
+  {
+    std::fstream f(File("flipped.dump"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    char c = 0;
+    f.get(c);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.put(static_cast<char>(c ^ 0x5a));
+  }
+  std::string error;
+  EXPECT_FALSE(ValidateDumpFile(File("flipped.dump"), nullptr, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(DumpTest, CorruptRestoreLeavesExistingTableUntouched) {
+  CreateSample();
+  const std::string before = Render("r");
+  const std::string path = File("r.dump");
+  Run("DUMP TABLE r TO '" + path + "'");
+  fs::resize_file(path, fs::file_size(path) / 2);
+
+  // Validation happens before the catalog change, so the failed RESTORE
+  // must not have dropped (or emptied) the live table.
+  EXPECT_THROW(Run("RESTORE TABLE r FROM '" + path + "'"), ExecutionError);
+  EXPECT_EQ(Render("r"), before);
+  EXPECT_THROW(Run("RESTORE TABLE r FROM '" + File("missing.dump") + "'"),
+               ExecutionError);
+  EXPECT_EQ(Render("r"), before);
+}
+
+TEST_F(DumpTest, DumpOfMissingTableFails) {
+  EXPECT_THROW(Run("DUMP TABLE nope TO '" + File("x.dump") + "'"),
+               ExecutionError);
+  EXPECT_FALSE(fs::exists(File("x.dump")));
+}
+
+}  // namespace
+}  // namespace sqloop::minidb

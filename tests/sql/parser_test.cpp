@@ -211,6 +211,21 @@ TEST(Parser, DeleteAndTruncate) {
             StatementKind::kTruncate);
 }
 
+TEST(Parser, DumpAndRestore) {
+  const auto dump = ParseStatement("DUMP TABLE t TO '/tmp/t.dump'");
+  EXPECT_EQ(dump->kind, StatementKind::kDumpTable);
+  EXPECT_EQ(dump->table_name, "t");
+  EXPECT_EQ(dump->file_path, "/tmp/t.dump");
+  const auto restore = ParseStatement("RESTORE TABLE t FROM '/tmp/t.dump'");
+  EXPECT_EQ(restore->kind, StatementKind::kRestoreTable);
+  EXPECT_EQ(restore->table_name, "t");
+  EXPECT_EQ(restore->file_path, "/tmp/t.dump");
+  // The TABLE keyword is optional, like TRUNCATE's.
+  EXPECT_EQ(ParseStatement("DUMP t TO 'x'")->kind, StatementKind::kDumpTable);
+  EXPECT_EQ(ParseStatement("RESTORE t FROM 'x'")->kind,
+            StatementKind::kRestoreTable);
+}
+
 TEST(Parser, TransactionStatements) {
   EXPECT_EQ(ParseStatement("BEGIN")->kind, StatementKind::kBegin);
   EXPECT_EQ(ParseStatement("BEGIN TRANSACTION")->kind, StatementKind::kBegin);

@@ -32,6 +32,8 @@ TEST(Printer, RoundTripDml) {
       "UPDATE r SET d = d + m.v FROM (SELECT i, SUM(v) AS v FROM msg "
       "GROUP BY i) AS m WHERE r.i = m.i");
   ExpectRoundTrip("DELETE FROM t WHERE a = 1");
+  ExpectRoundTrip("DUMP TABLE t TO '/tmp/ckpt/t.dump'");
+  ExpectRoundTrip("RESTORE TABLE t FROM '/tmp/ckpt/t.dump'");
 }
 
 TEST(Printer, RoundTripCtes) {

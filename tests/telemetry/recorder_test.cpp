@@ -52,7 +52,8 @@ TEST(RecorderTest, IterationsKeepInsertionOrder) {
 TEST(RecorderTest, SpanKindNamesRoundTrip) {
   for (const SpanKind kind :
        {SpanKind::kCompute, SpanKind::kGather, SpanKind::kPriority,
-        SpanKind::kSetup, SpanKind::kFinal, SpanKind::kMerge}) {
+        SpanKind::kSetup, SpanKind::kFinal, SpanKind::kMerge,
+        SpanKind::kCheckpoint, SpanKind::kRestore}) {
     SpanKind parsed;
     ASSERT_TRUE(ParseSpanKind(SpanKindName(kind), &parsed));
     EXPECT_EQ(parsed, kind);
