@@ -61,15 +61,23 @@ class EngineFleet {
     // NO_PLAN_CACHE=1 ablates the iteration-aware plan cache fleet-wide,
     // so any benchmark can be A/B'd against the parse-per-statement world.
     const bool no_plan_cache = Knob("NO_PLAN_CACHE", 0) != 0;
+    // NO_FUSED=1 routes every SELECT through the reference materializing
+    // pipeline instead of the fused zero-copy one (same A/B idea).
+    const bool no_fused = Knob("NO_FUSED", 0) != 0;
     for (const auto& engine : Engines()) {
       auto db = server_.CreateDatabase(engine,
                                        minidb::EngineProfile::ByName(engine));
       if (no_plan_cache) db->plan_cache().set_enabled(false);
+      if (no_fused) db->set_fused_enabled(false);
       auto conn = dbc::DriverManager::GetConnection(Url(engine));
       graph::LoadEdges(*conn, graph);
     }
   }
   ~EngineFleet() { dbc::DriverManager::RegisterHost(host_, nullptr); }
+
+  /// The fleet's embedded server, for benchmarks that flip per-database
+  /// engine toggles (e.g. fused on/off A/B runs) between measurements.
+  minidb::Server& server() noexcept { return server_; }
 
   /// `compile_us_override` >= 0 replaces the fleet's modeled compile cost
   /// (e.g. 0 for a pure-CPU micro measurement).

@@ -1,0 +1,319 @@
+// micro_scan — the fused-pipeline / zero-copy scan benchmark.
+//
+// Three measurements:
+//   1. Selective scan micro: a Compute-shaped aggregate (`SELECT COUNT(*),
+//      SUM(rank) FROM scan_state WHERE delta = 1` with ~1% of rows
+//      matching) over a SCAN_ROWS-row state table, executed SCAN_REPS
+//      times through the fused pipeline vs the reference materializing
+//      one. The fused path streams borrowed row views through the pushed
+//      predicate straight into the aggregate; the reference path copies
+//      the whole table into an intermediate Relation first. This is the
+//      statement shape of a delta-selective termination probe.
+//   2. Index probe micro: the same statement after CREATE INDEX on
+//      `delta` — both paths probe the index, so the remaining gap is the
+//      fused path's skipped materialization of the matching rows.
+//   3. End to end, fused on vs off, per engine profile: PageRank in the
+//      Fig. 4 single-thread setting and the Fig. 5 multicore modes
+//      (Sync, Async, AsyncPriority), plus the Fig. 6 Descendant Query in
+//      Sync mode. Results must agree within the repo's 1e-9 numeric
+//      tolerance (parallel-mode FP summation order is timing-dependent);
+//      the pipeline must never change answers.
+//
+// Latency, per-row cost, and compile cost are zeroed so real executor
+// CPU is what is being compared.
+//
+// Writes a JSON baseline (default BENCH_scan.json; --json <path> to
+// move it). Exit code is nonzero if the selective-scan speedup falls
+// under 2x or any fused/reference result pair diverges.
+//
+// Knobs: SQLOOP_BENCH_{SCAN_ROWS,SCAN_REPS,PR_NODES,PR_DEG,PR_ITERS,
+// THREADS,PARTITIONS}.
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "dbc/prepared_statement.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace sqloop;
+using bench::Knob;
+
+/// Row-set equality within the repo's 1e-9 numeric tolerance (the same
+/// tolerance the equivalence tests use for parallel modes, whose FP
+/// summation order is timing-dependent run to run).
+bool Equivalent(const dbc::ResultSet& a, const dbc::ResultSet& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  const auto sorted = [](const dbc::ResultSet& rs) {
+    auto rows = rs.rows;
+    std::sort(rows.begin(), rows.end(), [](const auto& x, const auto& y) {
+      return x.empty() || y.empty() ? x.size() < y.size()
+                                    : x[0].ToString() < y[0].ToString();
+    });
+    return rows;
+  };
+  const auto lhs = sorted(a);
+  const auto rhs = sorted(b);
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (lhs[i].size() != rhs[i].size()) return false;
+    for (size_t j = 0; j < lhs[i].size(); ++j) {
+      const Value& x = lhs[i][j];
+      const Value& y = rhs[i][j];
+      if (x.is_numeric() && y.is_numeric()) {
+        if (std::fabs(x.NumericAsDouble() - y.NumericAsDouble()) > 1e-9) {
+          return false;
+        }
+      } else if (x.ToString() != y.ToString()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Order-preserving row dump (%.17g doubles — bit-faithful). Value's
+/// operator== has SQL semantics (NULL == NULL is false), so identity
+/// checks go through text.
+std::string Dump(const dbc::ResultSet& result) {
+  std::string out;
+  for (const auto& row : result.rows) {
+    for (const auto& value : row) out += value.ToString() + "|";
+    out += "\n";
+  }
+  return out;
+}
+
+struct MicroArm {
+  const char* name;
+  double fused_seconds = 0;
+  double reference_seconds = 0;
+  bool identical = true;
+  double speedup() const {
+    return fused_seconds > 0 ? reference_seconds / fused_seconds : 0;
+  }
+};
+
+struct ModeResult {
+  const char* figure;
+  const char* workload;
+  std::string engine;
+  const char* mode;
+  double fused_seconds = 0;
+  double reference_seconds = 0;
+  bool equivalent = true;
+  double speedup() const {
+    return fused_seconds > 0 ? reference_seconds / fused_seconds : 0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_scan.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: micro_scan [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  const int64_t rows = Knob("SCAN_ROWS", 100000);
+  const int64_t reps = Knob("SCAN_REPS", 50);
+  // Defaults run PageRank to convergence: the async modes' intermediate
+  // states are scheduling-dependent, so only converged ranks are
+  // comparable within the 1e-9 tolerance (micro_prepare sizes likewise).
+  const int64_t nodes = Knob("PR_NODES", 600);
+  const int64_t deg = Knob("PR_DEG", 4);
+  const int64_t iters = Knob("PR_ITERS", 50);
+  const int threads = static_cast<int>(Knob("THREADS", 4));
+  const int partitions = static_cast<int>(Knob("PARTITIONS", 8));
+
+  // Zero latency / zero row cost / zero compile: executor CPU is the
+  // variable here, not the modeled server round trips.
+  const auto graph = graph::MakeWebGraph(nodes, static_cast<int>(deg), 7);
+  bench::EngineFleet fleet("scan", graph, /*latency_us=*/0,
+                           /*row_cost_ns=*/0);
+
+  // --- 1 & 2: selective-scan and index-probe micros ----------------------
+  auto conn = dbc::DriverManager::GetConnection(
+      fleet.Url("postgres", /*compile_us_override=*/0));
+  auto db = fleet.server().FindDatabase("postgres");
+  conn->Execute(
+      "CREATE TABLE scan_state (id BIGINT PRIMARY KEY, "
+      "rank DOUBLE PRECISION, delta BIGINT)");
+  {
+    auto insert = conn->Prepare("INSERT INTO scan_state VALUES (?, ?, ?)");
+    for (int64_t i = 0; i < rows; ++i) {
+      insert.SetInt64(1, i);
+      insert.SetDouble(2, 1.0 / static_cast<double>(i + 1));
+      // ~1% of rows carry a live delta — the shape of a nearly converged
+      // iterative state table.
+      insert.SetInt64(3, i % 100 == 0 ? 1 : 0);
+      insert.AddBatch();
+      if (i % 4096 == 4095) insert.ExecuteBatch();
+    }
+    insert.ExecuteBatch();
+  }
+
+  const std::string probe =
+      "SELECT COUNT(*), SUM(rank) FROM scan_state WHERE delta = 1";
+  const auto run_arm = [&](const char* name) {
+    MicroArm arm;
+    arm.name = name;
+    dbc::ResultSet fused_result;
+    dbc::ResultSet reference_result;
+    for (const bool fused : {true, false}) {
+      db->set_fused_enabled(fused);
+      conn->ExecuteQuery(probe);  // warm caches before timing
+      const Stopwatch watch;
+      dbc::ResultSet last;
+      for (int64_t i = 0; i < reps; ++i) last = conn->ExecuteQuery(probe);
+      (fused ? arm.fused_seconds : arm.reference_seconds) =
+          watch.ElapsedSeconds();
+      (fused ? fused_result : reference_result) = std::move(last);
+    }
+    db->set_fused_enabled(true);
+    // The selective scan is single-threaded and deterministic: the two
+    // pipelines must agree bit for bit, not just within tolerance.
+    arm.identical = Dump(fused_result) == Dump(reference_result);
+    return arm;
+  };
+
+  std::vector<MicroArm> arms;
+  arms.push_back(run_arm("selective_scan"));
+  conn->Execute("CREATE INDEX scan_state_delta ON scan_state (delta)");
+  arms.push_back(run_arm("index_probe"));
+  conn->Execute("DROP TABLE scan_state");
+
+  std::cout << "scan micro (" << rows << " rows, " << reps
+            << " executions):\n"
+            << std::left << std::setw(16) << "arm" << std::right
+            << std::setw(12) << "fused" << std::setw(12) << "reference"
+            << std::setw(10) << "speedup" << std::setw(11) << "identical"
+            << "\n";
+  for (const auto& arm : arms) {
+    std::cout << std::left << std::setw(16) << arm.name << std::right
+              << std::fixed << std::setprecision(4) << std::setw(12)
+              << arm.fused_seconds << std::setw(12) << arm.reference_seconds
+              << std::setprecision(2) << std::setw(9) << arm.speedup() << "x"
+              << std::setw(11) << (arm.identical ? "yes" : "NO") << "\n";
+  }
+  std::cout << "\n";
+
+  // --- 3: end-to-end deltas, fused on vs off -----------------------------
+  // One row per figure setting: PageRank single-thread (fig4) and in the
+  // three multicore modes (fig5), Descendant Query in Sync mode (fig6).
+  struct RunSpec {
+    const char* figure;
+    const char* workload;
+    core::ExecutionMode mode;
+    std::string query;
+  };
+  const std::string pr_query = core::workloads::PageRankQuery(iters);
+  const std::vector<RunSpec> specs = {
+      {"fig4", "pr", core::ExecutionMode::kSingleThread, pr_query},
+      {"fig5", "pr", core::ExecutionMode::kSync, pr_query},
+      {"fig5", "pr", core::ExecutionMode::kAsync, pr_query},
+      {"fig5", "pr", core::ExecutionMode::kAsyncPriority, pr_query},
+      {"fig6", "dq", core::ExecutionMode::kSync,
+       core::workloads::DescendantQueryBounded(
+           0, Knob("DQ_HOPS", 12))},
+  };
+
+  std::vector<ModeResult> mode_results;
+  std::cout << "end to end (PageRank " << iters << " iterations, " << nodes
+            << " nodes, " << threads << " threads):\n"
+            << std::left << std::setw(6) << "fig" << std::setw(10)
+            << "engine" << std::setw(14) << "workload/mode" << std::right
+            << std::setw(12) << "fused" << std::setw(12) << "reference"
+            << std::setw(10) << "speedup" << std::setw(12) << "equivalent"
+            << "\n";
+  for (const auto& engine : bench::Engines()) {
+    auto engine_db = fleet.server().FindDatabase(engine);
+    for (const auto& spec : specs) {
+      ModeResult row;
+      row.figure = spec.figure;
+      row.workload = spec.workload;
+      row.engine = engine;
+      row.mode = bench::ModeLabel(spec.mode);
+      const std::string& query = spec.query;
+      const auto options =
+          bench::ModeOptions(spec.mode, threads, partitions, spec.workload);
+      dbc::ResultSet fused_result;
+      dbc::ResultSet reference_result;
+      for (const bool fused : {true, false}) {
+        engine_db->set_fused_enabled(fused);
+        // Best of three: end-to-end runs are short enough that scheduler
+        // noise would otherwise swamp the per-mode delta.
+        double best = 0;
+        for (int trial = 0; trial < 3; ++trial) {
+          const auto run = bench::RunQuery(fleet.Url(engine), options, query);
+          if (trial == 0 || run.seconds < best) best = run.seconds;
+          (fused ? fused_result : reference_result) = run.result;
+        }
+        (fused ? row.fused_seconds : row.reference_seconds) = best;
+      }
+      engine_db->set_fused_enabled(true);
+      row.equivalent = Equivalent(fused_result, reference_result);
+      std::cout << std::left << std::setw(6) << row.figure << std::setw(10)
+                << row.engine << std::setw(14)
+                << (std::string(row.workload) + "/" + row.mode) << std::right
+                << std::fixed << std::setprecision(4) << std::setw(12)
+                << row.fused_seconds << std::setw(12)
+                << row.reference_seconds << std::setprecision(2)
+                << std::setw(9) << row.speedup() << "x" << std::setw(12)
+                << (row.equivalent ? "yes" : "NO") << "\n";
+      mode_results.push_back(std::move(row));
+    }
+  }
+
+  bool results_agree = true;
+  for (const auto& arm : arms) results_agree &= arm.identical;
+  for (const auto& row : mode_results) results_agree &= row.equivalent;
+  const bool fast_enough = arms[0].speedup() >= 2.0;
+  std::cout << "\nselective-scan speedup >= 2x: "
+            << (fast_enough ? "yes" : "NO")
+            << "\nfused results match reference: "
+            << (results_agree ? "yes" : "NO") << "\n";
+
+  std::ofstream json(json_path);
+  json << std::setprecision(6) << std::fixed;
+  json << "{\n  \"micro\": {\"rows\": " << rows << ", \"reps\": " << reps
+       << ", \"arms\": [\n";
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const MicroArm& arm = arms[i];
+    json << "    {\"arm\": \"" << arm.name << "\", \"fused_seconds\": "
+         << arm.fused_seconds << ", \"reference_seconds\": "
+         << arm.reference_seconds << ", \"speedup\": " << arm.speedup()
+         << ", \"bit_identical\": " << (arm.identical ? "true" : "false")
+         << "}" << (i + 1 < arms.size() ? "," : "") << "\n";
+  }
+  json << "  ]},\n  \"end_to_end\": {\"nodes\": " << nodes
+       << ", \"iterations\": " << iters << ", \"threads\": " << threads
+       << ", \"partitions\": " << partitions << ", \"runs\": [\n";
+  for (size_t i = 0; i < mode_results.size(); ++i) {
+    const ModeResult& r = mode_results[i];
+    json << "    {\"figure\": \"" << r.figure << "\", \"workload\": \""
+         << r.workload << "\", \"engine\": \"" << r.engine
+         << "\", \"mode\": \"" << r.mode
+         << "\", \"fused_seconds\": " << r.fused_seconds
+         << ", \"reference_seconds\": " << r.reference_seconds
+         << ", \"speedup\": " << r.speedup() << ", \"equivalent\": "
+         << (r.equivalent ? "true" : "false") << "}"
+         << (i + 1 < mode_results.size() ? "," : "") << "\n";
+  }
+  json << "  ]},\n  \"selective_scan_speedup\": " << arms[0].speedup()
+       << ",\n  \"results_agree\": " << (results_agree ? "true" : "false")
+       << "\n}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return fast_enough && results_agree ? 0 : 1;
+}

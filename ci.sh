@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: configure + build the three presets, run the full test
-# suite once on the default build, and re-run the concurrency-sensitive
-# suites (fault injection + checkpoint recovery) under ASan/UBSan and TSan.
+# suite once on the default build (plus the perf smoke label and the
+# fused-pipeline scan benchmark, which writes BENCH_scan.json), and re-run
+# the concurrency-sensitive suites (fault injection + checkpoint recovery +
+# fused/reference differential) under ASan/UBSan and TSan.
 #
 #   ./ci.sh            # everything
 #   ./ci.sh default    # one preset only (default | asan-ubsan | tsan)
@@ -17,9 +19,13 @@ run_preset() {
     default)
       echo "==> [${preset}] full test suite"
       ctest --preset default
+      echo "==> [${preset}] perf smoke suite"
+      ctest --preset default -L perf
+      echo "==> [${preset}] fused-pipeline scan benchmark"
+      ./build/bench/micro_scan --json BENCH_scan.json
       ;;
     *)
-      echo "==> [${preset}] resilience|recovery suites"
+      echo "==> [${preset}] resilience|recovery|engine suites"
       ctest --preset "${preset}"
       ;;
   esac

@@ -140,6 +140,20 @@ void PrintStats(const core::RunStats& stats) {
                 << "s execute_time="
                 << rec.timer_seconds("dbc.execute_seconds") << "s\n";
     }
+    const uint64_t index_scans = rec.counter("minidb.index_scans");
+    const uint64_t full_scans = rec.counter("minidb.full_scans");
+    const uint64_t borrowed = rec.counter("minidb.rows_borrowed");
+    const uint64_t materialized = rec.counter("minidb.rows_materialized");
+    if (index_scans + full_scans + borrowed + materialized > 0) {
+      std::cout << "engine: index_scans=" << index_scans
+                << " full_scans=" << full_scans
+                << " rows_borrowed=" << borrowed
+                << " rows_materialized=" << materialized
+                << " pushed_predicates="
+                << rec.counter("minidb.pushed_predicates")
+                << " fused_cores=" << rec.counter("minidb.fused_cores")
+                << "\n";
+    }
     std::cout << telemetry::Summary(rec);
   }
 }

@@ -1,0 +1,42 @@
+// A non-owning, non-allocating reference to a callable — the glue of the
+// push-based execution pipeline, where row sinks and sources are lambdas
+// passed straight down the call stack. std::function would heap-allocate
+// per operator; FunctionRef is two pointers.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace sqloop {
+
+template <typename Signature>
+class FunctionRef;
+
+/// Lifetime rule: the referred callable must outlive the FunctionRef. All
+/// pipeline uses pass callables down the stack, never store them.
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function — call sites pass lambdas directly.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::add_pointer_t<std::remove_reference_t<F>>>(
+              obj))(std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace sqloop

@@ -151,6 +151,7 @@ ResultSet PreparedStatement::Submit(const std::vector<Value>& values) {
   ResultSet result =
       plan_ != nullptr
           ? conn_->executor_.ExecuteWithPlan(*bound_, *plan_->locks,
+                                             plan_->access.get(),
                                              &conn_->session_)
           : conn_->executor_.Execute(*bound_, &conn_->session_);
   return result;

@@ -62,6 +62,19 @@ class Database {
     catalog_version_.fetch_add(1, std::memory_order_acq_rel);
   }
 
+  // --- execution pipeline toggle ---------------------------------------
+  // The fused, zero-copy SELECT pipeline is on by default; switching it
+  // off routes every statement through the reference materializing path.
+  // Exists for the differential test suite and A/B benchmarks (see
+  // DESIGN.md "Execution pipeline"), not as a tuning knob.
+
+  void set_fused_enabled(bool enabled) noexcept {
+    fused_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool fused_enabled() const noexcept {
+    return fused_enabled_.load(std::memory_order_relaxed);
+  }
+
   // --- connection accounting -------------------------------------------
   // The dbc layer reports opens/closes so resilience tests can assert that
   // a failed parallel run leaks no live connections.
@@ -78,6 +91,7 @@ class Database {
   std::unordered_map<std::string, std::shared_ptr<const sql::SelectStmt>>
       views_;
   std::atomic<uint64_t> catalog_version_{0};
+  std::atomic<bool> fused_enabled_{true};
   PlanCache plan_cache_;
 };
 

@@ -5,6 +5,16 @@
 #include "common/error.h"
 
 namespace sqloop::minidb {
+
+void Relation::Materialize() {
+  if (!borrowed) return;
+  rows.reserve(views.size());
+  for (const Row* view : views) rows.push_back(*view);
+  views.clear();
+  views.shrink_to_fit();
+  borrowed = false;
+}
+
 namespace {
 
 [[noreturn]] void TypeFail(const std::string& what, const Value& a,

@@ -19,10 +19,34 @@ struct ColumnBinding {
   std::string name;
 };
 
-/// A materialized intermediate relation flowing between operators.
+/// An intermediate relation flowing between operators, in one of two
+/// storage modes:
+///   * owned    — `rows` holds materialized copies (the classic form, and
+///     always the form of operator *outputs*: projection and aggregation
+///     construct fresh rows);
+///   * borrowed — `views` holds pointers into Table storage (zero-copy
+///     scans). Views are valid while the executing statement holds the
+///     table's lock *and* the table's row vector is not grown: the
+///     executor guarantees the latter by materializing every INSERT source
+///     before inserting and by applying UPDATE writes (in-place slot
+///     assignment, never a reallocation of the row vector) only after all
+///     matching reads have finished.
+/// Consumers iterate with row_count()/row(), which work in either mode.
 struct Relation {
   std::vector<ColumnBinding> columns;
-  std::vector<Row> rows;
+  std::vector<Row> rows;          // owned storage (empty in borrowed mode)
+  std::vector<const Row*> views;  // borrowed row views (borrowed mode only)
+  bool borrowed = false;
+
+  size_t row_count() const noexcept {
+    return borrowed ? views.size() : rows.size();
+  }
+  const Row& row(size_t i) const noexcept {
+    return borrowed ? *views[i] : rows[i];
+  }
+
+  /// Deep-copies borrowed views into owned rows; no-op when already owned.
+  void Materialize();
 };
 
 /// Evaluation context: the current row inside a relation, plus (during

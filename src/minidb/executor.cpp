@@ -1,6 +1,7 @@
 #include "minidb/executor.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <set>
@@ -178,17 +179,47 @@ void RenameColumns(Relation& rel, const std::vector<std::string>& names) {
   }
 }
 
-/// Copies a relation, re-qualifying its columns under `alias` (how a CTE or
-/// view becomes visible in a FROM clause).
-Relation BindAs(const Relation& rel, const std::string& alias) {
+/// Re-qualifies a relation's columns under `alias` (how a CTE becomes
+/// visible in a FROM clause). With `borrow` the result holds row views
+/// into `rel` (valid while the CTE binding lives, i.e. for the statement);
+/// otherwise it deep-copies, as the reference pipeline always did.
+Relation BindAs(const Relation& rel, const std::string& alias, bool borrow) {
   Relation out;
   const std::string folded = FoldIdentifier(alias);
   out.columns.reserve(rel.columns.size());
   for (const auto& binding : rel.columns) {
     out.columns.push_back({folded, binding.name});
   }
-  out.rows = rel.rows;
+  if (borrow) {
+    out.borrowed = true;
+    out.views.reserve(rel.row_count());
+    for (size_t i = 0; i < rel.row_count(); ++i) {
+      out.views.push_back(&rel.row(i));
+    }
+  } else {
+    out.rows = rel.rows;
+  }
   return out;
+}
+
+// --- speculative reserve guards ---------------------------------------
+// Size hints derived from input cardinalities are advisory — a cross-join
+// estimate multiplies row counts and can overflow size_t or demand an
+// absurd up-front allocation. Saturate the arithmetic and cap the reserve;
+// growth past the cap is amortized push_back.
+
+constexpr size_t kMaxSpeculativeReserve = size_t{1} << 16;
+
+size_t SaturatingMul(size_t a, size_t b) {
+  if (b != 0 && a > std::numeric_limits<size_t>::max() / b) {
+    return std::numeric_limits<size_t>::max();
+  }
+  return a * b;
+}
+
+template <typename T>
+void GuardedReserve(std::vector<T>& v, size_t hint) {
+  v.reserve(std::min(hint, kMaxSpeculativeReserve));
 }
 
 std::string OutputName(const sql::SelectItem& item, size_t index) {
@@ -244,17 +275,12 @@ bool JoinKeyEquals(const Value& a, const Value& b) {
   return Value::Compare(a, b) == 0;
 }
 
-struct EquiPair {
-  int left_index = -1;   // column index in the left relation
-  int right_index = -1;  // column index in the right relation
-};
-
-/// Classifies ON-clause conjuncts into equi-join pairs vs residual
-/// predicates that must run on the combined row.
+/// Classifies ON-clause conjuncts into (left index, right index) equi-join
+/// pairs vs residual predicates that must run on the combined row.
 void ClassifyJoinCondition(const sql::Expr* on,
                            const std::vector<ColumnBinding>& left,
                            const std::vector<ColumnBinding>& right,
-                           std::vector<EquiPair>& equi,
+                           std::vector<std::pair<int, int>>& equi,
                            std::vector<const sql::Expr*>& residual) {
   if (on == nullptr) return;
   std::vector<const sql::Expr*> conjuncts;
@@ -280,6 +306,92 @@ void ClassifyJoinCondition(const sql::Expr* on,
       }
     }
     residual.push_back(conjunct);
+  }
+}
+
+/// Picks the first conjunct usable as an equality index probe against
+/// `table`: shape `col = <literal>` (either side) with a non-NULL literal —
+/// NULL never matches under SQL `=` — and an index on the column.
+/// `allow_parameters` additionally admits `col = ?` at bind time; such a
+/// probe is re-validated at execution, when the bound literal is known.
+/// Returns the conjunct ordinal (or -1) and the folded column name.
+int ChooseProbe(const std::vector<const sql::Expr*>& conjuncts,
+                const Table& table, const std::string& alias,
+                bool allow_parameters, std::string* column_out) {
+  const std::string folded_alias = FoldIdentifier(alias);
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    const sql::Expr* conjunct = conjuncts[i];
+    if (conjunct->kind != sql::ExprKind::kBinary ||
+        conjunct->binary_op != sql::BinaryOp::kEq) {
+      continue;
+    }
+    const sql::Expr* column = conjunct->left.get();
+    const sql::Expr* literal = conjunct->right.get();
+    if (column->kind != sql::ExprKind::kColumnRef) std::swap(column, literal);
+    if (column->kind != sql::ExprKind::kColumnRef) continue;
+    const bool literal_ok = literal->kind == sql::ExprKind::kLiteral &&
+                            !literal->literal.is_null();
+    const bool parameter_ok =
+        allow_parameters && literal->kind == sql::ExprKind::kParameter;
+    if (!literal_ok && !parameter_ok) continue;
+    if (!column->qualifier.empty() &&
+        FoldIdentifier(column->qualifier) != folded_alias) {
+      continue;
+    }
+    const std::string col = FoldIdentifier(column->column);
+    if (table.schema().FindColumn(col) < 0 || !table.HasIndexOn(col)) {
+      continue;
+    }
+    *column_out = col;
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Resolves the probe for a scan. A cached access path supplies the
+/// conjunct ordinal chosen at bind time; it is re-validated against the
+/// live conjunct list and catalog (a stale ordinal — dropped index, or a
+/// `col = ?` whose bound value turned out NULL — degrades to a fresh
+/// analysis, never a wrong result).
+int ResolveProbe(const CoreAccessPath* path,
+                 const std::vector<const sql::Expr*>& conjuncts,
+                 const Table& table, const std::string& alias,
+                 std::string* column_out) {
+  if (path != nullptr && path->single_base) {
+    if (path->probe_conjunct < 0) return -1;  // bind time chose a full scan
+    const auto ordinal = static_cast<size_t>(path->probe_conjunct);
+    if (ordinal < conjuncts.size()) {
+      const std::vector<const sql::Expr*> one = {conjuncts[ordinal]};
+      std::string column;
+      if (ChooseProbe(one, table, alias, /*allow_parameters=*/false,
+                      &column) == 0 &&
+          column == path->probe_column) {
+        *column_out = column;
+        return path->probe_conjunct;
+      }
+    }
+  }
+  return ChooseProbe(conjuncts, table, alias, /*allow_parameters=*/false,
+                     column_out);
+}
+
+/// The key value of a validated probe conjunct (its literal side).
+const Value& ProbeKey(const sql::Expr& conjunct) {
+  return conjunct.left->kind == sql::ExprKind::kLiteral
+             ? conjunct.left->literal
+             : conjunct.right->literal;
+}
+
+/// Whether every column in `expr` resolves against `columns` without
+/// ambiguity. Never throws: an ambiguous reference just makes the conjunct
+/// ineligible for pushdown — it stays in the residual WHERE, where per-row
+/// evaluation reports the error exactly as the reference path would.
+bool ResolvesUniquely(const sql::Expr& expr,
+                      const std::vector<ColumnBinding>& columns) {
+  try {
+    return AllColumnsResolve(expr, columns);
+  } catch (const AnalysisError&) {
+    return false;
   }
 }
 
@@ -373,11 +485,81 @@ Relation Executor::ScanTable(const Table& table, const std::string& alias) {
   for (const auto& column : table.schema().columns()) {
     rel.columns.push_back({folded, column.name});
   }
-  rel.rows.reserve(table.live_row_count());
-  for (size_t row_id = 0; row_id < table.slot_count(); ++row_id) {
-    if (table.IsLive(row_id)) rel.rows.push_back(table.At(row_id));
+  ++counters_.full_scans;
+  if (db_.fused_enabled()) {
+    // Zero-copy scan: row views into Table storage, valid under the
+    // statement's table lock (see Relation's lifetime rules).
+    rel.borrowed = true;
+    rel.views.reserve(table.live_row_count());
+    for (size_t row_id = 0; row_id < table.slot_count(); ++row_id) {
+      if (table.IsLive(row_id)) rel.views.push_back(&table.At(row_id));
+    }
+    counters_.rows_borrowed += rel.views.size();
+  } else {
+    rel.rows.reserve(table.live_row_count());
+    for (size_t row_id = 0; row_id < table.slot_count(); ++row_id) {
+      if (table.IsLive(row_id)) rel.rows.push_back(table.At(row_id));
+    }
+    counters_.rows_materialized += rel.rows.size();
   }
-  rows_examined_ += rel.rows.size();
+  rows_examined_ += rel.row_count();
+  return rel;
+}
+
+void Executor::ScanPush(const Table& table,
+                        const std::vector<ColumnBinding>& columns,
+                        const std::vector<const sql::Expr*>& pushed,
+                        int probe_conjunct, const std::string& probe_column,
+                        const RowSink& sink) {
+  std::unordered_map<const sql::Expr*, int> cache;
+  counters_.pushed_predicates += pushed.size();
+  // Classic AND evaluates every operand (no short-circuit), so every
+  // pushed conjunct is evaluated for every visited row — same evaluation
+  // count, same errors, same three-valued filtering as the reference path.
+  const auto passes = [&](const Row& row) {
+    bool ok = true;
+    EvalContext ec{&columns, &row, nullptr, nullptr, &cache};
+    for (const sql::Expr* conjunct : pushed) {
+      if (!Truthy(Evaluate(*conjunct, ec))) ok = false;
+    }
+    return ok;
+  };
+  if (probe_conjunct >= 0) {
+    ++counters_.index_scans;
+    probe_ids_.clear();
+    table.IndexProbe(probe_column, ProbeKey(*pushed[probe_conjunct]),
+                     probe_ids_);
+    for (const size_t row_id : probe_ids_) {
+      ++rows_examined_;
+      const Row& row = table.At(row_id);
+      if (passes(row)) sink(row);
+    }
+    return;
+  }
+  ++counters_.full_scans;
+  for (size_t row_id = 0; row_id < table.slot_count(); ++row_id) {
+    if (!table.IsLive(row_id)) continue;
+    ++rows_examined_;
+    const Row& row = table.At(row_id);
+    if (passes(row)) sink(row);
+  }
+}
+
+Relation Executor::ScanFiltered(const Table& table, const std::string& alias,
+                                const std::vector<const sql::Expr*>& pushed) {
+  Relation rel;
+  const std::string folded = FoldIdentifier(alias);
+  rel.columns.reserve(table.schema().column_count());
+  for (const auto& column : table.schema().columns()) {
+    rel.columns.push_back({folded, column.name});
+  }
+  std::string probe_column;
+  const int probe = ChooseProbe(pushed, table, alias,
+                                /*allow_parameters=*/false, &probe_column);
+  rel.borrowed = true;
+  const auto collect = [&rel](const Row& row) { rel.views.push_back(&row); };
+  ScanPush(table, rel.columns, pushed, probe, probe_column, collect);
+  counters_.rows_borrowed += rel.views.size();
   return rel;
 }
 
@@ -387,7 +569,13 @@ Relation Executor::EvalTableRef(const sql::TableRef& ref, ExecContext& ctx) {
       const std::string name = FoldIdentifier(ref.table_name);
       const auto cte = ctx.cte_bindings.find(name);
       if (cte != ctx.cte_bindings.end()) {
-        return BindAs(*cte->second, ref.alias);
+        Relation bound = BindAs(*cte->second, ref.alias, db_.fused_enabled());
+        if (bound.borrowed) {
+          counters_.rows_borrowed += bound.views.size();
+        } else {
+          counters_.rows_materialized += bound.rows.size();
+        }
+        return bound;
       }
       if (const auto view = db_.FindView(name)) {
         ExecContext view_ctx;  // views cannot see the caller's CTEs
@@ -412,94 +600,187 @@ Relation Executor::EvalTableRef(const sql::TableRef& ref, ExecContext& ctx) {
 }
 
 Relation Executor::EvalJoin(const sql::TableRef& join, ExecContext& ctx) {
-  Relation left = EvalTableRef(*join.left, ctx);
-  const sql::TableRef& right_ref = *join.right;
+  JoinState state = PrepareJoin(join, ctx, /*pending=*/nullptr);
+  Relation out;
+  out.columns = state.columns;
+  if (join.join_kind == sql::JoinKind::kCross) {
+    const size_t right_rows = state.right_materialized
+                                  ? state.right.row_count()
+                                  : state.right_table->live_row_count();
+    GuardedReserve(out.rows,
+                   SaturatingMul(state.left.row_count(), right_rows));
+  }
+  const auto collect = [&out](Row&& row) { out.rows.push_back(std::move(row)); };
+  RunJoin(state, collect);
+  counters_.rows_materialized += out.rows.size();
+  return out;
+}
 
+Relation Executor::EvalJoinInput(const sql::TableRef& ref, ExecContext& ctx,
+                                 std::vector<const sql::Expr*>* pending) {
+  if (pending != nullptr && ref.kind == sql::TableRefKind::kBase) {
+    const std::string name = FoldIdentifier(ref.table_name);
+    if (!ctx.cte_bindings.contains(name) && !db_.HasView(name)) {
+      if (const auto table = db_.FindTable(name)) {
+        // Claim the pending WHERE conjuncts that resolve entirely against
+        // this input and evaluate them during its scan.
+        const std::string alias = FoldIdentifier(ref.alias);
+        std::vector<ColumnBinding> bindings;
+        bindings.reserve(table->schema().column_count());
+        for (const auto& column : table->schema().columns()) {
+          bindings.push_back({alias, column.name});
+        }
+        std::vector<const sql::Expr*> pushed;
+        for (auto it = pending->begin(); it != pending->end();) {
+          if (ResolvesUniquely(**it, bindings)) {
+            pushed.push_back(*it);
+            it = pending->erase(it);
+          } else {
+            ++it;
+          }
+        }
+        return ScanFiltered(*table, ref.alias, pushed);
+      }
+      // Missing relation: EvalTableRef below owns the error message.
+    }
+  }
+  if (pending != nullptr && ref.kind == sql::TableRefKind::kJoin) {
+    JoinState nested = PrepareJoin(ref, ctx, pending);
+    Relation out;
+    out.columns = nested.columns;
+    const auto collect = [&out](Row&& row) {
+      out.rows.push_back(std::move(row));
+    };
+    RunJoin(nested, collect);
+    counters_.rows_materialized += out.rows.size();
+    return out;
+  }
+  return EvalTableRef(ref, ctx);
+}
+
+Executor::JoinState Executor::PrepareJoin(
+    const sql::TableRef& join, ExecContext& ctx,
+    std::vector<const sql::Expr*>* pending) {
+  JoinState state;
+  state.join = &join;
+  const bool left_join = join.join_kind == sql::JoinKind::kLeft;
+  // A left-only WHERE conjunct commutes with a LEFT JOIN (a failing left
+  // row only ever produces failing outputs), so the left input always
+  // sees `pending`.
+  state.left = EvalJoinInput(*join.left, ctx, pending);
+
+  const sql::TableRef& right_ref = *join.right;
   // When the right side is a plain base table (not a CTE or view) we keep
   // the Table handle so the MySQL-style profile can do index nested loops.
-  std::shared_ptr<Table> right_table;
   if (right_ref.kind == sql::TableRefKind::kBase) {
     const std::string name = FoldIdentifier(right_ref.table_name);
     if (!ctx.cte_bindings.contains(name) && !db_.HasView(name)) {
-      right_table = db_.FindTable(name);
-      if (!right_table) {
+      state.right_table = db_.FindTable(name);
+      if (!state.right_table) {
         throw ExecutionError("relation '" + right_ref.table_name +
                              "' does not exist");
       }
     }
   }
 
-  Relation right;
-  std::vector<ColumnBinding> right_columns;
-  bool right_materialized = false;
-  if (right_table) {
+  if (state.right_table) {
     const std::string alias = FoldIdentifier(right_ref.alias);
-    for (const auto& column : right_table->schema().columns()) {
-      right_columns.push_back({alias, column.name});
+    for (const auto& column : state.right_table->schema().columns()) {
+      state.right_columns.push_back({alias, column.name});
+    }
+    // Right-side pushdown: for INNER/CROSS joins a right-only WHERE
+    // conjunct filters before the join. (Under a LEFT JOIN it must run
+    // after NULL-padding, so it stays in the residual WHERE.)
+    if (pending != nullptr && !left_join) {
+      std::vector<const sql::Expr*> pushed;
+      for (auto it = pending->begin(); it != pending->end();) {
+        if (ResolvesUniquely(**it, state.right_columns)) {
+          pushed.push_back(*it);
+          it = pending->erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (!pushed.empty()) {
+        state.right =
+            ScanFiltered(*state.right_table, right_ref.alias, pushed);
+        state.right_materialized = true;  // rules out index nested loop
+      }
     }
   } else {
-    right = EvalTableRef(right_ref, ctx);
-    right_columns = right.columns;
-    right_materialized = true;
+    state.right =
+        EvalJoinInput(right_ref, ctx, left_join ? nullptr : pending);
+    state.right_columns = state.right.columns;
+    state.right_materialized = true;
   }
 
-  Relation out;
-  out.columns.reserve(left.columns.size() + right_columns.size());
-  out.columns.insert(out.columns.end(), left.columns.begin(),
-                     left.columns.end());
-  out.columns.insert(out.columns.end(), right_columns.begin(),
-                     right_columns.end());
+  state.columns.reserve(state.left.columns.size() +
+                        state.right_columns.size());
+  state.columns.insert(state.columns.end(), state.left.columns.begin(),
+                       state.left.columns.end());
+  state.columns.insert(state.columns.end(), state.right_columns.begin(),
+                       state.right_columns.end());
+
+  if (join.join_kind != sql::JoinKind::kCross) {
+    ClassifyJoinCondition(join.on_condition.get(), state.left.columns,
+                          state.right_columns, state.equi, state.residual);
+  }
+  return state;
+}
+
+void Executor::RunJoin(JoinState& state, const OwnedRowSink& sink) {
+  const sql::TableRef& join = *state.join;
+  const Relation& left = state.left;
 
   const auto materialize_right = [&] {
-    if (!right_materialized) {
-      right = ScanTable(*right_table, right_ref.alias);
-      right_materialized = true;
+    if (!state.right_materialized) {
+      state.right = ScanTable(*state.right_table, join.right->alias);
+      state.right_materialized = true;
     }
   };
 
   if (join.join_kind == sql::JoinKind::kCross) {
     materialize_right();
-    out.rows.reserve(left.rows.size() * right.rows.size());
-    for (const Row& l : left.rows) {
-      for (const Row& r : right.rows) out.rows.push_back(ConcatRows(l, r));
+    for (size_t li = 0; li < left.row_count(); ++li) {
+      const Row& l = left.row(li);
+      for (size_t ri = 0; ri < state.right.row_count(); ++ri) {
+        sink(ConcatRows(l, state.right.row(ri)));
+      }
     }
-    return out;
+    return;
   }
 
-  std::vector<EquiPair> equi;
-  std::vector<const sql::Expr*> residual;
-  ClassifyJoinCondition(join.on_condition.get(), left.columns, right_columns,
-                        equi, residual);
-
   std::unordered_map<const sql::Expr*, int> cache;
-  const size_t right_width = right_columns.size();
+  const size_t right_width = state.right_columns.size();
   const bool left_join = join.join_kind == sql::JoinKind::kLeft;
+  const auto& equi = state.equi;
 
   const auto emit_unmatched = [&](const Row& l) {
     if (!left_join) return;
     Row padded = l;
     padded.resize(l.size() + right_width);  // default-constructed = NULL
-    out.rows.push_back(std::move(padded));
+    sink(std::move(padded));
   };
   const auto match_residual = [&](const Row& combined) {
-    if (residual.empty()) return true;
-    EvalContext ec{&out.columns, &combined, nullptr, nullptr, &cache};
-    return ResidualHolds(residual, ec);
+    if (state.residual.empty()) return true;
+    EvalContext ec{&state.columns, &combined, nullptr, nullptr, &cache};
+    return ResidualHolds(state.residual, ec);
   };
 
   // --- strategy selection per engine profile --------------------------
   const JoinAlgorithm algorithm = db_.profile().join_algorithm;
 
   // Index nested loop: available when the right side is a base table with
-  // an index on one of the equi-join columns (MySQL 5.7's only fast path).
+  // an index on one of the equi-join columns (MySQL 5.7's only fast path)
+  // and predicate pushdown has not already filtered it into a relation.
   int inl_pair = -1;
-  if (right_table &&
+  if (state.right_table && !state.right_materialized &&
       (algorithm == JoinAlgorithm::kNestedLoop ||
        algorithm == JoinAlgorithm::kNestedLoopOrHash)) {
     for (size_t i = 0; i < equi.size(); ++i) {
       const std::string& column =
-          right_table->schema().columns()[equi[i].right_index].name;
-      if (right_table->HasIndexOn(column)) {
+          state.right_table->schema().columns()[equi[i].second].name;
+      if (state.right_table->HasIndexOn(column)) {
         inl_pair = static_cast<int>(i);
         break;
       }
@@ -507,20 +788,25 @@ Relation Executor::EvalJoin(const sql::TableRef& join, ExecContext& ctx) {
   }
 
   if (inl_pair >= 0) {
-    const EquiPair& pair = equi[static_cast<size_t>(inl_pair)];
+    const auto& pair = equi[static_cast<size_t>(inl_pair)];
+    const Table& right_table = *state.right_table;
     const std::string& column =
-        right_table->schema().columns()[pair.right_index].name;
-    for (const Row& l : left.rows) {
-      const Value& key = l[pair.left_index];
+        right_table.schema().columns()[pair.second].name;
+    ++counters_.index_scans;
+    for (size_t li = 0; li < left.row_count(); ++li) {
+      const Row& l = left.row(li);
+      const Value& key = l[pair.first];
       bool matched = false;
       if (!key.is_null()) {
-        for (const size_t row_id : right_table->IndexLookup(column, key)) {
+        probe_ids_.clear();
+        right_table.IndexProbe(column, key, probe_ids_);
+        for (const size_t row_id : probe_ids_) {
           ++rows_examined_;
-          const Row& r = right_table->At(row_id);
+          const Row& r = right_table.At(row_id);
           bool keys_ok = true;
           for (size_t i = 0; i < equi.size(); ++i) {
             if (static_cast<int>(i) == inl_pair) continue;
-            if (!JoinKeyEquals(l[equi[i].left_index], r[equi[i].right_index])) {
+            if (!JoinKeyEquals(l[equi[i].first], r[equi[i].second])) {
               keys_ok = false;
               break;
             }
@@ -528,13 +814,13 @@ Relation Executor::EvalJoin(const sql::TableRef& join, ExecContext& ctx) {
           if (!keys_ok) continue;
           Row combined = ConcatRows(l, r);
           if (!match_residual(combined)) continue;
-          out.rows.push_back(std::move(combined));
+          sink(std::move(combined));
           matched = true;
         }
       }
       if (!matched) emit_unmatched(l);
     }
-    return out;
+    return;
   }
 
   const bool use_hash =
@@ -542,17 +828,19 @@ Relation Executor::EvalJoin(const sql::TableRef& join, ExecContext& ctx) {
                         algorithm == JoinAlgorithm::kNestedLoopOrHash);
 
   materialize_right();
+  const Relation& right = state.right;
 
   if (use_hash) {
     // Build on the right side, probe from the left.
     std::unordered_map<Row, std::vector<size_t>, KeyHash, KeyEq> built;
-    built.reserve(right.rows.size());
-    for (size_t i = 0; i < right.rows.size(); ++i) {
+    built.reserve(right.row_count());
+    for (size_t i = 0; i < right.row_count(); ++i) {
+      const Row& r = right.row(i);
       Row key;
       key.reserve(equi.size());
       bool has_null = false;
-      for (const EquiPair& pair : equi) {
-        const Value& v = right.rows[i][pair.right_index];
+      for (const auto& pair : equi) {
+        const Value& v = r[pair.second];
         if (v.is_null()) {
           has_null = true;
           break;
@@ -561,12 +849,13 @@ Relation Executor::EvalJoin(const sql::TableRef& join, ExecContext& ctx) {
       }
       if (!has_null) built[std::move(key)].push_back(i);
     }
-    for (const Row& l : left.rows) {
+    for (size_t li = 0; li < left.row_count(); ++li) {
+      const Row& l = left.row(li);
       Row key;
       key.reserve(equi.size());
       bool has_null = false;
-      for (const EquiPair& pair : equi) {
-        const Value& v = l[pair.left_index];
+      for (const auto& pair : equi) {
+        const Value& v = l[pair.first];
         if (v.is_null()) {
           has_null = true;
           break;
@@ -578,25 +867,27 @@ Relation Executor::EvalJoin(const sql::TableRef& join, ExecContext& ctx) {
         const auto it = built.find(key);
         if (it != built.end()) {
           for (const size_t i : it->second) {
-            Row combined = ConcatRows(l, right.rows[i]);
+            Row combined = ConcatRows(l, right.row(i));
             if (!match_residual(combined)) continue;
-            out.rows.push_back(std::move(combined));
+            sink(std::move(combined));
             matched = true;
           }
         }
       }
       if (!matched) emit_unmatched(l);
     }
-    return out;
+    return;
   }
 
   // Plain nested loop (MySQL 5.7 with no usable index).
-  for (const Row& l : left.rows) {
+  for (size_t li = 0; li < left.row_count(); ++li) {
+    const Row& l = left.row(li);
     bool matched = false;
-    for (const Row& r : right.rows) {
+    for (size_t ri = 0; ri < right.row_count(); ++ri) {
+      const Row& r = right.row(ri);
       bool keys_ok = true;
-      for (const EquiPair& pair : equi) {
-        if (!JoinKeyEquals(l[pair.left_index], r[pair.right_index])) {
+      for (const auto& pair : equi) {
+        if (!JoinKeyEquals(l[pair.first], r[pair.second])) {
           keys_ok = false;
           break;
         }
@@ -604,16 +895,47 @@ Relation Executor::EvalJoin(const sql::TableRef& join, ExecContext& ctx) {
       if (!keys_ok) continue;
       Row combined = ConcatRows(l, r);
       if (!match_residual(combined)) continue;
-      out.rows.push_back(std::move(combined));
+      sink(std::move(combined));
       matched = true;
     }
     if (!matched) emit_unmatched(l);
   }
-  return out;
+}
+
+bool Executor::TryCollectTreeBindings(const sql::TableRef& ref,
+                                      ExecContext& ctx,
+                                      std::vector<ColumnBinding>& out) const {
+  switch (ref.kind) {
+    case sql::TableRefKind::kBase: {
+      const std::string name = FoldIdentifier(ref.table_name);
+      const std::string alias = FoldIdentifier(ref.alias);
+      const auto cte = ctx.cte_bindings.find(name);
+      if (cte != ctx.cte_bindings.end()) {
+        for (const auto& binding : cte->second->columns) {
+          out.push_back({alias, binding.name});
+        }
+        return true;
+      }
+      if (db_.HasView(name)) return false;  // view output needs evaluation
+      const auto table = db_.FindTable(name);
+      if (!table) return false;  // let evaluation report the error
+      for (const auto& column : table->schema().columns()) {
+        out.push_back({alias, column.name});
+      }
+      return true;
+    }
+    case sql::TableRefKind::kJoin:
+      return TryCollectTreeBindings(*ref.left, ctx, out) &&
+             TryCollectTreeBindings(*ref.right, ctx, out);
+    case sql::TableRefKind::kSubquery:
+      return false;
+  }
+  return false;
 }
 
 Relation Executor::ProjectCore(const sql::SelectCore& core,
-                               const Relation& input,
+                               const std::vector<ColumnBinding>& input_columns,
+                               const RowSource& input,
                                const std::vector<sql::OrderItem>* order_by,
                                std::vector<Row>* sort_keys) {
   Relation out;
@@ -628,12 +950,12 @@ Relation Executor::ProjectCore(const sql::SelectCore& core,
     if (item.expr->kind == sql::ExprKind::kStar) {
       const std::string qualifier = FoldIdentifier(item.expr->qualifier);
       bool any = false;
-      for (size_t c = 0; c < input.columns.size(); ++c) {
-        if (!qualifier.empty() && input.columns[c].qualifier != qualifier) {
+      for (size_t c = 0; c < input_columns.size(); ++c) {
+        if (!qualifier.empty() && input_columns[c].qualifier != qualifier) {
           continue;
         }
         slots.push_back({nullptr, static_cast<int>(c)});
-        out.columns.push_back({"", input.columns[c].name});
+        out.columns.push_back({"", input_columns[c].name});
         any = true;
       }
       if (!any && !qualifier.empty()) {
@@ -653,19 +975,18 @@ Relation Executor::ProjectCore(const sql::SelectCore& core,
   if (order_by != nullptr) {
     for (const auto& item : *order_by) {
       order_exprs.push_back(
-          RewriteOrderExpr(*item.expr, out.columns, input.columns));
+          RewriteOrderExpr(*item.expr, out.columns, input_columns));
     }
     order_bindings =
-        CombinedOrderBindings(out.columns.size(), input.columns.size());
+        CombinedOrderBindings(out.columns.size(), input_columns.size());
   }
 
   std::unordered_map<const sql::Expr*, int> cache;
   std::unordered_map<const sql::Expr*, int> order_cache;
-  out.rows.reserve(input.rows.size());
-  for (const Row& row : input.rows) {
+  const auto consume = [&](const Row& row) {
     Row projected;
     projected.reserve(slots.size());
-    EvalContext ec{&input.columns, &row, nullptr, nullptr, &cache};
+    EvalContext ec{&input_columns, &row, nullptr, nullptr, &cache};
     for (const ProjectionSlot& slot : slots) {
       if (slot.expr == nullptr) {
         projected.push_back(row[slot.input_index]);
@@ -685,12 +1006,14 @@ Relation Executor::ProjectCore(const sql::SelectCore& core,
       sort_keys->push_back(std::move(key));
     }
     out.rows.push_back(std::move(projected));
-  }
+  };
+  input(consume);
   return out;
 }
 
 Relation Executor::AggregateCore(const sql::SelectCore& core,
-                                 const Relation& input,
+                                 const std::vector<ColumnBinding>& input_columns,
+                                 const RowSource& input,
                                  const std::vector<sql::OrderItem>* order_by,
                                  std::vector<Row>* sort_keys) {
   // Aggregate sub-expressions across the SELECT list, HAVING, and ORDER BY.
@@ -726,7 +1049,7 @@ Relation Executor::AggregateCore(const sql::SelectCore& core,
 
   std::unordered_map<const sql::Expr*, int> cache;
   const auto feed = [&](Group& group, const Row& row) {
-    EvalContext ec{&input.columns, &row, nullptr, nullptr, &cache};
+    EvalContext ec{&input_columns, &row, nullptr, nullptr, &cache};
     for (size_t i = 0; i < agg_exprs.size(); ++i) {
       const sql::Expr* agg = agg_exprs[i];
       if (agg->agg_star) {
@@ -737,43 +1060,42 @@ Relation Executor::AggregateCore(const sql::SelectCore& core,
     }
   };
 
-  // Group rows. The engine profile picks hash vs sort grouping; both are
-  // correct, they just cost differently (matching postgres vs mysql).
+  // Group rows as they stream in. The engine profile picks hash vs sort
+  // lookup; both are correct, they just cost differently (matching
+  // postgres vs mysql). Either way `groups` keeps first-occurrence order,
+  // so the accumulator feed order and the output order are identical to
+  // the materializing pipeline's.
   std::vector<Group> groups;
-  if (core.group_by.empty()) {
-    Row null_rep(input.columns.size());  // all-NULL representative
-    groups.push_back(new_group(input.rows.empty() ? null_rep
-                                                  : input.rows.front()));
-    for (const Row& row : input.rows) feed(groups[0], row);
-  } else {
-    const auto key_of = [&](const Row& row) {
-      Row key;
-      key.reserve(core.group_by.size());
-      EvalContext ec{&input.columns, &row, nullptr, nullptr, &cache};
-      for (const auto& expr : core.group_by) {
-        key.push_back(Evaluate(*expr, ec));
-      }
-      return key;
-    };
-    if (db_.profile().agg_algorithm == AggAlgorithm::kHash) {
-      std::unordered_map<Row, size_t, KeyHash, KeyEq> index;
-      for (const Row& row : input.rows) {
-        Row key = key_of(row);
-        const auto [it, inserted] =
-            index.try_emplace(std::move(key), groups.size());
-        if (inserted) groups.push_back(new_group(row));
-        feed(groups[it->second], row);
-      }
-    } else {
-      std::map<Row, size_t, KeyLess> index;
-      for (const Row& row : input.rows) {
-        Row key = key_of(row);
-        const auto [it, inserted] =
-            index.try_emplace(std::move(key), groups.size());
-        if (inserted) groups.push_back(new_group(row));
-        feed(groups[it->second], row);
-      }
+  const bool hash_grouping =
+      db_.profile().agg_algorithm == AggAlgorithm::kHash;
+  std::unordered_map<Row, size_t, KeyHash, KeyEq> hash_index;
+  std::map<Row, size_t, KeyLess> sort_index;
+  const auto consume = [&](const Row& row) {
+    if (core.group_by.empty()) {
+      if (groups.empty()) groups.push_back(new_group(row));
+      feed(groups[0], row);
+      return;
     }
+    Row key;
+    key.reserve(core.group_by.size());
+    EvalContext ec{&input_columns, &row, nullptr, nullptr, &cache};
+    for (const auto& expr : core.group_by) {
+      key.push_back(Evaluate(*expr, ec));
+    }
+    const size_t slot =
+        hash_grouping
+            ? hash_index.try_emplace(std::move(key), groups.size())
+                  .first->second
+            : sort_index.try_emplace(std::move(key), groups.size())
+                  .first->second;
+    if (slot == groups.size()) groups.push_back(new_group(row));
+    feed(groups[slot], row);
+  };
+  input(consume);
+  if (core.group_by.empty() && groups.empty()) {
+    // Aggregating an empty input still yields one group; its
+    // representative is an all-NULL row.
+    groups.push_back(new_group(Row(input_columns.size())));
   }
 
   // Project each group.
@@ -788,10 +1110,10 @@ Relation Executor::AggregateCore(const sql::SelectCore& core,
   if (order_by != nullptr) {
     for (const auto& item : *order_by) {
       order_exprs.push_back(
-          RewriteOrderExpr(*item.expr, out.columns, input.columns));
+          RewriteOrderExpr(*item.expr, out.columns, input_columns));
     }
     order_bindings =
-        CombinedOrderBindings(out.columns.size(), input.columns.size());
+        CombinedOrderBindings(out.columns.size(), input_columns.size());
   }
 
   std::unordered_map<const sql::Expr*, int> project_cache;
@@ -802,7 +1124,7 @@ Relation Executor::AggregateCore(const sql::SelectCore& core,
     for (const Accumulator& acc : group.accumulators) {
       agg_values.push_back(acc.Result());
     }
-    EvalContext ec{&input.columns, &group.representative, &agg_exprs,
+    EvalContext ec{&input_columns, &group.representative, &agg_exprs,
                    &agg_values, &project_cache};
     if (core.having && !Truthy(Evaluate(*core.having, ec))) continue;
     Row projected;
@@ -826,9 +1148,141 @@ Relation Executor::AggregateCore(const sql::SelectCore& core,
   return out;
 }
 
+bool Executor::TryFusedCore(const sql::SelectCore& core, ExecContext& ctx,
+                            bool aggregate_mode,
+                            const std::vector<sql::OrderItem>* order_by,
+                            std::vector<Row>* sort_keys,
+                            const CoreAccessPath* path, Relation* out) {
+  if (!core.from) return false;
+
+  std::vector<const sql::Expr*> conjuncts;
+  if (core.where) SplitConjuncts(*core.where, conjuncts);
+
+  if (core.from->kind == sql::TableRefKind::kBase) {
+    const std::string name = FoldIdentifier(core.from->table_name);
+    if (ctx.cte_bindings.contains(name) || db_.HasView(name)) return false;
+    const auto table = db_.FindTable(name);
+    if (!table) return false;  // the reference path reports the error
+
+    const std::string alias = FoldIdentifier(core.from->alias);
+    std::vector<ColumnBinding> columns;
+    columns.reserve(table->schema().column_count());
+    for (const auto& column : table->schema().columns()) {
+      columns.push_back({alias, column.name});
+    }
+
+    std::string probe_column;
+    const int probe = ResolveProbe(path, conjuncts, *table, core.from->alias,
+                                   &probe_column);
+    const auto source = [&](const RowSink& sink) {
+      ScanPush(*table, columns, conjuncts, probe, probe_column, sink);
+    };
+    *out = aggregate_mode
+               ? AggregateCore(core, columns, source, order_by, sort_keys)
+               : ProjectCore(core, columns, source, order_by, sort_keys);
+    ++counters_.fused_cores;
+    return true;
+  }
+
+  if (core.from->kind == sql::TableRefKind::kJoin) {
+    // Join pushdown needs the full output bindings up front: a conjunct
+    // may only push into one input if it resolves uniquely in the FULL
+    // scope (checking against a nested scope alone could mask an
+    // ambiguity the reference path would report).
+    std::vector<ColumnBinding> tree;
+    std::vector<const sql::Expr*> pending;
+    std::vector<const sql::Expr*> residual;
+    if (TryCollectTreeBindings(*core.from, ctx, tree)) {
+      for (const sql::Expr* conjunct : conjuncts) {
+        if (ResolvesUniquely(*conjunct, tree)) {
+          pending.push_back(conjunct);
+        } else {
+          residual.push_back(conjunct);
+        }
+      }
+    } else {
+      residual = conjuncts;
+    }
+
+    JoinState state =
+        PrepareJoin(*core.from, ctx, pending.empty() ? nullptr : &pending);
+    // Conjuncts no single input claimed filter the combined rows.
+    residual.insert(residual.end(), pending.begin(), pending.end());
+
+    std::unordered_map<const sql::Expr*, int> where_cache;
+    const auto source = [&](const RowSink& sink) {
+      const auto joined = [&](Row&& row) {
+        if (!residual.empty()) {
+          EvalContext ec{&state.columns, &row, nullptr, nullptr,
+                         &where_cache};
+          bool ok = true;
+          for (const sql::Expr* conjunct : residual) {
+            if (!Truthy(Evaluate(*conjunct, ec))) ok = false;
+          }
+          if (!ok) return;
+        }
+        sink(row);
+      };
+      RunJoin(state, joined);
+    };
+    *out = aggregate_mode
+               ? AggregateCore(core, state.columns, source, order_by,
+                               sort_keys)
+               : ProjectCore(core, state.columns, source, order_by,
+                             sort_keys);
+    ++counters_.fused_cores;
+    return true;
+  }
+
+  return false;  // subqueries go through the reference path
+}
+
 Relation Executor::EvalCore(const sql::SelectCore& core, ExecContext& ctx,
                             const std::vector<sql::OrderItem>* order_by,
-                            std::vector<Row>* sort_keys) {
+                            std::vector<Row>* sort_keys,
+                            const CoreAccessPath* path) {
+  bool aggregate_mode = !core.group_by.empty() || core.having != nullptr;
+  if (!aggregate_mode) {
+    for (const auto& item : core.items) {
+      if (ContainsAggregate(*item.expr)) {
+        aggregate_mode = true;
+        break;
+      }
+    }
+  }
+
+  Relation out;
+  bool fused = false;
+  if (db_.fused_enabled()) {
+    fused = TryFusedCore(core, ctx, aggregate_mode, order_by, sort_keys, path,
+                         &out);
+  }
+  if (!fused) {
+    out = EvalCoreReference(core, ctx, aggregate_mode, order_by, sort_keys);
+  }
+
+  if (core.distinct) {
+    std::unordered_set<Row, KeyHash, KeyEq> seen;
+    std::vector<Row> unique;
+    std::vector<Row> unique_keys;
+    unique.reserve(out.rows.size());
+    for (size_t i = 0; i < out.rows.size(); ++i) {
+      if (seen.insert(out.rows[i]).second) {
+        unique.push_back(std::move(out.rows[i]));
+        if (sort_keys != nullptr) {
+          unique_keys.push_back(std::move((*sort_keys)[i]));
+        }
+      }
+    }
+    out.rows = std::move(unique);
+    if (sort_keys != nullptr) *sort_keys = std::move(unique_keys);
+  }
+  return out;
+}
+
+Relation Executor::EvalCoreReference(
+    const sql::SelectCore& core, ExecContext& ctx, bool aggregate_mode,
+    const std::vector<sql::OrderItem>* order_by, std::vector<Row>* sort_keys) {
   Relation input;
   bool scanned_via_index = false;
   if (core.from && core.where &&
@@ -891,57 +1345,47 @@ Relation Executor::EvalCore(const sql::SelectCore& core, ExecContext& ctx,
 
   if (core.where) {
     std::unordered_map<const sql::Expr*, int> cache;
-    std::vector<Row> kept;
-    kept.reserve(input.rows.size());
-    for (Row& row : input.rows) {
-      EvalContext ec{&input.columns, &row, nullptr, nullptr, &cache};
-      if (Truthy(Evaluate(*core.where, ec))) kept.push_back(std::move(row));
-    }
-    input.rows = std::move(kept);
-  }
-
-  bool aggregate_mode = !core.group_by.empty() || core.having != nullptr;
-  if (!aggregate_mode) {
-    for (const auto& item : core.items) {
-      if (ContainsAggregate(*item.expr)) {
-        aggregate_mode = true;
-        break;
+    if (input.borrowed) {
+      // Filtering a borrowed relation just drops views, no row copies.
+      std::vector<const Row*> kept;
+      kept.reserve(input.views.size());
+      for (const Row* view : input.views) {
+        EvalContext ec{&input.columns, view, nullptr, nullptr, &cache};
+        if (Truthy(Evaluate(*core.where, ec))) kept.push_back(view);
       }
-    }
-  }
-
-  Relation out = aggregate_mode
-                     ? AggregateCore(core, input, order_by, sort_keys)
-                     : ProjectCore(core, input, order_by, sort_keys);
-
-  if (core.distinct) {
-    std::unordered_set<Row, KeyHash, KeyEq> seen;
-    std::vector<Row> unique;
-    std::vector<Row> unique_keys;
-    unique.reserve(out.rows.size());
-    for (size_t i = 0; i < out.rows.size(); ++i) {
-      if (seen.insert(out.rows[i]).second) {
-        unique.push_back(std::move(out.rows[i]));
-        if (sort_keys != nullptr) {
-          unique_keys.push_back(std::move((*sort_keys)[i]));
-        }
+      input.views = std::move(kept);
+    } else {
+      std::vector<Row> kept;
+      kept.reserve(input.rows.size());
+      for (Row& row : input.rows) {
+        EvalContext ec{&input.columns, &row, nullptr, nullptr, &cache};
+        if (Truthy(Evaluate(*core.where, ec))) kept.push_back(std::move(row));
       }
+      input.rows = std::move(kept);
     }
-    out.rows = std::move(unique);
-    if (sort_keys != nullptr) *sort_keys = std::move(unique_keys);
   }
-  return out;
+
+  const auto source = [&input](const RowSink& sink) {
+    for (size_t i = 0; i < input.row_count(); ++i) sink(input.row(i));
+  };
+  return aggregate_mode
+             ? AggregateCore(core, input.columns, source, order_by, sort_keys)
+             : ProjectCore(core, input.columns, source, order_by, sort_keys);
 }
 
-ResultSet Executor::EvalSelect(const sql::SelectStmt& stmt, ExecContext& ctx) {
+ResultSet Executor::EvalSelect(const sql::SelectStmt& stmt, ExecContext& ctx,
+                               const std::vector<CoreAccessPath>* paths) {
+  const auto path_for = [paths](size_t i) -> const CoreAccessPath* {
+    return paths != nullptr && i < paths->size() ? &(*paths)[i] : nullptr;
+  };
   const bool single_core_sort =
       stmt.cores.size() == 1 && !stmt.order_by.empty();
   std::vector<Row> sort_keys;
   Relation combined =
       EvalCore(stmt.cores[0], ctx, single_core_sort ? &stmt.order_by : nullptr,
-               single_core_sort ? &sort_keys : nullptr);
+               single_core_sort ? &sort_keys : nullptr, path_for(0));
   for (size_t i = 1; i < stmt.cores.size(); ++i) {
-    Relation next = EvalCore(stmt.cores[i], ctx);
+    Relation next = EvalCore(stmt.cores[i], ctx, nullptr, nullptr, path_for(i));
     if (next.columns.size() != combined.columns.size()) {
       throw AnalysisError("UNION arms have different column counts (" +
                           std::to_string(combined.columns.size()) + " vs " +
@@ -1024,14 +1468,18 @@ ResultSet Executor::EvalSelect(const sql::SelectStmt& stmt, ExecContext& ctx) {
 ResultSet Executor::ExecWith(const sql::Statement& stmt, ExecContext& ctx) {
   const sql::WithClause& with = stmt.with;
   const std::string name = FoldIdentifier(with.name);
+  const auto* seed_paths = access_ != nullptr ? &access_->seed_cores : nullptr;
+  const auto* step_paths = access_ != nullptr ? &access_->step_cores : nullptr;
+  const auto* final_paths =
+      access_ != nullptr ? &access_->final_cores : nullptr;
 
   switch (with.kind) {
     case sql::CteKind::kPlain: {
-      Relation body =
-          ResultToRelation(EvalSelect(*with.seed, ctx), /*qualifier=*/"");
+      Relation body = ResultToRelation(EvalSelect(*with.seed, ctx, seed_paths),
+                                       /*qualifier=*/"");
       RenameColumns(body, with.columns);
       ctx.cte_bindings[name] = &body;
-      ResultSet result = EvalSelect(*with.final_query, ctx);
+      ResultSet result = EvalSelect(*with.final_query, ctx, final_paths);
       ctx.cte_bindings.erase(name);
       return result;
     }
@@ -1043,7 +1491,8 @@ ResultSet Executor::ExecWith(const sql::Statement& stmt, ExecContext& ctx) {
       }
       // Semi-naive evaluation (paper §II-A): the recursive member sees only
       // the delta of the previous round, and R accumulates all rows.
-      Relation all = ResultToRelation(EvalSelect(*with.seed, ctx), "");
+      Relation all =
+          ResultToRelation(EvalSelect(*with.seed, ctx, seed_paths), "");
       RenameColumns(all, with.columns);
       Relation working = all;
 
@@ -1054,7 +1503,8 @@ ResultSet Executor::ExecWith(const sql::Statement& stmt, ExecContext& ctx) {
         }
         if (working.rows.empty()) break;
         ctx.cte_bindings[name] = &working;
-        Relation delta = ResultToRelation(EvalSelect(*with.step, ctx), "");
+        Relation delta =
+            ResultToRelation(EvalSelect(*with.step, ctx, step_paths), "");
         ctx.cte_bindings.erase(name);
         if (delta.columns.size() != all.columns.size()) {
           throw AnalysisError(
@@ -1067,7 +1517,7 @@ ResultSet Executor::ExecWith(const sql::Statement& stmt, ExecContext& ctx) {
       }
 
       ctx.cte_bindings[name] = &all;
-      ResultSet result = EvalSelect(*with.final_query, ctx);
+      ResultSet result = EvalSelect(*with.final_query, ctx, final_paths);
       ctx.cte_bindings.erase(name);
       return result;
     }
@@ -1156,8 +1606,13 @@ ResultSet Executor::ExecInsert(const sql::Statement& stmt, Session* session) {
 
   std::vector<Row> incoming;
   if (stmt.insert_select) {
+    // The source SELECT fully materializes (EvalSelect returns owned rows)
+    // before the first Insert call — Insert can grow the table's row
+    // vector, which would invalidate any borrowed views into it.
     ExecContext ctx;
-    ResultSet selected = EvalSelect(*stmt.insert_select, ctx);
+    ResultSet selected = EvalSelect(
+        *stmt.insert_select, ctx,
+        access_ != nullptr ? &access_->insert_cores : nullptr);
     incoming = std::move(selected.rows);
   } else {
     EvalContext ec;  // VALUES expressions see no input columns
@@ -1260,11 +1715,15 @@ ResultSet Executor::ExecUpdate(const sql::Statement& stmt, Session* session,
       residual.push_back(conjunct);
     }
 
+    // `source` may hold borrowed views into the target table itself
+    // (UPDATE t ... FROM t AS s). All matching reads finish before the
+    // pending writes apply, and Table::Update assigns slots in place, so
+    // the views stay valid for the whole match phase.
     std::unordered_multimap<Value, size_t, ValueKeyHash, ValueKeyEq> by_key;
     if (target_key >= 0) {
-      by_key.reserve(source.rows.size());
-      for (size_t i = 0; i < source.rows.size(); ++i) {
-        const Value& key = source.rows[i][source_key];
+      by_key.reserve(source.row_count());
+      for (size_t i = 0; i < source.row_count(); ++i) {
+        const Value& key = source.row(i)[source_key];
         if (!key.is_null()) by_key.emplace(key, i);
       }
     }
@@ -1300,11 +1759,11 @@ ResultSet Executor::ExecUpdate(const sql::Statement& stmt, Session* session,
         if (key.is_null()) continue;
         const auto [begin, end] = by_key.equal_range(key);
         for (auto it = begin; it != end; ++it) {
-          if (try_match(source.rows[it->second])) break;  // first match wins
+          if (try_match(source.row(it->second))) break;  // first match wins
         }
       } else {
-        for (const Row& source_row : source.rows) {
-          if (try_match(source_row)) break;
+        for (size_t i = 0; i < source.row_count(); ++i) {
+          if (try_match(source.row(i))) break;
         }
       }
     }
@@ -1416,10 +1875,42 @@ ResultSet Executor::Execute(const sql::Statement& stmt, Session* session) {
 
 ResultSet Executor::ExecuteWithPlan(const sql::Statement& stmt,
                                     const LockPlan& plan, Session* session) {
+  return ExecuteWithPlan(stmt, plan, /*access=*/nullptr, session);
+}
+
+ResultSet Executor::ExecuteWithPlan(const sql::Statement& stmt,
+                                    const LockPlan& plan,
+                                    const AccessPlan* access,
+                                    Session* session) {
   rows_examined_ = 0;
+  counters_ = {};
+  access_ = access;
   ResultSet result = ExecuteInternal(stmt, plan, session);
+  access_ = nullptr;
   result.rows_examined = rows_examined_;
   SQLOOP_COUNT(recorder_, "minidb.rows_examined", rows_examined_);
+  // Engine counters flush only when nonzero so statements that never touch
+  // the SELECT pipeline don't mint empty counter entries.
+  if (counters_.rows_materialized != 0) {
+    SQLOOP_COUNT(recorder_, "minidb.rows_materialized",
+                 counters_.rows_materialized);
+  }
+  if (counters_.rows_borrowed != 0) {
+    SQLOOP_COUNT(recorder_, "minidb.rows_borrowed", counters_.rows_borrowed);
+  }
+  if (counters_.index_scans != 0) {
+    SQLOOP_COUNT(recorder_, "minidb.index_scans", counters_.index_scans);
+  }
+  if (counters_.full_scans != 0) {
+    SQLOOP_COUNT(recorder_, "minidb.full_scans", counters_.full_scans);
+  }
+  if (counters_.pushed_predicates != 0) {
+    SQLOOP_COUNT(recorder_, "minidb.pushed_predicates",
+                 counters_.pushed_predicates);
+  }
+  if (counters_.fused_cores != 0) {
+    SQLOOP_COUNT(recorder_, "minidb.fused_cores", counters_.fused_cores);
+  }
   return result;
 }
 
@@ -1468,6 +1959,63 @@ LockPlan Executor::BuildLockPlan(const sql::Statement& stmt) const {
   return plan;
 }
 
+CoreAccessPath Executor::AnalyzeCore(
+    const sql::SelectCore& core,
+    const std::unordered_set<std::string>& ctes) const {
+  CoreAccessPath path;
+  if (!core.from || core.from->kind != sql::TableRefKind::kBase) return path;
+  const std::string name = FoldIdentifier(core.from->table_name);
+  if (ctes.contains(name) || db_.HasView(name)) return path;
+  const auto table = db_.FindTable(name);
+  if (!table) return path;
+  path.single_base = true;
+  path.table = name;
+  if (core.where) {
+    std::vector<const sql::Expr*> conjuncts;
+    SplitConjuncts(*core.where, conjuncts);
+    path.probe_conjunct = ChooseProbe(conjuncts, *table, core.from->alias,
+                                      /*allow_parameters=*/true,
+                                      &path.probe_column);
+  }
+  return path;
+}
+
+AccessPlan Executor::BuildAccessPlan(const sql::Statement& stmt) const {
+  AccessPlan plan;
+  const auto analyze = [this](const sql::SelectStmt& select,
+                              const std::unordered_set<std::string>& ctes,
+                              std::vector<CoreAccessPath>& out) {
+    out.reserve(select.cores.size());
+    for (const auto& core : select.cores) {
+      out.push_back(AnalyzeCore(core, ctes));
+    }
+  };
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect:
+      analyze(*stmt.select, {}, plan.select_cores);
+      break;
+    case sql::StatementKind::kWith: {
+      // The seed runs before the CTE binding exists; the recursive member
+      // and the final query see it (a core reading the CTE gets no cached
+      // path — the executor re-checks the live bindings anyway).
+      const std::unordered_set<std::string> ctes = {
+          FoldIdentifier(stmt.with.name)};
+      analyze(*stmt.with.seed, {}, plan.seed_cores);
+      if (stmt.with.step) analyze(*stmt.with.step, ctes, plan.step_cores);
+      analyze(*stmt.with.final_query, ctes, plan.final_cores);
+      break;
+    }
+    case sql::StatementKind::kInsert:
+      if (stmt.insert_select) {
+        analyze(*stmt.insert_select, {}, plan.insert_cores);
+      }
+      break;
+    default:
+      break;
+  }
+  return plan;
+}
+
 ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
                                     const LockPlan& plan, Session* session) {
   ExecContext ctx;
@@ -1476,7 +2024,8 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
       LockSet locks(recorder_);
       ApplyLockPlan(locks, db_, plan);
       locks.AcquireAll();
-      return EvalSelect(*stmt.select, ctx);
+      return EvalSelect(*stmt.select, ctx,
+                        access_ != nullptr ? &access_->select_cores : nullptr);
     }
     case sql::StatementKind::kWith: {
       LockSet locks(recorder_);
@@ -1622,7 +2171,8 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
 ResultSet Executor::ExecuteSql(std::string_view text, Session* session) {
   if (db_.plan_cache().enabled()) {
     const auto plan = Prepare(text);
-    ResultSet result = ExecuteWithPlan(*plan->ast, *plan->locks, session);
+    ResultSet result =
+        ExecuteWithPlan(*plan->ast, *plan->locks, plan->access.get(), session);
     result.compiled = last_prepare_parsed_;
     return result;
   }
@@ -1651,6 +2201,8 @@ std::shared_ptr<const CachedPlan> Executor::Rebind(const CachedPlan& stale,
   rebound->ast = stale.ast;
   rebound->param_count = stale.param_count;
   rebound->locks = std::make_shared<const LockPlan>(BuildLockPlan(*stale.ast));
+  rebound->access =
+      std::make_shared<const AccessPlan>(BuildAccessPlan(*stale.ast));
   rebound->bound_version = version;
   db_.plan_cache().NoteRebind();
   SQLOOP_COUNT(recorder_, "minidb.plan_rebinds", 1);
@@ -1708,6 +2260,7 @@ std::shared_ptr<const CachedPlan> Executor::Prepare(std::string_view text,
     plan->ast = std::shared_ptr<const sql::Statement>(std::move(parsed));
   }
   plan->locks = std::make_shared<const LockPlan>(BuildLockPlan(*plan->ast));
+  plan->access = std::make_shared<const AccessPlan>(BuildAccessPlan(*plan->ast));
   plan->bound_version = version;
   if (pin || first_misses_.erase(key) > 0) {
     cache.Put(key, plan);

@@ -15,11 +15,18 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "minidb/database.h"
 #include "minidb/evaluator.h"
 #include "telemetry/recorder.h"
 
 namespace sqloop::minidb {
+
+// Push-pipeline callback types. Sinks and sources are lambdas passed down
+// the call stack (FunctionRef is non-owning).
+using RowSink = FunctionRef<void(const Row&)>;   // consumes borrowed rows
+using OwnedRowSink = FunctionRef<void(Row&&)>;   // may take ownership
+using RowSource = FunctionRef<void(const RowSink&)>;  // pushes rows once
 
 /// Per-connection state: an open transaction's table backups. minidb
 /// transactions give statement-level isolation with all-or-nothing
@@ -47,6 +54,13 @@ class Executor {
   ResultSet ExecuteWithPlan(const sql::Statement& stmt, const LockPlan& plan,
                             Session* session = nullptr);
 
+  /// Same, additionally supplying the cached per-core access paths so the
+  /// fused pipeline skips its scan/index-probe analysis. `access` may be
+  /// null (ad-hoc execution); cached paths are re-validated against the
+  /// live catalog before use.
+  ResultSet ExecuteWithPlan(const sql::Statement& stmt, const LockPlan& plan,
+                            const AccessPlan* access, Session* session);
+
   /// Executes exactly one statement of SQL text. Consults the database's
   /// plan cache first: repeated text skips the parse entirely, and a
   /// catalog change since the plan was bound re-binds without re-parsing.
@@ -69,6 +83,26 @@ class Executor {
   /// statement under the current catalog.
   LockPlan BuildLockPlan(const sql::Statement& stmt) const;
 
+  /// Computes the per-core access paths (single-base-table detection and
+  /// index-probe choice) for a statement under the current catalog. Cached
+  /// alongside the lock plan; rebuilt on every re-bind.
+  AccessPlan BuildAccessPlan(const sql::Statement& stmt) const;
+
+  /// Scan/materialization accounting for the most recent statement this
+  /// executor ran (reset per statement; also flushed to the recorder as
+  /// `minidb.*` counters).
+  struct EngineCounters {
+    size_t rows_materialized = 0;  // rows deep-copied into intermediates
+    size_t rows_borrowed = 0;      // rows served zero-copy from storage
+    size_t index_scans = 0;        // scans narrowed by an index probe
+    size_t full_scans = 0;         // scans that visited every live row
+    size_t pushed_predicates = 0;  // WHERE conjuncts evaluated during scans
+    size_t fused_cores = 0;        // SELECT cores run on the fused path
+  };
+  const EngineCounters& last_engine_counters() const noexcept {
+    return counters_;
+  }
+
   /// Iteration cap for recursive CTE evaluation (safety net against
   /// non-terminating recursion).
   static constexpr int64_t kMaxRecursions = 100000;
@@ -86,22 +120,102 @@ class Executor {
     std::unordered_map<std::string, const Relation*> cte_bindings;
   };
 
+  /// Everything PrepareJoin resolves before a join runs: evaluated (or
+  /// schema-only, for index-nested-loop candidates) inputs, the combined
+  /// output bindings, and the classified ON condition. RunJoin streams the
+  /// combined rows from this state into a sink.
+  struct JoinState {
+    const sql::TableRef* join = nullptr;
+    Relation left;
+    std::shared_ptr<Table> right_table;  // set when right is a base table
+    Relation right;                      // evaluated right (when needed)
+    bool right_materialized = false;
+    std::vector<ColumnBinding> right_columns;
+    std::vector<ColumnBinding> columns;  // combined output bindings
+    std::vector<std::pair<int, int>> equi;  // (left index, right index)
+    std::vector<const sql::Expr*> residual;  // non-equi ON conjuncts
+  };
+
   // --- SELECT pipeline -------------------------------------------------
   // For single-core statements the ORDER BY keys are computed inside the
   // core evaluation, where both the projected output and the pre-projection
   // input are visible (SQL allows ordering by either). `order_by` and
   // `sort_keys` are null for UNION arms.
-  ResultSet EvalSelect(const sql::SelectStmt& stmt, ExecContext& ctx);
+  //
+  // Operator outputs (ProjectCore/AggregateCore) are always owned
+  // relations; scans and CTE bindings flow through as borrowed row views
+  // when the fused pipeline is enabled (see Relation).
+  ResultSet EvalSelect(const sql::SelectStmt& stmt, ExecContext& ctx,
+                       const std::vector<CoreAccessPath>* paths = nullptr);
   Relation EvalCore(const sql::SelectCore& core, ExecContext& ctx,
                     const std::vector<sql::OrderItem>* order_by = nullptr,
-                    std::vector<Row>* sort_keys = nullptr);
+                    std::vector<Row>* sort_keys = nullptr,
+                    const CoreAccessPath* path = nullptr);
+  /// The materializing pipeline (pre-fusion behavior, kept verbatim): the
+  /// fallback for shapes the fused path declines, and the whole pipeline
+  /// when fusion is disabled. Error reporting for missing relations and
+  /// unresolvable columns lives here.
+  Relation EvalCoreReference(const sql::SelectCore& core, ExecContext& ctx,
+                             bool aggregate_mode,
+                             const std::vector<sql::OrderItem>* order_by,
+                             std::vector<Row>* sort_keys);
+  /// Fused path for cores whose FROM is a base table or a join tree:
+  /// predicates push into the scans, and rows stream from scan/join
+  /// straight into projection or aggregation with no intermediate
+  /// Relation. Returns false (leaving `out` untouched) for shapes it does
+  /// not cover — the caller falls back to the reference materializing
+  /// path, which also owns error reporting for missing relations.
+  bool TryFusedCore(const sql::SelectCore& core, ExecContext& ctx,
+                    bool aggregate_mode,
+                    const std::vector<sql::OrderItem>* order_by,
+                    std::vector<Row>* sort_keys, const CoreAccessPath* path,
+                    Relation* out);
   Relation EvalTableRef(const sql::TableRef& ref, ExecContext& ctx);
   Relation EvalJoin(const sql::TableRef& join, ExecContext& ctx);
+  /// Evaluates one join input. When `pending` is non-null, WHERE conjuncts
+  /// that resolve entirely against a base-table input are removed from it
+  /// and evaluated during that input's scan (predicate pushdown); nested
+  /// join inputs recurse and then materialize.
+  Relation EvalJoinInput(const sql::TableRef& ref, ExecContext& ctx,
+                         std::vector<const sql::Expr*>* pending);
+  JoinState PrepareJoin(const sql::TableRef& join, ExecContext& ctx,
+                        std::vector<const sql::Expr*>* pending);
+  /// Streams the join's combined rows into `sink` (ownership passes to the
+  /// sink). Strategy per engine profile, as before: index nested loop,
+  /// hash, or plain nested loop, with LEFT JOIN NULL-padding.
+  void RunJoin(JoinState& state, const OwnedRowSink& sink);
   Relation ScanTable(const Table& table, const std::string& alias);
-  Relation ProjectCore(const sql::SelectCore& core, const Relation& input,
+  /// Streams `table`'s live rows matching all of `pushed` into `sink`
+  /// without copying. `probe_conjunct` >= 0 selects pushed[probe_conjunct]
+  /// as an equality index probe on `probe_column` (visiting only matching
+  /// rows, in scan order); the probe conjunct is still re-evaluated like
+  /// any other pushed predicate, preserving SQL `=` semantics.
+  void ScanPush(const Table& table, const std::vector<ColumnBinding>& columns,
+                const std::vector<const sql::Expr*>& pushed,
+                int probe_conjunct, const std::string& probe_column,
+                const RowSink& sink);
+  /// Borrowed-relation form of ScanPush (join inputs): the matching rows'
+  /// views, with an index probe chosen from `pushed` when available.
+  Relation ScanFiltered(const Table& table, const std::string& alias,
+                        const std::vector<const sql::Expr*>& pushed);
+  /// Per-core access analysis shared by BuildAccessPlan (bind time) and
+  /// the fused path (runtime, when no cached path applies).
+  CoreAccessPath AnalyzeCore(const sql::SelectCore& core,
+                             const std::unordered_set<std::string>& ctes)
+      const;
+  /// Collects the full FROM-tree output bindings without evaluating
+  /// anything; returns false when they cannot be precomputed (views,
+  /// subqueries), which disables join predicate pushdown for the core.
+  bool TryCollectTreeBindings(const sql::TableRef& ref, ExecContext& ctx,
+                              std::vector<ColumnBinding>& out) const;
+  Relation ProjectCore(const sql::SelectCore& core,
+                       const std::vector<ColumnBinding>& input_columns,
+                       const RowSource& input,
                        const std::vector<sql::OrderItem>* order_by,
                        std::vector<Row>* sort_keys);
-  Relation AggregateCore(const sql::SelectCore& core, const Relation& input,
+  Relation AggregateCore(const sql::SelectCore& core,
+                         const std::vector<ColumnBinding>& input_columns,
+                         const RowSource& input,
                          const std::vector<sql::OrderItem>* order_by,
                          std::vector<Row>* sort_keys);
 
@@ -143,6 +257,13 @@ class Executor {
   // Scan-volume accounting for the statement currently executing (each
   // connection owns its Executor, so no synchronization is needed).
   size_t rows_examined_ = 0;
+  EngineCounters counters_;
+  // Access paths of the statement currently executing (null for ad-hoc
+  // execution); set by ExecuteWithPlan, read by the SELECT pipeline.
+  const AccessPlan* access_ = nullptr;
+  // Scratch buffer for index probes, reused across probes and statements
+  // so the steady-state fused path allocates nothing per probe.
+  std::vector<size_t> probe_ids_;
   telemetry::Recorder* recorder_ = nullptr;
 };
 

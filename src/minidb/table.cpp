@@ -1,5 +1,7 @@
 #include "minidb/table.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace sqloop::minidb {
@@ -112,23 +114,33 @@ bool Table::HasIndexOn(const std::string& column_name) const {
   return false;
 }
 
-std::vector<size_t> Table::IndexLookup(const std::string& column_name,
-                                       const Value& key) const {
+void Table::IndexProbe(const std::string& column_name, const Value& key,
+                       std::vector<size_t>& out) const {
   const std::string folded = FoldIdentifier(column_name);
   if (schema_.primary_key_index() >= 0 &&
       schema_.columns()[schema_.primary_key_index()].name == folded) {
     const int64_t row = FindByPrimaryKey(key);
-    if (row < 0) return {};
-    return {static_cast<size_t>(row)};
+    if (row >= 0) out.push_back(static_cast<size_t>(row));
+    return;
   }
   for (const auto& [name, index] : secondary_indexes_) {
     if (index.column != folded) continue;
-    std::vector<size_t> out;
+    const size_t first = out.size();
     const auto [begin, end] = index.map.equal_range(key);
     for (auto it = begin; it != end; ++it) out.push_back(it->second);
-    return out;
+    // The hash multimap yields matches in unspecified order; restore scan
+    // order so index and full scans visit rows identically.
+    std::sort(out.begin() + static_cast<ptrdiff_t>(first), out.end());
+    return;
   }
-  throw UsageError("IndexLookup on unindexed column '" + column_name + "'");
+  throw UsageError("IndexProbe on unindexed column '" + column_name + "'");
+}
+
+std::vector<size_t> Table::IndexLookup(const std::string& column_name,
+                                       const Value& key) const {
+  std::vector<size_t> out;
+  IndexProbe(column_name, key, out);
+  return out;
 }
 
 std::vector<Row> Table::SnapshotRows() const {

@@ -52,8 +52,18 @@ class Table {
   bool DropIndex(const std::string& index_name);
   bool HasIndexOn(const std::string& column_name) const;
 
-  /// Row ids of live rows whose `column` equals `key`, via a secondary
-  /// index. Precondition: HasIndexOn(column).
+  /// Appends the live row ids whose `column` equals `key` (primary key or
+  /// secondary index) to `out`, sorted ascending — i.e. in insertion/scan
+  /// order. Allocation-free when the caller reuses `out`'s capacity across
+  /// probes; the fused scan path does, and relies on the ordering so an
+  /// index scan visits rows in the same order a full scan would (keeps
+  /// fused results bit-identical to the materializing path).
+  /// Precondition: HasIndexOn(column).
+  void IndexProbe(const std::string& column_name, const Value& key,
+                  std::vector<size_t>& out) const;
+
+  /// Row ids of live rows whose `column` equals `key`, via IndexProbe
+  /// (sorted ascending). Precondition: HasIndexOn(column).
   std::vector<size_t> IndexLookup(const std::string& column_name,
                                   const Value& key) const;
 

@@ -24,6 +24,15 @@ TEST_F(PushdownTest, FullScanExaminesAllRows) {
   const auto result = Run("SELECT COUNT(*) FROM msg WHERE target = 2");
   EXPECT_EQ(result.rows[0][0].as_int(), 25);
   EXPECT_EQ(result.rows_examined, 100u);  // no index -> full scan
+  const auto& counters = exec_.last_engine_counters();
+  EXPECT_EQ(counters.full_scans, 1u);
+  EXPECT_EQ(counters.index_scans, 0u);
+  EXPECT_EQ(counters.pushed_predicates, 1u);
+  EXPECT_EQ(counters.fused_cores, 1u);
+  // The fused aggregate streams scanned rows straight into the
+  // accumulators — nothing is copied or even pinned as a view.
+  EXPECT_EQ(counters.rows_materialized, 0u);
+  EXPECT_EQ(counters.rows_borrowed, 0u);
 }
 
 TEST_F(PushdownTest, IndexScanExaminesOnlyMatches) {
@@ -31,6 +40,10 @@ TEST_F(PushdownTest, IndexScanExaminesOnlyMatches) {
   const auto result = Run("SELECT COUNT(*) FROM msg WHERE target = 2");
   EXPECT_EQ(result.rows[0][0].as_int(), 25);
   EXPECT_EQ(result.rows_examined, 25u);  // index narrows the scan
+  const auto& counters = exec_.last_engine_counters();
+  EXPECT_EQ(counters.index_scans, 1u);
+  EXPECT_EQ(counters.full_scans, 0u);
+  EXPECT_EQ(counters.rows_materialized, 0u);
 }
 
 TEST_F(PushdownTest, IndexScanWithExtraConjuncts) {
@@ -39,6 +52,9 @@ TEST_F(PushdownTest, IndexScanWithExtraConjuncts) {
       Run("SELECT id FROM msg WHERE target = 1 AND id > 50");
   EXPECT_EQ(result.rows.size(), 12u);  // 53, 57, ..., 97
   EXPECT_EQ(result.rows_examined, 25u);
+  const auto& counters = exec_.last_engine_counters();
+  EXPECT_EQ(counters.index_scans, 1u);
+  EXPECT_EQ(counters.pushed_predicates, 2u);  // both conjuncts pushed
 }
 
 TEST_F(PushdownTest, LiteralOnLeftSideAlsoPushesDown) {
@@ -56,6 +72,7 @@ TEST_F(PushdownTest, PrimaryKeyLookupPushesDown) {
   const auto result = Run("SELECT v FROM r WHERE id = 7");
   ASSERT_EQ(result.rows.size(), 1u);
   EXPECT_EQ(result.rows_examined, 1u);
+  EXPECT_EQ(exec_.last_engine_counters().index_scans, 1u);
 }
 
 TEST_F(PushdownTest, AliasQualifiedColumnPushesDown) {
@@ -105,6 +122,28 @@ TEST_F(PushdownTest, RowsExaminedCoversJoins) {
       Run("SELECT COUNT(*) FROM a JOIN b ON a.x = b.y");
   EXPECT_EQ(result.rows[0][0].as_int(), 10);
   EXPECT_GE(result.rows_examined, 20u);  // both inputs scanned
+  const auto& counters = exec_.last_engine_counters();
+  EXPECT_EQ(counters.fused_cores, 1u);
+  // A fused aggregate-over-join borrows its scan inputs and streams the
+  // joined rows into the accumulators without an intermediate Relation.
+  EXPECT_EQ(counters.rows_borrowed, 20u);
+  EXPECT_EQ(counters.rows_materialized, 0u);
+}
+
+TEST_F(PushdownTest, ReferencePipelineMaterializesSameAnswer) {
+  const auto fused = Run("SELECT COUNT(*) FROM msg WHERE target = 2");
+  EXPECT_EQ(exec_.last_engine_counters().rows_materialized, 0u);
+  db_.set_fused_enabled(false);
+  const auto reference = Run("SELECT COUNT(*) FROM msg WHERE target = 2");
+  db_.set_fused_enabled(true);
+  const auto& counters = exec_.last_engine_counters();
+  EXPECT_EQ(counters.fused_cores, 0u);
+  // The materializing pipeline copies the scanned table into an
+  // intermediate Relation before filtering.
+  EXPECT_EQ(counters.rows_materialized, 100u);
+  EXPECT_EQ(counters.rows_borrowed, 0u);
+  EXPECT_EQ(fused.rows[0][0].as_int(), reference.rows[0][0].as_int());
+  EXPECT_EQ(fused.rows_examined, reference.rows_examined);
 }
 
 }  // namespace
