@@ -1,0 +1,229 @@
+// micro_service — the job server under a multi-tenant burst.
+//
+// Four tenants with weights 1:1:2:4 submit 100+ iterative jobs (PageRank,
+// SSSP, and bounded descendants, round-robin) at once against one shared
+// JobServer: one worker pool, one backend, strict round interleaving
+// (max_active_rounds = 1). Reported:
+//
+//   - job latency p50/p95/p99 (service-side: queue wait + run time),
+//   - throughput over the whole burst,
+//   - the weighted fairness ratio min(rounds/weight) / max(rounds/weight),
+//     snapshotted at the last instant every tenant still had work in
+//     flight (after that, finished tenants stop accruing by design),
+//   - a bit-identity gate: every job's result must equal the solo run of
+//     the same query — multiplexing must never change an answer.
+//
+// Writes a JSON baseline (default BENCH_service.json; --json <path>).
+// Knobs: SQLOOP_BENCH_{SVC_JOBS,SVC_TENANTS,THREADS,PARTITIONS}.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "graph/generators.h"
+#include "server/job_server.h"
+
+namespace {
+
+using namespace sqloop;
+using bench::Knob;
+
+std::vector<std::string> Canonical(const dbc::ResultSet& result) {
+  std::vector<std::string> rows;
+  rows.reserve(result.rows.size());
+  for (const auto& row : result.rows) {
+    std::string text;
+    for (const auto& value : row) {
+      text += value.ToString();
+      text += '|';
+    }
+    rows.push_back(std::move(text));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1)));
+  return sorted[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: micro_service [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  const int64_t total_jobs = std::max<int64_t>(Knob("SVC_JOBS", 100), 1);
+  const size_t tenants =
+      static_cast<size_t>(std::max<int64_t>(Knob("SVC_TENANTS", 4), 1));
+  const int threads = static_cast<int>(Knob("THREADS", 4));
+  const int partitions = static_cast<int>(Knob("PARTITIONS", 8));
+
+  const auto graph = graph::MakeWebGraph(60, 3, 7);
+  // Latency/compile costs off: this measures the service layer (queueing,
+  // scheduling, target serialization), not the modeled network.
+  bench::EngineFleet fleet("service", graph, /*latency_us=*/0,
+                           /*row_cost_ns=*/0);
+  const std::string url = fleet.Url("postgres", /*compile_us_override=*/0);
+
+  // Three distinct target relations, so jobs of different workloads can
+  // genuinely run concurrently (same-target jobs serialize by design).
+  const std::vector<std::string> queries = {
+      core::workloads::PageRankQuery(6),
+      core::workloads::SsspAllQuery(1),
+      core::workloads::DescendantQueryBounded(0, 6),
+  };
+  core::SqloopOptions options;
+  options.mode = core::ExecutionMode::kSync;
+  options.threads = 2;
+  options.partitions = partitions;
+
+  // Solo references, one per workload: the bit-identity bar.
+  std::vector<std::vector<std::string>> solo;
+  for (const auto& query : queries) {
+    core::SqLoop loop(url, options);
+    solo.push_back(Canonical(loop.Execute(query)));
+  }
+
+  server::JobServerConfig config;
+  config.url = url;
+  config.worker_threads = threads;
+  config.max_running_jobs = 4;
+  config.max_active_rounds = 1;  // strict weighted interleaving
+  config.queue_capacity = static_cast<size_t>(total_jobs) + tenants;
+  config.max_inflight_per_tenant = static_cast<size_t>(total_jobs);
+  config.history_limit = static_cast<size_t>(total_jobs) * 2;
+  server::JobServer server(config);
+
+  std::vector<std::string> tenant_names;
+  std::vector<double> weights;
+  std::vector<server::Session> sessions;
+  for (size_t t = 0; t < tenants; ++t) {
+    // 1, 1, 2, 4, 8, ... — equal-weight head, then doubling.
+    const double weight = t < 2 ? 1.0 : std::pow(2.0, double(t - 1));
+    tenant_names.push_back("tenant" + std::to_string(t));
+    weights.push_back(weight);
+    server::SessionOptions session_options;
+    session_options.weight = weight;
+    sessions.push_back(server.OpenSession(tenant_names[t], session_options));
+  }
+
+  // The fairness snapshot: rounds granted per tenant, re-sampled while
+  // every tenant still has inflight work. Once a tenant drains, the
+  // others rightly absorb its share, so only the all-backlogged window
+  // speaks to weighted fairness.
+  std::vector<uint64_t> fair_sample(tenants, 0);
+  std::atomic<bool> sampling{true};
+  std::thread sampler([&] {
+    while (sampling.load()) {
+      bool all_backlogged = true;
+      for (const auto& name : tenant_names) {
+        if (server.inflight(name) == 0) all_backlogged = false;
+      }
+      if (all_backlogged) {
+        for (size_t t = 0; t < tenants; ++t) {
+          fair_sample[t] = server.rounds_granted(tenant_names[t]);
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  // The burst: every tenant submits its share up front, round-robin over
+  // the workloads, then everyone waits.
+  const Stopwatch burst;
+  std::vector<std::pair<server::JobHandle, size_t>> jobs;  // handle, workload
+  for (int64_t i = 0; i < total_jobs; ++i) {
+    const size_t tenant = static_cast<size_t>(i) % tenants;
+    const size_t workload = static_cast<size_t>(i) % queries.size();
+    jobs.emplace_back(sessions[tenant].Submit(queries[workload], options),
+                      workload);
+  }
+  bool results_match = true;
+  int64_t failed = 0;
+  for (auto& [job, workload] : jobs) {
+    try {
+      if (Canonical(job.Wait()) != solo[workload]) results_match = false;
+    } catch (const std::exception& e) {
+      ++failed;
+      std::cerr << "job failed: " << e.what() << "\n";
+    }
+  }
+  const double total_seconds = burst.ElapsedSeconds();
+  sampling.store(false);
+  sampler.join();
+
+  // Service-side latency per job: queue wait + run time from the ledger.
+  std::vector<double> latencies;
+  for (const auto& info : server.Jobs()) {
+    latencies.push_back((info.queue_seconds + info.run_seconds) * 1000.0);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(latencies, 0.50);
+  const double p95 = Percentile(latencies, 0.95);
+  const double p99 = Percentile(latencies, 0.99);
+
+  double fair_min = 0;
+  double fair_max = 0;
+  for (size_t t = 0; t < tenants; ++t) {
+    const double normalized =
+        static_cast<double>(fair_sample[t]) / weights[t];
+    if (t == 0 || normalized < fair_min) fair_min = normalized;
+    if (t == 0 || normalized > fair_max) fair_max = normalized;
+  }
+  const double fairness = fair_max > 0 ? fair_min / fair_max : 0;
+
+  const double throughput =
+      total_seconds > 0 ? static_cast<double>(total_jobs) / total_seconds : 0;
+  // Bars: answers must be bit-identical to solo, nothing may fail, and
+  // the weighted shares must be within ~3x of each other mid-contention
+  // (a deliberately loose bound — target serialization adds noise).
+  const bool pass = results_match && failed == 0 && fairness >= 0.33;
+
+  std::cout << total_jobs << " jobs, " << tenants << " tenants, "
+            << "weights 1:1:2:4...:\n"
+            << std::fixed << std::setprecision(2) << "  latency ms  p50 "
+            << p50 << "  p95 " << p95 << "  p99 " << p99 << "\n"
+            << "  throughput  " << throughput << " jobs/s over "
+            << total_seconds << " s\n"
+            << "  fairness    " << std::setprecision(3) << fairness
+            << "  (min/max of rounds per weight, all-backlogged sample)\n"
+            << "  identity    "
+            << (results_match ? "bit-identical to solo" : "DIVERGED")
+            << (failed > 0 ? "  FAILURES" : "") << "\n"
+            << (pass ? "PASS" : "FAIL") << "\n";
+
+  std::ofstream json(json_path);
+  json << std::fixed << std::setprecision(4)
+       << "{\n  \"benchmark\": \"micro_service\",\n"
+       << "  \"jobs\": " << total_jobs << ",\n"
+       << "  \"tenants\": " << tenants << ",\n"
+       << "  \"p50_ms\": " << p50 << ",\n"
+       << "  \"p95_ms\": " << p95 << ",\n"
+       << "  \"p99_ms\": " << p99 << ",\n"
+       << "  \"throughput_jobs_per_s\": " << throughput << ",\n"
+       << "  \"total_seconds\": " << total_seconds << ",\n"
+       << "  \"fairness_ratio\": " << fairness << ",\n"
+       << "  \"results_match\": " << (results_match ? "true" : "false")
+       << ",\n  \"failed_jobs\": " << failed << ",\n"
+       << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  return pass ? 0 : 1;
+}

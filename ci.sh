@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: configure + build the three presets, run the full test
-# suite once on the default build (plus the perf smoke label and the
-# fused-pipeline scan benchmark, which writes BENCH_scan.json), and re-run
+# suite once on the default build (plus the perf smoke label, the
+# fused-pipeline scan benchmark writing BENCH_scan.json, and the
+# multi-tenant service benchmark writing BENCH_service.json), and re-run
 # the concurrency-sensitive suites (fault injection + checkpoint recovery +
-# fused/reference differential) under ASan/UBSan and TSan.
+# fused/reference differential + multi-tenant isolation) under ASan/UBSan
+# and TSan.
 #
 #   ./ci.sh            # everything
 #   ./ci.sh default    # one preset only (default | asan-ubsan | tsan)
@@ -23,9 +25,11 @@ run_preset() {
       ctest --preset default -L perf
       echo "==> [${preset}] fused-pipeline scan benchmark"
       ./build/bench/micro_scan --json BENCH_scan.json
+      echo "==> [${preset}] multi-tenant service benchmark"
+      ./build/bench/micro_service --json BENCH_service.json
       ;;
     *)
-      echo "==> [${preset}] resilience|recovery|engine suites"
+      echo "==> [${preset}] resilience|recovery|engine|service suites"
       ctest --preset "${preset}"
       ;;
   esac

@@ -19,6 +19,9 @@
 //   \stats                      statistics of the last iterative run
 //                               (including the per-round telemetry table
 //                               and the resilience counters)
+//   \jobs                       the embedded job server's ledger: every
+//                               statement this shell ran, with state,
+//                               rounds, and wall time
 //   \faults k=v ... | off       seeded fault injection on this shell's
 //                               server: seed=N connect=R drop=R
 //                               transient=R slow=R slow_us=N drop_every=N
@@ -37,6 +40,7 @@
 //   \load web N DEG SEED        generate+load a web graph into `edges`
 //   \load ego C S P SEED        ... ego-net graph
 //   \load host H P L SEED       ... host graph
+#include <algorithm>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -51,6 +55,7 @@
 #include "graph/generators.h"
 #include "graph/loader.h"
 #include "minidb/server.h"
+#include "server/job_server.h"
 #include "telemetry/exporters.h"
 
 namespace {
@@ -294,6 +299,8 @@ class Shell {
       std::cout << "trace " << (on ? "on" : "off") << "\n";
     } else if (cmd == "\\stats") {
       PrintStats(loop_.last_run());
+    } else if (cmd == "\\jobs") {
+      PrintJobs();
     } else if (cmd == "\\faults") {
       ConfigureFaults(in);
     } else if (cmd == "\\checkpoint") {
@@ -308,6 +315,27 @@ class Shell {
       std::cout << "unknown meta command '" << cmd << "' (try \\help)\n";
     }
     return true;
+  }
+
+  /// \jobs: the embedded job server's ledger — every statement this shell
+  /// ran is a job on it, so the history doubles as a query log.
+  void PrintJobs() {
+    const auto jobs = loop_.job_server().Jobs();
+    if (jobs.empty()) {
+      std::cout << "no jobs yet\n";
+      return;
+    }
+    for (const auto& job : jobs) {
+      std::string sql = job.sql;
+      std::replace(sql.begin(), sql.end(), '\n', ' ');
+      if (sql.size() > 48) sql = sql.substr(0, 45) + "...";
+      std::cout << "#" << job.seq << "  " << server::JobStateName(job.state)
+                << "  rounds=" << job.rounds << "  run="
+                << static_cast<int64_t>(job.run_seconds * 1000) << "ms  "
+                << sql;
+      if (!job.error.empty()) std::cout << "  [" << job.error << "]";
+      std::cout << "\n";
+    }
   }
 
   void RunStatement(const std::string& sql) {

@@ -104,6 +104,16 @@ class JobKilledError : public Error {
       : Error("job killed: " + message) {}
 };
 
+/// The job was cancelled through its JobHandle (service API) while queued
+/// or between rounds. Fatal — the run stops at the next round border and
+/// its scratch state is cleaned up; checkpoints (if any) survive, so a
+/// resubmission with `resume` continues under the same job identity.
+class JobCancelledError : public Error {
+ public:
+  explicit JobCancelledError(const std::string& message)
+      : Error("job cancelled: " + message) {}
+};
+
 /// A straggling task's statement was cancelled because a speculative copy
 /// of the task took ownership (straggler mitigation). Fatal to the retry
 /// machinery — the original attempt must NOT be retried; the speculation
@@ -120,7 +130,8 @@ class TaskSupersededError : public Error {
 ///   transient — TransientError, TimeoutError, ConnectionLostError
 ///   fatal     — ParseError, AnalysisError, ExecutionError,
 ///               ConnectionError, UsageError, JobKilledError,
-///               TaskSupersededError, plain Error, anything else
+///               JobCancelledError, TaskSupersededError, plain Error,
+///               anything else
 inline bool IsTransientError(const std::exception& error) noexcept {
   return dynamic_cast<const TransientError*>(&error) != nullptr;
 }

@@ -70,4 +70,28 @@ void ThreadPool::WorkerLoop(
   }
 }
 
+void TaskGroup::Submit(std::function<void(size_t)> task) {
+  {
+    const std::scoped_lock lock(mutex_);
+    ++pending_;
+  }
+  pool_.Submit([this, task = std::move(task)](size_t worker_index) {
+    // Decrement even if the task throws; ThreadPool stores the exception in
+    // the task's future, but the group's bookkeeping must not leak.
+    struct Done {
+      TaskGroup* group;
+      ~Done() {
+        const std::scoped_lock lock(group->mutex_);
+        if (--group->pending_ == 0) group->idle_.notify_all();
+      }
+    } done{this};
+    task(worker_index);
+  });
+}
+
+void TaskGroup::WaitIdle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
 }  // namespace sqloop

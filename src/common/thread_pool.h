@@ -54,4 +54,35 @@ class ThreadPool {
   std::vector<std::jthread> workers_;
 };
 
+/// A job's view of a shared ThreadPool. Submit forwards to the pool;
+/// WaitIdle blocks until every task submitted through THIS group has
+/// finished — not until the whole pool drains — so many concurrent jobs
+/// (the service's multi-tenant case) can barrier independently while their
+/// tasks interleave in one worker set. The group must outlive its tasks;
+/// the destructor waits for them.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { WaitIdle(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues a task on the underlying pool and counts it against this
+  /// group. Like ThreadPool::Submit, the task receives the worker index.
+  void Submit(std::function<void(size_t)> task);
+
+  /// Blocks until every task submitted through this group has finished.
+  /// Other groups' tasks are not waited for.
+  void WaitIdle();
+
+  size_t worker_count() const noexcept { return pool_.worker_count(); }
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable idle_;
+  size_t pending_ = 0;
+};
+
 }  // namespace sqloop

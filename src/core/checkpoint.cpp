@@ -165,7 +165,7 @@ std::string RenderManifest(const CheckpointManifest& m) {
   for (size_t i = 0; i < m.messages.size(); ++i) {
     const auto& msg = m.messages[i];
     out << "message." << i << "=" << msg.table << "|" << msg.file << "|"
-        << JoinSizes(msg.targets) << "\n";
+        << msg.source << "|" << JoinSizes(msg.targets) << "\n";
   }
   out << "consumed=" << JoinSizes(m.consumed) << "\n";
   out << "message_seq=" << m.message_seq << "\n";
@@ -216,11 +216,14 @@ CheckpointManifest ParseManifest(const std::string& body) {
     const size_t bar1 = entry.find('|');
     const size_t bar2 =
         bar1 == std::string::npos ? bar1 : entry.find('|', bar1 + 1);
-    if (bar2 == std::string::npos) throw ExecutionError("bad message entry");
+    const size_t bar3 =
+        bar2 == std::string::npos ? bar2 : entry.find('|', bar2 + 1);
+    if (bar3 == std::string::npos) throw ExecutionError("bad message entry");
     CheckpointManifest::MessageEntry msg;
     msg.table = entry.substr(0, bar1);
     msg.file = entry.substr(bar1 + 1, bar2 - bar1 - 1);
-    for (const std::string& t : SplitList(entry.substr(bar2 + 1))) {
+    msg.source = ParseU64(entry.substr(bar2 + 1, bar3 - bar2 - 1));
+    for (const std::string& t : SplitList(entry.substr(bar3 + 1))) {
       msg.targets.push_back(ParseU64(t));
     }
     m.messages.push_back(std::move(msg));

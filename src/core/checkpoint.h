@@ -45,6 +45,7 @@ struct CheckpointManifest {
   struct MessageEntry {
     std::string table;
     std::string file;
+    size_t source = 0;  // producing partition; orders gather unions
     std::vector<size_t> targets;
   };
   std::vector<MessageEntry> messages;

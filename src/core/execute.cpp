@@ -1,0 +1,130 @@
+#include "core/execute.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "core/analysis.h"
+#include "core/parallel.h"
+#include "core/resilience.h"
+#include "core/schema_infer.h"
+#include "core/single_thread.h"
+#include "core/translator.h"
+#include "dbc/driver.h"
+
+namespace sqloop::core {
+namespace {
+
+dbc::ResultSet RunIterative(const std::string& url, dbc::Connection& master,
+                            const sql::WithClause& with,
+                            const ExecutionContext& ctx) {
+  // Checkpoint defaults carried by the connection URL (checkpoint_every /
+  // checkpoint_dir) apply when the per-call options leave them unset, so a
+  // deployment can turn on durability without touching call sites.
+  SqloopOptions effective = ctx.options;
+  if (effective.checkpoint_every == 0 || effective.checkpoint_dir.empty()) {
+    try {
+      const auto config = dbc::ConnectionConfig::Parse(url);
+      if (effective.checkpoint_every == 0) {
+        effective.checkpoint_every = config.checkpoint_every;
+      }
+      if (effective.checkpoint_dir.empty()) {
+        effective.checkpoint_dir = config.checkpoint_dir;
+      }
+    } catch (...) {
+      // The URL already opened this run's connection; a re-parse failure
+      // here only forfeits the URL defaults.
+    }
+  }
+
+  RunStats& stats = ctx.stats;
+  const ExecutionContext run_ctx{effective,    stats,    ctx.recorder,
+                                 ctx.observer, ctx.gate, ctx.shared_pool};
+
+  const auto fall_back = [&](const std::string& reason) {
+    stats.fallback_reason = reason;
+    if (ctx.observer != nullptr) ctx.observer->OnFallback(reason);
+    return RunIterativeSingleThread(master, with, run_ctx);
+  };
+
+  if (effective.mode == ExecutionMode::kSingleThread) {
+    stats.fallback_reason = "single-thread mode requested";
+    return RunIterativeSingleThread(master, with, run_ctx);
+  }
+
+  // Automatic analysis (paper §V-A): parallelize when the iterative member
+  // uses a supported aggregate and fits the partitionable shape.
+  const CteAnalysis analysis = AnalyzeIterativeCte(with);
+  if (!analysis.parallelizable) {
+    SQLOOP_INFO("falling back to single-threaded execution: "
+                << analysis.reason);
+    return fall_back(analysis.reason);
+  }
+
+  const Translator translator = Translator::For(master);
+  // Schema inference runs before the runner's own retry machinery exists;
+  // a transient fault here must not abort the run.
+  Retrier setup_retrier(effective.retry, ctx.recorder, ctx.observer);
+  auto schema = setup_retrier.Run(master, "setup", -1, [&] {
+    return InferSchemaFromSelect(master, translator, *with.seed, with.columns,
+                                 /*widen_non_key=*/true);
+  });
+  stats.retries += setup_retrier.retries();
+  stats.reopened_connections += setup_retrier.reopened_connections();
+  stats.timeouts += setup_retrier.timeouts();
+  if (schema.empty() || schema[0].type != ValueType::kInt64) {
+    const std::string reason =
+        "the key column is not integer-typed; hash partitioning on Rid "
+        "requires integer keys";
+    SQLOOP_INFO("falling back to single-threaded execution: " << reason);
+    return fall_back(reason);
+  }
+
+  ParallelRunner runner(url, master, with, analysis, std::move(schema),
+                        run_ctx);
+  return runner.Run();
+}
+
+}  // namespace
+
+bool NeedsIterativeRun(const sql::Statement& stmt,
+                       const dbc::Connection& conn) {
+  if (stmt.kind != sql::StatementKind::kWith) return false;
+  switch (stmt.with.kind) {
+    case sql::CteKind::kPlain:
+      return false;
+    case sql::CteKind::kRecursive:
+      return !conn.profile().supports_recursive_cte;
+    case sql::CteKind::kIterative:
+      return true;
+  }
+  return false;
+}
+
+dbc::ResultSet RunStatement(const std::string& url, dbc::Connection& master,
+                            const sql::Statement& stmt,
+                            const ExecutionContext& ctx) {
+  const Translator translator = Translator::For(master);
+
+  if (stmt.kind != sql::StatementKind::kWith) {
+    // Regular SQL: rewritten by the translation module for the target
+    // dialect and forwarded as-is (paper §IV-B).
+    return master.Execute(translator.Render(stmt));
+  }
+
+  switch (stmt.with.kind) {
+    case sql::CteKind::kPlain:
+      return master.Execute(translator.Render(stmt));
+    case sql::CteKind::kRecursive: {
+      if (master.profile().supports_recursive_cte) {
+        return master.Execute(translator.Render(stmt));
+      }
+      SQLOOP_INFO("engine '" << master.profile().name
+                             << "' lacks recursive CTEs; emulating");
+      return RunRecursiveEmulated(master, stmt.with, ctx);
+    }
+    case sql::CteKind::kIterative:
+      return RunIterative(url, master, stmt.with, ctx);
+  }
+  throw UsageError("unknown CTE kind");
+}
+
+}  // namespace sqloop::core

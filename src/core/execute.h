@@ -1,0 +1,35 @@
+// Statement execution, decoupled from the SqLoop facade so the job server
+// (src/server) can drive the same code path: dialect translation and
+// forwarding for regular SQL, client-side emulation for recursive CTEs on
+// engines without native support, and the single-threaded / partitioned
+// parallel loops for iterative CTEs.
+#pragma once
+
+#include <string>
+
+#include "core/observer.h"
+#include "dbc/connection.h"
+#include "sql/ast.h"
+
+namespace sqloop::core {
+
+/// True when `stmt` must run through SQLoop's client-side loops — an
+/// iterative CTE, or a recursive CTE the engine cannot run natively —
+/// rather than being translated and forwarded in one round trip. This is
+/// the routing predicate of the service facade: only statements needing a
+/// run become jobs; plain SQL stays on the caller's own connection (and
+/// inside its transaction).
+bool NeedsIterativeRun(const sql::Statement& stmt,
+                       const dbc::Connection& conn);
+
+/// Executes one statement. `master` drives DDL/termination/final queries;
+/// worker connections (parallel modes) open against `url`, which also
+/// supplies URL-level checkpoint defaults. `ctx` carries the options,
+/// stats/telemetry sinks, and — for service runs — the round gate and
+/// shared worker pool. The iterative path performs parallelizability
+/// analysis and falls back to the single-threaded loop when needed.
+dbc::ResultSet RunStatement(const std::string& url, dbc::Connection& master,
+                            const sql::Statement& stmt,
+                            const ExecutionContext& ctx);
+
+}  // namespace sqloop::core

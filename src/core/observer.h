@@ -9,6 +9,10 @@
 #include "core/options.h"
 #include "telemetry/recorder.h"
 
+namespace sqloop {
+class ThreadPool;
+}
+
 namespace sqloop::core {
 
 /// A transient failure about to be retried (see DESIGN.md "Failure model
@@ -33,8 +37,9 @@ struct DegradeEvent {
 };
 
 /// Callbacks fired while an iterative or emulated-recursive CTE executes.
-/// OnRoundStart/OnRoundEnd/OnFallback arrive on the thread that called
-/// SqLoop::Execute. OnTaskComplete arrives on worker threads, possibly
+/// OnRoundStart/OnRoundEnd/OnFallback arrive on the thread driving the run:
+/// the caller of SqLoop::Execute, or a JobServer dispatcher thread when the
+/// query runs as a service job. OnTaskComplete arrives on worker threads, possibly
 /// concurrently — implementations must be thread-safe — and only fires in
 /// telemetry-enabled builds (the default; see DESIGN.md "Observability").
 /// OnRetry and OnDegrade also arrive on worker threads and must be
@@ -69,14 +74,33 @@ class ExecutionObserver {
   virtual void OnDegrade(const DegradeEvent& event) { (void)event; }
 };
 
+/// Hook a scheduler installs to interleave many jobs' rounds over one
+/// shared worker pool. The runner calls BeginRound before dispatching a
+/// round's tasks and EndRound after the round (including its barrier)
+/// finishes, so the scheduler can make jobs yield the pool between rounds.
+/// BeginRound may block (waiting for a fair-share grant) and may throw —
+/// JobCancelledError is the cooperative cancellation point. EndRound must
+/// not throw: it runs on the unwind path too.
+class RoundGate {
+ public:
+  virtual ~RoundGate() = default;
+  virtual void BeginRound(int64_t round) = 0;
+  virtual void EndRound(int64_t round) noexcept = 0;
+};
+
 /// Everything an execution strategy needs besides the query itself: the
 /// per-call options, the stats sink, and the optional telemetry recorder /
 /// observer. Bundled so runner signatures survive future additions.
+/// `gate` and `shared_pool` are set only by the job server: the gate makes
+/// the round loop yieldable, and the shared pool replaces the runner's
+/// private ThreadPool so concurrent jobs multiplex one worker set.
 struct ExecutionContext {
   const SqloopOptions& options;
   RunStats& stats;
   telemetry::Recorder* recorder = nullptr;
   ExecutionObserver* observer = nullptr;
+  RoundGate* gate = nullptr;
+  ThreadPool* shared_pool = nullptr;
 };
 
 }  // namespace sqloop::core

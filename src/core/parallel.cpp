@@ -96,6 +96,8 @@ ParallelRunner::ParallelRunner(std::string url, dbc::Connection& master,
       stats_(ctx.stats),
       recorder_(ctx.recorder),
       observer_(ctx.observer),
+      gate_(ctx.gate),
+      shared_pool_(ctx.shared_pool),
       translator_(Translator::For(master)),
       schema_(std::move(schema)),
       checker_(with.termination, translator_, analysis.cte_name),
@@ -420,7 +422,7 @@ uint64_t ParallelRunner::RunCompute(size_t partition, dbc::Connection& conn,
       // Once registered the table is owned by the registry — and must
       // never be registered twice, or gathers would double-count deltas.
       attempt.orphan.clear();
-      RegisterMessageTable(msg, std::move(targets));
+      RegisterMessageTable(msg, partition, std::move(targets));
     } else {
       conn.Execute(translator_.DropTableSql(msg));
       attempt.orphan.clear();
@@ -718,10 +720,11 @@ void ParallelRunner::FinishRound(int64_t round, uint64_t updates,
 // Message registry
 // ---------------------------------------------------------------------------
 
-void ParallelRunner::RegisterMessageTable(std::string name,
+void ParallelRunner::RegisterMessageTable(std::string name, size_t source,
                                           std::vector<size_t> targets) {
   const std::scoped_lock lock(registry_mutex_);
   message_tables_.push_back(std::move(name));
+  message_sources_.push_back(source);
   message_targets_.push_back(std::move(targets));
   message_count_.fetch_add(1);
 }
@@ -730,14 +733,25 @@ std::pair<std::vector<std::string>, size_t> ParallelRunner::UnreadMessages(
     size_t partition) {
   const std::scoped_lock lock(registry_mutex_);
   const size_t upto = message_tables_.size();
-  std::vector<std::string> unread;
+  std::vector<size_t> indices;
   for (size_t i = consumed_[partition]; i < upto; ++i) {
     const auto& targets = message_targets_[i];
     if (targets.empty() ||
         std::binary_search(targets.begin(), targets.end(), partition)) {
-      unread.push_back(message_tables_[i]);
+      indices.push_back(i);
     }
   }
+  // Registration order is a worker-timing race; the producing partition is
+  // not. Ordering the union arms by source keeps the gather's accumulation
+  // order — and every floating-point SUM — reproducible across runs and
+  // pool widths (same-source ties keep creation order, which that
+  // partition's serialized computes make deterministic).
+  std::stable_sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
+    return message_sources_[a] < message_sources_[b];
+  });
+  std::vector<std::string> unread;
+  unread.reserve(indices.size());
+  for (const size_t i : indices) unread.push_back(message_tables_[i]);
   return {std::move(unread), upto};
 }
 
@@ -841,9 +855,11 @@ bool ParallelRunner::RestoreFromCheckpoint() {
   {
     const std::scoped_lock lock(registry_mutex_);
     message_tables_.clear();
+    message_sources_.clear();
     message_targets_.clear();
     for (const auto& entry : m.messages) {
       message_tables_.push_back(entry.table);
+      message_sources_.push_back(entry.source);
       message_targets_.push_back(entry.targets);
     }
     consumed_ = m.consumed;
@@ -894,6 +910,7 @@ void ParallelRunner::WriteCheckpoint(
       CheckpointManifest::MessageEntry entry;
       entry.table = message_tables_[i];
       entry.file = "msg" + std::to_string(i - dropped_prefix_) + ".dump";
+      entry.source = message_sources_[i];
       entry.targets = message_targets_[i];
       master_.AddBatch("DUMP TABLE " + translator_.Quote(entry.table) +
                        " TO " +
@@ -1024,7 +1041,13 @@ bool ParallelRunner::PartitionEligible(size_t partition, double* rank) {
 }
 
 void ParallelRunner::RunRounds() {
-  const int threads = options_.ResolveThreads();
+  // Under a shared pool (service runs) the job gets the pool's width; its
+  // per-worker connections are opened lazily by the first task that lands
+  // on each worker (worker_conn below), since a shared pool's start hooks
+  // already ran for some other purpose long ago.
+  const int threads = shared_pool_ != nullptr
+                          ? static_cast<int>(shared_pool_->worker_count())
+                          : options_.ResolveThreads();
   std::vector<std::unique_ptr<dbc::Connection>> worker_conns(
       static_cast<size_t>(threads));
   worker_dead_.assign(static_cast<size_t>(threads), 0);
@@ -1032,22 +1055,31 @@ void ParallelRunner::RunRounds() {
     const std::scoped_lock lock(degrade_mutex_);
     live_workers_ = static_cast<size_t>(threads);
   }
-  ThreadPool pool(static_cast<size_t>(threads), [&](size_t index) {
-    try {
-      worker_conns[index] = dbc::DriverManager::GetConnection(url_);
-      // Worker statements count toward the same run as the master's.
-      worker_conns[index]->set_recorder(recorder_);
-      worker_conns[index]->set_statement_timeout_ms(
-          options_.retry.statement_timeout_ms);
-    } catch (const std::exception& e) {
-      if (IsTransientError(e)) return;  // first task re-attempts the open
-      const std::scoped_lock lock(failure_mutex_);
-      if (!failure_) failure_ = std::current_exception();
-    } catch (...) {
-      const std::scoped_lock lock(failure_mutex_);
-      if (!failure_) failure_ = std::current_exception();
-    }
-  });
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (shared_pool_ == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(
+        static_cast<size_t>(threads), [&](size_t index) {
+          try {
+            worker_conns[index] = dbc::DriverManager::GetConnection(url_);
+            // Worker statements count toward the same run as the master's.
+            worker_conns[index]->set_recorder(recorder_);
+            worker_conns[index]->set_statement_timeout_ms(
+                options_.retry.statement_timeout_ms);
+          } catch (const std::exception& e) {
+            if (IsTransientError(e)) return;  // first task re-attempts open
+            const std::scoped_lock lock(failure_mutex_);
+            if (!failure_) failure_ = std::current_exception();
+          } catch (...) {
+            const std::scoped_lock lock(failure_mutex_);
+            if (!failure_) failure_ = std::current_exception();
+          }
+        });
+  }
+  // All submissions/barriers below go through the group: with a private
+  // pool it is a transparent wrapper; with a shared pool its WaitIdle
+  // waits only for THIS job's tasks, so concurrent jobs barrier
+  // independently.
+  TaskGroup pool(shared_pool_ != nullptr ? *shared_pool_ : *owned_pool);
 
   // However RunRounds exits, every worker connection is closed before the
   // pool unwinds — the failure path must not leak live connections until
@@ -1055,7 +1087,7 @@ void ParallelRunner::RunRounds() {
   // runs first, and it drains the queue so no task can resurrect a
   // connection afterwards.
   struct WorkerConnCloser {
-    ThreadPool& pool;
+    TaskGroup& pool;
     std::vector<std::unique_ptr<dbc::Connection>>& conns;
     ~WorkerConnCloser() {
       pool.WaitIdle();
@@ -1074,6 +1106,25 @@ void ParallelRunner::RunRounds() {
   const auto poison = [&] {
     const std::scoped_lock lock(failure_mutex_);
     if (!failure_) failure_ = std::current_exception();
+  };
+  // Shared-pool mode has no per-job start hook, so the first task landing
+  // on a worker opens its connection here. An initial open is not a
+  // recovery action and must not count as a reopen; only genuinely lost
+  // connections go through the retrier's counted path.
+  const auto worker_conn = [&](size_t worker) -> dbc::Connection& {
+    if (worker_conns[worker] == nullptr) {
+      try {
+        auto conn = dbc::DriverManager::GetConnection(url_);
+        conn->set_recorder(recorder_);
+        conn->set_statement_timeout_ms(options_.retry.statement_timeout_ms);
+        worker_conns[worker] = std::move(conn);
+        return *worker_conns[worker];
+      } catch (const std::exception& e) {
+        if (!IsTransientError(e)) throw;
+        // Transient connect fault: fall through to the counted retry path.
+      }
+    }
+    return retrier_.EnsureOpen(worker_conns[worker], url_);
   };
   const auto worker_retired = [&](size_t worker) {
     const std::scoped_lock lock(degrade_mutex_);
@@ -1192,8 +1243,7 @@ void ParallelRunner::RunRounds() {
     }
     if (!speculate) {
       try {
-        dbc::Connection& conn =
-            retrier_.EnsureOpen(worker_conns[worker], url_);
+        dbc::Connection& conn = worker_conn(worker);
         RunSpec(conn, spec);
       } catch (const RetryExhausted& e) {
         if (options_.retry.allow_degradation) {
@@ -1219,7 +1269,7 @@ void ParallelRunner::RunRounds() {
     }
     bool superseded = false;
     try {
-      dbc::Connection& conn = retrier_.EnsureOpen(worker_conns[worker], url_);
+      dbc::Connection& conn = worker_conn(worker);
       conn.set_cancel_flag(state->cancel);
       struct FlagClearer {
         dbc::Connection& conn;
@@ -1413,7 +1463,24 @@ void ParallelRunner::RunRounds() {
     dispatch_seq = resume_dispatch_seq_;
   }
 
+  // One round's slot in the cross-job scheduler (service runs). EndRound
+  // must fire on the unwind path too — a job that dies mid-round still has
+  // to give its grant back or every other job would starve.
+  struct RoundLease {
+    RoundGate* gate;
+    int64_t round;
+    ~RoundLease() {
+      if (gate != nullptr) gate->EndRound(round);
+    }
+  };
+
   for (int64_t round = resume_round_ + 1;; ++round) {
+    // The gate may block (fair-share turn-taking) and may throw
+    // JobCancelledError — the cooperative cancellation point at the round
+    // border. Taken before any of the round's work, so a cancelled or
+    // descheduled job holds no pool capacity while it waits.
+    if (gate_ != nullptr) gate_->BeginRound(round);
+    RoundLease lease{gate_, round};
     current_round_.store(round, std::memory_order_relaxed);
     round_degraded_ = false;
     if (observer_ != nullptr) observer_->OnRoundStart(round);

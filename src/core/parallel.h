@@ -130,7 +130,11 @@ class ParallelRunner {
   // `targets` lists the partitions the table's rows belong to (empty =
   // unknown, treat as "all"); AsyncP uses it to skip idle partitions
   // without missing messages addressed to them.
-  void RegisterMessageTable(std::string name, std::vector<size_t> targets);
+  // `source` is the producing partition; UnreadMessages orders the union
+  // arms by it so the gather's accumulation order — and therefore every
+  // floating-point SUM — is independent of which worker registered first.
+  void RegisterMessageTable(std::string name, size_t source,
+                            std::vector<size_t> targets);
   std::pair<std::vector<std::string>, size_t> UnreadMessages(size_t partition);
   bool HasUnreadTargetedMessages(size_t partition);
   void MarkConsumed(size_t partition, size_t upto);
@@ -157,6 +161,8 @@ class ParallelRunner {
   RunStats& stats_;
   telemetry::Recorder* const recorder_;  // may be null
   ExecutionObserver* const observer_;    // may be null
+  RoundGate* const gate_;                // may be null (non-service runs)
+  ThreadPool* const shared_pool_;        // may be null (private pool)
   const Stopwatch run_watch_;            // span times are offsets from this
   Translator translator_;
   std::vector<sql::ColumnDef> schema_;
@@ -176,6 +182,7 @@ class ParallelRunner {
   // Message registry.
   std::mutex registry_mutex_;
   std::vector<std::string> message_tables_;
+  std::vector<size_t> message_sources_;  // producing partition, per table
   std::vector<std::vector<size_t>> message_targets_;  // sorted; empty = all
   std::vector<size_t> consumed_;  // per partition: index into message_tables_
   size_t dropped_prefix_ = 0;

@@ -66,6 +66,19 @@ void Retrier::Reopen(dbc::Connection& conn, const char* /*what*/,
   SQLOOP_COUNT(recorder_, "resilience.reopened_connections", 1);
 }
 
+std::unique_ptr<dbc::Connection> Retrier::Open(const std::string& url) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      auto conn = dbc::DriverManager::GetConnection(url);
+      conn->set_statement_timeout_ms(policy_.statement_timeout_ms);
+      conn->set_recorder(recorder_);
+      return conn;
+    } catch (const std::exception& e) {
+      HandleFailure(e, "open", -1, attempt);
+    }
+  }
+}
+
 dbc::Connection& Retrier::EnsureOpen(std::unique_ptr<dbc::Connection>& slot,
                                      const std::string& url) {
   for (int attempt = 1;; ++attempt) {

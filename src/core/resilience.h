@@ -68,6 +68,12 @@ class Retrier {
   dbc::Connection& EnsureOpen(std::unique_ptr<dbc::Connection>& slot,
                               const std::string& url);
 
+  /// Opens a brand-new connection for `url`, retrying transient failures
+  /// under the policy. Unlike EnsureOpen, a successful first open is NOT
+  /// counted as a reopen — this is the initial open of a run, not a
+  /// recovery action — so fault-free runs keep all-zero counters.
+  std::unique_ptr<dbc::Connection> Open(const std::string& url);
+
   const RetryPolicy& policy() const noexcept { return policy_; }
 
   // --- counters (flushed into RunStats by the runner) -------------------

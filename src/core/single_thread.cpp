@@ -156,6 +156,20 @@ void RecordDurabilitySpan(const ExecutionContext& ctx,
   });
 }
 
+/// One round's slot in the cross-job scheduler (service runs); see
+/// RoundGate. A null gate makes both calls no-ops, so standalone runs pay
+/// nothing.
+struct RoundLease {
+  RoundGate* gate;
+  int64_t round;
+  RoundLease(RoundGate* g, int64_t r) : gate(g), round(r) {
+    if (gate != nullptr) gate->BeginRound(round);
+  }
+  ~RoundLease() {
+    if (gate != nullptr) gate->EndRound(round);
+  }
+};
+
 }  // namespace
 
 dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
@@ -253,6 +267,7 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
   }
 
   for (int64_t iteration = start_iteration;; ++iteration) {
+    const RoundLease lease(ctx.gate, iteration);
     if (ctx.observer != nullptr) ctx.observer->OnRoundStart(iteration);
     if (const auto& fault = connection.fault_injector();
         fault != nullptr && fault->ShouldKillAtRound(iteration)) {
@@ -353,6 +368,7 @@ dbc::ResultSet RunRecursiveEmulated(dbc::Connection& connection,
       throw ExecutionError("recursive CTE '" + with.name +
                            "' exceeded the recursion guard");
     }
+    const RoundLease lease(ctx.gate, round);
     if (ctx.observer != nullptr) ctx.observer->OnRoundStart(round);
     const double body_start = watch.ElapsedSeconds();
     auto step = with.step->Clone();

@@ -1,36 +1,13 @@
 #include "core/sqloop.h"
 
 #include "common/error.h"
-#include "common/logging.h"
-#include "core/analysis.h"
-#include "core/parallel.h"
-#include "core/resilience.h"
-#include "core/schema_infer.h"
-#include "core/single_thread.h"
+#include "core/execute.h"
 #include "core/translator.h"
 #include "dbc/driver.h"
+#include "server/job_server.h"
 #include "sql/parser.h"
 
 namespace sqloop::core {
-namespace {
-
-/// Detaches the recorder from a connection when the run leaves scope — the
-/// recorder dies with RunStats, the connection does not.
-class RecorderAttachment {
- public:
-  RecorderAttachment(dbc::Connection& conn, telemetry::Recorder* recorder)
-      : conn_(conn) {
-    conn_.set_recorder(recorder);
-  }
-  ~RecorderAttachment() { conn_.set_recorder(nullptr); }
-  RecorderAttachment(const RecorderAttachment&) = delete;
-  RecorderAttachment& operator=(const RecorderAttachment&) = delete;
-
- private:
-  dbc::Connection& conn_;
-};
-
-}  // namespace
 
 const char* ExecutionModeName(ExecutionMode mode) noexcept {
   switch (mode) {
@@ -51,6 +28,8 @@ SqLoop::SqLoop(std::string url, SqloopOptions options)
       options_(options),
       master_(dbc::DriverManager::GetConnection(url_)) {}
 
+SqLoop::~SqLoop() = default;
+
 dbc::ResultSet SqLoop::Execute(const std::string& sql) {
   return Execute(sql, options_);
 }
@@ -70,109 +49,52 @@ dbc::ResultSet SqLoop::ExecuteScript(const std::string& script) {
   return last;
 }
 
-telemetry::Recorder* SqLoop::BeginRun() {
-  stats_ = {};
-  stats_.recorder = std::make_shared<telemetry::Recorder>();
-  return stats_.recorder.get();
+server::JobServer& SqLoop::job_server() {
+  if (server_ == nullptr) {
+    // Embedded single-job configuration: one dispatcher, no shared pool
+    // (each run builds its private pool exactly like a standalone run),
+    // no derived seeds and no pooled connections — legacy single-job
+    // behaviour, fault schedules and connection accounting stay
+    // bit-identical to the pre-service facade.
+    server::JobServerConfig config;
+    config.url = url_;
+    config.share_worker_pool = false;
+    config.max_running_jobs = 1;
+    config.max_active_rounds = 0;
+    config.queue_capacity = 64;
+    config.max_inflight_per_tenant = 64;
+    config.derive_seeds = false;
+    config.pool_connections = false;
+    server_ = std::make_unique<server::JobServer>(std::move(config));
+  }
+  return *server_;
 }
 
 dbc::ResultSet SqLoop::ExecuteStatement(const sql::Statement& stmt,
                                         const SqloopOptions& options) {
-  const Translator translator = Translator::For(*master_);
-
-  if (stmt.kind != sql::StatementKind::kWith) {
-    // Regular SQL: rewritten by the translation module for the target
-    // dialect and forwarded as-is (paper §IV-B).
+  if (!NeedsIterativeRun(stmt, *master_)) {
+    // Regular SQL (and natively supported CTEs) stays on this instance's
+    // own master connection — inside its transaction, if one is open.
+    const Translator translator = Translator::For(*master_);
     return master_->Execute(translator.Render(stmt));
   }
-
-  switch (stmt.with.kind) {
-    case sql::CteKind::kPlain:
-      return master_->Execute(translator.Render(stmt));
-    case sql::CteKind::kRecursive: {
-      if (master_->profile().supports_recursive_cte) {
-        return master_->Execute(translator.Render(stmt));
-      }
-      SQLOOP_INFO("engine '" << master_->profile().name
-                             << "' lacks recursive CTEs; emulating");
-      telemetry::Recorder* recorder = BeginRun();
-      const RecorderAttachment attach(*master_, recorder);
-      const ExecutionContext ctx{options, stats_, recorder, observer_};
-      return RunRecursiveEmulated(*master_, stmt.with, ctx);
-    }
-    case sql::CteKind::kIterative:
-      return ExecuteIterative(stmt.with, options);
-  }
-  throw UsageError("unknown CTE kind");
+  return ExecuteViaServer(stmt, options);
 }
 
-dbc::ResultSet SqLoop::ExecuteIterative(const sql::WithClause& with,
+dbc::ResultSet SqLoop::ExecuteViaServer(const sql::Statement& stmt,
                                         const SqloopOptions& options) {
-  // Checkpoint defaults carried by the connection URL (checkpoint_every /
-  // checkpoint_dir) apply when the per-call options leave them unset, so a
-  // deployment can turn on durability without touching call sites.
-  SqloopOptions effective = options;
-  if (effective.checkpoint_every == 0 || effective.checkpoint_dir.empty()) {
-    try {
-      const auto config = dbc::ConnectionConfig::Parse(url_);
-      if (effective.checkpoint_every == 0) {
-        effective.checkpoint_every = config.checkpoint_every;
-      }
-      if (effective.checkpoint_dir.empty()) {
-        effective.checkpoint_dir = config.checkpoint_dir;
-      }
-    } catch (...) {
-      // The URL already opened this session's connection; a re-parse
-      // failure here only forfeits the URL defaults.
-    }
-  }
-
-  telemetry::Recorder* recorder = BeginRun();
-  const RecorderAttachment attach(*master_, recorder);
-  const ExecutionContext ctx{effective, stats_, recorder, observer_};
-
-  const auto fall_back = [&](const std::string& reason) {
-    stats_.fallback_reason = reason;
-    if (observer_ != nullptr) observer_->OnFallback(reason);
-    return RunIterativeSingleThread(*master_, with, ctx);
-  };
-
-  if (effective.mode == ExecutionMode::kSingleThread) {
-    stats_.fallback_reason = "single-thread mode requested";
-    return RunIterativeSingleThread(*master_, with, ctx);
-  }
-
-  // Automatic analysis (paper §V-A): parallelize when the iterative member
-  // uses a supported aggregate and fits the partitionable shape.
-  const CteAnalysis analysis = AnalyzeIterativeCte(with);
-  if (!analysis.parallelizable) {
-    SQLOOP_INFO("falling back to single-threaded execution: "
-                << analysis.reason);
-    return fall_back(analysis.reason);
-  }
-
-  const Translator translator = Translator::For(*master_);
-  // Schema inference runs before the runner's own retry machinery exists;
-  // a transient fault here must not abort the run.
-  Retrier setup_retrier(effective.retry, recorder, observer_);
-  auto schema = setup_retrier.Run(*master_, "setup", -1, [&] {
-    return InferSchemaFromSelect(*master_, translator, *with.seed,
-                                 with.columns, /*widen_non_key=*/true);
-  });
-  stats_.retries += setup_retrier.retries();
-  stats_.reopened_connections += setup_retrier.reopened_connections();
-  stats_.timeouts += setup_retrier.timeouts();
-  if (schema.empty() || schema[0].type != ValueType::kInt64) {
-    const std::string reason =
-        "the key column is not integer-typed; hash partitioning on Rid "
-        "requires integer keys";
-    SQLOOP_INFO("falling back to single-threaded execution: " << reason);
-    return fall_back(reason);
-  }
-
-  ParallelRunner runner(url_, *master_, with, analysis, std::move(schema),
-                        ctx);
-  return runner.Run();
+  // The facade lends its master connection: the run executes on it (same
+  // transaction state, same connection accounting as the pre-service
+  // facade), and the synchronous WaitDone below keeps the lifetimes safe.
+  server::JobHandle job = job_server().SubmitParsed(
+      "local", stmt.Clone(), /*sql_text=*/"", options, observer_,
+      /*url_params=*/"", master_.get());
+  job.WaitDone();
+  // Adopt the job's stats whether it succeeded or not: a failed run's
+  // partial counters (retries, checkpoints written before a crash) still
+  // tell the story, exactly as the pre-service facade reported them.
+  stats_ = job.Stats();
+  return job.Wait();  // returns the result or rethrows the job's error
 }
 
 }  // namespace sqloop::core

@@ -18,6 +18,13 @@
 //     WITH ITERATIVE PageRank (Node, Rank, Delta) AS (...)
 //     SELECT Node, Rank FROM PageRank)sql", options);
 //
+// Execute() is a thin synchronous wrapper over the service API
+// (src/server): iterative work is submitted to an embedded single-job
+// JobServer and awaited, so the one-shot path and the multi-tenant
+// Session::Submit/JobHandle path run the same code. For concurrent or
+// multi-tenant workloads, use server::JobServer directly — or this
+// instance's job_server() to inspect the embedded one (the shell's \jobs).
+//
 // Observability: loop.last_run() exposes flat totals plus a per-round
 // trace (`per_iteration()`), and set_observer() delivers round-boundary /
 // task-completion callbacks while a query executes (see core/observer.h).
@@ -30,6 +37,10 @@
 #include "core/options.h"
 #include "dbc/connection.h"
 
+namespace sqloop::server {
+class JobServer;
+}
+
 namespace sqloop::core {
 
 class SqLoop {
@@ -37,15 +48,15 @@ class SqLoop {
   /// Connects immediately; throws ConnectionError on failure. `options`
   /// become the instance defaults used by the one-argument Execute().
   explicit SqLoop(std::string url, SqloopOptions options = {});
+  ~SqLoop();
 
   /// Executes one statement of SQL (iterative/recursive CTEs included)
   /// under the instance's default options.
   dbc::ResultSet Execute(const std::string& sql);
 
   /// Executes one statement under per-call options, leaving the instance
-  /// defaults untouched. Prefer this over mutating mutable_options()
-  /// between calls: per-call options keep concurrent and repeated runs
-  /// independent of call order.
+  /// defaults untouched. Per-call options keep concurrent and repeated
+  /// runs independent of call order.
   dbc::ResultSet Execute(const std::string& sql,
                          const SqloopOptions& options);
 
@@ -67,11 +78,10 @@ class SqLoop {
 
   const SqloopOptions& options() const noexcept { return options_; }
 
-  /// DEPRECATED: mutating the shared instance options makes runs depend on
-  /// call order and races with concurrent use of the instance. Pass
-  /// per-call options via Execute(sql, options) instead; this accessor
-  /// remains only for legacy callers and will be removed.
-  SqloopOptions& mutable_options() noexcept { return options_; }
+  /// The embedded job server driving this instance's iterative
+  /// executions (created lazily). Exposes Jobs()/Tenants() for
+  /// introspection — the shell's \jobs reads it.
+  server::JobServer& job_server();
 
   /// The master connection (also usable for ad-hoc queries/sampling).
   dbc::Connection& connection() { return *master_; }
@@ -80,16 +90,17 @@ class SqLoop {
  private:
   dbc::ResultSet ExecuteStatement(const sql::Statement& stmt,
                                   const SqloopOptions& options);
-  dbc::ResultSet ExecuteIterative(const sql::WithClause& with,
+  /// Iterative/emulated-recursive path: submit to the embedded server,
+  /// wait, adopt the job's stats as last_run().
+  dbc::ResultSet ExecuteViaServer(const sql::Statement& stmt,
                                   const SqloopOptions& options);
-  /// Fresh recorder wired to stats_ and the master connection.
-  telemetry::Recorder* BeginRun();
 
   std::string url_;
   SqloopOptions options_;
   std::unique_ptr<dbc::Connection> master_;
   RunStats stats_;
   ExecutionObserver* observer_ = nullptr;
+  std::unique_ptr<server::JobServer> server_;  // lazily created
 };
 
 }  // namespace sqloop::core

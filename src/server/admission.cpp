@@ -1,0 +1,103 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+#include "server/job.h"
+
+namespace sqloop::server {
+
+void AdmissionQueue::Push(std::shared_ptr<JobRecord> job, double weight) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (closed_) {
+      throw AdmissionError("server is draining", retry_after_ms_);
+    }
+    Lane& lane = lanes_[job->tenant];
+    lane.weight = std::max(weight, 1e-9);
+    if (lane.inflight >= per_tenant_) {
+      throw AdmissionError("tenant '" + job->tenant +
+                               "' is at its in-flight cap (" +
+                               std::to_string(per_tenant_) + ")",
+                           retry_after_ms_);
+    }
+    if (queued_ >= capacity_) {
+      throw AdmissionError("queue is at capacity (" +
+                               std::to_string(capacity_) + ")",
+                           retry_after_ms_);
+    }
+    // A lane that sat idle re-enters at the current virtual time instead
+    // of replaying the credit it accumulated while empty.
+    if (lane.jobs.empty()) lane.pass = std::max(lane.pass, vtime_);
+    lane.jobs.push_back(std::move(job));
+    ++lane.inflight;
+    ++queued_;
+  }
+  ready_.notify_one();
+}
+
+std::shared_ptr<JobRecord> AdmissionQueue::Pop() {
+  std::unique_lock lock(mutex_);
+  ready_.wait(lock, [this] { return queued_ > 0 || closed_; });
+  if (queued_ == 0) return nullptr;  // closed and drained
+  Lane* best = nullptr;
+  for (auto& [tenant, lane] : lanes_) {
+    if (lane.jobs.empty()) continue;
+    if (best == nullptr || lane.pass < best->pass) best = &lane;
+  }
+  std::shared_ptr<JobRecord> job = std::move(best->jobs.front());
+  best->jobs.pop_front();
+  vtime_ = best->pass;
+  best->pass += 1.0 / best->weight;
+  --queued_;
+  // Another dispatcher may be waiting and more work may remain.
+  if (queued_ > 0 || closed_) ready_.notify_one();
+  return job;
+}
+
+bool AdmissionQueue::Erase(const JobRecord* job) {
+  const std::scoped_lock lock(mutex_);
+  auto it = lanes_.find(job->tenant);
+  if (it == lanes_.end()) return false;
+  auto& jobs = it->second.jobs;
+  for (auto jt = jobs.begin(); jt != jobs.end(); ++jt) {
+    if (jt->get() == job) {
+      jobs.erase(jt);
+      --queued_;
+      --it->second.inflight;  // never popped: release the slot here
+      return true;
+    }
+  }
+  return false;
+}
+
+void AdmissionQueue::Release(const std::string& tenant) {
+  const std::scoped_lock lock(mutex_);
+  auto it = lanes_.find(tenant);
+  if (it != lanes_.end() && it->second.inflight > 0) --it->second.inflight;
+}
+
+void AdmissionQueue::Close() {
+  {
+    const std::scoped_lock lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+size_t AdmissionQueue::queued() const {
+  const std::scoped_lock lock(mutex_);
+  return queued_;
+}
+
+size_t AdmissionQueue::inflight(const std::string& tenant) const {
+  const std::scoped_lock lock(mutex_);
+  auto it = lanes_.find(tenant);
+  return it == lanes_.end() ? 0 : it->second.inflight;
+}
+
+bool AdmissionQueue::closed() const {
+  const std::scoped_lock lock(mutex_);
+  return closed_;
+}
+
+}  // namespace sqloop::server

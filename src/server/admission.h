@@ -1,0 +1,99 @@
+// Admission control for the job server (DESIGN.md "Service architecture"):
+// a bounded, weighted-fair submission queue with per-tenant in-flight caps.
+// Overload is rejected immediately with AdmissionError (carrying a
+// retry-after hint) instead of building unbounded backlog; Close() flips
+// the queue into drain mode — new submissions are rejected, already
+// admitted jobs still run to completion.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/error.h"
+
+namespace sqloop::server {
+
+struct JobRecord;
+
+/// The server declined to admit a job: the queue is at capacity, the
+/// tenant is at its in-flight cap, or the server is draining. Fatal to the
+/// submission (nothing was enqueued); the caller may retry after
+/// `retry_after_ms()`.
+class AdmissionError : public Error {
+ public:
+  AdmissionError(const std::string& message, int64_t retry_after_ms)
+      : Error("admission rejected: " + message +
+              " (retry after " + std::to_string(retry_after_ms) + " ms)"),
+        retry_after_ms_(retry_after_ms) {}
+
+  int64_t retry_after_ms() const noexcept { return retry_after_ms_; }
+
+ private:
+  int64_t retry_after_ms_;
+};
+
+/// Bounded multi-tenant job queue. One FIFO lane per tenant; Pop serves
+/// lanes by weighted stride (a lane's pass advances by 1/weight per pop),
+/// so a heavy submitter cannot starve light tenants even before the
+/// round-level scheduler gets involved. The in-flight count — queued plus
+/// running — is capped per tenant; Release() frees a slot when a job
+/// reaches a terminal state.
+class AdmissionQueue {
+ public:
+  AdmissionQueue(size_t queue_capacity, size_t max_inflight_per_tenant,
+                 int64_t retry_after_ms)
+      : capacity_(queue_capacity),
+        per_tenant_(max_inflight_per_tenant),
+        retry_after_ms_(retry_after_ms) {}
+
+  /// Admits a job or throws AdmissionError (queue full / tenant at cap /
+  /// draining). `weight` is the tenant's scheduling weight at submit time.
+  void Push(std::shared_ptr<JobRecord> job, double weight);
+
+  /// Blocks until a job is available, then returns the next one by
+  /// weighted-fair order. Returns nullptr once the queue is closed AND
+  /// drained — the dispatcher's signal to exit.
+  std::shared_ptr<JobRecord> Pop();
+
+  /// Removes a still-queued job (cancellation). Returns true if the job
+  /// was found (its in-flight slot is released here); false if a
+  /// dispatcher already popped it.
+  bool Erase(const JobRecord* job);
+
+  /// Frees the tenant's in-flight slot after a popped job terminates.
+  void Release(const std::string& tenant);
+
+  /// Drain mode: every subsequent Push throws, Pop serves the backlog and
+  /// then returns nullptr.
+  void Close();
+
+  size_t queued() const;
+  size_t inflight(const std::string& tenant) const;
+  bool closed() const;
+
+ private:
+  struct Lane {
+    std::deque<std::shared_ptr<JobRecord>> jobs;
+    double weight = 1.0;
+    double pass = 0;        // stride position; smaller = served sooner
+    size_t inflight = 0;    // queued + running
+  };
+
+  const size_t capacity_;
+  const size_t per_tenant_;
+  const int64_t retry_after_ms_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::map<std::string, Lane> lanes_;
+  size_t queued_ = 0;
+  double vtime_ = 0;  // pass of the most recent pop; floors idle lanes
+  bool closed_ = false;
+};
+
+}  // namespace sqloop::server

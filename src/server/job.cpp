@@ -1,0 +1,79 @@
+#include "server/job.h"
+
+#include "common/error.h"
+
+namespace sqloop::server {
+
+const char* JobStateName(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+JobState JobHandle::Status() const {
+  const std::scoped_lock lock(record_->mutex);
+  return record_->state;
+}
+
+void JobHandle::WaitDone() const {
+  std::unique_lock lock(record_->mutex);
+  record_->cv.wait(lock, [&] { return IsTerminal(record_->state); });
+}
+
+dbc::ResultSet JobHandle::Wait() const {
+  std::unique_lock lock(record_->mutex);
+  record_->cv.wait(lock, [&] { return IsTerminal(record_->state); });
+  if (record_->error != nullptr) std::rethrow_exception(record_->error);
+  if (record_->state == JobState::kCancelled) {
+    // Defensive: cancellation always stores a JobCancelledError, but a
+    // handle must never return a bogus result for a cancelled job.
+    throw JobCancelledError("job " + std::to_string(record_->id));
+  }
+  return record_->result;
+}
+
+void JobHandle::Cancel() const {
+  std::function<void(JobRecord&)> hook;
+  {
+    const std::scoped_lock lock(record_->mutex);
+    if (IsTerminal(record_->state)) return;
+    record_->cancel_requested.store(true, std::memory_order_release);
+    hook = record_->cancel_hook;
+  }
+  // The hook (set by the server) pokes the scheduler and, for queued
+  // jobs, completes the record; invoked outside the record mutex since it
+  // takes scheduler/admission locks.
+  if (hook) hook(*record_);
+}
+
+core::RunStats JobHandle::Stats() const {
+  const std::scoped_lock lock(record_->mutex);
+  return record_->stats;
+}
+
+double JobHandle::queue_seconds() const {
+  const std::scoped_lock lock(record_->mutex);
+  return record_->queue_seconds;
+}
+
+double JobHandle::run_seconds() const {
+  const std::scoped_lock lock(record_->mutex);
+  return record_->run_seconds;
+}
+
+std::string JobHandle::error_message() const {
+  const std::scoped_lock lock(record_->mutex);
+  return record_->error_message;
+}
+
+}  // namespace sqloop::server

@@ -1,0 +1,132 @@
+// Job objects for the service API (DESIGN.md "Service architecture").
+//
+// A submission becomes a JobRecord — the server-side state machine
+// (queued → running → completed/failed/cancelled) — and the caller gets a
+// JobHandle: a cheap, copyable view with Status()/Wait()/Cancel()/Stats().
+// The job's identity (`id`) is a hash of (tenant, canonical SQL, mode,
+// partitions); it is deliberately stable across resubmission, so a
+// cancelled or crashed job resumed with `options.resume = true` continues
+// under the same identity — same checkpoint directory, same derived
+// fault/jitter seeds, same injector schedule.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "core/observer.h"
+#include "core/options.h"
+#include "dbc/connection.h"
+#include "sql/ast.h"
+
+namespace sqloop::server {
+
+enum class JobState {
+  kQueued,     // admitted, waiting for a dispatcher
+  kRunning,    // a dispatcher is driving its rounds
+  kCompleted,  // result available
+  kFailed,     // error available (rethrown by Wait)
+  kCancelled,  // cancelled while queued or at a round border
+};
+
+const char* JobStateName(JobState state) noexcept;
+
+inline bool IsTerminal(JobState state) noexcept {
+  return state == JobState::kCompleted || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+/// Server-side state of one submitted job. The immutable identity fields
+/// are set at submission; everything below `mutex` is the live state
+/// machine, guarded by it. Shared (via shared_ptr) between the server's
+/// registry, the admission queue, and every JobHandle.
+struct JobRecord {
+  // --- identity (immutable after Submit) --------------------------------
+  uint64_t seq = 0;      // registry key, unique per submission
+  uint64_t id = 0;       // job identity hash, stable across resubmission
+  std::string tenant;
+  std::string sql;       // canonical text, for \jobs and diagnostics
+  std::string url;       // connection URL the job runs against
+  /// Relation the job materializes on the shared backend (folded CTE
+  /// name; empty for plain SQL). Jobs sharing a target are serialized by
+  /// the server — the relation and its scratch tables are shared state.
+  std::string target;
+  sql::StatementPtr stmt;
+  core::SqloopOptions options;  // effective (defaults + derived seeds)
+  core::ExecutionObserver* observer = nullptr;  // facade passthrough
+  /// Connection lent by the submitter (the SqLoop facade lends its
+  /// master): the job runs on it instead of opening its own, preserving
+  /// the caller's transaction state and connection accounting. Must stay
+  /// valid until the job terminates; never pooled or closed by the server.
+  dbc::Connection* borrowed_conn = nullptr;
+  Stopwatch watch;       // started at submission
+
+  // --- live progress (lock-free reads for pollers) ----------------------
+  std::atomic<bool> cancel_requested{false};
+  std::atomic<int64_t> rounds{0};  // last round granted by the scheduler
+
+  // --- state machine -----------------------------------------------------
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  JobState state = JobState::kQueued;
+  std::exception_ptr error;        // set iff kFailed / kCancelled
+  std::string error_message;
+  dbc::ResultSet result;           // set iff kCompleted
+  core::RunStats stats;
+  double queue_seconds = 0;        // admission → dispatch
+  double run_seconds = 0;          // dispatch → terminal
+  /// Installed by the server so Cancel() can wake a blocked round grant
+  /// and drop the job from the admission queue; cleared when the job
+  /// terminates (a handle outliving the server only sees terminal jobs).
+  std::function<void(JobRecord&)> cancel_hook;
+};
+
+/// The caller's view of a submitted job. Copyable; all methods are
+/// thread-safe. Wait() blocks until the job terminates and either returns
+/// the result or rethrows the job's error with its original type
+/// (ParseError, RetryExhausted, JobCancelledError, ...).
+class JobHandle {
+ public:
+  JobHandle() = default;
+  explicit JobHandle(std::shared_ptr<JobRecord> record)
+      : record_(std::move(record)) {}
+
+  bool valid() const noexcept { return record_ != nullptr; }
+  uint64_t id() const { return record_->id; }
+  const std::string& tenant() const { return record_->tenant; }
+  const std::string& sql() const { return record_->sql; }
+
+  JobState Status() const;
+  bool Done() const { return IsTerminal(Status()); }
+  /// Last round the scheduler granted this job (live, lock-free).
+  int64_t rounds() const {
+    return record_->rounds.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until the job terminates; never throws.
+  void WaitDone() const;
+  /// Blocks until the job terminates, then returns its result or rethrows
+  /// its error.
+  dbc::ResultSet Wait() const;
+
+  /// Requests cancellation: a queued job terminates immediately, a
+  /// running one stops cooperatively at its next round border (surfacing
+  /// JobCancelledError from Wait). No-op on a terminal job.
+  void Cancel() const;
+
+  /// Snapshot of the job's RunStats (complete once the job terminates).
+  core::RunStats Stats() const;
+  double queue_seconds() const;
+  double run_seconds() const;
+  std::string error_message() const;
+
+ private:
+  std::shared_ptr<JobRecord> record_;
+};
+
+}  // namespace sqloop::server

@@ -1,0 +1,98 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+
+namespace sqloop::server {
+
+FairScheduler::Tenant& FairScheduler::Acquire(const std::string& tenant) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) it->second.pass = vtime_;
+  return it->second;
+}
+
+bool FairScheduler::IsTurn(const std::string& tenant) const {
+  const Tenant& mine = tenants_.at(tenant);
+  for (const auto& [name, other] : tenants_) {
+    if ((other.waiting == 0 && other.live == 0) || name == tenant) continue;
+    if (other.pass < mine.pass) return false;
+    if (other.pass == mine.pass && name < tenant) return false;
+  }
+  return true;
+}
+
+void FairScheduler::SetWeight(const std::string& tenant, double weight) {
+  const std::scoped_lock lock(mutex_);
+  Acquire(tenant).weight = std::max(weight, 1e-9);
+}
+
+void FairScheduler::Enter(const std::string& tenant) {
+  const std::scoped_lock lock(mutex_);
+  Tenant& t = Acquire(tenant);
+  if (t.live == 0 && t.waiting == 0) t.pass = std::max(t.pass, vtime_);
+  ++t.live;
+}
+
+void FairScheduler::Leave(const std::string& tenant) noexcept {
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it != tenants_.end() && it->second.live > 0) --it->second.live;
+  }
+  grant_.notify_all();
+}
+
+bool FairScheduler::BeginRound(const std::string& tenant,
+                               const std::atomic<bool>& cancelled) {
+  std::unique_lock lock(mutex_);
+  Tenant& t = Acquire(tenant);
+  if (max_active_ == 0) {
+    // Unlimited concurrency: keep the stride accounting (fairness
+    // metrics, newcomer floor) but never block.
+    vtime_ = t.pass;
+    t.pass += 1.0 / t.weight;
+    ++t.granted;
+    return !cancelled.load(std::memory_order_acquire);
+  }
+  // A tenant returning from true idle re-enters at the current virtual
+  // time: it neither replays credit accumulated while absent nor starts
+  // behind. A live tenant (between two rounds of a running job) keeps
+  // its earned position — flooring here every round would erase the
+  // stride history and collapse weighted sharing into round-robin.
+  if (t.waiting == 0 && t.live == 0) t.pass = std::max(t.pass, vtime_);
+  ++t.waiting;
+  grant_.wait(lock, [&] {
+    return cancelled.load(std::memory_order_acquire) ||
+           (active_ < max_active_ && IsTurn(tenant));
+  });
+  --t.waiting;
+  if (cancelled.load(std::memory_order_acquire)) {
+    // Someone else may have been runnable only behind this waiter.
+    grant_.notify_all();
+    return false;
+  }
+  ++active_;
+  vtime_ = t.pass;
+  t.pass += 1.0 / t.weight;
+  ++t.granted;
+  return true;
+}
+
+void FairScheduler::EndRound(const std::string& tenant) noexcept {
+  (void)tenant;
+  if (max_active_ == 0) return;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (active_ > 0) --active_;
+  }
+  grant_.notify_all();
+}
+
+void FairScheduler::Poke() noexcept { grant_.notify_all(); }
+
+uint64_t FairScheduler::granted(const std::string& tenant) const {
+  const std::scoped_lock lock(mutex_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.granted;
+}
+
+}  // namespace sqloop::server

@@ -1,0 +1,69 @@
+// Tenant sessions for the job server (DESIGN.md "Service architecture").
+//
+// A Session is the per-tenant submission surface: it carries the tenant's
+// scheduling weight, the option defaults applied when Submit is called
+// without per-call options, and extra URL parameters appended to every
+// connection the tenant's jobs open (the fault-injection knobs ride here,
+// which is how the isolation suite gives ONE tenant a faulty backend
+// without touching the others).
+//
+//   auto session = server.OpenSession("analytics", {.weight = 2.0});
+//   server::JobHandle job = session.Submit(pagerank_sql);
+//   ... do other work ...
+//   dbc::ResultSet ranks = job.Wait();
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/options.h"
+#include "server/job.h"
+
+namespace sqloop::server {
+
+class JobServer;
+
+struct SessionOptions {
+  /// Scheduling weight of the tenant: rounds are granted in proportion to
+  /// weights across tenants. 0 = the server's default_tenant_weight.
+  /// Re-opening a session for the same tenant updates the weight.
+  double weight = 0;
+
+  /// Option defaults for Submit(sql) calls without per-call options.
+  core::SqloopOptions defaults;
+
+  /// Extra URL query parameters ("k=v&k2=v2") appended to the server URL
+  /// for this session's jobs — per-tenant fault injection, latency, etc.
+  std::string url_params;
+};
+
+/// A cheap, copyable per-tenant submission handle. All methods are
+/// thread-safe; the session must not outlive the JobServer it came from.
+class Session {
+ public:
+  /// Submits one SQL statement under the session defaults. Parse errors
+  /// throw synchronously (ParseError); overload rejection throws
+  /// AdmissionError. Everything after admission is reported through the
+  /// returned handle.
+  JobHandle Submit(const std::string& sql) const;
+
+  /// Submits under per-call options (the session defaults are ignored).
+  JobHandle Submit(const std::string& sql,
+                   const core::SqloopOptions& options) const;
+
+  const std::string& tenant() const noexcept { return tenant_; }
+  const SessionOptions& options() const noexcept { return options_; }
+
+ private:
+  friend class JobServer;
+  Session(JobServer* server, std::string tenant, SessionOptions options)
+      : server_(server),
+        tenant_(std::move(tenant)),
+        options_(std::move(options)) {}
+
+  JobServer* server_;
+  std::string tenant_;
+  SessionOptions options_;
+};
+
+}  // namespace sqloop::server

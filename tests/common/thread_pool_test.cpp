@@ -79,5 +79,74 @@ TEST(ThreadPool, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 20);
 }
 
+TEST(TaskGroup, WaitIdleWaitsOnlyOwnTasks) {
+  ThreadPool pool(4);
+  TaskGroup slow(pool);
+  TaskGroup fast(pool);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> slow_done{0};
+  std::atomic<int> fast_done{0};
+  for (int i = 0; i < 2; ++i) {
+    slow.Submit([&](size_t) {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      slow_done.fetch_add(1);
+    });
+  }
+  for (int i = 0; i < 8; ++i) {
+    fast.Submit([&](size_t) { fast_done.fetch_add(1); });
+  }
+
+  // The fast group's barrier must not wait for the slow group's tasks.
+  fast.WaitIdle();
+  EXPECT_EQ(fast_done.load(), 8);
+  EXPECT_EQ(slow_done.load(), 0);
+
+  release.store(true);
+  slow.WaitIdle();
+  EXPECT_EQ(slow_done.load(), 2);
+}
+
+TEST(TaskGroup, DestructorDrainsPendingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 16; ++i) {
+      group.Submit([&done](size_t) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(TaskGroup, TasksMaySubmitFollowUpsIntoTheirGroup) {
+  ThreadPool pool(3);
+  TaskGroup group(pool);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 4; ++i) {
+    group.Submit([&](size_t) {
+      done.fetch_add(1);
+      group.Submit([&done](size_t) { done.fetch_add(1); });
+    });
+  }
+  group.WaitIdle();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(TaskGroup, ThrowingTaskStillCountsAsDone) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> done{0};
+  group.Submit([](size_t) { throw std::runtime_error("task failed"); });
+  group.Submit([&done](size_t) { done.fetch_add(1); });
+  group.WaitIdle();  // must not hang on the failed task's pending count
+  EXPECT_EQ(done.load(), 1);
+}
+
 }  // namespace
 }  // namespace sqloop

@@ -1,0 +1,511 @@
+// Multi-tenant isolation suite for the job server (`ctest -L service`).
+//
+// The properties pinned here are the service layer's contract: concurrent
+// tenants on one shared worker pool and one shared backend compute
+// bit-identical results to solo runs; a tenant with a faulty backend
+// cannot disturb its neighbours; admission control rejects overload
+// without building backlog; cancellation and graceful drain leave the
+// server healthy; a killed job resumed later keeps its identity.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "core/workloads.h"
+#include "graph/generators.h"
+#include "server/job_server.h"
+#include "tests/core/core_test_util.h"
+
+namespace sqloop::server {
+namespace {
+
+namespace fs = std::filesystem;
+using core::testing::CoreFixtureBase;
+
+std::vector<std::string> Canonical(const dbc::ResultSet& result) {
+  std::vector<std::string> rows;
+  rows.reserve(result.rows.size());
+  for (const auto& row : result.rows) {
+    std::string text;
+    for (const auto& value : row) {
+      text += value.ToString();
+      text += '|';
+    }
+    rows.push_back(std::move(text));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+core::SqloopOptions SyncOptions(int partitions = 8, int threads = 2) {
+  core::SqloopOptions options;
+  options.mode = core::ExecutionMode::kSync;
+  options.partitions = partitions;
+  options.threads = threads;
+  return options;
+}
+
+core::SqloopOptions SingleThreadOptions() {
+  core::SqloopOptions options;
+  options.mode = core::ExecutionMode::kSingleThread;
+  return options;
+}
+
+JobServerConfig ServiceConfig(const CoreFixtureBase& fixture) {
+  JobServerConfig config;
+  config.url = fixture.Url();
+  config.worker_threads = 4;
+  config.max_running_jobs = 4;
+  return config;
+}
+
+/// A self-cleaning checkpoint directory (tests may run concurrently).
+class ScopedCheckpointDir {
+ public:
+  ScopedCheckpointDir() {
+    static std::atomic<uint64_t> counter{0};
+    dir_ = (fs::temp_directory_path() /
+            ("sqloop_service_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(dir_);
+  }
+  ~ScopedCheckpointDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  const std::string& path() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+void WaitForState(const JobHandle& job, JobState state) {
+  for (int i = 0; i < 20000; ++i) {
+    if (job.Status() == state || job.Done()) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+TEST(ServiceTest, ConcurrentTenantsComputeBitIdenticalToSolo) {
+  const graph::Graph g = graph::MakeWebGraph(80, 3, 7);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+  const std::string query = core::workloads::PageRankQuery(6);
+
+  // Solo reference: the classic one-loop-per-query execution.
+  std::vector<std::string> solo;
+  {
+    core::SqLoop loop(fixture.Url(), SyncOptions());
+    solo = Canonical(loop.Execute(query));
+  }
+
+  // Four tenants, two jobs each, all in flight at once on one shared
+  // worker pool against the same database.
+  JobServer server(ServiceConfig(fixture));
+  std::vector<JobHandle> jobs;
+  for (int t = 0; t < 4; ++t) {
+    Session session = server.OpenSession("tenant" + std::to_string(t));
+    for (int j = 0; j < 2; ++j) {
+      jobs.push_back(session.Submit(query, SyncOptions()));
+    }
+  }
+  for (const auto& job : jobs) {
+    EXPECT_EQ(Canonical(job.Wait()), solo);
+    EXPECT_EQ(job.Status(), JobState::kCompleted);
+    EXPECT_EQ(job.Stats().iterations, 6);
+  }
+  for (const auto& tenant : server.Tenants()) {
+    EXPECT_EQ(tenant.jobs_completed, 2u) << tenant.tenant;
+    EXPECT_EQ(tenant.jobs_failed, 0u) << tenant.tenant;
+  }
+}
+
+TEST(ServiceTest, FaultyTenantDoesNotDisturbItsNeighbours) {
+  const graph::Graph g = graph::MakeWebGraph(60, 3, 3);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+  // The clean tenant runs PageRank; the faulty one runs SSSP, whose MIN
+  // gather is order-independent — exactly bit-identical under faults at
+  // any thread count (PageRank's SUM needs threads=1 for that, see the
+  // resilience suite). Distinct targets also mean the two tenants' jobs
+  // genuinely run concurrently.
+  const std::string clean_query = core::workloads::PageRankQuery(5);
+  const std::string faulty_query = core::workloads::SsspAllQuery(1);
+
+  std::vector<std::string> solo_clean;
+  std::vector<std::string> solo_faulty;
+  {
+    core::SqLoop loop(fixture.Url(), SyncOptions());
+    solo_clean = Canonical(loop.Execute(clean_query));
+    solo_faulty = Canonical(loop.Execute(faulty_query));
+  }
+
+  JobServer server(ServiceConfig(fixture));
+  Session clean = server.OpenSession("clean");
+
+  // The faulty tenant's backend drops and fails statements; its retry
+  // budget is generous so the jobs still finish.
+  SessionOptions faulty_options;
+  faulty_options.url_params =
+      "fault_drop_rate=0.1&fault_transient_rate=0.1";
+  core::SqloopOptions resilient = SyncOptions();
+  resilient.retry.max_attempts = 10;
+  resilient.retry.backoff_base_ms = 0;
+  faulty_options.defaults = resilient;
+  Session faulty = server.OpenSession("faulty", faulty_options);
+
+  std::vector<JobHandle> clean_jobs;
+  std::vector<JobHandle> faulty_jobs;
+  for (int i = 0; i < 3; ++i) {
+    clean_jobs.push_back(clean.Submit(clean_query, SyncOptions()));
+    faulty_jobs.push_back(faulty.Submit(faulty_query));
+  }
+
+  // Isolation: every clean job is bit-identical to the solo run with
+  // all-zero resilience counters — the neighbour's faults never leak.
+  for (const auto& job : clean_jobs) {
+    EXPECT_EQ(Canonical(job.Wait()), solo_clean);
+    EXPECT_EQ(job.Stats().retries, 0u);
+    EXPECT_EQ(job.Stats().reopened_connections, 0u);
+  }
+  // The faulty tenant still converges to the same answer, via retries.
+  uint64_t faulty_retries = 0;
+  for (const auto& job : faulty_jobs) {
+    EXPECT_EQ(Canonical(job.Wait()), solo_faulty);
+    faulty_retries += job.Stats().retries;
+  }
+  EXPECT_GT(faulty_retries, 0u);
+}
+
+TEST(ServiceTest, RoundsAreGrantedProportionallyToTenantWeight) {
+  const graph::Graph g = graph::MakeWebGraph(30, 2, 5);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+
+  JobServerConfig config = ServiceConfig(fixture);
+  config.max_running_jobs = 2;
+  config.max_active_rounds = 1;  // strict weighted interleaving
+  JobServer server(config);
+
+  SessionOptions light_options;
+  light_options.weight = 1.0;
+  SessionOptions heavy_options;
+  heavy_options.weight = 3.0;
+  Session light = server.OpenSession("light", light_options);
+  Session heavy = server.OpenSession("heavy", heavy_options);
+
+  // Long single-thread jobs on DISTINCT relations (the server serializes
+  // same-target jobs): hundreds of cheap rounds through the round gate.
+  JobHandle light_job =
+      light.Submit(core::workloads::PageRankQuery(400), SingleThreadOptions());
+  JobHandle heavy_job = heavy.Submit(
+      core::workloads::DescendantQueryBounded(0, 400), SingleThreadOptions());
+
+  // One job can bank rounds while the other is still in setup (its first
+  // BeginRound is minted only after partitioning), so proportionality is
+  // judged on the increments after BOTH tenants hold at least one grant.
+  uint64_t l0 = 0;
+  uint64_t h0 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    l0 = server.rounds_granted("light");
+    h0 = server.rounds_granted("heavy");
+    if ((l0 >= 1 && h0 >= 1) || light_job.Done() || heavy_job.Done()) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  // Sample mid-contention, then cancel both.
+  uint64_t l = 0;
+  uint64_t h = 0;
+  for (int i = 0; i < 20000; ++i) {
+    l = server.rounds_granted("light") - l0;
+    h = server.rounds_granted("heavy") - h0;
+    if ((l + h >= 60 && l >= 5) || light_job.Done() || heavy_job.Done()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  light_job.Cancel();
+  heavy_job.Cancel();
+  light_job.WaitDone();
+  heavy_job.WaitDone();
+  // Neither job may have died on its own — a failure would end sampling
+  // early and masquerade as a fairness violation.
+  EXPECT_NE(light_job.Status(), JobState::kFailed)
+      << light_job.error_message();
+  EXPECT_NE(heavy_job.Status(), JobState::kFailed)
+      << heavy_job.error_message();
+
+  ASSERT_GE(l, 5u) << "light tenant starved (heavy=" << h << ")";
+  const double ratio = static_cast<double>(h) / static_cast<double>(l);
+  EXPECT_GE(ratio, 1.8) << "heavy=" << h << " light=" << l;
+  EXPECT_LE(ratio, 4.6) << "heavy=" << h << " light=" << l;
+}
+
+TEST(ServiceTest, AdmissionRejectsWhenQueueIsFull) {
+  const graph::Graph g = graph::MakeWebGraph(30, 2, 5);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+
+  JobServerConfig config = ServiceConfig(fixture);
+  config.max_running_jobs = 1;
+  config.queue_capacity = 2;
+  config.retry_after_ms = 75;
+  JobServer server(config);
+  Session session = server.OpenSession("tenant");
+
+  // One long job occupies the only dispatcher ...
+  JobHandle running =
+      session.Submit(core::workloads::PageRankQuery(100000),
+                     SingleThreadOptions());
+  WaitForState(running, JobState::kRunning);
+  // ... two more fill the queue ...
+  JobHandle q1 = session.Submit(core::workloads::PageRankQuery(2),
+                                SingleThreadOptions());
+  JobHandle q2 = session.Submit(core::workloads::PageRankQuery(3),
+                                SingleThreadOptions());
+  // ... and the next submission is rejected with the retry-after hint.
+  try {
+    session.Submit(core::workloads::PageRankQuery(4), SingleThreadOptions());
+    FAIL() << "expected AdmissionError";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.retry_after_ms(), 75);
+  }
+  EXPECT_EQ(server.queued_jobs(), 2u);
+
+  running.Cancel();
+  running.WaitDone();
+  q1.WaitDone();
+  q2.WaitDone();
+  EXPECT_EQ(q1.Status(), JobState::kCompleted);
+  EXPECT_EQ(q2.Status(), JobState::kCompleted);
+}
+
+TEST(ServiceTest, InflightCapIsPerTenant) {
+  const graph::Graph g = graph::MakeWebGraph(30, 2, 5);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+
+  JobServerConfig config = ServiceConfig(fixture);
+  config.max_running_jobs = 1;
+  config.max_inflight_per_tenant = 1;
+  JobServer server(config);
+  Session a = server.OpenSession("a");
+  Session b = server.OpenSession("b");
+
+  JobHandle running = a.Submit(core::workloads::PageRankQuery(100000),
+                               SingleThreadOptions());
+  WaitForState(running, JobState::kRunning);
+  // Tenant a is at its cap (1 running); tenant b has its own budget.
+  EXPECT_THROW(
+      a.Submit(core::workloads::PageRankQuery(2), SingleThreadOptions()),
+      AdmissionError);
+  JobHandle other = b.Submit(core::workloads::PageRankQuery(2),
+                             SingleThreadOptions());
+
+  running.Cancel();
+  running.WaitDone();
+  other.WaitDone();
+  EXPECT_EQ(other.Status(), JobState::kCompleted);
+  // Terminal jobs release their slots (the dispatcher releases just
+  // after it publishes the terminal state, so poll briefly).
+  for (int i = 0;
+       i < 20000 && (server.inflight("a") > 0 || server.inflight("b") > 0);
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  EXPECT_EQ(server.inflight("a"), 0u);
+  EXPECT_EQ(server.inflight("b"), 0u);
+}
+
+TEST(ServiceTest, CancelMidRoundStopsAtTheBorderAndServerSurvives) {
+  const graph::Graph g = graph::MakeWebGraph(30, 2, 5);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+
+  JobServer server(ServiceConfig(fixture));
+  Session session = server.OpenSession("tenant");
+  JobHandle job = session.Submit(core::workloads::PageRankQuery(100000),
+                                 SingleThreadOptions());
+  // Let it genuinely run a few rounds before cancelling.
+  for (int i = 0; i < 20000 && job.rounds() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  job.Cancel();
+  EXPECT_THROW(job.Wait(), JobCancelledError);
+  EXPECT_EQ(job.Status(), JobState::kCancelled);
+
+  // The server keeps serving afterwards.
+  JobHandle next = session.Submit(core::workloads::PageRankQuery(2),
+                                  SingleThreadOptions());
+  EXPECT_EQ(next.Wait().rows.empty(), false);
+  EXPECT_EQ(next.Status(), JobState::kCompleted);
+}
+
+TEST(ServiceTest, CancelWhileQueuedCompletesWithoutRunning) {
+  const graph::Graph g = graph::MakeWebGraph(30, 2, 5);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+
+  JobServerConfig config = ServiceConfig(fixture);
+  config.max_running_jobs = 1;
+  JobServer server(config);
+  Session session = server.OpenSession("tenant");
+
+  JobHandle running = session.Submit(core::workloads::PageRankQuery(100000),
+                                     SingleThreadOptions());
+  WaitForState(running, JobState::kRunning);
+  JobHandle queued = session.Submit(core::workloads::PageRankQuery(2),
+                                    SingleThreadOptions());
+  EXPECT_EQ(queued.Status(), JobState::kQueued);
+  queued.Cancel();
+  EXPECT_THROW(queued.Wait(), JobCancelledError);
+  EXPECT_NE(queued.error_message().find("while queued"), std::string::npos);
+  EXPECT_EQ(queued.rounds(), 0);
+
+  running.Cancel();
+  running.WaitDone();
+}
+
+TEST(ServiceTest, DrainFinishesAdmittedJobsAndRejectsNewOnes) {
+  const graph::Graph g = graph::MakeWebGraph(40, 2, 5);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+
+  JobServerConfig config = ServiceConfig(fixture);
+  config.max_running_jobs = 2;
+  JobServer server(config);
+  Session session = server.OpenSession("tenant");
+
+  std::vector<JobHandle> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(session.Submit(core::workloads::PageRankQuery(3),
+                                  SyncOptions(4, 2)));
+  }
+  server.Drain();
+  EXPECT_TRUE(server.draining());
+  // Everything admitted before the drain ran to completion.
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job.Status(), JobState::kCompleted);
+  }
+  EXPECT_THROW(
+      session.Submit(core::workloads::PageRankQuery(2), SyncOptions()),
+      AdmissionError);
+}
+
+TEST(ServiceTest, KilledJobResumesUnderTheSameIdentity) {
+  const graph::Graph g = graph::MakeWebGraph(60, 3, 3);
+  const std::string query = core::workloads::PageRankQuery(6);
+
+  // Clean reference on a separate database.
+  std::vector<std::string> clean;
+  {
+    CoreFixtureBase fixture("postgres");
+    fixture.LoadGraph(g);
+    core::SqLoop loop(fixture.Url(), SyncOptions());
+    clean = Canonical(loop.Execute(query));
+  }
+
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+  ScopedCheckpointDir dir;
+  core::SqloopOptions options = SyncOptions();
+  options.checkpoint_every = 1;
+  options.checkpoint_dir = dir.path();
+
+  JobServer server(ServiceConfig(fixture));
+
+  // The first attempt is killed server-side at round 3.
+  SessionOptions killer;
+  killer.url_params = "fault_kill_at_round=3";
+  Session doomed = server.OpenSession("tenant", killer);
+  JobHandle killed = doomed.Submit(query, options);
+  EXPECT_THROW(killed.Wait(), JobKilledError);
+  EXPECT_EQ(killed.Status(), JobState::kFailed);
+
+  // Resubmitted by the same tenant without the fault, the job keeps its
+  // identity — same checkpoint lineage — and resumes past the kill.
+  options.resume = true;
+  Session healthy = server.OpenSession("tenant");
+  JobHandle resumed = healthy.Submit(query, options);
+  EXPECT_EQ(Canonical(resumed.Wait()), clean);
+  EXPECT_EQ(resumed.id(), killed.id());
+  EXPECT_GT(resumed.Stats().resumed_from_round, 0);
+}
+
+TEST(ServiceTest, JobIdentityIsStablePerTenantAndQuery) {
+  const graph::Graph g = graph::MakeWebGraph(30, 2, 5);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+
+  JobServer server(ServiceConfig(fixture));
+  Session a = server.OpenSession("a");
+  Session b = server.OpenSession("b");
+  const std::string query = core::workloads::PageRankQuery(2);
+
+  JobHandle first = a.Submit(query, SingleThreadOptions());
+  JobHandle again = a.Submit(query, SingleThreadOptions());
+  JobHandle other_tenant = b.Submit(query, SingleThreadOptions());
+  JobHandle other_query =
+      a.Submit(core::workloads::PageRankQuery(3), SingleThreadOptions());
+  first.WaitDone();
+  again.WaitDone();
+  other_tenant.WaitDone();
+  other_query.WaitDone();
+
+  EXPECT_EQ(first.id(), again.id());
+  EXPECT_NE(first.id(), other_tenant.id());
+  EXPECT_NE(first.id(), other_query.id());
+}
+
+TEST(ServiceTest, EmbeddedFacadeServerExposesItsJobs) {
+  const graph::Graph g = graph::MakeWebGraph(30, 2, 5);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+
+  core::SqLoop loop(fixture.Url(), SyncOptions());
+  loop.Execute(core::workloads::PageRankQuery(3));
+  loop.Execute(core::workloads::PageRankQuery(4));
+
+  const auto jobs = loop.job_server().Jobs();
+  ASSERT_EQ(jobs.size(), 2u);
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job.tenant, "local");
+    EXPECT_EQ(job.state, JobState::kCompleted);
+    EXPECT_TRUE(job.error.empty());
+  }
+  EXPECT_GE(jobs[0].rounds, 3);
+  EXPECT_GE(jobs[1].rounds, 4);
+
+  const auto tenants = loop.job_server().Tenants();
+  ASSERT_EQ(tenants.size(), 1u);
+  EXPECT_EQ(tenants[0].tenant, "local");
+  EXPECT_EQ(tenants[0].jobs_completed, 2u);
+}
+
+TEST(ServiceTest, PooledConnectionsAreReusedAcrossJobs) {
+  const graph::Graph g = graph::MakeWebGraph(30, 2, 5);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+
+  JobServerConfig config = ServiceConfig(fixture);
+  config.max_running_jobs = 1;  // sequential: the pool must get hits
+  JobServer server(config);
+  Session session = server.OpenSession("tenant");
+  for (int i = 2; i < 6; ++i) {
+    session.Submit(core::workloads::PageRankQuery(i), SingleThreadOptions())
+        .WaitDone();
+  }
+  EXPECT_GE(server.pool_hits(), 3u);
+  EXPECT_EQ(server.pool_misses(), 1u);
+}
+
+}  // namespace
+}  // namespace sqloop::server
