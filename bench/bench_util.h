@@ -4,6 +4,8 @@
 // thread every 5 seconds" — scaled down to our run times).
 #pragma once
 
+#include <sys/resource.h>
+
 #include <atomic>
 #include <cstdlib>
 #include <fstream>
@@ -41,6 +43,15 @@ inline int64_t Knob(const char* name, int64_t fallback) {
   return fallback;
 }
 
+/// The process's peak resident set in bytes (getrusage; ru_maxrss is
+/// KiB on Linux). Every BENCH_*.json records it alongside the timings so
+/// baseline diffs catch memory regressions, not just slowdowns.
+inline int64_t PeakRssBytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;
+}
+
 /// One registered host holding a database per engine profile, with the
 /// same dataset loaded into each.
 class EngineFleet {
@@ -64,11 +75,15 @@ class EngineFleet {
     // NO_FUSED=1 routes every SELECT through the reference materializing
     // pipeline instead of the fused zero-copy one (same A/B idea).
     const bool no_fused = Knob("NO_FUSED", 0) != 0;
+    // NO_GOVERNANCE=1 detaches memory accounting fleet-wide, for A/B'ing
+    // the per-row charge hooks (bench/micro_governance does this per arm).
+    const bool no_governance = Knob("NO_GOVERNANCE", 0) != 0;
     for (const auto& engine : Engines()) {
       auto db = server_.CreateDatabase(engine,
                                        minidb::EngineProfile::ByName(engine));
       if (no_plan_cache) db->plan_cache().set_enabled(false);
       if (no_fused) db->set_fused_enabled(false);
+      if (no_governance) db->set_governance_enabled(false);
       auto conn = dbc::DriverManager::GetConnection(Url(engine));
       graph::LoadEdges(*conn, graph);
     }

@@ -199,7 +199,8 @@ int main(int argc, char** argv) {
          << ", \"results_match\": " << (r.results_match ? "true" : "false")
          << "}" << (m + 1 < reports.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  json << "  ],\n  \"peak_rss_bytes\": " << bench::PeakRssBytes()
+       << ",\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
   std::cout << "\nacceptance (<10% overhead at cadence 5, results intact): "
             << (pass ? "PASS" : "FAIL") << "\nwrote " << json_path << "\n";
   return pass ? 0 : 1;

@@ -267,6 +267,7 @@ int main(int argc, char** argv) {
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ]},\n"
+       << "  \"peak_rss_bytes\": " << bench::PeakRssBytes() << ",\n"
        << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
        << "\n}\n";
   std::cout << "wrote " << json_path << "\n";

@@ -312,6 +312,7 @@ int main(int argc, char** argv) {
          << (i + 1 < mode_results.size() ? "," : "") << "\n";
   }
   json << "  ]},\n  \"selective_scan_speedup\": " << arms[0].speedup()
+       << ",\n  \"peak_rss_bytes\": " << bench::PeakRssBytes()
        << ",\n  \"results_agree\": " << (results_agree ? "true" : "false")
        << "\n}\n";
   std::cout << "wrote " << json_path << "\n";

@@ -224,6 +224,7 @@ int main(int argc, char** argv) {
        << "  \"fairness_ratio\": " << fairness << ",\n"
        << "  \"results_match\": " << (results_match ? "true" : "false")
        << ",\n  \"failed_jobs\": " << failed << ",\n"
+       << "  \"peak_rss_bytes\": " << bench::PeakRssBytes() << ",\n"
        << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
   return pass ? 0 : 1;
 }

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: configure + build the three presets, run the full test
-# suite once on the default build (plus the perf smoke label, the
-# fused-pipeline scan benchmark writing BENCH_scan.json, and the
-# multi-tenant service benchmark writing BENCH_service.json), and re-run
-# the concurrency-sensitive suites (fault injection + checkpoint recovery +
-# fused/reference differential + multi-tenant isolation) under ASan/UBSan
-# and TSan.
+# suite once on the default build (plus the perf smoke label and the
+# scan / service / governance benchmarks writing their BENCH_*.json
+# baselines), and re-run the concurrency-sensitive suites (fault
+# injection + checkpoint recovery + fused/reference differential +
+# multi-tenant isolation + resource governance) under ASan/UBSan and
+# TSan.
 #
 #   ./ci.sh            # everything
 #   ./ci.sh default    # one preset only (default | asan-ubsan | tsan)
@@ -27,9 +27,11 @@ run_preset() {
       ./build/bench/micro_scan --json BENCH_scan.json
       echo "==> [${preset}] multi-tenant service benchmark"
       ./build/bench/micro_service --json BENCH_service.json
+      echo "==> [${preset}] resource-governance benchmark"
+      ./build/bench/micro_governance --json BENCH_governance.json
       ;;
     *)
-      echo "==> [${preset}] resilience|recovery|engine|service suites"
+      echo "==> [${preset}] resilience|recovery|engine|service|governance suites"
       ctest --preset "${preset}"
       ;;
   esac

@@ -159,6 +159,13 @@ void PrintStats(const core::RunStats& stats) {
                 << " fused_cores=" << rec.counter("minidb.fused_cores")
                 << "\n";
     }
+    const uint64_t gov_peak = rec.counter("governance.job_bytes_peak");
+    const uint64_t gov_cancels =
+        rec.counter("governance.mid_statement_cancels");
+    if (gov_peak + gov_cancels > 0) {
+      std::cout << "governance: bytes_peak=" << gov_peak
+                << " mid_statement_cancels=" << gov_cancels << "\n";
+    }
     std::cout << telemetry::Summary(rec);
   }
 }

@@ -1,0 +1,86 @@
+// Cooperative cancellation token (DESIGN.md "Resource governance &
+// overload protection").
+//
+// One CancelToken is shared by everything that may want a job stopped —
+// JobHandle::Cancel, the server's hard-watermark victim picker, graceful
+// drain — and everything that must observe the request: the dbc layer
+// checks it before each statement, and the minidb executor checks it every
+// `cancel_check_rows` rows INSIDE scans and joins, so a request preempts a
+// long cross join mid-statement instead of waiting for the round border.
+//
+// The reason decides the error type the observer throws: a user cancel
+// surfaces as JobCancelledError, a quota/watermark kill as
+// QuotaExceededError. Both are non-transient, so the retry machinery
+// surfaces them immediately instead of churning.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "common/error.h"
+
+namespace sqloop {
+
+enum class CancelReason : int {
+  kNone = 0,
+  kCancelled = 1,  // JobHandle::Cancel / drain -> JobCancelledError
+  kQuota = 2,      // watermark victim kill -> QuotaExceededError
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation; the first request wins (a later request with a
+  /// different reason does not overwrite the original story).
+  void Request(CancelReason reason, std::string message) {
+    if (reason == CancelReason::kNone) return;
+    {
+      const std::scoped_lock lock(mutex_);
+      if (reason_.load(std::memory_order_relaxed) !=
+          static_cast<int>(CancelReason::kNone)) {
+        return;
+      }
+      message_ = std::move(message);
+      // The release store publishes message_ to observers: ThrowNow reads
+      // the message only after an acquire load sees a nonzero reason.
+      reason_.store(static_cast<int>(reason), std::memory_order_release);
+    }
+  }
+
+  bool requested() const noexcept {
+    return reason_.load(std::memory_order_relaxed) !=
+           static_cast<int>(CancelReason::kNone);
+  }
+
+  CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
+  }
+
+  /// Throws the error matching the recorded reason. Precondition:
+  /// requested().
+  [[noreturn]] void ThrowNow() const {
+    const CancelReason why = reason();
+    std::string message;
+    {
+      const std::scoped_lock lock(mutex_);
+      message = message_;
+    }
+    if (why == CancelReason::kQuota) throw QuotaExceededError(message);
+    throw JobCancelledError(message);
+  }
+
+  void ThrowIfRequested() const {
+    if (requested()) ThrowNow();
+  }
+
+ private:
+  std::atomic<int> reason_{static_cast<int>(CancelReason::kNone)};
+  mutable std::mutex mutex_;
+  std::string message_;
+};
+
+}  // namespace sqloop

@@ -104,14 +104,27 @@ class JobKilledError : public Error {
       : Error("job killed: " + message) {}
 };
 
-/// The job was cancelled through its JobHandle (service API) while queued
-/// or between rounds. Fatal — the run stops at the next round border and
-/// its scratch state is cleaned up; checkpoints (if any) survive, so a
-/// resubmission with `resume` continues under the same job identity.
+/// The job was cancelled through its JobHandle (service API) — while
+/// queued, at a round border, or mid-statement (the engine checks the
+/// job's CancelToken every `cancel_check_rows` rows inside scans and
+/// joins). Fatal — the run stops and its scratch state is cleaned up;
+/// checkpoints (if any) survive, so a resubmission with `resume`
+/// continues under the same job identity.
 class JobCancelledError : public Error {
  public:
   explicit JobCancelledError(const std::string& message)
       : Error("job cancelled: " + message) {}
+};
+
+/// A memory budget was exceeded: the job's, its tenant's, or the server's
+/// (the hard-watermark victim kill reports through this type too). Fatal —
+/// re-running the same statement would allocate the same bytes and fail
+/// the same way, so the offending job aborts at a clean statement boundary
+/// while every other job keeps running.
+class QuotaExceededError : public Error {
+ public:
+  explicit QuotaExceededError(const std::string& message)
+      : Error("quota exceeded: " + message) {}
 };
 
 /// A straggling task's statement was cancelled because a speculative copy
@@ -130,8 +143,8 @@ class TaskSupersededError : public Error {
 ///   transient — TransientError, TimeoutError, ConnectionLostError
 ///   fatal     — ParseError, AnalysisError, ExecutionError,
 ///               ConnectionError, UsageError, JobKilledError,
-///               JobCancelledError, TaskSupersededError, plain Error,
-///               anything else
+///               JobCancelledError, QuotaExceededError,
+///               TaskSupersededError, plain Error, anything else
 inline bool IsTransientError(const std::exception& error) noexcept {
   return dynamic_cast<const TransientError*>(&error) != nullptr;
 }

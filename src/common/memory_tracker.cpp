@@ -1,0 +1,63 @@
+#include "common/memory_tracker.h"
+
+#include <vector>
+
+namespace sqloop {
+
+void MemoryTracker::AddLocal(int64_t bytes) noexcept {
+  const int64_t now =
+      reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t seen = peak_.load(std::memory_order_relaxed);
+  while (now > seen &&
+         !peak_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::Charge(int64_t bytes) {
+  if (bytes <= 0) return;
+  MemoryTracker* node = this;
+  while (node != nullptr) {
+    const int64_t limit = node->limit_.load(std::memory_order_relaxed);
+    const int64_t now =
+        node->reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (limit > 0 && now > limit) {
+      // Unwind the partial reservation (this node included) so the failed
+      // charge leaves the hierarchy exactly as it found it.
+      for (MemoryTracker* undo = this; undo != node->parent_;
+           undo = undo->parent_) {
+        undo->reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+      }
+      throw QuotaExceededError("scope '" + node->scope_ + "' would hold " +
+                               std::to_string(now) + " bytes, over its " +
+                               std::to_string(limit) + "-byte budget");
+    }
+    int64_t seen = node->peak_.load(std::memory_order_relaxed);
+    while (now > seen && !node->peak_.compare_exchange_weak(
+                             seen, now, std::memory_order_relaxed)) {
+    }
+    node = node->parent_;
+  }
+}
+
+void MemoryTracker::ChargeUnchecked(int64_t bytes) noexcept {
+  if (bytes <= 0) return;
+  for (MemoryTracker* node = this; node != nullptr; node = node->parent_) {
+    node->AddLocal(bytes);
+  }
+}
+
+void MemoryTracker::Release(int64_t bytes) noexcept {
+  if (bytes <= 0) return;
+  for (MemoryTracker* node = this; node != nullptr; node = node->parent_) {
+    // Clamp at zero: a racing release pair can momentarily over-release
+    // one scope; pinning the floor keeps the accounting self-healing.
+    int64_t seen = node->reserved_.load(std::memory_order_relaxed);
+    int64_t next;
+    do {
+      next = seen > bytes ? seen - bytes : 0;
+    } while (!node->reserved_.compare_exchange_weak(
+        seen, next, std::memory_order_relaxed));
+  }
+}
+
+}  // namespace sqloop

@@ -1,0 +1,85 @@
+// Hierarchical memory accounting (DESIGN.md "Resource governance &
+// overload protection").
+//
+// A MemoryTracker is one node in the server → tenant → job → statement
+// scope chain. Charges propagate to the root with relaxed atomics — hot
+// paths batch their charges (see the executor's statement governor), so a
+// flush touches at most three or four counters. Each node tracks its own
+// reservation and high watermark; a node with a budget rejects the charge
+// that would cross it by throwing QuotaExceededError, naming the scope
+// that ran out, and leaves the hierarchy unchanged (a failed charge is
+// fully unwound).
+//
+// Two charge flavours:
+//   * Charge()          — enforced; throws QuotaExceededError on breach.
+//   * ChargeUnchecked() — accounting only; storage-side charges (Table row
+//     and index memory) use this, because a table mutation mid-statement
+//     must not be aborted half-applied. Budget enforcement happens on the
+//     transient (statement-scoped) side and at the server watermarks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace sqloop {
+
+class MemoryTracker {
+ public:
+  /// `parent` must outlive this tracker; null makes this a root.
+  /// `limit_bytes` <= 0 means unlimited.
+  explicit MemoryTracker(std::string scope, MemoryTracker* parent = nullptr,
+                         int64_t limit_bytes = 0)
+      : scope_(std::move(scope)), parent_(parent), limit_(limit_bytes) {}
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  const std::string& scope() const noexcept { return scope_; }
+  MemoryTracker* parent() const noexcept { return parent_; }
+
+  int64_t limit_bytes() const noexcept {
+    return limit_.load(std::memory_order_relaxed);
+  }
+  /// Adjusting a budget on a live tracker only affects future charges.
+  void set_limit_bytes(int64_t limit) noexcept {
+    limit_.store(limit, std::memory_order_relaxed);
+  }
+
+  /// Bytes currently reserved under this scope (including child scopes).
+  int64_t reserved_bytes() const noexcept {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+  /// Largest reservation this scope ever held (monotonic high watermark).
+  int64_t peak_bytes() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  /// Reserves `bytes` here and in every ancestor. Throws
+  /// QuotaExceededError when any scope's budget would be crossed; the
+  /// partial reservation is released before the throw, so a failed charge
+  /// leaves every counter as it found it.
+  void Charge(int64_t bytes);
+
+  /// Reserves without enforcing budgets (storage-side accounting: the
+  /// caller is mid-mutation and cannot abort cleanly). Watermarks still
+  /// advance, so server-level shed/victim logic sees the growth.
+  void ChargeUnchecked(int64_t bytes) noexcept;
+
+  /// Returns `bytes` reserved earlier (either flavour). Clamped at zero
+  /// per scope so release-ordering races cannot drive a counter negative.
+  void Release(int64_t bytes) noexcept;
+
+ private:
+  void AddLocal(int64_t bytes) noexcept;
+
+  const std::string scope_;
+  MemoryTracker* const parent_;
+  std::atomic<int64_t> limit_;
+  std::atomic<int64_t> reserved_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+}  // namespace sqloop

@@ -36,8 +36,9 @@ dbc::ResultSet RunIterative(const std::string& url, dbc::Connection& master,
   }
 
   RunStats& stats = ctx.stats;
-  const ExecutionContext run_ctx{effective,    stats,    ctx.recorder,
-                                 ctx.observer, ctx.gate, ctx.shared_pool};
+  const ExecutionContext run_ctx{effective,    stats,      ctx.recorder,
+                                 ctx.observer, ctx.gate,   ctx.shared_pool,
+                                 ctx.cancel,   ctx.memory};
 
   const auto fall_back = [&](const std::string& reason) {
     stats.fallback_reason = reason;

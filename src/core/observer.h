@@ -6,6 +6,8 @@
 
 #include <string>
 
+#include "common/cancel.h"
+#include "common/memory_tracker.h"
 #include "core/options.h"
 #include "telemetry/recorder.h"
 
@@ -94,6 +96,9 @@ class RoundGate {
 /// `gate` and `shared_pool` are set only by the job server: the gate makes
 /// the round loop yieldable, and the shared pool replaces the runner's
 /// private ThreadPool so concurrent jobs multiplex one worker set.
+/// `cancel` and `memory` are the governance hooks: the token preempts the
+/// run pre-statement and mid-statement, and the tracker scopes every
+/// connection's transient-memory charges to the job's budget.
 struct ExecutionContext {
   const SqloopOptions& options;
   RunStats& stats;
@@ -101,6 +106,8 @@ struct ExecutionContext {
   ExecutionObserver* observer = nullptr;
   RoundGate* gate = nullptr;
   ThreadPool* shared_pool = nullptr;
+  const CancelToken* cancel = nullptr;
+  MemoryTracker* memory = nullptr;
 };
 
 }  // namespace sqloop::core

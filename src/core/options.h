@@ -81,6 +81,22 @@ struct SqloopOptions {
   /// Keep the result view/partitions after the query (benches sample them).
   bool keep_result_tables = false;
 
+  // --- resource governance ----------------------------------------------
+
+  /// Memory budget for this run's transient working sets (materialized
+  /// rows, join builds, GROUP BY state, sort buffers) across every
+  /// connection the run opens; 0 = unlimited. Also settable per-URL
+  /// (`memory_limit_bytes=N`) — a nonzero value here wins. A breach fails
+  /// the run with QuotaExceededError at a clean statement boundary;
+  /// table storage itself is accounted but never capped by this knob.
+  int64_t memory_limit_bytes = 0;
+
+  /// Rows between the engine's mid-statement governor checks (cancel
+  /// token, statement deadline, charge flush); 0 = engine default (1024).
+  /// Also settable per-URL (`cancel_check_rows=N`) — a nonzero value here
+  /// wins.
+  int64_t cancel_check_rows = 0;
+
   /// Resilience policy applied by all execution modes.
   RetryPolicy retry;
 

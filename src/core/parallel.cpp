@@ -104,6 +104,12 @@ ParallelRunner::ParallelRunner(std::string url, dbc::Connection& master,
       partitions_(static_cast<size_t>(std::max(ctx.options.partitions, 1))),
       base_(analysis.cte_name),
       retrier_(ctx.options.retry, ctx.recorder, ctx.observer) {
+  // Every connection the run touches — the lent master, each worker's
+  // connection, spares opened for takeover — carries the run's governance
+  // hooks, so cancellation and the memory budget cover all of them.
+  retrier_.set_cancel_token(ctx.cancel);
+  retrier_.set_memory_tracker(ctx.memory);
+  retrier_.set_cancel_check_rows(ctx.options.cancel_check_rows);
   consumed_.assign(partitions_, 0);
   priorities_.assign(partitions_, std::nullopt);
   priority_known_.assign(partitions_, false);
@@ -395,11 +401,18 @@ uint64_t ParallelRunner::RunCompute(size_t partition, dbc::Connection& conn,
       // before the CREATE was applied).
       const std::string orphan = attempt.orphan;
       conn.Execute(translator_.DropTableSql(orphan));
+      ClearPendingOrphan(orphan);
       attempt.orphan.clear();
     }
     const uint64_t seq = message_seq_.fetch_add(1);
     const std::string msg = base_ + "_msg" + std::to_string(seq);
     attempt.orphan = msg;
+    // Track the name before the CREATE: if a fatal error (cancellation,
+    // quota) aborts this task mid-INSERT, the retry path that normally
+    // drops the orphan never runs, and Cleanup must know the name or the
+    // table would survive the run and collide with a resumed incarnation
+    // re-allocating the same seq.
+    AddPendingOrphan(msg);
     conn.Execute(translator_.CreateTableSql(msg, message_schema_, -1));
     const size_t produced = conn.ExecuteUpdate(
         "INSERT INTO " + translator_.Quote(msg) + " " +
@@ -421,10 +434,12 @@ uint64_t ParallelRunner::RunCompute(size_t partition, dbc::Connection& conn,
       }
       // Once registered the table is owned by the registry — and must
       // never be registered twice, or gathers would double-count deltas.
+      ClearPendingOrphan(msg);
       attempt.orphan.clear();
       RegisterMessageTable(msg, partition, std::move(targets));
     } else {
       conn.Execute(translator_.DropTableSql(msg));
+      ClearPendingOrphan(msg);
       attempt.orphan.clear();
     }
     attempt.messages_done = true;
@@ -720,6 +735,16 @@ void ParallelRunner::FinishRound(int64_t round, uint64_t updates,
 // Message registry
 // ---------------------------------------------------------------------------
 
+void ParallelRunner::AddPendingOrphan(const std::string& name) {
+  const std::scoped_lock lock(registry_mutex_);
+  pending_orphans_.insert(name);
+}
+
+void ParallelRunner::ClearPendingOrphan(const std::string& name) {
+  const std::scoped_lock lock(registry_mutex_);
+  pending_orphans_.erase(name);
+}
+
 void ParallelRunner::RegisterMessageTable(std::string name, size_t source,
                                           std::vector<size_t> targets) {
   const std::scoped_lock lock(registry_mutex_);
@@ -774,20 +799,26 @@ void ParallelRunner::MarkConsumed(size_t partition, size_t upto) {
 
 void ParallelRunner::DropFullyConsumedMessages() {
   std::vector<std::string> droppable;
+  size_t minimum = 0;
   {
     const std::scoped_lock lock(registry_mutex_);
-    const size_t minimum =
-        *std::min_element(consumed_.begin(), consumed_.end());
+    minimum = *std::min_element(consumed_.begin(), consumed_.end());
     for (size_t i = dropped_prefix_; i < minimum; ++i) {
       droppable.push_back(message_tables_[i]);
     }
-    dropped_prefix_ = std::max(dropped_prefix_, minimum);
   }
   if (droppable.empty()) return;
   for (const auto& name : droppable) {
     master_.AddBatch(translator_.DropTableSql(name));
   }
   MasterExecuteBatch();
+  // Advance the prefix only once the drops are known to have executed: a
+  // cancellation that aborts the batch must not mark the tables dropped,
+  // or Cleanup would skip them and the leftovers would collide with a
+  // resumed incarnation (the drops are IF EXISTS, so a retry after a
+  // partially applied batch is harmless).
+  const std::scoped_lock lock(registry_mutex_);
+  dropped_prefix_ = std::max(dropped_prefix_, minimum);
 }
 
 // ---------------------------------------------------------------------------
@@ -1065,6 +1096,7 @@ void ParallelRunner::RunRounds() {
             worker_conns[index]->set_recorder(recorder_);
             worker_conns[index]->set_statement_timeout_ms(
                 options_.retry.statement_timeout_ms);
+            retrier_.ApplyGovernance(*worker_conns[index]);
           } catch (const std::exception& e) {
             if (IsTransientError(e)) return;  // first task re-attempts open
             const std::scoped_lock lock(failure_mutex_);
@@ -1117,6 +1149,7 @@ void ParallelRunner::RunRounds() {
         auto conn = dbc::DriverManager::GetConnection(url_);
         conn->set_recorder(recorder_);
         conn->set_statement_timeout_ms(options_.retry.statement_timeout_ms);
+        retrier_.ApplyGovernance(*conn);
         worker_conns[worker] = std::move(conn);
         return *worker_conns[worker];
       } catch (const std::exception& e) {
@@ -1701,6 +1734,12 @@ void ParallelRunner::RunRounds() {
 // ---------------------------------------------------------------------------
 
 void ParallelRunner::Cleanup() {
+  // Cleanup runs precisely when the job may have been cancelled, and the
+  // dbc layer rejects every statement while a cancel token is armed —
+  // detach it so the drops (cheap, bounded DDL) can land; the caller's
+  // TimeoutGuard re-attaches the original token after Run unwinds.
+  const CancelToken* const armed_token = master_.cancel_token();
+  master_.set_cancel_token(nullptr);
   try {
     // The run may have ended with the master connection dropped by a
     // fault; cleanup needs a live connection or nothing below can work.
@@ -1718,23 +1757,44 @@ void ParallelRunner::Cleanup() {
         master_.AddBatch(translator_.DropTableSql(message_tables_[i]));
       }
       dropped_prefix_ = message_tables_.size();
+      // Created-but-unregistered message tables: a fatal error (cancel,
+      // quota kill) aborted their task before the retry path could drop
+      // them. Left behind they would collide with a resumed incarnation
+      // re-allocating the same seq from the checkpointed counter.
+      for (const auto& orphan : pending_orphans_) {
+        master_.AddBatch(translator_.DropTableSql(orphan));
+      }
+      pending_orphans_.clear();
     }
     master_.ExecuteBatch();
   } catch (...) {
     // Cleanup is best-effort; the original error (if any) matters more.
   }
+  master_.set_cancel_token(armed_token);
 }
 
 dbc::ResultSet ParallelRunner::Run() {
   const Stopwatch watch;
   // The caller owns the master connection; apply the run's statement
-  // timeout for the duration of the run and restore the old value after.
+  // timeout and governance hooks for the duration of the run and restore
+  // the old values after.
   struct TimeoutGuard {
     dbc::Connection& conn;
     int64_t saved;
-    ~TimeoutGuard() { conn.set_statement_timeout_ms(saved); }
-  } timeout_guard{master_, master_.statement_timeout_ms()};
+    const CancelToken* saved_token;
+    MemoryTracker* saved_tracker;
+    int64_t saved_check_rows;
+    ~TimeoutGuard() {
+      conn.set_statement_timeout_ms(saved);
+      conn.set_cancel_token(saved_token);
+      conn.set_memory_tracker(saved_tracker);
+      conn.set_cancel_check_rows(saved_check_rows);
+    }
+  } timeout_guard{master_, master_.statement_timeout_ms(),
+                  master_.cancel_token(), master_.active_memory_tracker(),
+                  master_.cancel_check_rows()};
   master_.set_statement_timeout_ms(options_.retry.statement_timeout_ms);
+  retrier_.ApplyGovernance(master_);
   try {
     const double setup_start = run_watch_.ElapsedSeconds();
     SetupCheckpointing();

@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -133,6 +134,8 @@ class ParallelRunner {
   // `source` is the producing partition; UnreadMessages orders the union
   // arms by it so the gather's accumulation order — and therefore every
   // floating-point SUM — is independent of which worker registered first.
+  void AddPendingOrphan(const std::string& name);
+  void ClearPendingOrphan(const std::string& name);
   void RegisterMessageTable(std::string name, size_t source,
                             std::vector<size_t> targets);
   std::pair<std::vector<std::string>, size_t> UnreadMessages(size_t partition);
@@ -187,6 +190,10 @@ class ParallelRunner {
   std::vector<size_t> consumed_;  // per partition: index into message_tables_
   size_t dropped_prefix_ = 0;
   std::atomic<uint64_t> message_seq_{0};
+  // Message tables created but not yet registered (or dropped): if a
+  // fatal error aborts the creating task, Cleanup drops these so they
+  // cannot collide with a resumed incarnation reusing the same seq.
+  std::set<std::string> pending_orphans_;
 
   // AsyncP priorities (NaN optional = unknown; nullopt = "no work").
   std::mutex priority_mutex_;

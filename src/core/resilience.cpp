@@ -44,6 +44,15 @@ void Retrier::NoteRetry(const char* what, int64_t partition, int attempt,
 
 void Retrier::HandleFailure(const std::exception& error, const char* what,
                             int64_t partition, int attempt) {
+  // Cancellation and quota breaches are explicitly non-retryable: retrying
+  // a cancelled job defeats the cancel, and a job over its memory budget
+  // will just breach it again. Both are fatal via IsTransientError too —
+  // this spells the classification out so a future error-taxonomy change
+  // cannot silently make them retryable.
+  if (dynamic_cast<const JobCancelledError*>(&error) != nullptr ||
+      dynamic_cast<const QuotaExceededError*>(&error) != nullptr) {
+    throw;
+  }
   if (!IsTransientError(error)) throw;  // fatal: surface the original error
   if (dynamic_cast<const TimeoutError*>(&error) != nullptr) {
     timeouts_.fetch_add(1);
@@ -72,6 +81,7 @@ std::unique_ptr<dbc::Connection> Retrier::Open(const std::string& url) {
       auto conn = dbc::DriverManager::GetConnection(url);
       conn->set_statement_timeout_ms(policy_.statement_timeout_ms);
       conn->set_recorder(recorder_);
+      ApplyGovernance(*conn);
       return conn;
     } catch (const std::exception& e) {
       HandleFailure(e, "open", -1, attempt);
@@ -89,6 +99,7 @@ dbc::Connection& Retrier::EnsureOpen(std::unique_ptr<dbc::Connection>& slot,
         slot = dbc::DriverManager::GetConnection(url);
         slot->set_statement_timeout_ms(policy_.statement_timeout_ms);
         slot->set_recorder(recorder_);
+        ApplyGovernance(*slot);
         reopens_.fetch_add(1);
         SQLOOP_COUNT(recorder_, "resilience.reopened_connections", 1);
       } else if (slot->closed()) {

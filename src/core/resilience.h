@@ -76,6 +76,26 @@ class Retrier {
 
   const RetryPolicy& policy() const noexcept { return policy_; }
 
+  // --- resource governance ----------------------------------------------
+  /// Governance hooks applied to every connection this retrier opens (and
+  /// to connections the runner registers via ApplyGovernance): the cancel
+  /// token preempts statements pre- and mid-execution, the tracker scopes
+  /// transient-memory charges to the job budget, and a positive
+  /// check-rows overrides the engine's governor interval. Null/0 disable.
+  void set_cancel_token(const CancelToken* token) noexcept { token_ = token; }
+  void set_memory_tracker(MemoryTracker* tracker) noexcept {
+    memory_ = tracker;
+  }
+  void set_cancel_check_rows(int64_t rows) noexcept { check_rows_ = rows; }
+
+  /// Attaches the configured governance hooks to a connection the caller
+  /// opened outside Open/EnsureOpen (e.g. a lent master connection).
+  void ApplyGovernance(dbc::Connection& conn) const noexcept {
+    if (token_ != nullptr) conn.set_cancel_token(token_);
+    if (memory_ != nullptr) conn.set_memory_tracker(memory_);
+    if (check_rows_ > 0) conn.set_cancel_check_rows(check_rows_);
+  }
+
   // --- counters (flushed into RunStats by the runner) -------------------
   uint64_t retries() const noexcept { return retries_.load(); }
   uint64_t reopened_connections() const noexcept { return reopens_.load(); }
@@ -95,6 +115,9 @@ class Retrier {
   const RetryPolicy policy_;
   telemetry::Recorder* recorder_;
   ExecutionObserver* observer_;
+  const CancelToken* token_ = nullptr;
+  MemoryTracker* memory_ = nullptr;
+  int64_t check_rows_ = 0;
   std::mutex jitter_mutex_;
   Rng jitter_rng_;
   std::atomic<uint64_t> retries_{0};

@@ -29,11 +29,23 @@ class ResilientConn {
       : conn_(conn),
         retrier_(ctx.options.retry, ctx.recorder, ctx.observer),
         stats_(ctx.stats),
-        saved_timeout_ms_(conn.statement_timeout_ms()) {
+        saved_timeout_ms_(conn.statement_timeout_ms()),
+        saved_token_(conn.cancel_token()),
+        saved_tracker_(conn.active_memory_tracker()),
+        saved_check_rows_(conn.cancel_check_rows()) {
     conn_.set_statement_timeout_ms(ctx.options.retry.statement_timeout_ms);
+    // Scope the run's governance hooks (cancel token, job memory budget,
+    // governor interval) to the lent master for the run's duration.
+    retrier_.set_cancel_token(ctx.cancel);
+    retrier_.set_memory_tracker(ctx.memory);
+    retrier_.set_cancel_check_rows(ctx.options.cancel_check_rows);
+    retrier_.ApplyGovernance(conn_);
   }
   ~ResilientConn() {
     conn_.set_statement_timeout_ms(saved_timeout_ms_);
+    conn_.set_cancel_token(saved_token_);
+    conn_.set_memory_tracker(saved_tracker_);
+    conn_.set_cancel_check_rows(saved_check_rows_);
     // Flush on every exit path: partial counters still tell the story
     // when the run aborts.
     // += so counts from a setup-phase Retrier (sqloop.cpp) survive when
@@ -84,6 +96,9 @@ class ResilientConn {
   Retrier retrier_;
   RunStats& stats_;
   int64_t saved_timeout_ms_;
+  const CancelToken* saved_token_;
+  MemoryTracker* saved_tracker_;
+  int64_t saved_check_rows_;
 };
 
 /// Builds `UPDATE <target> SET c1 = <alias>.c1, ... FROM <source> AS

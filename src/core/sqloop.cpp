@@ -1,6 +1,7 @@
 #include "core/sqloop.h"
 
 #include "common/error.h"
+#include "common/memory_tracker.h"
 #include "core/execute.h"
 #include "core/translator.h"
 #include "dbc/driver.h"
@@ -75,6 +76,26 @@ dbc::ResultSet SqLoop::ExecuteStatement(const sql::Statement& stmt,
   if (!NeedsIterativeRun(stmt, *master_)) {
     // Regular SQL (and natively supported CTEs) stays on this instance's
     // own master connection — inside its transaction, if one is open.
+    // The facade-level governance knobs still apply: a statement budget
+    // wraps the connection's active tracker for exactly this statement.
+    struct GovernanceGuard {
+      dbc::Connection& conn;
+      MemoryTracker* saved_tracker;
+      int64_t saved_check_rows;
+      ~GovernanceGuard() {
+        conn.set_memory_tracker(saved_tracker);
+        conn.set_cancel_check_rows(saved_check_rows);
+      }
+    } guard{*master_, master_->active_memory_tracker(),
+            master_->cancel_check_rows()};
+    MemoryTracker statement_budget("statement", guard.saved_tracker,
+                                   options.memory_limit_bytes);
+    if (options.memory_limit_bytes > 0) {
+      master_->set_memory_tracker(&statement_budget);
+    }
+    if (options.cancel_check_rows > 0) {
+      master_->set_cancel_check_rows(options.cancel_check_rows);
+    }
     const Translator translator = Translator::For(*master_);
     return master_->Execute(translator.Render(stmt));
   }

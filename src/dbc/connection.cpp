@@ -13,13 +13,24 @@ namespace sqloop::dbc {
 Connection::Connection(std::shared_ptr<minidb::Database> db,
                        int64_t latency_us, int64_t row_cost_ns,
                        std::shared_ptr<FaultInjector> fault_injector,
-                       int64_t compile_us)
+                       int64_t compile_us, int64_t memory_limit_bytes,
+                       int64_t cancel_check_rows)
     : db_(std::move(db)),
       executor_(*db_),
+      tracker_("connection", &db_->memory_tracker(), memory_limit_bytes),
       latency_us_(latency_us),
       row_cost_ns_(row_cost_ns),
       compile_us_(compile_us),
       fault_(std::move(fault_injector)) {
+  // Accounting A/B ablation (bench/micro_governance): a database with
+  // governance disabled hands its connections no tracker at all, so the
+  // engine's charge hooks cost one null check per flush.
+  if (db_->governance_enabled()) {
+    executor_.set_memory_tracker(&tracker_);
+  }
+  if (cancel_check_rows > 0) {
+    executor_.set_cancel_check_rows(cancel_check_rows);
+  }
   db_->OnConnectionOpened();
 }
 
@@ -87,17 +98,31 @@ void Connection::ThrowIfSuperseded() const {
   }
 }
 
+void Connection::ThrowIfCancelled() const {
+  if (token_ != nullptr) token_->ThrowIfRequested();
+}
+
+void Connection::ArmStatementDeadline() {
+  if (statement_timeout_ms_ > 0) {
+    executor_.set_statement_deadline(
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(statement_timeout_ms_));
+  }
+}
+
 void Connection::InterruptibleSleep(int64_t delay_us) const {
   // 1ms slices: an injected slow statement reacts to a cancel request
   // within a millisecond instead of serving out the whole delay.
   constexpr int64_t kSliceUs = 1000;
   while (delay_us > 0) {
     ThrowIfSuperseded();
+    ThrowIfCancelled();
     const int64_t slice = std::min(delay_us, kSliceUs);
     std::this_thread::sleep_for(std::chrono::microseconds(slice));
     delay_us -= slice;
   }
   ThrowIfSuperseded();
+  ThrowIfCancelled();
 }
 
 void Connection::MaybeInjectFault() {
@@ -150,18 +175,32 @@ void Connection::EnsureTransactionIfNeeded() {
 ResultSet Connection::Execute(std::string_view sql) {
   EnsureOpen();
   ThrowIfSuperseded();
+  ThrowIfCancelled();
   // Faults fire before the engine sees the statement (see fault.h): a
   // failure here is client-visible but leaves server state untouched, so
   // the caller may safely retry.
   MaybeInjectFault();
-  // Last cancellation point: past here the statement reaches the engine
-  // and always completes, keeping the task's piece progress exact.
+  // Last cancellation point for the straggler flag: past here the
+  // statement reaches the engine and always completes, keeping the task's
+  // piece progress exact. The governance token has no such exactly-once
+  // contract — it keeps preempting inside the engine.
   ThrowIfSuperseded();
+  ThrowIfCancelled();
   PayRoundTrip();
   ++stats_.statements;
   SQLOOP_COUNT(recorder_, "dbc.statements", 1);
   EnsureTransactionIfNeeded();
-  ResultSet result = executor_.ExecuteSql(sql, &session_);
+  ArmStatementDeadline();
+  ResultSet result;
+  try {
+    result = executor_.ExecuteSql(sql, &session_);
+  } catch (...) {
+    // A stale armed deadline must not leak into later statements (the
+    // implicit ROLLBACK on Close would spuriously time out).
+    executor_.clear_statement_deadline();
+    throw;
+  }
+  executor_.clear_statement_deadline();
   if (result.compiled) PayCompile();
   PayServerWork(result.rows_examined);
   return result;
@@ -179,6 +218,7 @@ void Connection::AddBatch(std::string sql) {
 std::vector<size_t> Connection::ExecuteBatch() {
   EnsureOpen();
   ThrowIfSuperseded();
+  ThrowIfCancelled();
   // One injection decision for the whole batch: it ships as a single
   // submission, so a fault strikes before ANY queued statement executes.
   // The queued batch is preserved on failure for resubmission.
@@ -186,10 +226,17 @@ std::vector<size_t> Connection::ExecuteBatch() {
   // Cancellation must not strike between a batch's statements (the whole
   // batch is the retry unit), so this is its only post-injection check.
   ThrowIfSuperseded();
+  ThrowIfCancelled();
   PayRoundTrip();  // the whole batch ships in one round trip
   SQLOOP_COUNT(recorder_, "dbc.batches", 1);
   SQLOOP_COUNT(recorder_, "dbc.batch_statements", batch_.size());
   EnsureTransactionIfNeeded();
+  // No mid-statement deadline inside a batch: a transient TimeoutError
+  // striking after a prefix of the batch applied would make the retrier
+  // resubmit — and double-apply — that prefix. The deadline stays at the
+  // injection point for batches. The governance token still preempts
+  // mid-batch: cancel and quota errors are fatal, so no retry ever
+  // resubmits the prefix.
   std::vector<size_t> affected;
   affected.reserve(batch_.size());
   size_t rows_examined = 0;

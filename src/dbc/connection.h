@@ -10,7 +10,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/fault.h"
+#include "common/memory_tracker.h"
 #include "minidb/database.h"
 #include "minidb/executor.h"
 #include "telemetry/recorder.h"
@@ -41,10 +43,15 @@ class PreparedStatement;
 /// connection per thread, exactly as SQLoop does (paper §V-B).
 class Connection {
  public:
+  /// `memory_limit_bytes` caps this connection's transient working sets
+  /// (0 = unlimited); `cancel_check_rows` sets the engine's governor check
+  /// interval (<=0 = engine default). Both come from the URL knobs of the
+  /// same name.
   Connection(std::shared_ptr<minidb::Database> db, int64_t latency_us,
              int64_t row_cost_ns = 0,
              std::shared_ptr<FaultInjector> fault_injector = nullptr,
-             int64_t compile_us = 0);
+             int64_t compile_us = 0, int64_t memory_limit_bytes = 0,
+             int64_t cancel_check_rows = 0);
   ~Connection();
 
   Connection(const Connection&) = delete;
@@ -136,15 +143,55 @@ class Connection {
   }
 
   /// Deadline for a single statement (or batch); 0 disables. Enforced at
-  /// the injection point: an injected slow statement whose delay would
-  /// blow the deadline sleeps only up to the deadline, then fails with
-  /// TimeoutError *before* the engine applies it — so timed-out work is
-  /// always safe to retry.
+  /// two points: the injection point (an injected slow statement whose
+  /// delay would blow the deadline sleeps only up to the deadline, then
+  /// fails with TimeoutError *before* the engine applies it), and — since
+  /// the governance work — inside the engine, where the executor's
+  /// governor checks the armed deadline every `cancel_check_rows` rows
+  /// during read/build phases. Both surfaces throw TimeoutError
+  /// (transient): the checks sit before any write applies, so retry is
+  /// safe either way.
   void set_statement_timeout_ms(int64_t timeout_ms) noexcept {
     statement_timeout_ms_ = timeout_ms;
   }
   int64_t statement_timeout_ms() const noexcept {
     return statement_timeout_ms_;
+  }
+
+  // --- resource governance ----------------------------------------------
+  /// Cancellation token observed before each statement AND mid-statement
+  /// by the engine's governor (unlike the straggler cancel flag, which is
+  /// strictly pre-engine — see set_cancel_flag). Null detaches.
+  void set_cancel_token(const CancelToken* token) noexcept {
+    token_ = token;
+    executor_.set_cancel_token(token);
+  }
+
+  /// Redirects this connection's transient-memory charges to `tracker`
+  /// (the job server lends each job's scope); null restores the
+  /// connection's own scope.
+  void set_memory_tracker(MemoryTracker* tracker) noexcept {
+    executor_.set_memory_tracker(tracker != nullptr ? tracker : &tracker_);
+  }
+
+  /// Rows between the engine governor's cancel/deadline checks; values
+  /// < 1 restore the engine default.
+  void set_cancel_check_rows(int64_t rows) noexcept {
+    executor_.set_cancel_check_rows(rows);
+  }
+
+  /// This connection's own memory scope (parented on the database scope,
+  /// limited by the `memory_limit_bytes` URL knob).
+  MemoryTracker& memory_tracker() noexcept { return tracker_; }
+
+  // Current governance attachments — runners save these before lending a
+  // job scope to a borrowed master connection and restore them after.
+  const CancelToken* cancel_token() const noexcept { return token_; }
+  MemoryTracker* active_memory_tracker() const noexcept {
+    return executor_.memory_tracker();
+  }
+  int64_t cancel_check_rows() const noexcept {
+    return executor_.cancel_check_rows();
   }
 
   /// Direct handle for test fixtures; production code goes through SQL.
@@ -170,12 +217,24 @@ class Connection {
   void DropNow();
   /// Throws TaskSupersededError iff the cancel flag is set.
   void ThrowIfSuperseded() const;
+  /// Throws the token's error iff cancellation was requested (cheap
+  /// pre-statement check; the engine governor covers mid-statement).
+  void ThrowIfCancelled() const;
+  /// Arms the executor's mid-statement deadline from
+  /// statement_timeout_ms_; no-op when the timeout is disabled.
+  void ArmStatementDeadline();
   /// Sleeps `delay_us` in small slices so a cancel request interrupts an
   /// injected slow statement instead of waiting it out.
   void InterruptibleSleep(int64_t delay_us) const;
 
   std::shared_ptr<minidb::Database> db_;
   minidb::Executor executor_;
+  // The connection's own memory scope: parented on the database tracker
+  // (so charges roll up to the server watermark), capped by the
+  // memory_limit_bytes URL knob. The executor charges here unless a job
+  // scope was lent via set_memory_tracker.
+  MemoryTracker tracker_;
+  const CancelToken* token_ = nullptr;
   minidb::Session session_;
   std::vector<std::string> batch_;
   int64_t latency_us_;

@@ -42,6 +42,12 @@ int64_t ParseNonNegative(const std::string& text, const std::string& what) {
   return value;
 }
 
+int64_t ParsePositive(const std::string& text, const std::string& what) {
+  const int64_t value = ParseInt(text, what);
+  if (value < 1) throw ConnectionError(what + " must be positive");
+  return value;
+}
+
 double ParseRate(const std::string& text, const std::string& what) {
   double value = 0;
   const auto result =
@@ -196,6 +202,14 @@ ConnectionConfig ConnectionConfig::Parse(const std::string& url) {
         config.checkpoint_every = ParseNonNegative(value, key);
       } else if (key == "checkpoint_dir") {
         config.checkpoint_dir = value;
+      } else if (key == "memory_limit_bytes") {
+        // Zero is meaningless here (nothing runs on a zero-byte budget);
+        // omit the parameter for "unlimited".
+        config.memory_limit_bytes = ParsePositive(value, key);
+      } else if (key == "cancel_check_rows") {
+        // Zero is meaningless (a check every zero rows); omit the
+        // parameter for the engine default.
+        config.cancel_check_rows = ParsePositive(value, key);
       } else {
         throw ConnectionError("unknown URL parameter '" + key + "'");
       }
@@ -275,7 +289,9 @@ std::unique_ptr<Connection> DriverManager::GetConnection(
   }
   return std::make_unique<Connection>(std::move(db), config.latency_us,
                                       config.row_cost_ns, std::move(injector),
-                                      config.compile_us);
+                                      config.compile_us,
+                                      config.memory_limit_bytes,
+                                      config.cancel_check_rows);
 }
 
 void DriverManager::RegisterHost(const std::string& host,

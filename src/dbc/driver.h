@@ -65,6 +65,18 @@ struct ConnectionConfig {
   int64_t checkpoint_every = 0;
   std::string checkpoint_dir;
 
+  /// Memory budget for this connection's transient working sets
+  /// (`memory_limit_bytes=N`): a statement whose materialized rows, join
+  /// builds, or GROUP BY state would exceed it fails with
+  /// QuotaExceededError at the next charge flush. Must be positive when
+  /// given (a zero-byte budget could never run anything); 0 = unlimited.
+  int64_t memory_limit_bytes = 0;
+  /// Rows between the engine's mid-statement governor checks
+  /// (`cancel_check_rows=N`): smaller values tighten cancellation and
+  /// deadline latency inside scans and joins at slightly higher overhead.
+  /// Must be positive when given; 0 = engine default (1024).
+  int64_t cancel_check_rows = 0;
+
   static ConnectionConfig Parse(const std::string& url);
 };
 

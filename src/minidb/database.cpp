@@ -16,8 +16,12 @@ EngineProfile EngineProfile::ByName(const std::string& name) {
   throw UsageError("unknown engine profile '" + name + "'");
 }
 
-Database::Database(std::string name, EngineProfile profile)
-    : name_(std::move(name)), profile_(std::move(profile)) {}
+Database::Database(std::string name, EngineProfile profile,
+                   std::shared_ptr<MemoryTracker> server_tracker)
+    : name_(std::move(name)),
+      profile_(std::move(profile)),
+      server_tracker_(std::move(server_tracker)),
+      tracker_("db:" + name_, server_tracker_.get()) {}
 
 void Database::CreateTable(const std::string& table_name, Schema schema,
                            bool if_not_exists) {
@@ -27,7 +31,11 @@ void Database::CreateTable(const std::string& table_name, Schema schema,
     if (if_not_exists) return;
     throw ExecutionError("relation '" + table_name + "' already exists");
   }
-  tables_.emplace(folded, std::make_shared<Table>(folded, std::move(schema)));
+  auto table = std::make_shared<Table>(folded, std::move(schema));
+  // Attached before the table is published, so every row it ever stores
+  // is accounted against this database's scope.
+  table->set_memory_tracker(&tracker_);
+  tables_.emplace(folded, std::move(table));
   BumpCatalogVersion();
 }
 

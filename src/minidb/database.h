@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "minidb/engine_profile.h"
 #include "minidb/plan_cache.h"
 #include "minidb/table.h"
@@ -19,11 +20,23 @@ namespace sqloop::minidb {
 
 class Database {
  public:
+  /// `server_tracker`, when given, parents this database's memory scope so
+  /// table storage and statement working sets roll up to the server-wide
+  /// watermark accounting (Server::CreateDatabase passes its own tracker;
+  /// a standalone Database is its own accounting root).
   explicit Database(std::string name,
-                    EngineProfile profile = EngineProfile::Canonical());
+                    EngineProfile profile = EngineProfile::Canonical(),
+                    std::shared_ptr<MemoryTracker> server_tracker = nullptr);
 
   const std::string& name() const noexcept { return name_; }
   const EngineProfile& profile() const noexcept { return profile_; }
+
+  /// The database-scope memory accountant: every table's storage charges
+  /// here (see Table::set_memory_tracker), and each connection's statement
+  /// working set parents here by default. Rolls up to the server tracker
+  /// when one was attached at construction.
+  MemoryTracker& memory_tracker() noexcept { return tracker_; }
+  const MemoryTracker& memory_tracker() const noexcept { return tracker_; }
 
   // --- catalog operations (internally locked) -------------------------
 
@@ -75,6 +88,20 @@ class Database {
     return fused_enabled_.load(std::memory_order_relaxed);
   }
 
+  // --- governance toggle -----------------------------------------------
+  // Memory accounting is on by default; switching it off makes new
+  // connections attach no tracker, so the engine's per-row charge hooks
+  // reduce to a null check. Exists for the accounting-overhead A/B bench
+  // (bench/micro_governance), not as a tuning knob: budgets, watermarks,
+  // and quota errors all need the accounting on.
+
+  void set_governance_enabled(bool enabled) noexcept {
+    governance_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool governance_enabled() const noexcept {
+    return governance_enabled_.load(std::memory_order_relaxed);
+  }
+
   // --- connection accounting -------------------------------------------
   // The dbc layer reports opens/closes so resilience tests can assert that
   // a failed parallel run leaks no live connections.
@@ -86,12 +113,17 @@ class Database {
   std::string name_;
   std::atomic<int> open_connections_{0};
   EngineProfile profile_;
+  // Keep-alive for the parent scope: the server's tracker must outlive
+  // this database's (declared before tracker_ so it is destroyed after).
+  std::shared_ptr<MemoryTracker> server_tracker_;
+  MemoryTracker tracker_;
   mutable std::shared_mutex catalog_lock_;
   std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
   std::unordered_map<std::string, std::shared_ptr<const sql::SelectStmt>>
       views_;
   std::atomic<uint64_t> catalog_version_{0};
   std::atomic<bool> fused_enabled_{true};
+  std::atomic<bool> governance_enabled_{true};
   PlanCache plan_cache_;
 };
 

@@ -478,6 +478,48 @@ Row ConcatRows(const Row& left, const Row& right) {
 // SELECT pipeline
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Statement governor (resource governance: see DESIGN.md). The slow paths
+// behind GovTick/GovCharge — reached once per `cancel_check_rows` rows or
+// per kChargeFlushBytes of transient allocation.
+// ---------------------------------------------------------------------------
+
+void Executor::GovSync() {
+  gov_countdown_ = check_rows_;
+  if (cancel_ != nullptr && cancel_->requested()) {
+    SQLOOP_COUNT(recorder_, "governance.mid_statement_cancels", 1);
+    cancel_->ThrowNow();
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    SQLOOP_COUNT(recorder_, "governance.mid_statement_cancels", 1);
+    throw TimeoutError("statement deadline exceeded mid-statement");
+  }
+}
+
+void Executor::GovFlush() {
+  const int64_t bytes = pending_bytes_;
+  pending_bytes_ = 0;
+  if (memory_ == nullptr || bytes <= 0) return;
+  // Throws QuotaExceededError on breach; Charge already unwound its own
+  // partial reservation, and statement_bytes_ keeps only what stuck.
+  memory_->Charge(bytes);
+  statement_bytes_ += bytes;
+}
+
+void Executor::GovBeginStatement() noexcept {
+  gov_countdown_ = check_rows_;
+  pending_bytes_ = 0;
+  statement_bytes_ = 0;
+}
+
+void Executor::GovEndStatement() noexcept {
+  pending_bytes_ = 0;
+  if (memory_ != nullptr && statement_bytes_ > 0) {
+    memory_->Release(statement_bytes_);
+  }
+  statement_bytes_ = 0;
+}
+
 Relation Executor::ScanTable(const Table& table, const std::string& alias) {
   Relation rel;
   const std::string folded = FoldIdentifier(alias);
@@ -492,13 +534,19 @@ Relation Executor::ScanTable(const Table& table, const std::string& alias) {
     rel.borrowed = true;
     rel.views.reserve(table.live_row_count());
     for (size_t row_id = 0; row_id < table.slot_count(); ++row_id) {
-      if (table.IsLive(row_id)) rel.views.push_back(&table.At(row_id));
+      if (!table.IsLive(row_id)) continue;
+      GovTick();
+      rel.views.push_back(&table.At(row_id));
     }
+    GovCharge(static_cast<int64_t>(rel.views.size() * sizeof(const Row*)));
     counters_.rows_borrowed += rel.views.size();
   } else {
     rel.rows.reserve(table.live_row_count());
     for (size_t row_id = 0; row_id < table.slot_count(); ++row_id) {
-      if (table.IsLive(row_id)) rel.rows.push_back(table.At(row_id));
+      if (!table.IsLive(row_id)) continue;
+      GovTick();
+      rel.rows.push_back(table.At(row_id));
+      GovCharge(RowFootprintBytes(rel.rows.back()));
     }
     counters_.rows_materialized += rel.rows.size();
   }
@@ -531,6 +579,7 @@ void Executor::ScanPush(const Table& table,
                      probe_ids_);
     for (const size_t row_id : probe_ids_) {
       ++rows_examined_;
+      GovTick();
       const Row& row = table.At(row_id);
       if (passes(row)) sink(row);
     }
@@ -540,6 +589,7 @@ void Executor::ScanPush(const Table& table,
   for (size_t row_id = 0; row_id < table.slot_count(); ++row_id) {
     if (!table.IsLive(row_id)) continue;
     ++rows_examined_;
+    GovTick();
     const Row& row = table.At(row_id);
     if (passes(row)) sink(row);
   }
@@ -610,7 +660,10 @@ Relation Executor::EvalJoin(const sql::TableRef& join, ExecContext& ctx) {
     GuardedReserve(out.rows,
                    SaturatingMul(state.left.row_count(), right_rows));
   }
-  const auto collect = [&out](Row&& row) { out.rows.push_back(std::move(row)); };
+  const auto collect = [this, &out](Row&& row) {
+    GovCharge(RowFootprintBytes(row));
+    out.rows.push_back(std::move(row));
+  };
   RunJoin(state, collect);
   counters_.rows_materialized += out.rows.size();
   return out;
@@ -648,7 +701,8 @@ Relation Executor::EvalJoinInput(const sql::TableRef& ref, ExecContext& ctx,
     JoinState nested = PrepareJoin(ref, ctx, pending);
     Relation out;
     out.columns = nested.columns;
-    const auto collect = [&out](Row&& row) {
+    const auto collect = [this, &out](Row&& row) {
+      GovCharge(RowFootprintBytes(row));
       out.rows.push_back(std::move(row));
     };
     RunJoin(nested, collect);
@@ -744,6 +798,7 @@ void Executor::RunJoin(JoinState& state, const OwnedRowSink& sink) {
     for (size_t li = 0; li < left.row_count(); ++li) {
       const Row& l = left.row(li);
       for (size_t ri = 0; ri < state.right.row_count(); ++ri) {
+        GovTick();
         sink(ConcatRows(l, state.right.row(ri)));
       }
     }
@@ -802,6 +857,7 @@ void Executor::RunJoin(JoinState& state, const OwnedRowSink& sink) {
         right_table.IndexProbe(column, key, probe_ids_);
         for (const size_t row_id : probe_ids_) {
           ++rows_examined_;
+          GovTick();
           const Row& r = right_table.At(row_id);
           bool keys_ok = true;
           for (size_t i = 0; i < equi.size(); ++i) {
@@ -836,6 +892,7 @@ void Executor::RunJoin(JoinState& state, const OwnedRowSink& sink) {
     built.reserve(right.row_count());
     for (size_t i = 0; i < right.row_count(); ++i) {
       const Row& r = right.row(i);
+      GovTick();
       Row key;
       key.reserve(equi.size());
       bool has_null = false;
@@ -847,10 +904,14 @@ void Executor::RunJoin(JoinState& state, const OwnedRowSink& sink) {
         }
         key.push_back(v);
       }
-      if (!has_null) built[std::move(key)].push_back(i);
+      if (!has_null) {
+        GovCharge(RowFootprintBytes(key) + static_cast<int64_t>(sizeof(size_t)));
+        built[std::move(key)].push_back(i);
+      }
     }
     for (size_t li = 0; li < left.row_count(); ++li) {
       const Row& l = left.row(li);
+      GovTick();
       Row key;
       key.reserve(equi.size());
       bool has_null = false;
@@ -884,6 +945,7 @@ void Executor::RunJoin(JoinState& state, const OwnedRowSink& sink) {
     const Row& l = left.row(li);
     bool matched = false;
     for (size_t ri = 0; ri < right.row_count(); ++ri) {
+      GovTick();
       const Row& r = right.row(ri);
       bool keys_ok = true;
       for (const auto& pair : equi) {
@@ -984,6 +1046,7 @@ Relation Executor::ProjectCore(const sql::SelectCore& core,
   std::unordered_map<const sql::Expr*, int> cache;
   std::unordered_map<const sql::Expr*, int> order_cache;
   const auto consume = [&](const Row& row) {
+    GovTick();
     Row projected;
     projected.reserve(slots.size());
     EvalContext ec{&input_columns, &row, nullptr, nullptr, &cache};
@@ -1005,6 +1068,7 @@ Relation Executor::ProjectCore(const sql::SelectCore& core,
       }
       sort_keys->push_back(std::move(key));
     }
+    GovCharge(RowFootprintBytes(projected));
     out.rows.push_back(std::move(projected));
   };
   input(consume);
@@ -1071,6 +1135,7 @@ Relation Executor::AggregateCore(const sql::SelectCore& core,
   std::unordered_map<Row, size_t, KeyHash, KeyEq> hash_index;
   std::map<Row, size_t, KeyLess> sort_index;
   const auto consume = [&](const Row& row) {
+    GovTick();
     if (core.group_by.empty()) {
       if (groups.empty()) groups.push_back(new_group(row));
       feed(groups[0], row);
@@ -1082,13 +1147,20 @@ Relation Executor::AggregateCore(const sql::SelectCore& core,
     for (const auto& expr : core.group_by) {
       key.push_back(Evaluate(*expr, ec));
     }
+    const int64_t key_bytes = RowFootprintBytes(key);
     const size_t slot =
         hash_grouping
             ? hash_index.try_emplace(std::move(key), groups.size())
                   .first->second
             : sort_index.try_emplace(std::move(key), groups.size())
                   .first->second;
-    if (slot == groups.size()) groups.push_back(new_group(row));
+    if (slot == groups.size()) {
+      // A new group holds its key, a representative row copy, and one
+      // accumulator per aggregate expression.
+      GovCharge(key_bytes + RowFootprintBytes(row) +
+                static_cast<int64_t>(agg_exprs.size() * sizeof(Accumulator)));
+      groups.push_back(new_group(row));
+    }
     feed(groups[slot], row);
   };
   input(consume);
@@ -1267,6 +1339,7 @@ Relation Executor::EvalCore(const sql::SelectCore& core, ExecContext& ctx,
     std::vector<Row> unique_keys;
     unique.reserve(out.rows.size());
     for (size_t i = 0; i < out.rows.size(); ++i) {
+      GovTick();
       if (seen.insert(out.rows[i]).second) {
         unique.push_back(std::move(out.rows[i]));
         if (sort_keys != nullptr) {
@@ -1326,7 +1399,9 @@ Relation Executor::EvalCoreReference(
           }
           for (const size_t row_id :
                table->IndexLookup(col, literal->literal)) {
+            GovTick();
             input.rows.push_back(table->At(row_id));
+            GovCharge(RowFootprintBytes(input.rows.back()));
           }
           rows_examined_ += input.rows.size();
           scanned_via_index = true;
@@ -1350,6 +1425,7 @@ Relation Executor::EvalCoreReference(
       std::vector<const Row*> kept;
       kept.reserve(input.views.size());
       for (const Row* view : input.views) {
+        GovTick();
         EvalContext ec{&input.columns, view, nullptr, nullptr, &cache};
         if (Truthy(Evaluate(*core.where, ec))) kept.push_back(view);
       }
@@ -1358,6 +1434,7 @@ Relation Executor::EvalCoreReference(
       std::vector<Row> kept;
       kept.reserve(input.rows.size());
       for (Row& row : input.rows) {
+        GovTick();
         EvalContext ec{&input.columns, &row, nullptr, nullptr, &cache};
         if (Truthy(Evaluate(*core.where, ec))) kept.push_back(std::move(row));
       }
@@ -1399,6 +1476,7 @@ ResultSet Executor::EvalSelect(const sql::SelectStmt& stmt, ExecContext& ctx,
       std::vector<Row> unique;
       unique.reserve(combined.rows.size());
       for (Row& row : combined.rows) {
+        GovTick();
         if (seen.insert(row).second) unique.push_back(std::move(row));
       }
       combined.rows = std::move(unique);
@@ -1419,6 +1497,7 @@ ResultSet Executor::EvalSelect(const sql::SelectStmt& stmt, ExecContext& ctx,
       sort_keys.clear();
       sort_keys.reserve(combined.rows.size());
       for (const Row& row : combined.rows) {
+        GovTick();
         EvalContext ec{&bindings, &row, nullptr, nullptr, &cache};
         Row key;
         key.reserve(order_exprs.size());
@@ -1512,6 +1591,11 @@ ResultSet Executor::ExecWith(const sql::Statement& stmt, ExecContext& ctx) {
               "' produces a different column count than the seed");
         }
         delta.columns = all.columns;
+        // The accumulated relation copies the delta; deep row bytes were
+        // already charged when EvalSelect produced them, so charge the
+        // shallow copy and give the governor a per-round check.
+        GovTick();
+        GovCharge(static_cast<int64_t>(delta.rows.size() * sizeof(Row)));
         all.rows.insert(all.rows.end(), delta.rows.begin(), delta.rows.end());
         working = std::move(delta);
       }
@@ -1617,9 +1701,11 @@ ResultSet Executor::ExecInsert(const sql::Statement& stmt, Session* session) {
   } else {
     EvalContext ec;  // VALUES expressions see no input columns
     for (const auto& row_exprs : stmt.insert_rows) {
+      GovTick();
       Row row;
       row.reserve(row_exprs.size());
       for (const auto& expr : row_exprs) row.push_back(Evaluate(*expr, ec));
+      GovCharge(RowFootprintBytes(row));
       incoming.push_back(std::move(row));
     }
   }
@@ -1723,6 +1809,7 @@ ResultSet Executor::ExecUpdate(const sql::Statement& stmt, Session* session,
     if (target_key >= 0) {
       by_key.reserve(source.row_count());
       for (size_t i = 0; i < source.row_count(); ++i) {
+        GovTick();
         const Value& key = source.row(i)[source_key];
         if (!key.is_null()) by_key.emplace(key, i);
       }
@@ -1731,6 +1818,7 @@ ResultSet Executor::ExecUpdate(const sql::Statement& stmt, Session* session,
     for (size_t row_id = 0; row_id < table->slot_count(); ++row_id) {
       if (!table->IsLive(row_id)) continue;
       ++rows_examined_;
+      GovTick();
       const Row& current = table->At(row_id);
 
       const auto try_match = [&](const Row& source_row) -> bool {
@@ -1750,7 +1838,10 @@ ResultSet Executor::ExecUpdate(const sql::Statement& stmt, Session* session,
             break;
           }
         }
-        if (changed) pending.emplace_back(row_id, std::move(updated));
+        if (changed) {
+          GovCharge(RowFootprintBytes(updated));
+          pending.emplace_back(row_id, std::move(updated));
+        }
         return true;
       };
 
@@ -1771,6 +1862,7 @@ ResultSet Executor::ExecUpdate(const sql::Statement& stmt, Session* session,
     for (size_t row_id = 0; row_id < table->slot_count(); ++row_id) {
       if (!table->IsLive(row_id)) continue;
       ++rows_examined_;
+      GovTick();
       const Row& current = table->At(row_id);
       EvalContext ec{&target_columns, &current, nullptr, nullptr, &cache};
       if (stmt.where && !Truthy(Evaluate(*stmt.where, ec))) continue;
@@ -1786,7 +1878,10 @@ ResultSet Executor::ExecUpdate(const sql::Statement& stmt, Session* session,
           break;
         }
       }
-      if (changed) pending.emplace_back(row_id, std::move(updated));
+      if (changed) {
+        GovCharge(RowFootprintBytes(updated));
+        pending.emplace_back(row_id, std::move(updated));
+      }
     }
   }
 
@@ -1814,6 +1909,7 @@ ResultSet Executor::ExecDelete(const sql::Statement& stmt, Session* session) {
   for (size_t row_id = 0; row_id < table->slot_count(); ++row_id) {
     if (!table->IsLive(row_id)) continue;
     ++rows_examined_;
+    GovTick();
     if (stmt.where) {
       const Row& row = table->At(row_id);
       EvalContext ec{&columns, &row, nullptr, nullptr, &cache};
@@ -1885,7 +1981,18 @@ ResultSet Executor::ExecuteWithPlan(const sql::Statement& stmt,
   rows_examined_ = 0;
   counters_ = {};
   access_ = access;
-  ResultSet result = ExecuteInternal(stmt, plan, session);
+  GovBeginStatement();
+  ResultSet result;
+  try {
+    result = ExecuteInternal(stmt, plan, session);
+  } catch (...) {
+    // Statement-scope teardown: the whole transient reservation returns to
+    // the tracker chain, so an aborted statement frees its working set.
+    GovEndStatement();
+    access_ = nullptr;
+    throw;
+  }
+  GovEndStatement();
   access_ = nullptr;
   result.rows_examined = rows_examined_;
   SQLOOP_COUNT(recorder_, "minidb.rows_examined", rows_examined_);
@@ -2150,6 +2257,14 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
       // index). Validation happens in ReadDumpFile before any catalog
       // change, so a corrupt dump leaves the database untouched.
       DumpContents contents = ReadDumpFile(stmt.file_path);
+      // Governor pass over the materialized dump BEFORE any catalog
+      // change: a quota breach or cancel aborts with the database
+      // untouched (the restore loop below is write-apply and never ticks).
+      for (const Row& row : contents.rows) {
+        GovTick();
+        GovCharge(RowFootprintBytes(row));
+      }
+      GovFlush();  // enforce the full dump size before mutating
       db_.DropTable(stmt.table_name, /*if_exists=*/true);
       db_.CreateTable(stmt.table_name, contents.schema,
                       /*if_not_exists=*/false);

@@ -10,11 +10,13 @@
 // designed to avoid (paper §V-C).
 #pragma once
 
+#include <chrono>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/function_ref.h"
 #include "minidb/database.h"
 #include "minidb/evaluator.h"
@@ -113,6 +115,50 @@ class Executor {
   void set_recorder(telemetry::Recorder* recorder) noexcept {
     recorder_ = recorder;
   }
+
+  // --- resource governance ----------------------------------------------
+  // The statement governor: scan/join/build loops tick a countdown; every
+  // `cancel_check_rows` rows the slow path consults the cancel token and
+  // the statement deadline, so Cancel(), a blown deadline, or a quota
+  // breach preempts a long cross join mid-statement. Byte charges for
+  // transient working sets (materialized rows, join builds, GROUP BY
+  // state) batch locally and flush into the attached tracker chain, which
+  // throws QuotaExceededError on breach. Ticks and charges live only in
+  // read/build phases — never in write-apply loops — so a mid-statement
+  // abort always leaves tables untouched.
+
+  /// Default rows between governor checks (see `cancel_check_rows` URL
+  /// parameter).
+  static constexpr int64_t kDefaultCancelCheckRows = 1024;
+
+  /// Cancellation token observed mid-statement; null detaches.
+  void set_cancel_token(const CancelToken* token) noexcept {
+    cancel_ = token;
+  }
+  /// Memory scope charged for this executor's transient working sets;
+  /// null detaches (accounting off).
+  void set_memory_tracker(MemoryTracker* tracker) noexcept {
+    memory_ = tracker;
+  }
+  /// Rows between governor checks; values < 1 restore the default.
+  void set_cancel_check_rows(int64_t rows) noexcept {
+    check_rows_ = rows >= 1 ? rows : kDefaultCancelCheckRows;
+  }
+  /// Arms a mid-statement deadline: once passed, the next governor check
+  /// throws TimeoutError (transient — ticks sit in read loops only, so the
+  /// statement never reached a write and retry is safe).
+  void set_statement_deadline(
+      std::chrono::steady_clock::time_point deadline) noexcept {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void clear_statement_deadline() noexcept { has_deadline_ = false; }
+
+  // Current governance attachments, so callers that lend a scope (runner,
+  // job server) can save and restore what was there before.
+  const CancelToken* cancel_token() const noexcept { return cancel_; }
+  MemoryTracker* memory_tracker() const noexcept { return memory_; }
+  int64_t cancel_check_rows() const noexcept { return check_rows_; }
 
  private:
   struct ExecContext {
@@ -233,6 +279,24 @@ class Executor {
   void CheckDialect(const sql::Statement& stmt) const;
   void BackupForTransaction(Session* session, Table& table);
 
+  // --- governor hot path -------------------------------------------------
+  // GovTick compiles to a decrement and a predictable branch; GovSync and
+  // GovFlush are the cold slow paths. GovCharge accumulates locally and
+  // flushes every kChargeFlushBytes so the atomic tracker chain stays off
+  // the per-row path.
+  static constexpr int64_t kChargeFlushBytes = 32 * 1024;
+  void GovTick() {
+    if (--gov_countdown_ <= 0) GovSync();
+  }
+  void GovCharge(int64_t bytes) {
+    pending_bytes_ += bytes;
+    if (pending_bytes_ >= kChargeFlushBytes) GovFlush();
+  }
+  void GovSync();
+  void GovFlush();
+  void GovBeginStatement() noexcept;
+  void GovEndStatement() noexcept;
+
   /// Recomputes the bind layer (lock set, view expansion) of a stale plan
   /// under `version`; the parsed AST is shared, never re-parsed.
   std::shared_ptr<const CachedPlan> Rebind(const CachedPlan& stale,
@@ -265,6 +329,15 @@ class Executor {
   // so the steady-state fused path allocates nothing per probe.
   std::vector<size_t> probe_ids_;
   telemetry::Recorder* recorder_ = nullptr;
+  // Governor state (see the public resource-governance section).
+  const CancelToken* cancel_ = nullptr;
+  MemoryTracker* memory_ = nullptr;
+  int64_t check_rows_ = kDefaultCancelCheckRows;
+  int64_t gov_countdown_ = kDefaultCancelCheckRows;
+  int64_t pending_bytes_ = 0;    // charged locally, not yet in the tracker
+  int64_t statement_bytes_ = 0;  // flushed total, released at statement end
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
 };
 
 }  // namespace sqloop::minidb

@@ -66,4 +66,26 @@ struct ResultSet {
 /// Lower-cases an identifier the way the catalog stores it.
 std::string FoldIdentifier(const std::string& name);
 
+// --- memory-footprint estimates (DESIGN.md "Resource governance") ------
+// Estimates, not allocator truth: they count the value payloads plus the
+// vector/variant headers, which is what governance budgets care about.
+// Text shorter than the SSO buffer costs nothing beyond the Value itself.
+
+inline int64_t ValueFootprintBytes(const Value& value) noexcept {
+  int64_t bytes = static_cast<int64_t>(sizeof(Value));
+  if (value.is_text()) {
+    const std::string& text = value.as_text();
+    if (text.capacity() > sizeof(std::string)) {
+      bytes += static_cast<int64_t>(text.capacity());
+    }
+  }
+  return bytes;
+}
+
+inline int64_t RowFootprintBytes(const Row& row) noexcept {
+  int64_t bytes = static_cast<int64_t>(sizeof(Row));
+  for (const Value& value : row) bytes += ValueFootprintBytes(value);
+  return bytes;
+}
+
 }  // namespace sqloop::minidb

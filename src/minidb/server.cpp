@@ -19,7 +19,7 @@ std::shared_ptr<Database> Server::CreateDatabase(const std::string& name,
   if (databases_.contains(folded)) {
     throw UsageError("database '" + name + "' already exists");
   }
-  auto db = std::make_shared<Database>(folded, std::move(profile));
+  auto db = std::make_shared<Database>(folded, std::move(profile), tracker_);
   databases_.emplace(folded, db);
   return db;
 }

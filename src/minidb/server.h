@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/memory_tracker.h"
 #include "minidb/database.h"
 
 namespace sqloop::minidb {
@@ -37,6 +38,16 @@ class Server {
 
   std::vector<std::string> DatabaseNames() const;
 
+  // --- memory governance ------------------------------------------------
+  // The server-wide accounting root: every database created through
+  // CreateDatabase parents its scope here, so reserved_bytes() is the
+  // whole deployment's working set — what the JobServer's soft/hard
+  // watermarks police. Shared ownership keeps the root alive for any
+  // database handle that outlives the registry entry.
+  const std::shared_ptr<MemoryTracker>& memory_tracker() const noexcept {
+    return tracker_;
+  }
+
   // --- fault injection --------------------------------------------------
   // A server-level injector applies to every connection attached to this
   // server and takes precedence over URL-configured injection (it models an
@@ -53,6 +64,8 @@ class Server {
 
  private:
   mutable std::mutex mutex_;
+  std::shared_ptr<MemoryTracker> tracker_ =
+      std::make_shared<MemoryTracker>("server");
   std::unordered_map<std::string, std::shared_ptr<Database>> databases_;
   std::shared_ptr<FaultInjector> fault_injector_;
 };

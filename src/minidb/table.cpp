@@ -9,6 +9,25 @@ namespace sqloop::minidb {
 Table::Table(std::string name, Schema schema)
     : name_(std::move(name)), schema_(std::move(schema)) {}
 
+Table::~Table() {
+  // Return the whole reservation: a dropped table's memory leaves the
+  // database scope the moment the last reference dies.
+  if (tracker_ != nullptr && tracked_bytes_ > 0) {
+    tracker_->Release(tracked_bytes_);
+  }
+}
+
+void Table::Account(int64_t delta) noexcept {
+  tracked_bytes_ += delta;
+  if (tracked_bytes_ < 0) tracked_bytes_ = 0;
+  if (tracker_ == nullptr || delta == 0) return;
+  if (delta > 0) {
+    tracker_->ChargeUnchecked(delta);
+  } else {
+    tracker_->Release(-delta);
+  }
+}
+
 size_t Table::Insert(Row row) {
   schema_.CoerceRow(row);
   const int pk = schema_.primary_key_index();
@@ -28,6 +47,9 @@ size_t Table::Insert(Row row) {
   ++live_rows_;
   if (pk >= 0) pk_index_.emplace(rows_[row_id][pk], row_id);
   IndexInsert(row_id);
+  Account(RowFootprintBytes(rows_[row_id]) +
+          kIndexEntryBytes * static_cast<int64_t>((pk >= 0 ? 1 : 0) +
+                                                  secondary_indexes_.size()));
   return row_id;
 }
 
@@ -50,7 +72,9 @@ void Table::Update(size_t row_id, Row row) {
     }
   }
   IndexErase(row_id);
+  const int64_t old_bytes = RowFootprintBytes(rows_[row_id]);
   rows_[row_id] = std::move(row);
+  Account(RowFootprintBytes(rows_[row_id]) - old_bytes);
   IndexInsert(row_id);
 }
 
@@ -61,6 +85,10 @@ void Table::Delete(size_t row_id) {
   IndexErase(row_id);
   live_[row_id] = 0;
   --live_rows_;
+  // The tombstoned payload stays in rows_ until Clear(), so only the
+  // index entries leave the accounting here.
+  Account(-kIndexEntryBytes * static_cast<int64_t>((pk >= 0 ? 1 : 0) +
+                                                   secondary_indexes_.size()));
 }
 
 void Table::Clear() {
@@ -69,6 +97,7 @@ void Table::Clear() {
   live_rows_ = 0;
   pk_index_.clear();
   for (auto& [name, index] : secondary_indexes_) index.map.clear();
+  Account(-tracked_bytes_);
 }
 
 int64_t Table::FindByPrimaryKey(const Value& key) const {
@@ -95,11 +124,16 @@ void Table::CreateIndex(const std::string& index_name,
       index.map.emplace(rows_[row_id][index.column_index], row_id);
     }
   }
+  Account(kIndexEntryBytes * static_cast<int64_t>(index.map.size()));
   secondary_indexes_.emplace(folded, std::move(index));
 }
 
 bool Table::DropIndex(const std::string& index_name) {
-  return secondary_indexes_.erase(FoldIdentifier(index_name)) > 0;
+  const auto it = secondary_indexes_.find(FoldIdentifier(index_name));
+  if (it == secondary_indexes_.end()) return false;
+  Account(-kIndexEntryBytes * static_cast<int64_t>(it->second.map.size()));
+  secondary_indexes_.erase(it);
+  return true;
 }
 
 bool Table::HasIndexOn(const std::string& column_name) const {

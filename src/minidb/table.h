@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "minidb/schema.h"
 
 namespace sqloop::minidb {
@@ -17,9 +18,24 @@ namespace sqloop::minidb {
 class Table {
  public:
   Table(std::string name, Schema schema);
+  ~Table();
 
   const std::string& name() const noexcept { return name_; }
   const Schema& schema() const noexcept { return schema_; }
+
+  /// Attaches the database-scope memory tracker this table's storage is
+  /// accounted against (row payloads + hash-index entries). Set once by
+  /// Database before the table is published; the destructor returns the
+  /// whole reservation. Charges are unchecked — a storage mutation must
+  /// never be aborted half-applied by a budget (enforcement happens on the
+  /// statement-scoped transient side and at the server watermarks).
+  void set_memory_tracker(MemoryTracker* tracker) noexcept {
+    tracker_ = tracker;
+  }
+
+  /// Estimated bytes this table currently holds (rows incl. tombstoned
+  /// payloads, primary-key and secondary-index entries).
+  int64_t tracked_bytes() const noexcept { return tracked_bytes_; }
 
   /// The lock the executor takes (shared for reads, exclusive for writes).
   std::shared_mutex& lock() const noexcept { return lock_; }
@@ -82,9 +98,16 @@ class Table {
 
   void IndexInsert(size_t row_id);
   void IndexErase(size_t row_id);
+  /// Adjusts the storage accounting by `delta` bytes (callers hold the
+  /// table lock, so the plain counter is safe).
+  void Account(int64_t delta) noexcept;
+  /// Estimated bytes of one hash-index entry (key copy + bucket node).
+  static constexpr int64_t kIndexEntryBytes = 64;
 
   std::string name_;
   Schema schema_;
+  MemoryTracker* tracker_ = nullptr;
+  int64_t tracked_bytes_ = 0;
   mutable std::shared_mutex lock_;
 
   std::vector<Row> rows_;

@@ -47,6 +47,11 @@ void JobHandle::Cancel() const {
   {
     const std::scoped_lock lock(record_->mutex);
     if (IsTerminal(record_->state)) return;
+    // Token first: anything woken by the cancel_requested store (the
+    // engine governor, a pre-statement check) must find the token set.
+    record_->token.Request(CancelReason::kCancelled,
+                           "job " + std::to_string(record_->id) +
+                               " cancelled by its owner");
     record_->cancel_requested.store(true, std::memory_order_release);
     hook = record_->cancel_hook;
   }

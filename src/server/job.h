@@ -18,6 +18,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/cancel.h"
 #include "common/stopwatch.h"
 #include "core/observer.h"
 #include "core/options.h"
@@ -69,6 +70,12 @@ struct JobRecord {
   // --- live progress (lock-free reads for pollers) ----------------------
   std::atomic<bool> cancel_requested{false};
   std::atomic<int64_t> rounds{0};  // last round granted by the scheduler
+  /// Governance cancellation token: requested by JobHandle::Cancel
+  /// (kCancelled), the server's hard-watermark victim picker (kQuota), and
+  /// drain deadlines (kCancelled). Observed pre-statement by dbc and
+  /// mid-statement by the engine governor, so a request preempts a running
+  /// scan or join instead of waiting for the round border.
+  CancelToken token;
 
   // --- state machine -----------------------------------------------------
   mutable std::mutex mutex;
@@ -115,7 +122,9 @@ class JobHandle {
   dbc::ResultSet Wait() const;
 
   /// Requests cancellation: a queued job terminates immediately, a
-  /// running one stops cooperatively at its next round border (surfacing
+  /// running one stops cooperatively — mid-statement via the engine
+  /// governor (within `cancel_check_rows` rows), or at the next
+  /// pre-statement / round-border check, whichever comes first (surfacing
   /// JobCancelledError from Wait). No-op on a terminal job.
   void Cancel() const;
 

@@ -1,6 +1,7 @@
 #include "server/job_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -109,6 +110,9 @@ class JobGate : public core::RoundGate {
 
   void BeginRound(int64_t round) override {
     if (!scheduler_.BeginRound(job_.tenant, job_.cancel_requested)) {
+      // The token knows WHY the job was stopped: a watermark victim kill
+      // must surface as QuotaExceededError, not as a user cancellation.
+      if (job_.token.requested()) job_.token.ThrowNow();
       throw JobCancelledError("job " + std::to_string(job_.id) +
                               " at round " + std::to_string(round) +
                               " border");
@@ -152,6 +156,23 @@ JobServer::JobServer(JobServerConfig config)
       scheduler_(config_.max_active_rounds),
       admission_(config_.queue_capacity, config_.max_inflight_per_tenant,
                  config_.retry_after_ms) {
+  // The watermarks police the BACKEND's total reservation (table storage
+  // plus every connection's transient working sets), so the governance
+  // scopes hang off the backend server's root tracker. A host that
+  // resolves to no server still gets accounting — just no watermarks —
+  // under a private root.
+  try {
+    const dbc::ConnectionConfig parsed =
+        dbc::ConnectionConfig::Parse(config_.url);
+    if (minidb::Server* backend = dbc::DriverManager::FindHost(parsed.host)) {
+      root_tracker_ = backend->memory_tracker();
+    }
+  } catch (...) {
+    // An unparsable URL fails later, at the first connection open.
+  }
+  if (root_tracker_ == nullptr) {
+    fallback_root_ = std::make_unique<MemoryTracker>("server");
+  }
   if (config_.share_worker_pool) {
     int threads = config_.worker_threads;
     if (threads <= 0) {
@@ -165,6 +186,9 @@ JobServer::JobServer(JobServerConfig config)
   for (size_t i = 0; i < dispatchers; ++i) {
     dispatchers_.emplace_back([this] { DispatcherLoop(); });
   }
+  if (config_.hard_memory_limit_bytes > 0 && root_tracker_ != nullptr) {
+    governor_ = std::thread([this] { GovernorLoop(); });
+  }
 }
 
 JobServer::~JobServer() { Drain(); }
@@ -175,7 +199,11 @@ Session JobServer::OpenSession(const std::string& tenant,
                                            : config_.default_tenant_weight;
   {
     const std::scoped_lock lock(tenants_mutex_);
-    EnsureTenant(tenant).weight = weight;
+    TenantState& state = EnsureTenant(tenant);
+    state.weight = weight;
+    // Like the weight, the tenant budget is tenant-wide and updated by
+    // every OpenSession (0 = unlimited).
+    state.tracker->set_limit_bytes(options.memory_limit_bytes);
   }
   scheduler_.SetWeight(tenant, weight);
   return Session(this, tenant, std::move(options));
@@ -188,6 +216,11 @@ void JobServer::Drain() {
   for (auto& dispatcher : dispatchers_) {
     if (dispatcher.joinable()) dispatcher.join();
   }
+  // The governor outlives the dispatchers: watermark protection stays
+  // active while admitted jobs finish.
+  stop_governor_.store(true, std::memory_order_release);
+  governor_cv_.notify_all();
+  if (governor_.joinable()) governor_.join();
   const std::scoped_lock pool_lock(pool_mutex_);
   for (auto& [url, conns] : idle_conns_) {
     for (auto& conn : conns) {
@@ -209,7 +242,117 @@ JobServer::TenantState& JobServer::EnsureTenant(const std::string& tenant) {
     state.recorder = std::make_shared<telemetry::Recorder>();
     state.weight = config_.default_tenant_weight;
   }
+  if (state.tracker == nullptr) {
+    MemoryTracker* root = root_tracker_ != nullptr ? root_tracker_.get()
+                                                   : fallback_root_.get();
+    state.tracker =
+        std::make_unique<MemoryTracker>("tenant:" + tenant, root);
+  }
   return state;
+}
+
+void JobServer::Drain(int64_t deadline_ms) {
+  admission_.Close();  // stop admitting before the clock starts
+  scheduler_.Poke();
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(std::max<int64_t>(0, deadline_ms));
+  for (;;) {
+    bool pending = false;
+    {
+      const std::scoped_lock lock(registry_mutex_);
+      for (const auto& [seq, record] : registry_) {
+        const std::scoped_lock record_lock(record->mutex);
+        if (!IsTerminal(record->state)) {
+          pending = true;
+          break;
+        }
+      }
+    }
+    if (!pending || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Past the deadline: cancel the stragglers. They stop mid-statement via
+  // the engine governor; checkpointed jobs resume under the same identity
+  // on the next server.
+  std::vector<std::shared_ptr<JobRecord>> stragglers;
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    for (const auto& [seq, record] : registry_) {
+      const std::scoped_lock record_lock(record->mutex);
+      if (!IsTerminal(record->state)) stragglers.push_back(record);
+    }
+  }
+  for (const auto& record : stragglers) JobHandle(record).Cancel();
+  Drain();  // joins dispatchers (stragglers unwind quickly) and governor
+}
+
+bool JobServer::shedding() const {
+  return config_.soft_memory_limit_bytes > 0 && root_tracker_ != nullptr &&
+         root_tracker_->reserved_bytes() >= config_.soft_memory_limit_bytes;
+}
+
+int64_t JobServer::memory_reserved_bytes() const {
+  return root_tracker_ != nullptr ? root_tracker_->reserved_bytes() : 0;
+}
+
+void JobServer::GovernorLoop() {
+  std::unique_lock<std::mutex> lock(governor_mutex_);
+  const auto poll =
+      std::chrono::milliseconds(std::max<int64_t>(1, config_.governor_poll_ms));
+  while (!stop_governor_.load(std::memory_order_acquire)) {
+    governor_cv_.wait_for(lock, poll, [&] {
+      return stop_governor_.load(std::memory_order_acquire);
+    });
+    if (stop_governor_.load(std::memory_order_acquire)) break;
+    if (root_tracker_->reserved_bytes() >=
+        config_.hard_memory_limit_bytes) {
+      KillLargestVictim();
+    }
+  }
+}
+
+bool JobServer::KillLargestVictim() {
+  std::shared_ptr<JobRecord> victim;
+  int64_t victim_bytes = 0;
+  {
+    const std::scoped_lock lock(running_mutex_);
+    for (const auto& [seq, entry] : running_) {
+      const auto& [record, tracker] = entry;
+      // A kill already in flight: let it unwind before judging again,
+      // otherwise one pressure spike cascades into killing every job.
+      if (record->token.reason() == CancelReason::kQuota) return true;
+      const int64_t bytes = tracker->reserved_bytes();
+      if (bytes <= 0) continue;  // storage pressure; killing won't help
+      // Deterministic victim: most bytes, ties broken toward the most
+      // recently admitted job (earlier submitters keep their progress).
+      if (victim == nullptr || bytes > victim_bytes ||
+          (bytes == victim_bytes && seq > victim->seq)) {
+        victim = record;
+        victim_bytes = bytes;
+      }
+    }
+    if (victim == nullptr) return false;
+    victim->token.Request(
+        CancelReason::kQuota,
+        "job " + std::to_string(victim->id) + " cancelled: server over its " +
+            std::to_string(config_.hard_memory_limit_bytes) +
+            "-byte hard memory watermark (job held " +
+            std::to_string(victim_bytes) + " bytes)");
+    victim->cancel_requested.store(true, std::memory_order_release);
+  }
+  victim_cancellations_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock(tenants_mutex_);
+    EnsureTenant(victim->tenant)
+        .recorder->Add("governance.victim_cancellations", 1);
+  }
+  // Wake the victim wherever it is blocked (round border, target wait);
+  // the engine governor picks the token up mid-statement.
+  scheduler_.Poke();
+  { const std::scoped_lock lock(targets_mutex_); }
+  targets_cv_.notify_all();
+  return true;
 }
 
 JobHandle JobServer::SubmitParsed(const std::string& tenant,
@@ -220,6 +363,26 @@ JobHandle JobServer::SubmitParsed(const std::string& tenant,
                                   const std::string& url_params,
                                   dbc::Connection* borrowed_conn) {
   if (stmt == nullptr) throw UsageError("Submit requires a statement");
+  // Soft watermark: shed new work while the backend is under memory
+  // pressure — reject up front with a retry-after instead of admitting a
+  // job that would deepen the overload. Queued jobs are additionally held
+  // at dispatch (see RunJob).
+  if (shedding()) {
+    shed_admissions_.fetch_add(1, std::memory_order_relaxed);
+    {
+      const std::scoped_lock lock(tenants_mutex_);
+      TenantState& state = EnsureTenant(tenant);
+      ++state.rejected;
+      state.recorder->Add("tenant.jobs_rejected", 1);
+      state.recorder->Add("governance.shed_admissions", 1);
+    }
+    throw AdmissionError(
+        "server over its soft memory watermark (" +
+            std::to_string(memory_reserved_bytes()) + " of " +
+            std::to_string(config_.soft_memory_limit_bytes) +
+            " bytes reserved)",
+        config_.retry_after_ms);
+  }
   auto job = std::make_shared<JobRecord>();
   job->seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   job->tenant = tenant;
@@ -289,6 +452,14 @@ void JobServer::DispatcherLoop() {
 }
 
 void JobServer::RunJob(const std::shared_ptr<JobRecord>& job) {
+  // Soft watermark: hold queued work at dispatch until pressure drops (a
+  // drain lets held jobs through — they run to completion). Cancellation
+  // still works while held.
+  while (shedding() &&
+         !job->cancel_requested.load(std::memory_order_acquire) &&
+         !admission_.closed()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   {
     const std::scoped_lock lock(job->mutex);
     if (job->state != JobState::kQueued) return;  // cancelled while queued
@@ -307,11 +478,29 @@ void JobServer::RunJob(const std::shared_ptr<JobRecord>& job) {
   core::RunStats stats;
   stats.recorder = std::make_shared<telemetry::Recorder>();
 
+  // The job's memory scope: parented on the tenant scope (whose budget
+  // caps the tenant's combined jobs), capped by the per-job budget. Every
+  // connection the run touches charges here; the governor thread reads it
+  // to pick hard-watermark victims.
+  MemoryTracker* tenant_scope = nullptr;
+  {
+    const std::scoped_lock lock(tenants_mutex_);
+    tenant_scope = EnsureTenant(job->tenant).tracker.get();
+  }
+  MemoryTracker job_tracker("job:" + std::to_string(job->id), tenant_scope,
+                            job->options.memory_limit_bytes);
+  {
+    const std::scoped_lock lock(running_mutex_);
+    running_[job->seq] = {job, &job_tracker};
+  }
+
   std::unique_ptr<dbc::Connection> owned;
   dbc::Connection* master = job->borrowed_conn;
+  int64_t saved_check_rows = -1;
   bool target_held = false;
   try {
     if (job->cancel_requested.load(std::memory_order_acquire)) {
+      if (job->token.requested()) job->token.ThrowNow();
       throw JobCancelledError("job " + std::to_string(job->id) +
                               " before its first round");
     }
@@ -332,17 +521,41 @@ void JobServer::RunJob(const std::shared_ptr<JobRecord>& job) {
     }
     master->set_recorder(stats.recorder.get());
     master->set_statement_timeout_ms(job->options.retry.statement_timeout_ms);
+    // Governance attachments for statements that run directly on the
+    // master (plain SQL, setup); the runners re-apply the same hooks to
+    // every worker connection they open.
+    saved_check_rows = master->cancel_check_rows();
+    master->set_cancel_token(&job->token);
+    master->set_memory_tracker(&job_tracker);
+    if (job->options.cancel_check_rows > 0) {
+      master->set_cancel_check_rows(job->options.cancel_check_rows);
+    }
 
     JobGate gate(scheduler_, *job);
     const core::ExecutionContext ctx{
         job->options, stats,
         stats.recorder.get(), job->observer,
-        &gate,        config_.share_worker_pool ? shared_pool_.get() : nullptr};
+        &gate,        config_.share_worker_pool ? shared_pool_.get() : nullptr,
+        &job->token,  &job_tracker};
     result = core::RunStatement(job->url, *master, *job->stmt, ctx);
   } catch (...) {
     error = std::current_exception();
   }
   if (target_held) ReleaseTarget(*job);
+
+  // Unregister from the governor BEFORE job_tracker leaves scope and
+  // before the record turns terminal.
+  {
+    const std::scoped_lock lock(running_mutex_);
+    running_.erase(job->seq);
+  }
+  // The job's own high watermark, for run-level reporting (the shell's
+  // \stats governance line); the tenant-scope gauges live in Tenants().
+  if (stats.recorder != nullptr) {
+    stats.recorder->Set("governance.job_bytes_peak",
+                        static_cast<uint64_t>(
+                            std::max<int64_t>(0, job_tracker.peak_bytes())));
+  }
 
   // Detach and pool/close the master BEFORE the record turns terminal:
   // the moment Wait() returns, callers are entitled to see the job's
@@ -351,6 +564,11 @@ void JobServer::RunJob(const std::shared_ptr<JobRecord>& job) {
   if (master != nullptr) {
     master->set_recorder(nullptr);
     master->set_statement_timeout_ms(0);
+    master->set_cancel_token(nullptr);
+    master->set_memory_tracker(nullptr);  // restores the conn's own scope
+    if (saved_check_rows >= 0) {
+      master->set_cancel_check_rows(saved_check_rows);
+    }
   }
   if (owned != nullptr) {
     ReleaseConnection(job->url, std::move(owned));
@@ -363,12 +581,17 @@ void JobServer::CompleteJob(JobRecord& job, dbc::ResultSet result,
                             std::exception_ptr error, core::RunStats stats) {
   JobState state = JobState::kCompleted;
   std::string message;
+  bool quota = false;
   if (error != nullptr) {
     try {
       std::rethrow_exception(error);
     } catch (const JobCancelledError& e) {
       state = JobState::kCancelled;
       message = e.what();
+    } catch (const QuotaExceededError& e) {
+      state = JobState::kFailed;
+      message = e.what();
+      quota = true;
     } catch (const std::exception& e) {
       state = JobState::kFailed;
       message = e.what();
@@ -401,6 +624,7 @@ void JobServer::CompleteJob(JobRecord& job, dbc::ResultSet result,
       case JobState::kFailed:
         ++tenant.failed;
         tenant.recorder->Add("tenant.jobs_failed", 1);
+        if (quota) tenant.recorder->Add("governance.quota_rejections", 1);
         break;
       case JobState::kCancelled:
         ++tenant.cancelled;
@@ -452,6 +676,18 @@ void JobServer::MergeTenantTelemetry(const std::string& tenant,
   state.recorder->Add("tenant.tasks",
                       stats.compute_tasks + stats.gather_tasks);
   state.recorder->Add("tenant.retries", stats.retries);
+  // Memory gauges from the tenant's scope: a point-in-time reservation
+  // (gauge: last write wins) and the monotonic high watermark.
+  if (state.tracker != nullptr) {
+    state.recorder->Set(
+        "governance.bytes_reserved",
+        static_cast<uint64_t>(
+            std::max<int64_t>(0, state.tracker->reserved_bytes())));
+    state.recorder->SetMax(
+        "governance.bytes_peak",
+        static_cast<uint64_t>(
+            std::max<int64_t>(0, state.tracker->peak_bytes())));
+  }
 }
 
 void JobServer::AcquireTarget(JobRecord& job, telemetry::Recorder* recorder) {

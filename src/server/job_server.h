@@ -20,6 +20,7 @@
 // waits, so the one-shot API is a thin wrapper over the service path.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -30,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "common/thread_pool.h"
 #include "server/admission.h"
 #include "server/job.h"
@@ -91,6 +93,25 @@ struct JobServerConfig {
 
   /// Terminal jobs kept for Jobs() introspection; older ones are dropped.
   size_t history_limit = 128;
+
+  // --- overload protection (DESIGN.md "Resource governance") ------------
+
+  /// Soft memory watermark over the backend's total reservation (table
+  /// storage + every job's transient working sets). While crossed, the
+  /// server sheds load: new submissions are rejected with AdmissionError
+  /// (+ retry-after), and already queued jobs are held at dispatch until
+  /// pressure drops. 0 disables shedding.
+  int64_t soft_memory_limit_bytes = 0;
+
+  /// Hard memory watermark: while crossed, a governor thread cancels the
+  /// running job holding the most transient memory (deterministic victim:
+  /// largest reservation, ties broken toward the most recently admitted),
+  /// which fails with QuotaExceededError. 0 disables victim kills.
+  int64_t hard_memory_limit_bytes = 0;
+
+  /// Governor thread poll interval (watermark checks). Only meaningful
+  /// when hard_memory_limit_bytes > 0.
+  int64_t governor_poll_ms = 2;
 };
 
 /// One row of Jobs() — a point-in-time snapshot of a job.
@@ -139,6 +160,13 @@ class JobServer {
   /// also invoked by the destructor.
   void Drain();
 
+  /// Drain with a deadline: stops admitting immediately, gives admitted
+  /// jobs `deadline_ms` to finish, then cancels whatever is still running
+  /// (those jobs surface JobCancelledError; checkpointed jobs can resume
+  /// under the same identity on the next server). Always joins the
+  /// dispatchers before returning.
+  void Drain(int64_t deadline_ms);
+
   /// Submits an already parsed statement (the facade's path — it parsed
   /// for dispatch already). `sql_text` is kept for display; `observer`
   /// receives the run's callbacks on the dispatcher thread.
@@ -172,6 +200,20 @@ class JobServer {
     return scheduler_.granted(tenant);
   }
 
+  // --- resource governance ----------------------------------------------
+  /// Total bytes reserved under the backend server's root scope (storage
+  /// plus transient), i.e. what the watermarks police. 0 when the backend
+  /// has no tracker (unknown host).
+  int64_t memory_reserved_bytes() const;
+  /// True while the soft watermark is crossed (submissions shed).
+  bool shedding() const;
+  /// Submissions rejected at the soft watermark.
+  uint64_t shed_admissions() const noexcept { return shed_admissions_.load(); }
+  /// Running jobs cancelled by the hard-watermark governor.
+  uint64_t victim_cancellations() const noexcept {
+    return victim_cancellations_.load();
+  }
+
  private:
   struct TenantState {
     double weight = 1.0;
@@ -181,6 +223,10 @@ class JobServer {
     uint64_t cancelled = 0;
     uint64_t rejected = 0;
     std::shared_ptr<telemetry::Recorder> recorder;
+    /// The tenant's memory scope ("tenant:<name>", parented on the
+    /// backend's root): job scopes hang off it, so a SessionOptions
+    /// budget caps the tenant's combined transient memory.
+    std::unique_ptr<MemoryTracker> tracker;
   };
 
   void DispatcherLoop();
@@ -205,6 +251,12 @@ class JobServer {
   /// reported as `service.target_wait_seconds` in the job's telemetry.
   void AcquireTarget(JobRecord& job, telemetry::Recorder* recorder);
   void ReleaseTarget(const JobRecord& job);
+  /// Hard-watermark governor: polls the root reservation and cancels the
+  /// largest running job (by job-scope bytes) while the hard watermark is
+  /// crossed.
+  void GovernorLoop();
+  /// One governor decision. Returns true if a victim was cancelled.
+  bool KillLargestVictim();
   /// Caller holds registry_mutex_. Drops the oldest terminal jobs beyond
   /// history_limit.
   void TrimHistory();
@@ -230,6 +282,25 @@ class JobServer {
       idle_conns_;
   uint64_t pool_hits_ = 0;
   uint64_t pool_misses_ = 0;
+
+  // --- resource governance ----------------------------------------------
+  /// The backend's root memory scope (shared so it outlives re-registered
+  /// hosts); null when the config URL's host resolves to no server, in
+  /// which case `fallback_root_` parents the tenant scopes so accounting
+  /// still works without watermarks.
+  std::shared_ptr<MemoryTracker> root_tracker_;
+  std::unique_ptr<MemoryTracker> fallback_root_;
+  /// Running jobs' memory scopes, for the governor's victim pick:
+  /// seq → (record, job scope). Entries live exactly while RunJob runs.
+  mutable std::mutex running_mutex_;
+  std::map<uint64_t, std::pair<std::shared_ptr<JobRecord>, MemoryTracker*>>
+      running_;
+  std::atomic<uint64_t> shed_admissions_{0};
+  std::atomic<uint64_t> victim_cancellations_{0};
+  std::atomic<bool> stop_governor_{false};
+  std::mutex governor_mutex_;
+  std::condition_variable governor_cv_;
+  std::thread governor_;
 
   std::mutex drain_mutex_;
   std::vector<std::thread> dispatchers_;

@@ -35,6 +35,14 @@ struct SessionOptions {
   /// Extra URL query parameters ("k=v&k2=v2") appended to the server URL
   /// for this session's jobs — per-tenant fault injection, latency, etc.
   std::string url_params;
+
+  /// Tenant-wide memory budget: the sum of the tenant's jobs' transient
+  /// working sets may not exceed this many bytes (0 = unlimited). The job
+  /// that would cross the budget fails with QuotaExceededError; the
+  /// tenant's other jobs — and every other tenant — are untouched.
+  /// Re-opening a session for the same tenant updates the budget, like
+  /// `weight`.
+  int64_t memory_limit_bytes = 0;
 };
 
 /// A cheap, copyable per-tenant submission handle. All methods are

@@ -49,6 +49,26 @@ void Recorder::Add(std::string_view counter, uint64_t delta) {
   }
 }
 
+void Recorder::Set(std::string_view counter, uint64_t value) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void Recorder::SetMax(std::string_view counter, uint64_t value) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), value);
+  } else if (value > it->second) {
+    it->second = value;
+  }
+}
+
 void Recorder::AddSeconds(std::string_view timer, double seconds) {
   const std::scoped_lock lock(mutex_);
   const auto it = timers_.find(timer);

@@ -81,6 +81,12 @@ class Recorder {
 
   // --- counters / timers ------------------------------------------------
   void Add(std::string_view counter, uint64_t delta);
+  /// Gauge semantics: overwrites the counter with `value` (last write
+  /// wins). Used for point-in-time readings like governance.bytes_reserved.
+  void Set(std::string_view counter, uint64_t value);
+  /// High-watermark semantics: keeps the larger of the stored value and
+  /// `value` (governance.bytes_peak merges per-job peaks this way).
+  void SetMax(std::string_view counter, uint64_t value);
   void AddSeconds(std::string_view timer, double seconds);
   uint64_t counter(std::string_view name) const;        // 0 when absent
   double timer_seconds(std::string_view name) const;    // 0 when absent

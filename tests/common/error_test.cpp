@@ -20,6 +20,10 @@ TEST(ErrorTaxonomy, EverySubclassCarriesItsPrefix) {
   EXPECT_STREQ(TransientError("x").what(), "transient error: x");
   EXPECT_STREQ(TimeoutError("x").what(), "timeout: x");
   EXPECT_STREQ(ConnectionLostError("x").what(), "connection lost: x");
+  EXPECT_STREQ(JobKilledError("x").what(), "job killed: x");
+  EXPECT_STREQ(JobCancelledError("x").what(), "job cancelled: x");
+  EXPECT_STREQ(QuotaExceededError("x").what(), "quota exceeded: x");
+  EXPECT_STREQ(TaskSupersededError("x").what(), "task superseded: x");
 }
 
 TEST(ErrorTaxonomy, SubclassPrefixesDoNotStack) {
@@ -51,6 +55,10 @@ TEST(ErrorTaxonomy, EverySubclassIsCatchableAsError) {
   ExpectCatchableAsError(TransientError("x"));
   ExpectCatchableAsError(TimeoutError("x"));
   ExpectCatchableAsError(ConnectionLostError("x"));
+  ExpectCatchableAsError(JobKilledError("x"));
+  ExpectCatchableAsError(JobCancelledError("x"));
+  ExpectCatchableAsError(QuotaExceededError("x"));
+  ExpectCatchableAsError(TaskSupersededError("x"));
 }
 
 TEST(ErrorTaxonomy, TransientSubclassesCatchAsTransientError) {
@@ -76,6 +84,13 @@ TEST(ErrorTaxonomy, IsTransientErrorClassifiesEverySubclass) {
   EXPECT_FALSE(IsTransientError(ExecutionError("x")));
   EXPECT_FALSE(IsTransientError(ConnectionError("x")));
   EXPECT_FALSE(IsTransientError(UsageError("x")));
+  // The governance types are deliberately fatal: retrying a cancelled job
+  // resurrects work its owner stopped, and a quota breach would allocate
+  // the same bytes again and fail the same way.
+  EXPECT_FALSE(IsTransientError(JobKilledError("x")));
+  EXPECT_FALSE(IsTransientError(JobCancelledError("x")));
+  EXPECT_FALSE(IsTransientError(QuotaExceededError("x")));
+  EXPECT_FALSE(IsTransientError(TaskSupersededError("x")));
   EXPECT_FALSE(IsTransientError(Error("x")));
   EXPECT_FALSE(IsTransientError(std::runtime_error("x")));
 }

@@ -1,0 +1,131 @@
+// Unit tests for the hierarchical memory accounting every governance
+// feature stands on: charges propagate to the root, budgets reject the
+// charge that would cross them with a fully unwound hierarchy, peaks are
+// monotonic, and releases clamp at zero so racing pairs self-heal.
+#include "common/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+
+namespace sqloop {
+namespace {
+
+TEST(MemoryTrackerTest, ChargePropagatesToEveryAncestor) {
+  MemoryTracker root("server");
+  MemoryTracker tenant("tenant:a", &root);
+  MemoryTracker job("job:1", &tenant);
+
+  job.Charge(100);
+  EXPECT_EQ(job.reserved_bytes(), 100);
+  EXPECT_EQ(tenant.reserved_bytes(), 100);
+  EXPECT_EQ(root.reserved_bytes(), 100);
+
+  tenant.Charge(50);  // sibling-level charge: root sees both, job only one
+  EXPECT_EQ(job.reserved_bytes(), 100);
+  EXPECT_EQ(tenant.reserved_bytes(), 150);
+  EXPECT_EQ(root.reserved_bytes(), 150);
+}
+
+TEST(MemoryTrackerTest, ReleaseUnwindsTheChainAndClampsAtZero) {
+  MemoryTracker root("server");
+  MemoryTracker job("job:1", &root);
+
+  job.Charge(100);
+  job.Release(60);
+  EXPECT_EQ(job.reserved_bytes(), 40);
+  EXPECT_EQ(root.reserved_bytes(), 40);
+
+  // Over-release clamps per scope instead of going negative.
+  job.Release(1000);
+  EXPECT_EQ(job.reserved_bytes(), 0);
+  EXPECT_EQ(root.reserved_bytes(), 0);
+}
+
+TEST(MemoryTrackerTest, BudgetBreachThrowsAndLeavesHierarchyUntouched) {
+  MemoryTracker root("server");
+  MemoryTracker tenant("tenant:a", &root, /*limit_bytes=*/100);
+  MemoryTracker job("job:1", &tenant);
+
+  job.Charge(80);
+  // 80 + 30 would cross the tenant budget: the charge must fail, naming
+  // the scope that ran out, and every counter (the job's included) must
+  // read exactly as before the attempt.
+  try {
+    job.Charge(30);
+    FAIL() << "expected QuotaExceededError";
+  } catch (const QuotaExceededError& e) {
+    EXPECT_NE(std::string(e.what()).find("tenant:a"), std::string::npos);
+  }
+  EXPECT_EQ(job.reserved_bytes(), 80);
+  EXPECT_EQ(tenant.reserved_bytes(), 80);
+  EXPECT_EQ(root.reserved_bytes(), 80);
+
+  // A charge that fits still goes through afterwards.
+  job.Charge(20);
+  EXPECT_EQ(tenant.reserved_bytes(), 100);
+}
+
+TEST(MemoryTrackerTest, DeepestBreachedScopeWins) {
+  // The job's own (tighter) budget fires before the tenant's.
+  MemoryTracker tenant("tenant:a", nullptr, /*limit_bytes=*/1000);
+  MemoryTracker job("job:1", &tenant, /*limit_bytes=*/10);
+  try {
+    job.Charge(11);
+    FAIL() << "expected QuotaExceededError";
+  } catch (const QuotaExceededError& e) {
+    EXPECT_NE(std::string(e.what()).find("job:1"), std::string::npos);
+  }
+  EXPECT_EQ(job.reserved_bytes(), 0);
+  EXPECT_EQ(tenant.reserved_bytes(), 0);
+}
+
+TEST(MemoryTrackerTest, ChargeUncheckedIgnoresBudgetsButAdvancesPeaks) {
+  MemoryTracker root("server", nullptr, /*limit_bytes=*/10);
+  // Storage-side accounting must never throw: the caller is mid-mutation.
+  root.ChargeUnchecked(100);
+  EXPECT_EQ(root.reserved_bytes(), 100);
+  EXPECT_EQ(root.peak_bytes(), 100);
+  // But the watermark logic still sees the overshoot (shed/victim paths).
+  EXPECT_GT(root.reserved_bytes(), root.limit_bytes());
+  root.Release(100);
+}
+
+TEST(MemoryTrackerTest, PeakIsMonotonicThroughChargeReleaseCycles) {
+  MemoryTracker root("server");
+  root.Charge(100);
+  root.Release(100);
+  root.Charge(40);
+  EXPECT_EQ(root.reserved_bytes(), 40);
+  EXPECT_EQ(root.peak_bytes(), 100);  // the high watermark never recedes
+  root.Charge(200);
+  EXPECT_EQ(root.peak_bytes(), 240);
+}
+
+TEST(MemoryTrackerTest, LimitsAdjustOnLiveTrackers) {
+  MemoryTracker scope("tenant:a");
+  scope.Charge(500);  // unlimited at charge time
+  scope.set_limit_bytes(100);
+  // Tightening only affects future charges; the reservation stands.
+  EXPECT_EQ(scope.reserved_bytes(), 500);
+  EXPECT_THROW(scope.Charge(1), QuotaExceededError);
+  scope.set_limit_bytes(0);
+  scope.Charge(1);  // back to unlimited
+  EXPECT_EQ(scope.reserved_bytes(), 501);
+}
+
+TEST(MemoryTrackerTest, NonPositiveChargesAndReleasesAreNoOps) {
+  MemoryTracker scope("s", nullptr, /*limit_bytes=*/1);
+  scope.Charge(0);
+  scope.Charge(-5);
+  scope.ChargeUnchecked(0);
+  scope.Release(0);
+  scope.Release(-5);
+  EXPECT_EQ(scope.reserved_bytes(), 0);
+  EXPECT_EQ(scope.peak_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace sqloop

@@ -401,6 +401,64 @@ TEST_F(DbcTest, FaultUrlParametersShareOneInjectorPerConfig) {
   EXPECT_FALSE(b->closed());
 }
 
+TEST_F(DbcTest, GovernanceUrlKnobsParseAndValidate) {
+  // Well-formed values land in the config.
+  const auto config = ConnectionConfig::Parse(
+      "minidb://h/db?memory_limit_bytes=1048576&cancel_check_rows=256");
+  EXPECT_EQ(config.memory_limit_bytes, 1048576);
+  EXPECT_EQ(config.cancel_check_rows, 256);
+  // Omitted knobs default to "off" (unlimited / engine default).
+  const auto defaults = ConnectionConfig::Parse("minidb://h/db");
+  EXPECT_EQ(defaults.memory_limit_bytes, 0);
+  EXPECT_EQ(defaults.cancel_check_rows, 0);
+
+  // Zero is meaningless for both (a zero-byte budget runs nothing; a check
+  // every zero rows is not a cadence) — reject rather than guess.
+  EXPECT_THROW(ConnectionConfig::Parse("minidb://h/db?memory_limit_bytes=0"),
+               ConnectionError);
+  EXPECT_THROW(ConnectionConfig::Parse("minidb://h/db?cancel_check_rows=0"),
+               ConnectionError);
+  // Negative and malformed values are configuration bugs.
+  EXPECT_THROW(
+      ConnectionConfig::Parse("minidb://h/db?memory_limit_bytes=-1"),
+      ConnectionError);
+  EXPECT_THROW(ConnectionConfig::Parse("minidb://h/db?cancel_check_rows=-8"),
+               ConnectionError);
+  EXPECT_THROW(
+      ConnectionConfig::Parse("minidb://h/db?memory_limit_bytes=lots"),
+      ConnectionError);
+  // Duplicates are rejected like every other URL parameter.
+  EXPECT_THROW(ConnectionConfig::Parse("minidb://h/db?memory_limit_bytes=1"
+                                       "&memory_limit_bytes=2"),
+               ConnectionError);
+  EXPECT_THROW(ConnectionConfig::Parse("minidb://h/db?cancel_check_rows=1"
+                                       "&cancel_check_rows=2"),
+               ConnectionError);
+}
+
+TEST_F(DbcTest, ConnectionMemoryLimitAbortsOversizedStatements) {
+  auto conn = Connect();
+  conn->Execute("CREATE UNLOGGED TABLE nums (id BIGINT PRIMARY KEY)");
+  for (int i = 0; i < 64; ++i) {
+    conn->AddBatch("INSERT INTO nums VALUES (" + std::to_string(i) + ")");
+  }
+  conn->ExecuteBatch();
+
+  // A 64x64x64 cross join materializes far more than 64 KiB of transient
+  // rows; the budgeted connection must abort it with the quota error while
+  // an unbudgeted one computes it fine.
+  const std::string big =
+      "SELECT COUNT(*) FROM nums AS a, nums AS b, nums AS c";
+  auto budgeted = DriverManager::GetConnection(
+      "minidb://" + host_ + "/db?latency_us=0&memory_limit_bytes=65536");
+  EXPECT_THROW(budgeted->ExecuteQuery(big), QuotaExceededError);
+  // The failed statement released its partial reservation; small work
+  // still fits under the same budget.
+  const auto small = budgeted->ExecuteQuery("SELECT COUNT(*) FROM nums");
+  EXPECT_EQ(small.rows[0][0].as_int(), 64);
+  EXPECT_EQ(conn->ExecuteQuery(big).rows[0][0].as_int(), 64 * 64 * 64);
+}
+
 TEST_F(DbcTest, OpenConnectionsAreCounted) {
   auto& db = *server_.FindDatabase("db");
   const int base = db.open_connections();
