@@ -78,12 +78,16 @@ class EngineFleet {
     // NO_GOVERNANCE=1 detaches memory accounting fleet-wide, for A/B'ing
     // the per-row charge hooks (bench/micro_governance does this per arm).
     const bool no_governance = Knob("NO_GOVERNANCE", 0) != 0;
+    // NO_VECTORIZE=1 keeps fusion but drops the batched data plane, so the
+    // vectorized kernels can be ablated independently of pipeline fusion.
+    const bool no_vectorize = Knob("NO_VECTORIZE", 0) != 0;
     for (const auto& engine : Engines()) {
       auto db = server_.CreateDatabase(engine,
                                        minidb::EngineProfile::ByName(engine));
       if (no_plan_cache) db->plan_cache().set_enabled(false);
       if (no_fused) db->set_fused_enabled(false);
       if (no_governance) db->set_governance_enabled(false);
+      if (no_vectorize) db->set_vectorized_enabled(false);
       auto conn = dbc::DriverManager::GetConnection(Url(engine));
       graph::LoadEdges(*conn, graph);
     }

@@ -1,33 +1,39 @@
-// micro_scan — the fused-pipeline / zero-copy scan benchmark.
+// micro_scan — the fused-pipeline / vectorized-scan benchmark.
 //
-// Three measurements:
+// Three measurements, each across three engine configurations —
+// vectorized (batched data plane, the default), fused (row-at-a-time
+// fused pipeline, set_vectorized_enabled(false)), and reference (the
+// materializing pipeline, set_fused_enabled(false)):
 //   1. Selective scan micro: a Compute-shaped aggregate (`SELECT COUNT(*),
 //      SUM(rank) FROM scan_state WHERE delta = 1` with ~1% of rows
 //      matching) over a SCAN_ROWS-row state table, executed SCAN_REPS
-//      times through the fused pipeline vs the reference materializing
-//      one. The fused path streams borrowed row views through the pushed
-//      predicate straight into the aggregate; the reference path copies
+//      times. The vectorized path compiles the predicate into a kernel
+//      over 1024-row batches and bulk-feeds the aggregates; the fused
+//      path streams borrowed views row by row; the reference path copies
 //      the whole table into an intermediate Relation first. This is the
 //      statement shape of a delta-selective termination probe.
 //   2. Index probe micro: the same statement after CREATE INDEX on
-//      `delta` — both paths probe the index, so the remaining gap is the
-//      fused path's skipped materialization of the matching rows.
-//   3. End to end, fused on vs off, per engine profile: PageRank in the
-//      Fig. 4 single-thread setting and the Fig. 5 multicore modes
-//      (Sync, Async, AsyncPriority), plus the Fig. 6 Descendant Query in
-//      Sync mode. Results must agree within the repo's 1e-9 numeric
-//      tolerance (parallel-mode FP summation order is timing-dependent);
-//      the pipeline must never change answers.
+//      `delta` — all paths probe the index, so the remaining gap is the
+//      per-row versus per-batch overhead on the matching rows.
+//   3. End to end per engine profile: PageRank in the Fig. 4
+//      single-thread setting and the Fig. 5 multicore modes (Sync,
+//      Async, AsyncPriority), plus the Fig. 6 Descendant Query in Sync
+//      mode. Results must agree within the repo's 1e-9 numeric tolerance
+//      (parallel-mode FP summation order is timing-dependent); the
+//      pipeline must never change answers.
 //
 // Latency, per-row cost, and compile cost are zeroed so real executor
 // CPU is what is being compared.
 //
 // Writes a JSON baseline (default BENCH_scan.json; --json <path> to
-// move it). Exit code is nonzero if the selective-scan speedup falls
-// under 2x or any fused/reference result pair diverges.
+// move it). Exit code is nonzero if the selective-scan vectorized/fused
+// speedup falls under 3x, the fused/reference speedup falls under 2x, or
+// any result pair diverges. ci.sh additionally gates against the floors
+// recorded in the committed baseline.
 //
 // Knobs: SQLOOP_BENCH_{SCAN_ROWS,SCAN_REPS,PR_NODES,PR_DEG,PR_ITERS,
-// THREADS,PARTITIONS}.
+// THREADS,PARTITIONS}; SQLOOP_BENCH_NO_VECTORIZE=1 ablates the batch
+// plane fleet-wide (the vectorized arm then re-measures the fused path).
 #include <algorithm>
 #include <cmath>
 #include <fstream>
@@ -89,13 +95,30 @@ std::string Dump(const dbc::ResultSet& result) {
   return out;
 }
 
+// Engine configurations, most to least optimized.
+enum Config { kVectorized = 0, kFused = 1, kReference = 2 };
+constexpr const char* kConfigNames[] = {"vectorized", "fused", "reference"};
+
+/// Applies one configuration to a database (and restores the default when
+/// called with kVectorized).
+void ApplyConfig(minidb::Database& db, Config config) {
+  db.set_fused_enabled(config != kReference);
+  db.set_vectorized_enabled(config == kVectorized);
+}
+
 struct MicroArm {
   const char* name;
-  double fused_seconds = 0;
-  double reference_seconds = 0;
-  bool identical = true;
-  double speedup() const {
-    return fused_seconds > 0 ? reference_seconds / fused_seconds : 0;
+  double seconds[3] = {0, 0, 0};  // indexed by Config
+  bool identical = true;          // three-way bit-identical dumps
+  /// Batched over row-at-a-time fused — the tentpole number.
+  double vectorized_speedup() const {
+    return seconds[kVectorized] > 0 ? seconds[kFused] / seconds[kVectorized]
+                                    : 0;
+  }
+  /// Row-at-a-time fused over materializing reference (the pre-existing
+  /// floor, kept so the fused pipeline can't regress unnoticed).
+  double fused_speedup() const {
+    return seconds[kFused] > 0 ? seconds[kReference] / seconds[kFused] : 0;
   }
 };
 
@@ -104,11 +127,14 @@ struct ModeResult {
   const char* workload;
   std::string engine;
   const char* mode;
-  double fused_seconds = 0;
-  double reference_seconds = 0;
+  double seconds[3] = {0, 0, 0};  // indexed by Config
   bool equivalent = true;
-  double speedup() const {
-    return fused_seconds > 0 ? reference_seconds / fused_seconds : 0;
+  double vectorized_speedup() const {
+    return seconds[kVectorized] > 0 ? seconds[kFused] / seconds[kVectorized]
+                                    : 0;
+  }
+  double fused_speedup() const {
+    return seconds[kFused] > 0 ? seconds[kReference] / seconds[kFused] : 0;
   }
 };
 
@@ -169,22 +195,28 @@ int main(int argc, char** argv) {
   const auto run_arm = [&](const char* name) {
     MicroArm arm;
     arm.name = name;
-    dbc::ResultSet fused_result;
-    dbc::ResultSet reference_result;
-    for (const bool fused : {true, false}) {
-      db->set_fused_enabled(fused);
+    dbc::ResultSet results[3];
+    for (const Config config : {kVectorized, kFused, kReference}) {
+      ApplyConfig(*db, config);
       conn->ExecuteQuery(probe);  // warm caches before timing
-      const Stopwatch watch;
+      // Best of three timed rep-loops: the speedup ratios gate CI, so
+      // one descheduled trial must not masquerade as a perf regression.
+      double best = 0;
       dbc::ResultSet last;
-      for (int64_t i = 0; i < reps; ++i) last = conn->ExecuteQuery(probe);
-      (fused ? arm.fused_seconds : arm.reference_seconds) =
-          watch.ElapsedSeconds();
-      (fused ? fused_result : reference_result) = std::move(last);
+      for (int trial = 0; trial < 3; ++trial) {
+        const Stopwatch watch;
+        for (int64_t i = 0; i < reps; ++i) last = conn->ExecuteQuery(probe);
+        const double elapsed = watch.ElapsedSeconds();
+        if (trial == 0 || elapsed < best) best = elapsed;
+      }
+      arm.seconds[config] = best;
+      results[config] = std::move(last);
     }
-    db->set_fused_enabled(true);
-    // The selective scan is single-threaded and deterministic: the two
+    ApplyConfig(*db, kVectorized);
+    // The selective scan is single-threaded and deterministic: all three
     // pipelines must agree bit for bit, not just within tolerance.
-    arm.identical = Dump(fused_result) == Dump(reference_result);
+    arm.identical = Dump(results[kVectorized]) == Dump(results[kFused]) &&
+                    Dump(results[kFused]) == Dump(results[kReference]);
     return arm;
   };
 
@@ -197,15 +229,19 @@ int main(int argc, char** argv) {
   std::cout << "scan micro (" << rows << " rows, " << reps
             << " executions):\n"
             << std::left << std::setw(16) << "arm" << std::right
-            << std::setw(12) << "fused" << std::setw(12) << "reference"
-            << std::setw(10) << "speedup" << std::setw(11) << "identical"
+            << std::setw(12) << "vectorized" << std::setw(12) << "fused"
+            << std::setw(12) << "reference" << std::setw(10) << "vec/fus"
+            << std::setw(10) << "fus/ref" << std::setw(11) << "identical"
             << "\n";
   for (const auto& arm : arms) {
     std::cout << std::left << std::setw(16) << arm.name << std::right
               << std::fixed << std::setprecision(4) << std::setw(12)
-              << arm.fused_seconds << std::setw(12) << arm.reference_seconds
-              << std::setprecision(2) << std::setw(9) << arm.speedup() << "x"
-              << std::setw(11) << (arm.identical ? "yes" : "NO") << "\n";
+              << arm.seconds[kVectorized] << std::setw(12)
+              << arm.seconds[kFused] << std::setw(12)
+              << arm.seconds[kReference] << std::setprecision(2)
+              << std::setw(9) << arm.vectorized_speedup() << "x"
+              << std::setw(9) << arm.fused_speedup() << "x" << std::setw(11)
+              << (arm.identical ? "yes" : "NO") << "\n";
   }
   std::cout << "\n";
 
@@ -234,8 +270,9 @@ int main(int argc, char** argv) {
             << " nodes, " << threads << " threads):\n"
             << std::left << std::setw(6) << "fig" << std::setw(10)
             << "engine" << std::setw(14) << "workload/mode" << std::right
-            << std::setw(12) << "fused" << std::setw(12) << "reference"
-            << std::setw(10) << "speedup" << std::setw(12) << "equivalent"
+            << std::setw(12) << "vectorized" << std::setw(12) << "fused"
+            << std::setw(12) << "reference" << std::setw(10) << "vec/fus"
+            << std::setw(10) << "fus/ref" << std::setw(12) << "equivalent"
             << "\n";
   for (const auto& engine : bench::Engines()) {
     auto engine_db = fleet.server().FindDatabase(engine);
@@ -248,29 +285,31 @@ int main(int argc, char** argv) {
       const std::string& query = spec.query;
       const auto options =
           bench::ModeOptions(spec.mode, threads, partitions, spec.workload);
-      dbc::ResultSet fused_result;
-      dbc::ResultSet reference_result;
-      for (const bool fused : {true, false}) {
-        engine_db->set_fused_enabled(fused);
+      dbc::ResultSet results[3];
+      for (const Config config : {kVectorized, kFused, kReference}) {
+        ApplyConfig(*engine_db, config);
         // Best of three: end-to-end runs are short enough that scheduler
         // noise would otherwise swamp the per-mode delta.
         double best = 0;
         for (int trial = 0; trial < 3; ++trial) {
           const auto run = bench::RunQuery(fleet.Url(engine), options, query);
           if (trial == 0 || run.seconds < best) best = run.seconds;
-          (fused ? fused_result : reference_result) = run.result;
+          results[config] = run.result;
         }
-        (fused ? row.fused_seconds : row.reference_seconds) = best;
+        row.seconds[config] = best;
       }
-      engine_db->set_fused_enabled(true);
-      row.equivalent = Equivalent(fused_result, reference_result);
+      ApplyConfig(*engine_db, kVectorized);
+      row.equivalent = Equivalent(results[kVectorized], results[kFused]) &&
+                       Equivalent(results[kFused], results[kReference]);
       std::cout << std::left << std::setw(6) << row.figure << std::setw(10)
                 << row.engine << std::setw(14)
                 << (std::string(row.workload) + "/" + row.mode) << std::right
                 << std::fixed << std::setprecision(4) << std::setw(12)
-                << row.fused_seconds << std::setw(12)
-                << row.reference_seconds << std::setprecision(2)
-                << std::setw(9) << row.speedup() << "x" << std::setw(12)
+                << row.seconds[kVectorized] << std::setw(12)
+                << row.seconds[kFused] << std::setw(12)
+                << row.seconds[kReference] << std::setprecision(2)
+                << std::setw(9) << row.vectorized_speedup() << "x"
+                << std::setw(9) << row.fused_speedup() << "x" << std::setw(12)
                 << (row.equivalent ? "yes" : "NO") << "\n";
       mode_results.push_back(std::move(row));
     }
@@ -279,10 +318,18 @@ int main(int argc, char** argv) {
   bool results_agree = true;
   for (const auto& arm : arms) results_agree &= arm.identical;
   for (const auto& row : mode_results) results_agree &= row.equivalent;
-  const bool fast_enough = arms[0].speedup() >= 2.0;
-  std::cout << "\nselective-scan speedup >= 2x: "
-            << (fast_enough ? "yes" : "NO")
-            << "\nfused results match reference: "
+  // The batch plane must buy >= 3x on the selective scan over the
+  // row-at-a-time fused path, which itself must keep >= 2x over the
+  // materializing reference — unless the vectorized arm was ablated away.
+  const bool ablated = Knob("NO_VECTORIZE", 0) != 0;
+  const bool vectorized_fast =
+      ablated || arms[0].vectorized_speedup() >= 3.0;
+  const bool fused_fast = arms[0].fused_speedup() >= 2.0;
+  std::cout << "\nselective-scan vectorized/fused speedup >= 3x: "
+            << (vectorized_fast ? "yes" : (ablated ? "skipped" : "NO"))
+            << "\nselective-scan fused/reference speedup >= 2x: "
+            << (fused_fast ? "yes" : "NO")
+            << "\nall results bit-identical/equivalent: "
             << (results_agree ? "yes" : "NO") << "\n";
 
   std::ofstream json(json_path);
@@ -291,11 +338,14 @@ int main(int argc, char** argv) {
        << ", \"arms\": [\n";
   for (size_t i = 0; i < arms.size(); ++i) {
     const MicroArm& arm = arms[i];
-    json << "    {\"arm\": \"" << arm.name << "\", \"fused_seconds\": "
-         << arm.fused_seconds << ", \"reference_seconds\": "
-         << arm.reference_seconds << ", \"speedup\": " << arm.speedup()
-         << ", \"bit_identical\": " << (arm.identical ? "true" : "false")
-         << "}" << (i + 1 < arms.size() ? "," : "") << "\n";
+    json << "    {\"arm\": \"" << arm.name << "\", \"vectorized_seconds\": "
+         << arm.seconds[kVectorized] << ", \"fused_seconds\": "
+         << arm.seconds[kFused] << ", \"reference_seconds\": "
+         << arm.seconds[kReference] << ", \"vectorized_speedup\": "
+         << arm.vectorized_speedup() << ", \"fused_speedup\": "
+         << arm.fused_speedup() << ", \"bit_identical\": "
+         << (arm.identical ? "true" : "false") << "}"
+         << (i + 1 < arms.size() ? "," : "") << "\n";
   }
   json << "  ]},\n  \"end_to_end\": {\"nodes\": " << nodes
        << ", \"iterations\": " << iters << ", \"threads\": " << threads
@@ -305,16 +355,25 @@ int main(int argc, char** argv) {
     json << "    {\"figure\": \"" << r.figure << "\", \"workload\": \""
          << r.workload << "\", \"engine\": \"" << r.engine
          << "\", \"mode\": \"" << r.mode
-         << "\", \"fused_seconds\": " << r.fused_seconds
-         << ", \"reference_seconds\": " << r.reference_seconds
-         << ", \"speedup\": " << r.speedup() << ", \"equivalent\": "
-         << (r.equivalent ? "true" : "false") << "}"
+         << "\", \"vectorized_seconds\": " << r.seconds[kVectorized]
+         << ", \"fused_seconds\": " << r.seconds[kFused]
+         << ", \"reference_seconds\": " << r.seconds[kReference]
+         << ", \"vectorized_speedup\": " << r.vectorized_speedup()
+         << ", \"fused_speedup\": " << r.fused_speedup()
+         << ", \"equivalent\": " << (r.equivalent ? "true" : "false") << "}"
          << (i + 1 < mode_results.size() ? "," : "") << "\n";
   }
-  json << "  ]},\n  \"selective_scan_speedup\": " << arms[0].speedup()
+  // The floors ci.sh gates future runs against (satellite of the
+  // vectorized-execution PR): a fresh micro_scan run must not fall below
+  // the committed baseline's floors.
+  json << "  ]},\n  \"selective_scan_vectorized_speedup\": "
+       << arms[0].vectorized_speedup()
+       << ",\n  \"selective_scan_fused_speedup\": " << arms[0].fused_speedup()
+       << ",\n  \"floors\": {\"vectorized_over_fused\": 3.0, "
+          "\"fused_over_reference\": 2.0}"
        << ",\n  \"peak_rss_bytes\": " << bench::PeakRssBytes()
        << ",\n  \"results_agree\": " << (results_agree ? "true" : "false")
        << "\n}\n";
   std::cout << "wrote " << json_path << "\n";
-  return fast_enough && results_agree ? 0 : 1;
+  return vectorized_fast && fused_fast && results_agree ? 0 : 1;
 }

@@ -12,6 +12,35 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Extracts a scalar number for "key" from a flat JSON baseline ("key": 1.23).
+json_number() {
+  local key="$1" file="$2"
+  grep -o "\"${key}\": *[0-9.]*" "${file}" | head -n1 | grep -o '[0-9.]*$'
+}
+
+# Perf regression gate: a fresh micro_scan run must not fall below the
+# floors recorded in the committed BENCH_scan.json baseline (the floors
+# are part of the baseline so tightening them is an explicit commit).
+check_scan_floors() {
+  local baseline="$1" fresh="$2"
+  [[ -f "${baseline}" ]] || { echo "    (no committed baseline; skipping floor gate)"; return 0; }
+  local vec_floor fus_floor vec_meas fus_meas
+  vec_floor="$(json_number vectorized_over_fused "${baseline}")"
+  fus_floor="$(json_number fused_over_reference "${baseline}")"
+  vec_meas="$(json_number selective_scan_vectorized_speedup "${fresh}")"
+  fus_meas="$(json_number selective_scan_fused_speedup "${fresh}")"
+  if [[ -z "${vec_floor}" || -z "${fus_floor}" ]]; then
+    echo "    (baseline predates the vectorized floors; skipping floor gate)"
+    return 0
+  fi
+  echo "    selective-scan vectorized/fused: ${vec_meas} (floor ${vec_floor})"
+  echo "    selective-scan fused/reference:  ${fus_meas} (floor ${fus_floor})"
+  awk -v m="${vec_meas}" -v f="${vec_floor}" 'BEGIN { exit (m+0 >= f+0) ? 0 : 1 }' \
+    || { echo "FAIL: vectorized selective-scan speedup ${vec_meas} fell below floor ${vec_floor}"; return 1; }
+  awk -v m="${fus_meas}" -v f="${fus_floor}" 'BEGIN { exit (m+0 >= f+0) ? 0 : 1 }' \
+    || { echo "FAIL: fused selective-scan speedup ${fus_meas} fell below floor ${fus_floor}"; return 1; }
+}
+
 run_preset() {
   local preset="$1"
   echo "==> [${preset}] configure + build"
@@ -23,8 +52,12 @@ run_preset() {
       ctest --preset default
       echo "==> [${preset}] perf smoke suite"
       ctest --preset default -L perf
-      echo "==> [${preset}] fused-pipeline scan benchmark"
+      echo "==> [${preset}] vectorized/fused-pipeline scan benchmark"
+      cp -f BENCH_scan.json BENCH_scan.baseline.json 2>/dev/null || true
       ./build/bench/micro_scan --json BENCH_scan.json
+      echo "==> [${preset}] scan perf floor gate"
+      check_scan_floors BENCH_scan.baseline.json BENCH_scan.json
+      rm -f BENCH_scan.baseline.json
       echo "==> [${preset}] multi-tenant service benchmark"
       ./build/bench/micro_service --json BENCH_service.json
       echo "==> [${preset}] resource-governance benchmark"

@@ -157,6 +157,11 @@ void PrintStats(const core::RunStats& stats) {
                 << " pushed_predicates="
                 << rec.counter("minidb.pushed_predicates")
                 << " fused_cores=" << rec.counter("minidb.fused_cores")
+                << " vectorized_cores="
+                << rec.counter("minidb.vectorized_cores")
+                << " batches=" << rec.counter("minidb.batches_produced")
+                << " scalar_fallbacks="
+                << rec.counter("minidb.scalar_fallbacks")
                 << "\n";
     }
     const uint64_t gov_peak = rec.counter("governance.job_bytes_peak");

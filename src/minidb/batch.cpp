@@ -1,0 +1,345 @@
+#include "minidb/batch.h"
+
+namespace sqloop::minidb {
+namespace {
+
+using Kind = PredicateKernel::Kind;
+using Op = PredicateKernel::Op;
+
+bool IsNumericType(ValueType t) noexcept {
+  return t == ValueType::kInt64 || t == ValueType::kDouble;
+}
+
+/// Resolves `e` as a plain reference to a column of this table (bare or
+/// qualified by `alias`, already folded). Returns the schema ordinal or -1.
+int MatchColumn(const sql::Expr& e, const Schema& schema,
+                const std::string& alias) {
+  if (e.kind != sql::ExprKind::kColumnRef) return -1;
+  if (!e.qualifier.empty() && FoldIdentifier(e.qualifier) != alias) return -1;
+  return schema.FindColumn(FoldIdentifier(e.column));
+}
+
+bool MapComparisonOp(sql::BinaryOp op, Op* out) noexcept {
+  switch (op) {
+    case sql::BinaryOp::kEq: *out = Op::kEq; return true;
+    case sql::BinaryOp::kNotEq: *out = Op::kNotEq; return true;
+    case sql::BinaryOp::kLess: *out = Op::kLess; return true;
+    case sql::BinaryOp::kLessEq: *out = Op::kLessEq; return true;
+    case sql::BinaryOp::kGreater: *out = Op::kGreater; return true;
+    case sql::BinaryOp::kGreaterEq: *out = Op::kGreaterEq; return true;
+    default: return false;
+  }
+}
+
+/// `lit <op> col` rewritten as `col <op'> lit`.
+Op FlipOp(Op op) noexcept {
+  switch (op) {
+    case Op::kLess: return Op::kGreater;
+    case Op::kLessEq: return Op::kGreaterEq;
+    case Op::kGreater: return Op::kLess;
+    case Op::kGreaterEq: return Op::kLessEq;
+    default: return op;  // = and <> commute
+  }
+}
+
+/// Exactly Value::Compare's numeric arm: NaN compares "equal" to
+/// everything, so comparisons must go through this three-way form rather
+/// than direct operator== on doubles.
+template <typename T>
+int Cmp3(T x, T y) noexcept {
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+/// How many lanes ahead the filter loops issue a software prefetch. Each
+/// lane's cell lives in the row's separately allocated Value array, so a
+/// large scan is a pointer chase into scattered heap blocks; computing the
+/// cell address (row header is contiguous and cache-resident) and
+/// prefetching it ~16 lanes early hides most of that latency.
+constexpr uint32_t kPrefetchDistance = 16;
+
+inline void PrefetchCell(const RowBatch& batch, uint32_t i, int column) {
+  if (i + kPrefetchDistance < batch.selected) {
+    const uint32_t lane = batch.selection[i + kPrefetchDistance];
+    __builtin_prefetch(batch.rows[lane]->data() + column);
+  }
+}
+
+/// Compacts `batch.selection` to the lanes whose cell in `column` passes
+/// (order preserved, branch-free store). The cell is read once per lane,
+/// straight from the borrowed row view — no scratch materialization.
+template <typename PassFn>
+void FilterCells(RowBatch& batch, int column, PassFn pass) {
+  uint32_t out = 0;
+  if (batch.selected == batch.size) {
+    // A full selection is always the identity permutation (SelectAll
+    // starts it that way and compaction only ever removes lanes), so the
+    // first conjunct skips the selection-vector load entirely.
+    for (uint32_t lane = 0; lane < batch.size; ++lane) {
+      if (lane + kPrefetchDistance < batch.size) {
+        __builtin_prefetch(batch.rows[lane + kPrefetchDistance]->data() +
+                           column);
+      }
+      batch.selection[out] = lane;
+      out += pass((*batch.rows[lane])[column]) ? 1u : 0u;
+    }
+    batch.selected = out;
+    return;
+  }
+  for (uint32_t i = 0; i < batch.selected; ++i) {
+    PrefetchCell(batch, i, column);
+    const uint32_t lane = batch.selection[i];
+    batch.selection[out] = lane;
+    out += pass((*batch.rows[lane])[column]) ? 1u : 0u;
+  }
+  batch.selected = out;
+}
+
+/// Two-column form of FilterCells.
+template <typename PassFn>
+void FilterCells2(RowBatch& batch, int lcol, int rcol, PassFn pass) {
+  uint32_t out = 0;
+  for (uint32_t i = 0; i < batch.selected; ++i) {
+    PrefetchCell(batch, i, lcol);
+    const uint32_t lane = batch.selection[i];
+    const Row& row = *batch.rows[lane];
+    batch.selection[out] = lane;
+    out += pass(row[lcol], row[rcol]) ? 1u : 0u;
+  }
+  batch.selected = out;
+}
+
+/// Applies one comparison op over a per-lane three-way result, hoisting the
+/// op switch out of the lane loop. `cmp3` is only invoked on non-NULL cells
+/// (a NULL on either side makes the comparison NULL, which filters the lane
+/// out regardless of the op — Truthy(NULL) is false).
+template <typename CmpFn>
+void FilterCmp(RowBatch& batch, Op op, int column, CmpFn cmp3) {
+  switch (op) {
+    case Op::kEq:
+      FilterCells(batch, column, [&](const Value& v) {
+        return !v.is_null() && cmp3(v) == 0;
+      });
+      return;
+    case Op::kNotEq:
+      FilterCells(batch, column, [&](const Value& v) {
+        return !v.is_null() && cmp3(v) != 0;
+      });
+      return;
+    case Op::kLess:
+      FilterCells(batch, column, [&](const Value& v) {
+        return !v.is_null() && cmp3(v) < 0;
+      });
+      return;
+    case Op::kLessEq:
+      FilterCells(batch, column, [&](const Value& v) {
+        return !v.is_null() && cmp3(v) <= 0;
+      });
+      return;
+    case Op::kGreater:
+      FilterCells(batch, column, [&](const Value& v) {
+        return !v.is_null() && cmp3(v) > 0;
+      });
+      return;
+    case Op::kGreaterEq:
+      FilterCells(batch, column, [&](const Value& v) {
+        return !v.is_null() && cmp3(v) >= 0;
+      });
+      return;
+  }
+}
+
+/// Column-vs-column form of FilterCmp.
+template <typename CmpFn>
+void FilterCmp2(RowBatch& batch, Op op, int lcol, int rcol, CmpFn cmp3) {
+  switch (op) {
+    case Op::kEq:
+      FilterCells2(batch, lcol, rcol, [&](const Value& a, const Value& b) {
+        return !a.is_null() && !b.is_null() && cmp3(a, b) == 0;
+      });
+      return;
+    case Op::kNotEq:
+      FilterCells2(batch, lcol, rcol, [&](const Value& a, const Value& b) {
+        return !a.is_null() && !b.is_null() && cmp3(a, b) != 0;
+      });
+      return;
+    case Op::kLess:
+      FilterCells2(batch, lcol, rcol, [&](const Value& a, const Value& b) {
+        return !a.is_null() && !b.is_null() && cmp3(a, b) < 0;
+      });
+      return;
+    case Op::kLessEq:
+      FilterCells2(batch, lcol, rcol, [&](const Value& a, const Value& b) {
+        return !a.is_null() && !b.is_null() && cmp3(a, b) <= 0;
+      });
+      return;
+    case Op::kGreater:
+      FilterCells2(batch, lcol, rcol, [&](const Value& a, const Value& b) {
+        return !a.is_null() && !b.is_null() && cmp3(a, b) > 0;
+      });
+      return;
+    case Op::kGreaterEq:
+      FilterCells2(batch, lcol, rcol, [&](const Value& a, const Value& b) {
+        return !a.is_null() && !b.is_null() && cmp3(a, b) >= 0;
+      });
+      return;
+  }
+}
+
+/// Numeric view of a schema-typed non-NULL cell whose column type is known
+/// at kernel-compile time (loop-invariant `is_int`).
+double NumericCell(const Value& v, bool is_int) noexcept {
+  return is_int ? static_cast<double>(v.int_unchecked()) : v.double_unchecked();
+}
+
+}  // namespace
+
+bool CompilePredicateKernel(const sql::Expr& conjunct, const Schema& schema,
+                            const std::string& alias, PredicateKernel* out) {
+  *out = {};
+  if (conjunct.kind == sql::ExprKind::kLiteral) {
+    const Value& v = conjunct.literal;
+    if (v.is_null()) {
+      out->kind = Kind::kNeverMatch;  // Truthy(NULL) is false
+      return true;
+    }
+    if (!v.is_numeric()) return false;  // Truthy throws on TEXT, per row
+    out->kind =
+        v.NumericAsDouble() != 0 ? Kind::kAlwaysMatch : Kind::kNeverMatch;
+    return true;
+  }
+
+  if (conjunct.kind == sql::ExprKind::kIsNull) {
+    const int col = MatchColumn(*conjunct.left, schema, alias);
+    if (col < 0) return false;
+    out->kind = conjunct.is_not_null ? Kind::kIsNotNull : Kind::kIsNull;
+    out->column = col;
+    return true;
+  }
+
+  if (conjunct.kind != sql::ExprKind::kBinary) return false;
+  Op op;
+  if (!MapComparisonOp(conjunct.binary_op, &op)) return false;
+
+  const sql::Expr* lhs = conjunct.left.get();
+  const sql::Expr* rhs = conjunct.right.get();
+  int lcol = MatchColumn(*lhs, schema, alias);
+  int rcol = MatchColumn(*rhs, schema, alias);
+
+  if (lcol >= 0 && rcol >= 0) {
+    const ValueType lt = schema.columns()[lcol].type;
+    const ValueType rt = schema.columns()[rcol].type;
+    if (IsNumericType(lt) && IsNumericType(rt)) {
+      out->kind = Kind::kNumericColumns;
+    } else if (lt == ValueType::kText && rt == ValueType::kText) {
+      out->kind = Kind::kTextColumns;
+    } else {
+      return false;  // mixed type families throw per non-NULL row
+    }
+    out->op = op;
+    out->column = lcol;
+    out->rhs_column = rcol;
+    out->column_type = lt;
+    out->rhs_type = rt;
+    return true;
+  }
+
+  if (lcol < 0) {
+    std::swap(lhs, rhs);
+    std::swap(lcol, rcol);
+    op = FlipOp(op);
+  }
+  if (lcol < 0) return false;  // neither side is a column of this table
+  if (rhs->kind != sql::ExprKind::kLiteral) return false;
+  const Value& lit = rhs->literal;
+  if (lit.is_null()) {
+    // `col <op> NULL` is NULL for every row; never matches, never throws.
+    out->kind = Kind::kNeverMatch;
+    return true;
+  }
+  const ValueType ct = schema.columns()[lcol].type;
+  if (IsNumericType(ct) && lit.is_numeric()) {
+    out->kind = Kind::kNumericLiteral;
+    out->literal_is_int = lit.is_int();
+    if (lit.is_int()) {
+      out->literal_int = lit.as_int();
+      out->literal_double = static_cast<double>(lit.as_int());
+    } else {
+      out->literal_double = lit.as_double();
+    }
+  } else if (ct == ValueType::kText && lit.is_text()) {
+    out->kind = Kind::kTextLiteral;
+    out->literal_text = lit.as_text();
+  } else {
+    return false;  // type-family mismatch throws per non-NULL row
+  }
+  out->op = op;
+  out->column = lcol;
+  out->column_type = ct;
+  return true;
+}
+
+void ApplyPredicateKernel(const PredicateKernel& kernel, RowBatch& batch) {
+  switch (kernel.kind) {
+    case Kind::kAlwaysMatch:
+      return;
+    case Kind::kNeverMatch:
+      batch.selected = 0;
+      return;
+    case Kind::kIsNull:
+      FilterCells(batch, kernel.column,
+                  [](const Value& v) { return v.is_null(); });
+      return;
+    case Kind::kIsNotNull:
+      FilterCells(batch, kernel.column,
+                  [](const Value& v) { return !v.is_null(); });
+      return;
+    case Kind::kNumericLiteral: {
+      if (kernel.column_type == ValueType::kInt64 && kernel.literal_is_int) {
+        const int64_t lit = kernel.literal_int;
+        FilterCmp(batch, kernel.op, kernel.column,
+                  [lit](const Value& v) { return Cmp3(v.int_unchecked(), lit); });
+      } else {
+        const double lit = kernel.literal_double;
+        const bool col_int = kernel.column_type == ValueType::kInt64;
+        FilterCmp(batch, kernel.op, kernel.column, [lit, col_int](
+                                                       const Value& v) {
+          return Cmp3(NumericCell(v, col_int), lit);
+        });
+      }
+      return;
+    }
+    case Kind::kTextLiteral: {
+      const std::string& lit = kernel.literal_text;
+      FilterCmp(batch, kernel.op, kernel.column, [&lit](const Value& v) {
+        return Cmp3(v.text_unchecked().compare(lit), 0);
+      });
+      return;
+    }
+    case Kind::kNumericColumns: {
+      if (kernel.column_type == ValueType::kInt64 &&
+          kernel.rhs_type == ValueType::kInt64) {
+        FilterCmp2(batch, kernel.op, kernel.column, kernel.rhs_column,
+                   [](const Value& a, const Value& b) {
+                     return Cmp3(a.int_unchecked(), b.int_unchecked());
+                   });
+      } else {
+        const bool l_int = kernel.column_type == ValueType::kInt64;
+        const bool r_int = kernel.rhs_type == ValueType::kInt64;
+        FilterCmp2(batch, kernel.op, kernel.column, kernel.rhs_column,
+                   [l_int, r_int](const Value& a, const Value& b) {
+                     return Cmp3(NumericCell(a, l_int), NumericCell(b, r_int));
+                   });
+      }
+      return;
+    }
+    case Kind::kTextColumns: {
+      FilterCmp2(batch, kernel.op, kernel.column, kernel.rhs_column,
+                 [](const Value& a, const Value& b) {
+                   return Cmp3(a.text_unchecked().compare(b.text_unchecked()), 0);
+                 });
+      return;
+    }
+  }
+}
+
+}  // namespace sqloop::minidb

@@ -88,6 +88,21 @@ class Database {
     return fused_enabled_.load(std::memory_order_relaxed);
   }
 
+  // --- vectorized batch execution toggle --------------------------------
+  // The batched data plane (minidb/batch.h) sits in front of the fused
+  // row-at-a-time path and is on by default; switching it off keeps fusion
+  // but routes every core through the scalar per-row sinks. Only takes
+  // effect while fusion is enabled (the reference path never batches).
+  // Exists for the three-way differential suite and the vectorized-on/off
+  // A/B benchmark (see DESIGN.md "Vectorized execution").
+
+  void set_vectorized_enabled(bool enabled) noexcept {
+    vectorized_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool vectorized_enabled() const noexcept {
+    return vectorized_enabled_.load(std::memory_order_relaxed);
+  }
+
   // --- governance toggle -----------------------------------------------
   // Memory accounting is on by default; switching it off makes new
   // connections attach no tracker, so the engine's per-row charge hooks
@@ -123,6 +138,7 @@ class Database {
       views_;
   std::atomic<uint64_t> catalog_version_{0};
   std::atomic<bool> fused_enabled_{true};
+  std::atomic<bool> vectorized_enabled_{true};
   std::atomic<bool> governance_enabled_{true};
   PlanCache plan_cache_;
 };

@@ -338,6 +338,102 @@ void Accumulator::Add(const Value& v) {
   }
 }
 
+void Accumulator::AddInt64Span(const int64_t* values, size_t count) {
+  value_count_ += static_cast<int64_t>(count);
+  switch (func_) {
+    case sql::AggFunc::kCount:
+      return;
+    case sql::AggFunc::kSum:
+    case sql::AggFunc::kAvg:
+      if (!saw_double_) {
+        int64_t sum = 0;
+        for (size_t i = 0; i < count; ++i) sum += values[i];
+        int_sum_ += sum;
+      } else {
+        for (size_t i = 0; i < count; ++i) {
+          double_sum_ += static_cast<double>(values[i]);
+        }
+      }
+      return;
+    case sql::AggFunc::kMin:
+      for (size_t i = 0; i < count; ++i) {
+        if (extreme_.is_null() || values[i] < extreme_.as_int()) {
+          extreme_ = Value(values[i]);
+        }
+      }
+      return;
+    case sql::AggFunc::kMax:
+      for (size_t i = 0; i < count; ++i) {
+        if (extreme_.is_null() || values[i] > extreme_.as_int()) {
+          extreme_ = Value(values[i]);
+        }
+      }
+      return;
+  }
+}
+
+void Accumulator::AddDoubleSpan(const double* values, size_t count) {
+  value_count_ += static_cast<int64_t>(count);
+  switch (func_) {
+    case sql::AggFunc::kCount:
+      return;
+    case sql::AggFunc::kSum:
+    case sql::AggFunc::kAvg:
+      if (!saw_double_) {
+        double_sum_ = static_cast<double>(int_sum_);
+        saw_double_ = true;
+      }
+      // Sequential lane-order adds: bit-identical to the Add() sequence.
+      for (size_t i = 0; i < count; ++i) double_sum_ += values[i];
+      return;
+    case sql::AggFunc::kMin:
+      // `v < extreme` mirrors Value::Compare's three-way double arm: a NaN
+      // on either side compares "equal" and never replaces the extreme.
+      for (size_t i = 0; i < count; ++i) {
+        if (extreme_.is_null() || values[i] < extreme_.as_double()) {
+          extreme_ = Value(values[i]);
+        }
+      }
+      return;
+    case sql::AggFunc::kMax:
+      for (size_t i = 0; i < count; ++i) {
+        if (extreme_.is_null() || values[i] > extreme_.as_double()) {
+          extreme_ = Value(values[i]);
+        }
+      }
+      return;
+  }
+}
+
+void Accumulator::AddTextSpan(const std::string* const* values, size_t count) {
+  value_count_ += static_cast<int64_t>(count);
+  switch (func_) {
+    case sql::AggFunc::kCount:
+      return;
+    case sql::AggFunc::kSum:
+    case sql::AggFunc::kAvg:
+      throw ExecutionError("SUM/AVG over non-numeric value");
+    case sql::AggFunc::kMin:
+      for (size_t i = 0; i < count; ++i) {
+        if (extreme_.is_null() ||
+            values[i]->compare(extreme_.as_text()) < 0) {
+          extreme_ = Value(*values[i]);
+        }
+      }
+      return;
+    case sql::AggFunc::kMax:
+      for (size_t i = 0; i < count; ++i) {
+        if (extreme_.is_null() ||
+            values[i]->compare(extreme_.as_text()) > 0) {
+          extreme_ = Value(*values[i]);
+        }
+      }
+      return;
+  }
+}
+
+void Accumulator::AddCountedRows(int64_t count) { value_count_ += count; }
+
 Value Accumulator::Result() const {
   switch (func_) {
     case sql::AggFunc::kCount:

@@ -93,6 +93,25 @@ class Accumulator {
   /// Feeds one input value (ignored when NULL, per SQL).
   void Add(const Value& v);
 
+  // --- vectorized bulk feeds (batch pipeline; see minidb/batch.h) -------
+  // Dense non-NULL payload spans gathered from one batch's selected lanes,
+  // fed in lane order so every state transition (including double rounding
+  // and the running MIN/MAX with Value::Compare's NaN handling) matches the
+  // equivalent sequence of Add() calls exactly. Callers must not use these
+  // on DISTINCT accumulators — the dedup set needs Value keys, so DISTINCT
+  // aggregates stay on the scalar Add() path.
+
+  /// Bulk-adds int64 payloads (int64 column lanes).
+  void AddInt64Span(const int64_t* values, size_t count);
+  /// Bulk-adds double payloads (double column lanes).
+  void AddDoubleSpan(const double* values, size_t count);
+  /// Bulk-adds borrowed text payloads (text column lanes); only valid for
+  /// COUNT/MIN/MAX (SUM/AVG over text throws, exactly like Add()).
+  void AddTextSpan(const std::string* const* values, size_t count);
+  /// COUNT(*) bulk feed: `count` accepted rows. Only valid for a
+  /// non-DISTINCT COUNT.
+  void AddCountedRows(int64_t count);
+
   Value Result() const;
 
  private:

@@ -1,6 +1,8 @@
 #include "minidb/executor.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -595,6 +597,144 @@ void Executor::ScanPush(const Table& table,
   }
 }
 
+namespace {
+
+/// True when any node of `expr` is a `?` placeholder.
+bool ContainsParameter(const sql::Expr& expr) {
+  bool found = false;
+  sql::VisitExpr(expr, [&found](const sql::Expr& node) {
+    if (node.kind == sql::ExprKind::kParameter) found = true;
+  });
+  return found;
+}
+
+/// Compiles each pushed conjunct into a total predicate kernel where the
+/// shape allows (see minidb/batch.h). A cached access path's bind-time
+/// hints skip compile attempts for conjuncts already known uncompilable
+/// (hint 0); parameter-dependent conjuncts (hint 2) and known-compilable
+/// ones (hint 1) recompile against the live bound AST. Returns the number
+/// of scalar-fallback conjuncts.
+size_t CompileScanKernels(const std::vector<const sql::Expr*>& pushed,
+                          const Schema& schema, const std::string& alias,
+                          const CoreAccessPath* path,
+                          std::vector<PredicateKernel>& kernels,
+                          std::vector<uint8_t>& compiled) {
+  kernels.assign(pushed.size(), {});
+  compiled.assign(pushed.size(), 0);
+  const bool use_hints = path != nullptr && path->batch_analyzed &&
+                         path->kernel_conjuncts.size() == pushed.size();
+  size_t fallbacks = 0;
+  for (size_t i = 0; i < pushed.size(); ++i) {
+    if (use_hints && path->kernel_conjuncts[i] == 0) {
+      ++fallbacks;
+      continue;
+    }
+    if (CompilePredicateKernel(*pushed[i], schema, alias, &kernels[i])) {
+      compiled[i] = 1;
+    } else {
+      ++fallbacks;
+    }
+  }
+  return fallbacks;
+}
+
+}  // namespace
+
+void Executor::ScanBatched(const Table& table,
+                           const std::vector<ColumnBinding>& columns,
+                           const std::vector<const sql::Expr*>& pushed,
+                           const std::vector<PredicateKernel>& kernels,
+                           const std::vector<uint8_t>& compiled,
+                           int probe_conjunct,
+                           const std::string& probe_column,
+                           const BatchSink& sink) {
+  std::unordered_map<const sql::Expr*, int> cache;
+  counters_.pushed_predicates += pushed.size();
+  bool any_fallback = false;
+  bool rewriting_kernel = false;
+  for (size_t c = 0; c < compiled.size(); ++c) {
+    if (!compiled[c]) {
+      any_fallback = true;
+    } else if (kernels[c].kind != PredicateKernel::Kind::kAlwaysMatch) {
+      rewriting_kernel = true;
+    }
+  }
+  // The identity fill can be skipped when a selection-REWRITING kernel is
+  // guaranteed to touch the selection before anything reads it: filter
+  // kernels treat a full selection as identity and write it fresh, and a
+  // never-match empties it. kAlwaysMatch kernels never write, and the
+  // fallback intersection and kernel-less sinks read — those need the
+  // real fill.
+  const bool elide_select_fill = rewriting_kernel && !any_fallback;
+
+  const auto process = [&](RowBatch& batch) {
+    rows_examined_ += batch.size;
+    GovTickRows(batch.size);
+    ++counters_.batches_produced;
+    if (elide_select_fill) {
+      batch.MarkAllSelected();
+    } else {
+      batch.SelectAll();
+    }
+    if (any_fallback) {
+      // Scalar-fallback conjuncts run first, row-major over every visited
+      // lane (not just the surviving selection): classic AND evaluates
+      // every conjunct for every visited row, so the evaluation count and
+      // the first error match the row path exactly.
+      lane_pass_.assign(batch.size, 1);
+      for (uint32_t lane = 0; lane < batch.size; ++lane) {
+        const Row& row = *batch.rows[lane];
+        EvalContext ec{&columns, &row, nullptr, nullptr, &cache};
+        for (size_t c = 0; c < pushed.size(); ++c) {
+          if (compiled[c]) continue;
+          if (!Truthy(Evaluate(*pushed[c], ec))) lane_pass_[lane] = 0;
+        }
+      }
+      uint32_t kept = 0;
+      for (uint32_t i = 0; i < batch.selected; ++i) {
+        const uint32_t lane = batch.selection[i];
+        batch.selection[kept] = lane;
+        kept += lane_pass_[lane] ? 1u : 0u;
+      }
+      batch.selected = kept;
+    }
+    for (size_t c = 0; c < pushed.size(); ++c) {
+      if (!compiled[c]) continue;
+      // Kernels are total (no errors, no side effects), so an emptied
+      // selection can skip the remaining ones.
+      if (batch.selected == 0) break;
+      ApplyPredicateKernel(kernels[c], batch);
+    }
+    sink(batch);
+  };
+
+  if (probe_conjunct >= 0) {
+    ++counters_.index_scans;
+    probe_ids_.clear();
+    table.IndexProbe(probe_column, ProbeKey(*pushed[probe_conjunct]),
+                     probe_ids_);
+    for (size_t start = 0; start < probe_ids_.size();
+         start += RowBatch::kCapacity) {
+      const size_t lanes = std::min<size_t>(RowBatch::kCapacity,
+                                            probe_ids_.size() - start);
+      batch_.Reset();
+      batch_.size = static_cast<uint32_t>(table.FillBatchFromIds(
+          probe_ids_.data() + start, lanes, batch_.rows.data()));
+      process(batch_);
+    }
+    return;
+  }
+  ++counters_.full_scans;
+  size_t cursor = 0;
+  for (;;) {
+    batch_.Reset();
+    batch_.size = static_cast<uint32_t>(
+        table.FillBatch(&cursor, batch_.rows.data(), RowBatch::kCapacity));
+    if (batch_.size == 0) break;
+    process(batch_);
+  }
+}
+
 Relation Executor::ScanFiltered(const Table& table, const std::string& alias,
                                 const std::vector<const sql::Expr*>& pushed) {
   Relation rel;
@@ -607,8 +747,25 @@ Relation Executor::ScanFiltered(const Table& table, const std::string& alias,
   const int probe = ChooseProbe(pushed, table, alias,
                                 /*allow_parameters=*/false, &probe_column);
   rel.borrowed = true;
-  const auto collect = [&rel](const Row& row) { rel.views.push_back(&row); };
-  ScanPush(table, rel.columns, pushed, probe, probe_column, collect);
+  if (db_.vectorized_enabled() && db_.fused_enabled()) {
+    // Join-input scans ride the batch plane too: kernels filter whole
+    // batches, the surviving lanes land in the borrowed view list in scan
+    // order (identical to the row-at-a-time collect).
+    std::vector<PredicateKernel> kernels;
+    std::vector<uint8_t> compiled;
+    counters_.scalar_fallbacks += CompileScanKernels(
+        pushed, table.schema(), folded, /*path=*/nullptr, kernels, compiled);
+    const auto collect = [&rel](RowBatch& batch) {
+      for (uint32_t i = 0; i < batch.selected; ++i) {
+        rel.views.push_back(batch.rows[batch.selection[i]]);
+      }
+    };
+    ScanBatched(table, rel.columns, pushed, kernels, compiled, probe,
+                probe_column, collect);
+  } else {
+    const auto collect = [&rel](const Row& row) { rel.views.push_back(&row); };
+    ScanPush(table, rel.columns, pushed, probe, probe_column, collect);
+  }
   counters_.rows_borrowed += rel.views.size();
   return rel;
 }
@@ -887,12 +1044,16 @@ void Executor::RunJoin(JoinState& state, const OwnedRowSink& sink) {
   const Relation& right = state.right;
 
   if (use_hash) {
-    // Build on the right side, probe from the left.
+    // Build on the right side, probe from the left. With the batch plane
+    // enabled both phases run block-at-a-time: governance ticks once per
+    // RowBatch::kCapacity rows instead of per row, and the probe reuses one
+    // key buffer across a block instead of allocating per row. Match
+    // emission order is identical to the per-row loops.
+    const bool batched = db_.vectorized_enabled() && db_.fused_enabled();
     std::unordered_map<Row, std::vector<size_t>, KeyHash, KeyEq> built;
     built.reserve(right.row_count());
-    for (size_t i = 0; i < right.row_count(); ++i) {
+    const auto build_one = [&](size_t i) {
       const Row& r = right.row(i);
-      GovTick();
       Row key;
       key.reserve(equi.size());
       bool has_null = false;
@@ -908,12 +1069,12 @@ void Executor::RunJoin(JoinState& state, const OwnedRowSink& sink) {
         GovCharge(RowFootprintBytes(key) + static_cast<int64_t>(sizeof(size_t)));
         built[std::move(key)].push_back(i);
       }
-    }
-    for (size_t li = 0; li < left.row_count(); ++li) {
+    };
+    Row probe_key;
+    probe_key.reserve(equi.size());
+    const auto probe_one = [&](size_t li) {
       const Row& l = left.row(li);
-      GovTick();
-      Row key;
-      key.reserve(equi.size());
+      probe_key.clear();
       bool has_null = false;
       for (const auto& pair : equi) {
         const Value& v = l[pair.first];
@@ -921,11 +1082,11 @@ void Executor::RunJoin(JoinState& state, const OwnedRowSink& sink) {
           has_null = true;
           break;
         }
-        key.push_back(v);
+        probe_key.push_back(v);
       }
       bool matched = false;
       if (!has_null) {
-        const auto it = built.find(key);
+        const auto it = built.find(probe_key);
         if (it != built.end()) {
           for (const size_t i : it->second) {
             Row combined = ConcatRows(l, right.row(i));
@@ -936,6 +1097,31 @@ void Executor::RunJoin(JoinState& state, const OwnedRowSink& sink) {
         }
       }
       if (!matched) emit_unmatched(l);
+    };
+    if (batched) {
+      const size_t right_count = right.row_count();
+      for (size_t start = 0; start < right_count;
+           start += RowBatch::kCapacity) {
+        const size_t end = std::min(right_count, start + RowBatch::kCapacity);
+        GovTickRows(static_cast<int64_t>(end - start));
+        for (size_t i = start; i < end; ++i) build_one(i);
+      }
+      const size_t left_count = left.row_count();
+      for (size_t start = 0; start < left_count;
+           start += RowBatch::kCapacity) {
+        const size_t end = std::min(left_count, start + RowBatch::kCapacity);
+        GovTickRows(static_cast<int64_t>(end - start));
+        for (size_t li = start; li < end; ++li) probe_one(li);
+      }
+    } else {
+      for (size_t i = 0; i < right.row_count(); ++i) {
+        GovTick();
+        build_one(i);
+      }
+      for (size_t li = 0; li < left.row_count(); ++li) {
+        GovTick();
+        probe_one(li);
+      }
     }
     return;
   }
@@ -1220,6 +1406,339 @@ Relation Executor::AggregateCore(const sql::SelectCore& core,
   return out;
 }
 
+bool Executor::TryVectorizedCore(const sql::SelectCore& core, ExecContext& ctx,
+                                 bool aggregate_mode,
+                                 const std::vector<sql::OrderItem>* order_by,
+                                 std::vector<Row>* sort_keys,
+                                 const CoreAccessPath* path, Relation* out) {
+  // Only the single-base-table shape runs batched; joins and subqueries
+  // keep the row-at-a-time fused path.
+  if (!core.from || core.from->kind != sql::TableRefKind::kBase) return false;
+  const std::string name = FoldIdentifier(core.from->table_name);
+  if (ctx.cte_bindings.contains(name) || db_.HasView(name)) return false;
+  const auto table = db_.FindTable(name);
+  if (!table) return false;  // the reference path reports the error
+
+  const std::string alias = FoldIdentifier(core.from->alias);
+  std::vector<ColumnBinding> columns;
+  columns.reserve(table->schema().column_count());
+  for (const auto& column : table->schema().columns()) {
+    columns.push_back({alias, column.name});
+  }
+
+  std::vector<const sql::Expr*> conjuncts;
+  if (core.where) SplitConjuncts(*core.where, conjuncts);
+
+  std::vector<PredicateKernel> kernels;
+  std::vector<uint8_t> compiled;
+  const size_t conjunct_fallbacks = CompileScanKernels(
+      conjuncts, table->schema(), alias, path, kernels, compiled);
+
+  std::string probe_column;
+  const int probe = ResolveProbe(path, conjuncts, *table, core.from->alias,
+                                 &probe_column);
+
+  // Binding ordinals equal schema ordinals here (single base table), so a
+  // resolved column reference indexes the schema directly. Returns -1 when
+  // the reference does not resolve plainly (absent, ambiguous, or not a
+  // bare column).
+  const auto match_column = [&](const sql::Expr& e) -> int {
+    if (e.kind != sql::ExprKind::kColumnRef) return -1;
+    try {
+      return TryResolveColumn(columns, e.qualifier, e.column);
+    } catch (const AnalysisError&) {
+      return -1;
+    }
+  };
+
+  if (aggregate_mode) {
+    // GROUP BY / HAVING stay on the row path; the star-mixed-with-
+    // aggregation error is also the row path's to raise.
+    if (!core.group_by.empty() || core.having != nullptr) return false;
+    for (const auto& item : core.items) {
+      if (item.expr->kind == sql::ExprKind::kStar) return false;
+    }
+
+    std::vector<const sql::Expr*> agg_exprs;
+    for (const auto& item : core.items) {
+      CollectAggregates(*item.expr, agg_exprs);
+    }
+    if (order_by != nullptr) {
+      for (const auto& item : *order_by) {
+        CollectAggregates(*item.expr, agg_exprs);
+      }
+    }
+
+    // Classify each aggregate argument. Plain column (or ABS(column)) args
+    // over a type the bulk feeds handle become SIMD-friendly reductions;
+    // everything else (DISTINCT, complex args, SUM/AVG over text — which
+    // must throw per-row) feeds through scalar Add() per selected lane.
+    struct AggSpec {
+      enum class Mode : uint8_t { kCountStar, kColumn, kAbsColumn, kScalar };
+      Mode mode = Mode::kScalar;
+      int column = -1;
+      ValueType type = ValueType::kNull;
+    };
+    std::vector<AggSpec> specs(agg_exprs.size());
+    size_t scalar_aggs = 0;
+    for (size_t i = 0; i < agg_exprs.size(); ++i) {
+      const sql::Expr* agg = agg_exprs[i];
+      AggSpec& spec = specs[i];
+      if (agg->agg_star) {
+        if (!agg->agg_distinct) {
+          spec.mode = AggSpec::Mode::kCountStar;
+          continue;
+        }
+        spec.mode = AggSpec::Mode::kScalar;
+        ++scalar_aggs;
+        continue;
+      }
+      const sql::Expr* arg = agg->args.empty() ? nullptr : agg->args[0].get();
+      int column = -1;
+      bool abs_arg = false;
+      if (arg != nullptr) {
+        if (arg->kind == sql::ExprKind::kColumnRef) {
+          column = match_column(*arg);
+        } else if (arg->kind == sql::ExprKind::kFunction &&
+                   arg->function_name == "ABS" && arg->args.size() == 1 &&
+                   arg->args[0]->kind == sql::ExprKind::kColumnRef) {
+          column = match_column(*arg->args[0]);
+          abs_arg = true;
+        }
+      }
+      if (column >= 0 && !agg->agg_distinct) {
+        const ValueType type = table->schema().columns()[column].type;
+        const bool numeric =
+            type == ValueType::kInt64 || type == ValueType::kDouble;
+        const bool text_ok =
+            !abs_arg && type == ValueType::kText &&
+            (agg->agg_func == sql::AggFunc::kMin ||
+             agg->agg_func == sql::AggFunc::kMax ||
+             agg->agg_func == sql::AggFunc::kCount);
+        if (numeric || text_ok) {
+          spec.mode =
+              abs_arg ? AggSpec::Mode::kAbsColumn : AggSpec::Mode::kColumn;
+          spec.column = column;
+          spec.type = type;
+          continue;
+        }
+      }
+      spec.mode = AggSpec::Mode::kScalar;
+      ++scalar_aggs;
+    }
+
+    // Error-order guard: the row path interleaves per-row conjunct
+    // evaluation with per-row aggregate feeds, so when BOTH sides can
+    // throw, batch-wise grouping could surface a different first error.
+    // Decline and let the row-at-a-time fused path run instead.
+    if (conjunct_fallbacks > 0 && scalar_aggs > 0) return false;
+
+    std::vector<Accumulator> accumulators;
+    accumulators.reserve(agg_exprs.size());
+    for (const sql::Expr* agg : agg_exprs) {
+      accumulators.emplace_back(agg->agg_func, agg->agg_distinct);
+    }
+
+    Row representative;
+    bool have_representative = false;
+    std::unordered_map<const sql::Expr*, int> agg_cache;
+    const auto consume = [&](RowBatch& batch) {
+      if (batch.selected == 0) return;
+      if (!have_representative) {
+        representative = *batch.rows[batch.selection[0]];
+        have_representative = true;
+      }
+      if (scalar_aggs > 0) {
+        // Scalar aggregates feed lane-major (aggregates inner, in
+        // collection order) so the first error matches the row path's
+        // per-row feed exactly.
+        for (uint32_t i = 0; i < batch.selected; ++i) {
+          const Row& row = *batch.rows[batch.selection[i]];
+          EvalContext ec{&columns, &row, nullptr, nullptr, &agg_cache};
+          for (size_t a = 0; a < agg_exprs.size(); ++a) {
+            if (specs[a].mode != AggSpec::Mode::kScalar) continue;
+            if (agg_exprs[a]->agg_star) {
+              accumulators[a].Add(Value(int64_t{1}));
+            } else {
+              accumulators[a].Add(Evaluate(*agg_exprs[a]->args[0], ec));
+            }
+          }
+        }
+      }
+      for (size_t a = 0; a < agg_exprs.size(); ++a) {
+        const AggSpec& spec = specs[a];
+        switch (spec.mode) {
+          case AggSpec::Mode::kScalar:
+            break;
+          case AggSpec::Mode::kCountStar:
+            accumulators[a].AddCountedRows(batch.selected);
+            break;
+          case AggSpec::Mode::kColumn:
+          case AggSpec::Mode::kAbsColumn: {
+            // Gather the selected non-NULL lanes into a dense span
+            // (SQL aggregates skip NULL inputs) and bulk-feed it.
+            if (spec.type == ValueType::kInt64) {
+              auto& dense = gather_.ints;
+              dense.clear();
+              for (uint32_t i = 0; i < batch.selected; ++i) {
+                const Value& v =
+                    (*batch.rows[batch.selection[i]])[spec.column];
+                if (!v.is_null()) dense.push_back(v.int_unchecked());
+              }
+              if (spec.mode == AggSpec::Mode::kAbsColumn) {
+                for (int64_t& x : dense) x = std::abs(x);
+              }
+              accumulators[a].AddInt64Span(dense.data(), dense.size());
+            } else if (spec.type == ValueType::kDouble) {
+              auto& dense = gather_.doubles;
+              dense.clear();
+              for (uint32_t i = 0; i < batch.selected; ++i) {
+                const Value& v =
+                    (*batch.rows[batch.selection[i]])[spec.column];
+                if (!v.is_null()) dense.push_back(v.double_unchecked());
+              }
+              if (spec.mode == AggSpec::Mode::kAbsColumn) {
+                for (double& x : dense) x = std::fabs(x);
+              }
+              accumulators[a].AddDoubleSpan(dense.data(), dense.size());
+            } else {
+              auto& dense = gather_.texts;
+              dense.clear();
+              for (uint32_t i = 0; i < batch.selected; ++i) {
+                const Value& v =
+                    (*batch.rows[batch.selection[i]])[spec.column];
+                if (!v.is_null()) dense.push_back(&v.text_unchecked());
+              }
+              accumulators[a].AddTextSpan(dense.data(), dense.size());
+            }
+            break;
+          }
+        }
+      }
+    };
+    ScanBatched(*table, columns, conjuncts, kernels, compiled, probe,
+                probe_column, consume);
+    if (!have_representative) representative = Row(columns.size());
+
+    // Projection tail — identical to AggregateCore's single-group tail
+    // (ORDER BY machinery built after the scan, as there).
+    Relation result;
+    result.columns.reserve(core.items.size());
+    for (size_t i = 0; i < core.items.size(); ++i) {
+      result.columns.push_back({"", OutputName(core.items[i], i)});
+    }
+    std::vector<sql::ExprPtr> order_exprs;
+    std::vector<ColumnBinding> order_bindings;
+    if (order_by != nullptr) {
+      for (const auto& item : *order_by) {
+        order_exprs.push_back(
+            RewriteOrderExpr(*item.expr, result.columns, columns));
+      }
+      order_bindings =
+          CombinedOrderBindings(result.columns.size(), columns.size());
+    }
+    std::vector<Value> agg_values;
+    agg_values.reserve(accumulators.size());
+    for (const Accumulator& acc : accumulators) {
+      agg_values.push_back(acc.Result());
+    }
+    std::unordered_map<const sql::Expr*, int> project_cache;
+    std::unordered_map<const sql::Expr*, int> order_cache;
+    EvalContext ec{&columns, &representative, &agg_exprs, &agg_values,
+                   &project_cache};
+    Row projected;
+    projected.reserve(core.items.size());
+    for (const auto& item : core.items) {
+      projected.push_back(Evaluate(*item.expr, ec));
+    }
+    if (order_by != nullptr) {
+      Row combined = ConcatRows(projected, representative);
+      EvalContext oc{&order_bindings, &combined, &agg_exprs, &agg_values,
+                     &order_cache};
+      Row key;
+      key.reserve(order_exprs.size());
+      for (const auto& expr : order_exprs) {
+        key.push_back(Evaluate(*expr, oc));
+      }
+      sort_keys->push_back(std::move(key));
+    }
+    result.rows.push_back(std::move(projected));
+    *out = std::move(result);
+    ++counters_.fused_cores;  // a vectorized core IS a fused core
+    ++counters_.vectorized_cores;
+    counters_.scalar_fallbacks += conjunct_fallbacks + scalar_aggs;
+    return true;
+  }
+
+  // Non-aggregate mode. ORDER BY needs a combined (projected + input) key
+  // row per output row — leave that interleaving to the row path.
+  if (order_by != nullptr) return false;
+
+  // Projection slots exactly as in ProjectCore (star expansion and its
+  // error happen before the scan on both paths).
+  struct ProjectionSlot {
+    const sql::Expr* expr = nullptr;  // null => direct input column copy
+    int input_index = -1;
+  };
+  std::vector<ProjectionSlot> slots;
+  Relation result;
+  size_t expr_slots = 0;
+  for (size_t i = 0; i < core.items.size(); ++i) {
+    const sql::SelectItem& item = core.items[i];
+    if (item.expr->kind == sql::ExprKind::kStar) {
+      const std::string qualifier = FoldIdentifier(item.expr->qualifier);
+      bool any = false;
+      for (size_t c = 0; c < columns.size(); ++c) {
+        if (!qualifier.empty() && columns[c].qualifier != qualifier) {
+          continue;
+        }
+        slots.push_back({nullptr, static_cast<int>(c)});
+        result.columns.push_back({"", columns[c].name});
+        any = true;
+      }
+      if (!any && !qualifier.empty()) {
+        throw AnalysisError("no table '" + item.expr->qualifier +
+                            "' to expand in SELECT " + item.expr->qualifier +
+                            ".*");
+      }
+      continue;
+    }
+    slots.push_back({item.expr.get(), -1});
+    result.columns.push_back({"", OutputName(item, i)});
+    ++expr_slots;
+  }
+
+  // Same error-order guard as aggregate mode: expression slots can throw
+  // per row, so they must not follow batch-wise scalar conjuncts.
+  if (conjunct_fallbacks > 0 && expr_slots > 0) return false;
+
+  std::unordered_map<const sql::Expr*, int> project_cache;
+  const auto consume = [&](RowBatch& batch) {
+    for (uint32_t i = 0; i < batch.selected; ++i) {
+      const Row& row = *batch.rows[batch.selection[i]];
+      Row projected;
+      projected.reserve(slots.size());
+      EvalContext ec{&columns, &row, nullptr, nullptr, &project_cache};
+      for (const ProjectionSlot& slot : slots) {
+        if (slot.expr == nullptr) {
+          projected.push_back(row[slot.input_index]);
+        } else {
+          projected.push_back(Evaluate(*slot.expr, ec));
+        }
+      }
+      GovCharge(RowFootprintBytes(projected));
+      result.rows.push_back(std::move(projected));
+    }
+  };
+  ScanBatched(*table, columns, conjuncts, kernels, compiled, probe,
+              probe_column, consume);
+  *out = std::move(result);
+  ++counters_.fused_cores;  // a vectorized core IS a fused core
+  ++counters_.vectorized_cores;
+  counters_.scalar_fallbacks += conjunct_fallbacks;
+  return true;
+}
+
 bool Executor::TryFusedCore(const sql::SelectCore& core, ExecContext& ctx,
                             bool aggregate_mode,
                             const std::vector<sql::OrderItem>* order_by,
@@ -1326,8 +1845,14 @@ Relation Executor::EvalCore(const sql::SelectCore& core, ExecContext& ctx,
   Relation out;
   bool fused = false;
   if (db_.fused_enabled()) {
-    fused = TryFusedCore(core, ctx, aggregate_mode, order_by, sort_keys, path,
-                         &out);
+    if (db_.vectorized_enabled()) {
+      fused = TryVectorizedCore(core, ctx, aggregate_mode, order_by, sort_keys,
+                                path, &out);
+    }
+    if (!fused) {
+      fused = TryFusedCore(core, ctx, aggregate_mode, order_by, sort_keys,
+                           path, &out);
+    }
   }
   if (!fused) {
     out = EvalCoreReference(core, ctx, aggregate_mode, order_by, sort_keys);
@@ -2018,6 +2543,18 @@ ResultSet Executor::ExecuteWithPlan(const sql::Statement& stmt,
   if (counters_.fused_cores != 0) {
     SQLOOP_COUNT(recorder_, "minidb.fused_cores", counters_.fused_cores);
   }
+  if (counters_.batches_produced != 0) {
+    SQLOOP_COUNT(recorder_, "minidb.batches_produced",
+                 counters_.batches_produced);
+  }
+  if (counters_.vectorized_cores != 0) {
+    SQLOOP_COUNT(recorder_, "minidb.vectorized_cores",
+                 counters_.vectorized_cores);
+  }
+  if (counters_.scalar_fallbacks != 0) {
+    SQLOOP_COUNT(recorder_, "minidb.scalar_fallbacks",
+                 counters_.scalar_fallbacks);
+  }
   return result;
 }
 
@@ -2077,12 +2614,26 @@ CoreAccessPath Executor::AnalyzeCore(
   if (!table) return path;
   path.single_base = true;
   path.table = name;
+  std::vector<const sql::Expr*> conjuncts;
   if (core.where) {
-    std::vector<const sql::Expr*> conjuncts;
     SplitConjuncts(*core.where, conjuncts);
     path.probe_conjunct = ChooseProbe(conjuncts, *table, core.from->alias,
                                       /*allow_parameters=*/true,
                                       &path.probe_column);
+  }
+  // Batched access-path hints: 1 = compiles into a total kernel under the
+  // bind-time schema, 2 = parameter-dependent (retry against the bound
+  // AST at execution), 0 = known uncompilable (skip the attempt).
+  path.batch_analyzed = true;
+  path.kernel_conjuncts.reserve(conjuncts.size());
+  const std::string alias = FoldIdentifier(core.from->alias);
+  PredicateKernel kernel;
+  for (const sql::Expr* conjunct : conjuncts) {
+    if (CompilePredicateKernel(*conjunct, table->schema(), alias, &kernel)) {
+      path.kernel_conjuncts.push_back(1);
+    } else {
+      path.kernel_conjuncts.push_back(ContainsParameter(*conjunct) ? 2 : 0);
+    }
   }
   return path;
 }

@@ -18,6 +18,7 @@
 
 #include "common/cancel.h"
 #include "common/function_ref.h"
+#include "minidb/batch.h"
 #include "minidb/database.h"
 #include "minidb/evaluator.h"
 #include "telemetry/recorder.h"
@@ -100,6 +101,10 @@ class Executor {
     size_t full_scans = 0;         // scans that visited every live row
     size_t pushed_predicates = 0;  // WHERE conjuncts evaluated during scans
     size_t fused_cores = 0;        // SELECT cores run on the fused path
+    size_t batches_produced = 0;   // RowBatches emitted by batched scans
+    size_t vectorized_cores = 0;   // SELECT cores run on the batch plane
+    size_t scalar_fallbacks = 0;   // conjuncts/aggregates/projection slots
+                                   // evaluated per-lane instead of kernelized
   };
   const EngineCounters& last_engine_counters() const noexcept {
     return counters_;
@@ -216,6 +221,30 @@ class Executor {
                     const std::vector<sql::OrderItem>* order_by,
                     std::vector<Row>* sort_keys, const CoreAccessPath* path,
                     Relation* out);
+  /// Vectorized counterpart to TryFusedCore for single-base-table cores:
+  /// batched scans, compiled predicate kernels that shrink the selection
+  /// vector, and typed aggregate reductions (see minidb/batch.h). Returns
+  /// false (leaving `out` untouched) for shapes it does not cover, or when
+  /// mixing batch-wise kernels with throw-capable per-lane work could
+  /// surface a different first error than the row path — the caller falls
+  /// through to the row-at-a-time fused path.
+  bool TryVectorizedCore(const sql::SelectCore& core, ExecContext& ctx,
+                         bool aggregate_mode,
+                         const std::vector<sql::OrderItem>* order_by,
+                         std::vector<Row>* sort_keys,
+                         const CoreAccessPath* path, Relation* out);
+  /// Batched counterpart to ScanPush: identical visiting order, counters,
+  /// rows_examined accounting, and governance cadence (GovTickRows per
+  /// batch), pushing filtered RowBatches into `sink`. `kernels[i]` applies
+  /// when `compiled[i]` is set; other conjuncts are evaluated per lane,
+  /// row-major, over every visited lane — reproducing the row path's
+  /// evaluation count and first error exactly.
+  void ScanBatched(const Table& table,
+                   const std::vector<ColumnBinding>& columns,
+                   const std::vector<const sql::Expr*>& pushed,
+                   const std::vector<PredicateKernel>& kernels,
+                   const std::vector<uint8_t>& compiled, int probe_conjunct,
+                   const std::string& probe_column, const BatchSink& sink);
   Relation EvalTableRef(const sql::TableRef& ref, ExecContext& ctx);
   Relation EvalJoin(const sql::TableRef& join, ExecContext& ctx);
   /// Evaluates one join input. When `pending` is non-null, WHERE conjuncts
@@ -288,6 +317,13 @@ class Executor {
   void GovTick() {
     if (--gov_countdown_ <= 0) GovSync();
   }
+  /// Batched form of GovTick: one countdown update covers `rows` rows, so
+  /// the governor still syncs every `cancel_check_rows` rows — i.e. every
+  /// ⌈cancel_check_rows / batch_size⌉ batches on the vectorized path.
+  void GovTickRows(int64_t rows) {
+    gov_countdown_ -= rows;
+    if (gov_countdown_ <= 0) GovSync();
+  }
   void GovCharge(int64_t bytes) {
     pending_bytes_ += bytes;
     if (pending_bytes_ >= kChargeFlushBytes) GovFlush();
@@ -328,6 +364,12 @@ class Executor {
   // Scratch buffer for index probes, reused across probes and statements
   // so the steady-state fused path allocates nothing per probe.
   std::vector<size_t> probe_ids_;
+  // Batch-pipeline scratch (lanes, aggregate-feed buffers, per-lane
+  // fallback bytemap), reused across batches and statements so the
+  // steady-state vectorized path allocates nothing per batch.
+  RowBatch batch_;
+  ColumnVector gather_;
+  std::vector<uint8_t> lane_pass_;
   telemetry::Recorder* recorder_ = nullptr;
   // Governor state (see the public resource-governance section).
   const CancelToken* cancel_ = nullptr;

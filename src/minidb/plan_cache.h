@@ -57,6 +57,17 @@ struct CoreAccessPath {
   int probe_conjunct = -1;    // conjunct ordinal usable as index probe; -1 =
                               // full scan
   std::string probe_column;   // folded column the probe narrows on
+
+  // --- batched access-path hints (vectorized pipeline) -------------------
+  // Bind-time kernel analysis for the batch data plane: kernel_conjuncts[i]
+  // records whether WHERE conjunct ordinal i compiled into a total
+  // predicate kernel against the schema seen at bind time (see
+  // minidb/batch.h). Hints only: the executor re-compiles flagged conjuncts
+  // against the live catalog and treats any mismatch (DDL changed the
+  // schema, conjunct list diverged) as "analyze fresh" — a stale hint can
+  // cost a scalar fallback, never a wrong result.
+  bool batch_analyzed = false;
+  std::vector<uint8_t> kernel_conjuncts;
 };
 
 /// Access paths for every top-level SELECT core of a statement, each vector

@@ -177,6 +177,33 @@ std::vector<size_t> Table::IndexLookup(const std::string& column_name,
   return out;
 }
 
+size_t Table::FillBatch(size_t* cursor, const Row** out,
+                        size_t capacity) const {
+  size_t slot = *cursor;
+  const size_t end = rows_.size();
+  if (live_rows_ == end) {
+    // No tombstones: every slot is live, so the batch is a straight run
+    // of row addresses (the common case for append-only state tables).
+    const size_t filled = std::min(capacity, end - slot);
+    for (size_t i = 0; i < filled; ++i) out[i] = &rows_[slot + i];
+    *cursor = slot + filled;
+    return filled;
+  }
+  size_t filled = 0;
+  while (slot < end && filled < capacity) {
+    if (live_[slot]) out[filled++] = &rows_[slot];
+    ++slot;
+  }
+  *cursor = slot;
+  return filled;
+}
+
+size_t Table::FillBatchFromIds(const size_t* ids, size_t count,
+                               const Row** out) const {
+  for (size_t i = 0; i < count; ++i) out[i] = &rows_[ids[i]];
+  return count;
+}
+
 std::vector<Row> Table::SnapshotRows() const {
   std::vector<Row> out;
   out.reserve(live_rows_);

@@ -83,6 +83,19 @@ class Table {
   std::vector<size_t> IndexLookup(const std::string& column_name,
                                   const Value& key) const;
 
+  // --- batch extraction (vectorized scan path; see minidb/batch.h) ------
+
+  /// Fills `out` with up to `capacity` live row views starting at slot
+  /// `*cursor` (skipping tombstones) and advances the cursor past the
+  /// visited slots. Returns the lane count; 0 means the scan is exhausted.
+  /// Views follow the borrowed-relation lifetime rules.
+  size_t FillBatch(size_t* cursor, const Row** out, size_t capacity) const;
+
+  /// Fills `out` with the row views for `ids[0..count)` (an IndexProbe
+  /// result slice, already in scan order). Returns `count`.
+  size_t FillBatchFromIds(const size_t* ids, size_t count,
+                          const Row** out) const;
+
   /// Snapshot of all live rows (used for transaction rollback backups).
   std::vector<Row> SnapshotRows() const;
 

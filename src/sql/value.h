@@ -49,6 +49,19 @@ class Value {
   double as_double() const { return std::get<double>(data_); }
   const std::string& as_text() const { return std::get<std::string>(data_); }
 
+  // Unchecked variants for kernel loops where the caller has already
+  // established the stored alternative (schema-typed non-NULL cells):
+  // same reads without std::get's throw-check.
+  int64_t int_unchecked() const noexcept {
+    return *std::get_if<int64_t>(&data_);
+  }
+  double double_unchecked() const noexcept {
+    return *std::get_if<double>(&data_);
+  }
+  const std::string& text_unchecked() const noexcept {
+    return *std::get_if<std::string>(&data_);
+  }
+
   /// Numeric view: ints widen to double. Throws std::bad_variant_access on
   /// text/null — callers check is_numeric() first.
   double NumericAsDouble() const {

@@ -236,11 +236,20 @@ TEST_P(FusedDifferential, RandomStatementsMatchReferencePipeline) {
   StatementGen gen(0x5ca1ab1e);
   for (int i = 0; i < 200; ++i) {
     const std::string sql = gen.Next();
+    // Three-way: vectorized (batched), fused row-at-a-time, reference
+    // materializing — all must agree bit for bit, including whether the
+    // statement threw.
     db.set_fused_enabled(true);
+    db.set_vectorized_enabled(true);
+    const Outcome vectorized = RunOnce(exec, sql);
+    db.set_vectorized_enabled(false);
     const Outcome fused = RunOnce(exec, sql);
     db.set_fused_enabled(false);
     const Outcome reference = RunOnce(exec, sql);
     db.set_fused_enabled(true);
+    db.set_vectorized_enabled(true);
+    ASSERT_EQ(vectorized.threw, reference.threw) << sql;
+    ASSERT_EQ(vectorized.rows, reference.rows) << sql;
     ASSERT_EQ(fused.threw, reference.threw) << sql;
     ASSERT_EQ(fused.rows, reference.rows) << sql;
   }

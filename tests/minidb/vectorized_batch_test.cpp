@@ -1,0 +1,287 @@
+// Batch-specific edge cases for the vectorized data plane: NULL-heavy
+// columns, selection vectors emptying mid-pipeline, batches straddling the
+// table tail (row counts around RowBatch::kCapacity), scalar-fallback
+// accounting, and a three-way (vectorized / fused / reference) toggle race.
+// The seeded differential generator lives in fused_differential_test.cpp;
+// this file targets the boundaries that generator is unlikely to hit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "minidb/batch.h"
+#include "tests/minidb/test_util.h"
+
+namespace sqloop::minidb {
+namespace {
+
+/// Order-preserving %.17g dump — bit-faithful, like the differential suite.
+std::string Dump(const ResultSet& result) {
+  std::string out;
+  for (const Row& row : result.rows) {
+    for (const Value& value : row) out += value.ToString() + "|";
+    out += "\n";
+  }
+  return out;
+}
+
+struct Outcome {
+  bool threw = false;
+  std::string error;
+  std::string rows;
+};
+
+class VectorizedBatchTest : public testing::DbFixture {
+ protected:
+  Outcome RunConfig(const std::string& sql, int config) {
+    // 0 = vectorized, 1 = fused row-at-a-time, 2 = reference.
+    db_.set_fused_enabled(config != 2);
+    db_.set_vectorized_enabled(config == 0);
+    Outcome outcome;
+    try {
+      outcome.rows = Dump(Run(sql));
+    } catch (const Error& e) {
+      outcome.threw = true;
+      outcome.error = e.what();
+    }
+    db_.set_fused_enabled(true);
+    db_.set_vectorized_enabled(true);
+    return outcome;
+  }
+
+  /// Asserts the statement behaves bit-identically (rows, row order, and
+  /// error text) across all three engine configurations.
+  void ExpectThreeWayIdentical(const std::string& sql) {
+    const Outcome vectorized = RunConfig(sql, 0);
+    const Outcome fused = RunConfig(sql, 1);
+    const Outcome reference = RunConfig(sql, 2);
+    ASSERT_EQ(vectorized.threw, reference.threw) << sql;
+    EXPECT_EQ(vectorized.error, reference.error) << sql;
+    EXPECT_EQ(vectorized.rows, reference.rows) << sql;
+    ASSERT_EQ(fused.threw, reference.threw) << sql;
+    EXPECT_EQ(fused.rows, reference.rows) << sql;
+  }
+};
+
+// --- batches straddling the table tail ---------------------------------
+
+TEST_F(VectorizedBatchTest, TailBatchSizesProduceIdenticalResults) {
+  // Row counts chosen around the batch capacity: a final short batch, an
+  // exactly-full batch, capacity+1, and a multi-batch table.
+  const std::vector<int> sizes = {1,
+                                  static_cast<int>(RowBatch::kCapacity) - 1,
+                                  static_cast<int>(RowBatch::kCapacity),
+                                  static_cast<int>(RowBatch::kCapacity) + 1,
+                                  2500};
+  for (size_t t = 0; t < sizes.size(); ++t) {
+    const std::string table = "tail" + std::to_string(t);
+    Run("CREATE TABLE " + table +
+        " (id BIGINT PRIMARY KEY, rank DOUBLE PRECISION, delta BIGINT)");
+    for (int i = 0; i < sizes[t]; ++i) {
+      Run("INSERT INTO " + table + " VALUES (" + std::to_string(i) + ", " +
+          std::to_string(i) + ".25, " + std::to_string(i % 7) + ")");
+    }
+    ExpectThreeWayIdentical("SELECT COUNT(*), SUM(rank), MIN(id), MAX(id) "
+                            "FROM " + table + " WHERE delta = 3");
+    ExpectThreeWayIdentical("SELECT id, rank FROM " + table +
+                            " WHERE delta < 2");
+  }
+}
+
+TEST_F(VectorizedBatchTest, BatchCountMatchesCeilOfRowsOverCapacity) {
+  Run("CREATE TABLE b (id BIGINT, v BIGINT)");
+  const int rows = static_cast<int>(RowBatch::kCapacity) + 1;
+  for (int i = 0; i < rows; ++i) {
+    Run("INSERT INTO b VALUES (" + std::to_string(i) + ", 1)");
+  }
+  const auto result = Run("SELECT COUNT(*) FROM b WHERE v = 1");
+  EXPECT_EQ(result.rows[0][0].as_int(), rows);
+  const auto& counters = exec_.last_engine_counters();
+  EXPECT_EQ(counters.batches_produced, 2u);  // 1024 + 1
+  EXPECT_EQ(counters.vectorized_cores, 1u);
+  EXPECT_EQ(counters.fused_cores, 1u);  // a vectorized core IS a fused core
+  EXPECT_EQ(counters.scalar_fallbacks, 0u);
+}
+
+// --- NULL-heavy columns -------------------------------------------------
+
+TEST_F(VectorizedBatchTest, NullHeavyColumnsMatchAcrossPipelines) {
+  Run("CREATE TABLE n (id BIGINT, rank DOUBLE PRECISION, delta BIGINT, "
+      "tag TEXT)");
+  for (int i = 0; i < 1500; ++i) {
+    // ~80% NULLs in every non-id column, including full-NULL stretches
+    // longer than a batch.
+    const bool null_stretch = i >= 200 && i < 1300;
+    const std::string rank =
+        null_stretch || i % 5 != 0 ? "NULL" : std::to_string(i) + ".5";
+    const std::string delta =
+        null_stretch || i % 4 != 0 ? "NULL" : std::to_string(i % 3);
+    const std::string tag =
+        null_stretch || i % 7 != 0 ? "NULL" : "'t" + std::to_string(i % 2) + "'";
+    Run("INSERT INTO n VALUES (" + std::to_string(i) + ", " + rank + ", " +
+        delta + ", " + tag + ")");
+  }
+  ExpectThreeWayIdentical(
+      "SELECT COUNT(*), COUNT(rank), SUM(rank), AVG(rank), MIN(delta), "
+      "MAX(delta), MIN(tag), MAX(tag) FROM n");
+  ExpectThreeWayIdentical("SELECT COUNT(*) FROM n WHERE rank IS NULL");
+  ExpectThreeWayIdentical("SELECT id FROM n WHERE delta IS NOT NULL");
+  ExpectThreeWayIdentical("SELECT COUNT(*) FROM n WHERE delta = 1");
+  ExpectThreeWayIdentical("SELECT COUNT(*) FROM n WHERE tag = 't1'");
+  // An all-NULL aggregate input: SUM/AVG/MIN/MAX give NULL, COUNT gives 0.
+  ExpectThreeWayIdentical(
+      "SELECT SUM(rank), AVG(rank), MIN(rank), COUNT(rank) FROM n "
+      "WHERE id >= 200 AND id < 1300");
+}
+
+// --- selection vectors emptying mid-pipeline ---------------------------
+
+TEST_F(VectorizedBatchTest, SelectionEmptyingMidPipelineMatches) {
+  Run("CREATE TABLE s (id BIGINT, rank DOUBLE PRECISION, delta BIGINT, "
+      "tag TEXT)");
+  for (int i = 0; i < 1200; ++i) {
+    Run("INSERT INTO s VALUES (" + std::to_string(i) + ", " +
+        std::to_string(i) + ".5, " + std::to_string(i % 9) + ", 't')");
+  }
+  // `delta = NULL` is a never-match kernel: the selection empties on the
+  // first kernel and the remaining conjuncts must not change the result.
+  ExpectThreeWayIdentical(
+      "SELECT COUNT(*), SUM(rank) FROM s WHERE delta = NULL AND id > 10");
+  ExpectThreeWayIdentical(
+      "SELECT id FROM s WHERE delta = NULL AND rank > 100.0");
+  // A conjunct that empties the selection must NOT suppress the per-row
+  // error of a scalar-fallback conjunct: classic AND evaluates every
+  // conjunct for every visited row, so `rank > tag` (numeric vs text)
+  // throws on all three pipelines even though `delta = NULL` matches
+  // nothing.
+  ExpectThreeWayIdentical(
+      "SELECT COUNT(*) FROM s WHERE delta = NULL AND rank > tag");
+  // Same interleaving hazard with a throwing projection downstream of a
+  // fallback conjunct (the vectorized path declines; results must agree).
+  ExpectThreeWayIdentical(
+      "SELECT rank + tag FROM s WHERE delta + 1 = 4");
+}
+
+// --- aggregate argument shapes -----------------------------------------
+
+TEST_F(VectorizedBatchTest, AggregateArgumentShapesMatch) {
+  Run("CREATE TABLE a (id BIGINT, rank DOUBLE PRECISION, delta BIGINT, "
+      "tag TEXT)");
+  for (int i = 0; i < 1100; ++i) {
+    const std::string delta =
+        i % 13 == 0 ? "NULL" : std::to_string((i % 2 == 0 ? -1 : 1) * i);
+    Run("INSERT INTO a VALUES (" + std::to_string(i) + ", -" +
+        std::to_string(i) + ".25, " + delta + ", 'x" +
+        std::to_string(i % 3) + "')");
+  }
+  // ABS(column) — the termination-probe shape `SUM(ABS(Delta))`.
+  ExpectThreeWayIdentical(
+      "SELECT SUM(ABS(delta)), SUM(ABS(rank)), MAX(ABS(rank)) FROM a");
+  // DISTINCT stays on the scalar accumulator path.
+  ExpectThreeWayIdentical(
+      "SELECT COUNT(DISTINCT tag), COUNT(DISTINCT delta) FROM a");
+  // Complex arguments feed per lane.
+  ExpectThreeWayIdentical("SELECT SUM(rank * 2.0 + id) FROM a");
+  // SUM over a text column must throw identically on every pipeline.
+  ExpectThreeWayIdentical("SELECT SUM(tag) FROM a");
+  // MIN/MAX over text are typed reductions.
+  ExpectThreeWayIdentical("SELECT MIN(tag), MAX(tag), COUNT(tag) FROM a");
+}
+
+// --- fallback accounting and the toggle --------------------------------
+
+TEST_F(VectorizedBatchTest, ScalarFallbackCountedAndCorrect) {
+  Run("CREATE TABLE f (id BIGINT, v BIGINT)");
+  for (int i = 0; i < 100; ++i) {
+    Run("INSERT INTO f VALUES (" + std::to_string(i) + ", " +
+        std::to_string(i % 5) + ")");
+  }
+  // `id + 0 = 4` is not a kernel shape — it falls back to per-lane scalar
+  // evaluation but the core still runs batched.
+  const auto result = Run("SELECT COUNT(*) FROM f WHERE id + 0 = 4");
+  EXPECT_EQ(result.rows[0][0].as_int(), 1);
+  const auto& counters = exec_.last_engine_counters();
+  EXPECT_EQ(counters.vectorized_cores, 1u);
+  EXPECT_GE(counters.scalar_fallbacks, 1u);
+}
+
+TEST_F(VectorizedBatchTest, ToggleDisablesBatchingButNotFusion) {
+  Run("CREATE TABLE t (id BIGINT, v BIGINT)");
+  for (int i = 0; i < 100; ++i) {
+    Run("INSERT INTO t VALUES (" + std::to_string(i) + ", 1)");
+  }
+  db_.set_vectorized_enabled(false);
+  const auto result = Run("SELECT COUNT(*) FROM t WHERE v = 1");
+  db_.set_vectorized_enabled(true);
+  EXPECT_EQ(result.rows[0][0].as_int(), 100);
+  const auto& counters = exec_.last_engine_counters();
+  EXPECT_EQ(counters.vectorized_cores, 0u);
+  EXPECT_EQ(counters.batches_produced, 0u);
+  EXPECT_EQ(counters.fused_cores, 1u);  // row-at-a-time fusion still on
+}
+
+// --- three-way toggle race ---------------------------------------------
+
+// Readers scan through whichever pipeline the togglers currently expose
+// while a writer mutates rank in place; every answer must be correct
+// regardless of which (vectorized / fused / reference) path served it.
+// Runs under the tsan preset via the engine label.
+TEST_F(VectorizedBatchTest, ThreeWayToggleRaceKeepsAnswersCorrect) {
+  Run("CREATE TABLE race (id BIGINT PRIMARY KEY, rank DOUBLE PRECISION, "
+      "delta BIGINT)");
+  for (int i = 0; i < 1500; ++i) {
+    Run("INSERT INTO race VALUES (" + std::to_string(i) + ", 1.0, " +
+        std::to_string(i % 100 == 0 ? 1 : 0) + ")");
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> updates{0};
+  {
+    std::jthread writer([this, &stop, &updates] {
+      Executor w(db_);
+      int i = 0;
+      while (!stop.load()) {
+        w.ExecuteSql("UPDATE race SET rank = rank + 0.5 WHERE id = " +
+                     std::to_string(i++ % 1500));
+        updates.fetch_add(1);
+      }
+    });
+    std::jthread fused_toggler([this, &stop] {
+      while (!stop.load()) {
+        db_.set_fused_enabled(false);
+        db_.set_fused_enabled(true);
+      }
+    });
+    std::jthread vectorized_toggler([this, &stop] {
+      while (!stop.load()) {
+        db_.set_vectorized_enabled(false);
+        db_.set_vectorized_enabled(true);
+      }
+    });
+    {
+      std::vector<std::jthread> readers;
+      for (int t = 0; t < 3; ++t) {
+        readers.emplace_back([this] {
+          Executor reader(db_);
+          for (int i = 0; i < 80; ++i) {
+            const auto result = reader.ExecuteSql(
+                "SELECT COUNT(*), SUM(rank) FROM race WHERE delta = 1");
+            // The writer only touches rank; the delta population is fixed.
+            EXPECT_EQ(result.rows[0][0].as_int(), 15);
+          }
+        });
+      }
+    }
+    stop.store(true);
+  }
+  db_.set_fused_enabled(true);
+  db_.set_vectorized_enabled(true);
+  const auto total = Run("SELECT SUM(rank) FROM race");
+  EXPECT_DOUBLE_EQ(total.rows[0][0].NumericAsDouble(),
+                   1500.0 + 0.5 * updates.load());
+}
+
+}  // namespace
+}  // namespace sqloop::minidb

@@ -264,6 +264,56 @@ TEST(GovernanceTest, CancelPreemptsAStatementInFlight) {
   EXPECT_GT(next.Wait().rows[0][0].as_int(), 0);
 }
 
+TEST(GovernanceTest, CancelLatencyStaysUnderOneRoundOnBatchedPath) {
+  // The vectorized pipeline ticks the governor once per RowBatch
+  // (GovTickRows), so a cancel_check_rows budget is consumed in
+  // batch-sized strides: the token is consulted every
+  // ⌈cancel_check_rows / batch_size⌉ batches, never deferred to a round
+  // border. This pins that latency contract on the batched data plane —
+  // the default plane — under an explicit check budget far below the
+  // statement's row volume.
+  const graph::Graph g = graph::MakeWebGraph(200, 3, 7);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+
+  JobServer server(ServiceConfig(fixture));
+  Session session = server.OpenSession("tenant");
+
+  // A quick statement first proves this tenant's scans really run on the
+  // batched plane (the long join below dies cancelled, so its own
+  // telemetry never flushes).
+  session
+      .Submit("SELECT COUNT(*) FROM edges WHERE src >= 0",
+              SingleThreadOptions())
+      .Wait();
+  EXPECT_GE(TenantCounter(server, "tenant", "minidb.batches_produced"), 1u);
+  EXPECT_GE(TenantCounter(server, "tenant", "minidb.vectorized_cores"), 1u);
+
+  core::SqloopOptions options = SingleThreadOptions();
+  options.memory_limit_bytes = 256LL * 1024 * 1024;
+  // Four batches' worth of rows between governor syncs — a tighter budget
+  // than the default, honored at batch granularity.
+  options.cancel_check_rows = 4096;
+  JobHandle job = session.Submit(kCrossJoin3, options);
+  WaitForState(job, JobState::kRunning);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  const auto cancelled_at = std::chrono::steady_clock::now();
+  job.Cancel();
+  EXPECT_THROW(job.Wait(), JobCancelledError);
+  const auto latency = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - cancelled_at)
+                           .count();
+  EXPECT_EQ(job.Status(), JobState::kCancelled);
+  // One "round" here is the whole cross join — seconds of engine work.
+  // The batch-granular governor must come back orders of magnitude
+  // sooner.
+  EXPECT_LT(latency, 2000) << "batched path deferred the cancel";
+  EXPECT_GE(TenantCounter(server, "tenant",
+                          "governance.mid_statement_cancels"),
+            1u);
+}
+
 TEST(GovernanceTest, RetrierNeverRetriesCancellationOrQuota) {
   CoreFixtureBase fixture("postgres");
   auto conn = dbc::DriverManager::GetConnection(fixture.Url());
