@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: configure + build the three presets, run the full test
-# suite once on the default build (plus the perf smoke label and the
-# scan / service / governance benchmarks writing their BENCH_*.json
-# baselines), and re-run the concurrency-sensitive suites (fault
-# injection + checkpoint recovery + fused/reference differential +
-# multi-tenant isolation + resource governance) under ASan/UBSan and
-# TSan.
+# suite once on the default build (plus the perf smoke label, the
+# durability acceptance label, and the scan / service / governance /
+# integrity benchmarks writing their BENCH_*.json baselines), and re-run
+# the concurrency-sensitive suites (fault injection + checkpoint recovery
+# + fused/reference differential + multi-tenant isolation + resource
+# governance + durability hardening) under ASan/UBSan and TSan.
 #
 #   ./ci.sh            # everything
 #   ./ci.sh default    # one preset only (default | asan-ubsan | tsan)
@@ -41,6 +41,21 @@ check_scan_floors() {
     || { echo "FAIL: fused selective-scan speedup ${fus_meas} fell below floor ${fus_floor}"; return 1; }
 }
 
+# Integrity regression gate: checksum maintenance must stay under 5%
+# overhead on the fig4 loop in every mode, and no arm may perturb the
+# fixpoint (micro_integrity exits nonzero on its own, but the gate reads
+# the JSON so a stale baseline can never pass silently).
+check_integrity_overhead() {
+  local fresh="$1"
+  local overhead
+  overhead="$(json_number overhead_pct "${fresh}")"
+  echo "    checksum-maintenance overhead: ${overhead}% (bar <5%)"
+  grep -q '"pass": true' "${fresh}" \
+    || { echo "FAIL: ${fresh} did not record pass=true"; return 1; }
+  awk -v o="${overhead}" 'BEGIN { exit (o+0 < 5.0) ? 0 : 1 }' \
+    || { echo "FAIL: checksum overhead ${overhead}% breached the 5% bar"; return 1; }
+}
+
 run_preset() {
   local preset="$1"
   echo "==> [${preset}] configure + build"
@@ -62,9 +77,15 @@ run_preset() {
       ./build/bench/micro_service --json BENCH_service.json
       echo "==> [${preset}] resource-governance benchmark"
       ./build/bench/micro_governance --json BENCH_governance.json
+      echo "==> [${preset}] durability acceptance suite"
+      ctest --preset default -L durability
+      echo "==> [${preset}] integrity-overhead benchmark"
+      ./build/bench/micro_integrity --json BENCH_integrity.json
+      echo "==> [${preset}] integrity overhead gate"
+      check_integrity_overhead BENCH_integrity.json
       ;;
     *)
-      echo "==> [${preset}] resilience|recovery|engine|service|governance suites"
+      echo "==> [${preset}] resilience|recovery|engine|gains|service|governance|durability suites"
       ctest --preset "${preset}"
       ;;
   esac

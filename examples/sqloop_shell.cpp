@@ -37,6 +37,10 @@
 //                               resume=on continues from its newest valid
 //                               checkpoint, bit-identically.
 //   \tables                     list tables in the database
+//   \scrub                      CHECK TABLE over every table: verify each
+//                               table's maintained content checksum
+//                               against a recomputation; corrupt tables
+//                               are reported and quarantined
 //   \load web N DEG SEED        generate+load a web graph into `edges`
 //   \load ego C S P SEED        ... ego-net graph
 //   \load host H P L SEED       ... host graph
@@ -321,6 +325,8 @@ class Shell {
       for (const auto& name : loop_.connection().database().TableNames()) {
         std::cout << name << "\n";
       }
+    } else if (cmd == "\\scrub") {
+      ScrubTables();
     } else if (cmd == "\\load") {
       LoadGraph(in);
     } else {
@@ -364,6 +370,25 @@ class Shell {
   }
 
  private:
+  /// \scrub: CHECK TABLE over every table in the shell's database — an
+  /// on-demand integrity pass. Corrupt tables are reported (and left
+  /// quarantined by the engine); the rest of the walk continues.
+  void ScrubTables() {
+    size_t ok = 0;
+    size_t corrupt = 0;
+    for (const auto& name : loop_.connection().database().TableNames()) {
+      try {
+        loop_.connection().Execute("CHECK TABLE \"" + name + "\"");
+        ++ok;
+      } catch (const Error& e) {
+        ++corrupt;
+        std::cout << name << ": " << e.what() << "\n";
+      }
+    }
+    std::cout << "scrub: " << ok << " table(s) ok, " << corrupt
+              << " corrupt\n";
+  }
+
   /// \faults off, or \faults key=value...: installs a seeded FaultInjector
   /// on the shell's server (picked up by every connection, including the
   /// worker pool) and on the already-open master connection.

@@ -139,12 +139,37 @@ class TaskSupersededError : public Error {
       : Error("task superseded: " + message) {}
 };
 
+/// Stored or in-memory state failed verification: a dump/manifest CRC
+/// mismatch, a table content-checksum mismatch found by `CHECK TABLE` or
+/// the background scrub, or an access to a quarantined table. Fatal —
+/// retrying the statement would re-read the same corrupt bytes. The repair
+/// ladder in core/execute.cpp catches this type specifically and restarts
+/// the job from the newest valid checkpoint instead of returning a wrong
+/// answer; with repair disabled it surfaces to the caller unchanged.
+class IntegrityError : public Error {
+ public:
+  explicit IntegrityError(const std::string& message)
+      : Error("integrity violation: " + message) {}
+};
+
+/// An injected crash point fired inside the durability I/O shim
+/// (fault_crash_at_write / _fsync / _rename): the process "dies" mid-write
+/// exactly as a power loss would, leaving whatever torn bytes the crash
+/// plan dictates on disk. Fatal — the run aborts; a later run with
+/// `resume` recovers from the newest valid checkpoint.
+class CrashPointError : public Error {
+ public:
+  explicit CrashPointError(const std::string& message)
+      : Error("crash point: " + message) {}
+};
+
 /// The transient-vs-fatal classification table, in one place:
 ///   transient — TransientError, TimeoutError, ConnectionLostError
 ///   fatal     — ParseError, AnalysisError, ExecutionError,
 ///               ConnectionError, UsageError, JobKilledError,
 ///               JobCancelledError, QuotaExceededError,
-///               TaskSupersededError, plain Error, anything else
+///               TaskSupersededError, IntegrityError, CrashPointError,
+///               plain Error, anything else
 inline bool IsTransientError(const std::exception& error) noexcept {
   return dynamic_cast<const TransientError*>(&error) != nullptr;
 }

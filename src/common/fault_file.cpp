@@ -1,0 +1,169 @@
+#include "common/fault_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace sqloop {
+namespace {
+
+struct ShimState {
+  std::mutex mutex;
+  CrashPlan plan;
+  bool fired = false;
+  FaultFileCounters counters;
+};
+
+ShimState& State() {
+  static ShimState state;
+  return state;
+}
+
+// splitmix64: every torn length and flipped bit derives from
+// (plan seed, operation ordinal) and nothing else, so one crash point
+// leaves byte-identical wreckage under every mode and sanitizer.
+uint64_t Mix(uint64_t seed, uint64_t ordinal) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (ordinal + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void WriteBytesOrThrow(const std::string& path, const char* data, size_t size,
+                       const std::string& what) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw ExecutionError("cannot create " + what + " '" + path + "'");
+  }
+  file.write(data, static_cast<std::streamsize>(size));
+  file.flush();
+  if (!file.good()) {
+    throw ExecutionError("I/O error writing " + what + " '" + path + "'");
+  }
+}
+
+/// Leaves the wreckage of a crash at `path`: the first `keep` bytes of
+/// `data`, with one seeded bit flipped when the plan says storage decayed
+/// on the way down.
+void WriteWreckage(const std::string& path, const char* data, size_t keep,
+                   const CrashPlan& plan, uint64_t ordinal,
+                   const std::string& what) {
+  std::string surviving(data, keep);
+  if (plan.flip_bit && !surviving.empty()) {
+    const uint64_t mix = Mix(plan.seed ^ 0x5c5c5c5c5c5c5c5cull, ordinal);
+    surviving[mix % surviving.size()] ^=
+        static_cast<char>(1u << ((mix >> 32) % 8));
+  }
+  WriteBytesOrThrow(path, surviving.data(), surviving.size(), what);
+}
+
+size_t TornLength(const CrashPlan& plan, uint64_t ordinal, size_t size) {
+  if (size == 0) return 0;
+  return static_cast<size_t>(Mix(plan.seed, ordinal) % size);
+}
+
+}  // namespace
+
+void FaultFile::PublishFile(const std::string& path, const char* data,
+                            size_t size, const std::string& what) {
+  ShimState& state = State();
+  std::lock_guard<std::mutex> hold(state.mutex);
+  const std::string tmp = path + ".tmp";
+
+  // Step 1: payload write into the tmp file.
+  const uint64_t write_ord = ++state.counters.writes;
+  if (!state.fired && state.plan.crash_at_write == write_ord) {
+    state.fired = true;
+    ++state.counters.crashes;
+    // Death mid-write: only a prefix of the payload reached the tmp file;
+    // the final path was never touched.
+    WriteWreckage(tmp, data, TornLength(state.plan, write_ord, size),
+                  state.plan, write_ord, what);
+    throw CrashPointError("died during write #" + std::to_string(write_ord) +
+                          " of " + what + " '" + path + "'");
+  }
+  WriteBytesOrThrow(tmp, data, size, what);
+
+  // Step 2: flush/fsync of the tmp file.
+  const uint64_t fsync_ord = ++state.counters.fsyncs;
+  if (!state.fired && state.plan.crash_at_fsync == fsync_ord) {
+    state.fired = true;
+    ++state.counters.crashes;
+    // Death during fsync: with torn_writes the page cache only made it
+    // partway to disk; otherwise the complete tmp file happens to survive.
+    // Either way the final path was never touched.
+    if (state.plan.torn_writes) {
+      WriteWreckage(tmp, data, TornLength(state.plan, fsync_ord, size),
+                    state.plan, fsync_ord, what);
+    } else if (state.plan.flip_bit) {
+      WriteWreckage(tmp, data, size, state.plan, fsync_ord, what);
+    }
+    throw CrashPointError("died during fsync #" + std::to_string(fsync_ord) +
+                          " of " + what + " '" + path + "'");
+  }
+
+  // Step 3: atomic rename onto the final path.
+  const uint64_t rename_ord = ++state.counters.renames;
+  if (!state.fired && state.plan.crash_at_rename == rename_ord) {
+    state.fired = true;
+    ++state.counters.crashes;
+    if (state.plan.torn_writes) {
+      // Death during a NON-atomic rename (the worst case the recovery
+      // chain must survive): a torn prefix lands at the final path and
+      // the tmp file is gone.
+      WriteWreckage(path, data, TornLength(state.plan, rename_ord, size),
+                    state.plan, rename_ord, what);
+      std::remove(tmp.c_str());
+    }
+    // Otherwise death just before the rename: complete tmp file, final
+    // path untouched.
+    throw CrashPointError("died during rename #" + std::to_string(rename_ord) +
+                          " of " + what + " '" + path + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw ExecutionError("cannot publish " + what + " '" + path + "'");
+  }
+}
+
+void FaultFile::InstallPlan(const CrashPlan& plan) {
+  ShimState& state = State();
+  std::lock_guard<std::mutex> hold(state.mutex);
+  // Re-installing the identical plan (a resume run reopening the same
+  // crash-knob URL) keeps the fired latch so recovery proceeds instead of
+  // crashing at the same point forever.
+  if (plan == state.plan) return;
+  state.plan = plan;
+  state.fired = false;
+  state.counters = FaultFileCounters{};
+}
+
+void FaultFile::ClearPlan() {
+  ShimState& state = State();
+  std::lock_guard<std::mutex> hold(state.mutex);
+  state.plan = CrashPlan{};
+  state.fired = false;
+  state.counters = FaultFileCounters{};
+}
+
+CrashPlan FaultFile::plan() {
+  ShimState& state = State();
+  std::lock_guard<std::mutex> hold(state.mutex);
+  return state.plan;
+}
+
+FaultFileCounters FaultFile::counters() {
+  ShimState& state = State();
+  std::lock_guard<std::mutex> hold(state.mutex);
+  return state.counters;
+}
+
+void FaultFile::ResetCounters() {
+  ShimState& state = State();
+  std::lock_guard<std::mutex> hold(state.mutex);
+  state.counters = FaultFileCounters{};
+}
+
+}  // namespace sqloop

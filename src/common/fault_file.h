@@ -1,0 +1,92 @@
+// FaultFile: the durability I/O shim every dump/checkpoint publish routes
+// through, and the process-global crash-point injector behind it.
+//
+// All persistent files in SQLoop (minidb table dumps, checkpoint manifests)
+// are published the same way: build the full payload in memory, write it to
+// `<path>.tmp`, flush, then atomically rename over the final path. That
+// sequence is exactly three fault-able operations — write, fsync, rename —
+// and `FaultFile::PublishFile` is the single choke point that performs them,
+// counting each one against an installed `CrashPlan`.
+//
+// A crash plan names the Nth operation of one kind (1-based, process-wide,
+// 0 = never) at which the "process dies". Dying is simulated by throwing
+// `CrashPointError` after leaving the disk in the state a real power loss
+// would: a torn prefix of the tmp file, a complete-but-unrenamed tmp file,
+// or (with `torn_writes` on a rename crash) a torn prefix at the *final*
+// path, as a non-atomic filesystem would produce. `flip_bit` additionally
+// flips one seeded bit in whatever bytes survive, modelling post-crash
+// media corruption. Every choice — how many bytes survive, which bit flips —
+// is drawn deterministically from (seed, operation ordinal), so a crash
+// point reproduces exactly under every execution mode and sanitizer.
+//
+// Latching: like `fault_kill_at_round`, a plan fires at most once. The
+// resume run re-installs the identical plan when it reopens the same URL;
+// `InstallPlan` recognizes it (operator==) and keeps the fired latch, so
+// recovery proceeds instead of crashing forever.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sqloop {
+
+/// Deterministic crash-point plan for the durability I/O shim. Parsed from
+/// the `fault_crash_at_*` / `fault_torn_writes` / `fault_flip_bit` URL
+/// knobs; installed process-wide via FaultFile::InstallPlan.
+struct CrashPlan {
+  int64_t crash_at_write = 0;   ///< die during the Nth payload write (1-based)
+  int64_t crash_at_fsync = 0;   ///< die during the Nth flush (1-based)
+  int64_t crash_at_rename = 0;  ///< die during the Nth rename (1-based)
+  bool torn_writes = false;     ///< crashes leave a torn prefix, not nothing
+  bool flip_bit = false;        ///< flip one seeded bit in surviving bytes
+  uint64_t seed = 42;           ///< drives every torn-length/bit choice
+
+  bool armed() const noexcept {
+    return crash_at_write > 0 || crash_at_fsync > 0 || crash_at_rename > 0;
+  }
+
+  friend bool operator==(const CrashPlan& a, const CrashPlan& b) noexcept {
+    return a.crash_at_write == b.crash_at_write &&
+           a.crash_at_fsync == b.crash_at_fsync &&
+           a.crash_at_rename == b.crash_at_rename &&
+           a.torn_writes == b.torn_writes && a.flip_bit == b.flip_bit &&
+           a.seed == b.seed;
+  }
+};
+
+/// Lifetime operation counters for the shim, for tests to enumerate how
+/// many crash points one workload exposes (run once cleanly, read the
+/// deltas, then iterate `fault_crash_at_write=1..writes` and so on).
+struct FaultFileCounters {
+  uint64_t writes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t renames = 0;
+  uint64_t crashes = 0;
+};
+
+class FaultFile {
+ public:
+  /// Atomically publishes `size` bytes at `path` via `<path>.tmp` + rename,
+  /// consulting the installed crash plan at each of the three steps.
+  /// `what` names the artifact for error messages ("dump file",
+  /// "checkpoint manifest"). Throws CrashPointError when a crash point
+  /// fires and ExecutionError on real I/O failure.
+  static void PublishFile(const std::string& path, const char* data,
+                          size_t size, const std::string& what);
+
+  /// Installs `plan` process-wide. Installing a plan equal to the current
+  /// one is a no-op that preserves counters and the fired latch (so a
+  /// resume run reopening the same crash-knob URL survives); a different
+  /// plan replaces it, resets counters, and clears the latch.
+  static void InstallPlan(const CrashPlan& plan);
+
+  /// Removes any installed plan and clears counters and the latch.
+  static void ClearPlan();
+
+  static CrashPlan plan();
+  static FaultFileCounters counters();
+  static void ResetCounters();
+};
+
+}  // namespace sqloop

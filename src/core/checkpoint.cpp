@@ -9,6 +9,7 @@
 
 #include "common/checksum.h"
 #include "common/error.h"
+#include "common/fault_file.h"
 #include "minidb/dump.h"
 
 namespace fs = std::filesystem;
@@ -18,7 +19,7 @@ namespace {
 
 constexpr char kManifestName[] = "manifest";
 constexpr char kRoundDirPrefix[] = "ckpt_";
-constexpr int kKeepCheckpoints = 2;
+constexpr int64_t kDefaultKeepCheckpoints = 2;
 
 uint64_t Fnv1a(const void* data, size_t length, uint64_t hash) {
   const auto* bytes = static_cast<const unsigned char*>(data);
@@ -107,24 +108,12 @@ void DecodePriority(const std::string& text, std::optional<double>* value,
 }
 
 /// The manifest is `key=value` lines sealed by a final `crc=` line over
-/// every preceding byte, written tmp + rename like the dumps.
+/// every preceding byte, published tmp + rename through the durability
+/// shim like the dumps (so manifest sealing is crash-point-enumerable).
 void WriteSealedFile(const std::string& path, const std::string& body) {
   std::string out = body;
   out += "crc=" + std::to_string(Crc32(out.data(), out.size())) + "\n";
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) throw ExecutionError("cannot create manifest '" + tmp + "'");
-    file.write(out.data(), static_cast<std::streamsize>(out.size()));
-    file.flush();
-    if (!file.good()) {
-      throw ExecutionError("I/O error writing manifest '" + tmp + "'");
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw ExecutionError("cannot publish manifest '" + path + "'");
-  }
+  FaultFile::PublishFile(path, out.data(), out.size(), "checkpoint manifest");
 }
 
 /// Returns the manifest body (CRC line stripped) or throws.
@@ -295,8 +284,11 @@ std::string BaseDir(std::string dir) {
 
 }  // namespace
 
-CheckpointManager::CheckpointManager(std::string dir, std::string job_id)
-    : root_(BaseDir(std::move(dir)) + "/" + job_id) {}
+CheckpointManager::CheckpointManager(std::string dir, std::string job_id,
+                                     int64_t keep, bool verify)
+    : root_(BaseDir(std::move(dir)) + "/" + job_id),
+      keep_(keep > 0 ? keep : kDefaultKeepCheckpoints),
+      verify_(verify) {}
 
 std::string CheckpointManager::JobId(const std::string& identity) {
   return HexU64(Fnv1a(identity.data(), identity.size(), kFnvOffset));
@@ -334,8 +326,24 @@ void CheckpointManager::Commit(CheckpointManifest manifest) {
   }
   WriteSealedFile(dir + "/" + kManifestName, RenderManifest(manifest));
 
-  // Prune: keep the newest kKeepCheckpoints sealed checkpoints, drop
-  // everything else (including older torn directories).
+  if (verify_) {
+    // Read-back verification: the checkpoint we just sealed must validate
+    // from disk the same way recovery would validate it (manifest CRC,
+    // every dump CRC, content hash). Catches write-path bugs and silent
+    // storage faults at commit time rather than at the next crash.
+    CheckpointManifest reread =
+        ParseManifest(ReadSealedFile(dir + "/" + kManifestName));
+    uint64_t hash = 0;
+    if (reread.round != manifest.round ||
+        !HashDumpFiles(dir, reread, &hash) || hash != reread.content_hash) {
+      throw IntegrityError("checkpoint " + dir +
+                           " failed post-commit verification");
+    }
+    ++verified_;
+  }
+
+  // Prune: keep the newest keep_ sealed checkpoints, drop everything else
+  // (including older torn directories).
   std::vector<int64_t> sealed;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(root_, ec)) {
@@ -343,9 +351,10 @@ void CheckpointManager::Commit(CheckpointManifest manifest) {
     if (round && IsSealed(entry.path())) sealed.push_back(*round);
   }
   std::sort(sealed.begin(), sealed.end(), std::greater<int64_t>());
-  const int64_t oldest_kept = sealed.size() > kKeepCheckpoints
-                                  ? sealed[kKeepCheckpoints - 1]
-                                  : (sealed.empty() ? 0 : sealed.back());
+  const int64_t oldest_kept =
+      static_cast<int64_t>(sealed.size()) > keep_
+          ? sealed[static_cast<size_t>(keep_ - 1)]
+          : (sealed.empty() ? 0 : sealed.back());
   for (const auto& entry : fs::directory_iterator(root_, ec)) {
     const auto round = RoundOfDir(entry.path());
     if (!round) continue;

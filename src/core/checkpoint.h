@@ -74,7 +74,12 @@ class CheckpointManager {
  public:
   /// `dir` empty means "sqloop_ckpt". `job_id` namespaces concurrent jobs;
   /// use JobId() so reruns of the same query find their own checkpoints.
-  CheckpointManager(std::string dir, std::string job_id);
+  /// `keep` is the retention depth (`checkpoint_keep`): how many of the
+  /// newest sealed checkpoints survive pruning (0 = the default of 2).
+  /// `verify` re-reads and re-validates every committed checkpoint from
+  /// disk immediately after sealing (`verify_checkpoints`).
+  CheckpointManager(std::string dir, std::string job_id, int64_t keep = 0,
+                    bool verify = false);
 
   /// Stable identity of a job: hash of the rendered query + mode +
   /// partition count. Two runs of the same job map to the same id — which
@@ -90,9 +95,13 @@ class CheckpointManager {
 
   /// Seals the checkpoint: computes the content hash from the dump files
   /// on disk, writes the CRC-sealed manifest atomically, then prunes all
-  /// but the two newest sealed checkpoints (the previous one is kept as
-  /// the fallback for a torn/corrupt newest).
+  /// but the `keep` newest sealed checkpoints (older ones are kept as
+  /// fallbacks for a torn/corrupt newest). With `verify` on, the sealed
+  /// checkpoint is read back and fully re-validated before returning.
   void Commit(CheckpointManifest manifest);
+
+  /// Checkpoints that passed the post-commit read-back (verify mode only).
+  uint64_t verified_count() const noexcept { return verified_; }
 
   const std::string& job_root() const noexcept { return root_; }
 
@@ -100,6 +109,9 @@ class CheckpointManager {
   std::string RoundDir(int64_t round) const;
 
   std::string root_;  // <dir>/<job_id>
+  int64_t keep_;
+  bool verify_;
+  uint64_t verified_ = 0;
 };
 
 /// Finds the newest fully-valid checkpoint of a job.

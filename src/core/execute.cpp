@@ -9,32 +9,16 @@
 #include "core/single_thread.h"
 #include "core/translator.h"
 #include "dbc/driver.h"
+#include "telemetry/hooks.h"
 
 namespace sqloop::core {
 namespace {
 
-dbc::ResultSet RunIterative(const std::string& url, dbc::Connection& master,
-                            const sql::WithClause& with,
-                            const ExecutionContext& ctx) {
-  // Checkpoint defaults carried by the connection URL (checkpoint_every /
-  // checkpoint_dir) apply when the per-call options leave them unset, so a
-  // deployment can turn on durability without touching call sites.
-  SqloopOptions effective = ctx.options;
-  if (effective.checkpoint_every == 0 || effective.checkpoint_dir.empty()) {
-    try {
-      const auto config = dbc::ConnectionConfig::Parse(url);
-      if (effective.checkpoint_every == 0) {
-        effective.checkpoint_every = config.checkpoint_every;
-      }
-      if (effective.checkpoint_dir.empty()) {
-        effective.checkpoint_dir = config.checkpoint_dir;
-      }
-    } catch (...) {
-      // The URL already opened this run's connection; a re-parse failure
-      // here only forfeits the URL defaults.
-    }
-  }
-
+dbc::ResultSet RunIterativeOnce(const std::string& url,
+                                dbc::Connection& master,
+                                const sql::WithClause& with,
+                                const SqloopOptions& effective,
+                                const ExecutionContext& ctx) {
   RunStats& stats = ctx.stats;
   const ExecutionContext run_ctx{effective,    stats,      ctx.recorder,
                                  ctx.observer, ctx.gate,   ctx.shared_pool,
@@ -82,6 +66,72 @@ dbc::ResultSet RunIterative(const std::string& url, dbc::Connection& master,
   ParallelRunner runner(url, master, with, analysis, std::move(schema),
                         run_ctx);
   return runner.Run();
+}
+
+dbc::ResultSet RunIterative(const std::string& url, dbc::Connection& master,
+                            const sql::WithClause& with,
+                            const ExecutionContext& ctx) {
+  // Durability defaults carried by the connection URL (checkpoint_every /
+  // checkpoint_dir / checkpoint_keep / verify_checkpoints / scrub_every)
+  // apply when the per-call options leave them unset, so a deployment can
+  // turn on durability without touching call sites.
+  SqloopOptions effective = ctx.options;
+  try {
+    const auto config = dbc::ConnectionConfig::Parse(url);
+    if (effective.checkpoint_every == 0) {
+      effective.checkpoint_every = config.checkpoint_every;
+    }
+    if (effective.checkpoint_dir.empty()) {
+      effective.checkpoint_dir = config.checkpoint_dir;
+    }
+    if (effective.checkpoint_keep == 0) {
+      effective.checkpoint_keep = config.checkpoint_keep;
+    }
+    if (!effective.verify_checkpoints) {
+      effective.verify_checkpoints = config.verify_checkpoints;
+    }
+    if (effective.scrub_every == 0) {
+      effective.scrub_every = config.scrub_every;
+    }
+  } catch (...) {
+    // The URL already opened this run's connection; a re-parse failure
+    // here only forfeits the URL defaults.
+  }
+
+  RunStats& stats = ctx.stats;
+
+  // The repair ladder: corruption detected mid-job (a scrub mismatch, a
+  // quarantined-table access) restarts the job from its newest valid
+  // checkpoint instead of surfacing a wrong — or no — answer. Bounded
+  // attempts; checkpoints written before the corrupt round still validate,
+  // so the retried run resumes bit-identically from pre-corruption state
+  // (or from scratch when no checkpoint survives, which is still correct).
+  constexpr int kMaxRepairAttempts = 3;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      dbc::ResultSet result =
+          RunIterativeOnce(url, master, with, effective, ctx);
+      if (stats.resumed_from_round > 0) {
+        SQLOOP_COUNT(ctx.recorder, "durability.crash_points_survived", 1);
+      }
+      return result;
+    } catch (const IntegrityError& e) {
+      if (!effective.scrub_repair || attempt + 1 >= kMaxRepairAttempts) {
+        throw;
+      }
+      // The violation may have struck mid-batch (a scrub pass batches its
+      // CHECK TABLE statements); drain the abandoned queue so the repair
+      // run's first batch doesn't replay stale statements against the
+      // still-quarantined table.
+      master.ClearBatch();
+      SQLOOP_INFO("integrity violation mid-job ("
+                  << e.what() << "); repairing from the newest valid "
+                  << "checkpoint (attempt " << attempt + 1 << ")");
+      effective.resume = true;
+      ++stats.integrity_repairs;
+      SQLOOP_COUNT(ctx.recorder, "durability.integrity_repairs", 1);
+    }
+  }
 }
 
 }  // namespace

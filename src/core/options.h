@@ -116,6 +116,31 @@ struct SqloopOptions {
   /// uninterrupted one.
   bool resume = false;
 
+  /// How many of the newest sealed checkpoints survive pruning; 0 = the
+  /// default of 2 (newest + one fallback). URL knob: `checkpoint_keep=N`
+  /// (N >= 1). Deeper retention widens the corruption window recovery can
+  /// fall back across, at proportional disk cost.
+  int64_t checkpoint_keep = 0;
+
+  /// Re-read and fully re-validate every checkpoint from disk right after
+  /// it is sealed (manifest CRC, every dump CRC, content hash) — the same
+  /// validation recovery would run. URL knob: `verify_checkpoints=1`.
+  bool verify_checkpoints = false;
+
+  // --- integrity scrubbing (DESIGN.md "Durability & integrity") ---------
+
+  /// Run a CHECK TABLE scrub pass over the CTE state table(s) every N
+  /// completed rounds; 0 disables. The scrub compares each table's
+  /// incrementally-maintained content checksum against a recomputation
+  /// over the live rows; a mismatch raises IntegrityError. URL knob:
+  /// `scrub_every=N`.
+  int64_t scrub_every = 0;
+
+  /// When a scrub (or any integrity check) fails mid-job, restart from the
+  /// newest valid checkpoint instead of surfacing the error (the repair
+  /// ladder; bounded attempts). false = fail loudly on first corruption.
+  bool scrub_repair = true;
+
   // --- straggler mitigation ---------------------------------------------
 
   /// Speculatively re-execute a task once it has run longer than
@@ -175,6 +200,12 @@ struct RunStats {
   // --- checkpointing & recovery -----------------------------------------
   uint64_t checkpoints_written = 0;
   int64_t resumed_from_round = 0;     // 0 = fresh run; N = resumed after N
+
+  // --- durability & integrity -------------------------------------------
+  uint64_t checkpoints_verified = 0;  // post-commit read-back validations
+  uint64_t scrub_passes = 0;          // CHECK TABLE sweeps the runner issued
+  uint64_t integrity_repairs = 0;     // corruption caught and repaired by
+                                      // restarting from a valid checkpoint
 
   // --- straggler mitigation ---------------------------------------------
   uint64_t speculative_tasks = 0;     // tasks a speculative copy claimed

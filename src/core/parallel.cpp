@@ -850,8 +850,10 @@ void ParallelRunner::SetupCheckpointing() {
     }
   }
   if (want) {
-    ckpt_ =
-        std::make_unique<CheckpointManager>(options_.checkpoint_dir, job_id);
+    ckpt_ = std::make_unique<CheckpointManager>(options_.checkpoint_dir,
+                                                job_id,
+                                                options_.checkpoint_keep,
+                                                options_.verify_checkpoints);
   }
 }
 
@@ -967,9 +969,25 @@ void ParallelRunner::WriteCheckpoint(
   m.last_dispatch = last_dispatch;
   ckpt_->Commit(std::move(m));
   ++stats_.checkpoints_written;
+  stats_.checkpoints_verified = ckpt_->verified_count();
   SQLOOP_COUNT(recorder_, "checkpoint.writes", 1);
   SQLOOP_TELEMETRY(EmitSpan(telemetry::SpanKind::kCheckpoint, -1, start,
                             run_watch_.ElapsedSeconds() - start, 0););
+}
+
+void ParallelRunner::ScrubPartitions() {
+  // Scrub BEFORE the checkpoint write at the same cadence point: a state
+  // table that fails its content checksum must never be sealed into a
+  // checkpoint. CHECK TABLE raises IntegrityError on a mismatch — fatal to
+  // the retrier, so it surfaces straight to the repair ladder in
+  // execute.cpp rather than being retried against the same corrupt rows.
+  for (size_t k = 0; k < partitions_; ++k) {
+    master_.AddBatch("CHECK TABLE " + translator_.Quote(PartitionTable(k)));
+    if (k % 16 == 15) MasterExecuteBatch();
+  }
+  MasterExecuteBatch();
+  ++stats_.scrub_passes;
+  SQLOOP_COUNT(recorder_, "minidb.scrub_passes", 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -1717,6 +1735,9 @@ void ParallelRunner::RunRounds() {
       return checker_.Satisfied(master_, round, updates);
     });
     if (satisfied) break;
+    if (options_.scrub_every > 0 && round % options_.scrub_every == 0) {
+      ScrubPartitions();
+    }
     if (ckpt_ != nullptr && round % options_.checkpoint_every == 0) {
       WriteCheckpoint(round, dispatch_seq, last_dispatch);
     }

@@ -92,6 +92,10 @@ class ParallelRunner {
   /// so the captured state is exactly what the next round starts from.
   void WriteCheckpoint(int64_t round, uint64_t dispatch_seq,
                        const std::vector<uint64_t>& last_dispatch);
+  /// CHECK TABLE over every partition table (batched on the master), at
+  /// the scrub cadence point just before the checkpoint write. A content
+  /// checksum mismatch surfaces as IntegrityError.
+  void ScrubPartitions();
 
   // --- resilience (DESIGN.md "Failure model & resilience") ---------------
   /// master_.Execute / master_.ExecuteBatch under the retry policy.

@@ -235,7 +235,9 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
     }
     if (want_checkpoints) {
       ckpt = std::make_unique<CheckpointManager>(options.checkpoint_dir,
-                                                 job_id);
+                                                 job_id,
+                                                 options.checkpoint_keep,
+                                                 options.verify_checkpoints);
     }
   }
 
@@ -307,6 +309,15 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
       return checker.Satisfied(connection, iteration, updates);
     });
     if (satisfied) break;
+    if (options.scrub_every > 0 && iteration % options.scrub_every == 0) {
+      // Scrub BEFORE the checkpoint: corrupt state must never be sealed
+      // into a checkpoint it would later be "repaired" from. A mismatch
+      // throws IntegrityError; the repair ladder in execute.cpp catches it
+      // and restarts from the newest valid (pre-corruption) checkpoint.
+      rc.Execute("CHECK TABLE " + translator.Quote(table));
+      ++stats.scrub_passes;
+      SQLOOP_COUNT(ctx.recorder, "minidb.scrub_passes", 1);
+    }
     if (ckpt != nullptr && iteration % options.checkpoint_every == 0) {
       // End-of-round capture: the merge committed and UNTIL said "keep
       // going", so this round's table state is exactly what round N+1
@@ -322,6 +333,7 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
                      .ToSqlLiteral());
       ckpt->Commit(std::move(m));
       ++stats.checkpoints_written;
+      stats.checkpoints_verified = ckpt->verified_count();
       SQLOOP_COUNT(ctx.recorder, "checkpoint.writes", 1);
       RecordDurabilitySpan(ctx, telemetry::SpanKind::kCheckpoint, iteration,
                            ckpt_start, watch.ElapsedSeconds() - ckpt_start);

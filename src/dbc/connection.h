@@ -76,6 +76,12 @@ class Connection {
   /// Queues a statement for ExecuteBatch.
   void AddBatch(std::string sql);
 
+  /// Discards queued batch statements without executing them (JDBC's
+  /// Statement.clearBatch). A fatal mid-batch error (e.g. IntegrityError)
+  /// abandons the queue; a caller reusing the connection must drain it or
+  /// the stale statements would run ahead of its own.
+  void ClearBatch() noexcept { batch_.clear(); }
+
   /// Runs all queued statements in order, paying a single round trip
   /// (JDBC's Statement.executeBatch). Returns per-statement affected rows.
   std::vector<size_t> ExecuteBatch();

@@ -198,10 +198,35 @@ ConnectionConfig ConnectionConfig::Parse(const std::string& url) {
       } else if (key == "fault_kill_at_round") {
         config.fault.kill_at_round = ParseNonNegative(value, key);
         config.has_fault = true;
+      } else if (key == "fault_crash_at_write") {
+        // Crash points are 1-based ordinals; "never" is expressed by
+        // omitting the parameter, so zero is rejected.
+        config.crash.crash_at_write = ParsePositive(value, key);
+        config.has_crash = true;
+      } else if (key == "fault_crash_at_fsync") {
+        config.crash.crash_at_fsync = ParsePositive(value, key);
+        config.has_crash = true;
+      } else if (key == "fault_crash_at_rename") {
+        config.crash.crash_at_rename = ParsePositive(value, key);
+        config.has_crash = true;
+      } else if (key == "fault_torn_writes") {
+        config.crash.torn_writes = ParseNonNegative(value, key) != 0;
+        config.has_crash = true;
+      } else if (key == "fault_flip_bit") {
+        config.crash.flip_bit = ParseNonNegative(value, key) != 0;
+        config.has_crash = true;
       } else if (key == "checkpoint_every") {
         config.checkpoint_every = ParseNonNegative(value, key);
       } else if (key == "checkpoint_dir") {
         config.checkpoint_dir = value;
+      } else if (key == "checkpoint_keep") {
+        // Zero would keep nothing — recovery could never fall back; omit
+        // the parameter for the default retention of 2.
+        config.checkpoint_keep = ParsePositive(value, key);
+      } else if (key == "verify_checkpoints") {
+        config.verify_checkpoints = ParseNonNegative(value, key) != 0;
+      } else if (key == "scrub_every") {
+        config.scrub_every = ParseNonNegative(value, key);
       } else if (key == "memory_limit_bytes") {
         // Zero is meaningless here (nothing runs on a zero-byte budget);
         // omit the parameter for "unlimited".
@@ -237,12 +262,29 @@ ConnectionConfig ConnectionConfig::Parse(const std::string& url) {
           "delay can never fire");
     }
   }
+  if (config.has_crash) {
+    // The crash plan reuses fault_seed for its torn-length/bit-flip draws.
+    config.crash.seed = config.fault.seed;
+    if (!config.crash.armed()) {
+      throw ConnectionError(
+          "contradictory fault knobs: fault_torn_writes/fault_flip_bit "
+          "modify what a crash leaves behind, but no "
+          "fault_crash_at_write/_fsync/_rename crash point is set");
+    }
+  }
   return config;
 }
 
 std::unique_ptr<Connection> DriverManager::GetConnection(
     const std::string& url) {
   const ConnectionConfig config = ConnectionConfig::Parse(url);
+
+  // The durability shim's crash plan is process-wide state: a crash-knob
+  // URL arms it, a plain URL disarms it. Re-installing the identical plan
+  // (every worker connection of a run; a resume run reopening the same
+  // URL) is a no-op that keeps the once-only fired latch, mirroring
+  // fault_kill_at_round's latch semantics.
+  FaultFile::InstallPlan(config.has_crash ? config.crash : CrashPlan{});
 
   minidb::Server* server = nullptr;
   {

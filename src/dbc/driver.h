@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/fault.h"
+#include "common/fault_file.h"
 #include "minidb/server.h"
 
 namespace sqloop::dbc {
@@ -59,11 +60,27 @@ struct ConnectionConfig {
   FaultConfig fault;
   bool has_fault = false;
 
+  /// Durability-shim crash plan (`fault_crash_at_write=N`,
+  /// `fault_crash_at_fsync=N`, `fault_crash_at_rename=N`,
+  /// `fault_torn_writes=1`, `fault_flip_bit=1`; the crash seed follows
+  /// `fault_seed`). Installed process-wide on connect — every dump and
+  /// manifest publish counts against it. Torn/flip modifiers without any
+  /// crash point are rejected at parse time.
+  CrashPlan crash;
+  bool has_crash = false;
+
   /// Checkpoint defaults carried by the URL (`checkpoint_every=N`,
   /// `checkpoint_dir=<path>`): adopted by SqLoop when the per-call
   /// SqloopOptions leave them unset. 0 / empty = no URL default.
   int64_t checkpoint_every = 0;
   std::string checkpoint_dir;
+  /// Checkpoint retention depth (`checkpoint_keep=N`, N >= 1); 0 = no URL
+  /// default (SqLoop falls back to keeping 2).
+  int64_t checkpoint_keep = 0;
+  /// Post-commit checkpoint read-back (`verify_checkpoints=1`).
+  bool verify_checkpoints = false;
+  /// Scrub cadence default (`scrub_every=N` rounds); 0 = no URL default.
+  int64_t scrub_every = 0;
 
   /// Memory budget for this connection's transient working sets
   /// (`memory_limit_bytes=N`): a statement whose materialized rows, join

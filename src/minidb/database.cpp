@@ -33,8 +33,10 @@ void Database::CreateTable(const std::string& table_name, Schema schema,
   }
   auto table = std::make_shared<Table>(folded, std::move(schema));
   // Attached before the table is published, so every row it ever stores
-  // is accounted against this database's scope.
+  // is accounted against this database's scope — and checksummed from the
+  // first insert on.
   table->set_memory_tracker(&tracker_);
+  table->set_integrity_enabled(integrity_enabled());
   tables_.emplace(folded, std::move(table));
   BumpCatalogVersion();
 }

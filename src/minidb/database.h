@@ -117,6 +117,20 @@ class Database {
     return governance_enabled_.load(std::memory_order_relaxed);
   }
 
+  // --- integrity toggle -------------------------------------------------
+  // Per-table content checksums are maintained on every mutation by
+  // default; switching this off makes tables created afterwards skip the
+  // maintenance (CHECK TABLE then trivially passes on them). Exists for
+  // the checksum-overhead A/B bench (bench/micro_integrity), not as a
+  // tuning knob: scrub detection and quarantine need the checksums on.
+
+  void set_integrity_enabled(bool enabled) noexcept {
+    integrity_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool integrity_enabled() const noexcept {
+    return integrity_enabled_.load(std::memory_order_relaxed);
+  }
+
   // --- connection accounting -------------------------------------------
   // The dbc layer reports opens/closes so resilience tests can assert that
   // a failed parallel run leaks no live connections.
@@ -140,6 +154,7 @@ class Database {
   std::atomic<bool> fused_enabled_{true};
   std::atomic<bool> vectorized_enabled_{true};
   std::atomic<bool> governance_enabled_{true};
+  std::atomic<bool> integrity_enabled_{true};
   PlanCache plan_cache_;
 };
 

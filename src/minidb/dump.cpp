@@ -6,6 +6,7 @@
 
 #include "common/checksum.h"
 #include "common/error.h"
+#include "common/fault_file.h"
 #include "minidb/table.h"
 
 namespace sqloop::minidb {
@@ -25,6 +26,15 @@ constexpr char kMagic[8] = {'S', 'Q', 'L', 'P', 'D', 'M', 'P', '1'};
 constexpr uint32_t kFormatVersion = 1;
 
 enum : uint8_t { kTagNull = 0, kTagInt64 = 1, kTagDouble = 2, kTagText = 3 };
+
+std::string HexU32(uint32_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out = "0x";
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    out.push_back(kDigits[(v >> shift) & 0xf]);
+  }
+  return out;
+}
 
 void AppendRaw(std::string& out, const void* data, size_t length) {
   out.append(static_cast<const char*>(data), length);
@@ -90,15 +100,24 @@ void AppendValue(std::string& out, const Value& value) {
   }
 }
 
-/// Bounds-checked cursor over a loaded dump body.
+/// Bounds-checked cursor over a loaded dump body. Callers label the
+/// section being parsed so a truncation error can say *where* the file
+/// ran out, not just that it did.
 class Reader {
  public:
   Reader(const std::string& data, const std::string& path)
       : data_(data), path_(path) {}
 
+  void SetSection(const char* section) { section_ = section; }
+
   void Read(void* out, size_t length) {
     if (length > data_.size() - offset_) {
-      throw ExecutionError("dump file '" + path_ + "' is truncated");
+      throw IntegrityError("dump file '" + path_ + "' is truncated in the " +
+                           section_ + " section at byte offset " +
+                           std::to_string(offset_) + " (wanted " +
+                           std::to_string(length) + " more bytes, " +
+                           std::to_string(data_.size() - offset_) +
+                           " remain)");
     }
     std::memcpy(out, data_.data() + offset_, length);
     offset_ += length;
@@ -119,13 +138,19 @@ class Reader {
 
   std::string ReadString(size_t length) {
     if (length > data_.size() - offset_) {
-      throw ExecutionError("dump file '" + path_ + "' is truncated");
+      throw IntegrityError("dump file '" + path_ + "' is truncated in the " +
+                           section_ + " section at byte offset " +
+                           std::to_string(offset_) + " (wanted " +
+                           std::to_string(length) + " more bytes, " +
+                           std::to_string(data_.size() - offset_) +
+                           " remain)");
     }
     std::string out(data_.data() + offset_, length);
     offset_ += length;
     return out;
   }
 
+  size_t offset() const noexcept { return offset_; }
   bool AtEnd() const noexcept { return offset_ == data_.size(); }
 
  private:
@@ -138,6 +163,7 @@ class Reader {
 
   const std::string& data_;
   const std::string& path_;
+  const char* section_ = "header";
   size_t offset_ = 0;
 };
 
@@ -174,9 +200,16 @@ std::string LoadFile(const std::string& path) {
 /// header checks and the CRC footer remains in place; caller re-parses).
 std::string LoadValidatedFile(const std::string& path, uint32_t* crc_out) {
   std::string data = LoadFile(path);
-  if (data.size() < sizeof(kMagic) + sizeof(uint32_t) * 2 ||
-      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
-    throw ExecutionError("'" + path + "' is not a minidb dump file");
+  if (data.size() < sizeof(kMagic) + sizeof(uint32_t) * 2) {
+    throw IntegrityError("dump file '" + path + "' is truncated in the " +
+                         "header section (only " +
+                         std::to_string(data.size()) + " bytes, needs " +
+                         std::to_string(sizeof(kMagic) + sizeof(uint32_t) * 2) +
+                         " at minimum)");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw IntegrityError("'" + path + "' is not a minidb dump file (bad " +
+                         "magic in the header section at byte offset 0)");
   }
   uint32_t stored_crc;
   std::memcpy(&stored_crc, data.data() + data.size() - sizeof(stored_crc),
@@ -184,7 +217,12 @@ std::string LoadValidatedFile(const std::string& path, uint32_t* crc_out) {
   const uint32_t actual_crc =
       Crc32(data.data(), data.size() - sizeof(stored_crc));
   if (stored_crc != actual_crc) {
-    throw ExecutionError("dump file '" + path + "' failed CRC validation");
+    throw IntegrityError(
+        "dump file '" + path + "' failed CRC validation: expected " +
+        HexU32(stored_crc) + " (footer at byte offset " +
+        std::to_string(data.size() - sizeof(stored_crc)) + "), computed " +
+        HexU32(actual_crc) + " over " +
+        std::to_string(data.size() - sizeof(stored_crc)) + " bytes");
   }
   if (crc_out != nullptr) *crc_out = stored_crc;
   data.resize(data.size() - sizeof(stored_crc));
@@ -214,23 +252,7 @@ size_t DumpTableToFile(const Table& table, const std::string& path) {
     ++written;
   }
   AppendU32(out, Crc32(out.data(), out.size()));
-
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) {
-      throw ExecutionError("cannot create dump file '" + tmp + "'");
-    }
-    file.write(out.data(), static_cast<std::streamsize>(out.size()));
-    file.flush();
-    if (!file.good()) {
-      throw ExecutionError("I/O error writing dump file '" + tmp + "'");
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw ExecutionError("cannot publish dump file '" + path + "'");
-  }
+  FaultFile::PublishFile(path, out.data(), out.size(), "dump file");
   return written;
 }
 
@@ -245,6 +267,7 @@ DumpContents ReadDumpFile(const std::string& path) {
                          std::to_string(version));
   }
   const int32_t primary_key_index = reader.ReadI32();
+  reader.SetSection("column catalog");
   const uint32_t column_count = reader.ReadU32();
   std::vector<Column> columns;
   columns.reserve(column_count);
@@ -256,6 +279,7 @@ DumpContents ReadDumpFile(const std::string& path) {
   }
   DumpContents contents;
   contents.schema = Schema(std::move(columns), primary_key_index);
+  reader.SetSection("row data");
   const uint64_t row_count = reader.ReadU64();
   contents.rows.reserve(row_count);
   for (uint64_t r = 0; r < row_count; ++r) {
@@ -265,7 +289,11 @@ DumpContents ReadDumpFile(const std::string& path) {
     contents.rows.push_back(std::move(row));
   }
   if (!reader.AtEnd()) {
-    throw ExecutionError("dump file '" + path + "' has trailing garbage");
+    throw IntegrityError("dump file '" + path + "' has " +
+                         std::to_string(body.size() - reader.offset()) +
+                         " bytes of trailing garbage after the row data " +
+                         "section at byte offset " +
+                         std::to_string(reader.offset()));
   }
   return contents;
 }

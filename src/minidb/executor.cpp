@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <map>
@@ -54,6 +55,17 @@ class LockSet {
     }
     SQLOOP_TIME_SECONDS(recorder_, "minidb.lock_wait_seconds",
                         watch.ElapsedSeconds());
+    // Quarantine fence, checked once every lock is held: a table whose
+    // scrub found corruption must never feed another statement a corrupt
+    // row. The destructor releases whatever was acquired above.
+    for (const auto& [name, entry] : entries_) {
+      if (entry.table->quarantined()) {
+        throw IntegrityError(
+            "table '" + name +
+            "' is quarantined after a failed integrity check; restore it "
+            "from a valid dump or drop it");
+      }
+    }
   }
 
   ~LockSet() {
@@ -2797,6 +2809,10 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
       // A shared lock suffices: the dump only reads. Writers are excluded
       // for the duration, so the file is a consistent snapshot.
       const std::shared_lock lock(table->lock());
+      if (table->quarantined()) {
+        throw IntegrityError("refusing to dump quarantined table '" +
+                             stmt.table_name + "'");
+      }
       ResultSet result;
       result.affected_rows = DumpTableToFile(*table, stmt.file_path);
       result.rows_examined = table->live_row_count();
@@ -2824,6 +2840,50 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
       for (auto& row : contents.rows) table->Insert(std::move(row));
       ResultSet result;
       result.affected_rows = contents.rows.size();
+      return result;
+    }
+    case sql::StatementKind::kCheckTable: {
+      // The scrub primitive: recompute the table's content checksum from
+      // the live rows and compare it to the incrementally-maintained one.
+      // A mismatch quarantines the table (every later statement touching
+      // it fails at the lock fence) and raises IntegrityError — corruption
+      // is never allowed to become a silently wrong result.
+      const auto table = db_.FindTable(stmt.table_name);
+      if (!table) {
+        throw ExecutionError("table '" + stmt.table_name +
+                             "' does not exist");
+      }
+      const std::shared_lock lock(table->lock());
+      SQLOOP_COUNT(recorder_, "minidb.scrub_checks", 1);
+      if (table->quarantined()) {
+        SQLOOP_COUNT(recorder_, "minidb.scrub_failures", 1);
+        throw IntegrityError("table '" + stmt.table_name +
+                             "' is already quarantined");
+      }
+      uint64_t expected = 0;
+      uint64_t actual = 0;
+      if (!table->VerifyContent(&expected, &actual)) {
+        table->set_quarantined(true);
+        SQLOOP_COUNT(recorder_, "minidb.scrub_failures", 1);
+        char expected_hex[17];
+        char actual_hex[17];
+        std::snprintf(expected_hex, sizeof(expected_hex), "%016llx",
+                      static_cast<unsigned long long>(expected));
+        std::snprintf(actual_hex, sizeof(actual_hex), "%016llx",
+                      static_cast<unsigned long long>(actual));
+        throw IntegrityError(
+            "table '" + stmt.table_name +
+            "' failed its content checksum: maintained 0x" + expected_hex +
+            ", recomputed 0x" + actual_hex + " over " +
+            std::to_string(table->live_row_count()) +
+            " live rows; table quarantined");
+      }
+      ResultSet result;
+      result.columns = {"table", "status", "rows"};
+      result.rows.push_back({Value(stmt.table_name), Value("ok"),
+                             Value(static_cast<int64_t>(
+                                 table->live_row_count()))});
+      result.rows_examined = table->live_row_count();
       return result;
     }
     case sql::StatementKind::kBegin:

@@ -1,6 +1,7 @@
 #include "minidb/table.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.h"
 
@@ -45,6 +46,7 @@ size_t Table::Insert(Row row) {
   rows_.push_back(std::move(row));
   live_.push_back(1);
   ++live_rows_;
+  if (integrity_enabled_) content_hash_ += RowHash(rows_[row_id]);
   if (pk >= 0) pk_index_.emplace(rows_[row_id][pk], row_id);
   IndexInsert(row_id);
   Account(RowFootprintBytes(rows_[row_id]) +
@@ -73,7 +75,9 @@ void Table::Update(size_t row_id, Row row) {
   }
   IndexErase(row_id);
   const int64_t old_bytes = RowFootprintBytes(rows_[row_id]);
+  if (integrity_enabled_) content_hash_ -= RowHash(rows_[row_id]);
   rows_[row_id] = std::move(row);
+  if (integrity_enabled_) content_hash_ += RowHash(rows_[row_id]);
   Account(RowFootprintBytes(rows_[row_id]) - old_bytes);
   IndexInsert(row_id);
 }
@@ -83,6 +87,7 @@ void Table::Delete(size_t row_id) {
   const int pk = schema_.primary_key_index();
   if (pk >= 0) pk_index_.erase(rows_[row_id][pk]);
   IndexErase(row_id);
+  if (integrity_enabled_) content_hash_ -= RowHash(rows_[row_id]);
   live_[row_id] = 0;
   --live_rows_;
   // The tombstoned payload stays in rows_ until Clear(), so only the
@@ -95,6 +100,7 @@ void Table::Clear() {
   rows_.clear();
   live_.clear();
   live_rows_ = 0;
+  content_hash_ = 0;
   pk_index_.clear();
   for (auto& [name, index] : secondary_indexes_) index.map.clear();
   Account(-tracked_bytes_);
@@ -216,6 +222,74 @@ std::vector<Row> Table::SnapshotRows() const {
 void Table::RestoreRows(const std::vector<Row>& rows) {
   Clear();
   for (const Row& row : rows) Insert(row);
+}
+
+uint64_t Table::RowHash(const Row& row) noexcept {
+  uint64_t hash = 14695981039346656037ull;
+  const auto fold = [&hash](const void* data, size_t length) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < length; ++i) {
+      hash ^= bytes[i];
+      hash *= 1099511628211ull;
+    }
+  };
+  for (const Value& value : row) {
+    const uint8_t tag = value.is_null()     ? 0
+                        : value.is_int()    ? 1
+                        : value.is_double() ? 2
+                                            : 3;
+    fold(&tag, sizeof(tag));
+    if (value.is_null()) continue;
+    if (value.is_int()) {
+      const int64_t v = value.as_int();
+      fold(&v, sizeof(v));
+    } else if (value.is_double()) {
+      // Raw bit pattern: the checksum must agree wherever the dump format
+      // would (bit-identical doubles, no text formatting).
+      const double d = value.as_double();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      fold(&bits, sizeof(bits));
+    } else {
+      const std::string& text = value.as_text();
+      const uint64_t length = text.size();
+      fold(&length, sizeof(length));
+      fold(text.data(), text.size());
+    }
+  }
+  return hash;
+}
+
+bool Table::VerifyContent(uint64_t* expected_out, uint64_t* actual_out) const {
+  if (!integrity_enabled_) return true;
+  uint64_t actual = 0;
+  for (size_t row_id = 0; row_id < rows_.size(); ++row_id) {
+    if (live_[row_id]) actual += RowHash(rows_[row_id]);
+  }
+  if (expected_out != nullptr) *expected_out = content_hash_;
+  if (actual_out != nullptr) *actual_out = actual;
+  return actual == content_hash_;
+}
+
+void Table::CorruptCellForTesting(size_t row_id, size_t column) {
+  Value& cell = rows_[row_id][column];
+  if (cell.is_int()) {
+    cell = Value(cell.as_int() ^ (int64_t{1} << 20));
+  } else if (cell.is_double()) {
+    double d = cell.as_double();
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    bits ^= 1ull << 20;
+    std::memcpy(&d, &bits, sizeof(d));
+    cell = Value(d);
+  } else if (!cell.is_null()) {
+    std::string text = cell.as_text();
+    if (text.empty()) text.push_back('\x01');
+    else text[0] = static_cast<char>(text[0] ^ 0x20);
+    cell = Value(std::move(text));
+  } else {
+    cell = Value(int64_t{1});
+  }
 }
 
 void Table::IndexInsert(size_t row_id) {

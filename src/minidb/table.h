@@ -4,6 +4,7 @@
 // like MyISAM's table locks).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -102,6 +103,45 @@ class Table {
   /// Replaces the whole content (rollback restore).
   void RestoreRows(const std::vector<Row>& rows);
 
+  // --- end-to-end content integrity (DESIGN.md "Durability & integrity") -
+
+  /// Enables incremental content-checksum maintenance. Set by Database
+  /// before the table is published (mirrors set_memory_tracker); flipping
+  /// it later resets the running checksum, so only do so on empty tables.
+  void set_integrity_enabled(bool enabled) noexcept {
+    integrity_enabled_ = enabled;
+    if (!enabled) content_hash_ = 0;
+  }
+  bool integrity_enabled() const noexcept { return integrity_enabled_; }
+
+  /// The incrementally-maintained content checksum: the mod-2^64 sum of
+  /// every live row's FNV-1a hash (order-independent, so it is identical
+  /// across execution modes that insert rows in different orders).
+  uint64_t content_hash() const noexcept { return content_hash_; }
+
+  /// Recomputes the checksum from the live rows and compares it to the
+  /// maintained one (the CHECK TABLE / scrub primitive; caller holds at
+  /// least the shared lock). On mismatch returns false and fills the
+  /// optional out-params. Always true when integrity is disabled.
+  bool VerifyContent(uint64_t* expected_out = nullptr,
+                     uint64_t* actual_out = nullptr) const;
+
+  /// Marks/queries the quarantine flag: a table whose scrub failed is
+  /// fenced off so every subsequent statement touching it fails with
+  /// IntegrityError instead of reading corrupt rows. Cleared by dropping
+  /// and re-creating the table (which RESTORE TABLE does).
+  void set_quarantined(bool q) noexcept {
+    quarantined_.store(q, std::memory_order_relaxed);
+  }
+  bool quarantined() const noexcept {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: flips one bit of a stored cell *without* updating the
+  /// maintained checksum — simulated silent memory/storage corruption for
+  /// scrub tests. Caller holds the exclusive lock.
+  void CorruptCellForTesting(size_t row_id, size_t column);
+
  private:
   struct SecondaryIndex {
     std::string column;
@@ -111,6 +151,9 @@ class Table {
 
   void IndexInsert(size_t row_id);
   void IndexErase(size_t row_id);
+  /// FNV-1a over one row's cells (type tags + raw payload bits; doubles by
+  /// bit pattern, matching the dump format's exactness guarantees).
+  static uint64_t RowHash(const Row& row) noexcept;
   /// Adjusts the storage accounting by `delta` bytes (callers hold the
   /// table lock, so the plain counter is safe).
   void Account(int64_t delta) noexcept;
@@ -126,6 +169,12 @@ class Table {
   std::vector<Row> rows_;
   std::vector<char> live_;
   size_t live_rows_ = 0;
+
+  bool integrity_enabled_ = false;
+  /// Sum (mod 2^64) of RowHash over live rows. A sum, not an XOR: two
+  /// identical rows would cancel under XOR and vanish from the checksum.
+  uint64_t content_hash_ = 0;
+  std::atomic<bool> quarantined_{false};
 
   std::unordered_map<Value, size_t, ValueKeyHash, ValueKeyEq> pk_index_;
   std::unordered_map<std::string, SecondaryIndex> secondary_indexes_;

@@ -6,7 +6,10 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/logging.h"
 #include "core/execute.h"
+#include "minidb/database.h"
+#include "minidb/table.h"
 #include "core/resilience.h"
 #include "dbc/driver.h"
 #include "minidb/schema.h"
@@ -166,6 +169,7 @@ JobServer::JobServer(JobServerConfig config)
         dbc::ConnectionConfig::Parse(config_.url);
     if (minidb::Server* backend = dbc::DriverManager::FindHost(parsed.host)) {
       root_tracker_ = backend->memory_tracker();
+      backend_ = backend;
     }
   } catch (...) {
     // An unparsable URL fails later, at the first connection open.
@@ -188,6 +192,9 @@ JobServer::JobServer(JobServerConfig config)
   }
   if (config_.hard_memory_limit_bytes > 0 && root_tracker_ != nullptr) {
     governor_ = std::thread([this] { GovernorLoop(); });
+  }
+  if (config_.scrub_interval_ms > 0 && backend_ != nullptr) {
+    scrubber_ = std::thread([this] { ScrubLoop(); });
   }
 }
 
@@ -221,6 +228,10 @@ void JobServer::Drain() {
   stop_governor_.store(true, std::memory_order_release);
   governor_cv_.notify_all();
   if (governor_.joinable()) governor_.join();
+  // Ditto the scrubber: tables stay verified until the last job is done.
+  stop_scrub_.store(true, std::memory_order_release);
+  scrub_cv_.notify_all();
+  if (scrubber_.joinable()) scrubber_.join();
   const std::scoped_lock pool_lock(pool_mutex_);
   for (auto& [url, conns] : idle_conns_) {
     for (auto& conn : conns) {
@@ -310,6 +321,59 @@ void JobServer::GovernorLoop() {
       KillLargestVictim();
     }
   }
+}
+
+void JobServer::ScrubLoop() {
+  std::unique_lock<std::mutex> lock(scrub_mutex_);
+  const auto interval =
+      std::chrono::milliseconds(std::max<int64_t>(1, config_.scrub_interval_ms));
+  while (!stop_scrub_.load(std::memory_order_acquire)) {
+    scrub_cv_.wait_for(lock, interval, [&] {
+      return stop_scrub_.load(std::memory_order_acquire);
+    });
+    if (stop_scrub_.load(std::memory_order_acquire)) break;
+    // Governance-aware pacing: a scrub pass scans whole tables under
+    // shared locks; while the server is already shedding load at the soft
+    // watermark, skipping the cycle is strictly better than adding reads.
+    if (shedding()) {
+      scrub_skipped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    ScrubBackendOnce();
+    scrub_cycles_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+uint64_t JobServer::ScrubBackendOnce() {
+  uint64_t corruptions = 0;
+  for (const std::string& db_name : backend_->DatabaseNames()) {
+    const std::shared_ptr<minidb::Database> db =
+        backend_->FindDatabase(db_name);
+    if (db == nullptr) continue;  // dropped since the name snapshot
+    for (const std::string& table_name : db->TableNames()) {
+      if (stop_scrub_.load(std::memory_order_acquire)) return corruptions;
+      const std::shared_ptr<minidb::Table> table = db->FindTable(table_name);
+      if (table == nullptr || table->quarantined()) continue;
+      uint64_t expected = 0;
+      uint64_t actual = 0;
+      bool ok = true;
+      {
+        const std::shared_lock table_lock(table->lock());
+        ok = table->VerifyContent(&expected, &actual);
+        if (!ok) table->set_quarantined(true);
+      }
+      scrub_tables_.fetch_add(1, std::memory_order_relaxed);
+      if (!ok) {
+        ++corruptions;
+        scrub_corruptions_.fetch_add(1, std::memory_order_relaxed);
+        SQLOOP_WARN("background scrub: table '"
+                    << db_name << "." << table_name
+                    << "' failed its content checksum (maintained " << expected
+                    << ", recomputed " << actual << "); table quarantined");
+      }
+    }
+  }
+  return corruptions;
 }
 
 bool JobServer::KillLargestVictim() {

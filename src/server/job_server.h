@@ -39,6 +39,10 @@
 #include "server/session.h"
 #include "telemetry/recorder.h"
 
+namespace sqloop::minidb {
+class Server;  // the backend the background scrubber walks (minidb/server.h)
+}  // namespace sqloop::minidb
+
 namespace sqloop::server {
 
 struct JobServerConfig {
@@ -112,6 +116,17 @@ struct JobServerConfig {
   /// Governor thread poll interval (watermark checks). Only meaningful
   /// when hard_memory_limit_bytes > 0.
   int64_t governor_poll_ms = 2;
+
+  // --- background integrity scrub (DESIGN.md "Durability & integrity") --
+
+  /// Interval between background scrub cycles. Each cycle walks every
+  /// table of the backend the config URL resolves to and verifies its
+  /// maintained content checksum against a recomputation; a mismatch
+  /// quarantines the table (jobs touching it fail with IntegrityError
+  /// instead of reading corrupt rows). Pacing is governance-aware: cycles
+  /// are skipped while the server is shedding load at the soft memory
+  /// watermark. 0 disables the scrubber.
+  int64_t scrub_interval_ms = 0;
 };
 
 /// One row of Jobs() — a point-in-time snapshot of a job.
@@ -214,6 +229,18 @@ class JobServer {
     return victim_cancellations_.load();
   }
 
+  // --- background scrub accounting --------------------------------------
+  /// Completed scrub cycles (full walks of the backend's tables).
+  uint64_t scrub_cycles() const noexcept { return scrub_cycles_.load(); }
+  /// Tables whose checksum was verified across all cycles.
+  uint64_t scrub_tables() const noexcept { return scrub_tables_.load(); }
+  /// Checksum mismatches found (each quarantines its table).
+  uint64_t scrub_corruptions() const noexcept {
+    return scrub_corruptions_.load();
+  }
+  /// Cycles skipped because the server was shedding load.
+  uint64_t scrub_skipped() const noexcept { return scrub_skipped_.load(); }
+
  private:
   struct TenantState {
     double weight = 1.0;
@@ -257,6 +284,12 @@ class JobServer {
   void GovernorLoop();
   /// One governor decision. Returns true if a victim was cancelled.
   bool KillLargestVictim();
+  /// Background scrub thread body: one cycle per scrub_interval_ms, each
+  /// cycle verifying every backend table's content checksum under its
+  /// shared lock. Skips cycles while shedding() (governance-aware pacing).
+  void ScrubLoop();
+  /// One scrub cycle. Returns the number of corrupt tables found.
+  uint64_t ScrubBackendOnce();
   /// Caller holds registry_mutex_. Drops the oldest terminal jobs beyond
   /// history_limit.
   void TrimHistory();
@@ -301,6 +334,19 @@ class JobServer {
   std::mutex governor_mutex_;
   std::condition_variable governor_cv_;
   std::thread governor_;
+
+  // --- background integrity scrub ---------------------------------------
+  /// The backend the config URL resolves to; the scrubber walks its
+  /// tables. Null when the host is unknown (scrubber never starts).
+  minidb::Server* backend_ = nullptr;
+  std::atomic<uint64_t> scrub_cycles_{0};
+  std::atomic<uint64_t> scrub_tables_{0};
+  std::atomic<uint64_t> scrub_corruptions_{0};
+  std::atomic<uint64_t> scrub_skipped_{0};
+  std::atomic<bool> stop_scrub_{false};
+  std::mutex scrub_mutex_;
+  std::condition_variable scrub_cv_;
+  std::thread scrubber_;
 
   std::mutex drain_mutex_;
   std::vector<std::thread> dispatchers_;

@@ -246,6 +246,7 @@ enum class StatementKind {
   kTruncate,
   kDumpTable,     // DUMP TABLE t TO '<path>' — checkpoint fast path
   kRestoreTable,  // RESTORE TABLE t FROM '<path>'
+  kCheckTable,    // CHECK TABLE t — content-checksum scrub pass
   kBegin,
   kCommit,
   kRollback,

@@ -18,7 +18,8 @@ const std::unordered_set<std::string>& KeywordSet() {
       "RIGHT", "FULL", "OUTER", "CROSS", "UNION", "ALL", "DISTINCT",
       "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
       "DROP", "TABLE", "INDEX", "VIEW", "IF", "EXISTS", "NOT", "PRIMARY",
-      "KEY", "UNLOGGED", "ENGINE", "TRUNCATE", "DUMP", "RESTORE", "TO",
+      "KEY", "UNLOGGED", "ENGINE", "TRUNCATE", "DUMP", "RESTORE", "CHECK",
+      "TO",
       "AND", "OR", "IS", "NULL",
       "CASE", "WHEN", "THEN", "ELSE", "END", "BETWEEN", "IN", "LIKE",
       "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION",

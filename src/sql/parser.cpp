@@ -134,6 +134,7 @@ class Parser {
     if (CheckKeyword("TRUNCATE")) return ParseTruncate();
     if (CheckKeyword("DUMP")) return ParseDump();
     if (CheckKeyword("RESTORE")) return ParseRestore();
+    if (CheckKeyword("CHECK")) return ParseCheck();
     if (AcceptKeyword("BEGIN")) {
       AcceptKeyword("TRANSACTION");
       auto stmt = std::make_unique<Statement>();
@@ -493,6 +494,18 @@ class Parser {
     stmt->table_name = ExpectIdentifier("table name");
     ExpectKeyword("FROM");
     stmt->file_path = ExpectFilePath();
+    return stmt;
+  }
+
+  // CHECK TABLE t — verifies the table's maintained content checksum
+  // against a recomputation (the scrub primitive; DESIGN.md "Durability &
+  // integrity").
+  StatementPtr ParseCheck() {
+    ExpectKeyword("CHECK");
+    AcceptKeyword("TABLE");
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StatementKind::kCheckTable;
+    stmt->table_name = ExpectIdentifier("table name");
     return stmt;
   }
 

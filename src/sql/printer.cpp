@@ -346,6 +346,8 @@ std::string PrintStatement(const Statement& stmt, Dialect dialect) {
     case StatementKind::kRestoreTable:
       return "RESTORE TABLE " + QuoteIdentifier(stmt.table_name, dialect) +
              " FROM " + Value(stmt.file_path).ToSqlLiteral();
+    case StatementKind::kCheckTable:
+      return "CHECK TABLE " + QuoteIdentifier(stmt.table_name, dialect);
     case StatementKind::kBegin:
       return "BEGIN";
     case StatementKind::kCommit:

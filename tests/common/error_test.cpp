@@ -24,6 +24,8 @@ TEST(ErrorTaxonomy, EverySubclassCarriesItsPrefix) {
   EXPECT_STREQ(JobCancelledError("x").what(), "job cancelled: x");
   EXPECT_STREQ(QuotaExceededError("x").what(), "quota exceeded: x");
   EXPECT_STREQ(TaskSupersededError("x").what(), "task superseded: x");
+  EXPECT_STREQ(IntegrityError("x").what(), "integrity violation: x");
+  EXPECT_STREQ(CrashPointError("x").what(), "crash point: x");
 }
 
 TEST(ErrorTaxonomy, SubclassPrefixesDoNotStack) {
@@ -59,6 +61,8 @@ TEST(ErrorTaxonomy, EverySubclassIsCatchableAsError) {
   ExpectCatchableAsError(JobCancelledError("x"));
   ExpectCatchableAsError(QuotaExceededError("x"));
   ExpectCatchableAsError(TaskSupersededError("x"));
+  ExpectCatchableAsError(IntegrityError("x"));
+  ExpectCatchableAsError(CrashPointError("x"));
 }
 
 TEST(ErrorTaxonomy, TransientSubclassesCatchAsTransientError) {
@@ -91,6 +95,11 @@ TEST(ErrorTaxonomy, IsTransientErrorClassifiesEverySubclass) {
   EXPECT_FALSE(IsTransientError(JobCancelledError("x")));
   EXPECT_FALSE(IsTransientError(QuotaExceededError("x")));
   EXPECT_FALSE(IsTransientError(TaskSupersededError("x")));
+  // Durability errors are deliberately fatal: an integrity violation means
+  // the data is wrong — re-reading it cannot make it right — and a crash
+  // point must "kill the process", not be absorbed by a retry loop.
+  EXPECT_FALSE(IsTransientError(IntegrityError("x")));
+  EXPECT_FALSE(IsTransientError(CrashPointError("x")));
   EXPECT_FALSE(IsTransientError(Error("x")));
   EXPECT_FALSE(IsTransientError(std::runtime_error("x")));
 }

@@ -1,0 +1,164 @@
+// FaultFile — the durability I/O shim (common/fault_file.h): atomic
+// tmp+rename publishes, per-operation counters, deterministic crash
+// wreckage, and the fired-once latch that lets a resume run reopen the
+// same crash-knob URL without crashing forever.
+#include "common/fault_file.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+
+namespace sqloop {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FaultFileTest : public ::testing::Test {
+ protected:
+  FaultFileTest() {
+    static std::atomic<uint64_t> counter{0};
+    dir_ = (fs::temp_directory_path() /
+            ("sqloop_faultfile_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(dir_);
+    FaultFile::ClearPlan();
+  }
+  ~FaultFileTest() override {
+    FaultFile::ClearPlan();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string File(const std::string& stem) const {
+    return (fs::path(dir_) / stem).string();
+  }
+
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::string dir_;
+};
+
+const std::string kPayload = "0123456789abcdef0123456789abcdef";
+
+TEST_F(FaultFileTest, PublishWritesAtomicallyAndCounts) {
+  FaultFile::ResetCounters();
+  FaultFile::PublishFile(File("a.bin"), kPayload.data(), kPayload.size(),
+                         "test file");
+  EXPECT_EQ(ReadAll(File("a.bin")), kPayload);
+  EXPECT_FALSE(fs::exists(File("a.bin") + ".tmp"));
+  const FaultFileCounters counters = FaultFile::counters();
+  EXPECT_EQ(counters.writes, 1u);
+  EXPECT_EQ(counters.fsyncs, 1u);
+  EXPECT_EQ(counters.renames, 1u);
+  EXPECT_EQ(counters.crashes, 0u);
+}
+
+TEST_F(FaultFileTest, CrashAtWriteLeavesNoFinalFile) {
+  CrashPlan plan;
+  plan.crash_at_write = 2;
+  FaultFile::InstallPlan(plan);
+  FaultFile::PublishFile(File("a.bin"), kPayload.data(), kPayload.size(),
+                         "test file");
+  EXPECT_THROW(FaultFile::PublishFile(File("b.bin"), kPayload.data(),
+                                      kPayload.size(), "test file"),
+               CrashPointError);
+  EXPECT_TRUE(fs::exists(File("a.bin")));
+  EXPECT_FALSE(fs::exists(File("b.bin")));
+  EXPECT_EQ(FaultFile::counters().crashes, 1u);
+}
+
+TEST_F(FaultFileTest, CrashAtFsyncLeavesCompleteTmpOnly) {
+  CrashPlan plan;
+  plan.crash_at_fsync = 1;
+  FaultFile::InstallPlan(plan);
+  EXPECT_THROW(FaultFile::PublishFile(File("a.bin"), kPayload.data(),
+                                      kPayload.size(), "test file"),
+               CrashPointError);
+  // The write completed, the rename never happened: the payload sits in
+  // full at the tmp path, invisible to any reader of the final path.
+  EXPECT_FALSE(fs::exists(File("a.bin")));
+  EXPECT_EQ(ReadAll(File("a.bin") + ".tmp"), kPayload);
+}
+
+TEST_F(FaultFileTest, TornRenameCrashLeavesTornFinalFile) {
+  CrashPlan plan;
+  plan.crash_at_rename = 1;
+  plan.torn_writes = true;
+  FaultFile::InstallPlan(plan);
+  EXPECT_THROW(FaultFile::PublishFile(File("a.bin"), kPayload.data(),
+                                      kPayload.size(), "test file"),
+               CrashPointError);
+  // A non-atomic filesystem's rename crash: a torn prefix at the FINAL
+  // path (shorter than the payload), no tmp left behind.
+  ASSERT_TRUE(fs::exists(File("a.bin")));
+  EXPECT_LT(fs::file_size(File("a.bin")), kPayload.size());
+  EXPECT_FALSE(fs::exists(File("a.bin") + ".tmp"));
+}
+
+TEST_F(FaultFileTest, WreckageIsDeterministicPerSeed) {
+  const auto wreck = [&](const std::string& stem, uint64_t seed) {
+    CrashPlan plan;
+    plan.crash_at_write = 1;
+    plan.torn_writes = true;
+    plan.flip_bit = true;
+    plan.seed = seed;
+    FaultFile::InstallPlan(plan);
+    EXPECT_THROW(FaultFile::PublishFile(File(stem), kPayload.data(),
+                                        kPayload.size(), "test file"),
+                 CrashPointError);
+    FaultFile::ClearPlan();
+    return ReadAll(File(stem) + ".tmp");
+  };
+  const std::string a = wreck("a.bin", 7);
+  const std::string b = wreck("b.bin", 7);
+  const std::string c = wreck("c.bin", 8);
+  EXPECT_EQ(a, b);  // same (seed, ordinal) → bit-identical wreckage
+  EXPECT_NE(a, c);  // a different seed tears differently
+}
+
+TEST_F(FaultFileTest, ReinstallingIdenticalPlanKeepsTheFiredLatch) {
+  CrashPlan plan;
+  plan.crash_at_write = 1;
+  FaultFile::InstallPlan(plan);
+  EXPECT_THROW(FaultFile::PublishFile(File("a.bin"), kPayload.data(),
+                                      kPayload.size(), "test file"),
+               CrashPointError);
+  // The resume run reopens the same URL: the identical plan must not
+  // re-arm, or recovery would crash at its own first publish.
+  FaultFile::InstallPlan(plan);
+  FaultFile::PublishFile(File("b.bin"), kPayload.data(), kPayload.size(),
+                         "test file");
+  EXPECT_EQ(ReadAll(File("b.bin")), kPayload);
+  // A different plan re-arms.
+  plan.crash_at_write = 2;
+  FaultFile::InstallPlan(plan);
+  FaultFile::PublishFile(File("c.bin"), kPayload.data(), kPayload.size(),
+                         "test file");
+  EXPECT_THROW(FaultFile::PublishFile(File("d.bin"), kPayload.data(),
+                                      kPayload.size(), "test file"),
+               CrashPointError);
+}
+
+TEST_F(FaultFileTest, EmptyPlanDisarms) {
+  CrashPlan plan;
+  plan.crash_at_rename = 1;
+  FaultFile::InstallPlan(plan);
+  FaultFile::InstallPlan(CrashPlan{});
+  FaultFile::PublishFile(File("a.bin"), kPayload.data(), kPayload.size(),
+                         "test file");
+  EXPECT_EQ(ReadAll(File("a.bin")), kPayload);
+}
+
+}  // namespace
+}  // namespace sqloop

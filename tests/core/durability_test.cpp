@@ -1,0 +1,542 @@
+// Durability-hardening acceptance suite (ctest label: durability).
+//
+// The heart of the suite is an exhaustive crash-loop driver: a clean
+// checkpointed run first *counts* the write/fsync/rename operations the
+// durability shim performs, then the driver re-runs the job once per
+// (operation kind, ordinal) pair with a crash plan armed at exactly that
+// point — alternating between clean crashes and the harshest wreckage the
+// shim can model (torn files plus a flipped bit) — and asserts that a
+// resume on the surviving files completes bit-identical to the golden run,
+// in all four execution modes. No crash point anywhere in a checkpoint
+// cycle may lose a committed round or corrupt the answer.
+//
+// The second half covers in-memory corruption: a bit flipped into the CTE
+// state table mid-job must be caught by the scrub pass (never silently
+// folded into the answer), quarantine the table, and — with repair enabled
+// — be healed from the newest valid checkpoint with a bit-identical final
+// result; with repair disabled the job must fail loudly with a
+// non-transient IntegrityError.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/fault_file.h"
+#include "core/workloads.h"
+#include "dbc/driver.h"
+#include "graph/generators.h"
+#include "minidb/database.h"
+#include "minidb/server.h"
+#include "minidb/table.h"
+#include "server/job_server.h"
+#include "tests/core/core_test_util.h"
+
+namespace sqloop::core {
+namespace {
+
+namespace fs = std::filesystem;
+using testing::CoreFixtureBase;
+
+/// Rows rendered to strings and sorted: the canonical form two runs must
+/// agree on bit for bit.
+std::vector<std::string> Canonical(const dbc::ResultSet& result) {
+  std::vector<std::string> rows;
+  rows.reserve(result.rows.size());
+  for (const auto& row : result.rows) {
+    std::string flat;
+    for (const auto& value : row) {
+      flat += value.ToString();
+      flat += '|';
+    }
+    rows.push_back(std::move(flat));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// The minidb host name inside a fixture URL ("minidb://<host>/db?...").
+std::string HostOf(const std::string& url) {
+  const auto start = url.find("://") + 3;
+  return url.substr(start, url.find('/', start) - start);
+}
+
+/// A unique on-disk checkpoint directory, removed when the test ends.
+class ScopedCheckpointDir {
+ public:
+  ScopedCheckpointDir() {
+    static std::atomic<uint64_t> counter{0};
+    dir_ = (fs::temp_directory_path() /
+            ("sqloop_durability_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::create_directories(dir_);
+  }
+  ~ScopedCheckpointDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  const std::string& path() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+SqloopOptions BaseOptions(ExecutionMode mode) {
+  SqloopOptions options;
+  options.mode = mode;
+  options.partitions = 2;
+  // threads=1 pins the async task order, so PageRank's floating-point
+  // summation order — and the bit-for-bit comparison — is exact, and the
+  // shim's operation ordinals are deterministic across re-runs.
+  options.threads = 1;
+  return options;
+}
+
+const ExecutionMode kAllModes[] = {
+    ExecutionMode::kSingleThread, ExecutionMode::kSync, ExecutionMode::kAsync,
+    ExecutionMode::kAsyncPriority};
+
+// ---------------------------------------------------------------------------
+// The exhaustive crash-loop driver
+// ---------------------------------------------------------------------------
+
+TEST(DurabilityTest, EveryCrashPointInACheckpointCycleRecoversBitIdentical) {
+  const graph::Graph g = graph::MakeWebGraph(40, 3, 5);
+  const std::string query = workloads::PageRankQuery(4);
+  for (const ExecutionMode mode : kAllModes) {
+    SCOPED_TRACE(ExecutionModeName(mode));
+
+    std::vector<std::string> clean;
+    {
+      CoreFixtureBase fixture("postgres");
+      fixture.LoadGraph(g);
+      SqLoop loop(fixture.Url(), BaseOptions(mode));
+      clean = Canonical(loop.Execute(query));
+    }
+
+    // Learning run: one clean checkpointed execution, counting how many
+    // publish operations (each is one write + one fsync + one rename) a
+    // full checkpoint cycle performs. That count bounds the crash loop —
+    // every ordinal in [1, publishes] is a reachable crash point.
+    SqloopOptions options = BaseOptions(mode);
+    options.checkpoint_every = 1;
+    int64_t publishes = 0;
+    {
+      CoreFixtureBase fixture("postgres");
+      fixture.LoadGraph(g);
+      ScopedCheckpointDir dir;
+      options.checkpoint_dir = dir.path();
+      SqLoop loop(fixture.Url(), options);
+      FaultFile::ResetCounters();
+      ASSERT_EQ(Canonical(loop.Execute(query)), clean);
+      const FaultFileCounters counters = FaultFile::counters();
+      publishes = static_cast<int64_t>(counters.writes);
+      // One publish = exactly one of each operation.
+      EXPECT_EQ(counters.fsyncs, counters.writes);
+      EXPECT_EQ(counters.renames, counters.writes);
+      EXPECT_EQ(counters.crashes, 0u);
+    }
+    ASSERT_GT(publishes, 0) << "checkpointing never published a file";
+
+    for (const char* kind : {"write", "fsync", "rename"}) {
+      for (int64_t n = 1; n <= publishes; ++n) {
+        // Alternate crash flavours so both recovery paths are enumerated
+        // at every ordinal parity: clean crashes (complete tmp file, final
+        // untouched) and the harshest wreckage (torn file, one bit flipped
+        // in whatever survives).
+        const bool harsh = (n % 2) == 1;
+        SCOPED_TRACE(std::string("crash_at_") + kind + "=" +
+                     std::to_string(n) + (harsh ? " (torn+flip)" : ""));
+        CoreFixtureBase fixture("postgres");
+        fixture.LoadGraph(g);
+        ScopedCheckpointDir dir;
+        SqloopOptions crash_options = BaseOptions(mode);
+        crash_options.checkpoint_every = 1;
+        crash_options.checkpoint_dir = dir.path();
+        {
+          SqLoop loop(fixture.Url() + "&fault_crash_at_" + kind + "=" +
+                          std::to_string(n) +
+                          (harsh ? "&fault_torn_writes=1&fault_flip_bit=1"
+                                 : ""),
+                      crash_options);
+          EXPECT_THROW(loop.Execute(query), CrashPointError);
+          EXPECT_EQ(FaultFile::counters().crashes, 1u);
+        }
+        // Resume on the same fixture: the plain URL disarms the plan, the
+        // wreckage on disk stays. Whatever the crash left behind — a torn
+        // tmp, a complete-but-unrenamed tmp, a torn final file, a flipped
+        // bit — recovery must reject invalid artifacts and land on the
+        // golden answer.
+        crash_options.resume = true;
+        SqLoop loop(fixture.Url(), crash_options);
+        EXPECT_EQ(Canonical(loop.Execute(query)), clean);
+      }
+    }
+  }
+}
+
+TEST(DurabilityTest, CrashPointErrorIsFatalNotTransient) {
+  const CrashPointError crash("test");
+  EXPECT_FALSE(IsTransientError(crash));
+  const IntegrityError integrity("test");
+  EXPECT_FALSE(IsTransientError(integrity));
+}
+
+// ---------------------------------------------------------------------------
+// Scrub: mid-job corruption detection and repair
+// ---------------------------------------------------------------------------
+
+/// Flips one bit inside the CTE state table after round `at_round`
+/// completes, exactly once, through the server-side table handle — the
+/// in-memory equivalent of silent media corruption.
+class CorruptOnceObserver : public ExecutionObserver {
+ public:
+  CorruptOnceObserver(std::string host, int64_t at_round)
+      : host_(std::move(host)), at_round_(at_round) {}
+
+  void OnRoundEnd(const telemetry::IterationStats& round) override {
+    if (fired_ || round.round != at_round_) return;
+    minidb::Server* server = dbc::DriverManager::FindHost(host_);
+    ASSERT_NE(server, nullptr);
+    const std::shared_ptr<minidb::Database> db = server->FindDatabase("db");
+    ASSERT_NE(db, nullptr);
+    // Prefer a partition table (parallel modes); fall back to the CTE
+    // state table itself (single-thread mode).
+    std::string victim;
+    for (const std::string& name : db->TableNames()) {
+      if (name.size() >= 4 && name.substr(name.size() - 4) == "_pt0") {
+        victim = name;
+        break;
+      }
+      if (name == "pagerank") victim = name;
+    }
+    ASSERT_FALSE(victim.empty()) << "no CTE state table to corrupt";
+    const std::shared_ptr<minidb::Table> table = db->FindTable(victim);
+    ASSERT_NE(table, nullptr);
+    {
+      const std::unique_lock<std::shared_mutex> lock(table->lock());
+      table->CorruptCellForTesting(0, 1);
+    }
+    fired_ = true;
+  }
+
+  bool fired() const { return fired_; }
+
+ private:
+  const std::string host_;
+  const int64_t at_round_;
+  bool fired_ = false;
+};
+
+TEST(DurabilityTest, ScrubDetectsMidJobCorruptionAndRepairsBitIdentical) {
+  const graph::Graph g = graph::MakeWebGraph(60, 3, 5);
+  const std::string query = workloads::PageRankQuery(5);
+  for (const ExecutionMode mode :
+       {ExecutionMode::kSingleThread, ExecutionMode::kSync}) {
+    SCOPED_TRACE(ExecutionModeName(mode));
+    std::vector<std::string> clean;
+    {
+      CoreFixtureBase fixture("postgres");
+      fixture.LoadGraph(g);
+      SqLoop loop(fixture.Url(), BaseOptions(mode));
+      clean = Canonical(loop.Execute(query));
+    }
+
+    CoreFixtureBase fixture("postgres");
+    fixture.LoadGraph(g);
+    ScopedCheckpointDir dir;
+    SqloopOptions options = BaseOptions(mode);
+    options.checkpoint_every = 1;
+    options.checkpoint_dir = dir.path();
+    options.scrub_every = 1;
+    CorruptOnceObserver observer(HostOf(fixture.Url()), /*at_round=*/2);
+    SqLoop loop(fixture.Url(), options);
+    loop.set_observer(&observer);
+    // The corruption lands after round 2's merge and before round 2's
+    // scrub: the scrub must catch it before the round is checkpointed, and
+    // the repair ladder must restart from the round-1 checkpoint — never
+    // sealing, or answering from, corrupt state.
+    EXPECT_EQ(Canonical(loop.Execute(query)), clean);
+    EXPECT_TRUE(observer.fired());
+    const RunStats& stats = loop.last_run();
+    EXPECT_GE(stats.integrity_repairs, 1u);
+    EXPECT_GT(stats.scrub_passes, 0u);
+    EXPECT_EQ(stats.resumed_from_round, 1);
+  }
+}
+
+TEST(DurabilityTest, WithoutRepairCorruptionFailsLoudlyNeverSilently) {
+  const graph::Graph g = graph::MakeWebGraph(60, 3, 5);
+  const std::string query = workloads::PageRankQuery(5);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+  SqloopOptions options = BaseOptions(ExecutionMode::kSingleThread);
+  options.scrub_every = 1;
+  options.scrub_repair = false;
+  CorruptOnceObserver observer(HostOf(fixture.Url()), /*at_round=*/2);
+  SqLoop loop(fixture.Url(), options);
+  loop.set_observer(&observer);
+  try {
+    loop.Execute(query);
+    FAIL() << "corrupted job completed without an integrity error";
+  } catch (const IntegrityError& e) {
+    // Loud, attributable, and non-transient: no retry machinery may eat it
+    // and no result may be returned.
+    EXPECT_NE(std::string(e.what()).find("integrity violation"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("content checksum"),
+              std::string::npos);
+    EXPECT_FALSE(IsTransientError(e));
+  }
+  EXPECT_TRUE(observer.fired());
+}
+
+TEST(DurabilityTest, RepairWithoutCheckpointsRestartsFromScratch) {
+  // No checkpoint to heal from: the repair ladder must still converge by
+  // restarting the job from its seed — correct, just slower.
+  const graph::Graph g = graph::MakeWebGraph(60, 3, 5);
+  const std::string query = workloads::PageRankQuery(5);
+  std::vector<std::string> clean;
+  {
+    CoreFixtureBase fixture("postgres");
+    fixture.LoadGraph(g);
+    SqLoop loop(fixture.Url(), BaseOptions(ExecutionMode::kSingleThread));
+    clean = Canonical(loop.Execute(query));
+  }
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+  SqloopOptions options = BaseOptions(ExecutionMode::kSingleThread);
+  options.scrub_every = 1;
+  CorruptOnceObserver observer(HostOf(fixture.Url()), /*at_round=*/2);
+  SqLoop loop(fixture.Url(), options);
+  loop.set_observer(&observer);
+  EXPECT_EQ(Canonical(loop.Execute(query)), clean);
+  EXPECT_TRUE(observer.fired());
+  EXPECT_GE(loop.last_run().integrity_repairs, 1u);
+  EXPECT_EQ(loop.last_run().resumed_from_round, 0);
+}
+
+// ---------------------------------------------------------------------------
+// CHECK TABLE / quarantine at the SQL surface
+// ---------------------------------------------------------------------------
+
+TEST(DurabilityTest, QuarantineBlocksReadsUntilRestored) {
+  CoreFixtureBase fixture("postgres");
+  auto conn = dbc::DriverManager::GetConnection(fixture.Url());
+  conn->Execute(
+      "CREATE TABLE t (id BIGINT PRIMARY KEY, v DOUBLE PRECISION, "
+      "note VARCHAR)");
+  conn->Execute("INSERT INTO t VALUES (1, 0.5, 'a'), (2, 0.25, NULL)");
+
+  const auto check = conn->Execute("CHECK TABLE t");
+  ASSERT_EQ(check.rows.size(), 1u);
+  EXPECT_EQ(check.rows[0][1].as_text(), "ok");
+  EXPECT_EQ(check.rows[0][2].as_int(), 2);
+
+  ScopedCheckpointDir dir;
+  const std::string dump = (fs::path(dir.path()) / "t.dump").string();
+  conn->Execute("DUMP TABLE t TO '" + dump + "'");
+
+  minidb::Server* server = dbc::DriverManager::FindHost(HostOf(fixture.Url()));
+  ASSERT_NE(server, nullptr);
+  const auto table = server->FindDatabase("db")->FindTable("t");
+  ASSERT_NE(table, nullptr);
+  {
+    const std::unique_lock<std::shared_mutex> lock(table->lock());
+    table->CorruptCellForTesting(0, 1);
+  }
+
+  // Detection quarantines; every subsequent access — reads included — is
+  // fenced, and dumping the corrupt state is refused.
+  EXPECT_THROW(conn->Execute("CHECK TABLE t"), IntegrityError);
+  EXPECT_TRUE(table->quarantined());
+  EXPECT_THROW(conn->Execute("SELECT * FROM t"), IntegrityError);
+  EXPECT_THROW(conn->Execute("INSERT INTO t VALUES (3, 1.0, 'x')"),
+               IntegrityError);
+  EXPECT_THROW(conn->Execute("DUMP TABLE t TO '" + dump + ".2'"),
+               IntegrityError);
+  // Repeated CHECK on an already-quarantined table stays loud.
+  EXPECT_THROW(conn->Execute("CHECK TABLE t"), IntegrityError);
+
+  // RESTORE rebuilds the table from the last good dump and clears the
+  // quarantine with it.
+  conn->Execute("RESTORE TABLE t FROM '" + dump + "'");
+  const auto again = conn->Execute("CHECK TABLE t");
+  EXPECT_EQ(again.rows[0][1].as_text(), "ok");
+  EXPECT_EQ(Canonical(conn->Execute("SELECT * FROM t")).size(), 2u);
+}
+
+TEST(DurabilityTest, CheckTableOnMissingTableIsAUsageErrorNotCorruption) {
+  CoreFixtureBase fixture("postgres");
+  auto conn = dbc::DriverManager::GetConnection(fixture.Url());
+  EXPECT_THROW(conn->Execute("CHECK TABLE nope"), ExecutionError);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint retention (checkpoint_keep)
+// ---------------------------------------------------------------------------
+
+/// All ckpt_<round> directories under `root`.
+size_t CountCheckpoints(const std::string& root) {
+  size_t n = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("ckpt_", 0) == 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(DurabilityTest, CheckpointKeepControlsRetentionDepth) {
+  const graph::Graph g = graph::MakeWebGraph(60, 3, 5);
+  const std::string query = workloads::PageRankQuery(6);
+  for (const int64_t keep : {1, 3}) {
+    SCOPED_TRACE("checkpoint_keep=" + std::to_string(keep));
+    CoreFixtureBase fixture("postgres");
+    fixture.LoadGraph(g);
+    ScopedCheckpointDir dir;
+    SqloopOptions options = BaseOptions(ExecutionMode::kSync);
+    options.checkpoint_every = 1;
+    options.checkpoint_dir = dir.path();
+    options.checkpoint_keep = keep;
+    SqLoop loop(fixture.Url(), options);
+    loop.Execute(query);
+    ASSERT_GE(loop.last_run().checkpoints_written,
+              static_cast<uint64_t>(keep));
+    EXPECT_EQ(CountCheckpoints(dir.path()), static_cast<size_t>(keep));
+  }
+}
+
+TEST(DurabilityTest, PostCommitVerificationCoversEveryCheckpoint) {
+  const graph::Graph g = graph::MakeWebGraph(60, 3, 5);
+  const std::string query = workloads::PageRankQuery(4);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+  ScopedCheckpointDir dir;
+  SqloopOptions options = BaseOptions(ExecutionMode::kSync);
+  options.checkpoint_every = 1;
+  options.checkpoint_dir = dir.path();
+  options.verify_checkpoints = true;
+  SqLoop loop(fixture.Url(), options);
+  loop.Execute(query);
+  const RunStats& stats = loop.last_run();
+  EXPECT_GT(stats.checkpoints_written, 0u);
+  EXPECT_EQ(stats.checkpoints_verified, stats.checkpoints_written);
+}
+
+// ---------------------------------------------------------------------------
+// URL knobs
+// ---------------------------------------------------------------------------
+
+TEST(DurabilityTest, DurabilityUrlKnobsParseAndValidate) {
+  const auto parse = [](const std::string& params) {
+    return dbc::ConnectionConfig::Parse("minidb://h/db?" + params);
+  };
+  // checkpoint_keep must be a positive retention depth; keeping zero
+  // checkpoints would silently disable recovery.
+  EXPECT_THROW(parse("checkpoint_keep=0"), ConnectionError);
+  EXPECT_THROW(parse("checkpoint_keep=-2"), ConnectionError);
+  EXPECT_THROW(parse("checkpoint_keep=2&checkpoint_keep=3"), ConnectionError);
+  EXPECT_EQ(parse("checkpoint_keep=5").checkpoint_keep, 5);
+
+  // Crash-wreckage modifiers without a crash point can never fire.
+  EXPECT_THROW(parse("fault_torn_writes=1"), ConnectionError);
+  EXPECT_THROW(parse("fault_flip_bit=1"), ConnectionError);
+  // A crash ordinal of zero means "never" — spell that by omission.
+  EXPECT_THROW(parse("fault_crash_at_write=0"), ConnectionError);
+  EXPECT_THROW(parse("fault_crash_at_rename=-1"), ConnectionError);
+
+  const auto config = parse(
+      "fault_crash_at_write=3&fault_torn_writes=1&fault_flip_bit=1"
+      "&fault_seed=7&verify_checkpoints=1&scrub_every=2");
+  EXPECT_TRUE(config.has_crash);
+  EXPECT_EQ(config.crash.crash_at_write, 3);
+  EXPECT_TRUE(config.crash.torn_writes);
+  EXPECT_TRUE(config.crash.flip_bit);
+  EXPECT_EQ(config.crash.seed, 7u);  // the crash seed follows fault_seed
+  EXPECT_TRUE(config.verify_checkpoints);
+  EXPECT_EQ(config.scrub_every, 2);
+  EXPECT_EQ(parse("").scrub_every, 0);
+  EXPECT_FALSE(parse("").has_crash);
+}
+
+TEST(DurabilityTest, ScrubUrlKnobEnablesScrubbingWithoutOptions) {
+  const graph::Graph g = graph::MakeWebGraph(60, 3, 5);
+  const std::string query = workloads::PageRankQuery(4);
+  CoreFixtureBase fixture("postgres");
+  fixture.LoadGraph(g);
+  SqLoop loop(fixture.Url() + "&scrub_every=1",
+              BaseOptions(ExecutionMode::kSync));
+  loop.Execute(query);
+  EXPECT_GT(loop.last_run().scrub_passes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// JobServer background scrub
+// ---------------------------------------------------------------------------
+
+TEST(DurabilityTest, BackgroundScrubFindsAndQuarantinesCorruptTables) {
+  CoreFixtureBase fixture("postgres");
+  {
+    auto conn = dbc::DriverManager::GetConnection(fixture.Url());
+    conn->Execute(
+        "CREATE TABLE t (id BIGINT PRIMARY KEY, v DOUBLE PRECISION)");
+    conn->Execute("INSERT INTO t VALUES (1, 0.5), (2, 0.25)");
+  }
+  minidb::Server* backend = dbc::DriverManager::FindHost(HostOf(fixture.Url()));
+  ASSERT_NE(backend, nullptr);
+  const auto table = backend->FindDatabase("db")->FindTable("t");
+  ASSERT_NE(table, nullptr);
+
+  server::JobServerConfig config;
+  config.url = fixture.Url();
+  config.scrub_interval_ms = 2;
+  server::JobServer js(config);
+
+  // A healthy table passes cycles without incident.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (js.scrub_cycles() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(js.scrub_cycles(), 2u);
+  EXPECT_GT(js.scrub_tables(), 0u);
+  EXPECT_EQ(js.scrub_corruptions(), 0u);
+
+  {
+    const std::unique_lock<std::shared_mutex> lock(table->lock());
+    table->CorruptCellForTesting(0, 1);
+  }
+  while (js.scrub_corruptions() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(js.scrub_corruptions(), 1u);
+  EXPECT_TRUE(table->quarantined());
+  // Quarantine holds at the SQL surface, and the scrubber does not
+  // re-count a table it already took out of service.
+  {
+    auto conn = dbc::DriverManager::GetConnection(fixture.Url());
+    EXPECT_THROW(conn->Execute("SELECT * FROM t"), IntegrityError);
+  }
+  const uint64_t cycles_then = js.scrub_cycles();
+  while (js.scrub_cycles() < cycles_then + 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(js.scrub_corruptions(), 1u);
+  js.Drain();
+}
+
+}  // namespace
+}  // namespace sqloop::core

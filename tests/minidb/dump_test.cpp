@@ -153,12 +153,128 @@ TEST_F(DumpTest, CorruptRestoreLeavesExistingTableUntouched) {
   fs::resize_file(path, fs::file_size(path) / 2);
 
   // Validation happens before the catalog change, so the failed RESTORE
-  // must not have dropped (or emptied) the live table.
-  EXPECT_THROW(Run("RESTORE TABLE r FROM '" + path + "'"), ExecutionError);
+  // must not have dropped (or emptied) the live table. Corruption is an
+  // IntegrityError (fatal, never retried); a merely missing file is a
+  // plain ExecutionError.
+  EXPECT_THROW(Run("RESTORE TABLE r FROM '" + path + "'"), IntegrityError);
   EXPECT_EQ(Render("r"), before);
   EXPECT_THROW(Run("RESTORE TABLE r FROM '" + File("missing.dump") + "'"),
                ExecutionError);
   EXPECT_EQ(Render("r"), before);
+}
+
+TEST_F(DumpTest, CorruptRestoreReportsCrcValuesAndFailingOffset) {
+  // The error message must carry enough to debug a bad artifact without a
+  // hex editor: both CRC values (expected and recomputed), where the
+  // footer sits, and how many bytes were covered.
+  CreateSample();
+  const std::string path = File("r.dump");
+  Run("DUMP TABLE r TO '" + path + "'");
+  const auto size = fs::file_size(path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    char c = 0;
+    f.get(c);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.put(static_cast<char>(c ^ 0x5a));
+  }
+  try {
+    Run("RESTORE TABLE r FROM '" + path + "'");
+    FAIL() << "corrupt restore did not throw";
+  } catch (const IntegrityError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("failed CRC validation: expected 0x"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("computed 0x"), std::string::npos) << what;
+    EXPECT_NE(what.find("footer at byte offset " +
+                        std::to_string(size - sizeof(uint32_t))),
+              std::string::npos)
+        << what;
+  }
+
+  // A truncated file names the failing section and byte counts instead.
+  fs::resize_file(path, sizeof(uint64_t));  // magic only: header survives
+  try {
+    Run("RESTORE TABLE r FROM '" + path + "'");
+    FAIL() << "truncated restore did not throw";
+  } catch (const IntegrityError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("header section"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(sizeof(uint64_t)) + " bytes"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST_F(DumpTest, EmptyTableRoundTrips) {
+  Run("CREATE TABLE e (id BIGINT PRIMARY KEY, v DOUBLE)");
+  const auto dump = Run("DUMP TABLE e TO '" + File("e.dump") + "'");
+  EXPECT_EQ(dump.affected_rows, 0u);
+  Run("DROP TABLE e");
+  const auto restore = Run("RESTORE TABLE e FROM '" + File("e.dump") + "'");
+  EXPECT_EQ(restore.affected_rows, 0u);
+  EXPECT_EQ(Render("e"), "");
+  // Schema and PK index came back even with zero rows.
+  Run("INSERT INTO e VALUES (1, 0.5)");
+  EXPECT_EQ(Scalar("SELECT v FROM e WHERE id = 1").as_double(), 0.5);
+}
+
+TEST_F(DumpTest, AllNullColumnsRoundTrip) {
+  Run("CREATE TABLE n (id BIGINT PRIMARY KEY, a DOUBLE, b VARCHAR)");
+  Run("INSERT INTO n VALUES (1, NULL, NULL), (2, NULL, NULL), "
+      "(3, NULL, NULL)");
+  const std::string before = Render("n");
+  Run("DUMP TABLE n TO '" + File("n.dump") + "'");
+  Run("DROP TABLE n");
+  Run("RESTORE TABLE n FROM '" + File("n.dump") + "'");
+  EXPECT_EQ(Render("n"), before);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM n WHERE a IS NULL").as_int(), 3);
+}
+
+TEST_F(DumpTest, AwkwardTextRoundTripsByteForByte) {
+  // Text is dumped length-prefixed, not quoted or escaped: newlines,
+  // quotes, and control bytes adjacent to NUL must survive byte for byte.
+  Run("CREATE TABLE t (id BIGINT PRIMARY KEY, s VARCHAR)");
+  const std::vector<std::string> awkward = {
+      "line\nbreak\r\n",
+      "quo'te \"double\" `back`",
+      std::string("\x01\x02 almost-nul \x7f\x1f", 17),
+      "trailing space   ",
+      "",
+  };
+  for (size_t i = 0; i < awkward.size(); ++i) {
+    Run("INSERT INTO t VALUES (" + std::to_string(i) + ", " +
+        Value(awkward[i]).ToSqlLiteral() + ")");
+  }
+  const std::string before = Render("t");
+  Run("DUMP TABLE t TO '" + File("t.dump") + "'");
+  Run("DROP TABLE t");
+  Run("RESTORE TABLE t FROM '" + File("t.dump") + "'");
+  EXPECT_EQ(Render("t"), before);
+  for (size_t i = 0; i < awkward.size(); ++i) {
+    EXPECT_EQ(Scalar("SELECT s FROM t WHERE id = " + std::to_string(i))
+                  .as_text(),
+              awkward[i]);
+  }
+}
+
+TEST_F(DumpTest, RestoreAfterDropAndRecreateReplacesTheNewSchema) {
+  // The dump carries its own schema: a table dropped and re-created with a
+  // different shape between DUMP and RESTORE is replaced wholesale, not
+  // merged into the new shape.
+  CreateSample();
+  const std::string before = Render("r");
+  Run("DUMP TABLE r TO '" + File("r.dump") + "'");
+  Run("DROP TABLE r");
+  Run("CREATE TABLE r (other VARCHAR, shape DOUBLE)");
+  Run("INSERT INTO r VALUES ('x', 1.0)");
+  Run("RESTORE TABLE r FROM '" + File("r.dump") + "'");
+  EXPECT_EQ(Render("r"), before);
+  // The restored PK index serves point lookups again.
+  EXPECT_EQ(Scalar("SELECT note FROM r WHERE id = 3").as_text(), "a");
 }
 
 TEST_F(DumpTest, DumpOfMissingTableFails) {

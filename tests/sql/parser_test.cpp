@@ -226,6 +226,15 @@ TEST(Parser, DumpAndRestore) {
             StatementKind::kRestoreTable);
 }
 
+TEST(Parser, CheckTable) {
+  const auto check = ParseStatement("CHECK TABLE t");
+  EXPECT_EQ(check->kind, StatementKind::kCheckTable);
+  EXPECT_EQ(check->table_name, "t");
+  // The TABLE keyword is optional, like DUMP's and TRUNCATE's.
+  EXPECT_EQ(ParseStatement("CHECK t")->kind, StatementKind::kCheckTable);
+  EXPECT_THROW(ParseStatement("CHECK TABLE"), ParseError);
+}
+
 TEST(Parser, TransactionStatements) {
   EXPECT_EQ(ParseStatement("BEGIN")->kind, StatementKind::kBegin);
   EXPECT_EQ(ParseStatement("BEGIN TRANSACTION")->kind, StatementKind::kBegin);

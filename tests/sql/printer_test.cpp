@@ -34,6 +34,7 @@ TEST(Printer, RoundTripDml) {
   ExpectRoundTrip("DELETE FROM t WHERE a = 1");
   ExpectRoundTrip("DUMP TABLE t TO '/tmp/ckpt/t.dump'");
   ExpectRoundTrip("RESTORE TABLE t FROM '/tmp/ckpt/t.dump'");
+  ExpectRoundTrip("CHECK TABLE t");
 }
 
 TEST(Printer, RoundTripCtes) {
