@@ -7,6 +7,7 @@
 #include <sys/resource.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -42,6 +43,49 @@ inline int64_t Knob(const char* name, int64_t fallback) {
   }
   return fallback;
 }
+
+/// One sqlplot-tools style result line: `RESULT key=value key=value ...`.
+/// Emitted alongside the BENCH_*.json baselines so plots can be driven
+/// straight from captured stdout (sqlplot-tools IMPORT-DATA greps for the
+/// RESULT prefix and treats each line as one measurement row).
+class ResultLine {
+ public:
+  explicit ResultLine(const std::string& benchmark) {
+    Add("bench", benchmark);
+  }
+  ResultLine& Add(const std::string& key, const std::string& value) {
+    line_ += " " + key + "=" + value;
+    return *this;
+  }
+  ResultLine& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  ResultLine& Add(const std::string& key, int64_t value) {
+    return Add(key, std::to_string(value));
+  }
+  ResultLine& Add(const std::string& key, uint64_t value) {
+    return Add(key, std::to_string(value));
+  }
+  ResultLine& Add(const std::string& key, int value) {
+    return Add(key, std::to_string(value));
+  }
+  ResultLine& Add(const std::string& key, bool value) {
+    return Add(key, std::string(value ? "1" : "0"));
+  }
+  ResultLine& Add(const std::string& key, double value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+    return Add(key, std::string(buffer));
+  }
+  /// Prints the accumulated line; the object stays usable, so a loop can
+  /// clone a template line per row via copy construction.
+  void Print(std::ostream& os = std::cout) const {
+    os << "RESULT" << line_ << "\n";
+  }
+
+ private:
+  std::string line_;
+};
 
 /// The process's peak resident set in bytes (getrusage; ru_maxrss is
 /// KiB on Linux). Every BENCH_*.json records it alongside the timings so

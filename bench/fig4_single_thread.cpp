@@ -55,6 +55,14 @@ void RunSssp(int unused_default) {
                 << ModeLabel(mode) << std::fixed << std::setprecision(3)
                 << std::setw(13) << run.seconds << std::setw(8)
                 << run.stats.iterations << run.stats.skipped_tasks << "\n";
+      ResultLine("fig4_sssp")
+          .Add("engine", engine)
+          .Add("mode", ModeLabel(mode))
+          .Add("seconds", run.seconds)
+          .Add("rounds", run.stats.iterations)
+          .Add("skipped_tasks",
+               static_cast<int64_t>(run.stats.skipped_tasks))
+          .Print();
     }
   }
   std::cout << "\n";
@@ -89,6 +97,12 @@ void RunPageRank(int unused_default) {
                   << std::setprecision(1) << p.sum_of_rank << ")";
       }
       std::cout << "\n";
+      ResultLine("fig4_pr")
+          .Add("engine", engine)
+          .Add("mode", ModeLabel(mode))
+          .Add("seconds", total)
+          .Add("samples", static_cast<int64_t>(samples.size()))
+          .Print();
     }
   }
   std::cout << "\n";
@@ -119,6 +133,14 @@ void RunDescendant(int unused_default) {
                   << std::setw(6) << hops << std::setw(16)
                   << run.result.rows.size() << std::fixed
                   << std::setprecision(3) << run.seconds << "\n";
+        ResultLine("fig4_dq")
+            .Add("engine", engine)
+            .Add("mode", ModeLabel(mode))
+            .Add("hops", hops)
+            .Add("nodes_explored",
+                 static_cast<int64_t>(run.result.rows.size()))
+            .Add("seconds", run.seconds)
+            .Print();
       }
     }
   }

@@ -39,14 +39,25 @@ void Sweep(const std::string& label, const EngineFleet& fleet,
     for (const auto mode : kModes) {
       std::cout << std::left << std::setw(12) << engine << std::setw(8)
                 << ModeLabel(mode);
+      std::vector<std::pair<int, double>> row;
       for (const int threads : ThreadCounts()) {
         const auto run =
             RunQuery(fleet.Url(engine),
                      ModeOptions(mode, threads, partitions, workload), query);
         std::cout << std::fixed << std::setprecision(3) << std::setw(9)
                   << run.seconds;
+        row.emplace_back(threads, run.seconds);
       }
       std::cout << "\n";
+      for (const auto& [threads, seconds] : row) {
+        ResultLine("fig5")
+            .Add("panel", label)
+            .Add("engine", engine)
+            .Add("mode", ModeLabel(mode))
+            .Add("threads", threads)
+            .Add("seconds", seconds)
+            .Print();
+      }
     }
   }
   std::cout << "\n";

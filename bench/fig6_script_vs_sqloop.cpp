@@ -40,15 +40,26 @@ void Compare(const std::string& label, const EngineFleet& fleet,
   std::cout << "engine      SQL_script  Sync     Async    AsyncP   (seconds)\n";
   for (const auto& engine : Engines()) {
     std::cout << std::left << std::setw(12) << engine;
+    std::vector<std::pair<std::string, double>> row;
+    row.emplace_back("SQL_script", RunScript(fleet.Url(engine), query));
     std::cout << std::fixed << std::setprecision(3) << std::setw(12)
-              << RunScript(fleet.Url(engine), query);
+              << row.back().second;
     for (const auto mode : kModes) {
       const auto run =
           RunQuery(fleet.Url(engine),
                    ModeOptions(mode, threads, partitions, workload), query);
       std::cout << std::setw(9) << run.seconds;
+      row.emplace_back(ModeLabel(mode), run.seconds);
     }
     std::cout << "\n";
+    for (const auto& [mode, seconds] : row) {
+      ResultLine("fig6")
+          .Add("panel", label)
+          .Add("engine", engine)
+          .Add("mode", mode)
+          .Add("seconds", seconds)
+          .Print();
+    }
   }
   std::cout << "\n";
 }

@@ -243,6 +243,19 @@ int main(int argc, char** argv) {
               << std::setw(9) << arm.fused_speedup() << "x" << std::setw(11)
               << (arm.identical ? "yes" : "NO") << "\n";
   }
+  for (const auto& arm : arms) {
+    bench::ResultLine("micro_scan")
+        .Add("arm", arm.name)
+        .Add("rows", rows)
+        .Add("reps", reps)
+        .Add("vectorized_seconds", arm.seconds[kVectorized])
+        .Add("fused_seconds", arm.seconds[kFused])
+        .Add("reference_seconds", arm.seconds[kReference])
+        .Add("vectorized_speedup", arm.vectorized_speedup())
+        .Add("fused_speedup", arm.fused_speedup())
+        .Add("identical", arm.identical)
+        .Print();
+  }
   std::cout << "\n";
 
   // --- 3: end-to-end deltas, fused on vs off -----------------------------
@@ -313,6 +326,19 @@ int main(int argc, char** argv) {
                 << (row.equivalent ? "yes" : "NO") << "\n";
       mode_results.push_back(std::move(row));
     }
+  }
+  for (const auto& r : mode_results) {
+    bench::ResultLine("micro_scan")
+        .Add("arm", "end_to_end")
+        .Add("figure", r.figure)
+        .Add("workload", r.workload)
+        .Add("engine", r.engine)
+        .Add("mode", r.mode)
+        .Add("vectorized_seconds", r.seconds[kVectorized])
+        .Add("fused_seconds", r.seconds[kFused])
+        .Add("reference_seconds", r.seconds[kReference])
+        .Add("equivalent", r.equivalent)
+        .Print();
   }
 
   bool results_agree = true;

@@ -175,6 +175,22 @@ void PrintStats(const core::RunStats& stats) {
       std::cout << "governance: bytes_peak=" << gov_peak
                 << " mid_statement_cancels=" << gov_cancels << "\n";
     }
+    const uint64_t pool_hits = rec.counter("minidb.pool_hits");
+    const uint64_t pool_misses = rec.counter("minidb.pool_misses");
+    if (pool_hits + pool_misses > 0) {
+      std::cout << "buffer pool: hits=" << pool_hits
+                << " misses=" << pool_misses;
+      if (pool_hits + pool_misses > 0) {
+        std::cout << " hit_rate="
+                  << 100.0 * static_cast<double>(pool_hits) /
+                         static_cast<double>(pool_hits + pool_misses)
+                  << "%";
+      }
+      std::cout << " pages_evicted=" << rec.counter("minidb.pages_evicted")
+                << " bytes_spilled=" << rec.counter("minidb.bytes_spilled")
+                << " dumps_reused=" << rec.counter("checkpoint.dumps_reused")
+                << "\n";
+    }
     std::cout << telemetry::Summary(rec);
   }
 }

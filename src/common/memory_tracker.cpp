@@ -13,8 +13,8 @@ void MemoryTracker::AddLocal(int64_t bytes) noexcept {
   }
 }
 
-void MemoryTracker::Charge(int64_t bytes) {
-  if (bytes <= 0) return;
+MemoryTracker* MemoryTracker::TryChargeAll(int64_t bytes, int64_t* now_out,
+                                           int64_t* limit_out) noexcept {
   MemoryTracker* node = this;
   while (node != nullptr) {
     const int64_t limit = node->limit_.load(std::memory_order_relaxed);
@@ -27,15 +27,36 @@ void MemoryTracker::Charge(int64_t bytes) {
            undo = undo->parent_) {
         undo->reserved_.fetch_sub(bytes, std::memory_order_relaxed);
       }
-      throw QuotaExceededError("scope '" + node->scope_ + "' would hold " +
-                               std::to_string(now) + " bytes, over its " +
-                               std::to_string(limit) + "-byte budget");
+      *now_out = now;
+      *limit_out = limit;
+      return node;
     }
     int64_t seen = node->peak_.load(std::memory_order_relaxed);
     while (now > seen && !node->peak_.compare_exchange_weak(
                              seen, now, std::memory_order_relaxed)) {
     }
     node = node->parent_;
+  }
+  return nullptr;
+}
+
+void MemoryTracker::Charge(int64_t bytes) {
+  if (bytes <= 0) return;
+  for (int attempt = 0;; ++attempt) {
+    int64_t now = 0;
+    int64_t limit = 0;
+    MemoryTracker* breached = TryChargeAll(bytes, &now, &limit);
+    if (breached == nullptr) return;
+    // Last chance before failing the statement: ask the breached scope's
+    // reclaimer (the buffer pool, for database scopes) to free at least
+    // the overshoot, then retry the charge once.
+    if (attempt == 0 && breached->reclaimer_ != nullptr &&
+        breached->reclaimer_(now - limit) > 0) {
+      continue;
+    }
+    throw QuotaExceededError("scope '" + breached->scope_ + "' would hold " +
+                             std::to_string(now) + " bytes, over its " +
+                             std::to_string(limit) + "-byte budget");
   }
 }
 

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/error.h"
@@ -72,14 +73,33 @@ class MemoryTracker {
   /// per scope so release-ordering races cannot drive a counter negative.
   void Release(int64_t bytes) noexcept;
 
+  /// Installs a last-chance reclaimer consulted when an enforced Charge()
+  /// would breach THIS node's budget: the partial reservation is unwound,
+  /// the reclaimer is asked to free at least the overshoot (argument:
+  /// bytes needed; returns bytes actually freed), and the charge is
+  /// retried once. The database scope installs its buffer pool's
+  /// TryReclaim here, so quota pressure evicts cold pages before a
+  /// statement sees QuotaExceededError. Install at scope construction,
+  /// before concurrent charges; the callback must not charge this
+  /// tracker (releases through other scopes are fine).
+  void set_reclaimer(std::function<int64_t(int64_t)> reclaimer) {
+    reclaimer_ = std::move(reclaimer);
+  }
+
  private:
   void AddLocal(int64_t bytes) noexcept;
+  /// Charges `bytes` on this node and every ancestor. On a breach the
+  /// partial reservation is unwound and the breached node is returned
+  /// with its observed reservation/limit; null means success.
+  MemoryTracker* TryChargeAll(int64_t bytes, int64_t* now_out,
+                              int64_t* limit_out) noexcept;
 
   const std::string scope_;
   MemoryTracker* const parent_;
   std::atomic<int64_t> limit_;
   std::atomic<int64_t> reserved_{0};
   std::atomic<int64_t> peak_{0};
+  std::function<int64_t(int64_t)> reclaimer_;
 };
 
 }  // namespace sqloop

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/options.h"
@@ -103,6 +104,26 @@ class CheckpointManager {
   /// Checkpoints that passed the post-commit read-back (verify mode only).
   uint64_t verified_count() const noexcept { return verified_; }
 
+  /// Dump reuse for unchanged tables: when `checksum` (the table's
+  /// maintained content checksum, probed with CHECKSUM TABLE — O(1))
+  /// matches what the previous committed round sealed for `stem`, the
+  /// sealed dump's bytes are republished into round N's staging directory
+  /// through the durability shim — same file, same crash-point ordinals as
+  /// a fresh dump, but no O(table) re-serialization. Returns true when the
+  /// reuse happened and the fresh DUMP TABLE can be skipped; false (cache
+  /// miss, checksum change, or unreadable previous file) means dump as
+  /// usual. Callers must RecordDumpChecksum() after a fresh dump either
+  /// way.
+  bool TryReuseDump(int64_t round, const std::string& stem,
+                    const std::string& checksum);
+
+  /// Records `checksum` as what round N sealed for `stem`, arming reuse
+  /// for the next round. Call after the dump statement succeeds (before or
+  /// after Commit — a failed Commit aborts the job, so staleness cannot
+  /// leak into a later round).
+  void RecordDumpChecksum(int64_t round, const std::string& stem,
+                          const std::string& checksum);
+
   const std::string& job_root() const noexcept { return root_; }
 
  private:
@@ -112,6 +133,12 @@ class CheckpointManager {
   int64_t keep_;
   bool verify_;
   uint64_t verified_ = 0;
+
+  struct SealedDump {
+    int64_t round = 0;     // round whose directory holds the bytes
+    std::string checksum;  // CHECKSUM TABLE text at seal time
+  };
+  std::unordered_map<std::string, SealedDump> sealed_;  // keyed by stem
 };
 
 /// Finds the newest fully-valid checkpoint of a job.

@@ -199,6 +199,9 @@ struct RunStats {
 
   // --- checkpointing & recovery -----------------------------------------
   uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_dumps_reused = 0;  // unchanged tables whose previous
+                                         // sealed dump was republished
+                                         // instead of re-serialized
   int64_t resumed_from_round = 0;     // 0 = fresh run; N = resumed after N
 
   // --- durability & integrity -------------------------------------------

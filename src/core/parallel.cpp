@@ -932,9 +932,28 @@ void ParallelRunner::WriteCheckpoint(
   m.partitions = static_cast<int64_t>(partitions_);
   for (size_t k = 0; k < partitions_; ++k) {
     const std::string stem = "pt" + std::to_string(k) + ".dump";
-    master_.AddBatch("DUMP TABLE " + translator_.Quote(PartitionTable(k)) +
-                     " TO " +
-                     Value(ckpt_->FileFor(round, stem)).ToSqlLiteral());
+    // O(1) unchanged-partition probe (see the single-thread runner): a
+    // partition whose maintained checksum still matches the last sealed
+    // dump republishes those bytes instead of re-serializing. Converged
+    // partitions in Sync/AsyncP runs stop paying O(partition) per
+    // checkpoint. Message tables stay on the fresh-dump path — their set
+    // changes every round.
+    const std::string probe_sql =
+        "CHECKSUM TABLE " + translator_.Quote(PartitionTable(k));
+    std::string checksum;
+    retrier_.Run(master_, "master", -1, [&] {
+      checksum = master_.ExecuteQuery(probe_sql).rows[0][1].as_text();
+      return 0;
+    });
+    if (ckpt_->TryReuseDump(round, stem, checksum)) {
+      ++stats_.checkpoint_dumps_reused;
+      SQLOOP_COUNT(recorder_, "checkpoint.dumps_reused", 1);
+    } else {
+      master_.AddBatch("DUMP TABLE " + translator_.Quote(PartitionTable(k)) +
+                       " TO " +
+                       Value(ckpt_->FileFor(round, stem)).ToSqlLiteral());
+      ckpt_->RecordDumpChecksum(round, stem, checksum);
+    }
     m.partition_files.push_back(stem);
   }
   {

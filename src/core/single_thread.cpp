@@ -328,9 +328,23 @@ dbc::ResultSet RunIterativeSingleThread(dbc::Connection& connection,
       m.round = iteration;
       m.mode = ExecutionModeName(ExecutionMode::kSingleThread);
       m.table_file = "table.dump";
-      rc.Execute("DUMP TABLE " + translator.Quote(table) + " TO " +
-                 Value(ckpt->FileFor(iteration, m.table_file))
-                     .ToSqlLiteral());
+      // O(1) unchanged-table probe: CHECKSUM TABLE reports the maintained
+      // content checksum without scanning. When it matches what the last
+      // sealed checkpoint dumped, the sealed bytes are republished instead
+      // of re-serializing the whole table.
+      const std::string checksum =
+          rc.ExecuteQuery("CHECKSUM TABLE " + translator.Quote(table))
+              .rows[0][1]
+              .as_text();
+      if (ckpt->TryReuseDump(iteration, m.table_file, checksum)) {
+        ++stats.checkpoint_dumps_reused;
+        SQLOOP_COUNT(ctx.recorder, "checkpoint.dumps_reused", 1);
+      } else {
+        rc.Execute("DUMP TABLE " + translator.Quote(table) + " TO " +
+                   Value(ckpt->FileFor(iteration, m.table_file))
+                       .ToSqlLiteral());
+        ckpt->RecordDumpChecksum(iteration, m.table_file, checksum);
+      }
       ckpt->Commit(std::move(m));
       ++stats.checkpoints_written;
       stats.checkpoints_verified = ckpt->verified_count();

@@ -235,6 +235,12 @@ ConnectionConfig ConnectionConfig::Parse(const std::string& url) {
         // Zero is meaningless (a check every zero rows); omit the
         // parameter for the engine default.
         config.cancel_check_rows = ParsePositive(value, key);
+      } else if (key == "buffer_pool_bytes") {
+        // Zero would evict every page on arrival; omit the parameter for
+        // an unbounded pool (pages stay resident, nothing spills).
+        config.buffer_pool_bytes = ParsePositive(value, key);
+      } else if (key == "paged") {
+        config.paged = ParseNonNegative(value, key) != 0 ? 1 : 0;
       } else {
         throw ConnectionError("unknown URL parameter '" + key + "'");
       }
@@ -301,6 +307,13 @@ std::unique_ptr<Connection> DriverManager::GetConnection(
   if (!db) {
     throw ConnectionError("database '" + config.database +
                           "' does not exist on host '" + config.host + "'");
+  }
+  // Storage knobs configure the database, not the connection: the buffer
+  // pool is shared by every connection to this database, and the paged
+  // toggle only affects tables created while it is set.
+  if (config.paged >= 0) db->set_paged_enabled(config.paged != 0);
+  if (config.buffer_pool_bytes > 0) {
+    db->set_buffer_pool_bytes(config.buffer_pool_bytes);
   }
   if (!config.expected_engine.empty()) {
     const auto expected =

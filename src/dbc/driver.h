@@ -94,6 +94,17 @@ struct ConnectionConfig {
   /// Must be positive when given; 0 = engine default (1024).
   int64_t cancel_check_rows = 0;
 
+  /// Buffer-pool budget for the target database (`buffer_pool_bytes=N`):
+  /// caps the bytes of table pages held resident; pages beyond the budget
+  /// spill to per-table scratch files and fault back in on access. Must be
+  /// positive when given; 0 = unbounded (pages never spill).
+  int64_t buffer_pool_bytes = 0;
+  /// Paged-storage toggle (`paged=0|1`). Tables created while paged is on
+  /// use slotted pages behind the buffer pool; `paged=0` keeps the
+  /// resident row-vector representation as a differential oracle.
+  /// -1 = parameter absent (leave the database's current setting alone).
+  int paged = -1;
+
   static ConnectionConfig Parse(const std::string& url);
 };
 

@@ -98,6 +98,22 @@ void FilterCells(RowBatch& batch, int column, PassFn pass) {
 template <typename PassFn>
 void FilterCells2(RowBatch& batch, int lcol, int rcol, PassFn pass) {
   uint32_t out = 0;
+  if (batch.selected == batch.size) {
+    // Same contract as FilterCells: a full selection may be elided
+    // (MarkAllSelected), so the first conjunct must not read the array —
+    // it materializes the surviving lanes instead.
+    for (uint32_t lane = 0; lane < batch.size; ++lane) {
+      if (lane + kPrefetchDistance < batch.size) {
+        __builtin_prefetch(batch.rows[lane + kPrefetchDistance]->data() +
+                           lcol);
+      }
+      const Row& row = *batch.rows[lane];
+      batch.selection[out] = lane;
+      out += pass(row[lcol], row[rcol]) ? 1u : 0u;
+    }
+    batch.selected = out;
+    return;
+  }
   for (uint32_t i = 0; i < batch.selected; ++i) {
     PrefetchCell(batch, i, lcol);
     const uint32_t lane = batch.selection[i];

@@ -1,11 +1,31 @@
 #include "minidb/database.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
 #include <mutex>
 
 #include "common/error.h"
 
 namespace sqloop::minidb {
+namespace {
+
+/// A process-unique scratch directory for this database's spill files.
+/// pid + counter, not the database name: names can repeat across tests and
+/// may hold characters the filesystem dislikes.
+std::string SpillDirFor() {
+  static std::atomic<uint64_t> next_id{0};
+  std::error_code ec;
+  std::filesystem::path base = std::filesystem::temp_directory_path(ec);
+  if (ec) base = ".";
+  return (base / ("sqloop_pool_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(next_id.fetch_add(1))))
+      .string();
+}
+
+}  // namespace
 
 EngineProfile EngineProfile::ByName(const std::string& name) {
   const std::string folded = FoldIdentifier(name);
@@ -21,7 +41,13 @@ Database::Database(std::string name, EngineProfile profile,
     : name_(std::move(name)),
       profile_(std::move(profile)),
       server_tracker_(std::move(server_tracker)),
-      tracker_("db:" + name_, server_tracker_.get()) {}
+      tracker_("db:" + name_, server_tracker_.get()),
+      pool_(std::make_shared<BufferPool>(SpillDirFor())) {
+  // Quota pressure on the database scope evicts cold pages before a
+  // statement sees QuotaExceededError (see MemoryTracker::set_reclaimer).
+  tracker_.set_reclaimer(
+      [pool = pool_.get()](int64_t bytes) { return pool->TryReclaim(bytes); });
+}
 
 void Database::CreateTable(const std::string& table_name, Schema schema,
                            bool if_not_exists) {
@@ -37,6 +63,7 @@ void Database::CreateTable(const std::string& table_name, Schema schema,
   // first insert on.
   table->set_memory_tracker(&tracker_);
   table->set_integrity_enabled(integrity_enabled());
+  table->ConfigureStorage(pool_, paged_enabled());
   tables_.emplace(folded, std::move(table));
   BumpCatalogVersion();
 }

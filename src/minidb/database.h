@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/memory_tracker.h"
+#include "minidb/buffer_pool.h"
 #include "minidb/engine_profile.h"
 #include "minidb/plan_cache.h"
 #include "minidb/table.h"
@@ -37,6 +38,16 @@ class Database {
   /// when one was attached at construction.
   MemoryTracker& memory_tracker() noexcept { return tracker_; }
   const MemoryTracker& memory_tracker() const noexcept { return tracker_; }
+
+  /// The buffer pool behind this database's paged tables (see DESIGN.md
+  /// "Paged storage & buffer pool"). Unbounded until a budget is set.
+  BufferPool& buffer_pool() noexcept { return *pool_; }
+  const BufferPool& buffer_pool() const noexcept { return *pool_; }
+
+  /// Caps the pool's resident bytes (URL knob `buffer_pool_bytes`; 0 =
+  /// unbounded). Tables latch their eviction participation at creation,
+  /// so set this before the workload creates its tables.
+  void set_buffer_pool_bytes(int64_t bytes) { pool_->set_budget_bytes(bytes); }
 
   // --- catalog operations (internally locked) -------------------------
 
@@ -117,6 +128,19 @@ class Database {
     return governance_enabled_.load(std::memory_order_relaxed);
   }
 
+  // --- paged storage toggle ----------------------------------------------
+  // Tables are created on slotted pages behind the buffer pool by default;
+  // switching this off makes tables created afterwards use the resident
+  // vector-of-rows heap (URL knob `paged=0`). Exists as the differential
+  // oracle for the paged path — results must be bit-identical either way.
+
+  void set_paged_enabled(bool enabled) noexcept {
+    paged_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool paged_enabled() const noexcept {
+    return paged_enabled_.load(std::memory_order_relaxed);
+  }
+
   // --- integrity toggle -------------------------------------------------
   // Per-table content checksums are maintained on every mutation by
   // default; switching this off makes tables created afterwards skip the
@@ -146,6 +170,9 @@ class Database {
   // this database's (declared before tracker_ so it is destroyed after).
   std::shared_ptr<MemoryTracker> server_tracker_;
   MemoryTracker tracker_;
+  // Declared before tables_: table destructors deregister from the pool,
+  // so the pool must be destroyed after the catalog.
+  std::shared_ptr<BufferPool> pool_;
   mutable std::shared_mutex catalog_lock_;
   std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
   std::unordered_map<std::string, std::shared_ptr<const sql::SelectStmt>>
@@ -155,6 +182,7 @@ class Database {
   std::atomic<bool> vectorized_enabled_{true};
   std::atomic<bool> governance_enabled_{true};
   std::atomic<bool> integrity_enabled_{true};
+  std::atomic<bool> paged_enabled_{true};
   PlanCache plan_cache_;
 };
 

@@ -245,7 +245,12 @@ size_t DumpTableToFile(const Table& table, const std::string& path) {
   }
   AppendU64(out, table.live_row_count());
   size_t written = 0;
+  // Page-wise pin window: dumping a spill-enabled table streams page by
+  // page instead of forcing the whole table resident (the dump's own
+  // byte buffer is the only O(table) memory here).
+  PinScope::Window window;
   for (size_t id = 0; id < table.slot_count(); ++id) {
+    if ((id & kPageRowMask) == 0) window.Reset();
     if (!table.IsLive(id)) continue;
     const Row& row = table.At(id);
     for (const Value& value : row) AppendValue(out, value);

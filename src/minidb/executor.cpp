@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <map>
@@ -542,9 +541,11 @@ Relation Executor::ScanTable(const Table& table, const std::string& alias) {
     rel.columns.push_back({folded, column.name});
   }
   ++counters_.full_scans;
-  if (db_.fused_enabled()) {
+  if (db_.fused_enabled() && !table.spill_enabled()) {
     // Zero-copy scan: row views into Table storage, valid under the
-    // statement's table lock (see Relation's lifetime rules).
+    // statement's table lock (see Relation's lifetime rules). Not taken
+    // for spill-enabled tables — a whole-table view list would pin every
+    // page at once, defeating the pool budget.
     rel.borrowed = true;
     rel.views.reserve(table.live_row_count());
     for (size_t row_id = 0; row_id < table.slot_count(); ++row_id) {
@@ -555,8 +556,13 @@ Relation Executor::ScanTable(const Table& table, const std::string& alias) {
     GovCharge(static_cast<int64_t>(rel.views.size() * sizeof(const Row*)));
     counters_.rows_borrowed += rel.views.size();
   } else {
+    // Materializing scan: the reference path, and the spill-safe path for
+    // eviction-eligible tables — owned copies let the window release each
+    // page's pin as the cursor passes it.
+    PinScope::Window window;
     rel.rows.reserve(table.live_row_count());
     for (size_t row_id = 0; row_id < table.slot_count(); ++row_id) {
+      if ((row_id & kPageRowMask) == 0) window.Reset();
       if (!table.IsLive(row_id)) continue;
       GovTick();
       rel.rows.push_back(table.At(row_id));
@@ -586,12 +592,19 @@ void Executor::ScanPush(const Table& table,
     }
     return ok;
   };
+  // Spill-enabled tables pin pages into the statement scope as At() walks
+  // them; the window drops those pins batch-wise so a full pass stays
+  // inside the pool budget. (Sinks that retain row views only exist on
+  // non-spill tables, where the window releases nothing.)
+  PinScope::Window window;
   if (probe_conjunct >= 0) {
     ++counters_.index_scans;
     probe_ids_.clear();
     table.IndexProbe(probe_column, ProbeKey(*pushed[probe_conjunct]),
                      probe_ids_);
+    size_t visited = 0;
     for (const size_t row_id : probe_ids_) {
+      if ((visited++ & kPageRowMask) == 0) window.Reset();
       ++rows_examined_;
       GovTick();
       const Row& row = table.At(row_id);
@@ -601,6 +614,7 @@ void Executor::ScanPush(const Table& table,
   }
   ++counters_.full_scans;
   for (size_t row_id = 0; row_id < table.slot_count(); ++row_id) {
+    if ((row_id & kPageRowMask) == 0) window.Reset();
     if (!table.IsLive(row_id)) continue;
     ++rows_examined_;
     GovTick();
@@ -720,6 +734,11 @@ void Executor::ScanBatched(const Table& table,
     sink(batch);
   };
 
+  // Per-batch pin window: FillBatch pins the pages behind the batch's
+  // views into the statement scope; once the sink has consumed the batch
+  // the window lets those pages evict again. Sinks that retain views only
+  // exist on non-spill tables, where the window releases nothing.
+  PinScope::Window window;
   if (probe_conjunct >= 0) {
     ++counters_.index_scans;
     probe_ids_.clear();
@@ -733,6 +752,7 @@ void Executor::ScanBatched(const Table& table,
       batch_.size = static_cast<uint32_t>(table.FillBatchFromIds(
           probe_ids_.data() + start, lanes, batch_.rows.data()));
       process(batch_);
+      window.Reset();
     }
     return;
   }
@@ -744,6 +764,7 @@ void Executor::ScanBatched(const Table& table,
         table.FillBatch(&cursor, batch_.rows.data(), RowBatch::kCapacity));
     if (batch_.size == 0) break;
     process(batch_);
+    window.Reset();
   }
 }
 
@@ -758,7 +779,10 @@ Relation Executor::ScanFiltered(const Table& table, const std::string& alias,
   std::string probe_column;
   const int probe = ChooseProbe(pushed, table, alias,
                                 /*allow_parameters=*/false, &probe_column);
-  rel.borrowed = true;
+  // Spill-enabled tables get owned copies of the surviving rows instead of
+  // borrowed views: the scan windows then release each page as it passes,
+  // so the pool budget holds. Same rows in the same order either way.
+  rel.borrowed = !table.spill_enabled();
   if (db_.vectorized_enabled() && db_.fused_enabled()) {
     // Join-input scans ride the batch plane too: kernels filter whole
     // batches, the surviving lanes land in the borrowed view list in scan
@@ -767,18 +791,34 @@ Relation Executor::ScanFiltered(const Table& table, const std::string& alias,
     std::vector<uint8_t> compiled;
     counters_.scalar_fallbacks += CompileScanKernels(
         pushed, table.schema(), folded, /*path=*/nullptr, kernels, compiled);
-    const auto collect = [&rel](RowBatch& batch) {
+    const auto collect = [&rel, this](RowBatch& batch) {
       for (uint32_t i = 0; i < batch.selected; ++i) {
-        rel.views.push_back(batch.rows[batch.selection[i]]);
+        if (rel.borrowed) {
+          rel.views.push_back(batch.rows[batch.selection[i]]);
+        } else {
+          rel.rows.push_back(*batch.rows[batch.selection[i]]);
+          GovCharge(RowFootprintBytes(rel.rows.back()));
+        }
       }
     };
     ScanBatched(table, rel.columns, pushed, kernels, compiled, probe,
                 probe_column, collect);
   } else {
-    const auto collect = [&rel](const Row& row) { rel.views.push_back(&row); };
+    const auto collect = [&rel, this](const Row& row) {
+      if (rel.borrowed) {
+        rel.views.push_back(&row);
+      } else {
+        rel.rows.push_back(row);
+        GovCharge(RowFootprintBytes(rel.rows.back()));
+      }
+    };
     ScanPush(table, rel.columns, pushed, probe, probe_column, collect);
   }
-  counters_.rows_borrowed += rel.views.size();
+  if (rel.borrowed) {
+    counters_.rows_borrowed += rel.views.size();
+  } else {
+    counters_.rows_materialized += rel.rows.size();
+  }
   return rel;
 }
 
@@ -1017,7 +1057,11 @@ void Executor::RunJoin(JoinState& state, const OwnedRowSink& sink) {
     const std::string& column =
         right_table.schema().columns()[pair.second].name;
     ++counters_.index_scans;
+    // Probed right-side pages release per left row (ConcatRows copied
+    // everything the sink needs).
+    PinScope::Window window;
     for (size_t li = 0; li < left.row_count(); ++li) {
+      window.Reset();
       const Row& l = left.row(li);
       const Value& key = l[pair.first];
       bool matched = false;
@@ -2352,7 +2396,9 @@ ResultSet Executor::ExecUpdate(const sql::Statement& stmt, Session* session,
       }
     }
 
+    PinScope::Window window;
     for (size_t row_id = 0; row_id < table->slot_count(); ++row_id) {
+      if ((row_id & kPageRowMask) == 0) window.Reset();
       if (!table->IsLive(row_id)) continue;
       ++rows_examined_;
       GovTick();
@@ -2396,7 +2442,9 @@ ResultSet Executor::ExecUpdate(const sql::Statement& stmt, Session* session,
       }
     }
   } else {
+    PinScope::Window window;
     for (size_t row_id = 0; row_id < table->slot_count(); ++row_id) {
+      if ((row_id & kPageRowMask) == 0) window.Reset();
       if (!table->IsLive(row_id)) continue;
       ++rows_examined_;
       GovTick();
@@ -2443,7 +2491,9 @@ ResultSet Executor::ExecDelete(const sql::Statement& stmt, Session* session) {
   }
   std::vector<size_t> doomed;
   std::unordered_map<const sql::Expr*, int> cache;
+  PinScope::Window window;
   for (size_t row_id = 0; row_id < table->slot_count(); ++row_id) {
+    if ((row_id & kPageRowMask) == 0) window.Reset();
     if (!table->IsLive(row_id)) continue;
     ++rows_examined_;
     GovTick();
@@ -2519,6 +2569,10 @@ ResultSet Executor::ExecuteWithPlan(const sql::Statement& stmt,
   counters_ = {};
   access_ = access;
   GovBeginStatement();
+  // Statement pin ledger: every paged row view the engine hands out below
+  // is backed by a page pinned here (scan windows release early; anything
+  // left drains when the scope dies with the statement).
+  PinScope pin_scope;
   ResultSet result;
   try {
     result = ExecuteInternal(stmt, plan, session);
@@ -2566,6 +2620,25 @@ ResultSet Executor::ExecuteWithPlan(const sql::Statement& stmt,
   if (counters_.scalar_fallbacks != 0) {
     SQLOOP_COUNT(recorder_, "minidb.scalar_fallbacks",
                  counters_.scalar_fallbacks);
+  }
+  // Buffer-pool deltas: the pool's counters are pool-lifetime, so each
+  // statement flushes only what it moved. Unbounded pools never pin or
+  // evict — skip the stats lock entirely.
+  if (db_.buffer_pool().bounded()) {
+    const BufferPool::Stats pool = db_.buffer_pool().stats();
+    const auto flush = [this](const char* name, uint64_t now,
+                              uint64_t& last) {
+      if (now != last) {
+        SQLOOP_COUNT(recorder_, name, static_cast<int64_t>(now - last));
+        last = now;
+      }
+    };
+    flush("minidb.pool_hits", pool.hits, pool_last_.hits);
+    flush("minidb.pool_misses", pool.misses, pool_last_.misses);
+    flush("minidb.pages_evicted", pool.pages_evicted,
+          pool_last_.pages_evicted);
+    flush("minidb.bytes_spilled", pool.bytes_spilled,
+          pool_last_.bytes_spilled);
   }
   return result;
 }
@@ -2884,6 +2957,31 @@ ResultSet Executor::ExecuteInternal(const sql::Statement& stmt,
                              Value(static_cast<int64_t>(
                                  table->live_row_count()))});
       result.rows_examined = table->live_row_count();
+      return result;
+    }
+    case sql::StatementKind::kChecksumTable: {
+      // O(1) change probe: report the incrementally-maintained checksum
+      // without touching a single row (so a spilled table stays spilled).
+      // Checkpointing compares it to the last sealed round's value to skip
+      // re-dumping unchanged tables.
+      const auto table = db_.FindTable(stmt.table_name);
+      if (!table) {
+        throw ExecutionError("table '" + stmt.table_name +
+                             "' does not exist");
+      }
+      const std::shared_lock lock(table->lock());
+      if (table->quarantined()) {
+        throw IntegrityError("refusing to checksum quarantined table '" +
+                             stmt.table_name + "'");
+      }
+      char hex[17];
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(table->content_hash()));
+      ResultSet result;
+      result.columns = {"table", "checksum", "rows"};
+      result.rows.push_back(
+          {Value(stmt.table_name), Value(std::string("0x") + hex),
+           Value(static_cast<int64_t>(table->live_row_count()))});
       return result;
     }
     case sql::StatementKind::kBegin:

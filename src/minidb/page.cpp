@@ -1,0 +1,188 @@
+#include "minidb/page.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/error.h"
+#include "minidb/buffer_pool.h"
+
+namespace sqloop::minidb {
+namespace {
+
+// Spill image layout (same tagged-value encoding as the dump format, so
+// doubles round-trip by bit pattern and a reloaded page is bit-identical):
+//   u32  row count
+//   per row: u32 cell count, then per cell a tagged value
+//   u32  CRC-32 of every preceding byte
+enum : uint8_t { kTagNull = 0, kTagInt64 = 1, kTagDouble = 2, kTagText = 3 };
+
+void AppendRaw(std::string& out, const void* data, size_t length) {
+  out.append(static_cast<const char*>(data), length);
+}
+
+void AppendU32(std::string& out, uint32_t v) { AppendRaw(out, &v, sizeof(v)); }
+
+void AppendValue(std::string& out, const Value& value) {
+  if (value.is_null()) {
+    const uint8_t tag = kTagNull;
+    AppendRaw(out, &tag, sizeof(tag));
+  } else if (value.is_int()) {
+    const uint8_t tag = kTagInt64;
+    AppendRaw(out, &tag, sizeof(tag));
+    const int64_t v = value.as_int();
+    AppendRaw(out, &v, sizeof(v));
+  } else if (value.is_double()) {
+    const uint8_t tag = kTagDouble;
+    AppendRaw(out, &tag, sizeof(tag));
+    uint64_t bits;
+    const double d = value.as_double();
+    std::memcpy(&bits, &d, sizeof(bits));
+    AppendRaw(out, &bits, sizeof(bits));
+  } else {
+    const uint8_t tag = kTagText;
+    AppendRaw(out, &tag, sizeof(tag));
+    const std::string& text = value.as_text();
+    AppendU32(out, static_cast<uint32_t>(text.size()));
+    AppendRaw(out, text.data(), text.size());
+  }
+}
+
+/// Bounds-checked reader over a spill image.
+class ImageReader {
+ public:
+  ImageReader(const char* data, size_t length, const std::string& what)
+      : data_(data), length_(length), what_(what) {}
+
+  void Read(void* out, size_t n) {
+    if (n > length_ - offset_) {
+      throw IntegrityError("spill image for " + what_ +
+                           " is truncated at byte offset " +
+                           std::to_string(offset_));
+    }
+    std::memcpy(out, data_ + offset_, n);
+    offset_ += n;
+  }
+
+  template <typename T>
+  T ReadAs() {
+    T v;
+    Read(&v, sizeof(v));
+    return v;
+  }
+
+  std::string ReadString(size_t n) {
+    if (n > length_ - offset_) {
+      throw IntegrityError("spill image for " + what_ +
+                           " is truncated at byte offset " +
+                           std::to_string(offset_));
+    }
+    std::string out(data_ + offset_, n);
+    offset_ += n;
+    return out;
+  }
+
+  bool AtEnd() const noexcept { return offset_ == length_; }
+
+ private:
+  const char* data_;
+  size_t length_;
+  const std::string& what_;
+  size_t offset_ = 0;
+};
+
+Value ReadValue(ImageReader& reader) {
+  switch (reader.ReadAs<uint8_t>()) {
+    case kTagNull:
+      return Value();
+    case kTagInt64:
+      return Value(reader.ReadAs<int64_t>());
+    case kTagDouble: {
+      const uint64_t bits = reader.ReadAs<uint64_t>();
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case kTagText:
+      return Value(reader.ReadString(reader.ReadAs<uint32_t>()));
+    default:
+      throw IntegrityError("spill image has a corrupt value tag");
+  }
+}
+
+thread_local PinScope* g_current_scope = nullptr;
+
+}  // namespace
+
+void SerializePage(const Page& page, std::string* out) {
+  AppendU32(*out, static_cast<uint32_t>(page.rows.size()));
+  for (const Row& row : page.rows) {
+    AppendU32(*out, static_cast<uint32_t>(row.size()));
+    for (const Value& value : row) AppendValue(*out, value);
+  }
+  AppendU32(*out, Crc32(out->data(), out->size()));
+}
+
+void DeserializePage(const char* data, size_t length, Page* page,
+                     const std::string& what) {
+  if (length < sizeof(uint32_t) * 2) {
+    throw IntegrityError("spill image for " + what + " is truncated (" +
+                         std::to_string(length) + " bytes)");
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, data + length - sizeof(stored_crc),
+              sizeof(stored_crc));
+  const uint32_t actual_crc = Crc32(data, length - sizeof(stored_crc));
+  if (stored_crc != actual_crc) {
+    throw IntegrityError("spill image for " + what +
+                         " failed CRC validation");
+  }
+  ImageReader reader(data, length - sizeof(stored_crc), what);
+  const uint32_t rows = reader.ReadAs<uint32_t>();
+  if (rows != page->row_count) {
+    throw IntegrityError("spill image for " + what + " holds " +
+                         std::to_string(rows) + " rows, expected " +
+                         std::to_string(page->row_count));
+  }
+  page->rows.clear();
+  // Full capacity, not `rows`: appends into a reloaded tail page must not
+  // move rows other views on the same page still reference.
+  page->rows.reserve(kPageRowCapacity);
+  for (uint32_t r = 0; r < rows; ++r) {
+    const uint32_t cells = reader.ReadAs<uint32_t>();
+    Row row;
+    row.reserve(cells);
+    for (uint32_t c = 0; c < cells; ++c) row.push_back(ReadValue(reader));
+    page->rows.push_back(std::move(row));
+  }
+  if (!reader.AtEnd()) {
+    throw IntegrityError("spill image for " + what +
+                         " has trailing garbage");
+  }
+}
+
+PinScope::PinScope() : previous_(g_current_scope) { g_current_scope = this; }
+
+PinScope::~PinScope() {
+  ReleaseTo(0);
+  g_current_scope = previous_;
+}
+
+PinScope* PinScope::Current() noexcept { return g_current_scope; }
+
+void PinScope::Add(BufferPool* pool, Page* page) {
+  pinned_.push_back({pool, page});
+  held_.insert(page);
+  last_ = page;
+}
+
+void PinScope::ReleaseTo(size_t mark) noexcept {
+  while (pinned_.size() > mark) {
+    const Entry entry = pinned_.back();
+    pinned_.pop_back();
+    held_.erase(entry.page);
+    entry.pool->Unpin(entry.page);
+  }
+  last_ = nullptr;
+}
+
+}  // namespace sqloop::minidb

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "minidb/buffer_pool.h"
 
 namespace sqloop::minidb {
 
@@ -11,22 +12,71 @@ Table::Table(std::string name, Schema schema)
     : name_(std::move(name)), schema_(std::move(schema)) {}
 
 Table::~Table() {
+  // Deregister from the pool first: after ForgetTable returns, the evictor
+  // and writer can never touch this table's pages or spill file again.
+  if (pool_ != nullptr && paged_) pool_->ForgetTable(this);
   // Return the whole reservation: a dropped table's memory leaves the
   // database scope the moment the last reference dies.
-  if (tracker_ != nullptr && tracked_bytes_ > 0) {
-    tracker_->Release(tracked_bytes_);
-  }
+  const int64_t held = tracked_bytes_.load(std::memory_order_relaxed);
+  if (tracker_ != nullptr && held > 0) tracker_->Release(held);
 }
 
+void Table::ConfigureStorage(std::shared_ptr<BufferPool> pool, bool paged) {
+  pool_ = std::move(pool);
+  paged_ = paged && pool_ != nullptr;
+  spill_enabled_ = paged_ && pool_->bounded();
+}
+
+void Table::OnPageResidencyDelta(int64_t delta) noexcept { Account(delta); }
+
 void Table::Account(int64_t delta) noexcept {
-  tracked_bytes_ += delta;
-  if (tracked_bytes_ < 0) tracked_bytes_ = 0;
+  tracked_bytes_.fetch_add(delta, std::memory_order_relaxed);
   if (tracker_ == nullptr || delta == 0) return;
   if (delta > 0) {
     tracker_->ChargeUnchecked(delta);
   } else {
     tracker_->Release(-delta);
   }
+}
+
+Table::PagePin::PagePin(const Table* table, Page* page)
+    : table_(table), page_(page) {
+  if (table_->spill_enabled_ && page_ != nullptr) table_->pool_->Pin(page_);
+}
+
+Table::PagePin::~PagePin() {
+  if (table_->spill_enabled_ && page_ != nullptr) table_->pool_->Unpin(page_);
+}
+
+void Table::PinForRead(Page* page) const {
+  PinScope* scope = PinScope::Current();
+  if (scope != nullptr) {
+    if (scope->Holds(page)) return;
+    pool_->Pin(page);
+    scope->Add(pool_.get(), page);
+    return;
+  }
+  // No scope installed (out-of-engine caller, single-threaded by
+  // contract): make the page resident and release immediately. The view
+  // stays valid until the next pool interaction.
+  pool_->Pin(page);
+  pool_->Unpin(page);
+}
+
+Page* Table::TailPageForInsert() {
+  if (!pages_.empty() && pages_.back()->row_count < kPageRowCapacity) {
+    return pages_.back().get();
+  }
+  auto page = std::make_unique<Page>();
+  page->owner = this;
+  page->index = pages_.size();
+  // Full capacity up front: appends into a pinned page must never move
+  // rows other views on the same page still reference.
+  page->rows.reserve(kPageRowCapacity);
+  Page* raw = page.get();
+  pages_.push_back(std::move(page));
+  if (spill_enabled_) pool_->AddPage(raw);
+  return raw;
 }
 
 size_t Table::Insert(Row row) {
@@ -42,24 +92,60 @@ size_t Table::Insert(Row row) {
                            " in table '" + name_ + "'");
     }
   }
-  const size_t row_id = rows_.size();
-  rows_.push_back(std::move(row));
-  live_.push_back(1);
-  ++live_rows_;
-  if (integrity_enabled_) content_hash_ += RowHash(rows_[row_id]);
-  if (pk >= 0) pk_index_.emplace(rows_[row_id][pk], row_id);
-  IndexInsert(row_id);
-  Account(RowFootprintBytes(rows_[row_id]) +
+  const size_t row_id = live_.size();
+  int64_t row_bytes = 0;
+  if (paged_) {
+    Page* page = TailPageForInsert();
+    PagePin pin(this, page);
+    page->rows.push_back(std::move(row));
+    ++page->row_count;
+    const Row& stored = page->rows.back();
+    row_bytes = RowFootprintBytes(stored);
+    page->bytes += row_bytes;
+    if (spill_enabled_) {
+      pool_->PageGrew(page, row_bytes);
+      pool_->MarkDirty(page);
+    }
+    if (integrity_enabled_) {
+      const uint64_t hash = RowHash(stored);
+      content_hash_ += hash;
+      page->hash_sum += hash;
+    }
+    live_.push_back(1);
+    ++live_rows_;
+    if (pk >= 0) pk_index_.emplace(stored[pk], row_id);
+    IndexInsert(row_id, stored);
+  } else {
+    rows_.push_back(std::move(row));
+    const Row& stored = rows_[row_id];
+    row_bytes = RowFootprintBytes(stored);
+    if (integrity_enabled_) content_hash_ += RowHash(stored);
+    live_.push_back(1);
+    ++live_rows_;
+    if (pk >= 0) pk_index_.emplace(stored[pk], row_id);
+    IndexInsert(row_id, stored);
+  }
+  Account(row_bytes +
           kIndexEntryBytes * static_cast<int64_t>((pk >= 0 ? 1 : 0) +
                                                   secondary_indexes_.size()));
   return row_id;
 }
 
+const Row& Table::At(size_t row_id) const {
+  if (!paged_) return rows_[row_id];
+  Page* page = PageFor(row_id);
+  if (spill_enabled_) PinForRead(page);
+  return page->rows[row_id & kPageRowMask];
+}
+
 void Table::Update(size_t row_id, Row row) {
   schema_.CoerceRow(row);
+  Page* page = paged_ ? PageFor(row_id) : nullptr;
+  const PagePin pin(this, page);
+  Row& stored = StoredRow(row_id);
   const int pk = schema_.primary_key_index();
   if (pk >= 0) {
-    const Value& old_key = rows_[row_id][pk];
+    const Value& old_key = stored[pk];
     const Value& new_key = row[pk];
     if (new_key.is_null()) {
       throw ExecutionError("NULL primary key in table '" + name_ + "'");
@@ -73,37 +159,60 @@ void Table::Update(size_t row_id, Row row) {
       pk_index_.emplace(new_key, row_id);
     }
   }
-  IndexErase(row_id);
-  const int64_t old_bytes = RowFootprintBytes(rows_[row_id]);
-  if (integrity_enabled_) content_hash_ -= RowHash(rows_[row_id]);
-  rows_[row_id] = std::move(row);
-  if (integrity_enabled_) content_hash_ += RowHash(rows_[row_id]);
-  Account(RowFootprintBytes(rows_[row_id]) - old_bytes);
-  IndexInsert(row_id);
+  IndexErase(row_id, stored);
+  const int64_t old_bytes = RowFootprintBytes(stored);
+  const uint64_t old_hash = integrity_enabled_ ? RowHash(stored) : 0;
+  stored = std::move(row);
+  const int64_t new_bytes = RowFootprintBytes(stored);
+  if (integrity_enabled_) {
+    const uint64_t new_hash = RowHash(stored);
+    content_hash_ += new_hash - old_hash;
+    if (page != nullptr) page->hash_sum += new_hash - old_hash;
+  }
+  if (page != nullptr) {
+    page->bytes += new_bytes - old_bytes;
+    if (spill_enabled_) {
+      pool_->PageGrew(page, new_bytes - old_bytes);
+      pool_->MarkDirty(page);
+    }
+  }
+  Account(new_bytes - old_bytes);
+  IndexInsert(row_id, stored);
 }
 
 void Table::Delete(size_t row_id) {
   if (!live_[row_id]) return;
+  Page* page = paged_ ? PageFor(row_id) : nullptr;
+  const PagePin pin(this, page);
+  const Row& stored = StoredRow(row_id);
   const int pk = schema_.primary_key_index();
-  if (pk >= 0) pk_index_.erase(rows_[row_id][pk]);
-  IndexErase(row_id);
-  if (integrity_enabled_) content_hash_ -= RowHash(rows_[row_id]);
+  if (pk >= 0) pk_index_.erase(stored[pk]);
+  IndexErase(row_id, stored);
+  if (integrity_enabled_) {
+    const uint64_t hash = RowHash(stored);
+    content_hash_ -= hash;
+    // Only the liveness changed, not the payload, and the spill image
+    // keeps tombstoned payloads — so the page is not dirtied here.
+    if (page != nullptr) page->hash_sum -= hash;
+  }
   live_[row_id] = 0;
   --live_rows_;
-  // The tombstoned payload stays in rows_ until Clear(), so only the
+  // The tombstoned payload stays in storage until Clear(), so only the
   // index entries leave the accounting here.
   Account(-kIndexEntryBytes * static_cast<int64_t>((pk >= 0 ? 1 : 0) +
                                                    secondary_indexes_.size()));
 }
 
 void Table::Clear() {
+  if (pool_ != nullptr && paged_) pool_->ForgetTable(this);
+  pages_.clear();
   rows_.clear();
   live_.clear();
   live_rows_ = 0;
   content_hash_ = 0;
   pk_index_.clear();
   for (auto& [name, index] : secondary_indexes_) index.map.clear();
-  Account(-tracked_bytes_);
+  Account(-tracked_bytes_.load(std::memory_order_relaxed));
 }
 
 int64_t Table::FindByPrimaryKey(const Value& key) const {
@@ -125,9 +234,23 @@ void Table::CreateIndex(const std::string& index_name,
     throw ExecutionError("no column '" + column_name + "' in table '" +
                          name_ + "' to index");
   }
-  for (size_t row_id = 0; row_id < rows_.size(); ++row_id) {
-    if (live_[row_id]) {
-      index.map.emplace(rows_[row_id][index.column_index], row_id);
+  if (paged_) {
+    for (const auto& owned : pages_) {
+      Page* page = owned.get();
+      const PagePin pin(this, page);
+      const size_t base = page->index << kPageRowShift;
+      for (size_t slot = 0; slot < page->row_count; ++slot) {
+        if (live_[base + slot]) {
+          index.map.emplace(page->rows[slot][index.column_index],
+                            base + slot);
+        }
+      }
+    }
+  } else {
+    for (size_t row_id = 0; row_id < rows_.size(); ++row_id) {
+      if (live_[row_id]) {
+        index.map.emplace(rows_[row_id][index.column_index], row_id);
+      }
     }
   }
   Account(kIndexEntryBytes * static_cast<int64_t>(index.map.size()));
@@ -186,19 +309,45 @@ std::vector<size_t> Table::IndexLookup(const std::string& column_name,
 size_t Table::FillBatch(size_t* cursor, const Row** out,
                         size_t capacity) const {
   size_t slot = *cursor;
-  const size_t end = rows_.size();
-  if (live_rows_ == end) {
-    // No tombstones: every slot is live, so the batch is a straight run
-    // of row addresses (the common case for append-only state tables).
-    const size_t filled = std::min(capacity, end - slot);
-    for (size_t i = 0; i < filled; ++i) out[i] = &rows_[slot + i];
-    *cursor = slot + filled;
+  const size_t end = live_.size();
+  if (!paged_) {
+    if (live_rows_ == end) {
+      // No tombstones: every slot is live, so the batch is a straight run
+      // of row addresses (the common case for append-only state tables).
+      const size_t filled = std::min(capacity, end - slot);
+      for (size_t i = 0; i < filled; ++i) out[i] = &rows_[slot + i];
+      *cursor = slot + filled;
+      return filled;
+    }
+    size_t filled = 0;
+    while (slot < end && filled < capacity) {
+      if (live_[slot]) out[filled++] = &rows_[slot];
+      ++slot;
+    }
+    *cursor = slot;
     return filled;
   }
+  // Paged: pin once per page, then fill from its slot run. The straight-run
+  // fast path survives paging because a page's slots are consecutive ids.
+  const bool dense = (live_rows_ == end);
   size_t filled = 0;
   while (slot < end && filled < capacity) {
-    if (live_[slot]) out[filled++] = &rows_[slot];
-    ++slot;
+    Page* page = PageFor(slot);
+    if (spill_enabled_) PinForRead(page);
+    const size_t page_end =
+        std::min(end, ((slot >> kPageRowShift) + 1) << kPageRowShift);
+    if (dense) {
+      const size_t take = std::min(capacity - filled, page_end - slot);
+      const Row* base = page->rows.data();
+      const size_t offset = slot & kPageRowMask;
+      for (size_t i = 0; i < take; ++i) out[filled++] = &base[offset + i];
+      slot += take;
+    } else {
+      while (slot < page_end && filled < capacity) {
+        if (live_[slot]) out[filled++] = &page->rows[slot & kPageRowMask];
+        ++slot;
+      }
+    }
   }
   *cursor = slot;
   return filled;
@@ -206,15 +355,36 @@ size_t Table::FillBatch(size_t* cursor, const Row** out,
 
 size_t Table::FillBatchFromIds(const size_t* ids, size_t count,
                                const Row** out) const {
-  for (size_t i = 0; i < count; ++i) out[i] = &rows_[ids[i]];
+  if (!paged_) {
+    for (size_t i = 0; i < count; ++i) out[i] = &rows_[ids[i]];
+    return count;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    Page* page = PageFor(ids[i]);
+    // Holds()' last-page cache makes this one pool call per page run:
+    // probe results are sorted ascending, so runs are common.
+    if (spill_enabled_) PinForRead(page);
+    out[i] = &page->rows[ids[i] & kPageRowMask];
+  }
   return count;
 }
 
 std::vector<Row> Table::SnapshotRows() const {
   std::vector<Row> out;
   out.reserve(live_rows_);
-  for (size_t row_id = 0; row_id < rows_.size(); ++row_id) {
-    if (live_[row_id]) out.push_back(rows_[row_id]);
+  if (paged_) {
+    for (const auto& owned : pages_) {
+      Page* page = owned.get();
+      const PagePin pin(this, page);
+      const size_t base = page->index << kPageRowShift;
+      for (size_t slot = 0; slot < page->row_count; ++slot) {
+        if (live_[base + slot]) out.push_back(page->rows[slot]);
+      }
+    }
+  } else {
+    for (size_t row_id = 0; row_id < rows_.size(); ++row_id) {
+      if (live_[row_id]) out.push_back(rows_[row_id]);
+    }
   }
   return out;
 }
@@ -260,19 +430,46 @@ uint64_t Table::RowHash(const Row& row) noexcept {
   return hash;
 }
 
-bool Table::VerifyContent(uint64_t* expected_out, uint64_t* actual_out) const {
+bool Table::VerifyContent(uint64_t* expected_out, uint64_t* actual_out,
+                          int64_t* first_bad_page_out) const {
+  if (first_bad_page_out != nullptr) *first_bad_page_out = -1;
   if (!integrity_enabled_) return true;
   uint64_t actual = 0;
-  for (size_t row_id = 0; row_id < rows_.size(); ++row_id) {
-    if (live_[row_id]) actual += RowHash(rows_[row_id]);
+  bool pages_ok = true;
+  if (paged_) {
+    // Page-granular scrub: recompute each page's shard against its
+    // maintained hash_sum, which localizes corruption to one page (and
+    // catches two compensating corruptions the global sum would miss).
+    for (const auto& owned : pages_) {
+      Page* page = owned.get();
+      const PagePin pin(this, page);
+      uint64_t page_actual = 0;
+      const size_t base = page->index << kPageRowShift;
+      for (size_t slot = 0; slot < page->row_count; ++slot) {
+        if (live_[base + slot]) page_actual += RowHash(page->rows[slot]);
+      }
+      if (page_actual != page->hash_sum) {
+        pages_ok = false;
+        if (first_bad_page_out != nullptr && *first_bad_page_out < 0) {
+          *first_bad_page_out = static_cast<int64_t>(page->index);
+        }
+      }
+      actual += page_actual;
+    }
+  } else {
+    for (size_t row_id = 0; row_id < rows_.size(); ++row_id) {
+      if (live_[row_id]) actual += RowHash(rows_[row_id]);
+    }
   }
   if (expected_out != nullptr) *expected_out = content_hash_;
   if (actual_out != nullptr) *actual_out = actual;
-  return actual == content_hash_;
+  return actual == content_hash_ && pages_ok;
 }
 
 void Table::CorruptCellForTesting(size_t row_id, size_t column) {
-  Value& cell = rows_[row_id][column];
+  Page* page = paged_ ? PageFor(row_id) : nullptr;
+  const PagePin pin(this, page);
+  Value& cell = StoredRow(row_id)[column];
   if (cell.is_int()) {
     cell = Value(cell.as_int() ^ (int64_t{1} << 20));
   } else if (cell.is_double()) {
@@ -292,15 +489,25 @@ void Table::CorruptCellForTesting(size_t row_id, size_t column) {
   }
 }
 
-void Table::IndexInsert(size_t row_id) {
+size_t Table::resident_page_count() const noexcept {
+  // Test/bench hook; not synchronized against a concurrently evicting
+  // pool — call only from quiesced contexts.
+  size_t count = 0;
+  for (const auto& owned : pages_) {
+    if (owned->resident) ++count;
+  }
+  return count;
+}
+
+void Table::IndexInsert(size_t row_id, const Row& row) {
   for (auto& [name, index] : secondary_indexes_) {
-    index.map.emplace(rows_[row_id][index.column_index], row_id);
+    index.map.emplace(row[index.column_index], row_id);
   }
 }
 
-void Table::IndexErase(size_t row_id) {
+void Table::IndexErase(size_t row_id, const Row& row) {
   for (auto& [name, index] : secondary_indexes_) {
-    const Value& key = rows_[row_id][index.column_index];
+    const Value& key = row[index.column_index];
     const auto [begin, end] = index.map.equal_range(key);
     for (auto it = begin; it != end; ++it) {
       if (it->second == row_id) {

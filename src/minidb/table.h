@@ -1,7 +1,15 @@
-// In-memory table with a primary-key hash index and optional secondary
-// hash indexes. Rows are stored in insertion order with tombstones; the
-// table-level reader/writer lock lives here (the engine's unit of locking,
-// like MyISAM's table locks).
+// In-memory or paged table with a primary-key hash index and optional
+// secondary hash indexes. Rows are stored in insertion order with
+// tombstones; the table-level reader/writer lock lives here (the engine's
+// unit of locking, like MyISAM's table locks).
+//
+// Two storage representations (DESIGN.md "Paged storage & buffer pool"):
+//   * resident — a flat std::vector<Row> heap (the original layout; kept
+//     as the differential oracle via Database::set_paged_enabled(false));
+//   * paged    — fixed-capacity slotted pages behind the database's
+//     buffer pool. Row ids are stable across both (page = id / capacity,
+//     slot = id % capacity), so indexes, tombstone bitmaps, and scan
+//     cursors never care which representation is underneath.
 #pragma once
 
 #include <atomic>
@@ -12,9 +20,12 @@
 #include <vector>
 
 #include "common/memory_tracker.h"
+#include "minidb/page.h"
 #include "minidb/schema.h"
 
 namespace sqloop::minidb {
+
+class BufferPool;
 
 class Table {
  public:
@@ -34,9 +45,34 @@ class Table {
     tracker_ = tracker;
   }
 
-  /// Estimated bytes this table currently holds (rows incl. tombstoned
-  /// payloads, primary-key and secondary-index entries).
-  int64_t tracked_bytes() const noexcept { return tracked_bytes_; }
+  /// Switches the table to paged storage backed by `pool`. Set by Database
+  /// before the table is published (mirrors set_memory_tracker); must not
+  /// be flipped once rows exist. Whether the table's pages participate in
+  /// eviction is latched here from the pool's budget: pages of a table
+  /// created under an unbounded pool are never evicted, so its readers
+  /// skip pin bookkeeping entirely (the hit path stays within a few
+  /// percent of the resident representation).
+  void ConfigureStorage(std::shared_ptr<BufferPool> pool, bool paged);
+
+  bool paged() const noexcept { return paged_; }
+
+  /// True when this table's pages can be evicted (paged + bounded pool at
+  /// creation). The executor prefers copy-out scans with windowed pins
+  /// over whole-table borrowed views for such tables, so a full pass
+  /// stays inside the pool budget.
+  bool spill_enabled() const noexcept { return spill_enabled_; }
+
+  /// Estimated bytes this table currently holds resident (rows incl.
+  /// tombstoned payloads on resident pages, primary-key and
+  /// secondary-index entries). Spilled pages leave this figure — that is
+  /// exactly how quota pressure is relieved by eviction.
+  int64_t tracked_bytes() const noexcept {
+    return tracked_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Buffer-pool callback (under the pool mutex): `delta` bytes of this
+  /// table's pages entered (+) or left (-) residency.
+  void OnPageResidencyDelta(int64_t delta) noexcept;
 
   /// The lock the executor takes (shared for reads, exclusive for writes).
   std::shared_mutex& lock() const noexcept { return lock_; }
@@ -48,9 +84,15 @@ class Table {
   size_t Insert(Row row);
 
   size_t live_row_count() const noexcept { return live_rows_; }
-  size_t slot_count() const noexcept { return rows_.size(); }
+  size_t slot_count() const noexcept { return live_.size(); }
   bool IsLive(size_t row_id) const noexcept { return live_[row_id]; }
-  const Row& At(size_t row_id) const noexcept { return rows_[row_id]; }
+
+  /// Row view by id. For spill-enabled tables the backing page is pinned
+  /// into the current PinScope (the executor installs one per statement),
+  /// so the reference stays valid until the scope — or its innermost
+  /// window — releases. Without a scope the page is faulted in and left
+  /// unpinned: safe for single-threaded out-of-engine callers only.
+  const Row& At(size_t row_id) const;
 
   /// Overwrites the row in place (coerced; primary key must not change to
   /// a value already used by another live row). Keeps indexes in sync.
@@ -89,7 +131,8 @@ class Table {
   /// Fills `out` with up to `capacity` live row views starting at slot
   /// `*cursor` (skipping tombstones) and advances the cursor past the
   /// visited slots. Returns the lane count; 0 means the scan is exhausted.
-  /// Views follow the borrowed-relation lifetime rules.
+  /// Views follow the borrowed-relation lifetime rules; on the paged path
+  /// this is pin → straight-run fill → (scope-deferred) unpin per page.
   size_t FillBatch(size_t* cursor, const Row** out, size_t capacity) const;
 
   /// Fills `out` with the row views for `ids[0..count)` (an IndexProbe
@@ -116,15 +159,19 @@ class Table {
 
   /// The incrementally-maintained content checksum: the mod-2^64 sum of
   /// every live row's FNV-1a hash (order-independent, so it is identical
-  /// across execution modes that insert rows in different orders).
+  /// across execution modes that insert rows in different orders — and
+  /// across the paged and resident storage representations).
   uint64_t content_hash() const noexcept { return content_hash_; }
 
   /// Recomputes the checksum from the live rows and compares it to the
   /// maintained one (the CHECK TABLE / scrub primitive; caller holds at
   /// least the shared lock). On mismatch returns false and fills the
-  /// optional out-params. Always true when integrity is disabled.
+  /// optional out-params. Always true when integrity is disabled. On the
+  /// paged path verification runs page by page against the per-page hash
+  /// shards, so `first_bad_page_out` can localize the damage.
   bool VerifyContent(uint64_t* expected_out = nullptr,
-                     uint64_t* actual_out = nullptr) const;
+                     uint64_t* actual_out = nullptr,
+                     int64_t* first_bad_page_out = nullptr) const;
 
   /// Marks/queries the quarantine flag: a table whose scrub failed is
   /// fenced off so every subsequent statement touching it fails with
@@ -139,8 +186,15 @@ class Table {
 
   /// Test hook: flips one bit of a stored cell *without* updating the
   /// maintained checksum — simulated silent memory/storage corruption for
-  /// scrub tests. Caller holds the exclusive lock.
+  /// scrub tests. Caller holds the exclusive lock. (On a spill-enabled
+  /// table a clean page's eviction+reload can heal the corruption — the
+  /// spill image was serialized before the flip; that behaviour is itself
+  /// under test.)
   void CorruptCellForTesting(size_t row_id, size_t column);
+
+  /// Test/bench hook: number of pages currently materialized in memory.
+  size_t resident_page_count() const noexcept;
+  size_t page_count() const noexcept { return pages_.size(); }
 
  private:
   struct SecondaryIndex {
@@ -149,13 +203,41 @@ class Table {
     std::unordered_multimap<Value, size_t, ValueKeyHash, ValueKeyEq> map;
   };
 
-  void IndexInsert(size_t row_id);
-  void IndexErase(size_t row_id);
+  /// RAII pin held across a mutation (or an internal whole-table sweep)
+  /// so the pool's evictor never serializes a half-mutated page. No-op
+  /// unless the table is spill-enabled.
+  class PagePin {
+   public:
+    PagePin(const Table* table, Page* page);
+    ~PagePin();
+    PagePin(const PagePin&) = delete;
+    PagePin& operator=(const PagePin&) = delete;
+
+   private:
+    const Table* table_;
+    Page* page_;
+  };
+
+  Page* PageFor(size_t row_id) const noexcept {
+    return pages_[row_id >> kPageRowShift].get();
+  }
+  /// Scope-aware read pin (see At()).
+  void PinForRead(Page* page) const;
+  /// The tail page with room for one more row (creates and registers a
+  /// fresh one when needed).
+  Page* TailPageForInsert();
+  /// Mutable storage cell for a mutator that already holds a pin.
+  Row& StoredRow(size_t row_id) noexcept {
+    return paged_ ? PageFor(row_id)->rows[row_id & kPageRowMask]
+                  : rows_[row_id];
+  }
+
+  void IndexInsert(size_t row_id, const Row& row);
+  void IndexErase(size_t row_id, const Row& row);
   /// FNV-1a over one row's cells (type tags + raw payload bits; doubles by
   /// bit pattern, matching the dump format's exactness guarantees).
   static uint64_t RowHash(const Row& row) noexcept;
-  /// Adjusts the storage accounting by `delta` bytes (callers hold the
-  /// table lock, so the plain counter is safe).
+  /// Adjusts the storage accounting by `delta` bytes.
   void Account(int64_t delta) noexcept;
   /// Estimated bytes of one hash-index entry (key copy + bucket node).
   static constexpr int64_t kIndexEntryBytes = 64;
@@ -163,10 +245,18 @@ class Table {
   std::string name_;
   Schema schema_;
   MemoryTracker* tracker_ = nullptr;
-  int64_t tracked_bytes_ = 0;
+  std::atomic<int64_t> tracked_bytes_{0};
   mutable std::shared_mutex lock_;
 
+  // Resident representation (paged_ == false).
   std::vector<Row> rows_;
+  // Paged representation (paged_ == true). Pages are stable heap objects:
+  // growing the table never moves a row, unlike the vector heap.
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::shared_ptr<BufferPool> pool_;
+  bool paged_ = false;
+  bool spill_enabled_ = false;
+
   std::vector<char> live_;
   size_t live_rows_ = 0;
 

@@ -316,11 +316,35 @@ void JobServer::GovernorLoop() {
       return stop_governor_.load(std::memory_order_acquire);
     });
     if (stop_governor_.load(std::memory_order_acquire)) break;
-    if (root_tracker_->reserved_bytes() >=
-        config_.hard_memory_limit_bytes) {
-      KillLargestVictim();
+    const int64_t reserved = root_tracker_->reserved_bytes();
+    if (reserved >= config_.hard_memory_limit_bytes) {
+      // Pressure ladder: evicting cold table pages to their spill files is
+      // loss-free, cancelling a job throws its progress away — so shrink
+      // the backend's buffer pools first and only kill when eviction
+      // cannot get the reservation back under the watermark.
+      ShrinkBackendPools(reserved - config_.hard_memory_limit_bytes);
+      if (root_tracker_->reserved_bytes() >= config_.hard_memory_limit_bytes) {
+        KillLargestVictim();
+      }
     }
   }
+}
+
+int64_t JobServer::ShrinkBackendPools(int64_t want_bytes) {
+  if (backend_ == nullptr || want_bytes <= 0) return 0;
+  int64_t freed = 0;
+  for (const std::string& db_name : backend_->DatabaseNames()) {
+    if (freed >= want_bytes) break;
+    const std::shared_ptr<minidb::Database> db =
+        backend_->FindDatabase(db_name);
+    if (db == nullptr) continue;  // dropped since the name snapshot
+    freed += db->buffer_pool().TryReclaim(want_bytes - freed);
+  }
+  if (freed > 0) {
+    pool_bytes_reclaimed_.fetch_add(static_cast<uint64_t>(freed),
+                                    std::memory_order_relaxed);
+  }
+  return freed;
 }
 
 void JobServer::ScrubLoop() {

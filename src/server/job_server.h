@@ -228,6 +228,11 @@ class JobServer {
   uint64_t victim_cancellations() const noexcept {
     return victim_cancellations_.load();
   }
+  /// Bytes of table pages the governor evicted to spill files instead of
+  /// (or before) cancelling a victim at the hard watermark.
+  uint64_t pool_bytes_reclaimed() const noexcept {
+    return pool_bytes_reclaimed_.load();
+  }
 
   // --- background scrub accounting --------------------------------------
   /// Completed scrub cycles (full walks of the backend's tables).
@@ -282,6 +287,9 @@ class JobServer {
   /// largest running job (by job-scope bytes) while the hard watermark is
   /// crossed.
   void GovernorLoop();
+  /// Pressure ladder step 1: ask every backend database's buffer pool to
+  /// evict pages to spill files. Returns the bytes actually released.
+  int64_t ShrinkBackendPools(int64_t want_bytes);
   /// One governor decision. Returns true if a victim was cancelled.
   bool KillLargestVictim();
   /// Background scrub thread body: one cycle per scrub_interval_ms, each
@@ -330,6 +338,7 @@ class JobServer {
       running_;
   std::atomic<uint64_t> shed_admissions_{0};
   std::atomic<uint64_t> victim_cancellations_{0};
+  std::atomic<uint64_t> pool_bytes_reclaimed_{0};
   std::atomic<bool> stop_governor_{false};
   std::mutex governor_mutex_;
   std::condition_variable governor_cv_;

@@ -247,6 +247,7 @@ enum class StatementKind {
   kDumpTable,     // DUMP TABLE t TO '<path>' — checkpoint fast path
   kRestoreTable,  // RESTORE TABLE t FROM '<path>'
   kCheckTable,    // CHECK TABLE t — content-checksum scrub pass
+  kChecksumTable, // CHECKSUM TABLE t — report the maintained checksum (O(1))
   kBegin,
   kCommit,
   kRollback,

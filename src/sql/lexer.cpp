@@ -19,6 +19,7 @@ const std::unordered_set<std::string>& KeywordSet() {
       "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
       "DROP", "TABLE", "INDEX", "VIEW", "IF", "EXISTS", "NOT", "PRIMARY",
       "KEY", "UNLOGGED", "ENGINE", "TRUNCATE", "DUMP", "RESTORE", "CHECK",
+      "CHECKSUM",
       "TO",
       "AND", "OR", "IS", "NULL",
       "CASE", "WHEN", "THEN", "ELSE", "END", "BETWEEN", "IN", "LIKE",

@@ -135,6 +135,7 @@ class Parser {
     if (CheckKeyword("DUMP")) return ParseDump();
     if (CheckKeyword("RESTORE")) return ParseRestore();
     if (CheckKeyword("CHECK")) return ParseCheck();
+    if (CheckKeyword("CHECKSUM")) return ParseChecksum();
     if (AcceptKeyword("BEGIN")) {
       AcceptKeyword("TRANSACTION");
       auto stmt = std::make_unique<Statement>();
@@ -505,6 +506,17 @@ class Parser {
     AcceptKeyword("TABLE");
     auto stmt = std::make_unique<Statement>();
     stmt->kind = StatementKind::kCheckTable;
+    stmt->table_name = ExpectIdentifier("table name");
+    return stmt;
+  }
+
+  // CHECKSUM TABLE t — reports the incrementally-maintained content
+  // checksum without rescanning (O(1); checkpoint change detection).
+  StatementPtr ParseChecksum() {
+    ExpectKeyword("CHECKSUM");
+    AcceptKeyword("TABLE");
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = StatementKind::kChecksumTable;
     stmt->table_name = ExpectIdentifier("table name");
     return stmt;
   }

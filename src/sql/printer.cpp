@@ -348,6 +348,8 @@ std::string PrintStatement(const Statement& stmt, Dialect dialect) {
              " FROM " + Value(stmt.file_path).ToSqlLiteral();
     case StatementKind::kCheckTable:
       return "CHECK TABLE " + QuoteIdentifier(stmt.table_name, dialect);
+    case StatementKind::kChecksumTable:
+      return "CHECKSUM TABLE " + QuoteIdentifier(stmt.table_name, dialect);
     case StatementKind::kBegin:
       return "BEGIN";
     case StatementKind::kCommit:

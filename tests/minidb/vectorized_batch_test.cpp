@@ -165,6 +165,29 @@ TEST_F(VectorizedBatchTest, SelectionEmptyingMidPipelineMatches) {
       "SELECT rank + tag FROM s WHERE delta + 1 = 4");
 }
 
+TEST_F(VectorizedBatchTest, ColumnVsColumnKernelOnElidedSelection) {
+  // Aggregate-only select lists elide the selection fill (MarkAllSelected
+  // leaves the selection array unwritten), so a column-vs-column kernel as
+  // the first conjunct must materialize surviving lanes itself rather than
+  // read the array — reading it here means uninitialized lane indexes and
+  // wild row-view loads. This is the AsyncP priority-probe shape
+  // (`SELECT MIN(Delta) FROM part WHERE Delta < Distance`).
+  Run("CREATE TABLE cc (id BIGINT, rank DOUBLE PRECISION, delta BIGINT)");
+  for (int i = 0; i < 2100; ++i) {
+    Run("INSERT INTO cc VALUES (" + std::to_string(i) + ", " +
+        std::to_string((i * 7) % 2100) + ".5, " + std::to_string(i % 11) +
+        ")");
+  }
+  // int-vs-int and mixed double-vs-int kernel arms, both elided-first.
+  ExpectThreeWayIdentical("SELECT MIN(delta) FROM cc WHERE delta < id");
+  ExpectThreeWayIdentical(
+      "SELECT COUNT(*), SUM(rank) FROM cc WHERE rank < id");
+  // Same kernels after a literal conjunct already materialized the
+  // selection (the non-identity loop).
+  ExpectThreeWayIdentical(
+      "SELECT COUNT(*) FROM cc WHERE id >= 5 AND delta < id");
+}
+
 // --- aggregate argument shapes -----------------------------------------
 
 TEST_F(VectorizedBatchTest, AggregateArgumentShapesMatch) {
